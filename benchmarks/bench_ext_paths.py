@@ -1,0 +1,67 @@
+"""EXT-P1 — the path fragment: graphical matcher vs path engine.
+
+For queries in the overlapping fragment (tree-shaped, see
+``repro.xmlgl.translate``), the same question can be answered by the
+graphical matcher or by the translated path expression.  This benchmark
+measures both on identical inputs and asserts identical answers — the
+agreement is the differential-oracle property; the timings show what the
+binding machinery costs relative to pure navigation.
+"""
+
+import pytest
+
+from repro.ssd.paths import evaluate_path
+from repro.xmlgl import match, to_path
+from repro.xmlgl.dsl import parse_rule
+
+QUERIES = {
+    "chain": """
+        query { root bib as R { book as B { title as T } } }
+        construct { r { collect T } }
+    """,
+    "deep": """
+        query { root report as R { deep para as P } }
+        construct { r { collect P } }
+    """,
+    "filtered": """
+        query { book as B { @year = "1999" as Y  not publisher as P } }
+        construct { r { collect B } }
+    """,
+}
+
+
+def _graph_and_target(name):
+    rule = parse_rule(QUERIES[name])
+    graph = rule.queries[0]
+    target = {"chain": "T", "deep": "P", "filtered": "B"}[name]
+    return graph, target
+
+
+def _doc(name, bib_doc, sections_doc):
+    return sections_doc(7) if name == "deep" else bib_doc(400)
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_graphical_matcher(benchmark, bib_doc, sections_doc, name):
+    graph, target = _graph_and_target(name)
+    doc = _doc(name, bib_doc, sections_doc)
+    bindings = benchmark(lambda: match(graph, doc))
+    assert len(bindings) > 0
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_path_engine(benchmark, bib_doc, sections_doc, name):
+    graph, target = _graph_and_target(name)
+    doc = _doc(name, bib_doc, sections_doc)
+    path = to_path(graph, target)
+    elements = benchmark(lambda: evaluate_path(path, doc))
+    assert len(elements) > 0
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_oracle_agreement(bib_doc, sections_doc, name):
+    graph, target = _graph_and_target(name)
+    doc = _doc(name, bib_doc, sections_doc)
+    via_matcher = {id(b[target]) for b in match(graph, doc)}
+    via_paths = {id(e) for e in evaluate_path(to_path(graph, target), doc)}
+    assert via_matcher == via_paths

@@ -1,0 +1,70 @@
+"""EXT-S1 — scaling study (an extension; the paper reports no numbers).
+
+Runs one representative query per engine over a size sweep and records
+matcher work counters alongside wall-clock time.  Shape check: work grows
+near-linearly for the indexed selection (candidates ≈ matches), while the
+value join grows super-linearly — the crossover motivating indexes and
+structural joins.
+"""
+
+import pytest
+
+from repro.engine import EvalStats
+from repro.wglog.semantics import query as wg_query
+from repro.wglog import parse_rule as parse_wg
+from repro.xmlgl import rule_bindings
+from repro.xmlgl.dsl import parse_rule as parse_xg
+
+SELECT = parse_xg(
+    "query { book as B { title as T  @year as Y } where Y >= 1995 }"
+    " construct { r { collect T } }"
+)
+WG_SELECT = parse_wg(
+    "rule s { match { b: book  t: title  b -child-> t } where b.year >= 1995 }"
+)
+
+# 6400 entries ≈ 10^5 document nodes (the DESIGN.md sweep upper bound)
+SIZES = [100, 400, 1600, 6400]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_xmlgl_selection_scaling(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    stats = EvalStats()
+    bindings = benchmark(lambda: rule_bindings(SELECT, doc, stats=stats))
+    assert len(bindings) > 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_wglog_selection_scaling(benchmark, bib_instance, size):
+    instance = bib_instance(size)
+    bindings = benchmark(lambda: wg_query(WG_SELECT, instance))
+    assert len(bindings) > 0
+
+
+def test_indexed_selection_work_is_linear(bib_doc):
+    """Candidates tried grow proportionally to document size."""
+    work = {}
+    for size in SIZES:
+        stats = EvalStats()
+        rule_bindings(SELECT, bib_doc(size), stats=stats)
+        work[size] = stats.candidates_tried
+    for small, large in zip(SIZES, SIZES[1:]):
+        ratio = work[large] / work[small]
+        # 4x data -> ~4x work, far below quadratic (16x)
+        assert 2.0 < ratio < 8.0, (small, large, ratio)
+
+
+def test_value_join_work_is_quadratic(bib_doc):
+    """The unindexed value join's candidate product grows quadratically."""
+    join = parse_xg(
+        "query { book as B  * as C where B.cites = C.id }"
+        " construct { r { collect B } }"
+    )
+    work = {}
+    for size in (50, 100, 200):
+        stats = EvalStats()
+        rule_bindings(join, bib_doc(size), stats=stats)
+        work[size] = stats.condition_checks
+    assert work[100] / work[50] > 3.0
+    assert work[200] / work[100] > 3.0

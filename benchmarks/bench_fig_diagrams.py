@@ -1,0 +1,66 @@
+"""FIG-D1 — the figures themselves: layout and rendering of every catalog
+query in both languages.
+
+The paper's "evaluation" is its drawn examples; this benchmark regenerates
+each drawing (AST → layout → SVG), checks determinism and round-trip
+fidelity, and measures layout+render time.  Run with ``--benchmark-only -s``
+to also see the ASCII figures.
+"""
+
+import pytest
+
+from repro.compare import CATALOG
+from repro.visual import (
+    diagram_to_wglog,
+    diagram_to_xmlgl,
+    render_ascii,
+    render_svg,
+    wglog_rule_diagram,
+    xmlgl_rule_diagram,
+)
+from repro.wglog import parse_rule as parse_wg
+from repro.xmlgl.dsl import parse_rule as parse_xg
+
+XG_PAIRS = [(p.id, p.xmlgl_source) for p in CATALOG if p.xmlgl_source]
+WG_PAIRS = [(p.id, p.wglog_source) for p in CATALOG if p.wglog_source]
+
+
+@pytest.mark.parametrize("pair_id,source", XG_PAIRS, ids=[i for i, _ in XG_PAIRS])
+def test_xmlgl_figures(benchmark, pair_id, source):
+    rule = parse_xg(source)
+
+    def render():
+        diagram = xmlgl_rule_diagram(rule)
+        return diagram, render_svg(diagram)
+
+    diagram, svg = benchmark(render)
+    assert svg.startswith("<svg")
+    # determinism and round trip
+    assert render_svg(xmlgl_rule_diagram(rule)) == svg
+    back = diagram_to_xmlgl(diagram)
+    assert set(back.queries[0].nodes) == set(rule.queries[0].nodes)
+
+
+@pytest.mark.parametrize("pair_id,source", WG_PAIRS, ids=[i for i, _ in WG_PAIRS])
+def test_wglog_figures(benchmark, pair_id, source):
+    rule = parse_wg(source)
+
+    def render():
+        diagram = wglog_rule_diagram(rule)
+        return diagram, render_svg(diagram)
+
+    diagram, svg = benchmark(render)
+    assert svg.startswith("<svg")
+    assert diagram_to_wglog(diagram).describe() == rule.describe()
+
+
+def test_ascii_gallery():
+    """Print every catalog figure (visible with -s)."""
+    print()
+    for pair in CATALOG:
+        if pair.xmlgl_source:
+            print(f"--- {pair.id} (XML-GL) ---")
+            print(render_ascii(xmlgl_rule_diagram(parse_xg(pair.xmlgl_source))))
+        if pair.wglog_source:
+            print(f"--- {pair.id} (WG-Log) ---")
+            print(render_ascii(wglog_rule_diagram(parse_wg(pair.wglog_source))))

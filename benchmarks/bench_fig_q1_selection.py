@@ -1,0 +1,37 @@
+"""FIG-Q1 — selection/projection in both languages.
+
+"All book titles" over a generated bibliography, as an XML-GL extract ∥
+construct rule and as a WG-Log red-only rule over the bridged graph.
+The shape check: both languages return the same number of titles, and
+runtime grows roughly linearly with document size.
+"""
+
+import pytest
+
+from repro.xmlgl import evaluate_rule
+from repro.xmlgl.dsl import parse_rule as parse_xg
+from repro.wglog import parse_rule as parse_wg
+from repro.wglog.semantics import query as wg_query
+
+XG = parse_xg(
+    "query { book as B { title as T } } construct { titles { collect T } }"
+)
+WG = parse_wg("rule q1 { match { b: book  t: title  b -child-> t } }")
+
+SIZES = [50, 200]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_xmlgl_selection(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    result = benchmark(lambda: evaluate_rule(XG, doc))
+    books = len(doc.root.find_all("book"))
+    assert len(result.find_all("title")) == books
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_wglog_selection(benchmark, bib_doc, bib_instance, size):
+    instance = bib_instance(size)
+    bindings = benchmark(lambda: wg_query(WG, instance))
+    books = len(bib_doc(size).root.find_all("book"))
+    assert len(bindings) == books

@@ -1,0 +1,66 @@
+"""FIG-Q2 — predicate evaluation in both languages.
+
+Attribute and text predicates ("books after Y cheaper than P") at two
+selectivities.  Shape check: the two languages select the same entry
+count, and the more selective predicate never returns more rows.
+"""
+
+import pytest
+
+from repro.xmlgl import evaluate_rule
+from repro.xmlgl.dsl import parse_rule as parse_xg
+from repro.wglog import parse_rule as parse_wg
+from repro.wglog.semantics import query as wg_query
+
+
+def xg_rule(year: int) -> str:
+    return f"""
+        query {{ book as B {{ @year as Y  title as T }} where Y >= {year} }}
+        construct {{ r {{ collect T }} }}
+    """
+
+
+def wg_rule(year: int) -> str:
+    return f"""
+        rule q2 {{ match {{ b: book  t: title  b -child-> t }}
+                   where b.year >= {year} }}
+    """
+
+
+@pytest.mark.parametrize("year", [1990, 1998])
+def test_xmlgl_predicates(benchmark, bib_doc, year):
+    doc = bib_doc(200)
+    rule = parse_xg(xg_rule(year))
+    result = benchmark(lambda: evaluate_rule(rule, doc))
+    expected = sum(
+        1 for b in doc.root.find_all("book") if int(b.get("year")) >= year
+    )
+    assert len(result.find_all("title")) == expected
+
+
+@pytest.mark.parametrize("year", [1990, 1998])
+def test_wglog_predicates(benchmark, bib_doc, bib_instance, year):
+    instance = bib_instance(200)
+    rule = parse_wg(wg_rule(year))
+    bindings = benchmark(lambda: wg_query(rule, instance))
+    doc = bib_doc(200)
+    expected = sum(
+        1 for b in doc.root.find_all("book") if int(b.get("year")) >= year
+    )
+    assert len(bindings) == expected
+
+
+def test_selectivity_ordering(bib_doc, bib_instance):
+    """More selective predicates return fewer rows in both engines."""
+    doc = bib_doc(200)
+    instance = bib_instance(200)
+    xg_counts = [
+        len(evaluate_rule(parse_xg(xg_rule(year)), doc).find_all("title"))
+        for year in (1985, 1995, 2000)
+    ]
+    wg_counts = [
+        len(wg_query(parse_wg(wg_rule(year)), instance))
+        for year in (1985, 1995, 2000)
+    ]
+    assert xg_counts == sorted(xg_counts, reverse=True)
+    assert xg_counts == wg_counts

@@ -1,0 +1,46 @@
+"""FIG-Q4 — arbitrary-depth queries.
+
+XML-GL's starred arc and WG-Log's dashed path edge over recursively nested
+section documents.  Shape check: the starred arc finds exactly the
+``fanout**(depth-1)`` leaf paragraphs regardless of nesting depth, and a
+direct-child query finds none of them.
+"""
+
+import pytest
+
+from repro.wglog.bridge import document_to_instance
+from repro.wglog import parse_rule as parse_wg
+from repro.wglog.semantics import query as wg_query
+from repro.xmlgl import evaluate_rule
+from repro.xmlgl.dsl import parse_rule as parse_xg
+
+DEEP_XG = parse_xg(
+    "query { root report as R { deep para as P } } construct { r { collect P } }"
+)
+SHALLOW_XG = parse_xg(
+    "query { root report as R { para as P } } construct { r { collect P } }"
+)
+DEEP_WG = parse_wg("rule deep { match { r: report  p: para  r -child*-> p } }")
+
+DEPTHS = [4, 7]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_xmlgl_starred_arc(benchmark, sections_doc, depth):
+    doc = sections_doc(depth)
+    result = benchmark(lambda: evaluate_rule(DEEP_XG, doc))
+    assert len(result.find_all("para")) == 2 ** (depth - 1)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_wglog_path_edge(benchmark, sections_doc, depth):
+    doc = sections_doc(depth)
+    instance, _ = document_to_instance(doc)
+    bindings = benchmark(lambda: wg_query(DEEP_WG, instance))
+    assert len(bindings) == 2 ** (depth - 1)
+
+
+def test_shallow_finds_nothing(sections_doc):
+    doc = sections_doc(5)
+    result = evaluate_rule(SHALLOW_XG, doc)
+    assert len(result.find_all("para")) == 0

@@ -1,0 +1,51 @@
+"""FIG-Q5 — negation in both languages.
+
+XML-GL's crossed arc (books without a publisher) and WG-Log's crossed edge
+with ∀-semantics (pages nothing links to).  Shape check: negated and
+positive counts partition the data.
+"""
+
+import pytest
+
+from repro.xmlgl import rule_bindings
+from repro.xmlgl.dsl import parse_rule as parse_xg
+from repro.wglog import parse_rule as parse_wg
+from repro.wglog.semantics import query as wg_query
+
+WITHOUT = parse_xg(
+    "query { book as B { not publisher as P } } construct { r { collect B } }"
+)
+WITH = parse_xg(
+    "query { book as B { publisher as P } } construct { r { collect B } }"
+)
+WG_UNLINKED = parse_wg(
+    """
+    rule unlinked {
+      match { p: Page  s: Page  no s -link-> p }
+      where name(p) = 'Page'
+    }
+    """
+)
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_xmlgl_negation(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    without = benchmark(lambda: rule_bindings(WITHOUT, doc))
+    with_pub = rule_bindings(WITH, doc)
+    books = len(doc.root.find_all("book"))
+    assert len(without) + len(with_pub) == books
+    assert len(without) > 0 and len(with_pub) > 0
+
+
+@pytest.mark.parametrize("pages", [50, 150])
+def test_wglog_forall_negation(benchmark, site, pages):
+    instance = site(pages)
+    unlinked = benchmark(lambda: wg_query(WG_UNLINKED, instance))
+    # count pages with an incoming link from another Page, directly
+    linked = {
+        e.target
+        for e in instance.relationship_edges()
+        if e.label == "link" and instance.label(e.target) == "Page"
+    }
+    assert len(unlinked) == len(instance.entities("Page")) - len(linked)

@@ -1,0 +1,53 @@
+"""FIG-Q6 — aggregation: XML-GL's functions vs WG-Log's collector.
+
+XML-GL computes COUNT/SUM/MIN/MAX/AVG; WG-Log's triangle only *collects*.
+Shape check: the XML-GL aggregates equal values computed directly from the
+data, and the WG-Log collector gathers exactly one node per match.
+"""
+
+import pytest
+
+from repro.ssd.datatypes import coerce
+from repro.wglog import apply_rule
+from repro.wglog import parse_rule as parse_wg
+from repro.xmlgl import evaluate_rule
+from repro.xmlgl.dsl import parse_rule as parse_xg
+
+AGG = parse_xg(
+    """
+    query { book as B { price as P { text as PT } } }
+    construct {
+      stats { n { count(B) } min { min(PT) } max { max(PT) } avg { avg(PT) } }
+    }
+    """
+)
+COLLECT = parse_wg(
+    "rule all { match { w: Work } construct { l: Cat collect  l -has-> w } }"
+)
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_xmlgl_aggregates(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    result = benchmark(lambda: evaluate_rule(AGG, doc))
+    prices = [
+        coerce(b.find("price").text_content())
+        for b in doc.root.find_all("book")
+    ]
+    assert result.find("n").text_content() == str(len(prices))
+    assert float(result.find("min").text_content()) == min(prices)
+    assert float(result.find("max").text_content()) == max(prices)
+    assert abs(float(result.find("avg").text_content()) - sum(prices) / len(prices)) < 1e-9
+
+
+@pytest.mark.parametrize("works", [80, 240])
+def test_wglog_collector(benchmark, museum, works):
+    def run():
+        instance = museum(works)
+        apply_rule(instance, COLLECT)
+        return instance
+
+    instance = benchmark(run)
+    catalogues = instance.entities("Cat")
+    assert len(catalogues) == 1
+    assert len(instance.relationships(catalogues[0], "has")) == works

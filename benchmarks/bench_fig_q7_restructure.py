@@ -1,0 +1,47 @@
+"""FIG-Q7 — restructuring: nest by year (list icon + for-each).
+
+XML-GL's distinguishing feature: the construct part regroups the flat
+bibliography under per-year elements.  Shape check: the year groups
+partition the books and come out sorted.
+"""
+
+import pytest
+
+from repro.xmlgl import evaluate_rule
+from repro.xmlgl.dsl import parse_rule as parse_xg
+
+NEST = parse_xg(
+    """
+    query { book as B { @year as Y  title as T } }
+    construct {
+      by-year { year for Y sortby Y { value Y  books { collect T } } }
+    }
+    """
+)
+UNNEST = parse_xg(
+    """
+    query { book as B { @year as Y  title as T } }
+    construct { flat { row for B { value Y  copy T } } }
+    """
+)
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_nest_by_year(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    result = benchmark(lambda: evaluate_rule(NEST, doc))
+    books = doc.root.find_all("book")
+    years = [y.immediate_text() for y in result.find_all("year")]
+    assert years == sorted(years)
+    assert set(years) == {b.get("year") for b in books}
+    total = sum(
+        len(y.find("books").find_all("title")) for y in result.find_all("year")
+    )
+    assert total == len(books)
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_unnest_flat(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    result = benchmark(lambda: evaluate_rule(UNNEST, doc))
+    assert len(result.find_all("row")) == len(doc.root.find_all("book"))

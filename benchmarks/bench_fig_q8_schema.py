@@ -1,0 +1,45 @@
+"""FIG-Q8 — XML-GL schema graphs vs DTDs (the BOOK DTD figure).
+
+Benchmarks both validators over generated bibliographies and asserts they
+accept/reject the same documents; also measures the DTD→schema
+translation itself.  Shape check: valid data passes both; a corrupted
+document fails both.
+"""
+
+import pytest
+
+from repro.ssd import parse_dtd
+from repro.ssd import validate as dtd_validate
+from repro.workloads import BIB_DTD, bibliography
+from repro.xmlgl.schema import dtd_to_schema
+
+DTD = parse_dtd(BIB_DTD)
+SCHEMA, _NOTES = dtd_to_schema(DTD, "bib")
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_dtd_validation(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    violations = benchmark(lambda: dtd_validate(doc, DTD))
+    assert violations == []
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_xmlgl_schema_validation(benchmark, bib_doc, size):
+    doc = bib_doc(size)
+    violations = benchmark(lambda: SCHEMA.validate(doc))
+    assert violations == []
+
+
+def test_translation_benchmark(benchmark):
+    schema, notes = benchmark(lambda: dtd_to_schema(DTD, "bib"))
+    assert schema.nodes
+
+
+def test_validators_agree_on_corruption(bib_doc):
+    doc = bibliography(50, seed=9)
+    # corrupt: a book loses its title (content model violation)
+    book = doc.root.find("book")
+    book.remove(book.find("title"))
+    assert dtd_validate(doc, DTD)
+    assert SCHEMA.validate(doc)

@@ -1,0 +1,107 @@
+"""FIG-Q9 — WG-Log generative rules (GraphLog's derived-link figures).
+
+The sibling rule, the ∀-negated root rule and the two-rule transitive
+closure, applied generatively over site graphs.  Shape checks: derivation
+counts match direct graph computations and the fixpoint is idempotent.
+"""
+
+import pytest
+
+from repro.graph.traversal import reachable_by_labels
+from repro.wglog import apply_program, apply_rule, satisfies
+from repro.wglog import parse_rule as parse_wg
+from repro.wglog.dsl import parse_wglog
+
+SIBLING = parse_wg(
+    """
+    rule sibling {
+      match { i: Index  p1: Page  p2: Page  i -index-> p1  i -index-> p2 }
+      construct { p1 -sibling-> p2 }
+    }
+    """
+)
+ROOT = parse_wg(
+    """
+    rule root {
+      match { d: Index  s: Index  no s -index-> d }
+      construct { d.isroot = 'yes' }
+    }
+    """
+)
+_, CLOSURE = parse_wglog(
+    """
+    rule base {
+      match { a: Page  b: Page  a -link-> b }
+      construct { a -reach-> b }
+    }
+    rule step {
+      match { a: Page  b: Page  c: Page  a -reach-> b  b -link-> c }
+      construct { a -reach-> c }
+    }
+    """
+)
+
+
+@pytest.mark.parametrize("pages", [40, 120])
+def test_sibling_derivation(benchmark, site, pages):
+    def run():
+        instance = site(pages)
+        added = apply_rule(instance, SIBLING, injective=True)
+        return instance, added
+
+    instance, added = benchmark(run)
+    assert added > 0
+    assert satisfies(instance, SIBLING, injective=True)
+    # derived edge count == ordered sibling pairs under shared indexes
+    expected = 0
+    for index in instance.entities("Index"):
+        indexed = [
+            e.target
+            for e in instance.relationships(index, "index")
+            if instance.label(e.target) == "Page"
+        ]
+        expected += len(indexed) * (len(indexed) - 1)
+    derived = sum(1 for e in instance.relationship_edges() if e.label == "sibling")
+    assert derived == expected
+
+
+@pytest.mark.parametrize("pages", [40, 120])
+def test_root_rule(benchmark, site, pages):
+    def run():
+        instance = site(pages)
+        apply_rule(instance, ROOT)
+        return instance
+
+    instance = benchmark(run)
+    indexed_indexes = {
+        e.target
+        for e in instance.relationship_edges()
+        if e.label == "index" and instance.label(e.target) == "Index"
+    }
+    for index in instance.entities("Index"):
+        expected = "yes" if index not in indexed_indexes else None
+        assert instance.slot_value(index, "isroot") == expected
+
+
+@pytest.mark.parametrize("pages", [20, 40])
+def test_transitive_closure_fixpoint(benchmark, site, pages):
+    def run():
+        instance = site(pages, seed=1)
+        apply_program(instance, CLOSURE, max_rounds=200)
+        return instance
+
+    instance = benchmark(run)
+    # reach edges == pairwise reachability over Page link edges
+    derived = {
+        (e.source, e.target)
+        for e in instance.relationship_edges()
+        if e.label == "reach"
+    }
+    expected = set()
+    for page in instance.entities("Page"):
+        for target in reachable_by_labels(instance.graph, page, edge_label="link"):
+            if instance.label(target) == "Page":
+                expected.add((page, target))
+    assert derived == expected
+    # idempotence: one more full application adds nothing
+    assert apply_program(instance, CLOSURE) == 0

@@ -1,0 +1,89 @@
+"""Shared fixtures for the benchmark harness.
+
+Datasets are generated once per session and cached by (kind, size, seed);
+document indexes are prebuilt so benchmarks measure query evaluation, not
+index construction (matching how the engines are used interactively).
+"""
+
+import pytest
+
+from repro.engine import DocumentIndex
+from repro.wglog.bridge import document_to_instance
+from repro.workloads import bibliography, museum_graph, nested_sections, site_graph
+
+_CACHE: dict = {}
+
+
+def _cached(key, factory):
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+@pytest.fixture
+def bib_doc():
+    """bibliography(size, seed) -> Document, cached."""
+
+    def make(size: int, seed: int = 0):
+        return _cached(("bib", size, seed), lambda: bibliography(size, seed=seed))
+
+    return make
+
+
+@pytest.fixture
+def bib_index(bib_doc):
+    """Prebuilt DocumentIndex for a bibliography."""
+
+    def make(size: int, seed: int = 0):
+        doc = bib_doc(size, seed)
+        return _cached(("bibidx", size, seed), lambda: DocumentIndex(doc))
+
+    return make
+
+
+@pytest.fixture
+def bib_instance(bib_doc):
+    """Bridged instance graph of a bibliography."""
+
+    def make(size: int, seed: int = 0):
+        doc = bib_doc(size, seed)
+        return _cached(
+            ("bibinst", size, seed), lambda: document_to_instance(doc)[0]
+        )
+
+    return make
+
+
+@pytest.fixture
+def sections_doc():
+    """nested_sections(depth, fanout) -> Document, cached."""
+
+    def make(depth: int, fanout: int = 2):
+        return _cached(
+            ("sections", depth, fanout),
+            lambda: nested_sections(depth=depth, fanout=fanout, seed=0),
+        )
+
+    return make
+
+
+@pytest.fixture
+def site():
+    """site_graph(pages) -> InstanceGraph (fresh copy: rules mutate it)."""
+
+    def make(pages: int, seed: int = 0):
+        base = _cached(("site", pages, seed), lambda: site_graph(pages, seed=seed))
+        return base.copy()
+
+    return make
+
+
+@pytest.fixture
+def museum():
+    """museum_graph(works) -> InstanceGraph (fresh copy)."""
+
+    def make(works: int, seed: int = 0):
+        base = _cached(("museum", works, seed), lambda: museum_graph(works, seed=seed))
+        return base.copy()
+
+    return make

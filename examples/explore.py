@@ -1,0 +1,66 @@
+"""Schema-last exploration: infer, check, query, refine.
+
+Semi-structured data arrives without a schema.  This example shows the
+exploration loop the libraries support: infer a DataGuide-style schema
+from raw XML, use it to check queries *before* running them, then refine
+queries over a session with back/forward — inference, static checking and
+BBQ-style cycles working together.
+
+Run with::
+
+    python examples/explore.py
+"""
+
+from repro.session import QuerySession
+from repro.ssd import infer_schema
+from repro.workloads import bibliography
+from repro.xmlgl import check_query_against_schema
+from repro.xmlgl.dsl import parse_rule
+
+
+def main() -> None:
+    doc = bibliography(50, seed=21)
+
+    print("== 1. infer the structure of the unknown data ==")
+    schema = infer_schema(doc)
+    print(schema.describe())
+
+    print("\n== 2. static checking catches a bad query before it runs ==")
+    bad = parse_rule(
+        "query { book as B { isbn as I } } construct { r { collect I } }"
+    )
+    for warning in check_query_against_schema(bad.queries[0], schema):
+        print("  warning:", warning)
+
+    good = parse_rule(
+        "query { book as B { @year as Y  price as P } where Y >= 1995 }"
+        " construct { r { count(B) } }"
+    )
+    print(
+        "  good query warnings:",
+        check_query_against_schema(good.queries[0], schema) or "none",
+    )
+
+    print("\n== 3. refine over a session ==")
+    session = QuerySession(doc)
+    session.run("query { book as B } construct { r { count(B) } }")
+    session.run(
+        "query { book as B { @year as Y } where Y >= 1995 }"
+        " construct { r { count(B) } }"
+    )
+    session.run(
+        "query { book as B { @year as Y  price as P { text as PT } } "
+        "where Y >= 1995 and PT < 60 } construct { r { count(B) } }"
+    )
+    print(session.summary())
+    print("\ncounts along the refinement:")
+    for cycle in session.history():
+        print(f"  cycle {cycle.index}: {cycle.result.root.text_content()} books")
+
+    session.back()
+    session.back()
+    print(f"\nafter two backs, current cycle: {session.current().index}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Render every catalog figure to SVG (the paper's figure set).
+
+Writes one SVG per paired query and per language into ``figures/`` and
+prints an index.  The gallery is regenerated deterministically — running
+twice produces byte-identical files.
+
+Run with::
+
+    python examples/render_gallery.py [output-dir]
+"""
+
+import os
+import sys
+
+from repro.compare import CATALOG
+from repro.visual import render_svg, wglog_rule_diagram, xmlgl_rule_diagram
+from repro.wglog import parse_rule as parse_wg
+from repro.xmlgl.dsl import parse_rule as parse_xg
+
+
+def main(target: str = "figures") -> None:
+    os.makedirs(target, exist_ok=True)
+    written = []
+    for pair in CATALOG:
+        if pair.xmlgl_source:
+            diagram = xmlgl_rule_diagram(parse_xg(pair.xmlgl_source))
+            path = os.path.join(target, f"{pair.id}-xmlgl.svg")
+            with open(path, "w") as handle:
+                handle.write(render_svg(diagram))
+            written.append((pair.figure, "XML-GL", path))
+        if pair.wglog_source:
+            diagram = wglog_rule_diagram(parse_wg(pair.wglog_source))
+            path = os.path.join(target, f"{pair.id}-wglog.svg")
+            with open(path, "w") as handle:
+                handle.write(render_svg(diagram))
+            written.append((pair.figure, "WG-Log", path))
+    print(f"{len(written)} figures written:")
+    for figure, language, path in written:
+        print(f"  {figure:<8} {language:<7} {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

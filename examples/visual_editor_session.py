@@ -1,0 +1,77 @@
+"""A scripted editing session: drawing a query gesture by gesture.
+
+The paper's systems are *editors*; this example replays what a user would
+do with the mouse — drop boxes, draw arcs, cross one out, annotate a
+predicate, build the construct part — then compiles the drawing into a
+runnable rule, runs it, and saves the figure as SVG.
+
+Run with::
+
+    python examples/visual_editor_session.py
+"""
+
+from repro.ssd import parse_document, pretty
+from repro.visual import XmlglEditor
+from repro.xmlgl import attr, cmp, evaluate_rule
+
+DOC = parse_document(
+    """
+<bib>
+  <book year="2000"><title>Data on the Web</title><author>Abiteboul</author></book>
+  <book year="1994"><title>TCP/IP Illustrated</title><author>Stevens</author>
+      <cdrom/></book>
+  <book year="1999"><title>Economics of Technology</title></book>
+</bib>
+"""
+)
+
+
+def main() -> None:
+    editor = XmlglEditor("books-without-cdrom")
+
+    # gesture 1-3: drop the extract boxes
+    bib = editor.add_element_box("bib", node_id="R", anchored=True)
+    book = editor.add_element_box("book", node_id="B")
+    title = editor.add_element_box("title", node_id="T")
+
+    # gesture 4-5: connect them
+    editor.draw_arc(bib, book)
+    editor.draw_arc(book, title)
+
+    # gesture 6: an attribute circle for the year
+    editor.add_attribute_circle(book, "year", node_id="Y")
+
+    # gesture 7-8: a cdrom box, crossed out (negation)
+    cdrom = editor.add_element_box("cdrom", node_id="C")
+    arc = editor.draw_arc(book, cdrom)
+    editor.cross_out(arc)
+
+    # gesture 9: the predicate annotation
+    editor.annotate_condition(cmp(">=", attr("B", "year"), 1999))
+
+    # oops — undo the predicate, then bring it back
+    editor.undo()
+    editor.redo()
+
+    # gesture 10-12: the construct part
+    result = editor.add_construct_box("modern-books")
+    entry = editor.add_construct_box("entry", parent_shape=result, for_each=["B"])
+    editor.add_copy(entry, "T")
+    editor.add_value_node(entry, "Y")
+
+    # compile the drawing and run it
+    rule = editor.compile()
+    print("== compiled and evaluated ==")
+    print(pretty(evaluate_rule(rule, DOC)))
+
+    # lay the figure out and save it
+    editor.arrange()
+    print("\n== the drawing ==")
+    print(editor.to_ascii())
+    with open("editor_session.svg", "w") as handle:
+        handle.write(editor.to_svg())
+    print("\nSVG written to editor_session.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""WG-Log over a synthetic web site: queries, derivation, recursion.
+
+Reproduces the GraphLog/WG-Log worked examples on generated data:
+schema-checked querying, the sibling-link and root-link derivation rules,
+transitive closure via a two-rule fixpoint, and the aggregation triangle.
+
+Run with::
+
+    python examples/website_wglog.py
+"""
+
+from repro.wglog import apply_program, apply_rule, parse_wglog, query
+from repro.wglog import parse_rule as parse_wg_rule
+from repro.workloads import site_graph, site_schema
+from repro.visual import render_ascii, wglog_rule_diagram
+
+
+def main() -> None:
+    schema = site_schema()
+    site = site_graph(pages=20, seed=7)
+    print(f"site: {site.entity_count()} entities, "
+          f"{sum(1 for _ in site.relationship_edges())} edges")
+    print("schema conformance violations:", schema.conform(site))
+
+    # -- query: big pages reachable from index 0 --------------------------------
+    big = parse_wg_rule("""
+        rule big_pages {
+          match { i: Index  p: Page  i -index-> p }
+          where p.size > 250
+        }
+    """)
+    matches = query(big, site, schema=schema)
+    print(f"\nbig indexed pages: {sorted(b['p'] for b in matches)}")
+
+    # -- derivation: sibling links (GraphLog's classic) ---------------------------
+    sibling = parse_wg_rule("""
+        rule sibling {
+          match { i: Index  p1: Page  p2: Page  i -index-> p1  i -index-> p2 }
+          construct { p1 -sibling-> p2 }
+        }
+    """)
+    print("\nthe sibling rule, as drawn:")
+    print(render_ascii(wglog_rule_diagram(sibling)))
+    added = apply_rule(site, sibling, injective=True)
+    print(f"sibling edges derived: {added}")
+
+    # -- forall-negation: leaves (pages linking nowhere) ---------------------------
+    leaf = parse_wg_rule("""
+        rule leaf {
+          match { p: Page  t: Page  no p -link-> t }
+          construct { p.leaf = 'yes' }
+        }
+    """)
+    apply_rule(site, leaf)
+    leaves = [p for p in site.entities("Page") if site.slot_value(p, "leaf")]
+    print(f"leaf pages: {len(leaves)} of {len(site.entities('Page'))}")
+
+    # -- recursion: reachability closure over link edges ----------------------------
+    _, closure_rules = parse_wglog("""
+        rule base {
+          match { a: Page  b: Page  a -link-> b }
+          construct { a -reach-> b }
+        }
+        rule step {
+          match { a: Page  b: Page  c: Page  a -reach-> b  b -link-> c }
+          construct { a -reach-> c }
+        }
+    """)
+    added = apply_program(site, closure_rules)
+    reach = sum(1 for e in site.relationship_edges() if e.label == "reach")
+    print(f"\ntransitive closure: {added} additions, {reach} reach edges")
+
+    # -- the aggregation triangle: collect all big pages ----------------------------
+    collect = parse_wg_rule("""
+        rule hotlist {
+          match { p: Page }
+          construct { h: HotList collect  h -member-> p }
+          where p.size > 400
+        }
+    """)
+    apply_rule(site, collect)
+    for hotlist in site.entities("HotList"):
+        members = site.relationships(hotlist, "member")
+        print(f"\nhotlist {hotlist}: {len(members)} members")
+
+
+if __name__ == "__main__":
+    main()

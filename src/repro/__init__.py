@@ -1,0 +1,17 @@
+"""repro — Graphical Query Languages for Semi-Structured Information.
+
+A full reproduction of the system described in the EDBT 2000 paper of the
+same title: the two graph-based graphical query languages **XML-GL**
+(schema-optional, for XML) and **WG-Log** (schema-based, G-Log-derived, for
+WWW-style graph data), together with every substrate they need — an XML data
+model and parser, DTD validation, a generic graph-pattern matcher, a shared
+condition/binding engine, a headless visual (diagram) layer, and an
+executable comparison framework.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+from .session import QueryCycle, QuerySession
+
+__all__ = ["errors", "QuerySession", "QueryCycle", "__version__"]

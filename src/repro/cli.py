@@ -1,0 +1,288 @@
+"""Command-line interface.
+
+Everything the library does, scriptable from a shell::
+
+    python -m repro xmlgl rule.xgl data.xml            # run a query
+    python -m repro xmlgl rule.xgl a.xml --source b=c.xml
+    python -m repro wglog rules.wgl data.xml --apply   # generative semantics
+    python -m repro render rule.xgl -o figure.svg      # draw the query
+    python -m repro validate data.xml --dtd schema.dtd
+    python -m repro compare --entries 30               # TAB-1 + FIG-Q* report
+
+Rule files hold the textual DSLs of :mod:`repro.xmlgl.dsl` /
+:mod:`repro.wglog.dsl`; exit status is non-zero on errors and on failed
+validation, so the commands compose in shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the tests and for --help docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graphical query languages for semi-structured data "
+        "(XML-GL and WG-Log).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    xmlgl = commands.add_parser("xmlgl", help="run an XML-GL rule or program")
+    xmlgl.add_argument("rule", help="rule/program file (XML-GL DSL)")
+    xmlgl.add_argument("document", nargs="?", help="input XML document")
+    xmlgl.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="named source document (repeatable)",
+    )
+    xmlgl.add_argument("--compact", action="store_true", help="no pretty printing")
+
+    wglog = commands.add_parser("wglog", help="run WG-Log rules over bridged XML")
+    wglog.add_argument("rules", help="rules file (WG-Log DSL, optional schema block)")
+    wglog.add_argument("document", help="input XML document (bridged to a graph)")
+    wglog.add_argument(
+        "--apply", action="store_true",
+        help="apply rules generatively (fixpoint) and print the instance",
+    )
+    wglog.add_argument(
+        "--no-schema-check", action="store_true",
+        help="skip checking rules against the file's schema block",
+    )
+
+    render = commands.add_parser("render", help="render a rule as SVG/ASCII")
+    render.add_argument("rule", help="rule file (either DSL)")
+    render.add_argument(
+        "--lang", choices=("xmlgl", "wglog"), default="xmlgl",
+        help="which language the file is written in",
+    )
+    render.add_argument("-o", "--output", help="SVG output path (default: stdout ASCII)")
+
+    validate = commands.add_parser("validate", help="validate XML against a DTD")
+    validate.add_argument("document", help="input XML document")
+    validate.add_argument("--dtd", required=True, help="DTD file")
+    validate.add_argument(
+        "--as-xmlgl", action="store_true",
+        help="translate the DTD to an XML-GL schema graph and validate with it",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="print TAB-1 and the paired-query agreement report"
+    )
+    compare.add_argument("--entries", type=int, default=30, help="dataset size")
+    compare.add_argument("--seed", type=int, default=3, help="dataset seed")
+
+    fmt = commands.add_parser(
+        "fmt", help="reprint a rule file in canonical DSL form"
+    )
+    fmt.add_argument("rule", help="rule/program file")
+    fmt.add_argument(
+        "--lang", choices=("xmlgl", "wglog"), default="xmlgl",
+        help="which language the file is written in",
+    )
+
+    infer = commands.add_parser(
+        "infer", help="infer a schema from XML documents (DataGuide-style)"
+    )
+    infer.add_argument("documents", nargs="+", help="sample XML documents")
+    infer.add_argument(
+        "--dtd", action="store_true",
+        help="emit DTD text instead of the XML-GL schema description",
+    )
+    infer.add_argument(
+        "--wglog", action="store_true",
+        help="bridge the first document to a graph and infer a WG-Log schema",
+    )
+
+    return parser
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_document(path: str):
+    from .ssd import parse_document
+
+    return parse_document(_read(path))
+
+
+def _cmd_xmlgl(args: argparse.Namespace, out) -> int:
+    from .ssd import pretty, serialize
+    from .xmlgl import evaluate_program
+    from .xmlgl.dsl import parse_program
+
+    program = parse_program(_read(args.rule))
+    sources: dict = {}
+    for spec in args.source:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--source expects NAME=FILE, got {spec!r}", file=sys.stderr)
+            return 2
+        sources[name] = _load_document(path)
+    if args.document:
+        if sources:
+            sources.setdefault("input", _load_document(args.document))
+        else:
+            sources = _load_document(args.document)
+    elif not sources:
+        print("no input document given", file=sys.stderr)
+        return 2
+    result = evaluate_program(program, sources)
+    print(serialize(result) if args.compact else pretty(result), file=out)
+    return 0
+
+
+def _cmd_wglog(args: argparse.Namespace, out) -> int:
+    from .wglog import apply_program, document_to_instance, query
+    from .wglog.dsl import parse_wglog
+
+    schema, rules = parse_wglog(_read(args.rules))
+    if args.no_schema_check:
+        schema = None
+    instance, _ = document_to_instance(_load_document(args.document))
+    if args.apply:
+        added = apply_program(instance, rules, schema=schema)
+        print(f"# additions: {added}", file=out)
+        print(instance.describe(), file=out)
+        return 0
+    for rule in rules:
+        bindings = query(rule, instance, schema=schema)
+        print(f"# rule {rule.name or '?'}: {len(bindings)} matches", file=out)
+        for binding in bindings:
+            row = ", ".join(f"{k}={binding[k]}" for k in sorted(binding))
+            print(f"  {row}", file=out)
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace, out) -> int:
+    from .visual import (
+        render_ascii,
+        render_svg,
+        wglog_rule_diagram,
+        xmlgl_rule_diagram,
+    )
+
+    if args.lang == "xmlgl":
+        from .xmlgl.dsl import parse_rule
+
+        diagram = xmlgl_rule_diagram(parse_rule(_read(args.rule)))
+    else:
+        from .wglog.dsl import parse_wglog
+
+        _, rules = parse_wglog(_read(args.rule))
+        diagram = wglog_rule_diagram(rules[0])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_svg(diagram))
+        print(f"wrote {args.output}", file=out)
+    else:
+        print(render_ascii(diagram), file=out)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace, out) -> int:
+    from .ssd import parse_dtd, validate
+
+    document = _load_document(args.document)
+    dtd = parse_dtd(_read(args.dtd))
+    if args.as_xmlgl:
+        from .xmlgl.schema import dtd_to_schema
+
+        root = document.root.tag if document.root is not None else ""
+        schema, notes = dtd_to_schema(dtd, root)
+        for note in notes:
+            print(f"# note: {note}", file=out)
+        violations = schema.validate(document)
+    else:
+        violations = validate(document, dtd)
+    for violation in violations:
+        print(violation, file=out)
+    print(f"# {len(violations)} violation(s)", file=out)
+    return 1 if violations else 0
+
+
+def _cmd_compare(args: argparse.Namespace, out) -> int:
+    from .compare import compare_catalog, render_matrix, report
+    from .workloads import bibliography
+
+    print(render_matrix(), file=out)
+    print(file=out)
+    results = compare_catalog(bibliography(args.entries, seed=args.seed))
+    print(report(results), file=out)
+    disagreements = [r for r in results if r.comparable and not r.agree]
+    return 1 if disagreements else 0
+
+
+def _cmd_fmt(args: argparse.Namespace, out) -> int:
+    if args.lang == "xmlgl":
+        from .xmlgl.dsl import parse_program
+        from .xmlgl.unparse import unparse_program
+
+        print(unparse_program(parse_program(_read(args.rule))), file=out)
+    else:
+        from .wglog.dsl import parse_wglog
+        from .wglog.unparse import unparse_wglog
+
+        schema, rules = parse_wglog(_read(args.rule))
+        print(unparse_wglog(schema, rules), file=out)
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace, out) -> int:
+    if args.wglog:
+        from .wglog import document_to_instance
+        from .wglog.schema import infer_wg_schema
+
+        instance, _ = document_to_instance(_load_document(args.documents[0]))
+        print(infer_wg_schema(instance).describe(), file=out)
+        return 0
+    from .ssd import infer_schema
+
+    schema = infer_schema([_load_document(path) for path in args.documents])
+    if args.dtd:
+        from .xmlgl.schema import schema_to_dtd
+
+        text, notes = schema_to_dtd(schema)
+        for note in notes:
+            print(f"# note: {note}", file=out)
+        print(text, file=out)
+    else:
+        print(schema.describe(), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the exit status."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "xmlgl": _cmd_xmlgl,
+        "wglog": _cmd_wglog,
+        "render": _cmd_render,
+        "validate": _cmd_validate,
+        "compare": _cmd_compare,
+        "infer": _cmd_infer,
+        "fmt": _cmd_fmt,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): not an error
+        return 0

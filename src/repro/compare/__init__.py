@@ -1,0 +1,16 @@
+"""The executable comparison framework (the paper's contribution as code).
+
+* :mod:`repro.compare.catalog` — the paired-query catalog (FIG-Q*);
+* :mod:`repro.compare.equivalence` — run both languages, check agreement;
+* :mod:`repro.compare.features` — the computed expressiveness table (TAB-1).
+"""
+
+from .catalog import CATALOG, PairedQuery, run_wglog_side, run_xmlgl_side
+from .equivalence import ComparisonResult, compare_catalog, compare_pair, report
+from .features import FEATURES, Feature, Support, feature_matrix, render_matrix
+
+__all__ = [
+    "CATALOG", "PairedQuery", "run_xmlgl_side", "run_wglog_side",
+    "ComparisonResult", "compare_pair", "compare_catalog", "report",
+    "FEATURES", "Feature", "Support", "feature_matrix", "render_matrix",
+]

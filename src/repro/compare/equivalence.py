@@ -1,0 +1,93 @@
+"""Cross-language equivalence runner.
+
+Executes every catalog pair over one dataset (the XML document for XML-GL,
+its bridged instance graph for WG-Log) and reports, per pair, whether the
+two languages produced the same canonical value.  Pairs expressible in
+only one language are reported as such — those rows feed the
+expressiveness table rather than the agreement check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ssd.model import Document
+from ..wglog.bridge import document_to_instance
+from ..wglog.data import InstanceGraph
+from .catalog import CATALOG, PairedQuery, run_wglog_side, run_xmlgl_side
+
+__all__ = ["ComparisonResult", "compare_pair", "compare_catalog", "report"]
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of running one pair on one dataset."""
+
+    pair: PairedQuery
+    xmlgl_value: Optional[tuple]
+    wglog_value: Optional[tuple]
+    xmlgl_seconds: Optional[float]
+    wglog_seconds: Optional[float]
+
+    @property
+    def comparable(self) -> bool:
+        """Both sides expressible and extracted."""
+        return self.xmlgl_value is not None and self.wglog_value is not None
+
+    @property
+    def agree(self) -> bool:
+        """Same canonical value on both sides (False when incomparable)."""
+        return self.comparable and self.xmlgl_value == self.wglog_value
+
+    def status(self) -> str:
+        """One-word row status for the report."""
+        if self.agree:
+            return "AGREE"
+        if self.comparable:
+            return "DISAGREE"
+        if self.xmlgl_value is not None:
+            return "XML-GL-ONLY"
+        if self.wglog_value is not None:
+            return "WG-LOG-ONLY"
+        return "NEITHER"
+
+
+def compare_pair(
+    pair: PairedQuery, doc: Document, instance: InstanceGraph
+) -> ComparisonResult:
+    """Run one pair on a prepared document/instance pair."""
+    xmlgl_value = xmlgl_seconds = None
+    if pair.xmlgl_source is not None and pair.xmlgl_extract is not None:
+        start = time.perf_counter()
+        xmlgl_value = run_xmlgl_side(pair, doc)
+        xmlgl_seconds = time.perf_counter() - start
+    wglog_value = wglog_seconds = None
+    if pair.wglog_source is not None and pair.wglog_extract is not None:
+        start = time.perf_counter()
+        wglog_value = run_wglog_side(pair, instance)
+        wglog_seconds = time.perf_counter() - start
+    return ComparisonResult(pair, xmlgl_value, wglog_value, xmlgl_seconds, wglog_seconds)
+
+
+def compare_catalog(doc: Document) -> list[ComparisonResult]:
+    """Run the whole catalog over one document (bridged once)."""
+    instance, _ = document_to_instance(doc)
+    return [compare_pair(pair, doc, instance) for pair in CATALOG]
+
+
+def report(results: list[ComparisonResult]) -> str:
+    """Human-readable comparison table."""
+    lines = [
+        f"{'pair':<18} {'figure':<8} {'status':<12} {'xml-gl':>9} {'wg-log':>9}",
+        "-" * 60,
+    ]
+    for result in results:
+        xg = f"{result.xmlgl_seconds * 1000:.1f}ms" if result.xmlgl_seconds else "-"
+        wg = f"{result.wglog_seconds * 1000:.1f}ms" if result.wglog_seconds else "-"
+        lines.append(
+            f"{result.pair.id:<18} {result.pair.figure:<8} "
+            f"{result.status():<12} {xg:>9} {wg:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Shared query-evaluation machinery: bindings, conditions, indexes, planning."""
+
+from .bindings import Binding, BindingSet, value_key
+from .conditions import (
+    And,
+    Arith,
+    AttributeOf,
+    Comparison,
+    Condition,
+    Const,
+    ContentOf,
+    DocumentAccessor,
+    NameOf,
+    Not,
+    Operand,
+    Or,
+    Regex,
+    TRUE,
+    condition_variables,
+)
+from .index import DocumentIndex
+from .planner import plan_order
+from .stats import EvalStats
+
+__all__ = [
+    "Binding", "BindingSet", "value_key",
+    "Const", "ContentOf", "AttributeOf", "NameOf", "Arith",
+    "Comparison", "Regex", "And", "Or", "Not", "TRUE",
+    "Condition", "Operand", "DocumentAccessor", "condition_variables",
+    "DocumentIndex", "plan_order", "EvalStats",
+]

@@ -1,0 +1,203 @@
+"""Variable bindings as relations.
+
+A query match produces a :class:`Binding` — an immutable mapping from
+variable names to bound values (document nodes, graph node ids, or atomic
+values).  A :class:`BindingSet` is an ordered collection of bindings over a
+common variable set and supports the relational operations the construction
+side needs: projection, selection, natural join, union, difference, grouping
+and duplicate elimination.
+
+Bound values may be unhashable or compare by identity (document nodes), so
+set-like operations key on value *identity keys* computed by
+:func:`value_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+__all__ = ["Binding", "BindingSet", "value_key"]
+
+
+def value_key(value: Any) -> Any:
+    """A hashable key identifying a bound value.
+
+    Document/graph nodes are identified by ``id()`` (binding semantics are
+    by occurrence, not by structural equality); atomic values by themselves.
+    """
+    if isinstance(value, (str, int, float, bool, frozenset, tuple)) or value is None:
+        return value
+    return id(value)
+
+
+class Binding(Mapping[str, Any]):
+    """One immutable variable assignment."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Mapping[str, Any]] = None) -> None:
+        self._values: dict[str, Any] = dict(values or {})
+
+    # Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, variable: str) -> Any:
+        return self._values[variable]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # Operations --------------------------------------------------------------
+
+    def extended(self, variable: str, value: Any) -> "Binding":
+        """A new binding with one extra variable (must be fresh)."""
+        if variable in self._values:
+            raise KeyError(f"variable {variable!r} already bound")
+        merged = dict(self._values)
+        merged[variable] = value
+        return Binding(merged)
+
+    def project(self, variables: Iterable[str]) -> "Binding":
+        """Restriction to ``variables`` (missing ones are an error)."""
+        return Binding({v: self._values[v] for v in variables})
+
+    def compatible(self, other: "Binding") -> bool:
+        """True when shared variables agree (by identity key)."""
+        for variable in self._values.keys() & other._values.keys():
+            if value_key(self._values[variable]) != value_key(other._values[variable]):
+                return False
+        return True
+
+    def merged(self, other: "Binding") -> "Binding":
+        """Union of two compatible bindings."""
+        merged = dict(self._values)
+        merged.update(other._values)
+        return Binding(merged)
+
+    def key(self, variables: Optional[Iterable[str]] = None) -> tuple:
+        """Hashable identity of this binding (over ``variables`` or all)."""
+        names = sorted(variables if variables is not None else self._values)
+        return tuple((n, value_key(self._values[n])) for n in names)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Binding({inner})"
+
+
+class BindingSet:
+    """An ordered bag of bindings supporting relational operations."""
+
+    def __init__(self, bindings: Optional[Iterable[Binding]] = None) -> None:
+        self._bindings: list[Binding] = list(bindings or [])
+
+    # -- basics ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __bool__(self) -> bool:
+        return bool(self._bindings)
+
+    def __getitem__(self, index: int) -> Binding:
+        return self._bindings[index]
+
+    def add(self, binding: Binding) -> None:
+        """Append one binding."""
+        self._bindings.append(binding)
+
+    def variables(self) -> set[str]:
+        """Union of variable names over all bindings."""
+        names: set[str] = set()
+        for binding in self._bindings:
+            names |= set(binding)
+        return names
+
+    # -- relational algebra -----------------------------------------------------
+
+    def select(self, predicate: Callable[[Binding], bool]) -> "BindingSet":
+        """Bindings satisfying ``predicate``."""
+        return BindingSet(b for b in self._bindings if predicate(b))
+
+    def project(self, variables: Iterable[str]) -> "BindingSet":
+        """Project every binding onto ``variables`` (keeps duplicates)."""
+        names = list(variables)
+        return BindingSet(b.project(names) for b in self._bindings)
+
+    def join(self, other: "BindingSet") -> "BindingSet":
+        """Natural join on shared variables (hash join)."""
+        if not self._bindings or not other._bindings:
+            return BindingSet()
+        shared = sorted(self.variables() & other.variables())
+        if not shared:
+            return BindingSet(
+                a.merged(b) for a in self._bindings for b in other._bindings
+            )
+        table: dict[tuple, list[Binding]] = {}
+        for binding in self._bindings:
+            table.setdefault(binding.key(shared), []).append(binding)
+        joined = BindingSet()
+        for other_binding in other._bindings:
+            for mine in table.get(other_binding.key(shared), ()):
+                joined.add(mine.merged(other_binding))
+        return joined
+
+    def union(self, other: "BindingSet") -> "BindingSet":
+        """Bag union preserving order."""
+        return BindingSet([*self._bindings, *other._bindings])
+
+    def minus(self, other: "BindingSet") -> "BindingSet":
+        """Bindings whose shared-variable restriction is absent from ``other``.
+
+        This is the anti-join used by negated subpatterns.
+        """
+        shared = sorted(self.variables() & other.variables())
+        if not shared:
+            return BindingSet() if other._bindings else BindingSet(self._bindings)
+        present = {b.key(shared) for b in other._bindings}
+        return BindingSet(
+            b for b in self._bindings if b.key(shared) not in present
+        )
+
+    def distinct(self, variables: Optional[Iterable[str]] = None) -> "BindingSet":
+        """Duplicate elimination by identity key (over all or given vars)."""
+        names = list(variables) if variables is not None else None
+        seen: set[tuple] = set()
+        result = BindingSet()
+        for binding in self._bindings:
+            key = binding.key(names if names is not None else None)
+            if key not in seen:
+                seen.add(key)
+                result.add(binding)
+        return result
+
+    def group_by(self, variables: Iterable[str]) -> list[tuple[Binding, "BindingSet"]]:
+        """Partition into groups sharing values on ``variables``.
+
+        Returns (group-key binding, member set) pairs in first-seen order.
+        """
+        names = list(variables)
+        groups: dict[tuple, tuple[Binding, BindingSet]] = {}
+        for binding in self._bindings:
+            key = binding.key(names)
+            if key not in groups:
+                groups[key] = (binding.project(names), BindingSet())
+            groups[key][1].add(binding)
+        return list(groups.values())
+
+    def order_by(
+        self, sort_key: Callable[[Binding], Any], reverse: bool = False
+    ) -> "BindingSet":
+        """Stable sort by ``sort_key``."""
+        return BindingSet(sorted(self._bindings, key=sort_key, reverse=reverse))
+
+    def values(self, variable: str) -> list[Any]:
+        """The value bound to ``variable`` in each binding (in order)."""
+        return [b[variable] for b in self._bindings]
+
+    def __repr__(self) -> str:
+        return f"BindingSet({len(self._bindings)} bindings over {sorted(self.variables())})"

@@ -1,0 +1,332 @@
+"""Predicate AST for query conditions.
+
+Graphical queries annotate pattern nodes with predicates ("price < 50",
+"year = 1999", name wildcards).  This module defines a small expression
+tree shared by both languages:
+
+* operands — constants, the textual *content* of a bound node, a named
+  *attribute* of a bound node, the *name* (tag/label) of a bound node, and
+  arithmetic over operands;
+* conditions — comparisons over operands, regular-expression match,
+  conjunction, disjunction and negation.
+
+Evaluation is against a :class:`~repro.engine.bindings.Binding` plus a
+:class:`ValueAccessor` that knows how to read content/attributes/names from
+whatever node type the host language binds (XML elements, G-Log nodes).
+Type mismatches (ordering a number against a word) make the enclosing
+comparison *false* rather than raising, matching the filter semantics of
+query languages.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol, Union
+
+from ..errors import EvaluationError
+from ..ssd.datatypes import coerce, compare, equal_atoms
+from ..ssd.model import Element
+from .bindings import Binding
+
+__all__ = [
+    "ValueAccessor",
+    "DocumentAccessor",
+    "Const",
+    "ContentOf",
+    "AttributeOf",
+    "NameOf",
+    "Arith",
+    "Comparison",
+    "Regex",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "condition_variables",
+    "Operand",
+    "Condition",
+]
+
+
+class ValueAccessor(Protocol):
+    """Reads atomic views of bound nodes for condition evaluation."""
+
+    def content(self, value: Any) -> Any:
+        """Textual/atomic content of a bound node."""
+
+    def attribute(self, value: Any, name: str) -> Optional[Any]:
+        """Named attribute of a bound node, or ``None``."""
+
+    def name(self, value: Any) -> str:
+        """Tag / label of a bound node."""
+
+
+class DocumentAccessor:
+    """Default accessor for XML :class:`~repro.ssd.model.Element` bindings."""
+
+    def content(self, value: Any) -> Any:
+        if isinstance(value, Element):
+            return value.text_content()
+        return value
+
+    def attribute(self, value: Any, name: str) -> Optional[Any]:
+        if isinstance(value, Element):
+            return value.get(name)
+        return None
+
+    def name(self, value: Any) -> str:
+        if isinstance(value, Element):
+            return value.tag
+        raise EvaluationError(f"value {value!r} has no name")
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Const:
+    """A literal value."""
+
+    value: Any
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ContentOf:
+    """Textual content of the node bound to ``variable``."""
+
+    variable: str
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> Any:
+        return accessor.content(binding[self.variable])
+
+    def __str__(self) -> str:
+        return self.variable
+
+
+@dataclass(frozen=True)
+class AttributeOf:
+    """Attribute ``name`` of the node bound to ``variable``."""
+
+    variable: str
+    name: str
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> Any:
+        return accessor.attribute(binding[self.variable], self.name)
+
+    def __str__(self) -> str:
+        return f"{self.variable}.{self.name}"
+
+
+@dataclass(frozen=True)
+class NameOf:
+    """Tag / label of the node bound to ``variable``."""
+
+    variable: str
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> Any:
+        return accessor.name(binding[self.variable])
+
+    def __str__(self) -> str:
+        return f"name({self.variable})"
+
+
+_ARITH_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arith:
+    """Arithmetic over two operands (operands coerced to numbers)."""
+
+    op: str
+    left: "Operand"
+    right: "Operand"
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise EvaluationError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> Any:
+        left = coerce(self.left.evaluate(binding, accessor))
+        right = coerce(self.right.evaluate(binding, accessor))
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise TypeError(f"arithmetic on non-numbers: {left!r} {self.op} {right!r}")
+        try:
+            return _ARITH_OPS[self.op](left, right)
+        except ZeroDivisionError:
+            raise TypeError("division by zero")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Operand = Union[Const, ContentOf, AttributeOf, NameOf, Arith]
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with the paper's loose typing.
+
+    Equality uses :func:`~repro.ssd.datatypes.equal_atoms`; ordering uses
+    :func:`~repro.ssd.datatypes.compare`.  A ``None`` operand (missing
+    attribute) or a type mismatch makes the comparison false.
+    """
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise EvaluationError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> bool:
+        try:
+            left = self.left.evaluate(binding, accessor)
+            right = self.right.evaluate(binding, accessor)
+        except (TypeError, KeyError):
+            return False
+        if left is None or right is None:
+            return False
+        if self.op == "=":
+            return equal_atoms(left, right)
+        if self.op == "!=":
+            return not equal_atoms(left, right)
+        try:
+            delta = compare(left, right)
+        except TypeError:
+            return False
+        if self.op == "<":
+            return delta < 0
+        if self.op == "<=":
+            return delta <= 0
+        if self.op == ">":
+            return delta > 0
+        return delta >= 0
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Full-match of a regular expression against an operand's text."""
+
+    operand: Operand
+    pattern: str
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> bool:
+        try:
+            value = self.operand.evaluate(binding, accessor)
+        except (TypeError, KeyError):
+            return False
+        if value is None:
+            return False
+        return re.fullmatch(self.pattern, str(value)) is not None
+
+    def __str__(self) -> str:
+        return f"{self.operand} ~ /{self.pattern}/"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of conditions."""
+
+    conditions: tuple["Condition", ...]
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> bool:
+        return all(c.evaluate(binding, accessor) for c in self.conditions)
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(c) for c in self.conditions) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of conditions."""
+
+    conditions: tuple["Condition", ...]
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> bool:
+        return any(c.evaluate(binding, accessor) for c in self.conditions)
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(c) for c in self.conditions) + ")"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation of a condition."""
+
+    condition: "Condition"
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> bool:
+        return not self.condition.evaluate(binding, accessor)
+
+    def __str__(self) -> str:
+        return f"not {self.condition}"
+
+
+@dataclass(frozen=True)
+class _True:
+    """The always-true condition (useful default)."""
+
+    def evaluate(self, binding: Binding, accessor: ValueAccessor) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+TRUE = _True()
+
+Condition = Union[Comparison, Regex, And, Or, Not, _True]
+
+
+def condition_variables(condition: "Condition") -> set[str]:
+    """The set of binding variables a condition reads."""
+
+    def of_operand(operand: Operand) -> set[str]:
+        if isinstance(operand, Const):
+            return set()
+        if isinstance(operand, (ContentOf, NameOf)):
+            return {operand.variable}
+        if isinstance(operand, AttributeOf):
+            return {operand.variable}
+        if isinstance(operand, Arith):
+            return of_operand(operand.left) | of_operand(operand.right)
+        raise EvaluationError(f"unknown operand {operand!r}")
+
+    if isinstance(condition, Comparison):
+        return of_operand(condition.left) | of_operand(condition.right)
+    if isinstance(condition, Regex):
+        return of_operand(condition.operand)
+    if isinstance(condition, (And, Or)):
+        result: set[str] = set()
+        for sub in condition.conditions:
+            result |= condition_variables(sub)
+        return result
+    if isinstance(condition, Not):
+        return condition_variables(condition.condition)
+    if isinstance(condition, _True):
+        return set()
+    raise EvaluationError(f"unknown condition {condition!r}")

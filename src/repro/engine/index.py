@@ -1,0 +1,79 @@
+"""Document indexes for query evaluation.
+
+The XML-GL matcher scans documents for elements matching pattern nodes; a
+:class:`DocumentIndex` turns those scans into hash lookups and supplies the
+label frequencies the planner's selectivity estimates use.  Indexes are
+built once per document and are immutable snapshots — mutate the document
+and you rebuild (the engines treat documents as frozen during evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..ssd.model import Document, Element
+
+__all__ = ["DocumentIndex"]
+
+
+class DocumentIndex:
+    """Label / attribute / position index over one document."""
+
+    def __init__(self, document: Document) -> None:
+        self._document = document
+        self._by_tag: dict[str, list[Element]] = {}
+        self._by_attribute: dict[str, list[Element]] = {}
+        self._positions: dict[int, int] = {}
+        self._element_count = 0
+        for position, element in enumerate(document.iter()):
+            self._element_count += 1
+            self._by_tag.setdefault(element.tag, []).append(element)
+            self._positions[id(element)] = position
+            for name in element.attributes:
+                self._by_attribute.setdefault(name, []).append(element)
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def document(self) -> Document:
+        """The indexed document."""
+        return self._document
+
+    def elements_with_tag(self, tag: str) -> list[Element]:
+        """All elements with ``tag``, document order."""
+        return self._by_tag.get(tag, [])
+
+    def elements_with_attribute(self, name: str) -> list[Element]:
+        """All elements carrying attribute ``name``, document order."""
+        return self._by_attribute.get(name, [])
+
+    def all_elements(self) -> Iterator[Element]:
+        """Every element, document order."""
+        return self._document.iter()
+
+    def position(self, element: Element) -> int:
+        """Document-order position of ``element`` (elements only)."""
+        return self._positions[id(element)]
+
+    # -- statistics -----------------------------------------------------------
+
+    def element_count(self) -> int:
+        """Total number of elements."""
+        return self._element_count
+
+    def tag_count(self, tag: str) -> int:
+        """Number of elements with ``tag``."""
+        return len(self._by_tag.get(tag, ()))
+
+    def tags(self) -> set[str]:
+        """The set of tags occurring in the document."""
+        return set(self._by_tag)
+
+    def selectivity(self, tag: Optional[str]) -> int:
+        """Estimated candidate count for a pattern node.
+
+        ``None`` (wildcard) costs the whole document.
+        """
+        if tag is None:
+            return self._element_count
+        return self.tag_count(tag)

@@ -1,0 +1,62 @@
+"""Match-order planning.
+
+Backtracking pattern matching is exponentially sensitive to the order in
+which pattern nodes are assigned.  The planner picks an order that is
+
+1. *selective first* — start from the pattern node with the fewest data
+   candidates (estimated from index label counts), and
+2. *connected* — every subsequent node is adjacent to an already-planned
+   node whenever the pattern is connected, so structural checks prune as
+   early as possible.
+
+The planner is deliberately engine-agnostic: it sees pattern nodes as
+opaque ids with a candidate-count estimate and an adjacency relation, so
+the XML-GL document matcher and the WG-Log graph matcher share it.  The
+``enabled=False`` path preserves the input order — that is the ablation
+baseline (EXT-A1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+__all__ = ["plan_order"]
+
+NodeId = Hashable
+
+
+def plan_order(
+    nodes: Sequence[NodeId],
+    estimate: Callable[[NodeId], int],
+    adjacency: Mapping[NodeId, Iterable[NodeId]],
+    enabled: bool = True,
+) -> list[NodeId]:
+    """Choose an assignment order for pattern nodes.
+
+    Args:
+        nodes: the pattern node ids to order.
+        estimate: candidate-count estimate per node (lower = more selective).
+        adjacency: undirected pattern adjacency (ids absent from the map are
+            treated as isolated).
+        enabled: when false, return ``nodes`` unchanged (planner ablation).
+
+    Returns:
+        A list containing every id from ``nodes`` exactly once.
+    """
+    if not enabled:
+        return list(nodes)
+    remaining = list(nodes)
+    estimates = {node: estimate(node) for node in remaining}
+    order: list[NodeId] = []
+    placed: set[NodeId] = set()
+
+    while remaining:
+        def rank(node: NodeId) -> tuple:
+            attached = sum(1 for n in adjacency.get(node, ()) if n in placed)
+            return (-attached, estimates[node])
+
+        best = min(remaining, key=rank)
+        order.append(best)
+        placed.add(best)
+        remaining.remove(best)
+    return order

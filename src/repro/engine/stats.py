@@ -1,0 +1,55 @@
+"""Evaluation statistics.
+
+Both engines thread an :class:`EvalStats` object through matching so
+benchmarks and the ablation study can report *work done* (candidates tried,
+bindings produced) rather than wall-clock time alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EvalStats"]
+
+
+@dataclass
+class EvalStats:
+    """Counters accumulated during one query evaluation."""
+
+    candidates_tried: int = 0
+    edge_checks: int = 0
+    condition_checks: int = 0
+    bindings_produced: int = 0
+    index_lookups: int = 0
+    full_scans: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named ad-hoc counter."""
+        self.extra[counter] = self.extra.get(counter, 0) + amount
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dict of every counter (for reports)."""
+        base = {
+            "candidates_tried": self.candidates_tried,
+            "edge_checks": self.edge_checks,
+            "condition_checks": self.condition_checks,
+            "bindings_produced": self.bindings_produced,
+            "index_lookups": self.index_lookups,
+            "full_scans": self.full_scans,
+        }
+        base.update(self.extra)
+        return base
+
+    def __add__(self, other: "EvalStats") -> "EvalStats":
+        merged = EvalStats(
+            candidates_tried=self.candidates_tried + other.candidates_tried,
+            edge_checks=self.edge_checks + other.edge_checks,
+            condition_checks=self.condition_checks + other.condition_checks,
+            bindings_produced=self.bindings_produced + other.bindings_produced,
+            index_lookups=self.index_lookups + other.index_lookups,
+            full_scans=self.full_scans + other.full_scans,
+        )
+        for key in set(self.extra) | set(other.extra):
+            merged.extra[key] = self.extra.get(key, 0) + other.extra.get(key, 0)
+        return merged

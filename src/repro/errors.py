@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class.  Parsing errors carry source positions; semantic
+errors carry the offending construct where that helps diagnosis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library errors."""
+
+
+class XmlSyntaxError(ReproError):
+    """Raised by the XML lexer/parser on malformed input.
+
+    Attributes:
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DtdError(ReproError):
+    """Raised on malformed DTD declarations or ambiguous content models."""
+
+
+class ValidationError(ReproError):
+    """Raised (or collected) when an instance violates a schema or DTD."""
+
+
+class QuerySyntaxError(ReproError):
+    """Raised by the XML-GL / WG-Log textual DSL parsers."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class QueryStructureError(ReproError):
+    """Raised when a query graph is structurally ill-formed.
+
+    Examples: a construction triangle with no source, a crossed edge in a
+    construct part, a WG-Log green node with no red anchor, cyclic containment.
+    """
+
+
+class SchemaError(ReproError):
+    """Raised when a schema graph itself is ill-formed."""
+
+
+class EvaluationError(ReproError):
+    """Raised when query evaluation cannot proceed (bad condition types, etc.)."""
+
+
+class DiagramError(ReproError):
+    """Raised by the visual layer: unknown shapes, dangling connectors, etc."""
+
+
+class BridgeError(ReproError):
+    """Raised when XML <-> G-Log bridging meets unsupported constructs."""

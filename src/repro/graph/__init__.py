@@ -1,0 +1,22 @@
+"""Generic graph substrate: labelled multigraphs, traversal, matching."""
+
+from .labeled_graph import Edge, LabeledGraph, NodeData
+from .matching import MatchSpec, count_homomorphisms, find_homomorphisms
+from .traversal import (
+    bfs_order,
+    dfs_order,
+    has_cycle,
+    reachable,
+    reachable_by_labels,
+    shortest_path,
+    topological_order,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "LabeledGraph", "NodeData", "Edge",
+    "MatchSpec", "find_homomorphisms", "count_homomorphisms",
+    "bfs_order", "dfs_order", "reachable", "reachable_by_labels",
+    "has_cycle", "topological_order", "weakly_connected_components",
+    "shortest_path",
+]

@@ -1,0 +1,197 @@
+"""Directed labelled multigraph.
+
+This is the graph substrate shared by the WG-Log data model (instances and
+schemas are labelled graphs) and by the generic pattern matcher.  The library
+ships its own implementation rather than depending on networkx so the
+matching hot path stays free of third-party indirection; networkx is used
+only as a test oracle.
+
+Nodes are identified by caller-chosen hashable ids and carry a *label* (the
+entity/type name) plus an optional atomic *value* (WG-Log prints atomic
+slots inside the node).  Edges are labelled and parallel edges with
+different labels are allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Optional
+
+__all__ = ["NodeData", "Edge", "LabeledGraph"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class NodeData:
+    """Payload of one node: its label and optional atomic value."""
+
+    label: str
+    value: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed labelled edge."""
+
+    source: NodeId
+    target: NodeId
+    label: str
+
+
+class LabeledGraph:
+    """A directed multigraph with labelled nodes and edges."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[NodeId, NodeData] = {}
+        self._out: dict[NodeId, list[Edge]] = {}
+        self._in: dict[NodeId, list[Edge]] = {}
+        self._edge_set: set[Edge] = set()
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(
+        self, node_id: NodeId, label: str, value: Optional[object] = None
+    ) -> NodeId:
+        """Add (or relabel) a node; returns its id."""
+        self._nodes[node_id] = NodeData(label, value)
+        self._out.setdefault(node_id, [])
+        self._in.setdefault(node_id, [])
+        return node_id
+
+    def add_edge(self, source: NodeId, target: NodeId, label: str = "") -> Edge:
+        """Add a directed edge; both endpoints must exist.
+
+        Duplicate (source, target, label) triples are idempotent — the graph
+        is a set of labelled edges.
+        """
+        if source not in self._nodes:
+            raise KeyError(f"unknown source node {source!r}")
+        if target not in self._nodes:
+            raise KeyError(f"unknown target node {target!r}")
+        edge = Edge(source, target, label)
+        if edge not in self._edge_set:
+            self._edge_set.add(edge)
+            self._out[source].append(edge)
+            self._in[target].append(edge)
+        return edge
+
+    def remove_edge(self, edge: Edge) -> None:
+        """Remove one edge; missing edges raise ``KeyError``."""
+        if edge not in self._edge_set:
+            raise KeyError(f"edge not in graph: {edge}")
+        self._edge_set.remove(edge)
+        self._out[edge.source].remove(edge)
+        self._in[edge.target].remove(edge)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node and every incident edge."""
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        for edge in list(self._out[node_id]):
+            self.remove_edge(edge)
+        for edge in list(self._in[node_id]):
+            self.remove_edge(edge)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    # -- inspection -----------------------------------------------------------
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """All node ids (insertion order)."""
+        return iter(self._nodes)
+
+    def node(self, node_id: NodeId) -> NodeData:
+        """Payload of ``node_id``; raises ``KeyError`` when absent."""
+        return self._nodes[node_id]
+
+    def label(self, node_id: NodeId) -> str:
+        """Label of ``node_id``."""
+        return self._nodes[node_id].label
+
+    def value(self, node_id: NodeId) -> Optional[object]:
+        """Atomic value of ``node_id`` (``None`` for non-leaf nodes)."""
+        return self._nodes[node_id].value
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges."""
+        for edges in self._out.values():
+            yield from edges
+
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self._edge_set)
+
+    def has_edge(self, source: NodeId, target: NodeId, label: str = "") -> bool:
+        """True when the exact (source, target, label) edge exists."""
+        return Edge(source, target, label) in self._edge_set
+
+    def out_edges(self, node_id: NodeId, label: Optional[str] = None) -> list[Edge]:
+        """Outgoing edges, optionally filtered by label."""
+        edges = self._out[node_id]
+        if label is None:
+            return list(edges)
+        return [e for e in edges if e.label == label]
+
+    def in_edges(self, node_id: NodeId, label: Optional[str] = None) -> list[Edge]:
+        """Incoming edges, optionally filtered by label."""
+        edges = self._in[node_id]
+        if label is None:
+            return list(edges)
+        return [e for e in edges if e.label == label]
+
+    def successors(self, node_id: NodeId, label: Optional[str] = None) -> list[NodeId]:
+        """Targets of outgoing edges (with duplicates for parallel edges)."""
+        return [e.target for e in self.out_edges(node_id, label)]
+
+    def predecessors(self, node_id: NodeId, label: Optional[str] = None) -> list[NodeId]:
+        """Sources of incoming edges."""
+        return [e.source for e in self.in_edges(node_id, label)]
+
+    def nodes_with_label(self, label: str) -> list[NodeId]:
+        """All node ids carrying ``label``."""
+        return [n for n, data in self._nodes.items() if data.label == label]
+
+    def degree(self, node_id: NodeId) -> int:
+        """Total (in + out) degree."""
+        return len(self._out[node_id]) + len(self._in[node_id])
+
+    # -- bulk -----------------------------------------------------------------
+
+    def copy(self) -> "LabeledGraph":
+        """Shallow-payload deep-structure copy."""
+        clone = LabeledGraph()
+        for node_id, data in self._nodes.items():
+            clone.add_node(node_id, data.label, data.value)
+        for edge in self._edge_set:
+            clone.add_edge(edge.source, edge.target, edge.label)
+        return clone
+
+    def subgraph(self, node_ids: Iterable[NodeId]) -> "LabeledGraph":
+        """Induced subgraph on ``node_ids``."""
+        keep = set(node_ids)
+        sub = LabeledGraph()
+        for node_id in keep:
+            data = self._nodes[node_id]
+            sub.add_node(node_id, data.label, data.value)
+        for edge in self._edge_set:
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(edge.source, edge.target, edge.label)
+        return sub
+
+    def is_subgraph_of(self, other: "LabeledGraph") -> bool:
+        """True when every node (same label/value) and edge also lies in ``other``."""
+        for node_id, data in self._nodes.items():
+            if node_id not in other._nodes or other._nodes[node_id] != data:
+                return False
+        return all(edge in other._edge_set for edge in self._edge_set)
+
+    def __repr__(self) -> str:
+        return f"LabeledGraph(nodes={len(self)}, edges={self.edge_count()})"

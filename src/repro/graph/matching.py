@@ -1,0 +1,244 @@
+"""Constrained subgraph matching.
+
+Both graphical languages reduce to *graph pattern matching*: find all
+mappings of a small pattern graph into a large data graph that preserve
+labels and edges.  This module implements a backtracking matcher with
+
+* candidate pre-filtering by node compatibility (label / value hooks),
+* most-constrained-first variable ordering (fewest candidates, preferring
+  nodes adjacent to already-matched ones),
+* optional injectivity (isomorphic embeddings vs. plain homomorphisms),
+* support for *regular path* pattern edges that match any non-empty
+  directed path in the data graph (WG-Log's dashed edges).
+
+The matcher works on :class:`~repro.graph.labeled_graph.LabeledGraph`
+pattern/data pairs; XML documents are matched by a specialised tree matcher
+in :mod:`repro.xmlgl.matcher` that shares the same ordering ideas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterator, Optional
+
+from .labeled_graph import Edge, LabeledGraph
+from .traversal import reachable_by_labels
+
+__all__ = ["PatternEdgeKind", "MatchSpec", "find_homomorphisms", "count_homomorphisms"]
+
+NodeId = Hashable
+NodeCompat = Callable[[NodeId, NodeId], bool]
+
+
+class PatternEdgeKind:
+    """Edge-matching modes, chosen per pattern-edge label prefix.
+
+    * DIRECT — the pattern edge must map to one data edge with equal label.
+    * PATH — the pattern edge matches any non-empty directed path; declared
+      by :attr:`MatchSpec.path_edges`.  A path edge with a non-empty label
+      only traverses data edges carrying that label (GraphLog's ``label*``);
+      an empty label traverses any edge.
+    """
+
+    DIRECT = "direct"
+    PATH = "path"
+
+
+@dataclass
+class MatchSpec:
+    """Configuration of one matching run.
+
+    Attributes:
+        injective: require distinct pattern nodes to map to distinct data
+            nodes (embedding) instead of allowing collapses (homomorphism).
+        narrow: derive candidate pools from assigned neighbours' adjacency
+            (on by default; disable for the EXT-A1 ablation baseline).
+        node_compat: predicate deciding whether a pattern node may map to a
+            data node.  Defaults to equal labels, with pattern label ``"*"``
+            acting as a wildcard, and equal values whenever the pattern node
+            carries a non-``None`` value.
+        path_edges: set of pattern :class:`Edge` objects to be matched as
+            arbitrary-length directed paths rather than single edges.
+        negated_edges: pattern edges that must **not** have a counterpart in
+            the data graph (crossed-out edges in WG-Log / XML-GL).  Both
+            endpoints must also occur in positive pattern structure.
+    """
+
+    injective: bool = True
+    node_compat: Optional[NodeCompat] = None
+    path_edges: set[Edge] = field(default_factory=set)
+    negated_edges: set[Edge] = field(default_factory=set)
+    narrow: bool = True
+
+
+def _default_compat(pattern: LabeledGraph, data: LabeledGraph) -> NodeCompat:
+    def compat(pnode: NodeId, dnode: NodeId) -> bool:
+        pdata = pattern.node(pnode)
+        ddata = data.node(dnode)
+        if pdata.label != "*" and pdata.label != ddata.label:
+            return False
+        if pdata.value is not None and pdata.value != ddata.value:
+            return False
+        return True
+
+    return compat
+
+
+def find_homomorphisms(
+    pattern: LabeledGraph,
+    data: LabeledGraph,
+    spec: Optional[MatchSpec] = None,
+) -> Iterator[dict[NodeId, NodeId]]:
+    """Yield every mapping of ``pattern`` into ``data`` satisfying ``spec``.
+
+    Mappings are dicts from pattern node ids to data node ids.  The empty
+    pattern yields exactly one empty mapping.
+    """
+    spec = spec or MatchSpec()
+    compat = spec.node_compat or _default_compat(pattern, data)
+    positive_edges = [
+        e for e in pattern.edges() if e not in spec.negated_edges
+    ]
+    pattern_nodes = list(pattern.nodes())
+    if not pattern_nodes:
+        yield {}
+        return
+
+    # Candidate lists per pattern node (pre-filtered by compatibility).
+    candidates: dict[NodeId, list[NodeId]] = {}
+    candidate_sets: dict[NodeId, set[NodeId]] = {}
+    for pnode in pattern_nodes:
+        cands = [dnode for dnode in data.nodes() if compat(pnode, dnode)]
+        if not cands:
+            return
+        candidates[pnode] = cands
+        candidate_sets[pnode] = set(cands)
+
+    order = _variable_order(pattern_nodes, candidates, positive_edges)
+    # Index positive edges by endpoint for incremental checking.
+    edges_by_node: dict[NodeId, list[Edge]] = {p: [] for p in pattern_nodes}
+    for edge in positive_edges:
+        edges_by_node[edge.source].append(edge)
+        edges_by_node[edge.target].append(edge)
+
+    reach_cache: dict[tuple, set[NodeId]] = {}
+
+    def reaches(src: NodeId, dst: NodeId, label: str) -> bool:
+        # reachable_by_labels excludes the start unless it lies on a cycle,
+        # which is exactly the non-empty-path semantics we need.
+        key = (src, label)
+        if key not in reach_cache:
+            reach_cache[key] = reachable_by_labels(
+                data, src, edge_label=label or None
+            )
+        return dst in reach_cache[key]
+
+    assignment: dict[NodeId, NodeId] = {}
+    used: set[NodeId] = set()
+
+    def edge_ok(edge: Edge) -> bool:
+        src = assignment.get(edge.source)
+        dst = assignment.get(edge.target)
+        if src is None or dst is None:
+            return True  # checked when the other endpoint is assigned
+        if edge in spec.path_edges:
+            return reaches(src, dst, edge.label)
+        return data.has_edge(src, dst, edge.label)
+
+    def negations_ok() -> bool:
+        for edge in spec.negated_edges:
+            src = assignment.get(edge.source)
+            dst = assignment.get(edge.target)
+            if src is None or dst is None:
+                continue
+            if edge in spec.path_edges:
+                if reaches(src, dst, edge.label):
+                    return False
+            elif data.has_edge(src, dst, edge.label):
+                return False
+        return True
+
+    def candidates_for(pnode: NodeId) -> list[NodeId]:
+        """Narrow candidates via already-assigned direct-edge neighbours."""
+        if not spec.narrow:
+            return candidates[pnode]
+        pools: list[list[NodeId]] = []
+        for edge in edges_by_node[pnode]:
+            if edge in spec.path_edges:
+                continue  # path edges do not narrow (checked by edge_ok)
+            if edge.source == pnode and edge.target in assignment:
+                pools.append(data.predecessors(assignment[edge.target], edge.label))
+            elif edge.target == pnode and edge.source in assignment:
+                pools.append(data.successors(assignment[edge.source], edge.label))
+        if not pools:
+            return candidates[pnode]
+        base = min(pools, key=len)
+        allowed = candidate_sets[pnode]
+        others = [set(pool) for pool in pools if pool is not base]
+        result = []
+        seen: set[NodeId] = set()
+        for dnode in base:
+            if dnode in seen or dnode not in allowed:
+                continue
+            if all(dnode in other for other in others):
+                seen.add(dnode)
+                result.append(dnode)
+        return result
+
+    def backtrack(index: int) -> Iterator[dict[NodeId, NodeId]]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        pnode = order[index]
+        for dnode in candidates_for(pnode):
+            if spec.injective and dnode in used:
+                continue
+            assignment[pnode] = dnode
+            used.add(dnode)
+            if all(edge_ok(e) for e in edges_by_node[pnode]) and negations_ok():
+                yield from backtrack(index + 1)
+            used.discard(dnode)
+            del assignment[pnode]
+
+    yield from backtrack(0)
+
+
+def count_homomorphisms(
+    pattern: LabeledGraph,
+    data: LabeledGraph,
+    spec: Optional[MatchSpec] = None,
+) -> int:
+    """Number of matches (convenience wrapper)."""
+    return sum(1 for _ in find_homomorphisms(pattern, data, spec))
+
+
+def _variable_order(
+    pattern_nodes: list[NodeId],
+    candidates: dict[NodeId, list[NodeId]],
+    edges: list[Edge],
+) -> list[NodeId]:
+    """Most-constrained-first ordering that keeps the frontier connected.
+
+    Start with the node owning the fewest candidates; repeatedly pick the
+    unordered node with the most already-ordered neighbours, tie-broken by
+    candidate count.  Connected frontiers let ``edge_ok`` prune early.
+    """
+    neighbours: dict[NodeId, set[NodeId]] = {p: set() for p in pattern_nodes}
+    for edge in edges:
+        neighbours[edge.source].add(edge.target)
+        neighbours[edge.target].add(edge.source)
+
+    remaining = set(pattern_nodes)
+    order: list[NodeId] = []
+    while remaining:
+        ordered = set(order)
+        best = min(
+            remaining,
+            key=lambda p: (
+                -len(neighbours[p] & ordered),
+                len(candidates[p]),
+            ),
+        )
+        order.append(best)
+        remaining.discard(best)
+    return order

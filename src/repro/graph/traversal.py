@@ -1,0 +1,178 @@
+"""Traversal algorithms over :class:`~repro.graph.labeled_graph.LabeledGraph`.
+
+These are the building blocks for deep (arbitrary-depth) query edges, for
+reachability in WG-Log generative semantics, and for layout ordering in the
+visual layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterator, Optional
+
+from .labeled_graph import LabeledGraph
+
+__all__ = [
+    "bfs_order",
+    "dfs_order",
+    "reachable",
+    "reachable_by_labels",
+    "has_cycle",
+    "topological_order",
+    "weakly_connected_components",
+    "shortest_path",
+]
+
+NodeId = Hashable
+
+
+def bfs_order(graph: LabeledGraph, start: NodeId) -> Iterator[NodeId]:
+    """Breadth-first node order from ``start`` (follows edge direction)."""
+    seen = {start}
+    queue: deque[NodeId] = deque([start])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for succ in graph.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+
+
+def dfs_order(graph: LabeledGraph, start: NodeId) -> Iterator[NodeId]:
+    """Depth-first preorder from ``start`` (follows edge direction)."""
+    seen: set[NodeId] = set()
+    stack: list[NodeId] = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        yield node
+        # Reversed so the first successor is visited first.
+        stack.extend(reversed(graph.successors(node)))
+
+
+def reachable(graph: LabeledGraph, start: NodeId) -> set[NodeId]:
+    """All nodes reachable from ``start`` (start included)."""
+    return set(bfs_order(graph, start))
+
+
+def reachable_by_labels(
+    graph: LabeledGraph,
+    start: NodeId,
+    edge_label: Optional[str] = None,
+    node_filter: Optional[Callable[[NodeId], bool]] = None,
+) -> set[NodeId]:
+    """Nodes reachable from ``start`` via edges with ``edge_label``.
+
+    ``node_filter`` prunes the frontier: nodes failing it are neither
+    reported nor expanded.  ``start`` itself is excluded (proper descent),
+    matching the semantics of XML-GL's starred edge and WG-Log regular
+    path edges.
+    """
+    seen: set[NodeId] = set()
+    queue: deque[NodeId] = deque([start])
+    while queue:
+        node = queue.popleft()
+        for succ in graph.successors(node, edge_label):
+            if succ in seen:
+                continue
+            if node_filter is not None and not node_filter(succ):
+                continue
+            seen.add(succ)
+            queue.append(succ)
+    return seen
+
+
+def has_cycle(graph: LabeledGraph) -> bool:
+    """True when the directed graph contains a cycle."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[NodeId, int] = {n: WHITE for n in graph.nodes()}
+    for origin in graph.nodes():
+        if colour[origin] != WHITE:
+            continue
+        stack: list[tuple[NodeId, Iterator[NodeId]]] = [
+            (origin, iter(graph.successors(origin)))
+        ]
+        colour[origin] = GREY
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if colour[succ] == GREY:
+                    return True
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    stack.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return False
+
+
+def topological_order(graph: LabeledGraph) -> list[NodeId]:
+    """Topological node order; raises ``ValueError`` on cyclic graphs."""
+    in_degree: dict[NodeId, int] = {n: 0 for n in graph.nodes()}
+    for edge in graph.edges():
+        in_degree[edge.target] += 1
+    queue: deque[NodeId] = deque(n for n, d in in_degree.items() if d == 0)
+    order: list[NodeId] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for succ in graph.successors(node):
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                queue.append(succ)
+    if len(order) != len(in_degree):
+        raise ValueError("graph has a cycle; no topological order exists")
+    return order
+
+
+def weakly_connected_components(graph: LabeledGraph) -> list[set[NodeId]]:
+    """Components ignoring edge direction, in first-seen order."""
+    seen: set[NodeId] = set()
+    components: list[set[NodeId]] = []
+    for origin in graph.nodes():
+        if origin in seen:
+            continue
+        component: set[NodeId] = set()
+        queue: deque[NodeId] = deque([origin])
+        seen.add(origin)
+        while queue:
+            node = queue.popleft()
+            component.add(node)
+            for neighbour in graph.successors(node) + graph.predecessors(node):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+    return components
+
+
+def shortest_path(
+    graph: LabeledGraph, start: NodeId, goal: NodeId
+) -> Optional[list[NodeId]]:
+    """Shortest directed path (by hop count), or ``None``."""
+    if start == goal:
+        return [start]
+    previous: dict[NodeId, NodeId] = {}
+    seen = {start}
+    queue: deque[NodeId] = deque([start])
+    while queue:
+        node = queue.popleft()
+        for succ in graph.successors(node):
+            if succ in seen:
+                continue
+            previous[succ] = node
+            if succ == goal:
+                path = [goal]
+                while path[-1] != start:
+                    path.append(previous[path[-1]])
+                return list(reversed(path))
+            seen.add(succ)
+            queue.append(succ)
+    return None

@@ -1,0 +1,146 @@
+"""Interactive query sessions: refine, run, step back, run again.
+
+The systems around the paper (BBQ in particular) frame querying as a
+*cycle*: specify, execute, inspect, refine, with browser-style back and
+forward between cycles.  :class:`QuerySession` provides that loop over the
+XML-GL engine for scripts, notebooks and the CLI:
+
+    session = QuerySession(doc)
+    session.run("query { book as B } construct { r { count(B) } }")
+    session.run("query { book as B { @year as Y } where Y >= 1995 } ...")
+    session.back()          # the previous cycle's result is current again
+    session.run(...)        # refining from here truncates the forward tail
+
+Each cycle stores the query text (or Rule), the result document and the
+evaluation statistics, so a session transcript doubles as a small
+experiment log (:meth:`QuerySession.summary`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from .engine.index import DocumentIndex
+from .engine.stats import EvalStats
+from .errors import ReproError
+from .ssd.model import Document
+from .xmlgl.dsl import parse_rule
+from .xmlgl.evaluator import evaluate_rule
+from .xmlgl.matcher import MatchOptions
+from .xmlgl.rule import Rule
+
+__all__ = ["QueryCycle", "QuerySession"]
+
+Sources = Union[Document, Mapping[str, Document]]
+
+
+@dataclass
+class QueryCycle:
+    """One specify/execute cycle."""
+
+    index: int
+    source_text: Optional[str]
+    rule: Rule
+    result: Document
+    stats: EvalStats
+    seconds: float
+
+    def describe(self) -> str:
+        root = self.result.root
+        size = root.size() if root is not None else 0
+        return (
+            f"cycle {self.index}: {self.stats.bindings_produced} bindings, "
+            f"result <{root.tag if root is not None else '-'}> "
+            f"({size} nodes, {self.seconds * 1000:.1f} ms)"
+        )
+
+
+class QuerySession:
+    """A browsing/refinement session over one document collection."""
+
+    def __init__(
+        self,
+        sources: Sources,
+        options: Optional[MatchOptions] = None,
+    ) -> None:
+        self._sources = sources
+        self._options = options
+        self._indexes: dict[int, DocumentIndex] = {}
+        self._cycles: list[QueryCycle] = []
+        self._position = -1  # index of the current cycle
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, query: Union[str, Rule]) -> Document:
+        """Execute a query; it becomes the current cycle.
+
+        Running while positioned back in history truncates the forward
+        cycles (browser semantics).  Returns the result document.
+        """
+        if isinstance(query, str):
+            rule = parse_rule(query)
+            source_text = query
+        else:
+            rule = query
+            source_text = None
+        stats = EvalStats()
+        started = time.perf_counter()
+        result = Document(
+            evaluate_rule(
+                rule, self._sources, self._options, stats, self._indexes
+            )
+        )
+        elapsed = time.perf_counter() - started
+        del self._cycles[self._position + 1 :]
+        cycle = QueryCycle(
+            index=len(self._cycles),
+            source_text=source_text,
+            rule=rule,
+            result=result,
+            stats=stats,
+            seconds=elapsed,
+        )
+        self._cycles.append(cycle)
+        self._position = len(self._cycles) - 1
+        return result
+
+    # -- navigation -------------------------------------------------------------
+
+    def current(self) -> QueryCycle:
+        """The cycle the session is positioned on."""
+        if self._position < 0:
+            raise ReproError("the session has no cycles yet")
+        return self._cycles[self._position]
+
+    def back(self) -> Optional[QueryCycle]:
+        """Step to the previous cycle; ``None`` at the beginning."""
+        if self._position <= 0:
+            return None
+        self._position -= 1
+        return self.current()
+
+    def forward(self) -> Optional[QueryCycle]:
+        """Step to the next cycle; ``None`` at the end."""
+        if self._position >= len(self._cycles) - 1:
+            return None
+        self._position += 1
+        return self.current()
+
+    # -- inspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cycles)
+
+    def history(self) -> list[QueryCycle]:
+        """All cycles, oldest first (the forward tail included)."""
+        return list(self._cycles)
+
+    def summary(self) -> str:
+        """The session transcript, one line per cycle."""
+        lines = []
+        for cycle in self._cycles:
+            marker = "->" if cycle.index == self._position else "  "
+            lines.append(f"{marker} {cycle.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Semi-structured data substrate: node model, XML parser, DTDs, navigation.
+
+This package is the data layer both graphical query languages operate on:
+an ordered XML tree model with an ID/IDREF graph overlay, a from-scratch
+parser/serializer pair, navigation axes and DTD validation.
+"""
+
+from .builder import C, E, PI, T, document
+from .datatypes import Atomic, coerce, compare, equal_atoms
+from .dtd import Dtd, parse_dtd, validate
+from .identity import IdentityIndex, ReferenceEdge
+from .infer import infer_schema
+from .model import Comment, Document, Element, Node, ProcessingInstruction, Text
+from .parser import parse_document, parse_fragment
+from .paths import PathExpression, evaluate_path, parse_path
+from .serializer import pretty, serialize
+
+__all__ = [
+    "Node", "Element", "Text", "Comment", "ProcessingInstruction", "Document",
+    "E", "T", "C", "PI", "document",
+    "parse_document", "parse_fragment",
+    "PathExpression", "parse_path", "evaluate_path",
+    "serialize", "pretty",
+    "Dtd", "parse_dtd", "validate",
+    "IdentityIndex", "ReferenceEdge",
+    "infer_schema",
+    "Atomic", "coerce", "compare", "equal_atoms",
+]

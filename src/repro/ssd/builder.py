@@ -1,0 +1,60 @@
+"""Fluent construction helpers for documents.
+
+``E`` builds elements concisely in tests, examples and workload generators::
+
+    doc = document(
+        E("bib",
+          E("book", {"year": "1999"},
+            E("title", "Data on the Web"),
+            E("author", E("last", "Abiteboul"), E("first", "Serge")))))
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .model import Comment, Document, Element, Node, ProcessingInstruction, Text
+
+__all__ = ["E", "T", "C", "PI", "document"]
+
+Child = Union[Node, str, dict]
+
+
+def E(tag: str, *parts: Child) -> Element:
+    """Build an :class:`Element`.
+
+    Positional parts may be, in any order:
+
+    * ``dict`` — merged into the element's attributes,
+    * ``str`` — appended as a text child,
+    * any :class:`~repro.ssd.model.Node` — appended as a child.
+    """
+    element = Element(tag)
+    for part in parts:
+        if isinstance(part, dict):
+            element.attributes.update(part)
+        elif isinstance(part, (Node, str)):
+            element.append(part)
+        else:
+            raise TypeError(f"cannot build element content from {type(part).__name__}")
+    return element
+
+
+def T(data: str) -> Text:
+    """Build a :class:`Text` node (rarely needed; strings auto-convert)."""
+    return Text(data)
+
+
+def C(data: str) -> Comment:
+    """Build a :class:`Comment` node."""
+    return Comment(data)
+
+
+def PI(target: str, data: str = "") -> ProcessingInstruction:
+    """Build a :class:`ProcessingInstruction` node."""
+    return ProcessingInstruction(target, data)
+
+
+def document(root: Element) -> Document:
+    """Wrap ``root`` in a fresh :class:`Document`."""
+    return Document(root)

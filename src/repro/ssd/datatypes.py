@@ -1,0 +1,83 @@
+"""Typed atomic values for query conditions.
+
+XML carries only strings, but conditions in graphical queries compare prices,
+years and names.  :func:`coerce` maps a string to the most specific of
+``int`` / ``float`` / ``bool`` / ``str`` and :func:`compare` implements the
+comparison semantics used by both query engines: numeric when both sides
+coerce to numbers, lexicographic otherwise.  Incomparable pairs (e.g. a
+number against a non-numeric string with an ordering operator) raise
+:class:`TypeError` so the condition evaluator can treat them as *false*
+matches rather than crashes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+__all__ = ["Atomic", "coerce", "compare", "equal_atoms"]
+
+Atomic = Union[int, float, bool, str]
+
+_TRUE_WORDS = {"true", "yes"}
+_FALSE_WORDS = {"false", "no"}
+
+
+def coerce(value: Atomic) -> Atomic:
+    """Map a raw value to its most specific atomic type.
+
+    Strings that read as integers become ``int``; decimal/scientific forms
+    become ``float``; ``true/false/yes/no`` (case-insensitive) become
+    ``bool``; everything else stays a (stripped) string.
+    """
+    if isinstance(value, bool) or not isinstance(value, str):
+        return value
+    text = value.strip()
+    lowered = text.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    # "NaN"/"inf" stay strings: query comparisons need total ordering.
+    return number if math.isfinite(number) else text
+
+
+def _as_number(value: Atomic) -> Union[int, float, None]:
+    coerced = coerce(value)
+    if isinstance(coerced, bool):
+        return int(coerced)
+    if isinstance(coerced, (int, float)):
+        return coerced
+    return None
+
+
+def equal_atoms(left: Atomic, right: Atomic) -> bool:
+    """Equality with numeric coercion: ``"007" == 7`` but ``"abc" != 7``."""
+    ln, rn = _as_number(left), _as_number(right)
+    if ln is not None and rn is not None:
+        return ln == rn
+    return str(coerce(left)) == str(coerce(right))
+
+
+def compare(left: Atomic, right: Atomic) -> int:
+    """Three-way comparison: -1, 0 or +1.
+
+    Numeric when both sides are numbers; lexicographic when both are
+    non-numeric strings; raises :class:`TypeError` for mixed pairs, which the
+    condition evaluator interprets as "condition not satisfied".
+    """
+    ln, rn = _as_number(left), _as_number(right)
+    if ln is not None and rn is not None:
+        return (ln > rn) - (ln < rn)
+    if ln is None and rn is None:
+        ls, rs = str(coerce(left)), str(coerce(right))
+        return (ls > rs) - (ls < rs)
+    raise TypeError(f"cannot order {left!r} against {right!r}")

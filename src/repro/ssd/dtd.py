@@ -1,0 +1,740 @@
+"""DTD parsing and validation.
+
+The paper uses DTDs as the baseline schema formalism that XML-GL schema
+graphs subsume (the BOOK DTD figure).  This module implements:
+
+* a parser for ``<!ELEMENT ...>`` and ``<!ATTLIST ...>`` declarations,
+  including full content models (``EMPTY``, ``ANY``, mixed
+  ``(#PCDATA | a | b)*`` and regular content particles with ``,`` / ``|``
+  and ``?`` / ``*`` / ``+``);
+* compilation of content models to Glushkov position automata, giving
+  linear-time validation without backtracking;
+* document validation against a :class:`Dtd` (content models, required /
+  fixed / enumerated attributes, ID uniqueness and IDREF resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional, Sequence, Union
+
+from ..errors import DtdError, ValidationError
+from .model import Document, Element, Text
+
+__all__ = [
+    "ContentParticle",
+    "NameParticle",
+    "SequenceParticle",
+    "ChoiceParticle",
+    "Repetition",
+    "ContentModel",
+    "ElementDecl",
+    "AttType",
+    "AttDefault",
+    "AttributeDecl",
+    "Dtd",
+    "parse_dtd",
+    "GlushkovAutomaton",
+    "validate",
+]
+
+
+# ---------------------------------------------------------------------------
+# Content-model AST
+# ---------------------------------------------------------------------------
+
+class Repetition(Enum):
+    """Occurrence indicator on a content particle."""
+
+    ONE = ""
+    OPTIONAL = "?"
+    STAR = "*"
+    PLUS = "+"
+
+
+@dataclass(frozen=True)
+class NameParticle:
+    """A single element name in a content model."""
+
+    name: str
+    repetition: Repetition = Repetition.ONE
+
+    def __str__(self) -> str:
+        return f"{self.name}{self.repetition.value}"
+
+
+@dataclass(frozen=True)
+class SequenceParticle:
+    """``(a, b, c)`` — ordered sequence."""
+
+    items: tuple["ContentParticle", ...]
+    repetition: Repetition = Repetition.ONE
+
+    def __str__(self) -> str:
+        inner = ",".join(str(i) for i in self.items)
+        return f"({inner}){self.repetition.value}"
+
+
+@dataclass(frozen=True)
+class ChoiceParticle:
+    """``(a | b | c)`` — alternatives."""
+
+    items: tuple["ContentParticle", ...]
+    repetition: Repetition = Repetition.ONE
+
+    def __str__(self) -> str:
+        inner = "|".join(str(i) for i in self.items)
+        return f"({inner}){self.repetition.value}"
+
+
+ContentParticle = Union[NameParticle, SequenceParticle, ChoiceParticle]
+
+
+class ContentKind(Enum):
+    """The four DTD content classes."""
+
+    EMPTY = auto()
+    ANY = auto()
+    MIXED = auto()      # (#PCDATA | name | ...)*
+    CHILDREN = auto()   # regular particle
+
+
+@dataclass(frozen=True)
+class ContentModel:
+    """Declared content of one element type."""
+
+    kind: ContentKind
+    particle: Optional[ContentParticle] = None     # for CHILDREN
+    mixed_names: tuple[str, ...] = ()              # for MIXED
+
+    def __str__(self) -> str:
+        if self.kind is ContentKind.EMPTY:
+            return "EMPTY"
+        if self.kind is ContentKind.ANY:
+            return "ANY"
+        if self.kind is ContentKind.MIXED:
+            if self.mixed_names:
+                return "(#PCDATA|" + "|".join(self.mixed_names) + ")*"
+            return "(#PCDATA)"
+        return str(self.particle)
+
+
+# ---------------------------------------------------------------------------
+# Attribute declarations
+# ---------------------------------------------------------------------------
+
+class AttType(Enum):
+    """Attribute types relevant to validation."""
+
+    CDATA = auto()
+    ID = auto()
+    IDREF = auto()
+    IDREFS = auto()
+    NMTOKEN = auto()
+    NMTOKENS = auto()
+    ENUMERATION = auto()
+
+
+class AttDefault(Enum):
+    """Attribute default kinds."""
+
+    REQUIRED = auto()
+    IMPLIED = auto()
+    FIXED = auto()
+    DEFAULT = auto()  # literal default value
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute definition from an ATTLIST."""
+
+    element: str
+    name: str
+    att_type: AttType
+    default: AttDefault
+    value: Optional[str] = None           # FIXED / DEFAULT literal
+    enumeration: tuple[str, ...] = ()     # for ENUMERATION
+
+
+@dataclass
+class ElementDecl:
+    """One ``<!ELEMENT>`` declaration plus its attributes.
+
+    ``placeholder`` marks declarations synthesised by an ATTLIST that
+    preceded the element's own ``<!ELEMENT>`` declaration.
+    """
+
+    name: str
+    content: ContentModel
+    attributes: dict[str, AttributeDecl] = field(default_factory=dict)
+    placeholder: bool = False
+
+
+@dataclass
+class Dtd:
+    """A parsed DTD: element declarations by name."""
+
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+
+    def declaration(self, name: str) -> Optional[ElementDecl]:
+        """Declaration for element type ``name``, or ``None``."""
+        return self.elements.get(name)
+
+    def id_attribute_names(self) -> set[str]:
+        """All attribute names declared with type ID anywhere in the DTD."""
+        return {
+            att.name
+            for decl in self.elements.values()
+            for att in decl.attributes.values()
+            if att.att_type is AttType.ID
+        }
+
+
+# ---------------------------------------------------------------------------
+# DTD text parser
+# ---------------------------------------------------------------------------
+
+class _DtdScanner:
+    """Character scanner shared by the declaration parsers."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def skip_ws(self) -> None:
+        while not self.eof():
+            if self.peek() in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos + 4)
+                if end == -1:
+                    raise DtdError("unterminated comment in DTD")
+                self.pos = end + 3
+            elif self.text.startswith("%", self.pos):
+                # Parameter entities are not expanded; skip the reference.
+                end = self.text.find(";", self.pos)
+                if end == -1:
+                    raise DtdError("unterminated parameter-entity reference")
+                self.pos = end + 1
+            else:
+                return
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            context = self.text[self.pos : self.pos + 20]
+            raise DtdError(f"expected {literal!r} at ...{context!r}")
+        self.pos += len(literal)
+
+    def name(self) -> str:
+        start = self.pos
+        while not self.eof() and (self.peek().isalnum() or self.peek() in "_-.:#"):
+            self.pos += 1
+        if start == self.pos:
+            context = self.text[self.pos : self.pos + 20]
+            raise DtdError(f"expected a name at ...{context!r}")
+        return self.text[start : self.pos]
+
+    def quoted(self) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise DtdError("expected a quoted literal")
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end == -1:
+            raise DtdError("unterminated literal in DTD")
+        value = self.text[self.pos : end]
+        self.pos = end + 1
+        return value
+
+
+def parse_dtd(text: str) -> Dtd:
+    """Parse the declarations of an (internal-subset style) DTD string."""
+    dtd = Dtd()
+    scanner = _DtdScanner(text)
+    while True:
+        scanner.skip_ws()
+        if scanner.eof():
+            return dtd
+        if scanner.text.startswith("<!ELEMENT", scanner.pos):
+            _parse_element_decl(scanner, dtd)
+        elif scanner.text.startswith("<!ATTLIST", scanner.pos):
+            _parse_attlist_decl(scanner, dtd)
+        elif scanner.text.startswith("<!ENTITY", scanner.pos) or scanner.text.startswith(
+            "<!NOTATION", scanner.pos
+        ):
+            _skip_declaration(scanner)
+        else:
+            context = scanner.text[scanner.pos : scanner.pos + 30]
+            raise DtdError(f"unrecognised DTD content at ...{context!r}")
+
+
+def _skip_declaration(scanner: _DtdScanner) -> None:
+    end = scanner.text.find(">", scanner.pos)
+    if end == -1:
+        raise DtdError("unterminated declaration")
+    scanner.pos = end + 1
+
+
+def _parse_element_decl(scanner: _DtdScanner, dtd: Dtd) -> None:
+    scanner.expect("<!ELEMENT")
+    scanner.skip_ws()
+    name = scanner.name()
+    scanner.skip_ws()
+    content = _parse_content_model(scanner)
+    scanner.skip_ws()
+    scanner.expect(">")
+    existing = dtd.elements.get(name)
+    if existing is not None:
+        if not existing.placeholder:
+            raise DtdError(f"duplicate <!ELEMENT {name}> declaration")
+        existing.content = content
+        existing.placeholder = False
+    else:
+        dtd.elements[name] = ElementDecl(name, content)
+
+
+def _parse_content_model(scanner: _DtdScanner) -> ContentModel:
+    if scanner.text.startswith("EMPTY", scanner.pos):
+        scanner.pos += len("EMPTY")
+        return ContentModel(ContentKind.EMPTY)
+    if scanner.text.startswith("ANY", scanner.pos):
+        scanner.pos += len("ANY")
+        return ContentModel(ContentKind.ANY)
+    # Bare PCDATA keyword, tolerated for convenience (the paper's figures
+    # write `<!ELEMENT title PCDATA>`).
+    for keyword in ("#PCDATA", "PCDATA"):
+        if scanner.text.startswith(keyword, scanner.pos):
+            scanner.pos += len(keyword)
+            return ContentModel(ContentKind.MIXED)
+    scanner.expect("(")
+    scanner.skip_ws()
+    if scanner.text.startswith("#PCDATA", scanner.pos):
+        return _parse_mixed(scanner)
+    particle = _parse_particle_group(scanner, opened=True)
+    return ContentModel(ContentKind.CHILDREN, particle=particle)
+
+
+def _parse_mixed(scanner: _DtdScanner) -> ContentModel:
+    scanner.expect("#PCDATA")
+    names: list[str] = []
+    while True:
+        scanner.skip_ws()
+        if scanner.peek() == "|":
+            scanner.pos += 1
+            scanner.skip_ws()
+            names.append(scanner.name())
+        elif scanner.peek() == ")":
+            scanner.pos += 1
+            if scanner.peek() == "*":
+                scanner.pos += 1
+            elif names:
+                raise DtdError("mixed content with names must end in ')*'")
+            return ContentModel(ContentKind.MIXED, mixed_names=tuple(names))
+        else:
+            raise DtdError("malformed mixed content model")
+
+
+def _read_repetition(scanner: _DtdScanner) -> Repetition:
+    ch = scanner.peek()
+    if ch == "?":
+        scanner.pos += 1
+        return Repetition.OPTIONAL
+    if ch == "*":
+        scanner.pos += 1
+        return Repetition.STAR
+    if ch == "+":
+        scanner.pos += 1
+        return Repetition.PLUS
+    return Repetition.ONE
+
+
+def _parse_cp(scanner: _DtdScanner) -> ContentParticle:
+    scanner.skip_ws()
+    if scanner.peek() == "(":
+        scanner.pos += 1
+        return _parse_particle_group(scanner, opened=True)
+    name = scanner.name()
+    return NameParticle(name, _read_repetition(scanner))
+
+
+def _parse_particle_group(scanner: _DtdScanner, opened: bool) -> ContentParticle:
+    """Parse the inside of a ``( ... )`` group; ``(`` already consumed."""
+    assert opened
+    items = [_parse_cp(scanner)]
+    separator: Optional[str] = None
+    while True:
+        scanner.skip_ws()
+        ch = scanner.peek()
+        if ch in (",", "|"):
+            if separator is None:
+                separator = ch
+            elif separator != ch:
+                raise DtdError("cannot mix ',' and '|' in one group")
+            scanner.pos += 1
+            items.append(_parse_cp(scanner))
+        elif ch == ")":
+            scanner.pos += 1
+            repetition = _read_repetition(scanner)
+            if separator == "|":
+                return ChoiceParticle(tuple(items), repetition)
+            if len(items) == 1 and repetition is Repetition.ONE:
+                return items[0]
+            return SequenceParticle(tuple(items), repetition)
+        else:
+            raise DtdError(f"malformed content model near {ch!r}")
+
+
+_ATT_TYPES = {
+    "CDATA": AttType.CDATA,
+    "ID": AttType.ID,
+    "IDREF": AttType.IDREF,
+    "IDREFS": AttType.IDREFS,
+    "NMTOKEN": AttType.NMTOKEN,
+    "NMTOKENS": AttType.NMTOKENS,
+}
+
+
+def _parse_attlist_decl(scanner: _DtdScanner, dtd: Dtd) -> None:
+    scanner.expect("<!ATTLIST")
+    scanner.skip_ws()
+    element_name = scanner.name()
+    decl = dtd.elements.setdefault(
+        element_name,
+        ElementDecl(element_name, ContentModel(ContentKind.ANY), placeholder=True),
+    )
+    while True:
+        scanner.skip_ws()
+        if scanner.peek() == ">":
+            scanner.pos += 1
+            return
+        att_name = scanner.name()
+        scanner.skip_ws()
+        enumeration: tuple[str, ...] = ()
+        if scanner.peek() == "(":
+            scanner.pos += 1
+            values = []
+            while True:
+                scanner.skip_ws()
+                values.append(scanner.name())
+                scanner.skip_ws()
+                if scanner.peek() == "|":
+                    scanner.pos += 1
+                elif scanner.peek() == ")":
+                    scanner.pos += 1
+                    break
+                else:
+                    raise DtdError("malformed attribute enumeration")
+            att_type = AttType.ENUMERATION
+            enumeration = tuple(values)
+        else:
+            keyword = scanner.name()
+            if keyword not in _ATT_TYPES:
+                raise DtdError(f"unsupported attribute type {keyword!r}")
+            att_type = _ATT_TYPES[keyword]
+        scanner.skip_ws()
+        value: Optional[str] = None
+        if scanner.peek() == "#":
+            keyword = scanner.name()
+            if keyword == "#REQUIRED":
+                default = AttDefault.REQUIRED
+            elif keyword == "#IMPLIED":
+                default = AttDefault.IMPLIED
+            elif keyword == "#FIXED":
+                default = AttDefault.FIXED
+                scanner.skip_ws()
+                value = scanner.quoted()
+            else:
+                raise DtdError(f"unknown attribute default {keyword!r}")
+        else:
+            default = AttDefault.DEFAULT
+            value = scanner.quoted()
+        decl.attributes[att_name] = AttributeDecl(
+            element_name, att_name, att_type, default, value, enumeration
+        )
+
+
+# ---------------------------------------------------------------------------
+# Glushkov position automaton
+# ---------------------------------------------------------------------------
+
+class GlushkovAutomaton:
+    """Position automaton of one content particle.
+
+    States are particle *positions* (occurrences of element names); state 0 is
+    the initial state.  Because XML requires deterministic content models, at
+    most one successor exists per (state, symbol) — ambiguity is reported as a
+    :class:`~repro.errors.DtdError` at build time, matching the XML 1.0
+    determinism constraint.
+    """
+
+    def __init__(self, particle: ContentParticle) -> None:
+        self._symbols: list[str] = []          # symbol of each position (1-based)
+        first, last, nullable = self._analyse(particle)
+        follow: dict[int, set[int]] = {i: set() for i in range(1, len(self._symbols) + 1)}
+        self._fill_follow(particle, follow)
+        self._transitions: list[dict[str, int]] = [dict() for _ in range(len(self._symbols) + 1)]
+        for position in first:
+            self._add_transition(0, position)
+        for position, successors in follow.items():
+            for successor in successors:
+                self._add_transition(position, successor)
+        self._accepting = set(last) | ({0} if nullable else set())
+
+    # -- construction helpers ------------------------------------------------
+
+    def _add_transition(self, state: int, position: int) -> None:
+        symbol = self._symbols[position - 1]
+        existing = self._transitions[state].get(symbol)
+        if existing is not None and existing != position:
+            raise DtdError(
+                f"non-deterministic content model: two ways to match {symbol!r}"
+            )
+        self._transitions[state][symbol] = position
+
+    def _analyse(
+        self, particle: ContentParticle
+    ) -> tuple[set[int], set[int], bool]:
+        """Return (first, last, nullable) while numbering positions."""
+        if isinstance(particle, NameParticle):
+            self._symbols.append(particle.name)
+            position = len(self._symbols)
+            first, last = {position}, {position}
+            nullable = particle.repetition in (Repetition.OPTIONAL, Repetition.STAR)
+            return first, last, nullable
+        firsts: list[set[int]] = []
+        lasts: list[set[int]] = []
+        nullables: list[bool] = []
+        for item in particle.items:
+            f, l, n = self._analyse(item)
+            firsts.append(f)
+            lasts.append(l)
+            nullables.append(n)
+        if isinstance(particle, ChoiceParticle):
+            first = set().union(*firsts)
+            last = set().union(*lasts)
+            nullable = any(nullables)
+        else:  # sequence
+            first = set()
+            for f, n in zip(firsts, nullables):
+                first |= f
+                if not n:
+                    break
+            last = set()
+            for l, n in zip(reversed(lasts), reversed(nullables)):
+                last |= l
+                if not n:
+                    break
+            nullable = all(nullables)
+        if particle.repetition in (Repetition.OPTIONAL, Repetition.STAR):
+            nullable = True
+        return first, last, nullable
+
+    def _fill_follow(
+        self, particle: ContentParticle, follow: dict[int, set[int]]
+    ) -> tuple[set[int], set[int], bool, int]:
+        """Second pass computing follow sets; returns (first, last, nullable, next_pos)."""
+        # Re-walk the particle numbering positions identically to _analyse.
+        counter = [0]
+
+        def walk(p: ContentParticle) -> tuple[set[int], set[int], bool]:
+            if isinstance(p, NameParticle):
+                counter[0] += 1
+                position = counter[0]
+                nullable = p.repetition in (Repetition.OPTIONAL, Repetition.STAR)
+                if p.repetition in (Repetition.STAR, Repetition.PLUS):
+                    follow[position].add(position)
+                return {position}, {position}, nullable
+            results = [walk(item) for item in p.items]
+            if isinstance(p, ChoiceParticle):
+                first = set().union(*(r[0] for r in results))
+                last = set().union(*(r[1] for r in results))
+                nullable = any(r[2] for r in results)
+            else:
+                # follow(last of item i) += first of the next non-consumed items
+                for index in range(len(results) - 1):
+                    _, last_i, _ = results[index]
+                    for later in results[index + 1 :]:
+                        first_j, _, nullable_j = later
+                        for pos in last_i:
+                            follow[pos] |= first_j
+                        if not nullable_j:
+                            break
+                first = set()
+                for f, _, n in results:
+                    first |= f
+                    if not n:
+                        break
+                last = set()
+                for f, l, n in reversed(results):
+                    last |= l
+                    if not n:
+                        break
+                nullable = all(r[2] for r in results)
+            if p.repetition in (Repetition.STAR, Repetition.PLUS):
+                for pos in last:
+                    follow[pos] |= first
+            if p.repetition in (Repetition.OPTIONAL, Repetition.STAR):
+                nullable = True
+            return first, last, nullable
+
+        first, last, nullable = walk(particle)
+        return first, last, nullable, counter[0]
+
+    # -- execution ------------------------------------------------------------
+
+    def accepts(self, sequence: Sequence[str]) -> bool:
+        """True when the name sequence matches the content model."""
+        state = 0
+        for symbol in sequence:
+            next_state = self._transitions[state].get(symbol)
+            if next_state is None:
+                return False
+            state = next_state
+        return state in self._accepting
+
+    def expected_after(self, sequence: Sequence[str]) -> set[str]:
+        """Symbols allowed after consuming ``sequence`` (for error messages)."""
+        state = 0
+        for symbol in sequence:
+            next_state = self._transitions[state].get(symbol)
+            if next_state is None:
+                return set()
+            state = next_state
+        return set(self._transitions[state])
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def validate(document: Document, dtd: Dtd, collect: bool = True) -> list[str]:
+    """Validate ``document`` against ``dtd``.
+
+    Returns the list of violation messages (empty when valid).  With
+    ``collect=False`` the first violation raises
+    :class:`~repro.errors.ValidationError` instead.
+    """
+    violations: list[str] = []
+    automata: dict[str, GlushkovAutomaton] = {}
+
+    def report(message: str) -> None:
+        if not collect:
+            raise ValidationError(message)
+        violations.append(message)
+
+    root = document.root
+    if root is None:
+        report("document has no root element")
+        return violations
+    if document.doctype_name and document.doctype_name != root.tag:
+        report(
+            f"root element <{root.tag}> does not match DOCTYPE "
+            f"{document.doctype_name!r}"
+        )
+
+    seen_ids: set[str] = set()
+    pending_refs: list[tuple[Element, str]] = []
+
+    for element in document.iter():
+        decl = dtd.declaration(element.tag)
+        if decl is None:
+            report(f"undeclared element <{element.tag}>")
+            continue
+        _check_content(element, decl, automata, report)
+        _check_attributes(element, decl, seen_ids, pending_refs, report)
+
+    for element, ref in pending_refs:
+        if ref not in seen_ids:
+            report(f"IDREF {ref!r} on <{element.tag}> matches no ID")
+    return violations
+
+
+def _check_content(
+    element: Element,
+    decl: ElementDecl,
+    automata: dict[str, GlushkovAutomaton],
+    report,
+) -> None:
+    model = decl.content
+    child_names = [c.tag for c in element.children if isinstance(c, Element)]
+    has_text = any(
+        isinstance(c, Text) and c.data.strip() for c in element.children
+    )
+    if model.kind is ContentKind.EMPTY:
+        if child_names or has_text:
+            report(f"<{element.tag}> is declared EMPTY but has content")
+    elif model.kind is ContentKind.ANY:
+        return
+    elif model.kind is ContentKind.MIXED:
+        allowed = set(model.mixed_names)
+        for name in child_names:
+            if name not in allowed:
+                report(
+                    f"<{name}> not allowed in mixed content of <{element.tag}>"
+                )
+    else:
+        if has_text:
+            report(f"<{element.tag}> has element content but contains text")
+        automaton = automata.get(element.tag)
+        if automaton is None:
+            assert model.particle is not None
+            automaton = GlushkovAutomaton(model.particle)
+            automata[element.tag] = automaton
+        if not automaton.accepts(child_names):
+            expected = sorted(automaton.expected_after(child_names)) or ["(end)"]
+            report(
+                f"children of <{element.tag}> do not match {model}: "
+                f"got {child_names}, expected one of {expected} next"
+            )
+
+
+def _check_attributes(
+    element: Element,
+    decl: ElementDecl,
+    seen_ids: set[str],
+    pending_refs: list[tuple[Element, str]],
+    report,
+) -> None:
+    for name in element.attributes:
+        if name not in decl.attributes:
+            report(f"undeclared attribute {name!r} on <{element.tag}>")
+    for att in decl.attributes.values():
+        value = element.get(att.name)
+        if value is None:
+            if att.default is AttDefault.REQUIRED:
+                report(f"missing required attribute {att.name!r} on <{element.tag}>")
+            continue
+        if att.default is AttDefault.FIXED and value != att.value:
+            report(
+                f"attribute {att.name!r} on <{element.tag}> must be fixed "
+                f"to {att.value!r}"
+            )
+        if att.att_type is AttType.ENUMERATION and value not in att.enumeration:
+            report(
+                f"attribute {att.name!r} on <{element.tag}> must be one of "
+                f"{att.enumeration}, got {value!r}"
+            )
+        if att.att_type is AttType.ID:
+            if value in seen_ids:
+                report(f"duplicate ID {value!r} on <{element.tag}>")
+            seen_ids.add(value)
+        elif att.att_type is AttType.IDREF:
+            pending_refs.append((element, value))
+        elif att.att_type is AttType.IDREFS:
+            for token in value.split():
+                pending_refs.append((element, token))
+        elif att.att_type in (AttType.NMTOKEN, AttType.NMTOKENS):
+            tokens = value.split() if att.att_type is AttType.NMTOKENS else [value]
+            for token in tokens:
+                if not token or not all(c.isalnum() or c in "-._:" for c in token):
+                    report(
+                        f"attribute {att.name!r} on <{element.tag}>: "
+                        f"{token!r} is not a NMTOKEN"
+                    )

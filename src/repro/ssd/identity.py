@@ -1,0 +1,116 @@
+"""ID/IDREF overlay: the graph view of a document.
+
+XML documents are trees, but ID/IDREF(S) attributes (and by extension XLink
+style references) induce a *graph* — this is what makes the data model
+"semi-structured" in the sense of the paper, and what XML-GL join edges and
+WG-Log instance graphs traverse.
+
+:class:`IdentityIndex` resolves the overlay once per document: it maps ID
+values to elements and enumerates reference edges.  By default any attribute
+named ``id`` defines an identifier and any attribute named ``idref`` /
+``idrefs`` / ``ref`` refers to one; explicit attribute-name sets can be given
+(e.g. taken from a DTD's ATTLIST declarations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..errors import ValidationError
+from .model import Document, Element
+
+__all__ = ["ReferenceEdge", "IdentityIndex"]
+
+_DEFAULT_ID_ATTRS = frozenset({"id"})
+_DEFAULT_IDREF_ATTRS = frozenset({"idref", "ref"})
+_DEFAULT_IDREFS_ATTRS = frozenset({"idrefs", "refs"})
+
+
+@dataclass(frozen=True)
+class ReferenceEdge:
+    """One resolved IDREF edge ``source --attribute--> target``."""
+
+    source: Element
+    attribute: str
+    target: Element
+
+
+class IdentityIndex:
+    """Resolved ID/IDREF structure of one document.
+
+    Args:
+        document: the document to index.
+        id_attributes: attribute names treated as ID declarations.
+        idref_attributes: attribute names holding a single reference.
+        idrefs_attributes: attribute names holding whitespace-separated
+            reference lists.
+        strict: when true, duplicate IDs and dangling references raise
+            :class:`~repro.errors.ValidationError`; otherwise they are
+            recorded in :attr:`duplicate_ids` / :attr:`dangling_refs`.
+    """
+
+    def __init__(
+        self,
+        document: Document,
+        id_attributes: Iterable[str] = _DEFAULT_ID_ATTRS,
+        idref_attributes: Iterable[str] = _DEFAULT_IDREF_ATTRS,
+        idrefs_attributes: Iterable[str] = _DEFAULT_IDREFS_ATTRS,
+        strict: bool = False,
+    ) -> None:
+        self._by_id: dict[str, Element] = {}
+        self._edges: list[ReferenceEdge] = []
+        self.duplicate_ids: list[str] = []
+        self.dangling_refs: list[tuple[Element, str, str]] = []
+        id_attrs = frozenset(id_attributes)
+        ref_attrs = frozenset(idref_attributes)
+        refs_attrs = frozenset(idrefs_attributes)
+
+        for element in document.iter():
+            for name, value in element.attributes.items():
+                if name in id_attrs:
+                    if value in self._by_id:
+                        if strict:
+                            raise ValidationError(f"duplicate ID {value!r}")
+                        self.duplicate_ids.append(value)
+                    else:
+                        self._by_id[value] = element
+
+        for element in document.iter():
+            for name, value in element.attributes.items():
+                if name in ref_attrs:
+                    self._resolve(element, name, value, strict)
+                elif name in refs_attrs:
+                    for token in value.split():
+                        self._resolve(element, name, token, strict)
+
+    def _resolve(self, element: Element, attr: str, value: str, strict: bool) -> None:
+        target = self._by_id.get(value)
+        if target is None:
+            if strict:
+                raise ValidationError(f"dangling IDREF {value!r} on <{element.tag}>")
+            self.dangling_refs.append((element, attr, value))
+            return
+        self._edges.append(ReferenceEdge(element, attr, target))
+
+    # -- queries ------------------------------------------------------------
+
+    def element_by_id(self, identifier: str) -> Optional[Element]:
+        """The element declaring ``identifier``, or ``None``."""
+        return self._by_id.get(identifier)
+
+    def ids(self) -> Iterator[str]:
+        """All declared identifiers."""
+        return iter(self._by_id)
+
+    def edges(self) -> list[ReferenceEdge]:
+        """All resolved reference edges, document order of their sources."""
+        return list(self._edges)
+
+    def references_from(self, element: Element) -> list[ReferenceEdge]:
+        """Outgoing reference edges of ``element``."""
+        return [e for e in self._edges if e.source is element]
+
+    def references_to(self, element: Element) -> list[ReferenceEdge]:
+        """Incoming reference edges of ``element``."""
+        return [e for e in self._edges if e.target is element]

@@ -1,0 +1,107 @@
+"""Schema inference from instances (DataGuide-style).
+
+Semi-structured data is "schema-last": structure is discovered from the
+data rather than declared up front.  This module infers, from one or more
+sample documents, an XML-GL schema graph that *accepts exactly the
+structural patterns seen* (generalised to unbounded upper multiplicities
+where repetition occurs) — the summarisation step the semi-structured
+literature calls a DataGuide, here landing directly in the paper's own
+schema formalism.
+
+Inference rules, per element tag across all its occurrences:
+
+* a child tag seen under every occurrence gets ``min=1``; otherwise
+  ``min=0``;
+* a child tag seen more than once under some occurrence gets ``max=None``
+  (unbounded), otherwise ``max=1``;
+* attributes present on every occurrence are required; values drawn from
+  a small set (≤ ``enum_limit`` distinct values, every value repeated)
+  become enumerations;
+* non-whitespace text anywhere under a tag allows PCDATA there.
+
+The result always validates the documents it was inferred from
+(property-tested), so ``infer → validate`` is a safe pipeline for data
+exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import SchemaError
+from .model import Document, Element, Text
+
+__all__ = ["infer_schema"]
+
+
+@dataclass
+class _TagStats:
+    occurrences: int = 0
+    child_counts: dict[str, list[int]] = field(default_factory=dict)
+    attribute_counts: dict[str, int] = field(default_factory=dict)
+    attribute_values: dict[str, set[str]] = field(default_factory=dict)
+    has_text: bool = False
+
+
+def infer_schema(documents: Iterable[Document] | Document, enum_limit: int = 4):
+    """Infer an XML-GL :class:`~repro.xmlgl.schema.SchemaGraph`.
+
+    Accepts one document or an iterable; all must share a root tag.
+    """
+    from ..xmlgl.schema import SchemaGraph
+
+    if isinstance(documents, Document):
+        documents = [documents]
+    documents = list(documents)
+    if not documents:
+        raise SchemaError("cannot infer a schema from no documents")
+    roots = {d.root.tag for d in documents if d.root is not None}
+    if len(roots) != 1:
+        raise SchemaError(f"documents disagree on the root tag: {sorted(roots)}")
+
+    stats: dict[str, _TagStats] = {}
+    for document in documents:
+        for element in document.iter():
+            _collect(element, stats)
+
+    root_tag = next(iter(roots))
+    schema = SchemaGraph(root=root_tag)
+    for tag in stats:
+        schema.add_element(tag)
+    for tag, tag_stats in stats.items():
+        for child_tag, counts in tag_stats.child_counts.items():
+            present_everywhere = len(counts) == tag_stats.occurrences
+            low = 1 if present_everywhere and min(counts) >= 1 else 0
+            high = None if max(counts) > 1 else 1
+            schema.contain(tag, child_tag, min=low, max=high)
+        for name, count in tag_stats.attribute_counts.items():
+            values = tag_stats.attribute_values[name]
+            enum = ()
+            if len(values) <= enum_limit and count > len(values):
+                enum = tuple(sorted(values))
+            schema.add_attribute(
+                tag, name,
+                required=count == tag_stats.occurrences,
+                values=enum,
+            )
+        if tag_stats.has_text:
+            schema.add_text(tag)
+    schema.check()
+    return schema
+
+
+def _collect(element: Element, stats: dict[str, _TagStats]) -> None:
+    tag_stats = stats.setdefault(element.tag, _TagStats())
+    tag_stats.occurrences += 1
+    counts: dict[str, int] = {}
+    for child in element.children:
+        if isinstance(child, Element):
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+        elif isinstance(child, Text) and child.data.strip():
+            tag_stats.has_text = True
+    for child_tag, count in counts.items():
+        tag_stats.child_counts.setdefault(child_tag, []).append(count)
+    for name, value in element.attributes.items():
+        tag_stats.attribute_counts[name] = tag_stats.attribute_counts.get(name, 0) + 1
+        tag_stats.attribute_values.setdefault(name, set()).add(value)

@@ -1,0 +1,298 @@
+"""Tokenizer for the from-scratch XML parser.
+
+The lexer turns a character stream into a flat stream of :class:`Token`
+objects: start tags (with already-parsed attributes), end tags, character
+data, CDATA sections, comments, processing instructions and the DOCTYPE
+declaration.  Entity references in character data and attribute values are
+resolved here (the five XML built-ins plus decimal/hex character references).
+
+The split between lexer and parser keeps each half small: the lexer knows
+about characters and escaping, the parser about well-formedness (matching
+tags, a single root, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterator
+
+from ..errors import XmlSyntaxError
+
+__all__ = ["TokenType", "Token", "Lexer", "unescape", "NAME_START", "is_name"]
+
+
+class TokenType(Enum):
+    """Kinds of lexical tokens emitted by :class:`Lexer`."""
+
+    START_TAG = auto()      # <name attr="v" ...>   (self_closing False)
+    END_TAG = auto()        # </name>
+    TEXT = auto()           # character data (entities resolved)
+    CDATA = auto()          # <![CDATA[ ... ]]>
+    COMMENT = auto()        # <!-- ... -->
+    PI = auto()             # <?target data?>
+    DOCTYPE = auto()        # <!DOCTYPE name [internal]>
+    EOF = auto()
+
+
+@dataclass
+class Token:
+    """One lexical token.
+
+    ``value`` is the tag name, text data, comment body or PI target depending
+    on ``type``.  Start tags carry ``attributes`` and ``self_closing``;
+    DOCTYPE tokens carry the internal subset in ``data``.
+    """
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+    attributes: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+    data: str = ""
+
+
+_BUILTIN_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+NAME_START = set("_:") | {chr(c) for c in range(ord("a"), ord("z") + 1)} | {
+    chr(c) for c in range(ord("A"), ord("Z") + 1)
+}
+_NAME_CHARS = NAME_START | set("-.0123456789")
+
+
+def is_name(text: str) -> bool:
+    """True when ``text`` is a valid XML name (ASCII subset)."""
+    if not text or text[0] not in NAME_START and not text[0].isalpha():
+        return False
+    return all(c in _NAME_CHARS or c.isalnum() for c in text)
+
+
+def unescape(text: str, line: int = 0, column: int = 0) -> str:
+    """Resolve entity and character references in ``text``."""
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XmlSyntaxError("unterminated entity reference", line, column)
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise XmlSyntaxError(f"bad character reference &{name};", line, column)
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError:
+                raise XmlSyntaxError(f"bad character reference &{name};", line, column)
+        elif name in _BUILTIN_ENTITIES:
+            out.append(_BUILTIN_ENTITIES[name])
+        else:
+            raise XmlSyntaxError(f"unknown entity &{name};", line, column)
+        i = end + 1
+    return "".join(out)
+
+
+class Lexer:
+    """Single-pass XML tokenizer over an in-memory string."""
+
+    def __init__(self, source: str) -> None:
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._src[index] if index < len(self._src) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._src[self._pos : self._pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += count
+        return chunk
+
+    def _error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, self._line, self._col)
+
+    def _expect(self, literal: str) -> None:
+        if not self._src.startswith(literal, self._pos):
+            raise self._error(f"expected {literal!r}")
+        self._advance(len(literal))
+
+    def _skip_whitespace(self) -> None:
+        while self._peek() in " \t\r\n" and self._peek():
+            self._advance()
+
+    def _read_until(self, terminator: str, context: str) -> str:
+        end = self._src.find(terminator, self._pos)
+        if end == -1:
+            raise self._error(f"unterminated {context}")
+        text = self._src[self._pos : end]
+        self._advance(len(text) + len(terminator))
+        return text
+
+    def _read_name(self) -> str:
+        start = self._pos
+        ch = self._peek()
+        if not (ch in NAME_START or ch.isalpha()):
+            raise self._error(f"expected a name, found {ch!r}")
+        while True:
+            ch = self._peek()
+            if ch and (ch in _NAME_CHARS or ch.isalnum()):
+                self._advance()
+            else:
+                break
+        return self._src[start : self._pos]
+
+    # -- token production ---------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens, ending with a single EOF token."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.type is TokenType.EOF:
+                return
+
+    def next_token(self) -> Token:
+        """Lex and return the next token."""
+        if self._pos >= len(self._src):
+            return Token(TokenType.EOF, "", self._line, self._col)
+        line, col = self._line, self._col
+        if self._peek() != "<":
+            return self._lex_text(line, col)
+        if self._peek(1) == "/":
+            return self._lex_end_tag(line, col)
+        if self._peek(1) == "?":
+            return self._lex_pi(line, col)
+        if self._peek(1) == "!":
+            if self._src.startswith("<!--", self._pos):
+                return self._lex_comment(line, col)
+            if self._src.startswith("<![CDATA[", self._pos):
+                return self._lex_cdata(line, col)
+            if self._src.startswith("<!DOCTYPE", self._pos):
+                return self._lex_doctype(line, col)
+            raise self._error("unrecognised markup declaration")
+        return self._lex_start_tag(line, col)
+
+    def _lex_text(self, line: int, col: int) -> Token:
+        start = self._pos
+        next_lt = self._src.find("<", self._pos)
+        end = next_lt if next_lt != -1 else len(self._src)
+        raw = self._src[start:end]
+        if "]]>" in raw:
+            raise self._error("']]>' is not allowed in character data")
+        self._advance(end - start)
+        return Token(TokenType.TEXT, unescape(raw, line, col), line, col)
+
+    def _lex_comment(self, line: int, col: int) -> Token:
+        self._advance(4)  # <!--
+        body = self._read_until("-->", "comment")
+        if "--" in body:
+            raise XmlSyntaxError("'--' is not allowed inside comments", line, col)
+        return Token(TokenType.COMMENT, body, line, col)
+
+    def _lex_cdata(self, line: int, col: int) -> Token:
+        self._advance(9)  # <![CDATA[
+        body = self._read_until("]]>", "CDATA section")
+        return Token(TokenType.CDATA, body, line, col)
+
+    def _lex_pi(self, line: int, col: int) -> Token:
+        self._advance(2)  # <?
+        target = self._read_name()
+        self._skip_whitespace()
+        data = self._read_until("?>", "processing instruction")
+        return Token(TokenType.PI, target, line, col, data=data.rstrip())
+
+    def _lex_doctype(self, line: int, col: int) -> Token:
+        self._advance(len("<!DOCTYPE"))
+        self._skip_whitespace()
+        name = self._read_name()
+        internal = ""
+        # Scan to the closing '>', honouring an optional [internal subset].
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated DOCTYPE declaration")
+            if ch == "[":
+                self._advance()
+                internal = self._read_until("]", "DOCTYPE internal subset")
+            elif ch == ">":
+                self._advance()
+                break
+            else:
+                self._advance()
+        return Token(TokenType.DOCTYPE, name, line, col, data=internal)
+
+    def _lex_end_tag(self, line: int, col: int) -> Token:
+        self._advance(2)  # </
+        name = self._read_name()
+        self._skip_whitespace()
+        self._expect(">")
+        return Token(TokenType.END_TAG, name, line, col)
+
+    def _lex_start_tag(self, line: int, col: int) -> Token:
+        self._advance(1)  # <
+        name = self._read_name()
+        attributes: dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            ch = self._peek()
+            if not ch:
+                raise self._error(f"unterminated start tag <{name}")
+            if ch == ">":
+                self._advance()
+                return Token(TokenType.START_TAG, name, line, col, attributes=attributes)
+            if ch == "/":
+                self._advance()
+                self._expect(">")
+                return Token(
+                    TokenType.START_TAG, name, line, col,
+                    attributes=attributes, self_closing=True,
+                )
+            attr_line, attr_col = self._line, self._col
+            attr_name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error("attribute values must be quoted")
+            self._advance()
+            raw = self._read_until(quote, f"attribute {attr_name}")
+            if "<" in raw:
+                raise XmlSyntaxError(
+                    "'<' is not allowed in attribute values", attr_line, attr_col
+                )
+            if attr_name in attributes:
+                raise XmlSyntaxError(
+                    f"duplicate attribute {attr_name!r}", attr_line, attr_col
+                )
+            # XML 1.0 attribute-value normalisation: literal whitespace
+            # characters become spaces (character references keep theirs).
+            normalised = raw.replace("\t", " ").replace("\n", " ").replace("\r", " ")
+            attributes[attr_name] = unescape(normalised, attr_line, attr_col)

@@ -1,0 +1,359 @@
+"""Node model for semi-structured (XML) data.
+
+This is the substrate both graphical languages query.  Documents are ordered
+trees of :class:`Element`, :class:`Text`, :class:`Comment` and
+:class:`ProcessingInstruction` nodes rooted in a :class:`Document`.  The
+ID/IDREF overlay that turns a tree into a graph (the "semi-structured" part)
+lives in :mod:`repro.ssd.identity`.
+
+Design notes
+------------
+* Children are kept in a plain list; document order is the list order of a
+  depth-first, left-to-right traversal.
+* Attributes are name -> string mappings preserving declaration order (Python
+  dicts are ordered).
+* Nodes know their parent so navigation axes (:mod:`repro.ssd.navigation`)
+  can walk upward and sideways.
+* Equality (:meth:`Node.equals`) is *structural*: two elements are equal when
+  their tags, attributes and child sequences are recursively equal.  Identity
+  comparison (``is``) remains available for binding semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "Node",
+    "Element",
+    "Text",
+    "Comment",
+    "ProcessingInstruction",
+    "Document",
+    "strip_whitespace",
+]
+
+
+class Node:
+    """Abstract base of all document nodes."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Optional[Element | Document] = None
+
+    # -- tree structure -----------------------------------------------------
+
+    @property
+    def document(self) -> Optional[Document]:
+        """The owning :class:`Document`, or ``None`` for detached nodes."""
+        node: Optional[Node] = self
+        while node is not None:
+            if isinstance(node, Document):
+                return node
+            node = node.parent
+        return None
+
+    def ancestors(self) -> Iterator[Element]:
+        """Yield proper ancestors, nearest first (excludes the document)."""
+        node = self.parent
+        while isinstance(node, Element):
+            yield node
+            node = node.parent
+
+    def root_element(self) -> Optional[Element]:
+        """The topmost element above (or equal to) this node."""
+        last: Optional[Element] = self if isinstance(self, Element) else None
+        for anc in self.ancestors():
+            last = anc
+        return last
+
+    # -- content ------------------------------------------------------------
+
+    def text_content(self) -> str:
+        """Concatenated text of this node and all descendants."""
+        return ""
+
+    def equals(self, other: object) -> bool:
+        """Structural equality; subclasses override."""
+        raise NotImplementedError
+
+    def copy(self) -> "Node":
+        """Deep, detached copy of this node."""
+        raise NotImplementedError
+
+
+class Text(Node):
+    """A text node.  ``is_cdata`` records CDATA-section origin."""
+
+    __slots__ = ("data", "is_cdata")
+
+    def __init__(self, data: str, is_cdata: bool = False) -> None:
+        super().__init__()
+        self.data = data
+        self.is_cdata = is_cdata
+
+    def text_content(self) -> str:
+        return self.data
+
+    def equals(self, other: object) -> bool:
+        return isinstance(other, Text) and other.data == self.data
+
+    def copy(self) -> "Text":
+        return Text(self.data, self.is_cdata)
+
+    def __repr__(self) -> str:
+        preview = self.data if len(self.data) <= 24 else self.data[:21] + "..."
+        return f"Text({preview!r})"
+
+
+class Comment(Node):
+    """An XML comment (``<!-- ... -->``)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    def equals(self, other: object) -> bool:
+        return isinstance(other, Comment) and other.data == self.data
+
+    def copy(self) -> "Comment":
+        return Comment(self.data)
+
+    def __repr__(self) -> str:
+        return f"Comment({self.data!r})"
+
+
+class ProcessingInstruction(Node):
+    """A processing instruction (``<?target data?>``)."""
+
+    __slots__ = ("target", "data")
+
+    def __init__(self, target: str, data: str = "") -> None:
+        super().__init__()
+        self.target = target
+        self.data = data
+
+    def equals(self, other: object) -> bool:
+        return (
+            isinstance(other, ProcessingInstruction)
+            and other.target == self.target
+            and other.data == self.data
+        )
+
+    def copy(self) -> "ProcessingInstruction":
+        return ProcessingInstruction(self.target, self.data)
+
+    def __repr__(self) -> str:
+        return f"PI({self.target!r}, {self.data!r})"
+
+
+class Element(Node):
+    """An XML element: tag name, attributes, and an ordered child list."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[dict[str, str]] = None,
+        children: Optional[Iterable[Node | str]] = None,
+    ) -> None:
+        super().__init__()
+        if not tag:
+            raise ValueError("element tag must be a non-empty string")
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Node] = []
+        for child in children or ():
+            self.append(child)
+
+    # -- mutation -----------------------------------------------------------
+
+    def append(self, child: Node | str) -> Node:
+        """Append ``child`` (a node, or a string shorthand for text)."""
+        node = Text(child) if isinstance(child, str) else child
+        if node.parent is not None:
+            raise ValueError("node already has a parent; copy() it first")
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def insert(self, index: int, child: Node | str) -> Node:
+        """Insert ``child`` at ``index`` in the child list."""
+        node = Text(child) if isinstance(child, str) else child
+        if node.parent is not None:
+            raise ValueError("node already has a parent; copy() it first")
+        node.parent = self
+        self.children.insert(index, node)
+        return node
+
+    def remove(self, child: Node) -> None:
+        """Detach ``child`` from this element."""
+        self.children.remove(child)
+        child.parent = None
+
+    def set(self, name: str, value: str) -> None:
+        """Set attribute ``name`` to ``value``."""
+        self.attributes[name] = value
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Attribute value for ``name``, or ``default``."""
+        return self.attributes.get(name, default)
+
+    def child_elements(self) -> list["Element"]:
+        """Direct element children, in document order."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First direct child element with the given tag, or ``None``."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All direct child elements with the given tag."""
+        return [c for c in self.children if isinstance(c, Element) and c.tag == tag]
+
+    def iter(self, tag: Optional[str] = None) -> Iterator["Element"]:
+        """Yield this element and all descendant elements (document order).
+
+        When ``tag`` is given, only matching elements are yielded.
+        """
+        if tag is None or self.tag == tag:
+            yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter(tag)
+
+    def descendants(self) -> Iterator[Node]:
+        """All descendant nodes of any type, document order, self excluded."""
+        for child in self.children:
+            yield child
+            if isinstance(child, Element):
+                yield from child.descendants()
+
+    def text_content(self) -> str:
+        return "".join(c.text_content() for c in self.children)
+
+    def immediate_text(self) -> str:
+        """Concatenated text of direct :class:`Text` children only."""
+        return "".join(c.data for c in self.children if isinstance(c, Text))
+
+    # -- structure ----------------------------------------------------------
+
+    def equals(self, other: object) -> bool:
+        if not isinstance(other, Element):
+            return False
+        if other.tag != self.tag or other.attributes != self.attributes:
+            return False
+        mine = [c for c in self.children if not isinstance(c, (Comment, ProcessingInstruction))]
+        theirs = [c for c in other.children if not isinstance(c, (Comment, ProcessingInstruction))]
+        if len(mine) != len(theirs):
+            return False
+        return all(a.equals(b) for a, b in zip(mine, theirs))
+
+    def copy(self) -> "Element":
+        clone = Element(self.tag, dict(self.attributes))
+        for child in self.children:
+            clone.append(child.copy())
+        return clone
+
+    def size(self) -> int:
+        """Number of nodes in this subtree (self included)."""
+        return 1 + sum(
+            c.size() if isinstance(c, Element) else 1 for c in self.children
+        )
+
+    def __repr__(self) -> str:
+        return f"Element({self.tag!r}, attrs={len(self.attributes)}, children={len(self.children)})"
+
+
+class Document(Node):
+    """A document: prolog nodes, exactly one root element, epilog nodes."""
+
+    __slots__ = ("children", "doctype_name", "doctype_internal")
+
+    def __init__(self, root: Optional[Element] = None) -> None:
+        super().__init__()
+        self.children: list[Node] = []
+        #: Name from ``<!DOCTYPE name ...>``, if the document had one.
+        self.doctype_name: Optional[str] = None
+        #: Raw internal DTD subset text (between ``[`` and ``]``), if any.
+        self.doctype_internal: Optional[str] = None
+        if root is not None:
+            self.append(root)
+
+    @property
+    def root(self) -> Optional[Element]:
+        """The document's root element (``None`` while under construction)."""
+        for child in self.children:
+            if isinstance(child, Element):
+                return child
+        return None
+
+    def append(self, child: Node) -> Node:
+        """Append a prolog/epilog node or the root element."""
+        if isinstance(child, Element) and self.root is not None:
+            raise ValueError("document already has a root element")
+        if isinstance(child, Text) and child.data.strip():
+            raise ValueError("documents cannot contain non-whitespace text")
+        if child.parent is not None:
+            raise ValueError("node already has a parent; copy() it first")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter(self, tag: Optional[str] = None) -> Iterator[Element]:
+        """Iterate elements of the whole document (document order)."""
+        if self.root is not None:
+            yield from self.root.iter(tag)
+
+    def text_content(self) -> str:
+        return self.root.text_content() if self.root is not None else ""
+
+    def equals(self, other: object) -> bool:
+        if not isinstance(other, Document):
+            return False
+        a, b = self.root, other.root
+        if a is None or b is None:
+            return a is b
+        return a.equals(b)
+
+    def copy(self) -> "Document":
+        doc = Document()
+        doc.doctype_name = self.doctype_name
+        doc.doctype_internal = self.doctype_internal
+        for child in self.children:
+            doc.append(child.copy())
+        return doc
+
+    def size(self) -> int:
+        """Number of nodes below the document (root subtree size)."""
+        return self.root.size() if self.root is not None else 0
+
+    def __repr__(self) -> str:
+        tag = self.root.tag if self.root is not None else None
+        return f"Document(root={tag!r})"
+
+
+def strip_whitespace(node: Node) -> Node:
+    """Remove whitespace-only text nodes from a subtree, in place.
+
+    Useful for comparing documents "modulo indentation", e.g. after
+    :func:`~repro.ssd.serializer.pretty` round trips.  Returns ``node``.
+    """
+    if isinstance(node, (Element, Document)):
+        kept: list[Node] = []
+        for child in node.children:
+            if isinstance(child, Text) and not child.data.strip():
+                child.parent = None
+                continue
+            kept.append(strip_whitespace(child))
+        node.children = kept
+    return node

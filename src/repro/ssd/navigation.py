@@ -1,0 +1,116 @@
+"""Navigation axes over the node model.
+
+These are the tree axes the graphical languages compile to: children,
+descendants (XML-GL's ``*`` starred edge), parent, ancestors, siblings and
+document order.  They are plain generator functions so evaluation stays lazy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .model import Document, Element, Node
+
+__all__ = [
+    "children",
+    "child_elements",
+    "descendants",
+    "descendant_elements",
+    "descendant_or_self_elements",
+    "parent_element",
+    "ancestors",
+    "following_siblings",
+    "preceding_siblings",
+    "document_order",
+    "document_position",
+    "depth",
+]
+
+
+def children(node: Node) -> Iterator[Node]:
+    """Direct children of an element or document (document order)."""
+    if isinstance(node, (Element, Document)):
+        yield from node.children
+
+
+def child_elements(node: Node) -> Iterator[Element]:
+    """Direct element children."""
+    for child in children(node):
+        if isinstance(child, Element):
+            yield child
+
+
+def descendants(node: Node) -> Iterator[Node]:
+    """All descendant nodes (self excluded), document order."""
+    for child in children(node):
+        yield child
+        yield from descendants(child)
+
+
+def descendant_elements(node: Node) -> Iterator[Element]:
+    """All descendant elements (self excluded), document order."""
+    for desc in descendants(node):
+        if isinstance(desc, Element):
+            yield desc
+
+
+def descendant_or_self_elements(node: Node) -> Iterator[Element]:
+    """Self (when an element) followed by descendant elements."""
+    if isinstance(node, Element):
+        yield node
+    yield from descendant_elements(node)
+
+
+def parent_element(node: Node) -> Optional[Element]:
+    """The parent when it is an element, else ``None``."""
+    return node.parent if isinstance(node.parent, Element) else None
+
+
+def ancestors(node: Node) -> Iterator[Element]:
+    """Proper element ancestors, nearest first."""
+    yield from node.ancestors()
+
+
+def _siblings(node: Node) -> list[Node]:
+    if node.parent is None:
+        return [node]
+    return node.parent.children
+
+
+def following_siblings(node: Node) -> Iterator[Node]:
+    """Siblings after this node, document order."""
+    sibs = _siblings(node)
+    index = next(i for i, s in enumerate(sibs) if s is node)
+    yield from sibs[index + 1 :]
+
+
+def preceding_siblings(node: Node) -> Iterator[Node]:
+    """Siblings before this node, reverse document order."""
+    sibs = _siblings(node)
+    index = next(i for i, s in enumerate(sibs) if s is node)
+    yield from reversed(sibs[:index])
+
+
+def document_order(root: Node) -> Iterator[Node]:
+    """``root`` followed by all descendants in document order."""
+    yield root
+    yield from descendants(root)
+
+
+def document_position(node: Node) -> int:
+    """0-based position of ``node`` in its document's order.
+
+    Detached nodes are positioned within their own subtree.
+    """
+    top: Node = node.document or node
+    while top.parent is not None:  # detached subtree: walk to its top
+        top = top.parent
+    for index, candidate in enumerate(document_order(top)):
+        if candidate is node:
+            return index
+    raise ValueError("node not reachable from its root")  # pragma: no cover
+
+
+def depth(node: Node) -> int:
+    """Number of element ancestors above ``node``."""
+    return sum(1 for _ in node.ancestors())

@@ -1,0 +1,308 @@
+"""A small path-expression engine (XPath-flavoured subset).
+
+The paper situates graphical languages against the navigational textual
+languages (XPath/XSLT-style); this module implements the subset needed to
+express tree-shaped XML-GL extraction graphs as path expressions:
+
+* ``/a/b`` — child steps, ``//a`` — descendant steps, ``*`` wildcard;
+* predicates ``[child]``, ``[@attr]``, ``[@attr='v']``, ``[text()='v']``,
+  ``[not(child)]``;
+* a leading ``/`` anchors at the document root; otherwise the expression
+  starts from all elements.
+
+Besides being a user-facing utility, the engine is the *differential
+oracle* for the XML-GL matcher: tree-shaped query graphs translate to
+path expressions (:mod:`repro.xmlgl.translate`) and both evaluators must
+return the same element sets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import QuerySyntaxError
+from .model import Document, Element
+
+__all__ = ["Step", "PathExpression", "parse_path", "evaluate_path"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One ``[...]`` filter on a step.
+
+    ``kind`` is one of ``child`` / ``attr`` / ``text``; ``negated`` wraps
+    the test in ``not(...)``; ``value`` (optional) adds an equality test.
+    ``path`` (for ``child``) holds a nested relative path expression.
+    """
+
+    kind: str
+    name: str = ""
+    value: Optional[str] = None
+    negated: bool = False
+    path: Optional["PathExpression"] = None
+
+    def holds(self, element: Element) -> bool:
+        result = self._positive(element)
+        return not result if self.negated else result
+
+    def _positive(self, element: Element) -> bool:
+        if self.kind == "attr":
+            actual = element.get(self.name)
+            if actual is None:
+                return False
+            return self.value is None or actual == self.value
+        if self.kind == "text":
+            text = element.immediate_text().strip()
+            if not text:
+                return False
+            return self.value is None or text == self.value
+        assert self.kind == "child"
+        assert self.path is not None
+        return bool(evaluate_path(self.path, element))
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis (child/descendant), node test, predicates."""
+
+    axis: str                       # "child" | "descendant"
+    tag: Optional[str]              # None = "*"
+    predicates: tuple[Predicate, ...] = ()
+
+    def candidates(self, context: Element) -> list[Element]:
+        if self.axis == "child":
+            pool = context.child_elements()
+        else:
+            pool = [e for e in context.iter() if e is not context]
+        return [
+            e
+            for e in pool
+            if (self.tag is None or e.tag == self.tag)
+            and all(p.holds(e) for p in self.predicates)
+        ]
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A parsed path: optional root anchor plus steps."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        parts = []
+        for index, step in enumerate(self.steps):
+            sep = "//" if step.axis == "descendant" else "/"
+            if index == 0 and not self.absolute and step.axis == "child":
+                sep = ""
+            preds = "".join(_render_predicate(p) for p in step.predicates)
+            parts.append(f"{sep}{step.tag or '*'}{preds}")
+        return "".join(parts)
+
+
+def _render_predicate(predicate: Predicate) -> str:
+    if predicate.kind == "attr":
+        body = f"@{predicate.name}"
+        if predicate.value is not None:
+            body += f"='{predicate.value}'"
+    elif predicate.kind == "text":
+        body = "text()"
+        if predicate.value is not None:
+            body += f"='{predicate.value}'"
+    else:
+        body = str(predicate.path)
+    if predicate.negated:
+        body = f"not({body})"
+    return f"[{body}]"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_\-.]*")
+
+
+class _PathScanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if not self.eof() else ""
+
+    def take(self, literal: str) -> bool:
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise QuerySyntaxError(
+                f"expected {literal!r} at position {self.pos} in path"
+            )
+
+    def name(self) -> str:
+        match = _NAME.match(self.text, self.pos)
+        if not match:
+            raise QuerySyntaxError(
+                f"expected a name at position {self.pos} in path"
+            )
+        self.pos = match.end()
+        return match.group()
+
+
+def parse_path(text: str) -> PathExpression:
+    """Parse a path expression string."""
+    scanner = _PathScanner(text.strip())
+    absolute = False
+    steps: list[Step] = []
+    first = True
+    while not scanner.eof():
+        if scanner.take("//"):
+            axis = "descendant"
+            if first:
+                absolute = True
+        elif scanner.take("/"):
+            axis = "child"
+            if first:
+                absolute = True
+        elif first:
+            axis = "child"
+        else:
+            raise QuerySyntaxError(
+                f"expected '/' at position {scanner.pos} in path"
+            )
+        first = False
+        if scanner.take("*"):
+            tag: Optional[str] = None
+        else:
+            tag = scanner.name()
+        predicates = []
+        while scanner.take("["):
+            predicates.append(_parse_predicate(scanner))
+        steps.append(Step(axis, tag, tuple(predicates)))
+    if not steps:
+        raise QuerySyntaxError("empty path expression")
+    return PathExpression(tuple(steps), absolute=absolute)
+
+
+def _parse_predicate(scanner: _PathScanner) -> Predicate:
+    negated = scanner.take("not(")
+    if scanner.take("@"):
+        name = scanner.name()
+        value = _maybe_value(scanner)
+        predicate = Predicate("attr", name, value, negated)
+    elif scanner.take("text()"):
+        value = _maybe_value(scanner)
+        predicate = Predicate("text", "", value, negated)
+    else:
+        depth = 0
+        start = scanner.pos
+        while not scanner.eof():
+            ch = scanner.peek()
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif ch == ")" and negated and depth == 0:
+                break
+            scanner.pos += 1
+        inner = scanner.text[start : scanner.pos]
+        predicate = Predicate("child", negated=negated, path=parse_path(inner))
+    if negated:
+        scanner.expect(")")
+    scanner.expect("]")
+    return predicate
+
+
+def _maybe_value(scanner: _PathScanner) -> Optional[str]:
+    if not scanner.take("="):
+        return None
+    quote = scanner.peek()
+    if quote not in ("'", '"'):
+        raise QuerySyntaxError("predicate values must be quoted")
+    scanner.pos += 1
+    end = scanner.text.find(quote, scanner.pos)
+    if end == -1:
+        raise QuerySyntaxError("unterminated predicate value")
+    value = scanner.text[scanner.pos : end]
+    scanner.pos = end + 1
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate_path(
+    path: PathExpression | str, context: Document | Element
+) -> list[Element]:
+    """Evaluate a path; returns matching elements in document order.
+
+    Absolute paths start at the document/subtree root (the first step must
+    match the root element itself when anchored at a document); relative
+    paths start below ``context``.
+    """
+    if isinstance(path, str):
+        path = parse_path(path)
+    if isinstance(context, Document):
+        root = context.root
+        if root is None:
+            return []
+        if path.absolute:
+            first, rest = path.steps[0], path.steps[1:]
+            if first.axis == "child":
+                matches = (
+                    [root]
+                    if (first.tag is None or root.tag == first.tag)
+                    and all(p.holds(root) for p in first.predicates)
+                    else []
+                )
+            else:
+                matches = first.candidates(_fake_parent(root))
+            current = matches
+            for step in rest:
+                current = _advance(current, step)
+            return _document_order_unique(current)
+        context = root
+        current = [context]
+        for step in path.steps:
+            current = _advance(current, step)
+        return _document_order_unique(current)
+    current = [context]
+    for step in path.steps:
+        current = _advance(current, step)
+    return _document_order_unique(current)
+
+
+def _fake_parent(root: Element) -> Element:
+    wrapper = Element("#document")
+    # do not reparent: temporary shallow container for candidate generation
+    wrapper.children = [root]
+    return wrapper
+
+
+def _advance(contexts: list[Element], step: Step) -> list[Element]:
+    out: list[Element] = []
+    for context in contexts:
+        out.extend(step.candidates(context))
+    return out
+
+
+def _document_order_unique(elements: list[Element]) -> list[Element]:
+    seen: set[int] = set()
+    unique = []
+    for element in elements:
+        if id(element) not in seen:
+            seen.add(id(element))
+            unique.append(element)
+    return unique

@@ -1,0 +1,131 @@
+"""Serialization of documents back to XML text.
+
+Two modes are provided:
+
+* :func:`serialize` — compact, loss-free round trip of the node model;
+* :func:`pretty` — indented output for humans (whitespace-only text nodes
+  are re-flowed, so ``parse(pretty(doc))`` is equal modulo whitespace).
+"""
+
+from __future__ import annotations
+
+from .model import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+
+__all__ = ["serialize", "pretty", "escape_text", "escape_attribute"]
+
+
+def escape_text(data: str) -> str:
+    """Escape character data for element content."""
+    return data.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(data: str) -> str:
+    """Escape character data for a double-quoted attribute value.
+
+    Whitespace characters become character references so they survive the
+    parser's XML 1.0 attribute-value normalisation on the way back in.
+    """
+    return (
+        data.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\t", "&#9;")
+        .replace("\n", "&#10;")
+        .replace("\r", "&#13;")
+    )
+
+
+def serialize(node: Node) -> str:
+    """Serialize any node (or document) compactly."""
+    parts: list[str] = []
+    _write(node, parts)
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str]) -> None:
+    if isinstance(node, Document):
+        if node.doctype_name:
+            if node.doctype_internal:
+                parts.append(
+                    f"<!DOCTYPE {node.doctype_name} [{node.doctype_internal}]>"
+                )
+            else:
+                parts.append(f"<!DOCTYPE {node.doctype_name}>")
+        for child in node.children:
+            _write(child, parts)
+    elif isinstance(node, Element):
+        parts.append(f"<{node.tag}")
+        for name, value in node.attributes.items():
+            parts.append(f' {name}="{escape_attribute(value)}"')
+        if node.children:
+            parts.append(">")
+            for child in node.children:
+                _write(child, parts)
+            parts.append(f"</{node.tag}>")
+        else:
+            parts.append("/>")
+    elif isinstance(node, Text):
+        if node.is_cdata:
+            parts.append(f"<![CDATA[{node.data}]]>")
+        else:
+            parts.append(escape_text(node.data))
+    elif isinstance(node, Comment):
+        parts.append(f"<!--{node.data}-->")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"<?{node.target}{data}?>")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+
+
+def pretty(node: Node, indent: str = "  ") -> str:
+    """Serialize with indentation for human inspection."""
+    parts: list[str] = []
+    _write_pretty(node, parts, indent, 0)
+    return "\n".join(parts)
+
+
+def _is_inline(element: Element) -> bool:
+    """Elements whose children are only text render on a single line."""
+    return all(isinstance(c, Text) for c in element.children)
+
+
+def _write_pretty(node: Node, lines: list[str], indent: str, depth: int) -> None:
+    pad = indent * depth
+    if isinstance(node, Document):
+        if node.doctype_name:
+            lines.append(f"<!DOCTYPE {node.doctype_name}>")
+        for child in node.children:
+            _write_pretty(child, lines, indent, depth)
+    elif isinstance(node, Element):
+        attrs = "".join(
+            f' {n}="{escape_attribute(v)}"' for n, v in node.attributes.items()
+        )
+        if not node.children:
+            lines.append(f"{pad}<{node.tag}{attrs}/>")
+        elif _is_inline(node):
+            text = escape_text(node.immediate_text())
+            lines.append(f"{pad}<{node.tag}{attrs}>{text}</{node.tag}>")
+        else:
+            lines.append(f"{pad}<{node.tag}{attrs}>")
+            for child in node.children:
+                if isinstance(child, Text) and not child.data.strip():
+                    continue
+                _write_pretty(child, lines, indent, depth + 1)
+            lines.append(f"{pad}</{node.tag}>")
+    elif isinstance(node, Text):
+        stripped = node.data.strip()
+        if stripped:
+            lines.append(f"{pad}{escape_text(stripped)}")
+    elif isinstance(node, Comment):
+        lines.append(f"{pad}<!--{node.data}-->")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        lines.append(f"{pad}<?{node.target}{data}?>")

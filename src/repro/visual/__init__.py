@@ -1,0 +1,29 @@
+"""The visual layer: diagrams, layout, rendering, headless editors.
+
+This package is the offline substitute for the GUI the paper's systems
+assume: a diagram scene graph (:class:`Diagram`), a deterministic layered
+layout, SVG and ASCII renderers, lossless AST⇄diagram mappings for both
+languages, and gesture-level editors (:class:`XmlglEditor`,
+:class:`WglogEditor`) with undo/redo that compile drawings to runnable
+queries.
+"""
+
+from .ascii_art import render_ascii
+from .diagram import Diagram
+from .editor import WglogEditor, XmlglEditor
+from .layout import layered_layout, side_by_side
+from .parse_diagram import diagram_to_wglog, diagram_to_xmlgl
+from .persist import load_diagram, save_diagram
+from .render_query import wglog_rule_diagram, xmlgl_rule_diagram
+from .shapes import Connector, Shape, ShapeKind, StrokeStyle
+from .svg import render_svg
+
+__all__ = [
+    "Diagram", "Shape", "Connector", "ShapeKind", "StrokeStyle",
+    "layered_layout", "side_by_side",
+    "render_svg", "render_ascii",
+    "xmlgl_rule_diagram", "wglog_rule_diagram",
+    "diagram_to_xmlgl", "diagram_to_wglog",
+    "save_diagram", "load_diagram",
+    "XmlglEditor", "WglogEditor",
+]

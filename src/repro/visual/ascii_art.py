@@ -1,0 +1,127 @@
+"""ASCII rendering of diagrams.
+
+A coarse character-grid view used in tests, logs and terminals, where SVG
+cannot be inspected.  The renderer scales the laid-out coordinates onto a
+character canvas, draws each shape's outline, then routes connectors as
+straight character lines with direction-dependent arrowheads; crossed
+connectors get an ``X`` at their midpoint, dashed (path) ones use ``.``,
+thick (green/construct) ones use ``=``.
+"""
+
+from __future__ import annotations
+
+from .diagram import Diagram
+from .shapes import Connector, Shape, ShapeKind, StrokeStyle
+
+__all__ = ["render_ascii"]
+
+_X_SCALE = 8.0
+_Y_SCALE = 14.0
+
+
+class _Canvas:
+    def __init__(self, width: int, height: int) -> None:
+        self.grid = [[" "] * width for _ in range(height)]
+        self.width = width
+        self.height = height
+
+    def put(self, x: int, y: int, char: str, force: bool = False) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            if force or self.grid[y][x] == " ":
+                self.grid[y][x] = char
+
+    def text(self, x: int, y: int, text: str) -> None:
+        for offset, char in enumerate(text):
+            self.put(x + offset, y, char, force=True)
+
+    def render(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self.grid)
+
+
+def render_ascii(diagram: Diagram) -> str:
+    """Render a laid-out diagram to a character grid."""
+    min_x, min_y, max_x, max_y = diagram.bounds()
+    width = int((max_x - min_x) / _X_SCALE) + 20
+    height = int((max_y - min_y) / _Y_SCALE) + 6
+    canvas = _Canvas(max(width, 20), max(height, 5))
+
+    def to_grid(x: float, y: float) -> tuple[int, int]:
+        return (int((x - min_x) / _X_SCALE) + 1, int((y - min_y) / _Y_SCALE) + 1)
+
+    for connector in diagram.connectors():
+        _draw_connector(canvas, diagram, connector, to_grid)
+    for shape in diagram.shapes():
+        _draw_shape(canvas, shape, to_grid)
+    lines = [f"== {diagram.title} ==" ] if diagram.title else []
+    return "\n".join(lines + [canvas.render()])
+
+
+def _draw_shape(canvas: _Canvas, shape: Shape, to_grid) -> None:
+    left, top = to_grid(shape.x, shape.y)
+    right, bottom = to_grid(shape.x + shape.width, shape.y + shape.height)
+    right = max(right, left + len(shape.label) + 1)
+    if shape.kind is ShapeKind.BOX:
+        border = "=" if shape.stroke is StrokeStyle.THICK else "-"
+        for x in range(left, right + 1):
+            canvas.put(x, top, border, force=True)
+            canvas.put(x, bottom, border, force=True)
+        for y in range(top, bottom + 1):
+            canvas.put(left, y, "|", force=True)
+            canvas.put(right, y, "|", force=True)
+        for corner_x, corner_y in ((left, top), (right, top), (left, bottom), (right, bottom)):
+            canvas.put(corner_x, corner_y, "+", force=True)
+        canvas.text(left + 1, (top + bottom) // 2, shape.label[: right - left - 1])
+    elif shape.kind is ShapeKind.CIRCLE_HOLLOW:
+        canvas.text(left, (top + bottom) // 2, f"({shape.label or ' '})")
+    elif shape.kind is ShapeKind.CIRCLE_FILLED:
+        canvas.text(left, (top + bottom) // 2, f"(*{shape.label or ''}*)")
+    elif shape.kind is ShapeKind.TRIANGLE:
+        mid = (left + right) // 2
+        canvas.put(mid, top, "^", force=True)
+        canvas.text(left, bottom, "/__\\")
+        if shape.label:
+            canvas.text(left, bottom + 1, shape.label)
+    elif shape.kind is ShapeKind.LIST_ICON:
+        canvas.text(left, top, "[≡]" if shape.width < 40 else "[list]")
+        if shape.label:
+            canvas.text(left, top + 1, shape.label)
+    elif shape.kind is ShapeKind.LABEL:
+        canvas.text(left, top, shape.label)
+    elif shape.kind is ShapeKind.SEPARATOR:
+        for y in range(top, bottom + 1):
+            canvas.put(left, y, "#", force=True)
+    if shape.crossed:
+        cx, cy = to_grid(*shape.center)
+        canvas.put(cx, cy, "X", force=True)
+
+
+def _draw_connector(canvas: _Canvas, diagram: Diagram, connector: Connector, to_grid) -> None:
+    source = diagram.shape(connector.source)
+    target = diagram.shape(connector.target)
+    x1, y1 = to_grid(*source.center)
+    x2, y2 = to_grid(*target.center)
+    if connector.stroke is StrokeStyle.THICK:
+        char = "="
+    elif connector.stroke is StrokeStyle.DASHED:
+        char = "."
+    else:
+        char = "*"
+    steps = max(abs(x2 - x1), abs(y2 - y1), 1)
+    for step in range(steps + 1):
+        t = step / steps
+        canvas.put(round(x1 + (x2 - x1) * t), round(y1 + (y2 - y1) * t), char)
+    if connector.arrow:
+        head = _arrow_head(x2 - x1, y2 - y1)
+        canvas.put(round(x1 + (x2 - x1) * 0.8), round(y1 + (y2 - y1) * 0.8), head, force=True)
+    mid_x, mid_y = (x1 + x2) // 2, (y1 + y2) // 2
+    if connector.crossed:
+        canvas.put(mid_x, mid_y, "X", force=True)
+    annotation = " ".join(filter(None, (connector.label, connector.annotation)))
+    if annotation:
+        canvas.text(mid_x + 1, mid_y, annotation)
+
+
+def _arrow_head(dx: int, dy: int) -> str:
+    if abs(dx) >= abs(dy):
+        return ">" if dx >= 0 else "<"
+    return "v" if dy >= 0 else "^"

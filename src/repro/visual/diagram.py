@@ -1,0 +1,148 @@
+"""The headless diagram scene graph.
+
+A :class:`Diagram` is what an interactive editor would keep in memory: a
+set of shapes and the connectors between them, plus free annotations.  It
+knows nothing about query semantics — the mappings in
+:mod:`repro.visual.render_query` and :mod:`repro.visual.parse_diagram`
+translate between diagrams and the two languages' ASTs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import DiagramError
+from .shapes import Connector, Shape, ShapeKind
+
+__all__ = ["Diagram"]
+
+
+class Diagram:
+    """Shapes + connectors with id-based lookup and structural checks."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._shapes: dict[str, Shape] = {}
+        self._connectors: dict[str, Connector] = {}
+        self._fresh = 0
+
+    # -- ids ------------------------------------------------------------------
+
+    def fresh_id(self, stem: str = "s") -> str:
+        """An id unused by any shape or connector."""
+        while True:
+            self._fresh += 1
+            candidate = f"{stem}{self._fresh}"
+            if candidate not in self._shapes and candidate not in self._connectors:
+                return candidate
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_shape(self, shape: Shape) -> Shape:
+        """Add a shape; duplicate ids raise."""
+        if shape.id in self._shapes:
+            raise DiagramError(f"duplicate shape id {shape.id!r}")
+        self._shapes[shape.id] = shape
+        return shape
+
+    def add_connector(self, connector: Connector) -> Connector:
+        """Add a connector; endpoints must exist."""
+        if connector.id in self._connectors:
+            raise DiagramError(f"duplicate connector id {connector.id!r}")
+        for endpoint in (connector.source, connector.target):
+            if endpoint not in self._shapes:
+                raise DiagramError(f"connector endpoint {endpoint!r} is not a shape")
+        self._connectors[connector.id] = connector
+        return connector
+
+    def remove_shape(self, shape_id: str) -> None:
+        """Remove a shape and all incident connectors."""
+        if shape_id not in self._shapes:
+            raise DiagramError(f"unknown shape {shape_id!r}")
+        del self._shapes[shape_id]
+        for connector_id in [
+            c.id
+            for c in self._connectors.values()
+            if c.source == shape_id or c.target == shape_id
+        ]:
+            del self._connectors[connector_id]
+
+    def remove_connector(self, connector_id: str) -> None:
+        """Remove one connector."""
+        if connector_id not in self._connectors:
+            raise DiagramError(f"unknown connector {connector_id!r}")
+        del self._connectors[connector_id]
+
+    # -- access ---------------------------------------------------------------
+
+    def shape(self, shape_id: str) -> Shape:
+        """Shape by id; raises :class:`DiagramError` when absent."""
+        try:
+            return self._shapes[shape_id]
+        except KeyError:
+            raise DiagramError(f"unknown shape {shape_id!r}")
+
+    def connector(self, connector_id: str) -> Connector:
+        """Connector by id."""
+        try:
+            return self._connectors[connector_id]
+        except KeyError:
+            raise DiagramError(f"unknown connector {connector_id!r}")
+
+    def shapes(self) -> Iterator[Shape]:
+        """All shapes, insertion order."""
+        return iter(self._shapes.values())
+
+    def connectors(self) -> Iterator[Connector]:
+        """All connectors, insertion order."""
+        return iter(self._connectors.values())
+
+    def shapes_of_kind(self, kind: ShapeKind) -> list[Shape]:
+        """Shapes of one kind."""
+        return [s for s in self._shapes.values() if s.kind is kind]
+
+    def connectors_from(self, shape_id: str) -> list[Connector]:
+        """Outgoing connectors of a shape."""
+        return [c for c in self._connectors.values() if c.source == shape_id]
+
+    def connectors_to(self, shape_id: str) -> list[Connector]:
+        """Incoming connectors of a shape."""
+        return [c for c in self._connectors.values() if c.target == shape_id]
+
+    def __contains__(self, shape_id: str) -> bool:
+        return shape_id in self._shapes
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    # -- geometry ---------------------------------------------------------------
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y) over all shapes (post-layout)."""
+        placed = [s for s in self._shapes.values()]
+        if not placed:
+            return (0.0, 0.0, 0.0, 0.0)
+        return (
+            min(s.x for s in placed),
+            min(s.y for s in placed),
+            max(s.x + s.width for s in placed),
+            max(s.y + s.height for s in placed),
+        )
+
+    def validate(self) -> None:
+        """Structural checks: connector endpoints exist, separator count."""
+        for connector in self._connectors.values():
+            for endpoint in (connector.source, connector.target):
+                if endpoint not in self._shapes:
+                    raise DiagramError(
+                        f"connector {connector.id!r} endpoint {endpoint!r} missing"
+                    )
+        separators = self.shapes_of_kind(ShapeKind.SEPARATOR)
+        if len(separators) > 1:
+            raise DiagramError("a rule diagram has at most one separator")
+
+    def __repr__(self) -> str:
+        return (
+            f"Diagram({self.title!r}, shapes={len(self._shapes)}, "
+            f"connectors={len(self._connectors)})"
+        )

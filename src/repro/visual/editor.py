@@ -1,0 +1,491 @@
+"""Headless query editors.
+
+These classes stand in for the paper's interactive GUI (the repro
+environment has no Qt): each public method is one *editor gesture* — drop
+a box, draw an arc, cross an arc out, annotate a predicate — applied to
+the same diagram model a GUI canvas would hold.  ``undo``/``redo`` work on
+whole-diagram snapshots, and ``compile()`` turns the current drawing into
+the language AST via :mod:`repro.visual.parse_diagram`, so everything the
+GUI would let a user author is exercisable from tests and scripts.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Sequence
+
+from ..engine.conditions import Condition
+from ..errors import DiagramError
+from ..xmlgl.rule import Rule
+from ..wglog.ast import RuleGraph
+from .diagram import Diagram
+from .layout import layered_layout, side_by_side
+from .parse_diagram import diagram_to_wglog, diagram_to_xmlgl
+from .render_query import wglog_rule_diagram, xmlgl_rule_diagram
+from .shapes import Connector, Shape, ShapeKind, StrokeStyle
+from .svg import render_svg
+from .ascii_art import render_ascii
+
+__all__ = ["XmlglEditor", "WglogEditor"]
+
+
+class _BaseEditor:
+    """Snapshot-based undo/redo over a diagram."""
+
+    def __init__(self, title: str = "") -> None:
+        self.diagram = Diagram(title=title)
+        self._undo_stack: list[Diagram] = []
+        self._redo_stack: list[Diagram] = []
+
+    def _checkpoint(self) -> None:
+        self._undo_stack.append(copy.deepcopy(self.diagram))
+        self._redo_stack.clear()
+
+    def undo(self) -> bool:
+        """Undo the last gesture; returns False when nothing to undo."""
+        if not self._undo_stack:
+            return False
+        self._redo_stack.append(self.diagram)
+        self.diagram = self._undo_stack.pop()
+        return True
+
+    def redo(self) -> bool:
+        """Redo the last undone gesture."""
+        if not self._redo_stack:
+            return False
+        self._undo_stack.append(self.diagram)
+        self.diagram = self._redo_stack.pop()
+        return True
+
+    def delete(self, shape_id: str) -> None:
+        """Delete a shape (and its arcs) — the eraser gesture."""
+        self._checkpoint()
+        self.diagram.remove_shape(shape_id)
+
+    def to_svg(self) -> str:
+        """Render the current drawing as SVG."""
+        return render_svg(self.diagram)
+
+    def to_ascii(self) -> str:
+        """Render the current drawing as ASCII art."""
+        return render_ascii(self.diagram)
+
+    def save(self, path: str) -> None:
+        """Persist the current drawing (JSON, see ``visual.persist``)."""
+        from .persist import save_diagram
+
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(save_diagram(self.diagram))
+
+    @classmethod
+    def open(cls, path: str) -> "_BaseEditor":
+        """Reopen a saved drawing in a fresh editor (empty undo history)."""
+        from .persist import load_diagram
+
+        with open(path, "r", encoding="utf-8") as handle:
+            diagram = load_diagram(handle.read())
+        editor = cls(title=diagram.title)
+        editor.diagram = diagram
+        return editor
+
+
+class XmlglEditor(_BaseEditor):
+    """Gesture-level authoring of XML-GL rules."""
+
+    def __init__(self, title: str = "") -> None:
+        super().__init__(title)
+        self._construct_count = 0
+
+    # -- query-side gestures -------------------------------------------------
+
+    def add_element_box(
+        self,
+        tag: Optional[str],
+        node_id: Optional[str] = None,
+        anchored: bool = False,
+        graph: int = 0,
+    ) -> str:
+        """Drop an element box on the extract canvas; returns its shape id."""
+        self._checkpoint()
+        node_id = node_id or self.diagram.fresh_id("n")
+        shape = Shape(
+            f"q:{node_id}", ShapeKind.BOX,
+            label=tag if tag is not None else "*",
+            meta={
+                "role": "element", "node": node_id, "tag": tag,
+                "anchored": anchored, "graph": graph,
+            },
+        )
+        self.diagram.add_shape(shape)
+        return shape.id
+
+    def add_text_circle(
+        self,
+        parent_shape: str,
+        value: Optional[str] = None,
+        regex: Optional[str] = None,
+        node_id: Optional[str] = None,
+    ) -> str:
+        """Drop a hollow circle under an element box and draw its arc."""
+        self._checkpoint()
+        parent = self.diagram.shape(parent_shape)
+        node_id = node_id or self.diagram.fresh_id("t")
+        shape = Shape(
+            f"q:{node_id}", ShapeKind.CIRCLE_HOLLOW,
+            label=value or (f"/{regex}/" if regex else ""),
+            meta={
+                "role": "text", "node": node_id, "value": value,
+                "regex": regex, "graph": parent.meta["graph"],
+            },
+        )
+        self.diagram.add_shape(shape)
+        self._containment(parent, shape)
+        return shape.id
+
+    def add_attribute_circle(
+        self,
+        parent_shape: str,
+        name: str,
+        value: Optional[str] = None,
+        regex: Optional[str] = None,
+        node_id: Optional[str] = None,
+    ) -> str:
+        """Drop a filled circle under an element box and draw its arc."""
+        self._checkpoint()
+        parent = self.diagram.shape(parent_shape)
+        node_id = node_id or self.diagram.fresh_id("a")
+        shape = Shape(
+            f"q:{node_id}", ShapeKind.CIRCLE_FILLED, label=name,
+            meta={
+                "role": "attribute", "node": node_id, "name": name,
+                "value": value, "regex": regex, "graph": parent.meta["graph"],
+            },
+        )
+        self.diagram.add_shape(shape)
+        self._containment(parent, shape)
+        return shape.id
+
+    def _containment(self, parent: Shape, child: Shape, **flags) -> Connector:
+        position = 1 + sum(
+            1
+            for c in self.diagram.connectors()
+            if c.meta.get("role") == "containment"
+        )
+        connector = Connector(
+            self.diagram.fresh_id("c"), parent.id, child.id,
+            annotation="".join(
+                m for m, f in (("*", flags.get("deep")), ("'", flags.get("ordered"))) if f
+            ),
+            crossed=bool(flags.get("negated")),
+            meta={
+                "role": "containment",
+                "deep": bool(flags.get("deep")),
+                "ordered": bool(flags.get("ordered")),
+                "negated": bool(flags.get("negated")),
+                "position": position,
+                "graph": parent.meta["graph"],
+            },
+        )
+        return self.diagram.add_connector(connector)
+
+    def draw_arc(
+        self,
+        parent_shape: str,
+        child_shape: str,
+        deep: bool = False,
+        ordered: bool = False,
+    ) -> str:
+        """Draw a containment arc between two existing boxes."""
+        self._checkpoint()
+        parent = self.diagram.shape(parent_shape)
+        child = self.diagram.shape(child_shape)
+        if parent.meta.get("role") != "element":
+            raise DiagramError("containment arcs start at element boxes")
+        return self._containment(parent, child, deep=deep, ordered=ordered).id
+
+    def cross_out(self, connector_id: str) -> None:
+        """Cross an arc out — the negation gesture."""
+        self._checkpoint()
+        connector = self.diagram.connector(connector_id)
+        connector.crossed = True
+        connector.meta["negated"] = True
+
+    def annotate_condition(self, condition: Condition, graph: int = 0) -> str:
+        """Attach a predicate annotation to the extract part."""
+        self._checkpoint()
+        shape = Shape(
+            self.diagram.fresh_id("cond"), ShapeKind.LABEL,
+            label=f"where {condition}",
+            meta={"role": "condition", "condition": condition, "graph": graph},
+        )
+        self.diagram.add_shape(shape)
+        return shape.id
+
+    def set_source(self, source: str, graph: int = 0) -> str:
+        """Name the source document of one extract graph."""
+        self._checkpoint()
+        shape = Shape(
+            self.diagram.fresh_id("src"), ShapeKind.LABEL,
+            label=f"source: {source}",
+            meta={"role": "source", "source": source, "graph": graph},
+        )
+        self.diagram.add_shape(shape)
+        return shape.id
+
+    # -- construct-side gestures ----------------------------------------------
+
+    def add_construct_box(
+        self,
+        tag: str,
+        parent_shape: Optional[str] = None,
+        for_each: Sequence[str] = (),
+        sort_by: Optional[str] = None,
+        attributes: Sequence[tuple] = (),
+    ) -> str:
+        """Drop a construct box (thick stroke) right of the separator."""
+        self._checkpoint()
+        self._construct_count += 1
+        shape = Shape(
+            f"c:{self._construct_count}", ShapeKind.BOX, label=tag,
+            stroke=StrokeStyle.THICK,
+            meta={
+                "role": "new_element", "tag": tag,
+                "for_each": list(for_each), "sort_by": sort_by,
+                "attributes": [tuple(a) for a in attributes],
+            },
+        )
+        self.diagram.add_shape(shape)
+        if parent_shape is not None:
+            self._construct_child(parent_shape, shape.id)
+        return shape.id
+
+    def add_triangle(self, parent_shape: str, variable: str, deep: bool = True) -> str:
+        """Drop the collect-all triangle pointing at a query node."""
+        self._checkpoint()
+        self._construct_count += 1
+        shape = Shape(
+            f"c:{self._construct_count}", ShapeKind.TRIANGLE,
+            label=f"{variable}{'*' if deep else ''}",
+            stroke=StrokeStyle.THICK,
+            meta={"role": "collect", "variable": variable, "deep": deep},
+        )
+        self.diagram.add_shape(shape)
+        self._construct_child(parent_shape, shape.id)
+        return shape.id
+
+    def add_copy(self, parent_shape: str, variable: str, deep: bool = True) -> str:
+        """Drop a copy box bound to a query node."""
+        self._checkpoint()
+        self._construct_count += 1
+        shape = Shape(
+            f"c:{self._construct_count}", ShapeKind.BOX,
+            label=f"{variable}{'*' if deep else ''}",
+            stroke=StrokeStyle.THICK,
+            meta={"role": "copy", "variable": variable, "deep": deep},
+        )
+        self.diagram.add_shape(shape)
+        self._construct_child(parent_shape, shape.id)
+        return shape.id
+
+    def add_list_icon(self, parent_shape: str, group_on: Sequence[str]) -> str:
+        """Drop the grouping list icon."""
+        self._checkpoint()
+        self._construct_count += 1
+        shape = Shape(
+            f"c:{self._construct_count}", ShapeKind.LIST_ICON,
+            label=",".join(group_on), stroke=StrokeStyle.THICK,
+            meta={"role": "group", "group_on": list(group_on)},
+        )
+        self.diagram.add_shape(shape)
+        self._construct_child(parent_shape, shape.id)
+        return shape.id
+
+    def add_text_node(self, parent_shape: str, text: str) -> str:
+        """Drop a constant text circle into the construct part."""
+        self._checkpoint()
+        self._construct_count += 1
+        shape = Shape(
+            f"c:{self._construct_count}", ShapeKind.CIRCLE_HOLLOW,
+            label=repr(text), stroke=StrokeStyle.THICK,
+            meta={"role": "text_literal", "text": text},
+        )
+        self.diagram.add_shape(shape)
+        self._construct_child(parent_shape, shape.id)
+        return shape.id
+
+    def add_value_node(self, parent_shape: str, variable: str) -> str:
+        """Drop a circle carrying a bound node's text."""
+        self._checkpoint()
+        self._construct_count += 1
+        shape = Shape(
+            f"c:{self._construct_count}", ShapeKind.CIRCLE_HOLLOW,
+            label=variable, stroke=StrokeStyle.THICK,
+            meta={"role": "text_from", "variable": variable},
+        )
+        self.diagram.add_shape(shape)
+        self._construct_child(parent_shape, shape.id)
+        return shape.id
+
+    def add_aggregate(self, parent_shape: str, function: str, variable: str) -> str:
+        """Drop an aggregation annotation (COUNT/SUM/...)."""
+        self._checkpoint()
+        self._construct_count += 1
+        shape = Shape(
+            f"c:{self._construct_count}", ShapeKind.CIRCLE_HOLLOW,
+            label=f"{function}({variable})", stroke=StrokeStyle.THICK,
+            meta={"role": "aggregate", "function": function, "variable": variable},
+        )
+        self.diagram.add_shape(shape)
+        self._construct_child(parent_shape, shape.id)
+        return shape.id
+
+    def _construct_child(self, parent_shape: str, child_shape: str) -> None:
+        position = sum(
+            1
+            for c in self.diagram.connectors_from(parent_shape)
+            if c.meta.get("role") == "construct_child"
+        )
+        self.diagram.add_connector(
+            Connector(
+                self.diagram.fresh_id("c"), parent_shape, child_shape,
+                stroke=StrokeStyle.THICK,
+                meta={"role": "construct_child", "position": position},
+            )
+        )
+
+    # -- compile / render -----------------------------------------------------
+
+    def compile(self) -> Rule:
+        """The current drawing as an XML-GL rule (validated)."""
+        rule = diagram_to_xmlgl(self.diagram)
+        rule.validate()
+        return rule
+
+    def arrange(self) -> None:
+        """Run the rule layout (extract ∥ construct) on the drawing."""
+        left = [s.id for s in self.diagram.shapes() if not s.id.startswith("c:")]
+        right = [s.id for s in self.diagram.shapes() if s.id.startswith("c:")]
+        if "sep" not in self.diagram:
+            self.diagram.add_shape(
+                Shape("sep", ShapeKind.SEPARATOR, meta={"role": "separator"})
+            )
+        side_by_side(self.diagram, left, right, separator_id="sep")
+
+    @classmethod
+    def from_rule(cls, rule: Rule) -> "XmlglEditor":
+        """Open an existing rule in the editor."""
+        editor = cls(title=rule.name or "")
+        editor.diagram = xmlgl_rule_diagram(rule)
+        return editor
+
+
+class WglogEditor(_BaseEditor):
+    """Gesture-level authoring of WG-Log rules."""
+
+    def add_rectangle(
+        self,
+        label: Optional[str],
+        node_id: Optional[str] = None,
+        green: bool = False,
+        collector: bool = False,
+    ) -> str:
+        """Drop a rectangle; thin = query (red), thick = derive (green)."""
+        self._checkpoint()
+        node_id = node_id or self.diagram.fresh_id("n")
+        shape = Shape(
+            f"n:{node_id}",
+            ShapeKind.TRIANGLE if collector else ShapeKind.BOX,
+            label=label or "*",
+            stroke=StrokeStyle.THICK if green else StrokeStyle.THIN,
+            meta={
+                "role": "wg_node", "node": node_id, "label": label,
+                "color": "green" if green else "red", "collector": collector,
+            },
+        )
+        self.diagram.add_shape(shape)
+        return shape.id
+
+    def draw_arrow(
+        self,
+        source_shape: str,
+        target_shape: str,
+        label: str,
+        green: bool = False,
+        crossed: bool = False,
+        path: bool = False,
+    ) -> str:
+        """Draw a labelled arrow; flags mirror the pen choices."""
+        self._checkpoint()
+        stroke = StrokeStyle.THICK if green else (
+            StrokeStyle.DASHED if path else StrokeStyle.THIN
+        )
+        connector = Connector(
+            self.diagram.fresh_id("c"), source_shape, target_shape,
+            label=label, stroke=stroke, crossed=crossed,
+            meta={
+                "role": "wg_edge", "label": label,
+                "color": "green" if green else "red",
+                "crossed": crossed, "path": path,
+            },
+        )
+        return self.diagram.add_connector(connector).id
+
+    def assert_slot(
+        self,
+        node_shape: str,
+        name: str,
+        value=None,
+        from_node: Optional[str] = None,
+        from_slot: Optional[str] = None,
+    ) -> str:
+        """Attach a green slot rectangle to a node."""
+        self._checkpoint()
+        node = self.diagram.shape(node_shape)
+        label = f"{name}={value!r}" if value is not None else (
+            f"{name}={from_node}.{from_slot or name}"
+        )
+        shape = Shape(
+            self.diagram.fresh_id("slot"), ShapeKind.CIRCLE_FILLED,
+            label=label, stroke=StrokeStyle.THICK,
+            meta={
+                "role": "wg_slot", "node": node.meta["node"], "name": name,
+                "value": value, "from_node": from_node,
+                "from_slot": from_slot or name,
+            },
+        )
+        self.diagram.add_shape(shape)
+        self.diagram.add_connector(
+            Connector(
+                self.diagram.fresh_id("c"), node_shape, shape.id,
+                stroke=StrokeStyle.THICK, meta={"role": "wg_slot_edge"},
+            )
+        )
+        return shape.id
+
+    def annotate_condition(self, condition: Condition) -> str:
+        """Attach a predicate annotation."""
+        self._checkpoint()
+        shape = Shape(
+            self.diagram.fresh_id("cond"), ShapeKind.LABEL,
+            label=f"where {condition}",
+            meta={"role": "wg_condition", "condition": condition},
+        )
+        self.diagram.add_shape(shape)
+        return shape.id
+
+    def compile(self) -> RuleGraph:
+        """The current drawing as a WG-Log rule (validated)."""
+        rule = diagram_to_wglog(self.diagram)
+        rule.validate()
+        return rule
+
+    def arrange(self) -> None:
+        """Run the hierarchical layout on the drawing."""
+        layered_layout(self.diagram)
+
+    @classmethod
+    def from_rule(cls, rule: RuleGraph) -> "WglogEditor":
+        """Open an existing rule in the editor."""
+        editor = cls(title=rule.name or "")
+        editor.diagram = wglog_rule_diagram(rule)
+        return editor

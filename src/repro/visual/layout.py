@@ -1,0 +1,229 @@
+"""Deterministic diagram layout.
+
+Query graphs are (near-)hierarchical, so the main algorithm is a layered
+(Sugiyama-style) layout:
+
+1. *Layering* — longest-path layering over the connector DAG (cycles are
+   broken by ignoring back edges found by DFS);
+2. *Ordering* — within each layer, a few barycenter sweeps reduce
+   crossings;
+3. *Coordinates* — layers become rows; shapes are sized from their labels
+   and spaced evenly, parents centred over their children where possible.
+
+The layout is deterministic (no randomness), so rendered figures are
+stable across runs — important because benchmark FIG-D1 diffs the SVG
+output.  ``side_by_side`` lays two sub-diagram halves (extract ∥
+construct) left and right of a separator, the paper's rule arrangement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from .diagram import Diagram
+from .shapes import Shape, ShapeKind
+
+__all__ = ["size_shape", "layered_layout", "side_by_side"]
+
+#: Geometry constants (pixel-ish units used by the SVG renderer).
+CHAR_WIDTH = 7.5
+BOX_HEIGHT = 28.0
+CIRCLE_DIAMETER = 26.0
+H_GAP = 36.0
+V_GAP = 52.0
+MARGIN = 24.0
+
+
+def size_shape(shape: Shape) -> None:
+    """Assign width/height from the shape's kind and label length."""
+    if shape.kind is ShapeKind.BOX:
+        shape.width = max(44.0, CHAR_WIDTH * len(shape.label) + 16)
+        shape.height = BOX_HEIGHT
+    elif shape.kind in (ShapeKind.CIRCLE_HOLLOW, ShapeKind.CIRCLE_FILLED):
+        shape.width = shape.height = CIRCLE_DIAMETER
+        if shape.label:
+            shape.width = max(CIRCLE_DIAMETER, CHAR_WIDTH * len(shape.label) + 10)
+    elif shape.kind is ShapeKind.TRIANGLE:
+        shape.width = 34.0
+        shape.height = 30.0
+    elif shape.kind is ShapeKind.LIST_ICON:
+        shape.width = 34.0
+        shape.height = 30.0
+    elif shape.kind is ShapeKind.LABEL:
+        shape.width = CHAR_WIDTH * len(shape.label) + 8
+        shape.height = 18.0
+    elif shape.kind is ShapeKind.SEPARATOR:
+        shape.width = 2.0
+        shape.height = 10.0  # stretched later
+
+
+def _break_cycles(
+    nodes: list[str], successors: dict[str, list[str]]
+) -> dict[str, list[str]]:
+    """Successor map with DFS back edges removed (keeps the layout a DAG)."""
+    acyclic: dict[str, list[str]] = {n: [] for n in nodes}
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {n: WHITE for n in nodes}
+
+    def visit(node: str) -> None:
+        colour[node] = GREY
+        for succ in successors.get(node, ()):
+            if colour[succ] == GREY:
+                continue  # back edge dropped
+            acyclic[node].append(succ)
+            if colour[succ] == WHITE:
+                visit(succ)
+        colour[node] = BLACK
+
+    for node in nodes:
+        if colour[node] == WHITE:
+            visit(node)
+    return acyclic
+
+
+def _layering(nodes: list[str], successors: dict[str, list[str]]) -> dict[str, int]:
+    """Longest-path layer assignment (roots at layer 0)."""
+    in_degree = {n: 0 for n in nodes}
+    for node in nodes:
+        for succ in successors[node]:
+            in_degree[succ] += 1
+    layer = {n: 0 for n in nodes}
+    queue = deque(n for n in nodes if in_degree[n] == 0)
+    while queue:
+        node = queue.popleft()
+        for succ in successors[node]:
+            layer[succ] = max(layer[succ], layer[node] + 1)
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                queue.append(succ)
+    return layer
+
+
+def _barycenter_order(
+    layers: list[list[str]],
+    successors: dict[str, list[str]],
+    sweeps: int = 3,
+) -> None:
+    """Reduce crossings by ordering each layer by neighbour barycenters."""
+    predecessors: dict[str, list[str]] = {n: [] for row in layers for n in row}
+    for node, succs in successors.items():
+        for succ in succs:
+            predecessors[succ].append(node)
+
+    def sort_row(row: list[str], reference: dict[str, int], links: dict[str, list[str]]) -> None:
+        def barycenter(node: str) -> float:
+            positions = [reference[n] for n in links[node] if n in reference]
+            return sum(positions) / len(positions) if positions else reference.get(node, 0)
+
+        row.sort(key=barycenter)
+
+    for _ in range(sweeps):
+        for index in range(1, len(layers)):
+            reference = {n: i for i, n in enumerate(layers[index - 1])}
+            sort_row(layers[index], reference, predecessors)
+        for index in range(len(layers) - 2, -1, -1):
+            reference = {n: i for i, n in enumerate(layers[index + 1])}
+            sort_row(layers[index], reference, successors)
+
+
+def layered_layout(
+    diagram: Diagram,
+    shape_ids: Optional[Iterable[str]] = None,
+    origin: tuple[float, float] = (MARGIN, MARGIN),
+) -> tuple[float, float]:
+    """Position the given shapes (default: all) hierarchically.
+
+    Returns the (width, height) of the laid-out block.  LABEL shapes are
+    stacked under the hierarchy; SEPARATORs are ignored (positioned by
+    :func:`side_by_side`).
+    """
+    ids = list(shape_ids) if shape_ids is not None else [s.id for s in diagram.shapes()]
+    shapes = [diagram.shape(i) for i in ids]
+    for shape in shapes:
+        size_shape(shape)
+    graph_nodes = [
+        s.id for s in shapes if s.kind not in (ShapeKind.LABEL, ShapeKind.SEPARATOR)
+    ]
+    labels = [s for s in shapes if s.kind is ShapeKind.LABEL]
+    node_set = set(graph_nodes)
+    successors: dict[str, list[str]] = {n: [] for n in graph_nodes}
+    for connector in diagram.connectors():
+        if connector.source in node_set and connector.target in node_set:
+            successors[connector.source].append(connector.target)
+
+    acyclic = _break_cycles(graph_nodes, successors)
+    layer_of = _layering(graph_nodes, acyclic)
+    depth = max(layer_of.values(), default=0) + 1
+    layers: list[list[str]] = [[] for _ in range(depth)]
+    for node in graph_nodes:
+        layers[layer_of[node]].append(node)
+    _barycenter_order(layers, acyclic)
+
+    origin_x, origin_y = origin
+    max_width = 0.0
+    y = origin_y
+    for row in layers:
+        x = origin_x
+        row_height = 0.0
+        for node in row:
+            shape = diagram.shape(node)
+            shape.x = x
+            shape.y = y
+            x += shape.width + H_GAP
+            row_height = max(row_height, shape.height)
+        max_width = max(max_width, x - H_GAP - origin_x if row else 0.0)
+        y += row_height + V_GAP
+    if layers and layers[-1] == []:
+        y -= V_GAP
+    # centre parents over their children (single pass, top-down rows stay)
+    for index in range(depth - 2, -1, -1):
+        for node in layers[index]:
+            children = [c for c in acyclic[node] if layer_of[c] == index + 1]
+            if not children:
+                continue
+            xs = [diagram.shape(c).center[0] for c in children]
+            shape = diagram.shape(node)
+            shape.x = sum(xs) / len(xs) - shape.width / 2
+    _resolve_overlaps(diagram, layers)
+
+    block_bottom = y - V_GAP
+    for label in labels:
+        label.x = origin_x
+        label.y = block_bottom + V_GAP / 2
+        block_bottom = label.y + label.height
+        max_width = max(max_width, label.width)
+
+    return (max_width, block_bottom - origin_y)
+
+
+def _resolve_overlaps(diagram: Diagram, layers: list[list[str]]) -> None:
+    """Push shapes right until no two in a row overlap (keeps centring)."""
+    for row in layers:
+        ordered = sorted(row, key=lambda n: diagram.shape(n).x)
+        cursor = None
+        for node in ordered:
+            shape = diagram.shape(node)
+            if cursor is not None and shape.x < cursor:
+                shape.x = cursor
+            cursor = shape.x + shape.width + H_GAP / 2
+
+
+def side_by_side(
+    diagram: Diagram,
+    left_ids: Iterable[str],
+    right_ids: Iterable[str],
+    separator_id: Optional[str] = None,
+) -> None:
+    """Arrange two halves around a vertical separator (the rule layout)."""
+    left_width, left_height = layered_layout(diagram, left_ids, origin=(MARGIN, MARGIN))
+    separator_x = MARGIN + left_width + H_GAP
+    right_origin = (separator_x + H_GAP, MARGIN)
+    right_width, right_height = layered_layout(diagram, right_ids, origin=right_origin)
+    height = max(left_height, right_height)
+    if separator_id is not None:
+        separator = diagram.shape(separator_id)
+        separator.x = separator_x
+        separator.y = MARGIN / 2
+        separator.width = 2.0
+        separator.height = height + MARGIN

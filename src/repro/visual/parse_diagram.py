@@ -1,0 +1,244 @@
+"""Diagram → AST: reading a drawing back as a query.
+
+The inverse of :mod:`repro.visual.render_query`: given a diagram whose
+shapes carry the editor-level ``meta`` facts, reconstruct the XML-GL
+:class:`~repro.xmlgl.rule.Rule` or WG-Log
+:class:`~repro.wglog.ast.RuleGraph`.  Together the two directions make the
+diagram a faithful concrete syntax — the round trip is property-tested.
+"""
+
+from __future__ import annotations
+
+from ..errors import DiagramError
+from ..xmlgl.ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    OrGroup,
+    QueryGraph,
+    TextPattern,
+)
+from ..xmlgl.construct import (
+    Aggregate,
+    Collect,
+    ConstructNode,
+    Copy,
+    GroupBy,
+    NewAttribute,
+    NewElement,
+    TextFrom,
+    TextLiteral,
+)
+from ..xmlgl.rule import Rule
+from ..wglog.ast import Color, RuleEdge, RuleGraph, RuleNode
+from .diagram import Diagram
+from .shapes import Shape
+
+__all__ = ["diagram_to_xmlgl", "diagram_to_wglog"]
+
+
+# ---------------------------------------------------------------------------
+# XML-GL
+# ---------------------------------------------------------------------------
+
+def diagram_to_xmlgl(diagram: Diagram) -> Rule:
+    """Reconstruct an XML-GL rule from its diagram."""
+    graphs: dict[int, QueryGraph] = {}
+
+    def graph_for(index: int) -> QueryGraph:
+        if index not in graphs:
+            graphs[index] = QueryGraph()
+        return graphs[index]
+
+    # shapes -> query nodes / conditions / sources
+    for shape in diagram.shapes():
+        role = shape.meta.get("role")
+        if role == "element":
+            graph_for(shape.meta["graph"]).add_node(
+                ElementPattern(
+                    shape.meta["node"],
+                    shape.meta.get("tag"),
+                    anchored=shape.meta.get("anchored", False),
+                )
+            )
+        elif role == "text":
+            graph_for(shape.meta["graph"]).add_node(
+                TextPattern(
+                    shape.meta["node"],
+                    value=shape.meta.get("value"),
+                    regex=shape.meta.get("regex"),
+                )
+            )
+        elif role == "attribute":
+            graph_for(shape.meta["graph"]).add_node(
+                AttributePattern(
+                    shape.meta["node"],
+                    shape.meta["name"],
+                    value=shape.meta.get("value"),
+                    regex=shape.meta.get("regex"),
+                )
+            )
+
+    # connectors -> containment edges (plain and or-grouped)
+    or_branches: dict[int, dict[tuple[int, int], list[ContainmentEdge]]] = {}
+    for connector in diagram.connectors():
+        if connector.meta.get("role") != "containment":
+            continue
+        graph_index = connector.meta["graph"]
+        edge = ContainmentEdge(
+            parent=diagram.shape(connector.source).meta["node"],
+            child=diagram.shape(connector.target).meta["node"],
+            deep=connector.meta.get("deep", False),
+            ordered=connector.meta.get("ordered", False),
+            negated=connector.meta.get("negated", False),
+            position=connector.meta.get("position", 0),
+        )
+        if "or_group" in connector.meta:
+            key = (connector.meta["or_group"], connector.meta["or_branch"])
+            or_branches.setdefault(graph_index, {}).setdefault(key, []).append(edge)
+        else:
+            graph_for(graph_index).add_edge(edge)
+    for graph_index, branches in or_branches.items():
+        groups: dict[int, dict[int, list[ContainmentEdge]]] = {}
+        for (group_index, branch_index), edges in branches.items():
+            groups.setdefault(group_index, {})[branch_index] = edges
+        for group_index in sorted(groups):
+            alternatives = tuple(
+                tuple(groups[group_index][branch_index])
+                for branch_index in sorted(groups[group_index])
+            )
+            graph_for(graph_index).add_or_group(OrGroup(alternatives))
+
+    rule_conditions = []
+    for shape in diagram.shapes():
+        role = shape.meta.get("role")
+        if role == "condition":
+            graph_for(shape.meta["graph"]).add_condition(shape.meta["condition"])
+        elif role == "rule_condition":
+            rule_conditions.append(shape.meta["condition"])
+        elif role == "source":
+            graph_for(shape.meta["graph"]).source = shape.meta["source"]
+
+    construct = _parse_construct(diagram)
+    if not graphs:
+        raise DiagramError("diagram has no query part")
+    ordered_graphs = [graphs[i] for i in sorted(graphs)]
+    title = diagram.title if diagram.title not in ("", "xml-gl rule") else None
+    return Rule(ordered_graphs, construct, conditions=rule_conditions, name=title)
+
+
+def _parse_construct(diagram: Diagram) -> NewElement:
+    roots = [
+        s
+        for s in diagram.shapes()
+        if s.meta.get("role") == "new_element"
+        and not any(
+            c.meta.get("role") == "construct_child"
+            for c in diagram.connectors_to(s.id)
+        )
+    ]
+    if len(roots) != 1:
+        raise DiagramError(
+            f"expected exactly one construct root, found {len(roots)}"
+        )
+    node = _parse_construct_node(diagram, roots[0])
+    assert isinstance(node, NewElement)
+    return node
+
+
+def _parse_construct_node(diagram: Diagram, shape: Shape) -> ConstructNode:
+    role = shape.meta.get("role")
+    if role == "new_element":
+        children = _construct_children(diagram, shape)
+        return NewElement(
+            shape.meta["tag"],
+            for_each=list(shape.meta.get("for_each", [])),
+            attributes=[
+                NewAttribute(name, value=value, from_variable=from_variable)
+                for name, value, from_variable in shape.meta.get("attributes", [])
+            ],
+            children=children,
+            sort_by=shape.meta.get("sort_by"),
+            tag_from=shape.meta.get("tag_from"),
+        )
+    if role == "copy":
+        return Copy(shape.meta["variable"], deep=shape.meta.get("deep", True))
+    if role == "collect":
+        return Collect(shape.meta["variable"], deep=shape.meta.get("deep", True))
+    if role == "group":
+        return GroupBy(
+            list(shape.meta["group_on"]), _construct_children(diagram, shape)
+        )
+    if role == "text_literal":
+        return TextLiteral(shape.meta["text"])
+    if role == "text_from":
+        return TextFrom(shape.meta["variable"])
+    if role == "aggregate":
+        return Aggregate(shape.meta["function"], shape.meta["variable"])
+    raise DiagramError(f"shape {shape.id!r} is not a construct node")
+
+
+def _construct_children(diagram: Diagram, shape: Shape) -> list[ConstructNode]:
+    child_connectors = sorted(
+        (
+            c
+            for c in diagram.connectors_from(shape.id)
+            if c.meta.get("role") == "construct_child"
+        ),
+        key=lambda c: c.meta.get("position", 0),
+    )
+    return [
+        _parse_construct_node(diagram, diagram.shape(c.target))
+        for c in child_connectors
+    ]
+
+
+# ---------------------------------------------------------------------------
+# WG-Log
+# ---------------------------------------------------------------------------
+
+def diagram_to_wglog(diagram: Diagram) -> RuleGraph:
+    """Reconstruct a WG-Log rule from its diagram."""
+    title = diagram.title if diagram.title not in ("", "wg-log rule") else None
+    rule = RuleGraph(name=title)
+    found = False
+    for shape in diagram.shapes():
+        if shape.meta.get("role") != "wg_node":
+            continue
+        found = True
+        rule.add_node(
+            RuleNode(
+                shape.meta["node"],
+                shape.meta.get("label"),
+                Color(shape.meta.get("color", "red")),
+                collector=shape.meta.get("collector", False),
+            )
+        )
+    if not found:
+        raise DiagramError("diagram has no WG-Log nodes")
+    for connector in diagram.connectors():
+        if connector.meta.get("role") != "wg_edge":
+            continue
+        rule.add_edge(
+            RuleEdge(
+                diagram.shape(connector.source).meta["node"],
+                diagram.shape(connector.target).meta["node"],
+                connector.meta.get("label", ""),
+                Color(connector.meta.get("color", "red")),
+                crossed=connector.meta.get("crossed", False),
+                path=connector.meta.get("path", False),
+            )
+        )
+    for shape in diagram.shapes():
+        role = shape.meta.get("role")
+        if role == "wg_slot":
+            rule.assert_slot(
+                shape.meta["node"],
+                shape.meta["name"],
+                value=shape.meta.get("value"),
+                from_node=shape.meta.get("from_node"),
+                from_slot=shape.meta.get("from_slot"),
+            )
+        elif role == "wg_condition":
+            rule.add_condition(shape.meta["condition"])
+    return rule

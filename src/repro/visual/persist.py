@@ -1,0 +1,143 @@
+"""Saving and loading diagrams (editor sessions) as JSON.
+
+A GUI editor must persist drawings; the headless editors do too.  Shapes
+and connectors serialise field-by-field; the one non-JSON value in the
+scene graph — condition objects carried in ``meta`` — round-trips through
+the textual condition grammar (``str(condition)`` ⇄
+:func:`repro.xmlgl.dsl.parse_condition`).
+
+``save_diagram`` → JSON string; ``load_diagram`` → :class:`Diagram`.  The
+pair is inverse up to float formatting, so a saved session reopens into
+the same drawing and compiles to the same rule (tested).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import DiagramError
+from .diagram import Diagram
+from .shapes import Connector, Shape, ShapeKind, StrokeStyle
+
+__all__ = ["save_diagram", "load_diagram"]
+
+_CONDITION_KEY = "condition"
+_FORMAT_VERSION = 1
+
+
+def _encode_meta(meta: dict) -> dict:
+    encoded: dict[str, Any] = {}
+    for key, value in meta.items():
+        if key == _CONDITION_KEY:
+            encoded[key] = {"__condition__": str(value)}
+        elif isinstance(value, tuple):
+            encoded[key] = list(value)
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _decode_meta(meta: dict) -> dict:
+    from ..xmlgl.dsl import parse_condition
+
+    decoded: dict[str, Any] = {}
+    for key, value in meta.items():
+        if (
+            key == _CONDITION_KEY
+            and isinstance(value, dict)
+            and "__condition__" in value
+        ):
+            decoded[key] = parse_condition(value["__condition__"])
+        elif key == "attributes" and isinstance(value, list):
+            decoded[key] = [tuple(item) for item in value]
+        else:
+            decoded[key] = value
+    return decoded
+
+
+def save_diagram(diagram: Diagram) -> str:
+    """Serialise a diagram to a JSON string."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "title": diagram.title,
+        "shapes": [
+            {
+                "id": shape.id,
+                "kind": shape.kind.name,
+                "label": shape.label,
+                "stroke": shape.stroke.value,
+                "crossed": shape.crossed,
+                "x": shape.x,
+                "y": shape.y,
+                "width": shape.width,
+                "height": shape.height,
+                "meta": _encode_meta(shape.meta),
+            }
+            for shape in diagram.shapes()
+        ],
+        "connectors": [
+            {
+                "id": connector.id,
+                "source": connector.source,
+                "target": connector.target,
+                "label": connector.label,
+                "annotation": connector.annotation,
+                "stroke": connector.stroke.value,
+                "crossed": connector.crossed,
+                "arrow": connector.arrow,
+                "meta": _encode_meta(connector.meta),
+            }
+            for connector in diagram.connectors()
+        ],
+    }
+    return json.dumps(payload, indent=2, ensure_ascii=False)
+
+
+def load_diagram(text: str) -> Diagram:
+    """Rebuild a diagram from :func:`save_diagram` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DiagramError(f"not a diagram file: {error}")
+    if not isinstance(payload, dict) or "shapes" not in payload:
+        raise DiagramError("not a diagram file: missing 'shapes'")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise DiagramError(f"unsupported diagram format version {version!r}")
+    diagram = Diagram(title=payload.get("title", ""))
+    for entry in payload["shapes"]:
+        try:
+            kind = ShapeKind[entry["kind"]]
+            stroke = StrokeStyle(entry.get("stroke", "thin"))
+        except (KeyError, ValueError) as error:
+            raise DiagramError(f"bad shape entry: {error}")
+        diagram.add_shape(
+            Shape(
+                entry["id"],
+                kind,
+                label=entry.get("label", ""),
+                stroke=stroke,
+                crossed=entry.get("crossed", False),
+                x=entry.get("x", 0.0),
+                y=entry.get("y", 0.0),
+                width=entry.get("width", 0.0),
+                height=entry.get("height", 0.0),
+                meta=_decode_meta(entry.get("meta", {})),
+            )
+        )
+    for entry in payload.get("connectors", []):
+        diagram.add_connector(
+            Connector(
+                entry["id"],
+                entry["source"],
+                entry["target"],
+                label=entry.get("label", ""),
+                annotation=entry.get("annotation", ""),
+                stroke=StrokeStyle(entry.get("stroke", "thin")),
+                crossed=entry.get("crossed", False),
+                arrow=entry.get("arrow", True),
+                meta=_decode_meta(entry.get("meta", {})),
+            )
+        )
+    return diagram

@@ -1,0 +1,381 @@
+"""AST → diagram: drawing the queries.
+
+Every figure in the paper is a drawn query; this module produces those
+drawings from the ASTs.  The mapping is lossless: each shape/connector
+carries the language-level facts in ``meta`` (node ids, flags), exactly
+what a structured GUI editor stores per widget, so
+:mod:`repro.visual.parse_diagram` can reconstruct the AST and the
+round-trip ``rule → diagram → rule`` is the identity (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xmlgl.ast import (
+    AttributePattern,
+    ElementPattern,
+    QueryGraph,
+    TextPattern,
+)
+from ..xmlgl.construct import (
+    Aggregate,
+    Collect,
+    ConstructNode,
+    Copy,
+    GroupBy,
+    NewElement,
+    TextFrom,
+    TextLiteral,
+)
+from ..xmlgl.rule import Rule
+from ..wglog.ast import Color, RuleGraph
+from .diagram import Diagram
+from .layout import layered_layout, side_by_side
+from .shapes import Connector, Shape, ShapeKind, StrokeStyle
+
+__all__ = ["xmlgl_rule_diagram", "wglog_rule_diagram"]
+
+
+# ---------------------------------------------------------------------------
+# XML-GL
+# ---------------------------------------------------------------------------
+
+def _query_shape(node, graph_index: int) -> Shape:
+    shape_id = f"q:{node.id}"
+    if isinstance(node, ElementPattern):
+        return Shape(
+            shape_id,
+            ShapeKind.BOX,
+            label=node.tag if node.tag is not None else "*",
+            meta={
+                "role": "element",
+                "node": node.id,
+                "tag": node.tag,
+                "anchored": node.anchored,
+                "graph": graph_index,
+            },
+        )
+    if isinstance(node, TextPattern):
+        label = node.value if node.value is not None else (
+            f"/{node.regex}/" if node.regex else ""
+        )
+        return Shape(
+            shape_id,
+            ShapeKind.CIRCLE_HOLLOW,
+            label=label,
+            meta={
+                "role": "text",
+                "node": node.id,
+                "value": node.value,
+                "regex": node.regex,
+                "graph": graph_index,
+            },
+        )
+    assert isinstance(node, AttributePattern)
+    label = node.name
+    if node.value is not None:
+        label += f"={node.value}"
+    elif node.regex is not None:
+        label += f"~/{node.regex}/"
+    return Shape(
+        shape_id,
+        ShapeKind.CIRCLE_FILLED,
+        label=label,
+        meta={
+            "role": "attribute",
+            "node": node.id,
+            "name": node.name,
+            "value": node.value,
+            "regex": node.regex,
+            "graph": graph_index,
+        },
+    )
+
+
+def _edge_connector(diagram: Diagram, edge, graph_index: int, extra_meta: Optional[dict] = None) -> Connector:
+    annotation = "".join(
+        mark
+        for mark, flag in (("*", edge.deep), ("'", edge.ordered))
+        if flag
+    )
+    meta = {
+        "role": "containment",
+        "deep": edge.deep,
+        "ordered": edge.ordered,
+        "negated": edge.negated,
+        "position": edge.position,
+        "graph": graph_index,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    return Connector(
+        diagram.fresh_id("c"),
+        f"q:{edge.parent}",
+        f"q:{edge.child}",
+        annotation=annotation,
+        crossed=edge.negated,
+        meta=meta,
+    )
+
+
+def _render_query_graph(diagram: Diagram, graph: QueryGraph, graph_index: int) -> list[str]:
+    ids: list[str] = []
+    for node in graph.nodes.values():
+        shape = _query_shape(node, graph_index)
+        diagram.add_shape(shape)
+        ids.append(shape.id)
+    for edge in graph.edges:
+        diagram.add_connector(_edge_connector(diagram, edge, graph_index))
+    for group_index, group in enumerate(graph.or_groups):
+        for branch_index, branch in enumerate(group.alternatives):
+            for edge in branch:
+                connector = _edge_connector(
+                    diagram, edge, graph_index,
+                    extra_meta={
+                        "or_group": group_index,
+                        "or_branch": branch_index,
+                    },
+                )
+                connector.label = f"or{group_index + 1}.{branch_index + 1}"
+                diagram.add_connector(connector)
+    for condition_index, condition in enumerate(graph.conditions):
+        shape = Shape(
+            f"q:cond:{graph_index}:{condition_index}",
+            ShapeKind.LABEL,
+            label=f"where {condition}",
+            meta={
+                "role": "condition",
+                "condition": condition,
+                "graph": graph_index,
+            },
+        )
+        diagram.add_shape(shape)
+        ids.append(shape.id)
+    if graph.source:
+        shape = Shape(
+            f"q:src:{graph_index}",
+            ShapeKind.LABEL,
+            label=f"source: {graph.source}",
+            meta={"role": "source", "source": graph.source, "graph": graph_index},
+        )
+        diagram.add_shape(shape)
+        ids.append(shape.id)
+    return ids
+
+
+def _construct_shape(diagram: Diagram, node: ConstructNode, path: str) -> str:
+    shape_id = f"c:{path}"
+    if isinstance(node, NewElement):
+        label = node.tag
+        if node.for_each:
+            label += f" ∀{','.join(node.for_each)}"
+        attributes = [
+            (a.name, a.value, a.from_variable) for a in node.attributes
+        ]
+        diagram.add_shape(
+            Shape(
+                shape_id, ShapeKind.BOX, label=label, stroke=StrokeStyle.THICK,
+                meta={
+                    "role": "new_element",
+                    "tag": node.tag,
+                    "for_each": list(node.for_each),
+                    "sort_by": node.sort_by,
+                    "attributes": attributes,
+                    "tag_from": node.tag_from,
+                },
+            )
+        )
+        if node.tag_from is not None:
+            _bind(diagram, shape_id, node.tag_from)
+        for index, child in enumerate(node.children):
+            child_id = _construct_shape(diagram, child, f"{path}.{index}")
+            diagram.add_connector(
+                Connector(
+                    diagram.fresh_id("c"), shape_id, child_id,
+                    stroke=StrokeStyle.THICK,
+                    meta={"role": "construct_child", "position": index},
+                )
+            )
+        return shape_id
+    if isinstance(node, (Copy, Collect)):
+        kind = ShapeKind.TRIANGLE if isinstance(node, Collect) else ShapeKind.BOX
+        role = "collect" if isinstance(node, Collect) else "copy"
+        star = "*" if node.deep else ""
+        diagram.add_shape(
+            Shape(
+                shape_id, kind, label=f"{node.variable}{star}",
+                stroke=StrokeStyle.THICK,
+                meta={"role": role, "variable": node.variable, "deep": node.deep},
+            )
+        )
+        _bind(diagram, shape_id, node.variable)
+        return shape_id
+    if isinstance(node, GroupBy):
+        diagram.add_shape(
+            Shape(
+                shape_id, ShapeKind.LIST_ICON,
+                label=",".join(node.group_on), stroke=StrokeStyle.THICK,
+                meta={"role": "group", "group_on": list(node.group_on)},
+            )
+        )
+        for index, child in enumerate(node.children):
+            child_id = _construct_shape(diagram, child, f"{path}.{index}")
+            diagram.add_connector(
+                Connector(
+                    diagram.fresh_id("c"), shape_id, child_id,
+                    stroke=StrokeStyle.THICK,
+                    meta={"role": "construct_child", "position": index},
+                )
+            )
+        return shape_id
+    if isinstance(node, TextLiteral):
+        diagram.add_shape(
+            Shape(
+                shape_id, ShapeKind.CIRCLE_HOLLOW, label=repr(node.text),
+                stroke=StrokeStyle.THICK,
+                meta={"role": "text_literal", "text": node.text},
+            )
+        )
+        return shape_id
+    if isinstance(node, TextFrom):
+        diagram.add_shape(
+            Shape(
+                shape_id, ShapeKind.CIRCLE_HOLLOW, label=node.variable,
+                stroke=StrokeStyle.THICK,
+                meta={"role": "text_from", "variable": node.variable},
+            )
+        )
+        _bind(diagram, shape_id, node.variable)
+        return shape_id
+    assert isinstance(node, Aggregate)
+    diagram.add_shape(
+        Shape(
+            shape_id, ShapeKind.CIRCLE_HOLLOW,
+            label=f"{node.function}({node.variable})",
+            stroke=StrokeStyle.THICK,
+            meta={
+                "role": "aggregate",
+                "function": node.function,
+                "variable": node.variable,
+            },
+        )
+    )
+    _bind(diagram, shape_id, node.variable)
+    return shape_id
+
+
+def _bind(diagram: Diagram, construct_shape: str, variable: str) -> None:
+    """Dashed reference line from a construct shape to its query node."""
+    query_shape = f"q:{variable}"
+    if query_shape in diagram:
+        diagram.add_connector(
+            Connector(
+                diagram.fresh_id("c"), construct_shape, query_shape,
+                stroke=StrokeStyle.DASHED, arrow=False,
+                meta={"role": "binding", "variable": variable},
+            )
+        )
+
+
+def xmlgl_rule_diagram(rule: Rule, layout: bool = True) -> Diagram:
+    """Draw an XML-GL rule: extract part ∥ construct part."""
+    diagram = Diagram(title=rule.name or "xml-gl rule")
+    left_ids: list[str] = []
+    for graph_index, graph in enumerate(rule.queries):
+        left_ids.extend(_render_query_graph(diagram, graph, graph_index))
+    for condition_index, condition in enumerate(rule.conditions):
+        shape = Shape(
+            f"q:rulecond:{condition_index}",
+            ShapeKind.LABEL,
+            label=f"where {condition}",
+            meta={"role": "rule_condition", "condition": condition},
+        )
+        diagram.add_shape(shape)
+        left_ids.append(shape.id)
+    separator = Shape("sep", ShapeKind.SEPARATOR, meta={"role": "separator"})
+    diagram.add_shape(separator)
+    root_id = _construct_shape(diagram, rule.construct, "0")
+    right_ids = [s.id for s in diagram.shapes() if s.id.startswith("c:")]
+    if layout:
+        side_by_side(diagram, left_ids, right_ids, separator_id="sep")
+    assert root_id in diagram
+    return diagram
+
+
+# ---------------------------------------------------------------------------
+# WG-Log
+# ---------------------------------------------------------------------------
+
+def wglog_rule_diagram(rule: RuleGraph, layout: bool = True) -> Diagram:
+    """Draw a WG-Log rule: one graph, thin (red) and thick (green) parts."""
+    diagram = Diagram(title=rule.name or "wg-log rule")
+    for node in rule.nodes.values():
+        stroke = StrokeStyle.THICK if node.color is Color.GREEN else StrokeStyle.THIN
+        kind = ShapeKind.TRIANGLE if node.collector else ShapeKind.BOX
+        diagram.add_shape(
+            Shape(
+                f"n:{node.id}", kind, label=node.label or "*", stroke=stroke,
+                meta={
+                    "role": "wg_node",
+                    "node": node.id,
+                    "label": node.label,
+                    "color": node.color.value,
+                    "collector": node.collector,
+                },
+            )
+        )
+    for edge in rule.edges:
+        stroke = StrokeStyle.THICK if edge.color is Color.GREEN else (
+            StrokeStyle.DASHED if edge.path else StrokeStyle.THIN
+        )
+        diagram.add_connector(
+            Connector(
+                diagram.fresh_id("c"), f"n:{edge.source}", f"n:{edge.target}",
+                label=edge.label, stroke=stroke, crossed=edge.crossed,
+                meta={
+                    "role": "wg_edge",
+                    "label": edge.label,
+                    "color": edge.color.value,
+                    "crossed": edge.crossed,
+                    "path": edge.path,
+                },
+            )
+        )
+    for index, assertion in enumerate(rule.slot_assertions):
+        if assertion.value is not None:
+            label = f"{assertion.name}={assertion.value!r}"
+        else:
+            label = f"{assertion.name}={assertion.from_node}.{assertion.from_slot}"
+        shape_id = f"slot:{index}"
+        diagram.add_shape(
+            Shape(
+                shape_id, ShapeKind.CIRCLE_FILLED, label=label,
+                stroke=StrokeStyle.THICK,
+                meta={
+                    "role": "wg_slot",
+                    "node": assertion.node,
+                    "name": assertion.name,
+                    "value": assertion.value,
+                    "from_node": assertion.from_node,
+                    "from_slot": assertion.from_slot,
+                },
+            )
+        )
+        diagram.add_connector(
+            Connector(
+                diagram.fresh_id("c"), f"n:{assertion.node}", shape_id,
+                stroke=StrokeStyle.THICK,
+                meta={"role": "wg_slot_edge"},
+            )
+        )
+    for index, condition in enumerate(rule.conditions):
+        diagram.add_shape(
+            Shape(
+                f"cond:{index}", ShapeKind.LABEL, label=f"where {condition}",
+                meta={"role": "wg_condition", "condition": condition},
+            )
+        )
+    if layout:
+        layered_layout(diagram)
+    return diagram

@@ -1,0 +1,99 @@
+"""Shape vocabulary of the graphical languages.
+
+Both languages draw from a small set of primitives; this module defines
+them as data.  The repro hint suggests a Qt GUI, which is unavailable
+offline — instead shapes live in a headless scene graph
+(:mod:`repro.visual.diagram`) that the layout engine positions and the
+SVG/ASCII renderers draw.  Every figure of the paper is expressible with:
+
+==============  =====================================================
+ShapeKind       used for
+==============  =====================================================
+BOX             XML-GL element patterns, construct boxes, WG-Log
+                entity rectangles (thick stroke = green part)
+CIRCLE_HOLLOW   XML-GL PCDATA circles
+CIRCLE_FILLED   XML-GL attribute circles
+TRIANGLE        the collect-all construct primitive / WG-Log collector
+LIST_ICON       the grouping (list) construct primitive
+LABEL           free-floating annotations (conditions, multiplicities)
+SEPARATOR       the vertical extract ∥ construct divider of a rule
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+__all__ = ["ShapeKind", "StrokeStyle", "Shape", "Connector"]
+
+
+class ShapeKind(Enum):
+    """The visual primitive a shape renders as."""
+
+    BOX = auto()
+    CIRCLE_HOLLOW = auto()
+    CIRCLE_FILLED = auto()
+    TRIANGLE = auto()
+    LIST_ICON = auto()
+    LABEL = auto()
+    SEPARATOR = auto()
+
+
+class StrokeStyle(Enum):
+    """Stroke weight/pattern, semantically loaded in both languages.
+
+    THIN is the query colour (WG-Log red), THICK the construction colour
+    (WG-Log green), DASHED the regular-path arrow inherited from GraphLog.
+    """
+
+    THIN = "thin"
+    THICK = "thick"
+    DASHED = "dashed"
+
+
+@dataclass
+class Shape:
+    """One shape in a diagram.
+
+    Geometry (``x``/``y`` = top-left, ``width``/``height``) is filled in by
+    the layout engine; ``meta`` carries the language-level identity (node
+    id, flags) that the diagram→AST mapping reads back — exactly the data a
+    GUI editor would keep per widget.
+    """
+
+    id: str
+    kind: ShapeKind
+    label: str = ""
+    stroke: StrokeStyle = StrokeStyle.THIN
+    crossed: bool = False
+    x: float = 0.0
+    y: float = 0.0
+    width: float = 0.0
+    height: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Geometric centre (valid after layout)."""
+        return (self.x + self.width / 2, self.y + self.height / 2)
+
+
+@dataclass
+class Connector:
+    """A drawn arc between two shapes.
+
+    ``annotation`` renders next to the arc midpoint (XML-GL's ``*`` star
+    or ordered tick, WG-Log edge labels).  ``crossed`` draws the negation
+    cross; ``stroke`` distinguishes query/construct/path arcs; ``arrow``
+    chooses whether an arrowhead is drawn at the target.
+    """
+
+    id: str
+    source: str
+    target: str
+    label: str = ""
+    annotation: str = ""
+    stroke: StrokeStyle = StrokeStyle.THIN
+    crossed: bool = False
+    arrow: bool = True
+    meta: dict = field(default_factory=dict)

@@ -1,0 +1,177 @@
+"""SVG rendering of diagrams.
+
+Produces standalone, deterministic SVG documents: boxes, hollow/filled
+circles, the triangle and list-icon construct primitives, the rule
+separator, and connectors with arrowheads, stroke styles (thin / thick /
+dashed), negation crosses and midpoint annotations — the full visual
+vocabulary of both languages.
+"""
+
+from __future__ import annotations
+
+from .diagram import Diagram
+from .shapes import Connector, Shape, ShapeKind, StrokeStyle
+
+__all__ = ["render_svg"]
+
+_FONT = 'font-family="monospace" font-size="12"'
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _stroke_attrs(stroke: StrokeStyle) -> str:
+    if stroke is StrokeStyle.THICK:
+        return 'stroke="#1a7f37" stroke-width="2.6"'
+    if stroke is StrokeStyle.DASHED:
+        return 'stroke="#333333" stroke-width="1.2" stroke-dasharray="6 4"'
+    return 'stroke="#b02a2a" stroke-width="1.2"'
+
+
+def render_svg(diagram: Diagram) -> str:
+    """Render a laid-out diagram to an SVG document string."""
+    min_x, min_y, max_x, max_y = diagram.bounds()
+    width = max(max_x + 24, 120)
+    height = max(max_y + 24, 80)
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        "<defs>"
+        '<marker id="arrow" markerWidth="9" markerHeight="7" refX="8" refY="3.5" '
+        'orient="auto"><polygon points="0 0, 9 3.5, 0 7" fill="#333"/></marker>'
+        "</defs>",
+        f'<rect width="{width:.0f}" height="{height:.0f}" fill="white"/>',
+    ]
+    if diagram.title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="14" text-anchor="middle" {_FONT} '
+            f'font-weight="bold">{_escape(diagram.title)}</text>'
+        )
+    for connector in diagram.connectors():
+        parts.append(_render_connector(diagram, connector))
+    for shape in diagram.shapes():
+        parts.append(_render_shape(shape))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _render_shape(shape: Shape) -> str:
+    cx, cy = shape.center
+    stroke = _stroke_attrs(shape.stroke)
+    label = _escape(shape.label)
+    pieces: list[str] = []
+    if shape.kind is ShapeKind.BOX:
+        pieces.append(
+            f'<rect x="{shape.x:.1f}" y="{shape.y:.1f}" width="{shape.width:.1f}" '
+            f'height="{shape.height:.1f}" rx="3" fill="#fdfdf5" {stroke}/>'
+        )
+        pieces.append(_text(cx, cy + 4, label))
+    elif shape.kind is ShapeKind.CIRCLE_HOLLOW:
+        pieces.append(
+            f'<ellipse cx="{cx:.1f}" cy="{cy:.1f}" rx="{shape.width / 2:.1f}" '
+            f'ry="{shape.height / 2:.1f}" fill="white" {stroke}/>'
+        )
+        if label:
+            pieces.append(_text(cx, cy + 4, label))
+    elif shape.kind is ShapeKind.CIRCLE_FILLED:
+        pieces.append(
+            f'<ellipse cx="{cx:.1f}" cy="{cy:.1f}" rx="{shape.width / 2:.1f}" '
+            f'ry="{shape.height / 2:.1f}" fill="#444" {stroke}/>'
+        )
+        if label:
+            pieces.append(_text(cx, cy - shape.height / 2 - 4, label))
+    elif shape.kind is ShapeKind.TRIANGLE:
+        points = (
+            f"{cx:.1f},{shape.y:.1f} {shape.x:.1f},{shape.y + shape.height:.1f} "
+            f"{shape.x + shape.width:.1f},{shape.y + shape.height:.1f}"
+        )
+        pieces.append(f'<polygon points="{points}" fill="#eef6ee" {stroke}/>')
+        if label:
+            pieces.append(_text(cx, shape.y + shape.height + 12, label))
+    elif shape.kind is ShapeKind.LIST_ICON:
+        pieces.append(
+            f'<rect x="{shape.x:.1f}" y="{shape.y:.1f}" width="{shape.width:.1f}" '
+            f'height="{shape.height:.1f}" fill="#eef2f8" {stroke}/>'
+        )
+        for row in range(1, 4):
+            line_y = shape.y + row * shape.height / 4
+            pieces.append(
+                f'<line x1="{shape.x + 4:.1f}" y1="{line_y:.1f}" '
+                f'x2="{shape.x + shape.width - 4:.1f}" y2="{line_y:.1f}" '
+                'stroke="#666" stroke-width="1"/>'
+            )
+        if label:
+            pieces.append(_text(cx, shape.y + shape.height + 12, label))
+    elif shape.kind is ShapeKind.LABEL:
+        pieces.append(
+            f'<text x="{shape.x:.1f}" y="{shape.y + 12:.1f}" {_FONT} '
+            f'fill="#555">{label}</text>'
+        )
+    elif shape.kind is ShapeKind.SEPARATOR:
+        pieces.append(
+            f'<line x1="{shape.x:.1f}" y1="{shape.y:.1f}" x2="{shape.x:.1f}" '
+            f'y2="{shape.y + shape.height:.1f}" stroke="#222" stroke-width="2"/>'
+        )
+    if shape.crossed:
+        pieces.append(_cross(cx, cy))
+    return "\n".join(pieces)
+
+
+def _text(x: float, y: float, label: str) -> str:
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="middle" {_FONT}>'
+        f"{label}</text>"
+    )
+
+
+def _cross(x: float, y: float, radius: float = 7.0) -> str:
+    return (
+        f'<line x1="{x - radius:.1f}" y1="{y - radius:.1f}" '
+        f'x2="{x + radius:.1f}" y2="{y + radius:.1f}" stroke="#b00" stroke-width="2"/>'
+        f'<line x1="{x - radius:.1f}" y1="{y + radius:.1f}" '
+        f'x2="{x + radius:.1f}" y2="{y - radius:.1f}" stroke="#b00" stroke-width="2"/>'
+    )
+
+
+def _anchor_point(shape: Shape, towards: tuple[float, float]) -> tuple[float, float]:
+    """Point on the shape's border towards the other endpoint."""
+    cx, cy = shape.center
+    tx, ty = towards
+    dx, dy = tx - cx, ty - cy
+    if dx == 0 and dy == 0:
+        return (cx, cy)
+    half_w = shape.width / 2 or 1.0
+    half_h = shape.height / 2 or 1.0
+    scale = 1.0 / max(abs(dx) / half_w, abs(dy) / half_h)
+    return (cx + dx * scale, cy + dy * scale)
+
+
+def _render_connector(diagram: Diagram, connector: Connector) -> str:
+    source = diagram.shape(connector.source)
+    target = diagram.shape(connector.target)
+    x1, y1 = _anchor_point(source, target.center)
+    x2, y2 = _anchor_point(target, source.center)
+    stroke = _stroke_attrs(connector.stroke)
+    marker = ' marker-end="url(#arrow)"' if connector.arrow else ""
+    pieces = [
+        f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+        f"{stroke}{marker}/>"
+    ]
+    mid_x, mid_y = (x1 + x2) / 2, (y1 + y2) / 2
+    if connector.label:
+        pieces.append(
+            f'<text x="{mid_x:.1f}" y="{mid_y - 5:.1f}" text-anchor="middle" '
+            f'{_FONT} fill="#333">{_escape(connector.label)}</text>'
+        )
+    if connector.annotation:
+        pieces.append(
+            f'<text x="{mid_x + 8:.1f}" y="{mid_y + 12:.1f}" {_FONT} '
+            f'fill="#7a4" font-weight="bold">{_escape(connector.annotation)}</text>'
+        )
+    if connector.crossed:
+        pieces.append(_cross(mid_x, mid_y))
+    return "\n".join(pieces)

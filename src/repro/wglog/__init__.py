@@ -1,0 +1,34 @@
+"""WG-Log: the schema-based graphical query language over G-Log.
+
+Public API:
+
+* data — :class:`InstanceGraph` (entities, slots, relationships);
+* schemas — :class:`WGSchema` with conformance checking;
+* rules — :class:`RuleGraph` (red/green coloured graphs), built directly
+  or parsed from the textual DSL (:func:`parse_wglog` / :func:`parse_rule`);
+* evaluation — :func:`query` (embeddings), :func:`satisfies` (declarative
+  reading), :func:`apply_rule` / :func:`apply_program` (generative
+  semantics with fixpoint);
+* bridging — :func:`document_to_instance` / :func:`instance_to_document`
+  to share datasets with XML-GL.
+"""
+
+from .ast import Color, RuleEdge, RuleGraph, RuleNode, SlotAssertion
+from .bridge import document_to_instance, instance_to_document
+from .data import SLOT_LABEL, InstanceGraph
+from .dsl import parse_rule, parse_wglog
+from .matcher import GraphAccessor, check_against_schema, embeddings
+from .schema import RelationDecl, SlotDecl, WGSchema, infer_wg_schema
+from .semantics import answer_graph, apply_program, apply_rule, query, satisfies
+from .unparse import unparse_rule, unparse_schema, unparse_wglog
+
+__all__ = [
+    "InstanceGraph", "SLOT_LABEL",
+    "WGSchema", "SlotDecl", "RelationDecl", "infer_wg_schema",
+    "RuleGraph", "RuleNode", "RuleEdge", "SlotAssertion", "Color",
+    "embeddings", "GraphAccessor", "check_against_schema",
+    "query", "satisfies", "apply_rule", "apply_program", "answer_graph",
+    "parse_wglog", "parse_rule",
+    "unparse_rule", "unparse_schema", "unparse_wglog",
+    "document_to_instance", "instance_to_document",
+]

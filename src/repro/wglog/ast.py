@@ -1,0 +1,265 @@
+"""Rule graphs of WG-Log.
+
+A WG-Log rule is a *single* graph whose parts are distinguished by colour:
+the thin/red part is the query pattern, the thick/green part is the
+structure to be derived.  Query and construction "share the same nodes,
+making variables obsolete" — a green edge drawn between two red nodes
+derives a new relationship between matched entities.
+
+Visual vocabulary → AST:
+
+===============================  =========================================
+thin (red) rectangle             :class:`RuleNode` with ``color=RED``
+thick (green) rectangle          :class:`RuleNode` with ``color=GREEN``
+thin labelled arrow              :class:`RuleEdge` (RED)
+thick labelled arrow             :class:`RuleEdge` (GREEN)
+crossed-out arrow                ``RuleEdge(crossed=True)`` (RED only)
+dashed arrow (regular path)      ``RuleEdge(path=True)`` (RED only) —
+                                 inherited from GraphLog
+green value rectangle            :class:`SlotAssertion`
+aggregation triangle             ``RuleNode(collector=True)`` (GREEN)
+predicate annotation             conditions on the :class:`RuleGraph`
+===============================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..engine.conditions import Condition
+from ..errors import QueryStructureError
+from ..ssd.datatypes import Atomic
+
+__all__ = ["Color", "RuleNode", "RuleEdge", "SlotAssertion", "RuleGraph"]
+
+
+class Color(Enum):
+    """Rule-part colour: RED queries, GREEN derives."""
+
+    RED = "red"
+    GREEN = "green"
+
+
+@dataclass(frozen=True)
+class RuleNode:
+    """One rectangle of the rule graph.
+
+    Args:
+        id: node id (the "variable" — shared between query and construction).
+        label: entity type, or ``None`` for a wildcard (any type).
+        color: RED (to be matched) or GREEN (to be created).
+        collector: GREEN only — the aggregation triangle; a single node is
+            created per rule application, linked to *all* matches of the red
+            nodes its green edges point at.
+    """
+
+    id: str
+    label: Optional[str] = None
+    color: Color = Color.RED
+    collector: bool = False
+
+    def describe(self) -> str:
+        marks = "+" if self.color is Color.GREEN else ""
+        marks += "▲" if self.collector else ""
+        return f"[{self.label or '*'}]{marks}({self.id})"
+
+
+@dataclass(frozen=True)
+class RuleEdge:
+    """One labelled arrow.
+
+    ``crossed`` (RED only) negates: no such edge may exist.  ``path`` (RED
+    only) is GraphLog's dashed arrow: matches any non-empty directed path of
+    relationship edges.
+    """
+
+    source: str
+    target: str
+    label: str = ""
+    color: Color = Color.RED
+    crossed: bool = False
+    path: bool = False
+
+    def describe(self) -> str:
+        arrow = "=*=>" if self.path else ("=/=>" if self.crossed else "-->")
+        plus = "+" if self.color is Color.GREEN else ""
+        return f"{self.source} {arrow}{plus} {self.target} [{self.label}]"
+
+
+@dataclass(frozen=True)
+class SlotAssertion:
+    """A green slot: assert ``node.name = value`` on derivation.
+
+    ``from_node``/``from_slot`` copy a slot of a matched red node instead of
+    a literal value.
+    """
+
+    node: str
+    name: str
+    value: Optional[Atomic] = None
+    from_node: Optional[str] = None
+    from_slot: Optional[str] = None
+
+
+@dataclass
+class RuleGraph:
+    """One WG-Log rule: a coloured graph plus predicate annotations."""
+
+    nodes: dict[str, RuleNode] = field(default_factory=dict)
+    edges: list[RuleEdge] = field(default_factory=list)
+    slot_assertions: list[SlotAssertion] = field(default_factory=list)
+    conditions: list[Condition] = field(default_factory=list)
+    name: Optional[str] = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, node: RuleNode) -> str:
+        """Add a rectangle; duplicate ids raise."""
+        if node.id in self.nodes:
+            raise QueryStructureError(f"duplicate rule node id {node.id!r}")
+        if node.collector and node.color is not Color.GREEN:
+            raise QueryStructureError("the aggregation triangle must be green")
+        self.nodes[node.id] = node
+        return node.id
+
+    def red(self, id: str, label: Optional[str] = None) -> str:
+        """Shorthand: add a red node."""
+        return self.add_node(RuleNode(id, label, Color.RED))
+
+    def green(self, id: str, label: Optional[str] = None, collector: bool = False) -> str:
+        """Shorthand: add a green node."""
+        return self.add_node(RuleNode(id, label, Color.GREEN, collector=collector))
+
+    def add_edge(self, edge: RuleEdge) -> RuleEdge:
+        """Add an arrow; endpoints must exist and colours be coherent."""
+        for endpoint in (edge.source, edge.target):
+            if endpoint not in self.nodes:
+                raise QueryStructureError(f"edge endpoint {endpoint!r} is not a node")
+        if edge.crossed and edge.color is not Color.RED:
+            raise QueryStructureError("crossed (negated) edges must be red")
+        if edge.path and edge.color is not Color.RED:
+            raise QueryStructureError("dashed (path) edges must be red")
+        if edge.crossed and edge.path:
+            # allowed: "no path from a to b" — keep but note both flags work
+            pass
+        if edge.color is Color.RED:
+            for endpoint in (edge.source, edge.target):
+                if self.nodes[endpoint].color is Color.GREEN:
+                    raise QueryStructureError(
+                        f"red edge touches green node {endpoint!r}"
+                    )
+        self.edges.append(edge)
+        return edge
+
+    def match_edge(
+        self, source: str, target: str, label: str = "",
+        crossed: bool = False, path: bool = False,
+    ) -> RuleEdge:
+        """Shorthand: add a red edge."""
+        return self.add_edge(
+            RuleEdge(source, target, label, Color.RED, crossed=crossed, path=path)
+        )
+
+    def derive_edge(self, source: str, target: str, label: str = "") -> RuleEdge:
+        """Shorthand: add a green edge."""
+        return self.add_edge(RuleEdge(source, target, label, Color.GREEN))
+
+    def assert_slot(
+        self,
+        node: str,
+        name: str,
+        value: Optional[Atomic] = None,
+        from_node: Optional[str] = None,
+        from_slot: Optional[str] = None,
+    ) -> SlotAssertion:
+        """Add a green slot assertion."""
+        if node not in self.nodes:
+            raise QueryStructureError(f"slot assertion on unknown node {node!r}")
+        if (value is None) == (from_node is None):
+            raise QueryStructureError(
+                "slot assertion needs exactly one of value / from_node"
+            )
+        if from_node is not None and from_node not in self.nodes:
+            raise QueryStructureError(f"slot source {from_node!r} is not a node")
+        assertion = SlotAssertion(node, name, value, from_node, from_slot or name)
+        self.slot_assertions.append(assertion)
+        return assertion
+
+    def add_condition(self, condition: Condition) -> Condition:
+        """Attach a predicate annotation (over red node ids)."""
+        self.conditions.append(condition)
+        return condition
+
+    # -- parts ------------------------------------------------------------------
+
+    def red_nodes(self) -> list[RuleNode]:
+        """All red rectangles."""
+        return [n for n in self.nodes.values() if n.color is Color.RED]
+
+    def green_nodes(self) -> list[RuleNode]:
+        """All green rectangles."""
+        return [n for n in self.nodes.values() if n.color is Color.GREEN]
+
+    def red_edges(self) -> list[RuleEdge]:
+        """All red arrows (crossed ones included)."""
+        return [e for e in self.edges if e.color is Color.RED]
+
+    def green_edges(self) -> list[RuleEdge]:
+        """All green arrows."""
+        return [e for e in self.edges if e.color is Color.GREEN]
+
+    def is_query(self) -> bool:
+        """True when the rule has no green part (a pure query)."""
+        return not self.green_nodes() and not self.green_edges() and not self.slot_assertions
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Structural checks; raises :class:`QueryStructureError`."""
+        if not self.red_nodes():
+            raise QueryStructureError("rule has no red (query) part")
+        for edge in self.green_edges():
+            if (
+                self.nodes[edge.source].color is Color.RED
+                and self.nodes[edge.target].color is Color.RED
+            ):
+                continue
+            # green-node edges must ultimately anchor in the red part or
+            # in a collector; a fully floating green component is illegal.
+        for node in self.green_nodes():
+            if node.collector:
+                outgoing = [
+                    e for e in self.green_edges() if e.source == node.id
+                ]
+                if not outgoing:
+                    raise QueryStructureError(
+                        f"collector {node.id!r} aggregates nothing"
+                    )
+                for edge in outgoing:
+                    if self.nodes[edge.target].color is not Color.RED:
+                        raise QueryStructureError(
+                            f"collector {node.id!r} must point at red nodes"
+                        )
+        for assertion in self.slot_assertions:
+            if assertion.from_node is not None:
+                if self.nodes[assertion.from_node].color is not Color.RED:
+                    raise QueryStructureError(
+                        "slot values can only be copied from red nodes"
+                    )
+
+    def describe(self) -> str:
+        """Compact textual rendering."""
+        lines = [n.describe() for n in self.nodes.values()]
+        lines += [e.describe() for e in self.edges]
+        for assertion in self.slot_assertions:
+            if assertion.value is not None:
+                lines.append(f"{assertion.node}.{assertion.name} := {assertion.value!r}")
+            else:
+                lines.append(
+                    f"{assertion.node}.{assertion.name} := "
+                    f"{assertion.from_node}.{assertion.from_slot}"
+                )
+        lines += [f"where {c}" for c in self.conditions]
+        return "\n".join(lines)

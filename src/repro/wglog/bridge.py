@@ -1,0 +1,113 @@
+"""Bridging XML documents and WG-Log instance graphs.
+
+The comparison framework runs "the same query" through both languages; for
+that, one dataset must be visible to both.  :func:`document_to_instance`
+maps an XML document onto a G-Log graph:
+
+* every element becomes an entity labelled with its tag;
+* attributes become slots;
+* non-empty immediate text becomes a ``text`` slot;
+* parent→child element containment becomes ``child`` edges (a custom label
+  can be chosen);
+* ID/IDREF references become edges labelled with the referring attribute —
+  this is where the *graph* nature of semi-structured data surfaces.
+
+:func:`instance_to_document` serialises a (tree-shaped reachable part of a)
+graph back to XML for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import BridgeError
+from ..ssd.identity import IdentityIndex
+from ..ssd.model import Document, Element
+from .data import InstanceGraph
+
+__all__ = ["document_to_instance", "instance_to_document", "CHILD_EDGE", "TEXT_SLOT"]
+
+#: Default label of containment edges.
+CHILD_EDGE = "child"
+#: Slot name carrying element text.
+TEXT_SLOT = "text"
+
+NodeId = Hashable
+
+
+def document_to_instance(
+    document: Document,
+    child_label: str = CHILD_EDGE,
+    reference_attributes: bool = True,
+    idref_attributes: tuple[str, ...] = ("idref", "ref", "cites"),
+    idrefs_attributes: tuple[str, ...] = ("idrefs", "refs"),
+) -> tuple[InstanceGraph, dict[int, NodeId]]:
+    """Map a document onto an instance graph.
+
+    Returns ``(instance, element_map)`` where ``element_map`` maps
+    ``id(element)`` to the corresponding entity id (useful in tests and in
+    the comparison framework to align bindings).
+    """
+    root = document.root
+    if root is None:
+        raise BridgeError("document has no root element")
+    instance = InstanceGraph()
+    element_map: dict[int, NodeId] = {}
+    for element in document.iter():
+        entity = instance.add_entity(element.tag)
+        element_map[id(element)] = entity
+        for name, value in element.attributes.items():
+            instance.add_slot(entity, name, value)
+        text = element.immediate_text().strip()
+        if text:
+            instance.add_slot(entity, TEXT_SLOT, text)
+    for element in document.iter():
+        source = element_map[id(element)]
+        for child in element.child_elements():
+            instance.relate(source, element_map[id(child)], child_label)
+    if reference_attributes:
+        index = IdentityIndex(
+            document,
+            idref_attributes=idref_attributes,
+            idrefs_attributes=idrefs_attributes,
+        )
+        for reference in index.edges():
+            instance.relate(
+                element_map[id(reference.source)],
+                element_map[id(reference.target)],
+                reference.attribute,
+            )
+    return instance, element_map
+
+
+def instance_to_document(
+    instance: InstanceGraph,
+    root: NodeId,
+    child_label: str = CHILD_EDGE,
+    max_depth: int = 100,
+) -> Document:
+    """Serialise the ``child_label``-tree reachable from ``root`` to XML.
+
+    Slots become attributes (the ``text`` slot becomes text content).
+    Cycles over ``child_label`` edges raise :class:`BridgeError` (XML is a
+    tree; non-tree edges are simply skipped and can be exported separately).
+    """
+    if root not in instance.graph:
+        raise BridgeError(f"unknown root entity {root!r}")
+
+    def build(entity: NodeId, depth: int, trail: set[NodeId]) -> Element:
+        if depth > max_depth:
+            raise BridgeError(f"tree deeper than {max_depth}; cycle suspected")
+        if entity in trail:
+            raise BridgeError(f"containment cycle through {entity!r}")
+        element = Element(instance.label(entity))
+        for name, value in instance.slots(entity).items():
+            if name == TEXT_SLOT:
+                element.append(str(value))
+            else:
+                element.set(name, str(value))
+        for edge in instance.relationships(entity, child_label):
+            element.append(build(edge.target, depth + 1, trail | {entity}))
+        return element
+
+    return Document(build(root, 0, set()))

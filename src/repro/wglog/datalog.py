@@ -1,0 +1,160 @@
+"""Rendering WG-Log rules as Datalog text.
+
+G-Log descends from the Datalog family (GraphLog's visual queries are
+exactly stratified-Datalog-expressible), and the paper situates WG-Log
+there.  This module pretty-prints a :class:`~repro.wglog.ast.RuleGraph`
+as the corresponding Datalog rule, making the visual/logical
+correspondence explicit:
+
+* a red node ``x: Doc`` → body atom ``node(X, 'Doc')``
+  (wildcards contribute no atom beyond their edges);
+* a red edge ``a -link-> b`` → ``edge(A, 'link', B)``;
+* a crossed edge → a negated atom ``not edge(...)`` (∀-negated fragments
+  render with their fragment atoms inside the negation);
+* a dashed path edge → ``path(A, 'link', B)`` (the transitive-closure
+  predicate);
+* green structure → the rule head (several heads render as several
+  rules sharing the body);
+* slot assertions → ``slot(X, 'name', value)`` heads; conditions render
+  as comparison atoms.
+
+This is a *pretty-printer*, not an evaluator — the generative semantics
+already lives in :mod:`repro.wglog.semantics` — but the output is valid
+Datalog-with-negation syntax, so it doubles as documentation of each
+rule's logical reading.
+"""
+
+from __future__ import annotations
+
+from ..engine.conditions import (
+    And,
+    Arith,
+    AttributeOf,
+    Comparison,
+    Condition,
+    Const,
+    ContentOf,
+    NameOf,
+    Not,
+    Operand,
+    Or,
+    Regex,
+)
+from .ast import RuleGraph
+from .matcher import _split_negation  # the same fragment analysis
+
+__all__ = ["to_datalog"]
+
+
+def _var(node_id: str) -> str:
+    return node_id.upper() if node_id else "_"
+
+
+def _value(value: object) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+def _operand(operand: Operand) -> str:
+    if isinstance(operand, Const):
+        return _value(operand.value)
+    if isinstance(operand, ContentOf):
+        return _var(operand.variable)
+    if isinstance(operand, AttributeOf):
+        return f"slot_of({_var(operand.variable)}, '{operand.name}')"
+    if isinstance(operand, NameOf):
+        return f"label_of({_var(operand.variable)})"
+    assert isinstance(operand, Arith)
+    return f"({_operand(operand.left)} {operand.op} {_operand(operand.right)})"
+
+
+def _condition_atoms(condition: Condition) -> list[str]:
+    if isinstance(condition, And):
+        atoms: list[str] = []
+        for sub in condition.conditions:
+            atoms.extend(_condition_atoms(sub))
+        return atoms
+    if isinstance(condition, Comparison):
+        return [f"{_operand(condition.left)} {condition.op} {_operand(condition.right)}"]
+    if isinstance(condition, Regex):
+        return [f"match({_operand(condition.operand)}, '{condition.pattern}')"]
+    if isinstance(condition, Not):
+        inner = _condition_atoms(condition.condition)
+        if len(inner) == 1:
+            return [f"not {inner[0]}"]
+        return ["not (" + ", ".join(inner) + ")"]
+    if isinstance(condition, Or):
+        branches = [
+            ", ".join(_condition_atoms(sub)) for sub in condition.conditions
+        ]
+        return ["(" + " ; ".join(branches) + ")"]
+    return []  # TRUE
+
+
+def to_datalog(rule: RuleGraph) -> str:
+    """The rule's Datalog reading (one line per green head)."""
+    rule.validate()
+    core_ids, fragments = _split_negation(rule)
+
+    body: list[str] = []
+    for node in rule.red_nodes():
+        if node.id in core_ids and node.label is not None:
+            body.append(f"node({_var(node.id)}, '{node.label}')")
+    fragment_nodes = set().union(*[f for _, f in fragments]) if fragments else set()
+    for edge in rule.red_edges():
+        if edge.crossed:
+            continue
+        if edge.source in fragment_nodes or edge.target in fragment_nodes:
+            continue
+        predicate = "path" if edge.path else "edge"
+        body.append(
+            f"{predicate}({_var(edge.source)}, '{edge.label}', {_var(edge.target)})"
+        )
+    for crossed, fragment in fragments:
+        predicate = "path" if crossed.path else "edge"
+        atom = f"{predicate}({_var(crossed.source)}, '{crossed.label}', {_var(crossed.target)})"
+        extras = []
+        for node_id in sorted(fragment):
+            node = rule.nodes[node_id]
+            if node.label is not None:
+                extras.append(f"node({_var(node_id)}, '{node.label}')")
+        for edge in rule.red_edges():
+            if edge.crossed or edge is crossed:
+                continue
+            if edge.source in fragment or edge.target in fragment:
+                extras.append(
+                    f"edge({_var(edge.source)}, '{edge.label}', {_var(edge.target)})"
+                )
+        if extras:
+            body.append("not (" + ", ".join([atom] + extras) + ")")
+        else:
+            body.append(f"not {atom}")
+    for condition in rule.conditions:
+        body.extend(_condition_atoms(condition))
+
+    heads: list[str] = []
+    collector_ids = {n.id for n in rule.green_nodes() if n.collector}
+    for node in rule.green_nodes():
+        suffix = " /* collector: one per rule application */" if node.collector else ""
+        heads.append(f"node({_var(node.id)}, '{node.label or '?'}'){suffix}")
+    for edge in rule.green_edges():
+        heads.append(
+            f"edge({_var(edge.source)}, '{edge.label}', {_var(edge.target)})"
+        )
+    for assertion in rule.slot_assertions:
+        if assertion.value is not None:
+            value = _value(assertion.value)
+        else:
+            value = (
+                f"slot_of({_var(assertion.from_node)}, '{assertion.from_slot}')"
+            )
+        heads.append(f"slot({_var(assertion.node)}, '{assertion.name}', {value})")
+
+    body_text = ", ".join(body) if body else "true"
+    name = rule.name or "query"
+    if not heads:
+        head_vars = ", ".join(_var(n) for n in sorted(core_ids))
+        return f"{name}({head_vars}) :- {body_text}."
+    lines = [f"{head} :- {body_text}." for head in heads]
+    return "\n".join(lines)

@@ -1,0 +1,476 @@
+r"""Textual concrete syntax for WG-Log.
+
+As with XML-GL, the reference syntax is the drawing; this textual form maps
+one-to-one onto it for headless use.
+
+Grammar::
+
+    program   = [schema] rule+
+    schema    = "schema" "{" sdecl* "}"
+    sdecl     = "entity" NAME ["{" slot ("," slot)* "}"]
+              | "relation" NAME "-" NAME "->" NAME
+    slot      = NAME ":" TYPE ["required"]        -- TYPE in string/int/float/bool/any
+    rule      = "rule" [NAME] "{" match [construct] [where] "}"
+    match     = "match" "{" mitem* "}"
+    mitem     = NAME ":" (NAME | "*")             -- red node  id: Label
+              | ["no"] NAME edge NAME             -- red edge; "no" = crossed
+    edge      = "-" NAME "->" | "-" NAME "*->"    -- "*->" = dashed path edge
+    construct = "construct" "{" citem* "}"
+    citem     = NAME ":" NAME ["collect"]         -- green node (collect = triangle)
+              | NAME "-" NAME "->" NAME           -- green edge
+              | NAME "." NAME "=" (literal | NAME "." NAME)   -- slot assertion
+    where     = "where" cond                      -- condition grammar as in XML-GL:
+                                                  --   X.slot < 5, name(X) = 'page',
+                                                  --   and/or/not, ~ /regex/
+
+Example (GraphLog's sibling rule)::
+
+    rule sibling {
+      match {
+        d1: Document
+        d2: Document
+        idx: Document
+        idx -index-> d1
+        idx -index-> d2
+      }
+      construct { d1 -sibling-> d2 }
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.conditions import (
+    And,
+    Arith,
+    AttributeOf,
+    Comparison,
+    Condition,
+    Const,
+    ContentOf,
+    NameOf,
+    Not,
+    Operand,
+    Or,
+    Regex,
+)
+from ..errors import QuerySyntaxError
+from ..ssd.datatypes import coerce
+from .ast import Color, RuleEdge, RuleGraph, RuleNode
+from .schema import SlotDecl, WGSchema
+
+__all__ = ["parse_wglog", "parse_rule"]
+
+_CMP_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+_PUNCT = [
+    "*->", "->", "<=", ">=", "!=", "{", "}", "(", ")", ",", ":", ".",
+    "=", "~", "<", ">", "+", "-", "*", "/",
+]
+
+# No hyphens in WG-Log names: '-' delimits edge syntax (a -label-> b).
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?")
+
+
+@dataclass
+class _Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line, column = 1, 1
+    pos = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            column = 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            column += 1
+            continue
+        if ch == "#":
+            while pos < n and source[pos] != "\n":
+                pos += 1
+            continue
+        if ch in "'\"":
+            end = source.find(ch, pos + 1)
+            if end == -1:
+                raise QuerySyntaxError("unterminated string", line, column)
+            tokens.append(_Token("string", source[pos + 1 : end], line, column))
+            column += end - pos + 1
+            pos = end + 1
+            continue
+        if ch == "/" and tokens and tokens[-1].kind == "punct" and tokens[-1].value == "~":
+            index = pos + 1
+            chunks: list[str] = []
+            while index < n and source[index] != "/":
+                if source[index] == "\\" and index + 1 < n and source[index + 1] == "/":
+                    chunks.append("/")
+                    index += 2
+                else:
+                    chunks.append(source[index])
+                    index += 1
+            if index >= n:
+                raise QuerySyntaxError("unterminated regex", line, column)
+            tokens.append(_Token("regex", "".join(chunks), line, column))
+            column += index - pos + 1
+            pos = index + 1
+            continue
+        match = _NUMBER_RE.match(source, pos)
+        if match:
+            tokens.append(_Token("number", match.group(), line, column))
+            column += len(match.group())
+            pos = match.end()
+            continue
+        match = _NAME_RE.match(source, pos)
+        if match:
+            tokens.append(_Token("name", match.group(), line, column))
+            column += len(match.group())
+            pos = match.end()
+            continue
+        for punct in _PUNCT:
+            if source.startswith(punct, pos):
+                tokens.append(_Token("punct", punct, line, column))
+                column += len(punct)
+                pos += len(punct)
+                break
+        else:
+            raise QuerySyntaxError(f"unexpected character {ch!r}", line, column)
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self._tokens = _tokenize(source)
+        self._pos = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _error(self, message: str) -> QuerySyntaxError:
+        token = self._peek()
+        if token is None:
+            return QuerySyntaxError(f"{message} (at end of input)")
+        return QuerySyntaxError(
+            f"{message}, found {token.value!r}", token.line, token.column
+        )
+
+    def _at_punct(self, value: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "punct" and token.value == value
+
+    def _at_name(self, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != "name":
+            return False
+        return value is None or token.value == value
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._at_punct(value):
+            raise self._error(f"expected {value!r}")
+        self._next()
+
+    def _expect_name(self, value: Optional[str] = None) -> str:
+        if not self._at_name(value):
+            raise self._error(
+                f"expected {'a name' if value is None else repr(value)}"
+            )
+        return self._next().value
+
+    def _eat_name(self, value: str) -> bool:
+        if self._at_name(value):
+            self._next()
+            return True
+        return False
+
+    # -- program -------------------------------------------------------------------
+
+    def parse(self) -> tuple[Optional[WGSchema], list[RuleGraph]]:
+        schema = None
+        if self._at_name("schema"):
+            schema = self._parse_schema()
+        rules = []
+        while self._at_name("rule"):
+            rules.append(self._parse_rule())
+        if self._peek() is not None:
+            raise self._error("trailing input")
+        if not rules:
+            raise QuerySyntaxError("no rules found")
+        return schema, rules
+
+    # -- schema -------------------------------------------------------------------
+
+    def _parse_schema(self) -> WGSchema:
+        self._expect_name("schema")
+        self._expect_punct("{")
+        schema = WGSchema()
+        pending_relations: list[tuple[str, str, str]] = []
+        while not self._at_punct("}"):
+            if self._eat_name("entity"):
+                label = self._expect_name()
+                slots: list[SlotDecl] = []
+                if self._at_punct("{"):
+                    self._next()
+                    while not self._at_punct("}"):
+                        slot_name = self._expect_name()
+                        self._expect_punct(":")
+                        slot_type = self._expect_name()
+                        required = self._eat_name("required")
+                        slots.append(SlotDecl(slot_name, slot_type, required))
+                        if self._at_punct(","):
+                            self._next()
+                    self._next()
+                schema.entity(label, *slots)
+            elif self._eat_name("relation"):
+                source = self._expect_name()
+                self._expect_punct("-")
+                label = self._expect_name()
+                self._expect_punct("->")
+                target = self._expect_name()
+                pending_relations.append((source, label, target))
+            else:
+                raise self._error("expected 'entity' or 'relation'")
+        self._next()
+        for source, label, target in pending_relations:
+            schema.relation(source, label, target)
+        return schema
+
+    # -- rules ---------------------------------------------------------------------
+
+    def _parse_rule(self) -> RuleGraph:
+        self._expect_name("rule")
+        name = None
+        if self._at_name() and not self._at_punct("{"):
+            candidate = self._peek()
+            if candidate.value != "match":
+                name = self._next().value
+        self._expect_punct("{")
+        rule = RuleGraph(name=name)
+        self._expect_name("match")
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            self._parse_match_item(rule)
+        self._next()
+        if self._eat_name("construct"):
+            self._expect_punct("{")
+            while not self._at_punct("}"):
+                self._parse_construct_item(rule)
+            self._next()
+        if self._eat_name("where"):
+            rule.add_condition(self._parse_condition())
+        self._expect_punct("}")
+        rule.validate()
+        return rule
+
+    def _parse_match_item(self, rule: RuleGraph) -> None:
+        crossed = self._eat_name("no")
+        first = self._expect_name()
+        if not crossed and self._at_punct(":"):
+            self._next()
+            if self._at_punct("*"):
+                self._next()
+                label: Optional[str] = None
+            else:
+                label = self._expect_name()
+            rule.add_node(RuleNode(first, label, Color.RED))
+            return
+        # an edge: first -label-> target  /  first -label*-> target;
+        # the label `_` matches/traverses any edge label (path edges only)
+        self._expect_punct("-")
+        label = self._expect_name()
+        if label == "_":
+            label = ""
+        path = False
+        if self._at_punct("*->"):
+            self._next()
+            path = True
+        else:
+            self._expect_punct("->")
+        target = self._expect_name()
+        if label == "" and not path:
+            raise self._error("the any-label '_' needs a path edge (use -_*->)")
+        self._implicit_node(rule, first)
+        self._implicit_node(rule, target)
+        rule.add_edge(
+            RuleEdge(first, target, label, Color.RED, crossed=crossed, path=path)
+        )
+
+    def _implicit_node(self, rule: RuleGraph, node_id: str) -> None:
+        if node_id not in rule.nodes:
+            rule.add_node(RuleNode(node_id, None, Color.RED))
+
+    def _parse_construct_item(self, rule: RuleGraph) -> None:
+        first = self._expect_name()
+        if self._at_punct(":"):
+            self._next()
+            label = self._expect_name()
+            collector = self._eat_name("collect")
+            rule.add_node(RuleNode(first, label, Color.GREEN, collector=collector))
+            return
+        if self._at_punct("."):
+            self._next()
+            slot_name = self._expect_name()
+            self._expect_punct("=")
+            token = self._peek()
+            if token is None:
+                raise self._error("expected a slot value")
+            if token.kind in ("string", "number"):
+                self._next()
+                value = coerce(token.value) if token.kind == "number" else token.value
+                rule.assert_slot(first, slot_name, value=value)
+                return
+            source_node = self._expect_name()
+            self._expect_punct(".")
+            source_slot = self._expect_name()
+            rule.assert_slot(
+                first, slot_name, from_node=source_node, from_slot=source_slot
+            )
+            return
+        self._expect_punct("-")
+        label = self._expect_name()
+        self._expect_punct("->")
+        target = self._expect_name()
+        for endpoint in (first, target):
+            if endpoint not in rule.nodes:
+                raise self._error(
+                    f"green edge endpoint {endpoint!r} must be declared first"
+                )
+        rule.add_edge(RuleEdge(first, target, label, Color.GREEN))
+
+    # -- conditions -----------------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        parts = [self._parse_conjunction()]
+        while self._eat_name("or"):
+            parts.append(self._parse_conjunction())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _parse_conjunction(self) -> Condition:
+        parts = [self._parse_condition_unit()]
+        while self._eat_name("and"):
+            parts.append(self._parse_condition_unit())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _parse_condition_unit(self) -> Condition:
+        if self._eat_name("not"):
+            return Not(self._parse_condition_unit())
+        if self._at_punct("(") and self._paren_holds_condition():
+            self._next()
+            condition = self._parse_condition()
+            self._expect_punct(")")
+            return condition
+        return self._parse_comparison()
+
+    def _paren_holds_condition(self) -> bool:
+        depth = 0
+        index = self._pos
+        while index < len(self._tokens):
+            token = self._tokens[index]
+            if token.kind == "punct" and token.value == "(":
+                depth += 1
+            elif token.kind == "punct" and token.value == ")":
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1 and (
+                (token.kind == "punct" and token.value in _CMP_OPS)
+                or (token.kind == "name" and token.value in ("and", "or", "not"))
+                or (token.kind == "punct" and token.value == "~")
+            ):
+                return True
+            index += 1
+        return False
+
+    def _parse_comparison(self) -> Condition:
+        left = self._parse_operand()
+        if self._at_punct("~"):
+            self._next()
+            token = self._next()
+            if token.kind != "regex":
+                raise self._error("expected /regex/ after '~'")
+            return Regex(left, token.value)
+        token = self._peek()
+        if token is None or token.kind != "punct" or token.value not in _CMP_OPS:
+            raise self._error("expected a comparison operator")
+        op = self._next().value
+        return Comparison(op, left, self._parse_operand())
+
+    def _parse_operand(self) -> Operand:
+        left = self._parse_summand()
+        while self._at_punct("+") or self._at_punct("-"):
+            op = self._next().value
+            left = Arith(op, left, self._parse_summand())
+        return left
+
+    def _parse_summand(self) -> Operand:
+        left = self._parse_factor()
+        while self._at_punct("*") or self._at_punct("/"):
+            op = self._next().value
+            left = Arith(op, left, self._parse_factor())
+        return left
+
+    def _parse_factor(self) -> Operand:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected an operand")
+        if token.kind == "number":
+            self._next()
+            return Const(coerce(token.value))
+        if token.kind == "string":
+            self._next()
+            return Const(token.value)
+        if self._at_punct("("):
+            self._next()
+            operand = self._parse_operand()
+            self._expect_punct(")")
+            return operand
+        if token.kind == "name":
+            if token.value == "name" and self._peek(1) is not None and (
+                self._peek(1).kind == "punct" and self._peek(1).value == "("
+            ):
+                self._next()
+                self._next()
+                variable = self._expect_name()
+                self._expect_punct(")")
+                return NameOf(variable)
+            variable = self._next().value
+            if self._at_punct("."):
+                self._next()
+                return AttributeOf(variable, self._expect_name())
+            return ContentOf(variable)
+        raise self._error("expected an operand")
+
+
+def parse_wglog(source: str) -> tuple[Optional[WGSchema], list[RuleGraph]]:
+    """Parse a WG-Log program: an optional schema block plus rules."""
+    return _Parser(source).parse()
+
+
+def parse_rule(source: str) -> RuleGraph:
+    """Parse exactly one rule (convenience for tests and examples)."""
+    schema, rules = parse_wglog(source)
+    if schema is not None or len(rules) != 1:
+        raise QuerySyntaxError("expected exactly one rule and no schema block")
+    return rules[0]

@@ -1,0 +1,300 @@
+"""Embedding enumeration for WG-Log rules.
+
+The red part of a rule is matched against an instance graph via the generic
+subgraph matcher.  Two WG-Log specifics are layered on top:
+
+* **∀-negation for crossed edges.**  Following the Datalog-style safety
+  convention G-Log inherits, a node appearing *only* behind crossed edges is
+  universally quantified inside the negation: ``idx =/=> d [index]`` with
+  ``idx`` otherwise unconstrained means "no node links to d with an index
+  edge" (GraphLog's root-link example).  A crossed edge between two
+  positively bound nodes is plain pairwise negation.
+* **Schema checking.**  WG-Log queries are schema-based: with a schema
+  supplied, red node labels must be declared entity types and red edges
+  declared relations, caught *before* evaluation — the editor-level safety
+  the paper attributes to schema-aware languages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from ..engine.bindings import Binding, BindingSet
+from ..engine.conditions import condition_variables
+from ..engine.stats import EvalStats
+from ..errors import QueryStructureError, SchemaError
+from ..graph.labeled_graph import Edge, LabeledGraph
+from ..graph.matching import MatchSpec, find_homomorphisms
+from .ast import Color, RuleEdge, RuleGraph
+from .data import SLOT_LABEL, InstanceGraph
+from .schema import WGSchema
+
+__all__ = ["GraphAccessor", "embeddings", "check_against_schema"]
+
+NodeId = Hashable
+
+
+class GraphAccessor:
+    """Condition accessor reading slots/labels of bound instance nodes."""
+
+    def __init__(self, instance: InstanceGraph) -> None:
+        self._instance = instance
+
+    def content(self, value: Any) -> Any:
+        """Atomic view: slot nodes yield their value; entities have none."""
+        if value in self._instance.graph and self._instance.is_slot(value):
+            return self._instance.graph.value(value)
+        return None
+
+    def attribute(self, value: Any, name: str) -> Optional[Any]:
+        """Slot ``name`` of a bound entity."""
+        if value in self._instance.graph:
+            return self._instance.slot_value(value, name)
+        return None
+
+    def name(self, value: Any) -> str:
+        """Entity type of a bound node."""
+        return self._instance.label(value)
+
+
+def check_against_schema(rule: RuleGraph, schema: WGSchema) -> None:
+    """Reject rules whose red part cannot possibly match a conformant
+    instance: undeclared labels or undeclared relations.
+
+    Wildcard endpoints and path edges are skipped (any label may realise
+    them).  Green parts are checked too: derived structure should also be
+    expressible in the schema, which is how WG-Log keeps derived graphs
+    queryable.
+    """
+    for node in rule.nodes.values():
+        if node.label is not None and not schema.has_entity(node.label):
+            raise SchemaError(
+                f"rule node {node.id!r} uses undeclared entity type "
+                f"{node.label!r}"
+            )
+    for edge in rule.edges:
+        if edge.path:
+            continue
+        source = rule.nodes[edge.source].label
+        target = rule.nodes[edge.target].label
+        if source is None or target is None:
+            continue
+        if not schema.allows_relation(source, edge.label, target):
+            raise SchemaError(
+                f"rule edge {source} -{edge.label}-> {target} is not a "
+                "declared relation"
+            )
+
+
+def embeddings(
+    rule: RuleGraph,
+    instance: InstanceGraph,
+    schema: Optional[WGSchema] = None,
+    injective: bool = False,
+    stats: Optional[EvalStats] = None,
+) -> BindingSet:
+    """All embeddings of the rule's red part into ``instance``.
+
+    Returns bindings from red node ids to instance node ids.  ``injective``
+    requires distinct red nodes to bind distinct instance nodes (G-Log
+    embeddings); the default is homomorphic matching.
+    """
+    rule.validate()
+    if schema is not None:
+        check_against_schema(rule, schema)
+    stats = stats if stats is not None else EvalStats()
+    accessor = GraphAccessor(instance)
+
+    core_ids, fragments = _split_negation(rule)
+    pattern, spec_edges = _red_pattern(rule, core_ids)
+    spec = MatchSpec(
+        injective=injective,
+        node_compat=_compat(rule, instance),
+        path_edges=spec_edges["path"],
+        negated_edges=spec_edges["negated"],
+    )
+
+    results = BindingSet()
+    for mapping in find_homomorphisms(pattern, instance.graph, spec):
+        stats.candidates_tried += 1
+        if any(
+            _fragment_exists(rule, instance, fragment, crossed, mapping, injective)
+            for crossed, fragment in fragments
+        ):
+            continue
+        binding = Binding(mapping)
+        ok = True
+        for condition in rule.conditions:
+            stats.condition_checks += 1
+            if not condition.evaluate(binding, accessor):
+                ok = False
+                break
+        if ok:
+            results.add(binding)
+            stats.bindings_produced += 1
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Negation splitting
+# ---------------------------------------------------------------------------
+
+def _positively_anchored(rule: RuleGraph) -> set[str]:
+    """Red nodes referenced outside crossed edges (the ∃-quantified ones)."""
+    anchored: set[str] = set()
+    for edge in rule.red_edges():
+        if not edge.crossed:
+            anchored.add(edge.source)
+            anchored.add(edge.target)
+    for edge in rule.green_edges():
+        for endpoint in (edge.source, edge.target):
+            if rule.nodes[endpoint].color is Color.RED:
+                anchored.add(endpoint)
+    for assertion in rule.slot_assertions:
+        if rule.nodes[assertion.node].color is Color.RED:
+            anchored.add(assertion.node)
+        if assertion.from_node is not None:
+            anchored.add(assertion.from_node)
+    for condition in rule.conditions:
+        anchored |= {
+            v for v in condition_variables(condition) if v in rule.nodes
+        }
+    crossed_endpoints: set[str] = set()
+    for edge in rule.red_edges():
+        if edge.crossed:
+            crossed_endpoints.add(edge.source)
+            crossed_endpoints.add(edge.target)
+    for node in rule.red_nodes():
+        if node.id not in crossed_endpoints and node.id not in anchored:
+            anchored.add(node.id)  # isolated red node: positively matched
+    return anchored
+
+
+def _split_negation(
+    rule: RuleGraph,
+) -> tuple[set[str], list[tuple[RuleEdge, set[str]]]]:
+    """Split red nodes into the positive core and ∀-negated fragments.
+
+    Returns ``(core_node_ids, [(crossed_edge, fragment_node_ids), ...])``
+    where fragments are empty for pairwise (both-ends-bound) negations.
+    """
+    anchored = _positively_anchored(rule)
+    red_ids = {n.id for n in rule.red_nodes()}
+    adjacency: dict[str, set[str]] = {n: set() for n in red_ids}
+    for edge in rule.red_edges():
+        if not edge.crossed:
+            adjacency[edge.source].add(edge.target)
+            adjacency[edge.target].add(edge.source)
+
+    fragments: list[tuple[RuleEdge, set[str]]] = []
+    in_fragments: set[str] = set()
+    for edge in rule.red_edges():
+        if not edge.crossed:
+            continue
+        source_anchored = edge.source in anchored
+        target_anchored = edge.target in anchored
+        if source_anchored and target_anchored:
+            fragments.append((edge, set()))  # pairwise negation
+            continue
+        far = edge.target if source_anchored else edge.source
+        if not source_anchored and not target_anchored:
+            raise QueryStructureError(
+                f"crossed edge {edge.describe()} has no positively bound "
+                "endpoint; anchor one side in the positive pattern"
+            )
+        fragment: set[str] = set()
+        stack = [far]
+        while stack:
+            node = stack.pop()
+            if node in fragment or node in anchored:
+                continue
+            fragment.add(node)
+            stack.extend(adjacency[node])
+        fragments.append((edge, fragment))
+        in_fragments |= fragment
+    core = red_ids - in_fragments
+    return core, fragments
+
+
+def _red_pattern(
+    rule: RuleGraph, core_ids: set[str]
+) -> tuple[LabeledGraph, dict[str, set[Edge]]]:
+    """The core red pattern as a LabeledGraph plus special edge sets."""
+    pattern = LabeledGraph()
+    for node_id in core_ids:
+        node = rule.nodes[node_id]
+        pattern.add_node(node_id, node.label or "*")
+    special: dict[str, set[Edge]] = {"path": set(), "negated": set()}
+    for edge in rule.red_edges():
+        if edge.source not in core_ids or edge.target not in core_ids:
+            continue
+        graph_edge = Edge(edge.source, edge.target, edge.label)
+        if edge.crossed:
+            special["negated"].add(graph_edge)
+        if edge.path:
+            special["path"].add(graph_edge)
+        pattern.add_edge(edge.source, edge.target, edge.label)
+    return pattern, special
+
+
+def _compat(rule: RuleGraph, instance: InstanceGraph):
+    """Node compatibility: labels must agree and entities never bind slots."""
+
+    def compat(pnode: NodeId, dnode: NodeId) -> bool:
+        wanted = rule.nodes[pnode].label
+        actual = instance.graph.label(dnode)
+        if actual == SLOT_LABEL:
+            return wanted == SLOT_LABEL
+        return wanted is None or wanted == actual
+
+    return compat
+
+
+def _fragment_exists(
+    rule: RuleGraph,
+    instance: InstanceGraph,
+    fragment: set[str],
+    crossed: RuleEdge,
+    mapping: dict[str, NodeId],
+    injective: bool,
+) -> bool:
+    """Does the ∀-negated fragment embed, given the core assignment?
+
+    For pairwise negations (empty fragment) the generic matcher has already
+    handled the check via ``negated_edges``; return False here.
+    """
+    if not fragment:
+        return False
+    boundary = {crossed.source, crossed.target} - fragment
+    pattern = LabeledGraph()
+    for node_id in fragment | boundary:
+        node = rule.nodes[node_id]
+        pattern.add_node(node_id, node.label or "*")
+    # the crossed edge becomes a *positive* requirement inside the check
+    path_edges: set[Edge] = set()
+    crossed_edge = Edge(crossed.source, crossed.target, crossed.label)
+    pattern.add_edge(crossed.source, crossed.target, crossed.label)
+    if crossed.path:
+        path_edges.add(crossed_edge)
+    for edge in rule.red_edges():
+        if edge is crossed or edge.crossed:
+            continue
+        if edge.source in fragment or edge.target in fragment:
+            graph_edge = Edge(edge.source, edge.target, edge.label)
+            pattern.add_edge(edge.source, edge.target, edge.label)
+            if edge.path:
+                path_edges.add(graph_edge)
+
+    base_compat = _compat(rule, instance)
+
+    def compat(pnode: NodeId, dnode: NodeId) -> bool:
+        if pnode in boundary:
+            return dnode == mapping[pnode]
+        return base_compat(pnode, dnode)
+
+    spec = MatchSpec(
+        injective=injective, node_compat=compat, path_edges=path_edges
+    )
+    for _ in find_homomorphisms(pattern, instance.graph, spec):
+        return True
+    return False

@@ -1,0 +1,213 @@
+"""WG-Log schema graphs.
+
+Unlike XML-GL, WG-Log is *schema-first*: "the patterns are explicitly based
+on schemas".  A schema declares the entity types, the typed slots each may
+carry, and the labelled relationships allowed between types.  Query rules
+are checked against the schema before evaluation, and instances can be
+checked for conformance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchemaError
+from .data import InstanceGraph
+
+__all__ = ["SlotDecl", "RelationDecl", "WGSchema", "infer_wg_schema"]
+
+_SLOT_TYPES = {"string", "int", "float", "bool", "any"}
+
+
+@dataclass(frozen=True)
+class SlotDecl:
+    """One typed slot of an entity type."""
+
+    name: str
+    value_type: str = "any"
+    required: bool = False
+
+    def __post_init__(self) -> None:
+        if self.value_type not in _SLOT_TYPES:
+            raise SchemaError(
+                f"unknown slot type {self.value_type!r} "
+                f"(expected one of {sorted(_SLOT_TYPES)})"
+            )
+
+    def accepts(self, value: object) -> bool:
+        """Does ``value`` fit this slot's declared type?"""
+        if self.value_type == "any":
+            return True
+        if self.value_type == "string":
+            return isinstance(value, str)
+        if self.value_type == "bool":
+            return isinstance(value, bool)
+        if self.value_type == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class RelationDecl:
+    """One allowed labelled edge between entity types."""
+
+    source: str
+    label: str
+    target: str
+
+
+@dataclass
+class WGSchema:
+    """Entity types, their slots, and allowed relationships."""
+
+    entities: dict[str, dict[str, SlotDecl]] = field(default_factory=dict)
+    relations: set[RelationDecl] = field(default_factory=set)
+
+    # -- construction ---------------------------------------------------------
+
+    def entity(self, label: str, *slots: SlotDecl) -> "WGSchema":
+        """Declare an entity type with its slots (chainable)."""
+        if label in self.entities:
+            raise SchemaError(f"duplicate entity type {label!r}")
+        self.entities[label] = {s.name: s for s in slots}
+        return self
+
+    def relation(self, source: str, label: str, target: str) -> "WGSchema":
+        """Declare an allowed relationship (chainable)."""
+        for endpoint in (source, target):
+            if endpoint not in self.entities:
+                raise SchemaError(f"relation endpoint {endpoint!r} undeclared")
+        self.relations.add(RelationDecl(source, label, target))
+        return self
+
+    # -- queries --------------------------------------------------------------
+
+    def has_entity(self, label: str) -> bool:
+        """Is ``label`` a declared entity type?"""
+        return label in self.entities
+
+    def slot_decl(self, entity: str, name: str) -> Optional[SlotDecl]:
+        """Slot declaration, or ``None``."""
+        return self.entities.get(entity, {}).get(name)
+
+    def allows_relation(self, source: str, label: str, target: str) -> bool:
+        """Is the labelled edge between these types allowed?"""
+        return RelationDecl(source, label, target) in self.relations
+
+    def relations_from(self, source: str) -> list[RelationDecl]:
+        """All declared relations leaving ``source``."""
+        return sorted(
+            (r for r in self.relations if r.source == source),
+            key=lambda r: (r.label, r.target),
+        )
+
+    # -- conformance ------------------------------------------------------------
+
+    def conform(self, instance: InstanceGraph) -> list[str]:
+        """Check an instance against this schema; returns violations."""
+        violations: list[str] = []
+        for entity in instance.entities():
+            label = instance.label(entity)
+            if label not in self.entities:
+                violations.append(f"entity {entity!r} has undeclared type {label!r}")
+                continue
+            declared = self.entities[label]
+            slots = instance.slots(entity)
+            for name, value in slots.items():
+                decl = declared.get(name)
+                if decl is None:
+                    violations.append(
+                        f"{label} entity {entity!r}: undeclared slot {name!r}"
+                    )
+                elif not decl.accepts(value):
+                    violations.append(
+                        f"{label} entity {entity!r}: slot {name!r} value {value!r} "
+                        f"is not a {decl.value_type}"
+                    )
+            for decl in declared.values():
+                if decl.required and decl.name not in slots:
+                    violations.append(
+                        f"{label} entity {entity!r}: missing required slot "
+                        f"{decl.name!r}"
+                    )
+        for edge in instance.relationship_edges():
+            source_label = instance.label(edge.source)
+            target_label = instance.label(edge.target)
+            if source_label not in self.entities or target_label not in self.entities:
+                continue  # already reported above
+            if not self.allows_relation(source_label, edge.label, target_label):
+                violations.append(
+                    f"relation {source_label} -{edge.label}-> {target_label} "
+                    "is not declared"
+                )
+        return violations
+
+    def describe(self) -> str:
+        """Compact textual rendering."""
+        lines = []
+        for label, slots in self.entities.items():
+            slot_text = ", ".join(
+                f"{s.name}: {s.value_type}" + ("!" if s.required else "")
+                for s in slots.values()
+            )
+            lines.append(f"entity {label}" + (f" {{{slot_text}}}" if slot_text else ""))
+        for relation in sorted(
+            self.relations, key=lambda r: (r.source, r.label, r.target)
+        ):
+            lines.append(f"{relation.source} -{relation.label}-> {relation.target}")
+        return "\n".join(lines)
+
+
+def infer_wg_schema(instance: "InstanceGraph") -> WGSchema:
+    """Infer a schema accepting exactly the instance's structure.
+
+    The graph-side DataGuide: entity types from node labels, slot types
+    from observed value types (widened to ``any`` on conflicts, slots
+    present on every instance of a type become required), relations from
+    observed labelled edges.  The inferred schema always conforms to the
+    instance it came from (property-tested).
+    """
+    schema = WGSchema()
+    per_type_counts: dict[str, int] = {}
+    per_type_slots: dict[str, dict[str, tuple[str, int]]] = {}
+    for entity in instance.entities():
+        label = instance.label(entity)
+        per_type_counts[label] = per_type_counts.get(label, 0) + 1
+        slots = per_type_slots.setdefault(label, {})
+        for name, value in instance.slots(entity).items():
+            observed = _value_type(value)
+            previous = slots.get(name)
+            if previous is None:
+                slots[name] = (observed, 1)
+            else:
+                kept = previous[0] if previous[0] == observed else "any"
+                slots[name] = (kept, previous[1] + 1)
+    for label, slots in per_type_slots.items():
+        declarations = [
+            SlotDecl(name, value_type, required=count == per_type_counts[label])
+            for name, (value_type, count) in sorted(slots.items())
+        ]
+        schema.entity(label, *declarations)
+    for label in per_type_counts:
+        if label not in schema.entities:
+            schema.entity(label)
+    for edge in instance.relationship_edges():
+        schema.relations.add(
+            RelationDecl(
+                instance.label(edge.source), edge.label, instance.label(edge.target)
+            )
+        )
+    return schema
+
+
+def _value_type(value: object) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "string"
+    return "any"

@@ -1,0 +1,96 @@
+"""Unparsing: WG-Log ASTs back to canonical DSL text.
+
+Inverse of :mod:`repro.wglog.dsl` for rules and schemas: output re-parses
+to a structurally identical rule (property-tested).  Node ids and labels
+must be DSL names (no hyphens), which everything in this library
+generates.
+"""
+
+from __future__ import annotations
+
+from .ast import RuleGraph
+from .schema import WGSchema
+
+__all__ = ["unparse_rule", "unparse_schema", "unparse_wglog"]
+
+_INDENT = "  "
+
+
+def unparse_schema(schema: WGSchema) -> str:
+    """Render a schema block."""
+    lines = ["schema {"]
+    for label, slots in schema.entities.items():
+        if slots:
+            rendered = ", ".join(
+                f"{slot.name}: {slot.value_type}"
+                + (" required" if slot.required else "")
+                for slot in slots.values()
+            )
+            lines.append(f"{_INDENT}entity {label} {{ {rendered} }}")
+        else:
+            lines.append(f"{_INDENT}entity {label}")
+    for relation in sorted(
+        schema.relations, key=lambda r: (r.source, r.label, r.target)
+    ):
+        lines.append(
+            f"{_INDENT}relation {relation.source} -{relation.label}-> "
+            f"{relation.target}"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def unparse_rule(rule: RuleGraph) -> str:
+    """Render one rule block."""
+    name = f" {rule.name}" if rule.name else ""
+    lines = [f"rule{name} {{", f"{_INDENT}match {{"]
+    for node in rule.red_nodes():
+        label = node.label if node.label is not None else "*"
+        lines.append(f"{_INDENT * 2}{node.id}: {label}")
+    for edge in rule.red_edges():
+        prefix = "no " if edge.crossed else ""
+        label = edge.label if edge.label else "_"
+        arrow = f"-{label}*->" if edge.path else f"-{label}->"
+        lines.append(f"{_INDENT * 2}{prefix}{edge.source} {arrow} {edge.target}")
+    lines.append(f"{_INDENT}}}")
+
+    green_nodes = rule.green_nodes()
+    green_edges = rule.green_edges()
+    if green_nodes or green_edges or rule.slot_assertions:
+        lines.append(f"{_INDENT}construct {{")
+        for node in green_nodes:
+            collect = " collect" if node.collector else ""
+            lines.append(f"{_INDENT * 2}{node.id}: {node.label}{collect}")
+        for edge in green_edges:
+            lines.append(
+                f"{_INDENT * 2}{edge.source} -{edge.label}-> {edge.target}"
+            )
+        for assertion in rule.slot_assertions:
+            if assertion.value is not None:
+                if isinstance(assertion.value, (int, float)) and not isinstance(
+                    assertion.value, bool
+                ):
+                    value = str(assertion.value)
+                else:
+                    value = f"'{assertion.value}'"
+            else:
+                value = f"{assertion.from_node}.{assertion.from_slot}"
+            lines.append(
+                f"{_INDENT * 2}{assertion.node}.{assertion.name} = {value}"
+            )
+        lines.append(f"{_INDENT}}}")
+
+    if rule.conditions:
+        rendered = " and ".join(str(c) for c in rule.conditions)
+        lines.append(f"{_INDENT}where {rendered}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def unparse_wglog(schema: WGSchema | None, rules: list[RuleGraph]) -> str:
+    """Render a whole program (optional schema + rules)."""
+    blocks = []
+    if schema is not None:
+        blocks.append(unparse_schema(schema))
+    blocks.extend(unparse_rule(rule) for rule in rules)
+    return "\n".join(blocks)

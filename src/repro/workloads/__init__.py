@@ -1,0 +1,13 @@
+"""Synthetic workload generators (seeded, reproducible)."""
+
+from .bibliography import BIB_DTD, bibliography, nested_sections
+from .generator import Rng
+from .museum import museum_graph, museum_schema
+from .sites import site_graph, site_schema
+
+__all__ = [
+    "Rng",
+    "bibliography", "nested_sections", "BIB_DTD",
+    "site_graph", "site_schema",
+    "museum_graph", "museum_schema",
+]

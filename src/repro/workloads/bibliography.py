@@ -1,0 +1,85 @@
+"""Bibliography workload: the XML-GL running domain.
+
+Generates ``<bib>`` documents of controllable size, shaped like the
+book/author/publisher examples the XML-GL literature queries: books and
+articles with years, prices, titles, nested authors, optional publishers,
+and ``cites`` IDREF cross-references that give the data its graph aspect.
+Deeply nested ``<section>`` documents exercise arbitrary-depth queries.
+"""
+
+from __future__ import annotations
+
+from ..ssd.builder import E, document
+from ..ssd.model import Document, Element
+from .generator import Rng
+
+__all__ = ["bibliography", "nested_sections", "BIB_DTD"]
+
+#: DTD describing the generated documents (used by the schema experiments).
+BIB_DTD = """
+<!ELEMENT bib ((book | article)*)>
+<!ELEMENT book (title, author*, publisher?, price)>
+<!ATTLIST book year CDATA #REQUIRED
+               id ID #IMPLIED
+               cites IDREF #IMPLIED>
+<!ELEMENT article (title, author*)>
+<!ATTLIST article year CDATA #REQUIRED
+                  id ID #IMPLIED
+                  cites IDREF #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (last, first)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+
+def bibliography(entries: int, seed: int = 0) -> Document:
+    """A ``<bib>`` document with ``entries`` books/articles.
+
+    Roughly 75% books and 25% articles; books carry 1-3 authors, an
+    optional publisher and a price; ~30% of entries cite one earlier
+    entry through the ``cites`` IDREF attribute (the join/graph hook).
+    """
+    rng = Rng(seed)
+    bib = E("bib")
+    identifiers: list[str] = []
+    for index in range(entries):
+        identifier = f"e{index}"
+        is_book = rng.chance(0.75)
+        entry = Element("book" if is_book else "article")
+        entry.set("year", rng.year())
+        entry.set("id", identifier)
+        if identifiers and rng.chance(0.3):
+            entry.set("cites", rng.pick(identifiers))
+        entry.append(E("title", rng.words(rng.integer(2, 5))))
+        for _ in range(rng.integer(1, 3)):
+            entry.append(E("author", E("last", rng.name()), E("first", rng.name())))
+        if is_book:
+            if rng.chance(0.6):
+                entry.append(E("publisher", rng.name() + " Press"))
+            entry.append(E("price", rng.price()))
+        bib.append(entry)
+        identifiers.append(identifier)
+    return document(bib)
+
+
+def nested_sections(depth: int, fanout: int = 2, seed: int = 0) -> Document:
+    """A ``<report>`` of sections nested ``depth`` levels (deep queries).
+
+    Every section has a ``<heading>``; leaves carry a paragraph.  The
+    document has ``fanout**depth`` leaf sections.
+    """
+    rng = Rng(seed)
+
+    def section(level: int) -> Element:
+        node = E("section", {"level": str(level)}, E("heading", rng.words(2)))
+        if level >= depth:
+            node.append(E("para", rng.words(6)))
+        else:
+            for _ in range(fanout):
+                node.append(section(level + 1))
+        return node
+
+    return document(E("report", E("heading", "Synthetic Report"), section(1)))

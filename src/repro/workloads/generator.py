@@ -1,0 +1,62 @@
+"""Seeded randomness for workload generators.
+
+All generators take an explicit seed so every experiment is reproducible;
+``Rng`` is a thin façade over :class:`random.Random` exposing only the
+operations the generators need (keeping their distributional assumptions
+in one reviewable place).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+__all__ = ["Rng", "WORDS"]
+
+T = TypeVar("T")
+
+#: A small deterministic vocabulary for titles/names.
+WORDS = (
+    "data web query graph semi structured visual language schema pattern "
+    "match index node edge tree document element attribute value logic "
+    "rule engine paper system model view link page site museum monument"
+).split()
+
+
+class Rng:
+    """Seeded random source for generators."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._random = random.Random(seed)
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._random.randint(low, high)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._random.random() < probability
+
+    def pick(self, items: Sequence[T]) -> T:
+        """Uniform choice."""
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], count: int) -> list[T]:
+        """Sample without replacement (count capped at len(items))."""
+        return self._random.sample(items, min(count, len(items)))
+
+    def words(self, count: int) -> str:
+        """A title-ish string of ``count`` vocabulary words."""
+        return " ".join(self.pick(WORDS) for _ in range(count)).title()
+
+    def name(self) -> str:
+        """A surname-ish capitalised word."""
+        return self.pick(WORDS).title()
+
+    def price(self) -> str:
+        """A price with two decimals between 5 and 150."""
+        return f"{self._random.uniform(5, 150):.2f}"
+
+    def year(self) -> str:
+        """A publication year between 1985 and 2000."""
+        return str(self.integer(1985, 2000))

@@ -1,0 +1,92 @@
+"""Museum workload: the classic WG-Log/G-Log schema-rich domain.
+
+The WG-Log literature illustrates schema-based querying with cultural
+heritage sites (monuments, artists, towns).  This generator emits a graph
+of ``Museum``, ``Room``, ``Work`` and ``Artist`` entities:
+
+* each museum contains rooms (``has_room``),
+* each room exhibits works (``exhibits``),
+* each work was created by one artist (``by``) and some works
+  ``depicts``-reference other works,
+* slots: museum city, artist name/century, work title/year.
+
+Used by the comparison framework and the WG-Log examples.
+"""
+
+from __future__ import annotations
+
+from ..wglog.data import InstanceGraph
+from ..wglog.schema import SlotDecl, WGSchema
+from .generator import Rng
+
+__all__ = ["museum_schema", "museum_graph"]
+
+
+def museum_schema() -> WGSchema:
+    """Schema of the museum domain."""
+    schema = WGSchema()
+    schema.entity("Museum", SlotDecl("city", "string", required=True))
+    schema.entity("Room", SlotDecl("floor", "int"))
+    schema.entity(
+        "Work",
+        SlotDecl("title", "string", required=True),
+        SlotDecl("year", "int"),
+    )
+    schema.entity(
+        "Artist",
+        SlotDecl("name", "string", required=True),
+        SlotDecl("century", "int"),
+    )
+    schema.relation("Museum", "has_room", "Room")
+    schema.relation("Room", "exhibits", "Work")
+    schema.relation("Work", "by", "Artist")
+    schema.relation("Work", "depicts", "Work")
+    schema.relation("Artist", "influenced", "Artist")
+    return schema
+
+
+def museum_graph(works: int, seed: int = 0) -> InstanceGraph:
+    """A museum collection with ``works`` works.
+
+    Sizes scale together: ~works/8 rooms across ~works/40 museums and
+    ~works/4 artists; 20% of works depict an earlier work; a sparse
+    ``influenced`` chain links artists.
+    """
+    rng = Rng(seed)
+    instance = InstanceGraph()
+    museum_count = max(1, works // 40)
+    room_count = max(1, works // 8)
+    artist_count = max(1, works // 4)
+
+    museums = []
+    for number in range(museum_count):
+        node = instance.add_entity("Museum", f"m{number}")
+        instance.add_slot(node, "city", rng.name())
+        museums.append(node)
+    rooms = []
+    for number in range(room_count):
+        node = instance.add_entity("Room", f"r{number}")
+        instance.add_slot(node, "floor", rng.integer(0, 4))
+        instance.relate(rng.pick(museums), node, "has_room")
+        rooms.append(node)
+    artists = []
+    for number in range(artist_count):
+        node = instance.add_entity("Artist", f"a{number}")
+        instance.add_slot(node, "name", f"{rng.name()} {rng.name()}")
+        instance.add_slot(node, "century", rng.integer(14, 20))
+        artists.append(node)
+    for left, right in zip(artists, artists[1:]):
+        if rng.chance(0.3):
+            instance.relate(left, right, "influenced")
+
+    work_nodes = []
+    for number in range(works):
+        node = instance.add_entity("Work", f"w{number}")
+        instance.add_slot(node, "title", rng.words(3))
+        instance.add_slot(node, "year", rng.integer(1400, 1999))
+        instance.relate(rng.pick(rooms), node, "exhibits")
+        instance.relate(node, rng.pick(artists), "by")
+        if work_nodes and rng.chance(0.2):
+            instance.relate(node, rng.pick(work_nodes), "depicts")
+        work_nodes.append(node)
+    return instance

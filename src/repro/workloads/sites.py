@@ -1,0 +1,62 @@
+"""Web-site graph workload: WG-Log's running domain.
+
+WG-Log queries WWW repositories modelled as labelled graphs.  The
+generator produces a site of ``pages`` document nodes: a few index pages
+pointing at content pages (``index`` edges), a random ``link`` mesh, and
+per-page slots (title, size).  The schema matches what the generator
+emits, so schema-checked query experiments work out of the box.
+"""
+
+from __future__ import annotations
+
+from ..wglog.data import InstanceGraph
+from ..wglog.schema import SlotDecl, WGSchema
+from .generator import Rng
+
+__all__ = ["site_schema", "site_graph"]
+
+
+def site_schema() -> WGSchema:
+    """The schema of generated site graphs."""
+    schema = WGSchema()
+    schema.entity(
+        "Page",
+        SlotDecl("title", "string", required=True),
+        SlotDecl("size", "int"),
+    )
+    schema.entity("Index", SlotDecl("title", "string"))
+    schema.relation("Index", "index", "Page")
+    schema.relation("Index", "index", "Index")
+    schema.relation("Page", "link", "Page")
+    schema.relation("Page", "link", "Index")
+    return schema
+
+
+def site_graph(pages: int, seed: int = 0, link_factor: float = 1.5) -> InstanceGraph:
+    """A site with ``pages`` content pages and ~pages/10 index pages.
+
+    Every content page is indexed by one index page; ``link_factor *
+    pages`` random links connect content pages (possibly back to
+    indexes).  Deterministic in ``seed``.
+    """
+    rng = Rng(seed)
+    instance = InstanceGraph()
+    index_count = max(1, pages // 10)
+    indexes = []
+    for number in range(index_count):
+        node = instance.add_entity("Index", f"idx{number}")
+        instance.add_slot(node, "title", f"Index {number}")
+        indexes.append(node)
+    content = []
+    for number in range(pages):
+        node = instance.add_entity("Page", f"p{number}")
+        instance.add_slot(node, "title", rng.words(3))
+        instance.add_slot(node, "size", rng.integer(1, 500))
+        content.append(node)
+        instance.relate(rng.pick(indexes), node, "index")
+    for _ in range(int(pages * link_factor)):
+        source = rng.pick(content)
+        target = rng.pick(content + indexes)
+        if source != target:
+            instance.relate(source, target, "link")
+    return instance

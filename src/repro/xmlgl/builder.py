@@ -1,0 +1,316 @@
+"""Fluent programmatic builders for XML-GL rules.
+
+The visual editor (``repro.visual.editor``) compiles drawings into the same
+AST; this module is the ergonomic code-level way to assemble queries:
+
+    q = QueryBuilder()
+    book = q.box("book", id="B", parent=q.box("bib", anchored=True))
+    q.attribute(book, "year", id="Y")
+    title = q.box("title", parent=book)
+    q.text(title, id="T")
+    q.where(cmp(">=", attr("B", "year"), 1995))
+    rule = Rule([q.graph()], elem("result", collect("B")))
+
+Condition helpers (:func:`cmp`, :func:`attr`, :func:`content`, ...) build
+:mod:`repro.engine.conditions` trees; construct helpers (:func:`elem`,
+:func:`copy_of`, :func:`collect`, ...) build construct nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..engine.conditions import (
+    And,
+    Arith,
+    AttributeOf,
+    Comparison,
+    Condition,
+    Const,
+    ContentOf,
+    NameOf,
+    Not,
+    Operand,
+    Or,
+    Regex,
+)
+from .ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    OrGroup,
+    QueryGraph,
+    TextPattern,
+)
+from .construct import (
+    Aggregate,
+    Collect,
+    ConstructNode,
+    Copy,
+    GroupBy,
+    NewAttribute,
+    NewElement,
+    TextFrom,
+    TextLiteral,
+)
+
+__all__ = [
+    "QueryBuilder",
+    "cmp", "attr", "content", "name_of", "lit", "arith", "regex",
+    "and_", "or_", "not_",
+    "elem", "text", "value_of", "copy_of", "collect", "group", "aggregate",
+    "attribute_const", "attribute_from",
+]
+
+
+class QueryBuilder:
+    """Incremental construction of one extract graph."""
+
+    def __init__(self, source: Optional[str] = None) -> None:
+        self._graph = QueryGraph(source=source)
+        self._fresh = 0
+        self._edge_position = 0
+
+    # -- nodes ----------------------------------------------------------------
+
+    def _generate_id(self, stem: str) -> str:
+        candidate = stem
+        while candidate in self._graph.nodes:
+            self._fresh += 1
+            candidate = f"{stem}_{self._fresh}"
+        return candidate
+
+    def box(
+        self,
+        tag: Optional[str],
+        id: Optional[str] = None,
+        parent: Optional[str] = None,
+        anchored: bool = False,
+        deep: bool = False,
+        ordered: bool = False,
+    ) -> str:
+        """Add an element box; returns its id.
+
+        With ``parent`` given, also draws the containment arc (``deep`` /
+        ``ordered`` flag the arc).
+        """
+        node_id = id or self._generate_id(tag or "any")
+        self._graph.add_node(ElementPattern(node_id, tag, anchored=anchored))
+        if parent is not None:
+            self.contains(parent, node_id, deep=deep, ordered=ordered)
+        return node_id
+
+    def text(
+        self,
+        parent: str,
+        id: Optional[str] = None,
+        value: Optional[str] = None,
+        regex: Optional[str] = None,
+    ) -> str:
+        """Add a hollow text circle under ``parent``; returns its id."""
+        node_id = id or self._generate_id(f"{parent}_text")
+        self._graph.add_node(TextPattern(node_id, value=value, regex=regex))
+        self.contains(parent, node_id)
+        return node_id
+
+    def attribute(
+        self,
+        parent: str,
+        name: str,
+        id: Optional[str] = None,
+        value: Optional[str] = None,
+        regex: Optional[str] = None,
+    ) -> str:
+        """Add a filled attribute circle under ``parent``; returns its id."""
+        node_id = id or self._generate_id(f"{parent}_{name}")
+        self._graph.add_node(AttributePattern(node_id, name, value=value, regex=regex))
+        self.contains(parent, node_id)
+        return node_id
+
+    # -- edges ----------------------------------------------------------------
+
+    def contains(
+        self,
+        parent: str,
+        child: str,
+        deep: bool = False,
+        ordered: bool = False,
+        negated: bool = False,
+    ) -> ContainmentEdge:
+        """Draw a containment arc between two existing nodes."""
+        self._edge_position += 1
+        return self._graph.add_edge(
+            ContainmentEdge(
+                parent, child,
+                deep=deep, ordered=ordered, negated=negated,
+                position=self._edge_position,
+            )
+        )
+
+    def negate(self, parent: str, child: str, deep: bool = False) -> ContainmentEdge:
+        """Draw a crossed-out arc (the parent must not contain the child)."""
+        return self.contains(parent, child, deep=deep, negated=True)
+
+    def either(self, *branches: Sequence[ContainmentEdge]) -> OrGroup:
+        """Add an or-arc over alternative edge tuples.
+
+        Build each branch's edges with :meth:`detached_edge` so they are not
+        also plain edges of the graph.
+        """
+        return self._graph.add_or_group(
+            OrGroup(tuple(tuple(branch) for branch in branches))
+        )
+
+    def detached_edge(
+        self,
+        parent: str,
+        child: str,
+        deep: bool = False,
+        ordered: bool = False,
+    ) -> ContainmentEdge:
+        """An edge object for or-group branches (not added to the graph)."""
+        self._edge_position += 1
+        return ContainmentEdge(
+            parent, child, deep=deep, ordered=ordered, position=self._edge_position
+        )
+
+    # -- conditions & result ----------------------------------------------------
+
+    def where(self, condition: Condition) -> "QueryBuilder":
+        """Attach a predicate annotation."""
+        self._graph.add_condition(condition)
+        return self
+
+    def graph(self) -> QueryGraph:
+        """The (validated) graph built so far."""
+        self._graph.validate()
+        return self._graph
+
+
+# ---------------------------------------------------------------------------
+# Condition helpers
+# ---------------------------------------------------------------------------
+
+OperandLike = Union[Operand, str, int, float, bool]
+
+
+def _operand(value: OperandLike) -> Operand:
+    """Interpret shorthand: strings starting with ``$`` are variable refs."""
+    if isinstance(value, (Const, ContentOf, AttributeOf, NameOf, Arith)):
+        return value
+    if isinstance(value, str) and value.startswith("$"):
+        return ContentOf(value[1:])
+    return Const(value)
+
+
+def lit(value) -> Const:
+    """A literal operand."""
+    return Const(value)
+
+
+def content(variable: str) -> ContentOf:
+    """Text content of the node bound to ``variable``."""
+    return ContentOf(variable)
+
+
+def attr(variable: str, name: str) -> AttributeOf:
+    """Attribute ``name`` of the node bound to ``variable``."""
+    return AttributeOf(variable, name)
+
+
+def name_of(variable: str) -> NameOf:
+    """Tag name of the node bound to ``variable``."""
+    return NameOf(variable)
+
+
+def arith(op: str, left: OperandLike, right: OperandLike) -> Arith:
+    """Arithmetic operand."""
+    return Arith(op, _operand(left), _operand(right))
+
+
+def cmp(op: str, left: OperandLike, right: OperandLike) -> Comparison:
+    """Comparison condition, e.g. ``cmp("<", attr("B", "price"), 50)``."""
+    return Comparison(op, _operand(left), _operand(right))
+
+
+def regex(operand: OperandLike, pattern: str) -> Regex:
+    """Regular-expression condition (full match)."""
+    return Regex(_operand(operand), pattern)
+
+
+def and_(*conditions: Condition) -> And:
+    """Conjunction."""
+    return And(tuple(conditions))
+
+
+def or_(*conditions: Condition) -> Or:
+    """Disjunction."""
+    return Or(tuple(conditions))
+
+
+def not_(condition: Condition) -> Not:
+    """Negation."""
+    return Not(condition)
+
+
+# ---------------------------------------------------------------------------
+# Construct helpers
+# ---------------------------------------------------------------------------
+
+def elem(
+    tag: str,
+    *children: ConstructNode,
+    for_each: Optional[Sequence[str]] = None,
+    attrs: Optional[Sequence[NewAttribute]] = None,
+    sort_by: Optional[str] = None,
+    tag_from: Optional[str] = None,
+) -> NewElement:
+    """A plain construct box (``tag_from`` takes the tag from a binding)."""
+    return NewElement(
+        tag,
+        for_each=list(for_each or []),
+        attributes=list(attrs or []),
+        children=list(children),
+        sort_by=sort_by,
+        tag_from=tag_from,
+    )
+
+
+def text(literal: str) -> TextLiteral:
+    """A constant text child."""
+    return TextLiteral(literal)
+
+
+def value_of(variable: str) -> TextFrom:
+    """A text child carrying the bound node's content."""
+    return TextFrom(variable)
+
+
+def copy_of(variable: str, deep: bool = True) -> Copy:
+    """Copy the bound element (starred arc = deep)."""
+    return Copy(variable, deep=deep)
+
+
+def collect(variable: str, deep: bool = True) -> Collect:
+    """The triangle: all matched elements."""
+    return Collect(variable, deep=deep)
+
+
+def group(group_on: Sequence[str], *children: ConstructNode) -> GroupBy:
+    """The list icon: children spliced once per group."""
+    return GroupBy(list(group_on), list(children))
+
+
+def aggregate(function: str, variable: str) -> Aggregate:
+    """COUNT/SUM/MIN/MAX/AVG over the context."""
+    return Aggregate(function, variable)
+
+
+def attribute_const(name: str, value: str) -> NewAttribute:
+    """A constructed constant attribute."""
+    return NewAttribute(name, value=value)
+
+
+def attribute_from(name: str, variable: str) -> NewAttribute:
+    """A constructed attribute taking the bound node's content."""
+    return NewAttribute(name, from_variable=variable)

@@ -1,0 +1,243 @@
+"""Query containment for the positive tree fragment of XML-GL.
+
+Containment (every answer of Q2 is an answer of Q1) is the basis of
+visual-query optimisation — an editor can tell the user "this refinement
+can only shrink the result".  For *positive tree patterns* (no negation,
+no or-arcs, no conditions) containment coincides with the existence of a
+**pattern homomorphism**: Q1 ⊇ Q2 iff Q1's pattern maps into Q2's pattern
+preserving tags (wildcards map anywhere), containment edges (a child arc
+must map to a child arc; a starred arc may map to any chain of arcs) and
+value constraints.
+
+``contains(q1, target1, q2, target2)`` tests whether Q1's answers for
+``target1`` include Q2's answers for ``target2`` on **every** document.
+The homomorphism test is *sound* throughout the fragment (a ``True`` is
+always correct — property-checked against evaluation on random documents)
+and *complete* for child-only patterns; with starred (descendant) arcs it
+may answer ``False`` for some true containments, the known gap between
+homomorphism and containment for tree patterns with ``//`` (Miklau &
+Suciu).  Graphs outside the fragment raise :class:`ContainmentError`
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    QueryGraph,
+    TextPattern,
+)
+
+__all__ = ["ContainmentError", "contains", "equivalent"]
+
+
+class ContainmentError(ReproError):
+    """The graphs are outside the decidable positive tree fragment."""
+
+
+def _check_fragment(graph: QueryGraph) -> None:
+    if graph.or_groups:
+        raise ContainmentError("or-arcs are outside the containment fragment")
+    if graph.conditions:
+        raise ContainmentError("conditions are outside the containment fragment")
+    if graph.negated_edges():
+        raise ContainmentError("negation is outside the containment fragment")
+    parents: dict[str, int] = {}
+    for edge in graph.edges:
+        parents[edge.child] = parents.get(edge.child, 0) + 1
+        if edge.ordered:
+            raise ContainmentError("ordered arcs are outside the fragment")
+    if any(count > 1 for count in parents.values()):
+        raise ContainmentError("shared nodes (joins) are outside the fragment")
+    if len(graph.roots()) != 1:
+        raise ContainmentError("multi-root graphs are outside the fragment")
+
+
+def _node_maps_to(container_node, containee_node) -> bool:
+    """May a container pattern node map onto a containee pattern node?
+
+    The containee is *more specific*; the container's constraints must be
+    implied by the containee's.
+    """
+    if isinstance(container_node, ElementPattern):
+        if not isinstance(containee_node, ElementPattern):
+            return False
+        if container_node.tag is not None and container_node.tag != containee_node.tag:
+            return False
+        if container_node.anchored and not containee_node.anchored:
+            return False
+        return True
+    if isinstance(container_node, AttributePattern):
+        if not isinstance(containee_node, AttributePattern):
+            return False
+        if container_node.name != containee_node.name:
+            return False
+        return _value_implied(container_node, containee_node)
+    assert isinstance(container_node, TextPattern)
+    if not isinstance(containee_node, TextPattern):
+        return False
+    return _value_implied(container_node, containee_node)
+
+
+def _value_implied(container_node, containee_node) -> bool:
+    if container_node.value is not None:
+        return containee_node.value == container_node.value
+    if container_node.regex is not None:
+        # regex implication is undecidable in general; only identical
+        # patterns are accepted (sound, incomplete — documented)
+        return containee_node.regex == container_node.regex
+    return True
+
+
+def _descendants_via_edges(graph: QueryGraph, node_id: str) -> list[tuple[str, int]]:
+    """(descendant, depth) pairs reachable via containment edges."""
+    result = []
+    stack = [(node_id, 0)]
+    while stack:
+        current, depth = stack.pop()
+        for edge in graph.children_of(current):
+            result.append((edge.child, depth + 1))
+            stack.append((edge.child, depth + 1))
+    return result
+
+
+def contains(
+    container: QueryGraph,
+    container_target: str,
+    containee: QueryGraph,
+    containee_target: str,
+) -> bool:
+    """Is every ``containee_target`` answer also a ``container_target`` one?
+
+    Both graphs must lie in the positive tree fragment.
+    """
+    _check_fragment(container)
+    _check_fragment(containee)
+
+    mapping: dict[str, str] = {container_target: containee_target}
+    if not _node_maps_to(
+        container.nodes[container_target], containee.nodes[containee_target]
+    ):
+        return False
+
+    def extend(pairs: list[tuple[str, str]]) -> bool:
+        """Map each container node in ``pairs`` and recurse over children."""
+        for container_id, containee_id in pairs:
+            for edge in container.children_of(container_id):
+                if not _map_child(edge, containee_id):
+                    return False
+        return True
+
+    def _map_child(edge: ContainmentEdge, containee_parent: str) -> bool:
+        child = container.nodes[edge.child]
+        if edge.deep:
+            candidates = [
+                target for target, _ in _descendants_via_edges(containee, containee_parent)
+            ]
+        else:
+            candidates = [
+                e.child for e in containee.children_of(containee_parent)
+                if not e.deep
+            ]
+        for candidate in candidates:
+            if not _node_maps_to(child, containee.nodes[candidate]):
+                continue
+            mapping[edge.child] = candidate
+            if extend([(edge.child, candidate)]):
+                return True
+            del mapping[edge.child]
+        return False
+
+    # the target's ancestors in the container must map onto ancestors of
+    # the containee target, preserving arc kinds upward
+    if not _map_upwards(container, container_target, containee, containee_target, mapping):
+        return False
+    return extend([(container_target, containee_target)])
+
+
+def _map_upwards(
+    container: QueryGraph,
+    container_id: str,
+    containee: QueryGraph,
+    containee_id: str,
+    mapping: dict[str, str],
+) -> bool:
+    container_in = [e for e in container.edges if e.child == container_id]
+    if not container_in:
+        # container's spine ends here; an anchored top box must map to the
+        # containee's anchored top — handled by _node_maps_to on the way
+        return True
+    edge = container_in[0]
+    containee_in = [e for e in containee.edges if e.child == containee_id]
+    if edge.deep:
+        # any strict ancestor works
+        current = containee_in
+        ancestors = []
+        seen = containee_id
+        while current:
+            parent = current[0].parent
+            ancestors.append(parent)
+            current = [e for e in containee.edges if e.child == parent]
+        candidates = ancestors
+    else:
+        if not containee_in or containee_in[0].deep:
+            return False
+        candidates = [containee_in[0].parent]
+    for candidate in candidates:
+        if not _node_maps_to(container.nodes[edge.parent], containee.nodes[candidate]):
+            continue
+        mapping[edge.parent] = candidate
+        if _map_upwards(container, edge.parent, containee, candidate, mapping):
+            # the mapped ancestor's *other* children must also embed below it
+            others = [
+                e for e in container.children_of(edge.parent)
+                if e.child != container_id
+            ]
+            ok = True
+            for other in others:
+                if not _embed_subtree(container, other, containee, candidate):
+                    ok = False
+                    break
+            if ok:
+                return True
+        del mapping[edge.parent]
+    return False
+
+
+def _embed_subtree(
+    container: QueryGraph,
+    edge: ContainmentEdge,
+    containee: QueryGraph,
+    containee_parent: str,
+) -> bool:
+    """Does the container subtree under ``edge`` embed below the parent?"""
+    child = container.nodes[edge.child]
+    if edge.deep:
+        candidates = [
+            target for target, _ in _descendants_via_edges(containee, containee_parent)
+        ]
+    else:
+        candidates = [
+            e.child for e in containee.children_of(containee_parent) if not e.deep
+        ]
+    for candidate in candidates:
+        if not _node_maps_to(child, containee.nodes[candidate]):
+            continue
+        if all(
+            _embed_subtree(container, sub_edge, containee, candidate)
+            for sub_edge in container.children_of(edge.child)
+        ):
+            return True
+    return False
+
+
+def equivalent(
+    graph_a: QueryGraph, target_a: str, graph_b: QueryGraph, target_b: str
+) -> bool:
+    """Mutual containment: the two queries always return the same answers."""
+    return contains(graph_a, target_a, graph_b, target_b) and contains(
+        graph_b, target_b, graph_a, target_a
+    )

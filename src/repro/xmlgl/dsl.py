@@ -1,0 +1,698 @@
+r"""Textual concrete syntax for XML-GL.
+
+The language is visual; its reference syntax is the drawing.  For headless
+use (tests, scripts, benchmarks) this module provides an equivalent textual
+form.  The mapping is one-to-one with the visual vocabulary, so a parsed
+rule renders back to the same diagram.
+
+Grammar (EBNF, ``[]`` optional, ``*`` repetition)::
+
+    program    = rule_block+ | rule
+    rule_block = "rule" [NAME] "{" rule "}"
+    rule       = query+ construct
+    query      = "query" [NAME] "{" node* [where] "}"   -- NAME names the source
+    node       = flag* tag ["as" ID] [body]
+    flag       = "root" | "deep" | "not" | "ord"
+    tag        = NAME | "*"
+    body       = "{" item* "}"
+    item       = node
+               | "@" NAME [constraint] ["as" ID]
+               | "text" [constraint] ["as" ID]
+               | "or" "{" node+ ("|" node+)* "}"
+    constraint = "=" STRING | "~" REGEX
+    where      = "where" cond
+    cond       = conj ("or" conj)*
+    conj       = unit ("and" unit)*
+    unit       = "not" unit | "(" cond ")" | comparison
+    comparison = operand (CMP operand | "~" REGEX)
+    operand    = summand (("+"|"-") summand)*
+    summand    = factor (("*"|"/") factor)*
+    factor     = NUMBER | STRING | ID ["." NAME] | "name" "(" ID ")"
+               | "(" operand ")"
+    construct  = "construct" "{" cnode "}"
+    cnode      = NAME [cattrs] ["for" ID ("," ID)*] ["sortby" ID] [cbody]
+    cattrs     = "(" NAME "=" (STRING | "$" ID) ("," NAME "=" ...)* ")"
+    cbody      = "{" citem* "}"
+    citem      = cnode
+               | ("copy" | "collect") ID ["shallow"]
+               | "text" STRING
+               | "value" ID
+               | "group" ID ("," ID)* "{" citem* "}"
+               | AGG "(" ID ")"            -- AGG in count/sum/min/max/avg
+
+Lexical notes: ``ID``/``NAME`` are ``[A-Za-z_][A-Za-z0-9_\-]*``; ``STRING``
+is single- or double-quoted; ``REGEX`` is ``/.../`` (backslash escapes
+``/``); ``CMP`` is ``= != < <= > >=``; ``#`` starts a line comment.  In
+conditions a bare ``ID`` denotes the bound node's text content and
+``ID.name`` an attribute — exactly the two value views the visual language
+attaches predicates to.
+
+Example::
+
+    query {
+      root bib {
+        book as B {
+          @year as Y
+          title as T { text as TT }
+          deep author as A
+          not cdrom
+        }
+      }
+      where B.year >= 1995 and TT ~ /.*Web.*/
+    }
+    construct {
+      result {
+        entry for B { copy T  collect A }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.conditions import (
+    And,
+    Arith,
+    AttributeOf,
+    Comparison,
+    Condition,
+    Const,
+    ContentOf,
+    NameOf,
+    Not,
+    Operand,
+    Or,
+    Regex,
+)
+from ..errors import QuerySyntaxError
+from ..ssd.datatypes import coerce
+from .ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    OrGroup,
+    QueryGraph,
+    TextPattern,
+)
+from .construct import (
+    Aggregate,
+    Collect,
+    ConstructNode,
+    Copy,
+    GroupBy,
+    NewAttribute,
+    NewElement,
+    TextFrom,
+    TextLiteral,
+)
+from .rule import Program, Rule
+
+__all__ = ["parse_rule", "parse_program", "parse_condition"]
+
+_AGGREGATES = {"count", "sum", "min", "max", "avg"}
+_CMP_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass
+class _Token:
+    kind: str  # name, number, string, regex, punct
+    value: str
+    line: int
+    column: int
+
+
+_PUNCT = [
+    "<=", ">=", "!=", "{", "}", "(", ")", ",", "|", "@", "=", "~",
+    "<", ">", "+", "-", "*", "/", ".", "$",
+]
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?")
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line, column = 1, 1
+    pos = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            column = 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            column += 1
+            continue
+        if ch == "#":
+            while pos < n and source[pos] != "\n":
+                pos += 1
+            continue
+        if ch in "'\"":
+            end = source.find(ch, pos + 1)
+            if end == -1:
+                raise QuerySyntaxError("unterminated string", line, column)
+            value = source[pos + 1 : end]
+            tokens.append(_Token("string", value, line, column))
+            column += end - pos + 1
+            pos = end + 1
+            continue
+        if ch == "/" and tokens and tokens[-1].kind == "punct" and tokens[-1].value == "~":
+            # regex literal only directly after '~'
+            index = pos + 1
+            chunks: list[str] = []
+            while index < n and source[index] != "/":
+                if source[index] == "\\" and index + 1 < n and source[index + 1] == "/":
+                    chunks.append("/")
+                    index += 2
+                else:
+                    chunks.append(source[index])
+                    index += 1
+            if index >= n:
+                raise QuerySyntaxError("unterminated regex", line, column)
+            tokens.append(_Token("regex", "".join(chunks), line, column))
+            column += index - pos + 1
+            pos = index + 1
+            continue
+        match = _NUMBER_RE.match(source, pos)
+        if match:
+            tokens.append(_Token("number", match.group(), line, column))
+            column += len(match.group())
+            pos = match.end()
+            continue
+        match = _NAME_RE.match(source, pos)
+        if match:
+            tokens.append(_Token("name", match.group(), line, column))
+            column += len(match.group())
+            pos = match.end()
+            continue
+        for punct in _PUNCT:
+            if source.startswith(punct, pos):
+                tokens.append(_Token("punct", punct, line, column))
+                column += len(punct)
+                pos += len(punct)
+                break
+        else:
+            raise QuerySyntaxError(f"unexpected character {ch!r}", line, column)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = _tokenize(source)
+        self._pos = 0
+        self._edge_position = 0
+        self._fresh = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _error(self, message: str) -> QuerySyntaxError:
+        token = self._peek()
+        if token is None:
+            return QuerySyntaxError(f"{message} (at end of input)")
+        return QuerySyntaxError(
+            f"{message}, found {token.value!r}", token.line, token.column
+        )
+
+    def _at_punct(self, value: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "punct" and token.value == value
+
+    def _at_name(self, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != "name":
+            return False
+        return value is None or token.value == value
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._at_punct(value):
+            raise self._error(f"expected {value!r}")
+        self._next()
+
+    def _expect_name(self, value: Optional[str] = None) -> str:
+        if not self._at_name(value):
+            raise self._error(f"expected {'a name' if value is None else repr(value)}")
+        return self._next().value
+
+    def _eat_name(self, value: str) -> bool:
+        if self._at_name(value):
+            self._next()
+            return True
+        return False
+
+    # -- program / rule ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        chained = self._eat_name("chained")
+        if chained and not self._at_name("rule"):
+            raise self._error("'chained' must be followed by rule blocks")
+        if self._at_name("rule"):
+            rules = []
+            while self._at_name("rule"):
+                self._next()
+                name = None
+                if self._at_name() and not self._at_name("query"):
+                    name = self._next().value
+                self._expect_punct("{")
+                rule = self.parse_rule()
+                rule.name = name
+                self._expect_punct("}")
+                rules.append(rule)
+            self._expect_end()
+            return Program(rules, unwrap=False, chained=chained)
+        rule = self.parse_rule()
+        self._expect_end()
+        return Program([rule])
+
+    def _expect_end(self) -> None:
+        if self._peek() is not None:
+            raise self._error("trailing input after program")
+
+    def parse_rule(self) -> Rule:
+        queries: list[QueryGraph] = []
+        rule_conditions: list[Condition] = []
+        while self._at_name("query"):
+            graph = self._parse_query()
+            queries.append(graph)
+        if not queries:
+            raise self._error("expected 'query'")
+        if self._at_name("where"):  # cross-graph conditions
+            self._next()
+            rule_conditions.append(self._parse_condition())
+        if not self._at_name("construct"):
+            raise self._error("expected 'construct'")
+        self._next()
+        self._expect_punct("{")
+        construct = self._parse_cnode()
+        self._expect_punct("}")
+        return Rule(queries, construct, conditions=rule_conditions)
+
+    # -- query side ---------------------------------------------------------------
+
+    def _parse_query(self) -> QueryGraph:
+        self._expect_name("query")
+        source = None
+        if self._at_name():
+            source = self._next().value
+        self._expect_punct("{")
+        graph = QueryGraph(source=source)
+        while not self._at_punct("}") and not self._at_name("where"):
+            self._parse_node(graph, parent=None)
+        if self._eat_name("where"):
+            graph.add_condition(self._parse_condition())
+        self._expect_punct("}")
+        return graph
+
+    def _generate_id(self, graph: QueryGraph, stem: str) -> str:
+        candidate = stem
+        while candidate in graph.nodes:
+            self._fresh += 1
+            candidate = f"{stem}_{self._fresh}"
+        return candidate
+
+    def _parse_flags(self) -> dict[str, bool]:
+        flags = {"root": False, "deep": False, "not": False, "ord": False}
+        while self._at_name() and self._peek().value in flags:
+            # 'not'/'deep'/... might legitimately be a tag if followed by
+            # something that cannot continue a node; keep it simple: these
+            # words are reserved in query bodies.
+            flags[self._next().value] = True
+        return flags
+
+    def _parse_node(self, graph: QueryGraph, parent: Optional[str]) -> str:
+        flags = self._parse_flags()
+        token = self._peek()
+        if token is None:
+            raise self._error("expected an element pattern")
+        if self._at_punct("*"):
+            self._next()
+            tag: Optional[str] = None
+        elif token.kind == "name":
+            tag = self._next().value
+        else:
+            raise self._error("expected a tag name or '*'")
+        node_id = None
+        if self._eat_name("as"):
+            node_id = self._expect_name()
+        node_id = node_id or self._generate_id(graph, tag or "any")
+        graph.add_node(ElementPattern(node_id, tag, anchored=flags["root"]))
+        if parent is not None:
+            self._edge_position += 1
+            graph.add_edge(
+                ContainmentEdge(
+                    parent, node_id,
+                    deep=flags["deep"], ordered=flags["ord"],
+                    negated=flags["not"], position=self._edge_position,
+                )
+            )
+        elif flags["deep"] or flags["not"] or flags["ord"]:
+            raise self._error("'deep'/'not'/'ord' need a parent element")
+        if self._at_punct("{"):
+            self._next()
+            while not self._at_punct("}"):
+                self._parse_item(graph, node_id)
+            self._next()
+        return node_id
+
+    def _parse_item(self, graph: QueryGraph, parent: str) -> None:
+        # `not` may also negate attribute/text circles (crossed value arcs)
+        negated_value = False
+        if (
+            self._at_name("not")
+            and self._peek(1) is not None
+            and (
+                (self._peek(1).kind == "punct" and self._peek(1).value == "@")
+                or (self._peek(1).kind == "name" and self._peek(1).value == "text")
+            )
+        ):
+            self._next()
+            negated_value = True
+        if self._at_punct("@"):
+            self._next()
+            name = self._expect_name()
+            value, pattern = self._parse_constraint()
+            node_id = None
+            if self._eat_name("as"):
+                node_id = self._expect_name()
+            node_id = node_id or self._generate_id(graph, f"{parent}_{name}")
+            graph.add_node(AttributePattern(node_id, name, value=value, regex=pattern))
+            self._edge_position += 1
+            graph.add_edge(
+                ContainmentEdge(
+                    parent, node_id,
+                    negated=negated_value, position=self._edge_position,
+                )
+            )
+            return
+        if self._at_name("text"):
+            self._next()
+            value, pattern = self._parse_constraint()
+            node_id = None
+            if self._eat_name("as"):
+                node_id = self._expect_name()
+            node_id = node_id or self._generate_id(graph, f"{parent}_text")
+            graph.add_node(TextPattern(node_id, value=value, regex=pattern))
+            self._edge_position += 1
+            graph.add_edge(
+                ContainmentEdge(
+                    parent, node_id,
+                    negated=negated_value, position=self._edge_position,
+                )
+            )
+            return
+        if self._at_name("or"):
+            self._next()
+            self._expect_punct("{")
+            alternatives: list[tuple[ContainmentEdge, ...]] = []
+            branch = self._parse_or_branch(graph, parent)
+            alternatives.append(branch)
+            while self._at_punct("|"):
+                self._next()
+                alternatives.append(self._parse_or_branch(graph, parent))
+            self._expect_punct("}")
+            graph.add_or_group(OrGroup(tuple(alternatives)))
+            return
+        self._parse_node(graph, parent)
+
+    def _parse_or_branch(
+        self, graph: QueryGraph, parent: str
+    ) -> tuple[ContainmentEdge, ...]:
+        """One or-branch: nodes are added to the graph, edges collected."""
+        edges: list[ContainmentEdge] = []
+        while not self._at_punct("|") and not self._at_punct("}"):
+            before = len(graph.edges)
+            self._parse_node(graph, parent)
+            # Move the edges the node added (incl. nested ones) out of the
+            # plain edge list: only the top edge belongs to the branch.
+            top_edge = graph.edges[before]
+            graph.edges.pop(before)
+            edges.append(top_edge)
+        if not edges:
+            raise self._error("empty or-branch")
+        return tuple(edges)
+
+    def _parse_constraint(self) -> tuple[Optional[str], Optional[str]]:
+        if self._at_punct("="):
+            self._next()
+            token = self._next()
+            if token.kind not in ("string", "number", "name"):
+                raise self._error("expected a constant after '='")
+            return token.value, None
+        if self._at_punct("~"):
+            self._next()
+            token = self._next()
+            if token.kind != "regex":
+                raise self._error("expected /regex/ after '~'")
+            return None, token.value
+        return None, None
+
+    # -- conditions -----------------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        left = self._parse_conjunction()
+        parts = [left]
+        while self._eat_name("or"):
+            parts.append(self._parse_conjunction())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _parse_conjunction(self) -> Condition:
+        parts = [self._parse_condition_unit()]
+        while self._eat_name("and"):
+            parts.append(self._parse_condition_unit())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _parse_condition_unit(self) -> Condition:
+        if self._eat_name("not"):
+            return Not(self._parse_condition_unit())
+        if self._at_punct("("):
+            # Could be a parenthesised condition or a parenthesised operand;
+            # conditions always contain a comparison operator at depth 0, so
+            # scan ahead.
+            if self._paren_holds_condition():
+                self._next()
+                condition = self._parse_condition()
+                self._expect_punct(")")
+                return condition
+        return self._parse_comparison()
+
+    def _paren_holds_condition(self) -> bool:
+        depth = 0
+        index = self._pos
+        while index < len(self._tokens):
+            token = self._tokens[index]
+            if token.kind == "punct" and token.value == "(":
+                depth += 1
+            elif token.kind == "punct" and token.value == ")":
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1 and (
+                (token.kind == "punct" and token.value in _CMP_OPS)
+                or (token.kind == "name" and token.value in ("and", "or", "not"))
+                or (token.kind == "punct" and token.value == "~")
+            ):
+                return True
+            index += 1
+        return False
+
+    def _parse_comparison(self) -> Condition:
+        left = self._parse_operand()
+        if self._at_punct("~"):
+            self._next()
+            token = self._next()
+            if token.kind != "regex":
+                raise self._error("expected /regex/ after '~'")
+            return Regex(left, token.value)
+        token = self._peek()
+        if token is None or token.kind != "punct" or token.value not in _CMP_OPS:
+            raise self._error("expected a comparison operator")
+        op = self._next().value
+        right = self._parse_operand()
+        return Comparison(op, left, right)
+
+    def _parse_operand(self) -> Operand:
+        left = self._parse_summand()
+        while self._at_punct("+") or self._at_punct("-"):
+            op = self._next().value
+            left = Arith(op, left, self._parse_summand())
+        return left
+
+    def _parse_summand(self) -> Operand:
+        left = self._parse_factor()
+        while self._at_punct("*") or self._at_punct("/"):
+            op = self._next().value
+            left = Arith(op, left, self._parse_factor())
+        return left
+
+    def _parse_factor(self) -> Operand:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected an operand")
+        if token.kind == "number":
+            self._next()
+            return Const(coerce(token.value))
+        if token.kind == "string":
+            self._next()
+            return Const(token.value)
+        if self._at_punct("("):
+            self._next()
+            operand = self._parse_operand()
+            self._expect_punct(")")
+            return operand
+        if token.kind == "name":
+            if token.value == "name" and self._peek(1) is not None and (
+                self._peek(1).kind == "punct" and self._peek(1).value == "("
+            ):
+                self._next()
+                self._next()
+                variable = self._expect_name()
+                self._expect_punct(")")
+                return NameOf(variable)
+            variable = self._next().value
+            if self._at_punct("."):
+                self._next()
+                attribute = self._expect_name()
+                return AttributeOf(variable, attribute)
+            return ContentOf(variable)
+        raise self._error("expected an operand")
+
+    # -- construct side ---------------------------------------------------------------
+
+    def _parse_cnode(self) -> NewElement:
+        tag_from = None
+        if self._at_punct("$"):
+            # `$X` — heterogeneous construction: tag from X's element name
+            self._next()
+            tag_from = self._expect_name()
+            tag = tag_from
+        else:
+            tag = self._expect_name()
+        attributes: list[NewAttribute] = []
+        if self._at_punct("("):
+            self._next()
+            while not self._at_punct(")"):
+                name = self._expect_name()
+                self._expect_punct("=")
+                if self._at_punct("$"):
+                    self._next()
+                    attributes.append(
+                        NewAttribute(name, from_variable=self._expect_name())
+                    )
+                else:
+                    token = self._next()
+                    if token.kind not in ("string", "number"):
+                        raise self._error("expected a value or $variable")
+                    attributes.append(NewAttribute(name, value=token.value))
+                if self._at_punct(","):
+                    self._next()
+            self._next()
+        for_each: list[str] = []
+        if self._eat_name("for"):
+            for_each.append(self._expect_name())
+            while self._at_punct(","):
+                self._next()
+                for_each.append(self._expect_name())
+        sort_by = None
+        if self._eat_name("sortby"):
+            sort_by = self._expect_name()
+        children: list[ConstructNode] = []
+        if self._at_punct("{"):
+            self._next()
+            while not self._at_punct("}"):
+                children.append(self._parse_citem())
+            self._next()
+        return NewElement(
+            tag, for_each=for_each, attributes=attributes,
+            children=children, sort_by=sort_by, tag_from=tag_from,
+        )
+
+    def _parse_citem(self) -> ConstructNode:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected a construct item")
+        if token.kind == "name" and token.value in ("copy", "collect"):
+            kind = self._next().value
+            variable = self._expect_name()
+            deep = not self._eat_name("shallow")
+            return (
+                Copy(variable, deep=deep)
+                if kind == "copy"
+                else Collect(variable, deep=deep)
+            )
+        if token.kind == "name" and token.value == "text":
+            self._next()
+            literal = self._next()
+            if literal.kind != "string":
+                raise self._error("expected a string after 'text'")
+            return TextLiteral(literal.value)
+        if token.kind == "name" and token.value == "value":
+            self._next()
+            return TextFrom(self._expect_name())
+        if token.kind == "name" and token.value == "group":
+            self._next()
+            variables = [self._expect_name()]
+            while self._at_punct(","):
+                self._next()
+                variables.append(self._expect_name())
+            self._expect_punct("{")
+            children = []
+            while not self._at_punct("}"):
+                children.append(self._parse_citem())
+            self._next()
+            return GroupBy(variables, children)
+        if (
+            token.kind == "name"
+            and token.value in _AGGREGATES
+            and self._peek(1) is not None
+            and self._peek(1).kind == "punct"
+            and self._peek(1).value == "("
+        ):
+            function = self._next().value
+            self._next()
+            variable = self._expect_name()
+            self._expect_punct(")")
+            return Aggregate(function, variable)
+        return self._parse_cnode()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse one rule (``query ... construct ...``)."""
+    parser = _Parser(source)
+    rule = parser.parse_rule()
+    parser._expect_end()
+    return rule
+
+
+def parse_program(source: str) -> Program:
+    """Parse a program: one bare rule, or several ``rule { ... }`` blocks."""
+    return _Parser(source).parse_program()
+
+
+def parse_condition(source: str) -> Condition:
+    """Parse a standalone condition (the ``where`` grammar).
+
+    Accepts what ``str(condition)`` produces for the condition AST, so
+    conditions round-trip through text (used by diagram persistence).
+    """
+    parser = _Parser(source)
+    condition = parser._parse_condition()
+    parser._expect_end()
+    return condition

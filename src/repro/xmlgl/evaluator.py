@@ -1,0 +1,130 @@
+"""Rule and program evaluation for XML-GL.
+
+Ties the pieces together: match every extract graph against its source
+document, join the binding sets (shared predicates realise multi-document
+joins), filter by rule-level conditions, and run the construct tree.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..engine.bindings import BindingSet
+from ..engine.conditions import DocumentAccessor
+from ..engine.index import DocumentIndex
+from ..engine.stats import EvalStats
+from ..errors import EvaluationError
+from ..ssd.model import Document, Element
+from .ast import QueryGraph
+from .construct import build
+from .matcher import MatchOptions, match
+from .rule import Program, Rule
+
+__all__ = ["evaluate_rule", "evaluate_program", "rule_bindings"]
+
+_ACCESSOR = DocumentAccessor()
+
+Sources = Union[Document, Mapping[str, Document]]
+
+
+def _resolve_source(graph: QueryGraph, sources: Sources) -> Document:
+    if isinstance(sources, Document):
+        if graph.source is not None:
+            raise EvaluationError(
+                f"extract graph names source {graph.source!r} but only a "
+                "single unnamed document was supplied"
+            )
+        return sources
+    if graph.source is None:
+        if len(sources) == 1:
+            return next(iter(sources.values()))
+        raise EvaluationError(
+            "extract graph has no source name; supply a single document or "
+            "name the graph's source"
+        )
+    try:
+        return sources[graph.source]
+    except KeyError:
+        raise EvaluationError(f"unknown source document {graph.source!r}")
+
+
+def rule_bindings(
+    rule: Rule,
+    sources: Sources,
+    options: Optional[MatchOptions] = None,
+    stats: Optional[EvalStats] = None,
+    indexes: Optional[dict[int, DocumentIndex]] = None,
+) -> BindingSet:
+    """Matched and joined bindings of a rule (before construction).
+
+    ``indexes`` caches :class:`DocumentIndex` objects keyed by ``id(doc)``
+    across calls (benchmarks reuse it to exclude index build time).
+    """
+    stats = stats if stats is not None else EvalStats()
+    combined: Optional[BindingSet] = None
+    for graph in rule.queries:
+        document = _resolve_source(graph, sources)
+        index = None
+        if indexes is not None:
+            index = indexes.get(id(document))
+            if index is None:
+                index = DocumentIndex(document)
+                indexes[id(document)] = index
+        bindings = match(graph, document, options=options, index=index, stats=stats)
+        combined = bindings if combined is None else combined.join(bindings)
+        if not combined:
+            return BindingSet()
+    assert combined is not None
+    for condition in rule.conditions:
+        combined = combined.select(
+            lambda b, c=condition: c.evaluate(b, _ACCESSOR)
+        )
+    return combined
+
+
+def evaluate_rule(
+    rule: Rule,
+    sources: Sources,
+    options: Optional[MatchOptions] = None,
+    stats: Optional[EvalStats] = None,
+    indexes: Optional[dict[int, DocumentIndex]] = None,
+) -> Element:
+    """Evaluate one rule to its constructed result element."""
+    bindings = rule_bindings(rule, sources, options, stats, indexes)
+    return build(rule.construct, bindings)
+
+
+def evaluate_program(
+    program: Program,
+    sources: Sources,
+    options: Optional[MatchOptions] = None,
+    stats: Optional[EvalStats] = None,
+) -> Document:
+    """Evaluate a program: union of rule results under a common root.
+
+    Single-rule programs with ``unwrap=True`` return the rule's own result
+    element as document root.  Chained programs feed each named rule's
+    result to the rules after it as a source document of that name.
+    """
+    indexes: dict[int, DocumentIndex] = {}
+    if program.chained:
+        pool: dict[str, Document] = (
+            {"input": sources} if isinstance(sources, Document) else dict(sources)
+        )
+        results = []
+        for rule in program.rules:
+            result = evaluate_rule(rule, pool, options, stats, indexes)
+            results.append(result)
+            if rule.name:
+                pool[rule.name] = Document(result.copy())
+    else:
+        results = [
+            evaluate_rule(rule, sources, options, stats, indexes)
+            for rule in program.rules
+        ]
+    if program.unwrap and len(results) == 1:
+        return Document(results[0])
+    wrapper = Element(program.result_tag)
+    for result in results:
+        wrapper.append(result)
+    return Document(wrapper)

@@ -1,0 +1,502 @@
+"""Evaluation of XML-GL extract graphs against documents.
+
+The matcher enumerates every assignment of the query graph's nodes to
+document nodes such that
+
+* element boxes map to elements with the required tag (wildcards to any),
+* containment arcs map to parent/child (or ancestor/descendant for starred
+  arcs) relationships,
+* hollow circles bind the parent's immediate text, filled circles bind
+  attribute values, honouring their constant/regex constraints,
+* crossed-out arcs have **no** embedding of their subpattern,
+* ordered arcs respect relative document order, and
+* every predicate annotation holds.
+
+Shared sub-nodes (the DAG case) come out naturally: a node id is assigned
+once, so two arcs pointing at it force the *same* document node — that is
+XML-GL's join.  Matching is homomorphic: two different boxes may map to the
+same element.
+
+Or-arcs are evaluated by branch expansion: one branch per or-group is
+chosen, the resulting plain graph matched, and the binding sets unioned
+(with duplicate elimination across branches).
+
+The backtracking core orders boxes with :func:`repro.engine.planner.plan_order`
+and narrows candidates dynamically from already-assigned neighbours; both
+the planner and the index can be disabled for the ablation study.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Optional
+
+from ..engine.bindings import Binding, BindingSet
+from ..engine.conditions import DocumentAccessor, condition_variables
+from ..engine.index import DocumentIndex
+from ..engine.planner import plan_order
+from ..engine.stats import EvalStats
+from ..errors import QueryStructureError
+from ..ssd.model import Document, Element
+from .ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    QueryGraph,
+    TextPattern,
+)
+
+__all__ = ["MatchOptions", "match"]
+
+_ACCESSOR = DocumentAccessor()
+
+
+@dataclass
+class MatchOptions:
+    """Evaluation switches (ablation knobs EXT-A1 in DESIGN.md)."""
+
+    use_planner: bool = True
+    use_index: bool = True
+
+
+def match(
+    graph: QueryGraph,
+    document: Document,
+    options: Optional[MatchOptions] = None,
+    index: Optional[DocumentIndex] = None,
+    stats: Optional[EvalStats] = None,
+) -> BindingSet:
+    """All bindings of ``graph`` in ``document``.
+
+    Element boxes bind :class:`~repro.ssd.model.Element` nodes; text and
+    attribute circles bind strings.  The graph is validated first.
+    """
+    graph.validate()
+    _check_condition_scope(graph)
+    options = options or MatchOptions()
+    stats = stats if stats is not None else EvalStats()
+    index = index or DocumentIndex(document)
+
+    results = BindingSet()
+    seen: set[tuple] = set()
+    multiple_branches = bool(graph.or_groups)
+    for expanded in _expand_or_groups(graph):
+        for binding in _match_plain(expanded, document, index, options, stats):
+            if multiple_branches:
+                key = binding.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+            results.add(binding)
+            stats.bindings_produced += 1
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Or-group expansion
+# ---------------------------------------------------------------------------
+
+def _expand_or_groups(graph: QueryGraph) -> Iterator[QueryGraph]:
+    """Yield one plain graph per combination of or-group branches.
+
+    Nodes reachable only through *unchosen* branches are pruned from each
+    expansion — they are not part of that disjunct and must not constrain
+    the match.
+    """
+    if not graph.or_groups:
+        yield graph
+        return
+    branch_lists = [group.alternatives for group in graph.or_groups]
+    had_parent = {e.child for e in graph.all_edges()}
+    for choice in product(*branch_lists):
+        expanded = QueryGraph(
+            nodes=dict(graph.nodes),
+            edges=list(graph.edges),
+            or_groups=[],
+            conditions=list(graph.conditions),
+            source=graph.source,
+        )
+        for branch in choice:
+            expanded.edges.extend(branch)
+        _prune_unchosen(expanded, had_parent)
+        yield expanded
+
+
+def _prune_unchosen(expanded: QueryGraph, had_parent: set[str]) -> None:
+    """Drop nodes that lost their only incoming arc to an unchosen branch."""
+    changed = True
+    while changed:
+        changed = False
+        with_parent = {e.child for e in expanded.edges}
+        for node_id in list(expanded.nodes):
+            if node_id in had_parent and node_id not in with_parent:
+                del expanded.nodes[node_id]
+                expanded.edges = [
+                    e
+                    for e in expanded.edges
+                    if e.parent != node_id and e.child != node_id
+                ]
+                changed = True
+
+
+# ---------------------------------------------------------------------------
+# Plain-graph matching
+# ---------------------------------------------------------------------------
+
+def _check_condition_scope(graph: QueryGraph) -> None:
+    """Conditions may not reach into negated subtrees."""
+    negated: set[str] = set()
+    for edge in graph.negated_edges():
+        stack = [edge.child]
+        while stack:
+            node_id = stack.pop()
+            if node_id in negated:
+                continue
+            negated.add(node_id)
+            stack.extend(e.child for e in graph.edges if e.parent == node_id)
+    for condition in graph.conditions:
+        overlap = condition_variables(condition) & negated
+        if overlap:
+            raise QueryStructureError(
+                f"condition {condition} references negated node(s) {sorted(overlap)}"
+            )
+
+
+def _active_nodes(graph: QueryGraph) -> set[str]:
+    """Nodes taking part in positive matching of this (plain) graph."""
+    active: set[str] = set()
+    incident: set[str] = set()
+    for edge in graph.edges:
+        incident.add(edge.parent)
+        if edge.negated:
+            continue
+        active.add(edge.parent)
+        active.add(edge.child)
+    for node in graph.nodes.values():
+        if isinstance(node, ElementPattern) and node.id not in incident:
+            # isolated box (or box only acting as negation parent)
+            active.add(node.id)
+    # Parents of negated edges must be matched even if otherwise isolated.
+    for edge in graph.negated_edges():
+        active.add(edge.parent)
+    # Remove nodes that are only inside negated subtrees.
+    negated_only = set()
+    for edge in graph.negated_edges():
+        stack = [edge.child]
+        while stack:
+            node_id = stack.pop()
+            if node_id in negated_only:
+                continue
+            negated_only.add(node_id)
+            stack.extend(e.child for e in graph.edges if e.parent == node_id)
+    return active - negated_only
+
+
+def _match_plain(
+    graph: QueryGraph,
+    document: Document,
+    index: DocumentIndex,
+    options: MatchOptions,
+    stats: EvalStats,
+) -> Iterator[Binding]:
+    active = _active_nodes(graph)
+    element_ids = [
+        n.id for n in graph.element_nodes() if n.id in active
+    ]
+    if not element_ids:
+        return
+
+    element_edges = [
+        e
+        for e in graph.edges
+        if not e.negated
+        and e.parent in active
+        and e.child in active
+        and isinstance(graph.nodes[e.child], ElementPattern)
+    ]
+    value_edges = [
+        e
+        for e in graph.edges
+        if not e.negated
+        and e.parent in active
+        and isinstance(graph.nodes[e.child], (TextPattern, AttributePattern))
+    ]
+    negated_edges = [e for e in graph.negated_edges() if e.parent in active]
+
+    # attribute circles required (non-negated) below each box: their names
+    # narrow the box's static candidates through the attribute index
+    attr_hints: dict[str, list[str]] = {}
+    for edge in value_edges:
+        child = graph.nodes[edge.child]
+        if isinstance(child, AttributePattern) and not edge.negated:
+            attr_hints.setdefault(edge.parent, []).append(child.name)
+
+    static_candidates = {
+        node_id: _static_candidates(
+            graph.nodes[node_id], document, index, options, stats,
+            attr_hints.get(node_id, []),
+        )
+        for node_id in element_ids
+    }
+    if any(not c for c in static_candidates.values()):
+        return
+    static_sets = {
+        node_id: {id(e) for e in cands}
+        for node_id, cands in static_candidates.items()
+    }
+
+    adjacency: dict[str, list[str]] = {n: [] for n in element_ids}
+    for edge in element_edges:
+        adjacency[edge.parent].append(edge.child)
+        adjacency[edge.child].append(edge.parent)
+
+    order = plan_order(
+        element_ids,
+        estimate=lambda n: len(static_candidates[n]),
+        adjacency=adjacency,
+        enabled=options.use_planner,
+    )
+
+    edges_by_endpoint: dict[str, list[ContainmentEdge]] = {n: [] for n in element_ids}
+    for edge in element_edges:
+        edges_by_endpoint[edge.parent].append(edge)
+        edges_by_endpoint[edge.child].append(edge)
+
+    assignment: dict[str, Element] = {}
+
+    def structural_ok(edge: ContainmentEdge) -> bool:
+        parent = assignment.get(edge.parent)
+        child = assignment.get(edge.child)
+        if parent is None or child is None:
+            return True
+        stats.edge_checks += 1
+        if edge.deep:
+            return any(anc is parent for anc in child.ancestors())
+        return child.parent is parent
+
+    def candidates_for(node_id: str) -> list[Element]:
+        narrowed: Optional[list[Element]] = None
+        for edge in edges_by_endpoint[node_id]:
+            pool: Optional[list[Element]] = None
+            if edge.child == node_id and edge.parent in assignment:
+                parent = assignment[edge.parent]
+                pool = (
+                    [e for e in parent.iter() if e is not parent]
+                    if edge.deep
+                    else parent.child_elements()
+                )
+            elif edge.parent == node_id and edge.child in assignment:
+                child = assignment[edge.child]
+                if edge.deep:
+                    pool = list(child.ancestors())
+                else:
+                    pool = [child.parent] if isinstance(child.parent, Element) else []
+            if pool is None:
+                continue
+            narrowed = pool if narrowed is None else [
+                e for e in narrowed if any(e is p for p in pool)
+            ]
+        if narrowed is None:
+            return static_candidates[node_id]
+        allowed = static_sets[node_id]
+        return [e for e in narrowed if id(e) in allowed]
+
+    def backtrack(position: int) -> Iterator[dict[str, Element]]:
+        if position == len(order):
+            yield dict(assignment)
+            return
+        node_id = order[position]
+        for candidate in candidates_for(node_id):
+            stats.candidates_tried += 1
+            assignment[node_id] = candidate
+            if all(structural_ok(e) for e in edges_by_endpoint[node_id]):
+                yield from backtrack(position + 1)
+            del assignment[node_id]
+
+    for element_binding in backtrack(0):
+        if not _ordered_ok(graph, element_edges, element_binding, index, stats):
+            continue
+        if not _negations_ok(graph, negated_edges, element_binding, stats):
+            continue
+        for binding in _resolve_value_patterns(
+            graph, value_edges, element_binding, stats
+        ):
+            full = Binding(binding)
+            ok = True
+            for condition in graph.conditions:
+                stats.condition_checks += 1
+                if not condition.evaluate(full, _ACCESSOR):
+                    ok = False
+                    break
+            if ok:
+                yield full
+
+
+def _static_candidates(
+    node: ElementPattern,
+    document: Document,
+    index: DocumentIndex,
+    options: MatchOptions,
+    stats: EvalStats,
+    required_attributes: list[str],
+) -> list[Element]:
+    if node.anchored:
+        root = document.root
+        if root is None:
+            return []
+        if node.tag is not None and root.tag != node.tag:
+            return []
+        return [root]
+    if not options.use_index:
+        stats.full_scans += 1
+        if node.tag is None:
+            return list(document.iter())
+        return [e for e in document.iter() if e.tag == node.tag]
+    # indexed: start from the smallest pool among the tag pool and the
+    # required-attribute pools, then filter by the remaining criteria
+    pools: list[list[Element]] = []
+    if node.tag is not None:
+        stats.index_lookups += 1
+        pools.append(index.elements_with_tag(node.tag))
+    for name in required_attributes:
+        stats.index_lookups += 1
+        pools.append(index.elements_with_attribute(name))
+    if not pools:
+        stats.full_scans += 1
+        return list(document.iter())
+    base = min(pools, key=len)
+    return [
+        e
+        for e in base
+        if (node.tag is None or e.tag == node.tag)
+        and all(name in e.attributes for name in required_attributes)
+    ]
+
+
+def _ordered_ok(
+    graph: QueryGraph,
+    element_edges: list[ContainmentEdge],
+    assignment: dict[str, Element],
+    index: DocumentIndex,
+    stats: EvalStats,
+) -> bool:
+    """Ordered arcs of one parent must match in drawing order."""
+    by_parent: dict[str, list[ContainmentEdge]] = {}
+    for edge in element_edges:
+        if edge.ordered:
+            by_parent.setdefault(edge.parent, []).append(edge)
+    for edges in by_parent.values():
+        if len(edges) < 2:
+            continue
+        edges_sorted = sorted(edges, key=lambda e: e.position)
+        positions = []
+        for edge in edges_sorted:
+            child = assignment.get(edge.child)
+            if child is None:
+                continue
+            try:
+                positions.append(index.position(child))
+            except KeyError:
+                return False  # child from another document cannot be ordered
+        stats.edge_checks += 1
+        if positions != sorted(positions) or len(set(positions)) != len(positions):
+            return False
+    return True
+
+
+def _resolve_value_patterns(
+    graph: QueryGraph,
+    value_edges: list[ContainmentEdge],
+    element_binding: dict[str, Element],
+    stats: EvalStats,
+) -> Iterator[dict[str, object]]:
+    """Extend an element assignment with text/attribute bindings.
+
+    Each circle resolves deterministically (at most one value per parent),
+    so this yields zero or one extended binding.
+    """
+    binding: dict[str, object] = dict(element_binding)
+    for edge in value_edges:
+        parent = element_binding.get(edge.parent)
+        if parent is None:
+            return
+        node = graph.nodes[edge.child]
+        value = _value_of(node, parent)
+        stats.condition_checks += 1
+        if value is None:
+            return
+        binding[edge.child] = value
+    yield binding
+
+
+def _value_of(node, parent: Element) -> Optional[str]:
+    """Resolve a text/attribute circle under ``parent``; ``None`` = no match."""
+    if isinstance(node, TextPattern):
+        text = parent.immediate_text()
+        if not text.strip():
+            return None
+        if node.value is not None and text.strip() != node.value:
+            return None
+        if node.regex is not None and re.fullmatch(node.regex, text.strip()) is None:
+            return None
+        return text.strip()
+    assert isinstance(node, AttributePattern)
+    value = parent.get(node.name)
+    if value is None:
+        return None
+    if node.value is not None and value != node.value:
+        return None
+    if node.regex is not None and re.fullmatch(node.regex, value) is None:
+        return None
+    return value
+
+
+def _negations_ok(
+    graph: QueryGraph,
+    negated_edges: list[ContainmentEdge],
+    element_binding: dict[str, Element],
+    stats: EvalStats,
+) -> bool:
+    for edge in negated_edges:
+        parent = element_binding.get(edge.parent)
+        if parent is None:
+            continue
+        if _subtree_exists(graph, edge, parent, stats):
+            return False
+    return True
+
+
+def _subtree_exists(
+    graph: QueryGraph,
+    edge: ContainmentEdge,
+    parent: Element,
+    stats: EvalStats,
+) -> bool:
+    """Does any embedding of ``edge.child``'s subpattern exist under ``parent``?"""
+    node = graph.nodes[edge.child]
+    if isinstance(node, (TextPattern, AttributePattern)):
+        stats.condition_checks += 1
+        return _value_of(node, parent) is not None
+    assert isinstance(node, ElementPattern)
+    if edge.deep:
+        pool = (e for e in parent.iter() if e is not parent)
+    else:
+        pool = iter(parent.child_elements())
+    for candidate in pool:
+        stats.candidates_tried += 1
+        if node.tag is not None and candidate.tag != node.tag:
+            continue
+        child_edges = graph.children_of(node.id)
+        if all(
+            _subtree_exists(graph, child_edge, candidate, stats)
+            for child_edge in child_edges
+            if not child_edge.negated
+        ) and all(
+            not _subtree_exists(graph, child_edge, candidate, stats)
+            for child_edge in child_edges
+            if child_edge.negated
+        ):
+            return True
+    return False

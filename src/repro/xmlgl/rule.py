@@ -1,0 +1,89 @@
+"""XML-GL rules and programs.
+
+A *rule* is one drawn query: the extract graphs on the left (one per source
+document), the construct graph on the right, separated by the vertical
+line, plus any cross-graph predicate annotations (these express joins over
+multiple documents).  A *program* is a set of rules whose results are
+unioned under a common root — that is how the paper composes "complex
+programs [...] of various rules".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engine.conditions import Condition
+from ..errors import QueryStructureError
+from .ast import QueryGraph
+from .construct import NewElement
+
+__all__ = ["Rule", "Program"]
+
+
+@dataclass
+class Rule:
+    """One extract ∥ construct pair.
+
+    Attributes:
+        queries: the extract graphs, one per queried document.
+        construct: the construct tree (its root builds the result element).
+        conditions: cross-graph predicates evaluated on the joined bindings
+            (per-graph predicates live on the graphs themselves).
+        name: optional label, used in diagrams and reports.
+    """
+
+    queries: list[QueryGraph]
+    construct: NewElement
+    conditions: list[Condition] = field(default_factory=list)
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise QueryStructureError("a rule needs at least one extract graph")
+        seen: set[str] = set()
+        for graph in self.queries:
+            overlap = seen & set(graph.nodes)
+            if overlap:
+                raise QueryStructureError(
+                    f"node ids shared across extract graphs: {sorted(overlap)}"
+                )
+            seen |= set(graph.nodes)
+
+    def validate(self) -> None:
+        """Validate every extract graph (construct checked during build)."""
+        for graph in self.queries:
+            graph.validate()
+
+
+@dataclass
+class Program:
+    """A set of rules evaluated over the same document collection.
+
+    ``result_tag`` names the root element wrapping the union of all rule
+    results (each rule contributes its constructed root element in order).
+    A single-rule program with ``unwrap=True`` (the default) returns the
+    rule's own constructed root unwrapped, matching how single queries are
+    presented in the paper's figures.
+
+    With ``chained=True`` each named rule's result document becomes an
+    additional source for the rules after it (under the rule's name) —
+    materialised views, the XML-GL counterpart of G-Log rule chaining.
+    Chained rules run strictly in list order; forward references are
+    unknown-source errors.
+    """
+
+    rules: list[Rule]
+    result_tag: str = "result"
+    unwrap: bool = True
+    chained: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise QueryStructureError("a program needs at least one rule")
+        if self.chained:
+            names = [r.name for r in self.rules if r.name]
+            if len(names) != len(set(names)):
+                raise QueryStructureError(
+                    "chained programs need distinct rule names"
+                )

@@ -1,0 +1,619 @@
+"""XML-GL graphs as a schema formalism.
+
+The paper's second use of the query-graph vocabulary is *schema
+definition*: an XML-GL graph enriched with multiplicity labels on its
+edges (as in ER diagrams) and xor-arcs over alternatives describes a class
+of valid documents, with "more expressive power than the DTD formalism"
+(unordered content, arbitrary multiplicities) though without a primitive
+type system.
+
+This module implements
+
+* the schema AST: :class:`SchemaGraph` with element / text / attribute
+  nodes, multiplicity-labelled edges and xor-arcs,
+* instance validation (:meth:`SchemaGraph.validate`),
+* the DTD ⇄ XML-GL translation the paper illustrates with the BOOK DTD
+  figure (:func:`dtd_to_schema`, :func:`schema_to_dtd`).
+
+The DTD→schema direction is *approximating* for deeply nested content
+particles (e.g. ``((a, b)+ | c)``): group structure beyond one level is
+flattened to per-name multiplicities.  Every approximation is reported in
+the returned ``notes`` so callers can tell exact from widened schemas —
+this mirrors the paper's observation that the two formalisms are
+incomparable in expressiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import SchemaError
+from ..ssd.dtd import (
+    AttDefault,
+    ChoiceParticle,
+    ContentKind,
+    ContentParticle,
+    Dtd,
+    ElementDecl,
+    NameParticle,
+    Repetition,
+    SequenceParticle,
+)
+from ..ssd.model import Document, Element, Text
+
+__all__ = [
+    "SchemaElement",
+    "SchemaText",
+    "SchemaAttribute",
+    "SchemaEdge",
+    "XorArc",
+    "SchemaGraph",
+    "dtd_to_schema",
+    "schema_to_dtd",
+]
+
+
+@dataclass(frozen=True)
+class SchemaElement:
+    """A schema box: one element type."""
+
+    tag: str
+
+
+@dataclass(frozen=True)
+class SchemaText:
+    """The hollow circle: PCDATA content of the parent."""
+
+    id: str = "text"
+
+
+@dataclass(frozen=True)
+class SchemaAttribute:
+    """A filled circle: an attribute of the parent.
+
+    ``values`` restricts the attribute to an enumeration when non-empty;
+    ``fixed`` pins it to one literal.
+    """
+
+    name: str
+    required: bool = False
+    values: tuple[str, ...] = ()
+    fixed: Optional[str] = None
+
+
+SchemaNodeKind = Union[SchemaElement, SchemaText, SchemaAttribute]
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """A containment edge with a multiplicity label.
+
+    ``min``/``max`` bound the number of child occurrences per parent
+    instance (``max=None`` = unbounded).  ``ordered`` marks edges whose
+    relative ``position`` constrains document order (the short-stroke
+    annotation); unordered is the XML-GL default the paper highlights
+    against DTDs.
+    """
+
+    parent: str          # parent element tag
+    child_id: str        # child node id in the schema graph
+    min: int = 1
+    max: Optional[int] = 1
+    ordered: bool = False
+    position: int = 0
+
+    def multiplicity(self) -> str:
+        upper = "*" if self.max is None else str(self.max)
+        return f"{self.min}..{upper}"
+
+
+@dataclass(frozen=True)
+class XorArc:
+    """An xor-arc across edges of one parent: branches are exclusive.
+
+    Each branch is a tuple of child-node ids; a valid instance uses
+    children from at most one branch (exactly one when ``required``).
+    """
+
+    parent: str
+    branches: tuple[tuple[str, ...], ...]
+    required: bool = False
+
+
+@dataclass
+class SchemaGraph:
+    """An XML-GL schema: nodes, multiplicity edges, xor-arcs, root tag."""
+
+    root: str
+    nodes: dict[str, SchemaNodeKind] = field(default_factory=dict)
+    edges: list[SchemaEdge] = field(default_factory=list)
+    xor_arcs: list[XorArc] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_element(self, tag: str) -> str:
+        """Declare an element type (id = tag); idempotent."""
+        if tag not in self.nodes:
+            self.nodes[tag] = SchemaElement(tag)
+        elif not isinstance(self.nodes[tag], SchemaElement):
+            raise SchemaError(f"node id {tag!r} already used by a non-element")
+        return tag
+
+    def add_text(self, parent: str, min: int = 0) -> str:
+        """Allow PCDATA under ``parent``."""
+        node_id = f"{parent}#text"
+        self.nodes[node_id] = SchemaText(node_id)
+        self.edges.append(SchemaEdge(parent, node_id, min=min, max=None))
+        return node_id
+
+    def add_attribute(
+        self,
+        parent: str,
+        name: str,
+        required: bool = False,
+        values: tuple[str, ...] = (),
+        fixed: Optional[str] = None,
+    ) -> str:
+        """Declare attribute ``name`` on ``parent``."""
+        node_id = f"{parent}@{name}"
+        self.nodes[node_id] = SchemaAttribute(name, required, values, fixed)
+        self.edges.append(
+            SchemaEdge(parent, node_id, min=1 if required else 0, max=1)
+        )
+        return node_id
+
+    def contain(
+        self,
+        parent: str,
+        child: str,
+        min: int = 1,
+        max: Optional[int] = 1,
+        ordered: bool = False,
+        position: int = 0,
+    ) -> SchemaEdge:
+        """Add a multiplicity-labelled containment edge between elements."""
+        if parent not in self.nodes or not isinstance(self.nodes[parent], SchemaElement):
+            raise SchemaError(f"unknown parent element {parent!r}")
+        if child not in self.nodes:
+            raise SchemaError(f"unknown child node {child!r}")
+        edge = SchemaEdge(parent, child, min=min, max=max, ordered=ordered, position=position)
+        self.edges.append(edge)
+        return edge
+
+    def xor(self, parent: str, *branches: tuple[str, ...], required: bool = False) -> XorArc:
+        """Add an xor-arc across edges of ``parent``."""
+        arc = XorArc(parent, tuple(tuple(b) for b in branches), required=required)
+        self.xor_arcs.append(arc)
+        return arc
+
+    # -- accessors -------------------------------------------------------------
+
+    def element_edges(self, parent: str) -> list[SchemaEdge]:
+        """Containment edges from ``parent`` to child elements, by position."""
+        return sorted(
+            (
+                e
+                for e in self.edges
+                if e.parent == parent and isinstance(self.nodes[e.child_id], SchemaElement)
+            ),
+            key=lambda e: e.position,
+        )
+
+    def attribute_nodes(self, parent: str) -> list[SchemaAttribute]:
+        """Attribute declarations of ``parent``."""
+        return [
+            self.nodes[e.child_id]
+            for e in self.edges
+            if e.parent == parent and isinstance(self.nodes[e.child_id], SchemaAttribute)
+        ]
+
+    def allows_text(self, parent: str) -> bool:
+        """True when PCDATA is allowed under ``parent``."""
+        return any(
+            e.parent == parent and isinstance(self.nodes[e.child_id], SchemaText)
+            for e in self.edges
+        )
+
+    # -- validation ----------------------------------------------------------------
+
+    def check(self) -> None:
+        """Well-formedness of the schema itself."""
+        if self.root not in self.nodes or not isinstance(
+            self.nodes[self.root], SchemaElement
+        ):
+            raise SchemaError(f"schema root {self.root!r} is not a declared element")
+        for edge in self.edges:
+            if edge.parent not in self.nodes:
+                raise SchemaError(f"edge parent {edge.parent!r} undeclared")
+            if edge.child_id not in self.nodes:
+                raise SchemaError(f"edge child {edge.child_id!r} undeclared")
+            if edge.max is not None and edge.max < edge.min:
+                raise SchemaError(f"edge {edge.parent}->{edge.child_id}: max < min")
+        for arc in self.xor_arcs:
+            edge_children = {e.child_id for e in self.edges if e.parent == arc.parent}
+            for branch in arc.branches:
+                for child_id in branch:
+                    if child_id not in edge_children:
+                        raise SchemaError(
+                            f"xor branch member {child_id!r} has no edge from {arc.parent!r}"
+                        )
+
+    def validate(self, document: Document) -> list[str]:
+        """Validate an instance document; returns violation messages."""
+        self.check()
+        violations: list[str] = []
+        root = document.root
+        if root is None:
+            return ["document has no root element"]
+        if root.tag != self.root:
+            violations.append(
+                f"root element <{root.tag}> does not match schema root <{self.root}>"
+            )
+            return violations
+        self._validate_element(root, violations)
+        return violations
+
+    def _validate_element(self, element: Element, violations: list[str]) -> None:
+        if element.tag not in self.nodes:
+            violations.append(f"undeclared element <{element.tag}>")
+            return
+        self._check_attributes(element, violations)
+        self._check_children(element, violations)
+        for child in element.child_elements():
+            self._validate_element(child, violations)
+
+    def _check_attributes(self, element: Element, violations: list[str]) -> None:
+        declared = {a.name: a for a in self.attribute_nodes(element.tag)}
+        for name in element.attributes:
+            if name not in declared:
+                violations.append(
+                    f"undeclared attribute {name!r} on <{element.tag}>"
+                )
+        for att in declared.values():
+            value = element.get(att.name)
+            if value is None:
+                if att.required:
+                    violations.append(
+                        f"missing required attribute {att.name!r} on <{element.tag}>"
+                    )
+                continue
+            if att.values and value not in att.values:
+                violations.append(
+                    f"attribute {att.name!r} on <{element.tag}> must be one of "
+                    f"{att.values}, got {value!r}"
+                )
+            if att.fixed is not None and value != att.fixed:
+                violations.append(
+                    f"attribute {att.name!r} on <{element.tag}> is fixed to "
+                    f"{att.fixed!r}"
+                )
+
+    def _check_children(self, element: Element, violations: list[str]) -> None:
+        edges = self.element_edges(element.tag)
+        by_tag: dict[str, SchemaEdge] = {}
+        for edge in edges:
+            node = self.nodes[edge.child_id]
+            assert isinstance(node, SchemaElement)
+            by_tag[node.tag] = edge
+
+        counts: dict[str, int] = {}
+        for child in element.child_elements():
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+            if child.tag not in by_tag:
+                violations.append(
+                    f"<{child.tag}> not allowed under <{element.tag}>"
+                )
+
+        has_text = any(
+            isinstance(c, Text) and c.data.strip() for c in element.children
+        )
+        if has_text and not self.allows_text(element.tag):
+            violations.append(f"text content not allowed under <{element.tag}>")
+
+        for tag, edge in by_tag.items():
+            count = counts.get(tag, 0)
+            if count < edge.min:
+                violations.append(
+                    f"<{element.tag}> needs at least {edge.min} <{tag}> "
+                    f"children, found {count}"
+                )
+            if edge.max is not None and count > edge.max:
+                violations.append(
+                    f"<{element.tag}> allows at most {edge.max} <{tag}> "
+                    f"children, found {count}"
+                )
+
+        self._check_order(element, violations)
+        self._check_xor(element, counts, has_text, violations)
+
+    def _check_order(self, element: Element, violations: list[str]) -> None:
+        ordered_edges = [
+            e for e in self.element_edges(element.tag) if e.ordered
+        ]
+        if len(ordered_edges) < 2:
+            return
+        rank: dict[str, int] = {}
+        for order_index, edge in enumerate(ordered_edges):
+            node = self.nodes[edge.child_id]
+            assert isinstance(node, SchemaElement)
+            rank[node.tag] = order_index
+        last_rank = -1
+        for child in element.child_elements():
+            child_rank = rank.get(child.tag)
+            if child_rank is None:
+                continue  # unordered sibling type interleaves freely
+            if child_rank < last_rank:
+                violations.append(
+                    f"<{child.tag}> out of order under <{element.tag}>"
+                )
+                return
+            last_rank = child_rank
+
+    def _check_xor(
+        self,
+        element: Element,
+        counts: dict[str, int],
+        has_text: bool,
+        violations: list[str],
+    ) -> None:
+        for arc in self.xor_arcs:
+            if arc.parent != element.tag:
+                continue
+            used = 0
+            for branch in arc.branches:
+                branch_used = False
+                for child_id in branch:
+                    node = self.nodes[child_id]
+                    if isinstance(node, SchemaElement) and counts.get(node.tag, 0):
+                        branch_used = True
+                    if isinstance(node, SchemaText) and has_text:
+                        branch_used = True
+                if branch_used:
+                    used += 1
+            if used > 1:
+                violations.append(
+                    f"<{element.tag}>: xor branches used together"
+                )
+            if used == 0 and arc.required:
+                violations.append(
+                    f"<{element.tag}>: one xor branch is required"
+                )
+
+    def describe(self) -> str:
+        """Compact textual rendering of the schema graph."""
+        lines = [f"root {self.root}"]
+        for edge in self.edges:
+            node = self.nodes[edge.child_id]
+            if isinstance(node, SchemaElement):
+                flag = " ordered" if edge.ordered else ""
+                lines.append(
+                    f"{edge.parent} -> {node.tag} [{edge.multiplicity()}]{flag}"
+                )
+            elif isinstance(node, SchemaAttribute):
+                need = " required" if node.required else ""
+                lines.append(f"{edge.parent} @{node.name}{need}")
+            else:
+                lines.append(f"{edge.parent} #text")
+        for arc in self.xor_arcs:
+            branches = " xor ".join("|".join(b) for b in arc.branches)
+            lines.append(f"{arc.parent}: {branches}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# DTD -> XML-GL schema
+# ---------------------------------------------------------------------------
+
+_REP_BOUNDS = {
+    Repetition.ONE: (1, 1),
+    Repetition.OPTIONAL: (0, 1),
+    Repetition.STAR: (0, None),
+    Repetition.PLUS: (1, None),
+}
+
+
+def dtd_to_schema(dtd: Dtd, root: str) -> tuple[SchemaGraph, list[str]]:
+    """Translate a DTD into an XML-GL schema graph.
+
+    Returns ``(schema, notes)`` where ``notes`` documents every widening
+    applied to content models the edge/multiplicity vocabulary cannot
+    express exactly (nested groups).
+    """
+    if root not in dtd.elements:
+        raise SchemaError(f"DTD does not declare the requested root {root!r}")
+    schema = SchemaGraph(root=root)
+    notes: list[str] = []
+    for decl in dtd.elements.values():
+        schema.add_element(decl.name)
+    for decl in dtd.elements.values():
+        _translate_content(schema, decl, notes)
+        for att in decl.attributes.values():
+            schema.add_attribute(
+                decl.name,
+                att.name,
+                required=att.default is AttDefault.REQUIRED,
+                values=att.enumeration,
+                fixed=att.value if att.default is AttDefault.FIXED else None,
+            )
+    schema.check()
+    return schema, notes
+
+
+def _translate_content(schema: SchemaGraph, decl: ElementDecl, notes: list[str]) -> None:
+    model = decl.content
+    if model.kind is ContentKind.EMPTY:
+        return
+    if model.kind is ContentKind.ANY:
+        notes.append(f"<{decl.name}>: ANY content kept as 'any child declared in DTD'")
+        for position, other in enumerate(schema.nodes):
+            node = schema.nodes[other]
+            if isinstance(node, SchemaElement):
+                schema.contain(decl.name, other, min=0, max=None, position=position)
+        schema.add_text(decl.name)
+        return
+    if model.kind is ContentKind.MIXED:
+        schema.add_text(decl.name)
+        branch_text = (f"{decl.name}#text",)
+        element_ids = []
+        for position, tag in enumerate(model.mixed_names):
+            schema.add_element(tag)
+            schema.contain(decl.name, tag, min=0, max=None, position=position)
+            element_ids.append(tag)
+        if element_ids:
+            # mixed content: text freely interleaves; no xor needed
+            pass
+        return
+    assert model.particle is not None
+    _translate_particle(schema, decl.name, model.particle, notes)
+
+
+def _translate_particle(
+    schema: SchemaGraph,
+    parent: str,
+    particle: ContentParticle,
+    notes: list[str],
+) -> None:
+    if isinstance(particle, NameParticle):
+        low, high = _REP_BOUNDS[particle.repetition]
+        schema.contain(parent, particle.name, min=low, max=high)
+        return
+    if isinstance(particle, SequenceParticle):
+        group_low, group_high = _REP_BOUNDS[particle.repetition]
+        exact = all(isinstance(item, NameParticle) for item in particle.items)
+        if exact and group_low == 1 and group_high == 1:
+            for position, item in enumerate(particle.items):
+                assert isinstance(item, NameParticle)
+                low, high = _REP_BOUNDS[item.repetition]
+                schema.contain(
+                    parent, item.name, min=low, max=high,
+                    ordered=True, position=position,
+                )
+            return
+        notes.append(
+            f"<{parent}>: nested/repeated group {particle} widened to "
+            "per-name multiplicities"
+        )
+        for position, item in enumerate(particle.items):
+            _translate_widened(schema, parent, item, group_low, group_high, position, notes)
+        return
+    assert isinstance(particle, ChoiceParticle)
+    group_low, group_high = _REP_BOUNDS[particle.repetition]
+    simple = all(isinstance(item, NameParticle) for item in particle.items)
+    if simple and group_high == 1:
+        branches = []
+        for position, item in enumerate(particle.items):
+            assert isinstance(item, NameParticle)
+            low, high = _REP_BOUNDS[item.repetition]
+            schema.contain(parent, item.name, min=0, max=high, position=position)
+            branches.append((item.name,))
+        schema.xor(parent, *branches, required=group_low >= 1)
+        return
+    notes.append(
+        f"<{parent}>: complex choice {particle} widened to optional children"
+    )
+    for position, item in enumerate(particle.items):
+        _translate_widened(schema, parent, item, 0, group_high, position, notes)
+
+
+def _translate_widened(
+    schema: SchemaGraph,
+    parent: str,
+    particle: ContentParticle,
+    group_low: int,
+    group_high: Optional[int],
+    position: int,
+    notes: list[str],
+) -> None:
+    """Widen a nested particle to per-name bounds."""
+    if isinstance(particle, NameParticle):
+        low, high = _REP_BOUNDS[particle.repetition]
+        low = min(low, group_low) if group_low == 0 else low
+        if group_high is None:
+            high = None
+        elif high is not None:
+            high = high * group_high
+        if group_low == 0:
+            low = 0
+        schema.contain(parent, particle.name, min=low, max=high, position=position)
+        return
+    for sub_position, item in enumerate(particle.items):
+        _translate_widened(
+            schema, parent, item,
+            0 if group_low == 0 or particle.repetition in (Repetition.OPTIONAL, Repetition.STAR) else group_low,
+            None if group_high is None or particle.repetition in (Repetition.STAR, Repetition.PLUS) else group_high,
+            position * 100 + sub_position,
+            notes,
+        )
+
+
+# ---------------------------------------------------------------------------
+# XML-GL schema -> DTD
+# ---------------------------------------------------------------------------
+
+def schema_to_dtd(schema: SchemaGraph) -> tuple[str, list[str]]:
+    """Render a schema back to DTD text.
+
+    Returns ``(dtd_text, notes)``; unordered content and arbitrary
+    multiplicities are approximated (noted), since DTDs cannot express
+    them — the direction of expressiveness the paper points out.
+    """
+    schema.check()
+    notes: list[str] = []
+    lines: list[str] = []
+    element_tags = [
+        node.tag for node in schema.nodes.values() if isinstance(node, SchemaElement)
+    ]
+    for tag in element_tags:
+        edges = schema.element_edges(tag)
+        allows_text = schema.allows_text(tag)
+        if not edges and not allows_text:
+            lines.append(f"<!ELEMENT {tag} EMPTY>")
+        elif allows_text and not edges:
+            lines.append(f"<!ELEMENT {tag} (#PCDATA)>")
+        elif allows_text:
+            names = " | ".join(
+                schema.nodes[e.child_id].tag for e in edges  # type: ignore[union-attr]
+            )
+            lines.append(f"<!ELEMENT {tag} (#PCDATA | {names})*>")
+            notes.append(f"<{tag}>: multiplicities relaxed by mixed content")
+        else:
+            unordered = [e for e in edges if not e.ordered]
+            if unordered:
+                notes.append(
+                    f"<{tag}>: unordered children serialised in declaration order"
+                )
+            particles = []
+            for edge in edges:
+                child_tag = schema.nodes[edge.child_id].tag  # type: ignore[union-attr]
+                suffix = _dtd_suffix(edge, notes, tag)
+                particles.append(f"{child_tag}{suffix}")
+            lines.append(f"<!ELEMENT {tag} ({', '.join(particles)})>")
+        for att in schema.attribute_nodes(tag):
+            if att.values:
+                att_type = "(" + " | ".join(att.values) + ")"
+            else:
+                att_type = "CDATA"
+            if att.fixed is not None:
+                default = f'#FIXED "{att.fixed}"'
+            elif att.required:
+                default = "#REQUIRED"
+            else:
+                default = "#IMPLIED"
+            lines.append(f"<!ATTLIST {tag} {att.name} {att_type} {default}>")
+    return "\n".join(lines), notes
+
+
+def _dtd_suffix(edge: SchemaEdge, notes: list[str], tag: str) -> str:
+    if (edge.min, edge.max) == (1, 1):
+        return ""
+    if (edge.min, edge.max) == (0, 1):
+        return "?"
+    if (edge.min, edge.max) == (0, None):
+        return "*"
+    if (edge.min, edge.max) == (1, None):
+        return "+"
+    notes.append(
+        f"<{tag}>: multiplicity {edge.multiplicity()} widened for DTD output"
+    )
+    return "*" if edge.min == 0 else "+"

@@ -1,0 +1,140 @@
+"""Translating XML-GL extraction graphs to path expressions.
+
+The paper positions graphical languages against the navigational textual
+ones; this module makes the correspondence concrete for the overlapping
+fragment: a *tree-shaped* extraction graph (single root, no shared
+sub-nodes, no or-arcs, no predicate annotations) is exactly a path
+expression with nested predicates.
+
+``to_path(graph, node)`` produces a :class:`~repro.ssd.paths.PathExpression`
+whose result set equals the set of elements the matcher binds to ``node``
+— asserted by the differential tests, which use the path engine as an
+independent oracle for the matcher.  Graphs outside the fragment raise
+:class:`TranslationError` listing the offending construct; that *list* is
+itself informative: it is precisely the visual constructs that go beyond
+navigation (joins, disjunction, value predicates over two nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ReproError
+from ..ssd.paths import PathExpression, Predicate, Step
+from .ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    QueryGraph,
+    TextPattern,
+)
+
+__all__ = ["TranslationError", "translatable", "to_path"]
+
+
+class TranslationError(ReproError):
+    """The graph uses constructs with no path-expression counterpart."""
+
+
+def translatable(graph: QueryGraph) -> Optional[str]:
+    """``None`` when the graph lies in the path fragment, else the reason."""
+    if graph.or_groups:
+        return "or-arcs (disjunction) have no path counterpart"
+    if graph.conditions:
+        return "predicate annotations over variables need joins"
+    parents: dict[str, int] = {}
+    for edge in graph.edges:
+        parents[edge.child] = parents.get(edge.child, 0) + 1
+        if edge.ordered:
+            return "ordered arcs need sibling-position predicates"
+    for node_id, count in parents.items():
+        if count > 1:
+            return f"node {node_id!r} is shared (a join)"
+    roots = graph.roots()
+    if len(roots) != 1:
+        return f"{len(roots)} roots: multi-root graphs express products"
+    for node in graph.nodes.values():
+        if isinstance(node, (TextPattern, AttributePattern)) and node.regex:
+            return "regex constraints are not in the path subset"
+    return None
+
+
+def to_path(graph: QueryGraph, node_id: str) -> PathExpression:
+    """The path expression selecting ``node_id``'s bindings."""
+    reason = translatable(graph)
+    if reason is not None:
+        raise TranslationError(reason)
+    node = graph.nodes.get(node_id)
+    if not isinstance(node, ElementPattern):
+        raise TranslationError("only element boxes translate to paths")
+
+    # walk up from the target to the root; each entry pairs a node with the
+    # (unique, non-negated) containment arc leading *into* it
+    spine: list[tuple[Optional[ContainmentEdge], str]] = []
+    current = node_id
+    while True:
+        incoming = [e for e in graph.edges if e.child == current and not e.negated]
+        edge = incoming[0] if incoming else None
+        spine.append((edge, current))
+        if edge is None:
+            break
+        current = edge.parent
+    spine.reverse()
+    root_id = spine[0][1]
+    if root_id not in graph.roots():
+        raise TranslationError(
+            f"target {node_id!r} hangs off a negated arc; not selectable"
+        )
+
+    on_spine = {entry[1] for entry in spine}
+    steps: list[Step] = []
+    for index, (edge_in, spine_node) in enumerate(spine):
+        pattern = graph.nodes[spine_node]
+        assert isinstance(pattern, ElementPattern)
+        if index == 0:
+            axis = "child" if pattern.anchored else "descendant"
+        else:
+            assert edge_in is not None
+            axis = "descendant" if edge_in.deep else "child"
+        next_on_spine = spine[index + 1][1] if index + 1 < len(spine) else None
+        predicates = _predicates_for(graph, spine_node, next_on_spine, on_spine)
+        steps.append(Step(axis, pattern.tag, tuple(predicates)))
+    return PathExpression(tuple(steps), absolute=True)
+
+
+def _predicates_for(
+    graph: QueryGraph,
+    node_id: str,
+    next_on_spine: Optional[str],
+    on_spine: set[str],
+) -> list[Predicate]:
+    predicates: list[Predicate] = []
+    for edge in graph.children_of(node_id):
+        if edge.child == next_on_spine and not edge.negated:
+            continue
+        child = graph.nodes[edge.child]
+        if isinstance(child, AttributePattern):
+            predicates.append(
+                Predicate("attr", child.name, child.value, negated=edge.negated)
+            )
+        elif isinstance(child, TextPattern):
+            predicates.append(
+                Predicate("text", "", child.value, negated=edge.negated)
+            )
+        else:
+            assert isinstance(child, ElementPattern)
+            sub = _subtree_path(graph, edge)
+            predicates.append(
+                Predicate("child", negated=edge.negated, path=sub)
+            )
+    return predicates
+
+
+def _subtree_path(graph: QueryGraph, edge: ContainmentEdge) -> PathExpression:
+    """The relative path of a non-spine subtree rooted at ``edge.child``."""
+    child = graph.nodes[edge.child]
+    assert isinstance(child, ElementPattern)
+    axis = "descendant" if edge.deep else "child"
+    predicates = _predicates_for(graph, edge.child, None, set())
+    first = Step(axis, child.tag, tuple(predicates))
+    return PathExpression((first,), absolute=False)

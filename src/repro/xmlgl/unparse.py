@@ -1,0 +1,191 @@
+"""Unparsing: XML-GL ASTs back to canonical DSL text.
+
+The inverse of :mod:`repro.xmlgl.dsl`: any rule or program renders to text
+that re-parses to a structurally identical rule (property-tested), giving
+the toolchain a canonical exchange format — editors compile drawings to
+ASTs, the unparser turns them into files, the CLI runs the files.
+
+Limitations mirror the grammar: node ids must be valid DSL names (the
+builders and editors only generate such ids), and or-group branch edges
+render inline under their parent.
+"""
+
+from __future__ import annotations
+
+from ..engine.conditions import Condition
+from ..errors import QueryStructureError
+from .ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    QueryGraph,
+    TextPattern,
+)
+from .construct import (
+    Aggregate,
+    Collect,
+    ConstructNode,
+    Copy,
+    GroupBy,
+    NewElement,
+    TextFrom,
+    TextLiteral,
+)
+from .rule import Program, Rule
+
+__all__ = ["unparse_rule", "unparse_program"]
+
+_INDENT = "  "
+
+
+def unparse_program(program: Program) -> str:
+    """Render a program in the DSL (bare rule, or named rule blocks)."""
+    if len(program.rules) == 1 and program.unwrap and not program.chained:
+        return unparse_rule(program.rules[0])
+    blocks = []
+    prefix = "chained\n" if program.chained else ""
+    for rule in program.rules:
+        name = f" {rule.name}" if rule.name else ""
+        body = _indent(unparse_rule(rule))
+        blocks.append(f"rule{name} {{\n{body}\n}}")
+    return prefix + "\n".join(blocks)
+
+
+def unparse_rule(rule: Rule) -> str:
+    """Render one rule (``query ... construct ...``)."""
+    parts = [_unparse_query(graph) for graph in rule.queries]
+    for condition in rule.conditions:
+        parts.append(f"where {_condition(condition)}")
+    parts.append(
+        "construct {\n" + _indent(_unparse_construct(rule.construct)) + "\n}"
+    )
+    return "\n".join(parts)
+
+
+def _indent(text: str) -> str:
+    return "\n".join(_INDENT + line for line in text.split("\n"))
+
+
+def _condition(condition: Condition) -> str:
+    # str(condition) is exactly the DSL condition grammar (tested).
+    return str(condition)
+
+
+# -- query side ----------------------------------------------------------------
+
+def _unparse_query(graph: QueryGraph) -> str:
+    source = f" {graph.source}" if graph.source else ""
+    lines = [f"query{source} {{"]
+    emitted: set[str] = set()
+    for root_id in graph.roots():
+        lines.append(_indent(_unparse_node(graph, root_id, None, emitted)))
+    for condition in graph.conditions:
+        lines.append(_indent(f"where {_condition(condition)}"))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _flags(edge: ContainmentEdge | None, node) -> str:
+    flags = []
+    if isinstance(node, ElementPattern) and node.anchored:
+        flags.append("root")
+    if edge is not None:
+        if edge.deep:
+            flags.append("deep")
+        if edge.negated:
+            flags.append("not")
+        if edge.ordered:
+            flags.append("ord")
+    return "".join(f"{flag} " for flag in flags)
+
+
+def _constraint(value, pattern) -> str:
+    if value is not None:
+        return f' = "{value}"'
+    if pattern is not None:
+        escaped = pattern.replace("/", "\\/")
+        return f" ~ /{escaped}/"
+    return ""
+
+
+def _unparse_node(
+    graph: QueryGraph,
+    node_id: str,
+    edge_in: ContainmentEdge | None,
+    emitted: set[str],
+) -> str:
+    node = graph.nodes[node_id]
+    if node_id in emitted:
+        raise QueryStructureError(
+            f"node {node_id!r} is shared (a DAG join); the DSL cannot "
+            "express shared nodes — keep such rules in AST/diagram form"
+        )
+    emitted.add(node_id)
+    if isinstance(node, (AttributePattern, TextPattern)):
+        negation = "not " if edge_in is not None and edge_in.negated else ""
+        head = f"@{node.name}" if isinstance(node, AttributePattern) else "text"
+        return (
+            f"{negation}{head}"
+            f"{_constraint(node.value, node.regex)} as {node_id}"
+        )
+    assert isinstance(node, ElementPattern)
+    tag = node.tag if node.tag is not None else "*"
+    header = f"{_flags(edge_in, node)}{tag} as {node_id}"
+    children = graph.children_of(node_id)
+    group_lines = []
+    for group in graph.or_groups:
+        branches = []
+        for branch in group.alternatives:
+            rendered = [
+                _unparse_node(graph, e.child, e, emitted)
+                for e in branch
+                if e.parent == node_id
+            ]
+            if rendered:
+                branches.append(" ".join(rendered))
+        if branches:
+            group_lines.append("or { " + " | ".join(branches) + " }")
+    if not children and not group_lines:
+        return header
+    body = [
+        _unparse_node(graph, edge.child, edge, emitted) for edge in children
+    ] + group_lines
+    return header + " {\n" + _indent("\n".join(body)) + "\n}"
+
+
+# -- construct side --------------------------------------------------------------
+
+def _unparse_construct(node: ConstructNode) -> str:
+    if isinstance(node, NewElement):
+        tag = f"${node.tag_from}" if node.tag_from is not None else node.tag
+        attrs = ""
+        if node.attributes:
+            rendered = []
+            for attribute in node.attributes:
+                if attribute.from_variable is not None:
+                    rendered.append(f"{attribute.name} = ${attribute.from_variable}")
+                else:
+                    rendered.append(f'{attribute.name} = "{attribute.value}"')
+            attrs = "(" + ", ".join(rendered) + ")"
+        for_each = f" for {', '.join(node.for_each)}" if node.for_each else ""
+        sort = f" sortby {node.sort_by}" if node.sort_by else ""
+        header = f"{tag}{attrs}{for_each}{sort}"
+        if not node.children:
+            return header
+        body = "\n".join(_unparse_construct(child) for child in node.children)
+        return header + " {\n" + _indent(body) + "\n}"
+    if isinstance(node, Copy):
+        return f"copy {node.variable}" + ("" if node.deep else " shallow")
+    if isinstance(node, Collect):
+        return f"collect {node.variable}" + ("" if node.deep else " shallow")
+    if isinstance(node, TextLiteral):
+        return f'text "{node.text}"'
+    if isinstance(node, TextFrom):
+        return f"value {node.variable}"
+    if isinstance(node, GroupBy):
+        body = "\n".join(_unparse_construct(child) for child in node.children)
+        return (
+            f"group {', '.join(node.group_on)} {{\n" + _indent(body) + "\n}"
+        )
+    assert isinstance(node, Aggregate)
+    return f"{node.function}({node.variable})"

@@ -1,0 +1,89 @@
+"""Tests for the comparison framework (catalog, equivalence, features)."""
+
+import pytest
+
+from repro.compare import (
+    CATALOG,
+    Support,
+    compare_catalog,
+    feature_matrix,
+    render_matrix,
+    report,
+)
+from repro.workloads import bibliography
+
+
+@pytest.fixture(scope="module")
+def results():
+    return compare_catalog(bibliography(30, seed=3))
+
+
+class TestCatalog:
+    def test_catalog_covers_design_figures(self):
+        figures = {pair.figure for pair in CATALOG}
+        assert {"FIG-Q1", "FIG-Q2", "FIG-Q3", "FIG-Q4", "FIG-Q5",
+                "FIG-Q6", "FIG-Q7", "FIG-Q9"} <= figures
+
+    def test_unique_ids(self):
+        ids = [pair.id for pair in CATALOG]
+        assert len(ids) == len(set(ids))
+
+    def test_every_pair_has_at_least_one_side(self):
+        for pair in CATALOG:
+            assert pair.xmlgl_source or pair.wglog_source
+
+
+class TestEquivalence:
+    def test_all_comparable_pairs_agree(self, results):
+        for result in results:
+            if result.comparable:
+                assert result.agree, (
+                    result.pair.id, result.xmlgl_value, result.wglog_value
+                )
+
+    def test_comparable_pairs_nonempty_results(self, results):
+        # the dataset is big enough that every comparable query matches
+        for result in results:
+            if result.comparable:
+                assert result.xmlgl_value, result.pair.id
+
+    def test_expressiveness_gaps_as_expected(self, results):
+        by_id = {r.pair.id: r for r in results}
+        assert by_id["q6-aggregation"].status() == "XML-GL-ONLY"
+        assert by_id["q8-recursion"].status() == "WG-LOG-ONLY"
+
+    def test_agreement_across_seeds(self):
+        for seed in (0, 7):
+            for result in compare_catalog(bibliography(20, seed=seed)):
+                if result.comparable:
+                    assert result.agree, (seed, result.pair.id)
+
+    def test_report_format(self, results):
+        text = report(results)
+        assert "q1-selection" in text
+        assert "AGREE" in text
+
+
+class TestFeatureMatrix:
+    def test_all_demos_pass(self):
+        rows = feature_matrix()  # raises if any demo fails
+        assert len(rows) >= 12
+
+    def test_expected_asymmetries(self):
+        rows = {feature.id: (xg, wg) for feature, xg, wg in feature_matrix()}
+        assert rows["recursion"] == (Support.UNSUPPORTED, Support.SUPPORTED)
+        assert rows["grouping"] == (Support.SUPPORTED, Support.UNSUPPORTED)
+        assert rows["aggregation"] == (Support.SUPPORTED, Support.PARTIAL)
+        assert rows["schema-free"][0] is Support.SUPPORTED
+        assert rows["views"] == (Support.UNSUPPORTED, Support.SUPPORTED)
+
+    def test_shared_capabilities(self):
+        rows = {feature.id: (xg, wg) for feature, xg, wg in feature_matrix()}
+        for shared in ("negation", "join", "regex", "schema-definition"):
+            xg, wg = rows[shared]
+            assert xg is Support.SUPPORTED and wg is Support.SUPPORTED, shared
+
+    def test_render(self):
+        text = render_matrix()
+        assert "XML-GL" in text and "WG-Log" in text
+        assert "✓" in text and "✗" in text and "~" in text

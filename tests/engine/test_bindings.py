@@ -1,0 +1,127 @@
+"""Unit tests for Binding and BindingSet."""
+
+import pytest
+
+from repro.engine import Binding, BindingSet, value_key
+from repro.ssd import E
+
+
+class TestBinding:
+    def test_mapping_protocol(self):
+        b = Binding({"x": 1, "y": "two"})
+        assert b["x"] == 1
+        assert set(b) == {"x", "y"}
+        assert len(b) == 2
+
+    def test_extended(self):
+        b = Binding({"x": 1}).extended("y", 2)
+        assert b["y"] == 2
+
+    def test_extended_rejects_rebinding(self):
+        with pytest.raises(KeyError):
+            Binding({"x": 1}).extended("x", 2)
+
+    def test_project(self):
+        b = Binding({"x": 1, "y": 2, "z": 3}).project(["x", "z"])
+        assert set(b) == {"x", "z"}
+
+    def test_compatible_and_merge(self):
+        a = Binding({"x": 1, "y": 2})
+        b = Binding({"y": 2, "z": 3})
+        assert a.compatible(b)
+        merged = a.merged(b)
+        assert merged["z"] == 3 and merged["x"] == 1
+
+    def test_incompatible(self):
+        assert not Binding({"x": 1}).compatible(Binding({"x": 2}))
+
+    def test_node_identity_semantics(self):
+        e1, e2 = E("a"), E("a")
+        assert Binding({"x": e1}).compatible(Binding({"x": e1}))
+        # equal structure, different node -> incompatible
+        assert not Binding({"x": e1}).compatible(Binding({"x": e2}))
+
+    def test_key_is_hashable_for_nodes(self):
+        e = E("a")
+        key = Binding({"x": e}).key()
+        assert key == (("x", value_key(e)),)
+        hash(key)
+
+
+class TestBindingSet:
+    def make(self):
+        return BindingSet(
+            [
+                Binding({"b": 1, "t": "XML"}),
+                Binding({"b": 2, "t": "Web"}),
+                Binding({"b": 3, "t": "XML"}),
+            ]
+        )
+
+    def test_len_iter_getitem(self):
+        s = self.make()
+        assert len(s) == 3
+        assert s[1]["b"] == 2
+        assert [b["b"] for b in s] == [1, 2, 3]
+
+    def test_select(self):
+        s = self.make().select(lambda b: b["t"] == "XML")
+        assert [b["b"] for b in s] == [1, 3]
+
+    def test_project_keeps_duplicates(self):
+        s = self.make().project(["t"])
+        assert len(s) == 3
+
+    def test_distinct(self):
+        s = self.make().project(["t"]).distinct()
+        assert [b["t"] for b in s] == ["XML", "Web"]
+
+    def test_distinct_on_variables(self):
+        s = self.make().distinct(["t"])
+        assert [b["b"] for b in s] == [1, 2]
+
+    def test_join_shared_variable(self):
+        left = self.make()
+        right = BindingSet([Binding({"t": "XML", "lang": "en"})])
+        joined = left.join(right)
+        assert [b["b"] for b in joined] == [1, 3]
+        assert all(b["lang"] == "en" for b in joined)
+
+    def test_join_no_shared_is_product(self):
+        left = BindingSet([Binding({"x": 1}), Binding({"x": 2})])
+        right = BindingSet([Binding({"y": 9})])
+        assert len(left.join(right)) == 2
+
+    def test_join_empty(self):
+        assert len(self.make().join(BindingSet())) == 0
+
+    def test_union(self):
+        u = self.make().union(self.make())
+        assert len(u) == 6
+
+    def test_minus_anti_join(self):
+        left = self.make()
+        right = BindingSet([Binding({"t": "XML"})])
+        remaining = left.minus(right)
+        assert [b["b"] for b in remaining] == [2]
+
+    def test_minus_no_shared_variables(self):
+        left = self.make()
+        assert len(left.minus(BindingSet())) == 3
+        assert len(left.minus(BindingSet([Binding({"zzz": 1})]))) == 0
+
+    def test_group_by(self):
+        groups = self.make().group_by(["t"])
+        assert len(groups) == 2
+        key0, members0 = groups[0]
+        assert key0["t"] == "XML" and len(members0) == 2
+
+    def test_order_by(self):
+        s = self.make().order_by(lambda b: -b["b"])
+        assert [b["b"] for b in s] == [3, 2, 1]
+
+    def test_values(self):
+        assert self.make().values("t") == ["XML", "Web", "XML"]
+
+    def test_variables(self):
+        assert self.make().variables() == {"b", "t"}

@@ -1,0 +1,154 @@
+"""Unit tests for the condition AST."""
+
+import pytest
+
+from repro.engine import (
+    And,
+    Arith,
+    AttributeOf,
+    Binding,
+    Comparison,
+    Const,
+    ContentOf,
+    DocumentAccessor,
+    NameOf,
+    Not,
+    Or,
+    Regex,
+    TRUE,
+)
+from repro.errors import EvaluationError
+from repro.ssd import E
+
+ACC = DocumentAccessor()
+
+
+def book():
+    return E("book", {"year": "1999", "price": "39.95"}, E("title", "Data on the Web"))
+
+
+class TestOperands:
+    def test_const(self):
+        assert Const(7).evaluate(Binding(), ACC) == 7
+
+    def test_content_of_element(self):
+        b = Binding({"B": book()})
+        assert "Data on the Web" in ContentOf("B").evaluate(b, ACC)
+
+    def test_content_of_atomic_passthrough(self):
+        assert ContentOf("x").evaluate(Binding({"x": 5}), ACC) == 5
+
+    def test_attribute_of(self):
+        b = Binding({"B": book()})
+        assert AttributeOf("B", "year").evaluate(b, ACC) == "1999"
+        assert AttributeOf("B", "missing").evaluate(b, ACC) is None
+
+    def test_attribute_of_non_element(self):
+        assert AttributeOf("x", "a").evaluate(Binding({"x": 5}), ACC) is None
+
+    def test_name_of(self):
+        assert NameOf("B").evaluate(Binding({"B": book()}), ACC) == "book"
+
+    def test_name_of_atomic_raises(self):
+        with pytest.raises(EvaluationError):
+            NameOf("x").evaluate(Binding({"x": 5}), ACC)
+
+    def test_arith(self):
+        expr = Arith("*", Const("3"), Const(4))
+        assert expr.evaluate(Binding(), ACC) == 12
+
+    def test_arith_on_attribute(self):
+        b = Binding({"B": book()})
+        expr = Arith("+", AttributeOf("B", "year"), Const(1))
+        assert expr.evaluate(b, ACC) == 2000
+
+    def test_arith_type_error(self):
+        with pytest.raises(TypeError):
+            Arith("+", Const("abc"), Const(1)).evaluate(Binding(), ACC)
+
+    def test_arith_division_by_zero(self):
+        with pytest.raises(TypeError):
+            Arith("/", Const(1), Const(0)).evaluate(Binding(), ACC)
+
+    def test_unknown_arith_op(self):
+        with pytest.raises(EvaluationError):
+            Arith("%", Const(1), Const(2))
+
+
+class TestComparison:
+    def test_equality_with_coercion(self):
+        b = Binding({"B": book()})
+        assert Comparison("=", AttributeOf("B", "year"), Const(1999)).evaluate(b, ACC)
+
+    def test_inequality(self):
+        b = Binding({"B": book()})
+        assert Comparison("!=", AttributeOf("B", "year"), Const(2000)).evaluate(b, ACC)
+
+    def test_ordering(self):
+        b = Binding({"B": book()})
+        assert Comparison("<", AttributeOf("B", "price"), Const(50)).evaluate(b, ACC)
+        assert Comparison(">=", AttributeOf("B", "year"), Const("1999")).evaluate(b, ACC)
+
+    def test_missing_attribute_is_false(self):
+        b = Binding({"B": book()})
+        cond = Comparison("=", AttributeOf("B", "zzz"), Const(1))
+        assert not cond.evaluate(b, ACC)
+
+    def test_type_mismatch_is_false(self):
+        cond = Comparison("<", Const("word"), Const(3))
+        assert not cond.evaluate(Binding(), ACC)
+
+    def test_arith_error_is_false(self):
+        cond = Comparison("=", Arith("/", Const(1), Const(0)), Const(1))
+        assert not cond.evaluate(Binding(), ACC)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(EvaluationError):
+            Comparison("~=", Const(1), Const(1))
+
+
+class TestBooleanConnectives:
+    def test_true(self):
+        assert TRUE.evaluate(Binding(), ACC)
+
+    def test_and(self):
+        cond = And((TRUE, Comparison("=", Const(1), Const(1))))
+        assert cond.evaluate(Binding(), ACC)
+        assert not And((TRUE, Comparison("=", Const(1), Const(2)))).evaluate(
+            Binding(), ACC
+        )
+
+    def test_or(self):
+        cond = Or((Comparison("=", Const(1), Const(2)), TRUE))
+        assert cond.evaluate(Binding(), ACC)
+        assert not Or(()).evaluate(Binding(), ACC)
+
+    def test_not(self):
+        assert Not(Comparison("=", Const(1), Const(2))).evaluate(Binding(), ACC)
+
+
+class TestRegex:
+    def test_fullmatch_semantics(self):
+        b = Binding({"B": book()})
+        assert Regex(ContentOf("B"), ".*Web.*").evaluate(b, ACC)
+        assert not Regex(ContentOf("B"), "Web").evaluate(b, ACC)
+
+    def test_on_attribute(self):
+        b = Binding({"B": book()})
+        assert Regex(AttributeOf("B", "year"), r"19\d\d").evaluate(b, ACC)
+
+    def test_none_is_false(self):
+        b = Binding({"B": book()})
+        assert not Regex(AttributeOf("B", "none"), ".*").evaluate(b, ACC)
+
+
+class TestStringForms:
+    def test_str_smoke(self):
+        cond = And(
+            (
+                Comparison("<", AttributeOf("B", "price"), Const(50)),
+                Or((Regex(ContentOf("T"), "X.*"), Not(TRUE))),
+            )
+        )
+        text = str(cond)
+        assert "B.price" in text and "< 50" in text and "or" in text

@@ -1,0 +1,91 @@
+"""Unit tests for DocumentIndex, planner and stats."""
+
+from repro.engine import DocumentIndex, EvalStats, plan_order
+from repro.ssd import parse_document
+
+
+def doc():
+    return parse_document(
+        '<bib>'
+        '<book year="1999"><title>A</title></book>'
+        '<book year="2000"><title>B</title></book>'
+        '<article><title>C</title></article>'
+        '</bib>'
+    )
+
+
+class TestDocumentIndex:
+    def test_elements_with_tag(self):
+        idx = DocumentIndex(doc())
+        assert len(idx.elements_with_tag("book")) == 2
+        assert len(idx.elements_with_tag("title")) == 3
+        assert idx.elements_with_tag("nope") == []
+
+    def test_elements_with_attribute(self):
+        idx = DocumentIndex(doc())
+        assert len(idx.elements_with_attribute("year")) == 2
+
+    def test_counts(self):
+        idx = DocumentIndex(doc())
+        assert idx.element_count() == 7
+        assert idx.tag_count("article") == 1
+        assert idx.tags() == {"bib", "book", "article", "title"}
+
+    def test_positions_are_document_order(self):
+        idx = DocumentIndex(doc())
+        positions = [idx.position(e) for e in idx.all_elements()]
+        assert positions == sorted(positions)
+
+    def test_selectivity(self):
+        idx = DocumentIndex(doc())
+        assert idx.selectivity("book") == 2
+        assert idx.selectivity(None) == 7
+
+
+class TestPlanner:
+    def test_most_selective_first(self):
+        order = plan_order(
+            ["a", "b", "c"],
+            estimate=lambda n: {"a": 100, "b": 1, "c": 10}[n],
+            adjacency={},
+        )
+        assert order[0] == "b"
+
+    def test_connected_expansion(self):
+        # star pattern: centre 'c' adjacent to all; selective leaf 'l1'
+        order = plan_order(
+            ["c", "l1", "l2"],
+            estimate=lambda n: {"c": 50, "l1": 1, "l2": 40}[n],
+            adjacency={"c": ["l1", "l2"], "l1": ["c"], "l2": ["c"]},
+        )
+        assert order == ["l1", "c", "l2"]
+
+    def test_disabled_preserves_input(self):
+        nodes = ["z", "a", "m"]
+        assert plan_order(nodes, lambda n: 1, {}, enabled=False) == nodes
+
+    def test_every_node_exactly_once(self):
+        nodes = list("abcdef")
+        order = plan_order(nodes, lambda n: ord(n), {"a": ["f"]})
+        assert sorted(order) == sorted(nodes)
+
+
+class TestEvalStats:
+    def test_bump_and_dict(self):
+        stats = EvalStats()
+        stats.candidates_tried += 3
+        stats.bump("custom")
+        stats.bump("custom", 2)
+        flat = stats.as_dict()
+        assert flat["candidates_tried"] == 3
+        assert flat["custom"] == 3
+
+    def test_addition(self):
+        a = EvalStats(candidates_tried=1)
+        a.bump("x")
+        b = EvalStats(candidates_tried=2, bindings_produced=5)
+        b.bump("x", 4)
+        total = a + b
+        assert total.candidates_tried == 3
+        assert total.bindings_produced == 5
+        assert total.extra["x"] == 5

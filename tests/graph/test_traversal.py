@@ -1,0 +1,165 @@
+"""Unit tests for graph traversal algorithms, with networkx as oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    LabeledGraph,
+    bfs_order,
+    dfs_order,
+    has_cycle,
+    reachable,
+    reachable_by_labels,
+    shortest_path,
+    topological_order,
+    weakly_connected_components,
+)
+
+
+def chain(n: int) -> LabeledGraph:
+    g = LabeledGraph()
+    for i in range(n):
+        g.add_node(i, "n")
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, "e")
+    return g
+
+
+def diamond() -> LabeledGraph:
+    g = LabeledGraph()
+    for name in "abcd":
+        g.add_node(name, "n")
+    g.add_edge("a", "b", "x")
+    g.add_edge("a", "c", "y")
+    g.add_edge("b", "d", "x")
+    g.add_edge("c", "d", "y")
+    return g
+
+
+class TestOrders:
+    def test_bfs_layers(self):
+        order = list(bfs_order(diamond(), "a"))
+        assert order[0] == "a"
+        assert set(order[1:3]) == {"b", "c"}
+        assert order[3] == "d"
+
+    def test_dfs_preorder(self):
+        order = list(dfs_order(diamond(), "a"))
+        assert order[0] == "a"
+        assert set(order) == {"a", "b", "c", "d"}
+        # first successor explored before the second branch starts
+        assert order[1] == "b" and order[2] == "d"
+
+    def test_orders_respect_direction(self):
+        g = chain(3)
+        assert list(bfs_order(g, 2)) == [2]
+
+
+class TestReachability:
+    def test_reachable_includes_start(self):
+        assert reachable(chain(4), 1) == {1, 2, 3}
+
+    def test_reachable_by_labels_excludes_start(self):
+        assert reachable_by_labels(chain(4), 1) == {2, 3}
+
+    def test_reachable_by_edge_label(self):
+        g = diamond()
+        assert reachable_by_labels(g, "a", edge_label="x") == {"b", "d"}
+
+    def test_reachable_with_node_filter(self):
+        g = chain(5)
+        result = reachable_by_labels(g, 0, node_filter=lambda n: n != 2)
+        assert result == {1}  # the filter prunes node 2 and what lies behind it
+
+    def test_reachable_on_cycle(self):
+        g = chain(3)
+        g.add_edge(2, 0, "e")
+        assert reachable_by_labels(g, 0) == {0, 1, 2}
+
+
+class TestCyclesAndTopo:
+    def test_dag_has_no_cycle(self):
+        assert not has_cycle(diamond())
+
+    def test_cycle_detected(self):
+        g = chain(3)
+        g.add_edge(2, 0, "back")
+        assert has_cycle(g)
+
+    def test_self_loop_is_cycle(self):
+        g = LabeledGraph()
+        g.add_node(1, "n")
+        g.add_edge(1, 1, "loop")
+        assert has_cycle(g)
+
+    def test_topological_order_valid(self):
+        g = diamond()
+        order = topological_order(g)
+        position = {n: i for i, n in enumerate(order)}
+        for edge in g.edges():
+            assert position[edge.source] < position[edge.target]
+
+    def test_topological_order_rejects_cycle(self):
+        g = chain(2)
+        g.add_edge(1, 0, "back")
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+
+class TestComponentsAndPaths:
+    def test_weak_components(self):
+        g = chain(3)
+        g.add_node("iso", "n")
+        components = weakly_connected_components(g)
+        assert sorted(len(c) for c in components) == [1, 3]
+
+    def test_shortest_path(self):
+        g = diamond()
+        path = shortest_path(g, "a", "d")
+        assert path[0] == "a" and path[-1] == "d" and len(path) == 3
+
+    def test_shortest_path_self(self):
+        assert shortest_path(diamond(), "a", "a") == ["a"]
+
+    def test_shortest_path_absent(self):
+        assert shortest_path(chain(3), 2, 0) is None
+
+
+class TestAgainstNetworkx:
+    """Randomised cross-checks against networkx."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reachability_matches(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = LabeledGraph()
+        nxg = nx.DiGraph()
+        n = 30
+        for i in range(n):
+            g.add_node(i, "n")
+            nxg.add_node(i)
+        for _ in range(60):
+            a, b = rng.randrange(n), rng.randrange(n)
+            g.add_edge(a, b, "e")
+            nxg.add_edge(a, b)
+        for start in range(0, n, 7):
+            assert reachable(g, start) == nx.descendants(nxg, start) | {start}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cycle_detection_matches(self, seed):
+        import random
+
+        rng = random.Random(seed + 100)
+        g = LabeledGraph()
+        nxg = nx.DiGraph()
+        n = 20
+        for i in range(n):
+            g.add_node(i, "n")
+            nxg.add_node(i)
+        for _ in range(25):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                g.add_edge(a, b, "e")
+                nxg.add_edge(a, b)
+        assert has_cycle(g) == (not nx.is_directed_acyclic_graph(nxg))

@@ -1,0 +1,99 @@
+"""Fuzz/robustness properties: malformed input never hangs or crashes
+with anything other than the library's own error types."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    DtdError,
+    QuerySyntaxError,
+    ReproError,
+    XmlSyntaxError,
+)
+from repro.ssd.dtd import parse_dtd
+from repro.ssd.model import Document
+from repro.ssd.parser import parse_document
+from repro.xmlgl.dsl import parse_rule as parse_xg
+from repro.wglog.dsl import parse_wglog
+
+# characters likely to trip parsers
+XMLISH = st.text(
+    alphabet=st.sampled_from(list("<>/!?&;'\"=[]() abc-\n")), max_size=60
+)
+DSLISH = st.text(
+    alphabet=st.sampled_from(list("{}()|@~=<>*/.$'\" abquerywhereconstructas\n")),
+    max_size=80,
+)
+
+
+class TestParserFuzz:
+    @given(XMLISH)
+    @settings(max_examples=300, deadline=None)
+    def test_xml_parser_total(self, text):
+        """parse_document either returns a Document or raises XmlSyntaxError."""
+        try:
+            result = parse_document(text)
+        except XmlSyntaxError:
+            return
+        assert isinstance(result, Document)
+        assert result.root is not None
+
+    @given(XMLISH)
+    @settings(max_examples=200, deadline=None)
+    def test_dtd_parser_total(self, text):
+        try:
+            parse_dtd(text)
+        except DtdError:
+            pass
+
+    @given(DSLISH)
+    @settings(max_examples=200, deadline=None)
+    def test_xmlgl_dsl_total(self, text):
+        try:
+            parse_xg(text)
+        except QuerySyntaxError:
+            pass
+        except ReproError:
+            pass  # structurally invalid but syntactically parsed
+
+    @given(DSLISH)
+    @settings(max_examples=200, deadline=None)
+    def test_wglog_dsl_total(self, text):
+        try:
+            parse_wglog(text)
+        except ReproError:
+            pass
+
+
+class TestMutationRobustness:
+    """Corrupting one character of valid input yields a clean outcome."""
+
+    VALID_XML = '<bib><book year="1999"><title>T &amp; X</title></book></bib>'
+    VALID_RULE = (
+        "query { book as B { @year as Y } where Y >= 1995 }"
+        " construct { r { collect B } }"
+    )
+
+    @given(
+        st.integers(min_value=0, max_value=len(VALID_XML) - 1),
+        st.sampled_from(list("<>&\"x ")),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_xml_single_char_mutation(self, index, char):
+        mutated = self.VALID_XML[:index] + char + self.VALID_XML[index + 1 :]
+        try:
+            document = parse_document(mutated)
+        except XmlSyntaxError:
+            return
+        assert document.root is not None
+
+    @given(
+        st.integers(min_value=0, max_value=len(VALID_RULE) - 1),
+        st.sampled_from(list("{}@$ x")),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_rule_single_char_mutation(self, index, char):
+        mutated = self.VALID_RULE[:index] + char + self.VALID_RULE[index + 1 :]
+        try:
+            parse_xg(mutated)
+        except ReproError:
+            return

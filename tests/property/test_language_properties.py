@@ -1,0 +1,223 @@
+"""Property-based tests for language-level invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Binding, BindingSet
+from repro.ssd import E, document
+from repro.visual import (
+    diagram_to_wglog,
+    diagram_to_xmlgl,
+    wglog_rule_diagram,
+    xmlgl_rule_diagram,
+)
+from repro.wglog import InstanceGraph, RuleGraph, apply_rule, satisfies
+from repro.xmlgl import QueryBuilder, Rule, collect, elem, match
+
+# ---------------------------------------------------------------------------
+# Random XML-GL query graphs + documents
+# ---------------------------------------------------------------------------
+
+TAGS = ["a", "b", "c"]
+
+
+@st.composite
+def xmlgl_queries(draw):
+    """A random tree-shaped extract graph over a tiny tag alphabet."""
+    q = QueryBuilder()
+    count = draw(st.integers(1, 4))
+    ids = []
+    for index in range(count):
+        tag = draw(st.sampled_from(TAGS + [None]))
+        parent = draw(st.sampled_from(ids)) if ids else None
+        deep = draw(st.booleans()) if parent else False
+        ids.append(
+            q.box(tag, id=f"N{index}", parent=parent, deep=deep)
+        )
+    if draw(st.booleans()):
+        q.attribute(draw(st.sampled_from(ids)), "k", id="ATT")
+    if draw(st.booleans()):
+        target = draw(st.sampled_from(ids))
+        q.negate(target, q.box(draw(st.sampled_from(TAGS)), id="NEG"))
+    return q.graph()
+
+
+@st.composite
+def small_documents(draw, depth: int = 3):
+    def build(level):
+        element = E(draw(st.sampled_from(TAGS)))
+        if draw(st.booleans()):
+            element.set("k", draw(st.sampled_from(["1", "2"])))
+        if level > 0:
+            for _ in range(draw(st.integers(0, 2))):
+                element.append(build(level - 1))
+        return element
+
+    return document(build(depth))
+
+
+class TestXmlglProperties:
+    @given(xmlgl_queries(), small_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_bindings_satisfy_structure(self, graph, doc):
+        """Every binding respects tags and containment edges."""
+        from repro.xmlgl.ast import ElementPattern
+
+        for binding in match(graph, doc):
+            for node_id, node in graph.nodes.items():
+                if not isinstance(node, ElementPattern) or node_id not in binding:
+                    continue
+                bound = binding[node_id]
+                if node.tag is not None:
+                    assert bound.tag == node.tag
+            for edge in graph.positive_edges():
+                if edge.parent not in binding or edge.child not in binding:
+                    continue
+                child = binding[edge.child]
+                if not hasattr(child, "ancestors"):
+                    continue  # text/attribute values checked elsewhere
+                if edge.deep:
+                    assert any(a is binding[edge.parent] for a in child.ancestors())
+                else:
+                    assert child.parent is binding[edge.parent]
+
+    @given(xmlgl_queries(), small_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_match_deterministic(self, graph, doc):
+        first = [b.key() for b in match(graph, doc)]
+        second = [b.key() for b in match(graph, doc)]
+        assert first == second
+
+    @given(xmlgl_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_diagram_round_trip(self, graph):
+        rule = Rule([graph], elem("result", collect(next(iter(graph.nodes)))))
+        back = diagram_to_xmlgl(xmlgl_rule_diagram(rule))
+        original = rule.queries[0]
+        rebuilt = back.queries[0]
+        assert set(rebuilt.nodes) == set(original.nodes)
+        assert {
+            (e.parent, e.child, e.deep, e.ordered, e.negated)
+            for e in rebuilt.edges
+        } == {
+            (e.parent, e.child, e.deep, e.ordered, e.negated)
+            for e in original.edges
+        }
+
+
+# ---------------------------------------------------------------------------
+# Random WG-Log rules + instances
+# ---------------------------------------------------------------------------
+
+@st.composite
+def instances(draw):
+    instance = InstanceGraph()
+    count = draw(st.integers(2, 6))
+    nodes = [
+        instance.add_entity(draw(st.sampled_from(["D", "E"])), f"n{i}")
+        for i in range(count)
+    ]
+    for _ in range(draw(st.integers(0, 8))):
+        instance.relate(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from(["r", "s"])),
+        )
+    return instance
+
+
+@st.composite
+def generative_rules(draw):
+    """match one edge, derive another (always safe)."""
+    rule = RuleGraph()
+    rule.red("x", draw(st.sampled_from(["D", "E", None])))
+    rule.red("y", draw(st.sampled_from(["D", "E", None])))
+    rule.match_edge("x", "y", draw(st.sampled_from(["r", "s"])))
+    rule.derive_edge("x", "y", "derived")
+    return rule
+
+
+class TestWglogProperties:
+    @given(generative_rules(), instances())
+    @settings(max_examples=60, deadline=None)
+    def test_apply_reaches_satisfaction(self, rule, instance):
+        apply_rule(instance, rule)
+        assert satisfies(instance, rule)
+
+    @given(generative_rules(), instances())
+    @settings(max_examples=60, deadline=None)
+    def test_apply_idempotent(self, rule, instance):
+        apply_rule(instance, rule)
+        assert apply_rule(instance, rule) == 0
+
+    @given(generative_rules(), instances())
+    @settings(max_examples=40, deadline=None)
+    def test_apply_only_adds(self, rule, instance):
+        edges_before = set(instance.graph.edges())
+        nodes_before = set(instance.graph.nodes())
+        apply_rule(instance, rule)
+        assert edges_before <= set(instance.graph.edges())
+        assert nodes_before <= set(instance.graph.nodes())
+
+    @given(generative_rules(), instances())
+    @settings(max_examples=40, deadline=None)
+    def test_diagram_round_trip(self, rule, instance):
+        back = diagram_to_wglog(wglog_rule_diagram(rule))
+        assert back.describe() == rule.describe()
+
+
+# ---------------------------------------------------------------------------
+# Binding algebra
+# ---------------------------------------------------------------------------
+
+ROWS = st.lists(
+    st.fixed_dictionaries(
+        {"x": st.integers(0, 3), "y": st.sampled_from("pq")}
+    ),
+    max_size=6,
+)
+
+
+def binding_set(rows, extra_var=None):
+    out = BindingSet()
+    for row in rows:
+        values = dict(row)
+        if extra_var:
+            values[extra_var] = values.pop("y")
+        out.add(Binding(values))
+    return out
+
+
+class TestBindingAlgebra:
+    @given(ROWS, ROWS)
+    def test_join_commutative_as_sets(self, left_rows, right_rows):
+        left = binding_set(left_rows)
+        right = binding_set(right_rows, extra_var="z")
+        ab = {b.key() for b in left.join(right)}
+        ba = {b.key() for b in right.join(left)}
+        assert ab == ba
+
+    @given(ROWS)
+    def test_join_with_self_is_identity_on_distinct(self, rows):
+        base = binding_set(rows).distinct()
+        joined = base.join(base).distinct()
+        assert {b.key() for b in joined} == {b.key() for b in base}
+
+    @given(ROWS)
+    def test_minus_self_is_empty(self, rows):
+        base = binding_set(rows)
+        assert len(base.minus(base)) == 0
+
+    @given(ROWS)
+    def test_distinct_idempotent(self, rows):
+        base = binding_set(rows)
+        once = base.distinct()
+        assert [b.key() for b in once.distinct()] == [b.key() for b in once]
+
+    @given(ROWS)
+    def test_group_by_partitions(self, rows):
+        base = binding_set(rows)
+        groups = base.group_by(["y"])
+        total = sum(len(members) for _, members in groups)
+        assert total == len(base)
+        seen_keys = [key["y"] for key, _ in groups]
+        assert len(seen_keys) == len(set(seen_keys))

@@ -1,0 +1,163 @@
+"""Property-based tests for graph matching and the DTD automaton."""
+
+import re
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.graph import LabeledGraph, MatchSpec, find_homomorphisms
+from repro.ssd.dtd import (
+    ChoiceParticle,
+    ContentParticle,
+    GlushkovAutomaton,
+    NameParticle,
+    Repetition,
+    SequenceParticle,
+)
+from repro.errors import DtdError
+
+# -- random graphs ---------------------------------------------------------------
+
+LABELS = ["p", "q"]
+EDGE_LABELS = ["x", "y"]
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 6, max_edges: int = 8):
+    g = LabeledGraph()
+    count = draw(st.integers(1, max_nodes))
+    for index in range(count):
+        g.add_node(index, draw(st.sampled_from(LABELS)))
+    for _ in range(draw(st.integers(0, max_edges))):
+        g.add_edge(
+            draw(st.integers(0, count - 1)),
+            draw(st.integers(0, count - 1)),
+            draw(st.sampled_from(EDGE_LABELS)),
+        )
+    return g
+
+
+@st.composite
+def patterns(draw, max_nodes: int = 3):
+    g = LabeledGraph()
+    count = draw(st.integers(1, max_nodes))
+    for index in range(count):
+        g.add_node(f"v{index}", draw(st.sampled_from(LABELS + ["*"])))
+    for _ in range(draw(st.integers(0, 3))):
+        g.add_edge(
+            f"v{draw(st.integers(0, count - 1))}",
+            f"v{draw(st.integers(0, count - 1))}",
+            draw(st.sampled_from(EDGE_LABELS)),
+        )
+    return g
+
+
+class TestMatcherProperties:
+    @given(patterns(), graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_are_valid(self, pattern, data):
+        """Every reported mapping actually satisfies labels and edges."""
+        for mapping in find_homomorphisms(pattern, data, MatchSpec(injective=False)):
+            for pnode in pattern.nodes():
+                wanted = pattern.label(pnode)
+                assert wanted == "*" or data.label(mapping[pnode]) == wanted
+            for edge in pattern.edges():
+                assert data.has_edge(
+                    mapping[edge.source], mapping[edge.target], edge.label
+                )
+
+    @given(patterns(), graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_injective_subset_of_homomorphic(self, pattern, data):
+        hom = {
+            tuple(sorted(m.items()))
+            for m in find_homomorphisms(pattern, data, MatchSpec(injective=False))
+        }
+        inj = {
+            tuple(sorted(m.items()))
+            for m in find_homomorphisms(pattern, data, MatchSpec(injective=True))
+        }
+        assert inj <= hom
+
+    @given(patterns(), graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_no_duplicate_matches(self, pattern, data):
+        seen = []
+        for mapping in find_homomorphisms(pattern, data, MatchSpec(injective=False)):
+            key = tuple(sorted(mapping.items()))
+            assert key not in seen
+            seen.append(key)
+
+    @given(patterns(), graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_under_data_growth(self, pattern, data):
+        """Adding data never removes matches (positive patterns only)."""
+        before = {
+            tuple(sorted(m.items()))
+            for m in find_homomorphisms(pattern, data, MatchSpec(injective=False))
+        }
+        grown = data.copy()
+        fresh = max(
+            (n for n in grown.nodes() if isinstance(n, int)), default=-1
+        ) + 1
+        grown.add_node(fresh, "p")
+        existing = next(iter(data.nodes()))
+        grown.add_edge(fresh, existing, "x")
+        after = {
+            tuple(sorted(m.items()))
+            for m in find_homomorphisms(pattern, grown, MatchSpec(injective=False))
+        }
+        assert before <= after
+
+
+# -- content models vs Python's re module -----------------------------------------
+
+@st.composite
+def particles(draw, depth: int = 2) -> ContentParticle:
+    repetition = draw(st.sampled_from(list(Repetition)))
+    if depth == 0 or draw(st.booleans()):
+        return NameParticle(draw(st.sampled_from("abc")), repetition)
+    items = tuple(
+        draw(particles(depth=depth - 1))
+        for _ in range(draw(st.integers(1, 3)))
+    )
+    kind = draw(st.sampled_from([SequenceParticle, ChoiceParticle]))
+    return kind(items, repetition)
+
+
+def particle_to_regex(particle: ContentParticle) -> str:
+    if isinstance(particle, NameParticle):
+        body = particle.name
+    elif isinstance(particle, SequenceParticle):
+        body = "(" + "".join(particle_to_regex(i) for i in particle.items) + ")"
+    else:
+        body = "(" + "|".join(particle_to_regex(i) for i in particle.items) + ")"
+    return f"(?:{body}){particle.repetition.value}"
+
+
+class TestGlushkovAgainstRe:
+    @given(particles(), st.lists(st.sampled_from("abc"), max_size=6))
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_regex_semantics(self, particle, word):
+        """Where the content model is deterministic, the Glushkov automaton
+        accepts exactly the words Python's regex engine accepts."""
+        try:
+            automaton = GlushkovAutomaton(particle)
+        except DtdError:
+            assume(False)  # nondeterministic model: XML forbids it anyway
+        pattern = re.compile(particle_to_regex(particle) + r"\Z")
+        assert automaton.accepts(word) == bool(pattern.match("".join(word)))
+
+    @given(particles())
+    @settings(max_examples=60, deadline=None)
+    def test_expected_after_is_sound(self, particle):
+        """Every symbol reported as expected leads somewhere."""
+        try:
+            automaton = GlushkovAutomaton(particle)
+        except DtdError:
+            assume(False)
+        for symbol in automaton.expected_after([]):
+            # consuming an expected symbol must not dead-end immediately:
+            # either the word is accepted or something else is expected
+            accepted = automaton.accepts([symbol])
+            follow_up = automaton.expected_after([symbol])
+            assert accepted or follow_up

@@ -1,0 +1,163 @@
+"""Property-based tests for the XML substrate (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ssd import (
+    E,
+    document,
+    parse_document,
+    pretty,
+    serialize,
+)
+from repro.ssd.datatypes import coerce, compare, equal_atoms
+from repro.ssd.lexer import unescape
+from repro.ssd.model import Document, Element, Text, strip_whitespace
+from repro.ssd.navigation import document_order, document_position
+from repro.ssd.serializer import escape_attribute, escape_text
+
+# -- generators ----------------------------------------------------------------
+
+TAGS = st.sampled_from(["a", "b", "c", "item", "node", "x-1", "_t"])
+ATTR_NAMES = st.sampled_from(["id", "year", "lang", "ref"])
+# any unicode-ish text without surrogate trouble
+TEXTS = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FF),
+    max_size=20,
+)
+
+
+@st.composite
+def elements(draw, depth: int = 3):
+    tag = draw(TAGS)
+    attributes = draw(
+        st.dictionaries(ATTR_NAMES, TEXTS, max_size=3)
+    )
+    element = Element(tag, attributes)
+    if depth > 0:
+        children = draw(
+            st.lists(
+                st.one_of(
+                    TEXTS.map(Text),
+                    elements(depth=depth - 1),
+                ),
+                max_size=3,
+            )
+        )
+        for child in children:
+            element.append(child)
+    return element
+
+
+@st.composite
+def documents(draw):
+    return document(draw(elements()))
+
+
+# -- parser / serializer ---------------------------------------------------------
+
+class TestRoundTrips:
+    @given(documents())
+    @settings(max_examples=60)
+    def test_serialize_parse_round_trip(self, doc):
+        """parse(serialize(d)) is structurally equal to d (modulo adjacent
+        text nodes, which serialization merges)."""
+        reparsed = parse_document(serialize(doc))
+        assert reparsed.text_content() == doc.text_content()
+        assert [e.tag for e in reparsed.iter()] == [e.tag for e in doc.iter()]
+        assert [e.attributes for e in reparsed.iter()] == [
+            e.attributes for e in doc.iter()
+        ]
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_pretty_preserves_structure_modulo_whitespace(self, doc):
+        reparsed = strip_whitespace(parse_document(pretty(doc)))
+        assert [e.tag for e in reparsed.iter()] == [e.tag for e in doc.iter()]
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_copy_equals_original(self, doc):
+        assert doc.copy().equals(doc)
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_serialization_deterministic(self, doc):
+        assert serialize(doc) == serialize(doc.copy())
+
+    @given(TEXTS)
+    def test_text_escaping_round_trip(self, text):
+        assert unescape(escape_text(text)) == text
+
+    @given(TEXTS)
+    def test_attribute_escaping_round_trip(self, text):
+        assert unescape(escape_attribute(text)) == text
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_size_counts_nodes(self, doc):
+        elements_count = sum(1 for _ in doc.iter())
+        others = sum(
+            1
+            for e in doc.iter()
+            for c in e.children
+            if not isinstance(c, Element)
+        )
+        assert doc.size() == elements_count + others
+
+
+class TestNavigationInvariants:
+    @given(documents())
+    @settings(max_examples=40)
+    def test_document_positions_strictly_increase(self, doc):
+        positions = [document_position(n) for n in document_order(doc.root)]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_parent_child_coherence(self, doc):
+        for element in doc.iter():
+            for child in element.children:
+                assert child.parent is element
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_ancestors_terminate_at_root(self, doc):
+        for element in doc.iter():
+            chain = list(element.ancestors())
+            if chain:
+                assert chain[-1] is doc.root
+
+
+NUMBERS = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+class TestDatatypeProperties:
+    @given(NUMBERS)
+    def test_numeric_strings_coerce_back(self, number):
+        assert equal_atoms(str(number), number)
+
+    @given(NUMBERS, NUMBERS)
+    def test_compare_antisymmetric(self, a, b):
+        assert compare(a, b) == -compare(b, a)
+
+    @given(NUMBERS, NUMBERS, NUMBERS)
+    def test_compare_transitive(self, a, b, c):
+        values = sorted([a, b, c])
+        assert compare(values[0], values[1]) <= 0
+        assert compare(values[1], values[2]) <= 0
+        assert compare(values[0], values[2]) <= 0
+
+    @given(st.text(max_size=10))
+    def test_coerce_idempotent(self, text):
+        once = coerce(text)
+        assert coerce(once) == once
+
+    @given(NUMBERS)
+    def test_equal_atoms_reflexive(self, value):
+        assert equal_atoms(value, value)

@@ -1,0 +1,65 @@
+"""Unit tests for atomic value coercion and comparison."""
+
+import pytest
+
+from repro.ssd import coerce, compare, equal_atoms
+
+
+class TestCoerce:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("42", 42),
+            (" -7 ", -7),
+            ("3.14", 3.14),
+            ("1e3", 1000.0),
+            ("true", True),
+            ("No", False),
+            ("hello", "hello"),
+            ("  padded  ", "padded"),
+            (5, 5),
+            (2.5, 2.5),
+            (True, True),
+        ],
+    )
+    def test_coercions(self, raw, expected):
+        result = coerce(raw)
+        assert result == expected
+        assert type(result) is type(expected)
+
+    def test_numeric_string_with_letters_stays_string(self):
+        assert coerce("12abc") == "12abc"
+
+
+class TestEqualAtoms:
+    def test_numeric_equality_across_representations(self):
+        assert equal_atoms("007", 7)
+        assert equal_atoms("2.0", 2)
+
+    def test_string_equality(self):
+        assert equal_atoms("abc", "abc")
+        assert not equal_atoms("abc", "abd")
+
+    def test_mixed_not_equal(self):
+        assert not equal_atoms("abc", 7)
+
+    def test_bool_as_number(self):
+        assert equal_atoms("true", 1)
+
+
+class TestCompare:
+    def test_numeric_order(self):
+        assert compare("10", "9") == 1
+        assert compare(3, "3") == 0
+        assert compare("2.5", 3) == -1
+
+    def test_lexicographic_order(self):
+        assert compare("apple", "banana") == -1
+        assert compare("pear", "pear") == 0
+        assert compare("zoo", "ant") == 1
+
+    def test_mixed_raises(self):
+        with pytest.raises(TypeError):
+            compare("apple", 3)
+        with pytest.raises(TypeError):
+            compare(3, "apple")

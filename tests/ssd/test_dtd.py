@@ -1,0 +1,268 @@
+"""Unit tests for DTD parsing, the Glushkov automaton, and validation."""
+
+import pytest
+
+from repro.errors import DtdError, ValidationError
+from repro.ssd import parse_document, parse_dtd, validate
+from repro.ssd.dtd import (
+    AttDefault,
+    AttType,
+    ChoiceParticle,
+    ContentKind,
+    GlushkovAutomaton,
+    NameParticle,
+    Repetition,
+    SequenceParticle,
+)
+
+BOOK_DTD = """
+<!ELEMENT BOOK (title?, price, AUTHOR*)>
+<!ATTLIST BOOK isbn CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT AUTHOR (first-name, last-name)>
+<!ELEMENT first-name (#PCDATA)>
+<!ELEMENT last-name (#PCDATA)>
+"""
+
+
+class TestDtdParsing:
+    def test_book_dtd(self):
+        dtd = parse_dtd(BOOK_DTD)
+        assert set(dtd.elements) == {
+            "BOOK", "title", "price", "AUTHOR", "first-name", "last-name"
+        }
+        book = dtd.declaration("BOOK")
+        assert book.content.kind is ContentKind.CHILDREN
+        assert str(book.content) == "(title?,price,AUTHOR*)"
+        assert book.attributes["isbn"].default is AttDefault.REQUIRED
+
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>")
+        assert dtd.declaration("a").content.kind is ContentKind.EMPTY
+        assert dtd.declaration("b").content.kind is ContentKind.ANY
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em | strong)*>")
+        model = dtd.declaration("p").content
+        assert model.kind is ContentKind.MIXED
+        assert model.mixed_names == ("em", "strong")
+
+    def test_pure_pcdata(self):
+        dtd = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        assert dtd.declaration("t").content.kind is ContentKind.MIXED
+
+    def test_bare_pcdata_keyword_tolerated(self):
+        dtd = parse_dtd("<!ELEMENT t PCDATA>")
+        assert dtd.declaration("t").content.kind is ContentKind.MIXED
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT r ((a | b)+, c?)>")
+        particle = dtd.declaration("r").content.particle
+        assert isinstance(particle, SequenceParticle)
+        assert isinstance(particle.items[0], ChoiceParticle)
+        assert particle.items[0].repetition is Repetition.PLUS
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT r (a, b | c)>")
+
+    def test_mixed_with_names_needs_star(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT p (#PCDATA | em)>")
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>")
+
+    def test_attlist_types(self):
+        dtd = parse_dtd(
+            '<!ELEMENT e ANY>'
+            '<!ATTLIST e i ID #IMPLIED r IDREF #IMPLIED rs IDREFS #IMPLIED '
+            ' n NMTOKEN #IMPLIED c (red|green) "red" f CDATA #FIXED "x">'
+        )
+        atts = dtd.declaration("e").attributes
+        assert atts["i"].att_type is AttType.ID
+        assert atts["rs"].att_type is AttType.IDREFS
+        assert atts["c"].enumeration == ("red", "green")
+        assert atts["c"].value == "red"
+        assert atts["f"].default is AttDefault.FIXED
+
+    def test_attlist_before_element(self):
+        dtd = parse_dtd("<!ATTLIST x a CDATA #IMPLIED><!ELEMENT x EMPTY>")
+        decl = dtd.declaration("x")
+        assert decl.content.kind is ContentKind.EMPTY
+        assert "a" in decl.attributes
+
+    def test_comments_and_pe_refs_skipped(self):
+        dtd = parse_dtd(
+            "<!-- header --> %common; <!ELEMENT a EMPTY> <!-- trailer -->"
+        )
+        assert "a" in dtd.elements
+
+    def test_entity_declarations_skipped(self):
+        dtd = parse_dtd('<!ENTITY x "y"><!ELEMENT a EMPTY>')
+        assert "a" in dtd.elements
+
+    def test_id_attribute_names(self):
+        dtd = parse_dtd('<!ELEMENT e ANY><!ATTLIST e code ID #REQUIRED>')
+        assert dtd.id_attribute_names() == {"code"}
+
+
+def _automaton(model: str) -> GlushkovAutomaton:
+    dtd = parse_dtd(f"<!ELEMENT r {model}>")
+    return GlushkovAutomaton(dtd.declaration("r").content.particle)
+
+
+class TestGlushkov:
+    @pytest.mark.parametrize(
+        "model,accepted,rejected",
+        [
+            ("(a)", [["a"]], [[], ["a", "a"], ["b"]]),
+            ("(a?)", [[], ["a"]], [["a", "a"]]),
+            ("(a*)", [[], ["a"], ["a"] * 5], [["b"]]),
+            ("(a+)", [["a"], ["a", "a"]], [[]]),
+            ("(a, b)", [["a", "b"]], [["a"], ["b", "a"], ["a", "b", "b"]]),
+            ("(a | b)", [["a"], ["b"]], [[], ["a", "b"]]),
+            ("(a?, b)", [["b"], ["a", "b"]], [["a"], ["a", "a", "b"]]),
+            (
+                "((a | b)*, c)",
+                [["c"], ["a", "c"], ["b", "a", "c"]],
+                [[], ["c", "a"]],
+            ),
+            ("(a, (b | c)+)", [["a", "b"], ["a", "c", "b"]], [["a"]]),
+            ("((a, b)*)", [[], ["a", "b"], ["a", "b", "a", "b"]], [["a"], ["a", "b", "a"]]),
+        ],
+    )
+    def test_acceptance(self, model, accepted, rejected):
+        automaton = _automaton(model)
+        for seq in accepted:
+            assert automaton.accepts(seq), (model, seq)
+        for seq in rejected:
+            assert not automaton.accepts(seq), (model, seq)
+
+    def test_expected_after(self):
+        automaton = _automaton("(a, b?, c)")
+        assert automaton.expected_after(["a"]) == {"b", "c"}
+        assert automaton.expected_after(["a", "b"]) == {"c"}
+        assert automaton.expected_after(["z"]) == set()
+
+    def test_nondeterministic_model_rejected(self):
+        # (a, b) | (a, c) matches 'a' two ways — forbidden by XML 1.0.
+        with pytest.raises(DtdError):
+            _automaton("((a, b) | (a, c))")
+
+    def test_deep_nesting(self):
+        automaton = _automaton("(((a?)*)+, b)")
+        assert automaton.accepts(["b"])
+        assert automaton.accepts(["a", "a", "b"])
+        assert not automaton.accepts(["a"])
+
+
+class TestValidate:
+    def make_doc(self, body: str):
+        return parse_document(body)
+
+    def test_valid_book(self):
+        dtd = parse_dtd(BOOK_DTD)
+        doc = self.make_doc(
+            '<BOOK isbn="1"><title>T</title><price>9</price>'
+            "<AUTHOR><first-name>A</first-name><last-name>B</last-name></AUTHOR>"
+            "</BOOK>"
+        )
+        assert validate(doc, dtd) == []
+
+    def test_optional_title_omitted(self):
+        dtd = parse_dtd(BOOK_DTD)
+        doc = self.make_doc('<BOOK isbn="1"><price>9</price></BOOK>')
+        assert validate(doc, dtd) == []
+
+    def test_missing_price(self):
+        dtd = parse_dtd(BOOK_DTD)
+        doc = self.make_doc('<BOOK isbn="1"><title>T</title></BOOK>')
+        violations = validate(doc, dtd)
+        assert any("do not match" in v for v in violations)
+
+    def test_missing_required_attribute(self):
+        dtd = parse_dtd(BOOK_DTD)
+        doc = self.make_doc("<BOOK><price>9</price></BOOK>")
+        assert any("isbn" in v for v in validate(doc, dtd))
+
+    def test_undeclared_element(self):
+        dtd = parse_dtd(BOOK_DTD)
+        doc = self.make_doc('<BOOK isbn="1"><price>9</price><extra/></BOOK>')
+        violations = validate(doc, dtd)
+        assert any("undeclared element" in v for v in violations)
+
+    def test_undeclared_attribute(self):
+        dtd = parse_dtd(BOOK_DTD)
+        doc = self.make_doc('<BOOK isbn="1" lang="en"><price>9</price></BOOK>')
+        assert any("undeclared attribute" in v for v in validate(doc, dtd))
+
+    def test_empty_element_with_content(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        doc = self.make_doc("<a>text</a>")
+        assert any("EMPTY" in v for v in validate(doc, dtd))
+
+    def test_text_in_element_content(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        doc = self.make_doc("<a>oops<b/></a>")
+        assert any("contains text" in v for v in validate(doc, dtd))
+
+    def test_mixed_content_allows_text(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>")
+        doc = self.make_doc("<p>a<em>b</em>c</p>")
+        assert validate(doc, dtd) == []
+
+    def test_mixed_content_rejects_other_elements(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA)><!ELEMENT q EMPTY>")
+        doc = self.make_doc("<p><q/></p>")
+        assert any("not allowed in mixed content" in v for v in validate(doc, dtd))
+
+    def test_id_uniqueness(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (e*)><!ELEMENT e EMPTY><!ATTLIST e i ID #IMPLIED>"
+        )
+        doc = self.make_doc('<r><e i="x"/><e i="x"/></r>')
+        assert any("duplicate ID" in v for v in validate(doc, dtd))
+
+    def test_idref_resolution(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (e*)><!ELEMENT e EMPTY>"
+            "<!ATTLIST e i ID #IMPLIED p IDREF #IMPLIED ps IDREFS #IMPLIED>"
+        )
+        good = self.make_doc('<r><e i="a"/><e p="a" ps="a a"/></r>')
+        assert validate(good, dtd) == []
+        bad = self.make_doc('<r><e i="a"/><e p="zz"/></r>')
+        assert any("matches no ID" in v for v in validate(bad, dtd))
+
+    def test_enumeration(self):
+        dtd = parse_dtd('<!ELEMENT e EMPTY><!ATTLIST e c (red|green) #IMPLIED>')
+        assert validate(self.make_doc('<e c="red"/>'), dtd) == []
+        assert any(
+            "must be one of" in v
+            for v in validate(self.make_doc('<e c="blue"/>'), dtd)
+        )
+
+    def test_fixed_attribute(self):
+        dtd = parse_dtd('<!ELEMENT e EMPTY><!ATTLIST e v CDATA #FIXED "1">')
+        assert validate(self.make_doc('<e v="1"/>'), dtd) == []
+        assert any("fixed" in v for v in validate(self.make_doc('<e v="2"/>'), dtd))
+
+    def test_nmtoken(self):
+        dtd = parse_dtd('<!ELEMENT e EMPTY><!ATTLIST e n NMTOKEN #IMPLIED>')
+        assert validate(self.make_doc('<e n="ok-1"/>'), dtd) == []
+        assert any(
+            "NMTOKEN" in v for v in validate(self.make_doc('<e n="no spaces"/>'), dtd)
+        )
+
+    def test_doctype_name_mismatch(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        doc = parse_document("<!DOCTYPE b><a/>")
+        assert any("DOCTYPE" in v for v in validate(doc, dtd))
+
+    def test_strict_mode_raises(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        doc = self.make_doc("<a>text</a>")
+        with pytest.raises(ValidationError):
+            validate(doc, dtd, collect=False)

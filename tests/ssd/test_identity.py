@@ -1,0 +1,76 @@
+"""Unit tests for the ID/IDREF identity overlay."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ssd import IdentityIndex, parse_document
+
+
+def site() -> str:
+    return (
+        '<site>'
+        '<page id="home"><link ref="about"/><link ref="products"/></page>'
+        '<page id="about"><link ref="home"/></page>'
+        '<page id="products" related="home about"/>'
+        '</site>'
+    )
+
+
+class TestIdentityIndex:
+    def test_element_by_id(self):
+        doc = parse_document(site())
+        idx = IdentityIndex(doc)
+        assert idx.element_by_id("about").get("id") == "about"
+        assert idx.element_by_id("missing") is None
+
+    def test_ids_enumeration(self):
+        idx = IdentityIndex(parse_document(site()))
+        assert set(idx.ids()) == {"home", "about", "products"}
+
+    def test_single_refs_resolved(self):
+        idx = IdentityIndex(parse_document(site()))
+        targets = {e.target.get("id") for e in idx.edges() if e.source.tag == "link"}
+        assert targets == {"home", "about", "products"}
+
+    def test_idrefs_list_resolved(self):
+        idx = IdentityIndex(
+            parse_document(site()), idrefs_attributes={"related"}
+        )
+        products = idx.element_by_id("products")
+        outgoing = idx.references_from(products)
+        assert {e.target.get("id") for e in outgoing} == {"home", "about"}
+
+    def test_references_to(self):
+        idx = IdentityIndex(parse_document(site()))
+        home = idx.element_by_id("home")
+        assert len(idx.references_to(home)) == 1
+
+    def test_dangling_ref_collected(self):
+        doc = parse_document('<r><a id="1"/><b ref="nope"/></r>')
+        idx = IdentityIndex(doc)
+        assert len(idx.dangling_refs) == 1
+        assert idx.dangling_refs[0][2] == "nope"
+
+    def test_dangling_ref_strict_raises(self):
+        doc = parse_document('<r><b ref="nope"/></r>')
+        with pytest.raises(ValidationError):
+            IdentityIndex(doc, strict=True)
+
+    def test_duplicate_id_collected(self):
+        doc = parse_document('<r><a id="x"/><b id="x"/></r>')
+        idx = IdentityIndex(doc)
+        assert idx.duplicate_ids == ["x"]
+        # First declaration wins.
+        assert idx.element_by_id("x").tag == "a"
+
+    def test_duplicate_id_strict_raises(self):
+        doc = parse_document('<r><a id="x"/><b id="x"/></r>')
+        with pytest.raises(ValidationError):
+            IdentityIndex(doc, strict=True)
+
+    def test_custom_attribute_names(self):
+        doc = parse_document('<r><a key="k1"/><b points="k1"/></r>')
+        idx = IdentityIndex(
+            doc, id_attributes={"key"}, idref_attributes={"points"}
+        )
+        assert len(idx.edges()) == 1

@@ -1,0 +1,182 @@
+"""Unit tests for the node model."""
+
+import pytest
+
+from repro.ssd import Comment, Document, E, Element, PI, Text, document
+from repro.ssd.model import ProcessingInstruction
+
+
+def sample() -> Document:
+    return document(
+        E(
+            "bib",
+            E("book", {"year": "1999"}, E("title", "Data on the Web")),
+            E("book", {"year": "2000"}, E("title", "XML Handbook")),
+        )
+    )
+
+
+class TestElement:
+    def test_tag_required(self):
+        with pytest.raises(ValueError):
+            Element("")
+
+    def test_append_string_becomes_text(self):
+        e = Element("p")
+        node = e.append("hello")
+        assert isinstance(node, Text)
+        assert e.text_content() == "hello"
+
+    def test_append_sets_parent(self):
+        parent = Element("a")
+        child = Element("b")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_append_rejects_attached_node(self):
+        parent = Element("a")
+        child = Element("b")
+        parent.append(child)
+        other = Element("c")
+        with pytest.raises(ValueError):
+            other.append(child)
+
+    def test_insert_orders_children(self):
+        e = Element("r")
+        e.append(Element("b"))
+        e.insert(0, Element("a"))
+        assert [c.tag for c in e.child_elements()] == ["a", "b"]
+
+    def test_remove_detaches(self):
+        parent = Element("a")
+        child = parent.append(Element("b"))
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_find_and_find_all(self):
+        root = sample().root
+        assert root.find("book").get("year") == "1999"
+        assert len(root.find_all("book")) == 2
+        assert root.find("missing") is None
+
+    def test_iter_with_tag(self):
+        doc = sample()
+        titles = list(doc.iter("title"))
+        assert [t.text_content() for t in titles] == ["Data on the Web", "XML Handbook"]
+
+    def test_iter_document_order(self):
+        doc = sample()
+        tags = [e.tag for e in doc.iter()]
+        assert tags == ["bib", "book", "title", "book", "title"]
+
+    def test_attributes(self):
+        e = Element("x", {"a": "1"})
+        e.set("b", "2")
+        assert e.get("a") == "1"
+        assert e.get("z", "dflt") == "dflt"
+
+    def test_immediate_text_excludes_descendants(self):
+        e = E("p", "a", E("b", "inner"), "c")
+        assert e.immediate_text() == "ac"
+        assert e.text_content() == "ainnerc"
+
+    def test_size(self):
+        assert sample().size() == 5 + 2  # 5 elements + 2 text nodes
+
+    def test_structural_equality(self):
+        assert sample().root.equals(sample().root)
+
+    def test_equality_ignores_comments(self):
+        a = E("x", E("y"))
+        b = E("x", Comment("noise"), E("y"))
+        assert a.equals(b)
+
+    def test_inequality_on_attributes(self):
+        assert not E("x", {"a": "1"}).equals(E("x", {"a": "2"}))
+
+    def test_inequality_on_child_order(self):
+        a = E("x", E("p"), E("q"))
+        b = E("x", E("q"), E("p"))
+        assert not a.equals(b)
+
+    def test_copy_is_deep_and_detached(self):
+        original = sample().root
+        clone = original.copy()
+        assert clone.parent is None
+        assert clone.equals(original)
+        clone.find("book").set("year", "1234")
+        assert original.find("book").get("year") == "1999"
+
+
+class TestNodeNavigation:
+    def test_ancestors(self):
+        doc = sample()
+        title = next(doc.iter("title"))
+        assert [a.tag for a in title.ancestors()] == ["book", "bib"]
+
+    def test_document_property(self):
+        doc = sample()
+        title = next(doc.iter("title"))
+        assert title.document is doc
+        assert Element("loose").document is None
+
+    def test_root_element(self):
+        doc = sample()
+        title = next(doc.iter("title"))
+        assert title.root_element().tag == "bib"
+
+
+class TestDocument:
+    def test_single_root_enforced(self):
+        doc = Document(Element("a"))
+        with pytest.raises(ValueError):
+            doc.append(Element("b"))
+
+    def test_no_nonwhitespace_text(self):
+        doc = Document()
+        doc.append(Text("   \n"))
+        with pytest.raises(ValueError):
+            doc.append(Text("text"))
+
+    def test_prolog_nodes(self):
+        doc = Document()
+        doc.append(Comment("header"))
+        doc.append(PI("xml-stylesheet", 'href="x.css"'))
+        doc.append(Element("root"))
+        assert doc.root.tag == "root"
+        assert isinstance(doc.children[0], Comment)
+        assert isinstance(doc.children[1], ProcessingInstruction)
+
+    def test_copy_preserves_doctype(self):
+        doc = sample()
+        doc.doctype_name = "bib"
+        clone = doc.copy()
+        assert clone.doctype_name == "bib"
+        assert clone.equals(doc)
+
+    def test_equals(self):
+        assert sample().equals(sample())
+        other = sample()
+        other.root.find("book").set("year", "1")
+        assert not sample().equals(other)
+
+
+class TestTextAndFriends:
+    def test_text_equality(self):
+        assert Text("a").equals(Text("a"))
+        assert not Text("a").equals(Text("b"))
+        assert not Text("a").equals(Comment("a"))
+
+    def test_comment_copy(self):
+        c = Comment("note")
+        assert c.copy().equals(c)
+
+    def test_pi_equality(self):
+        assert PI("t", "d").equals(PI("t", "d"))
+        assert not PI("t", "d").equals(PI("t", "e"))
+
+    def test_repr_smoke(self):
+        assert "Text" in repr(Text("x" * 50))
+        assert "Element" in repr(Element("a"))
+        assert "Document" in repr(sample())

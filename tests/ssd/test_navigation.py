@@ -1,0 +1,82 @@
+"""Unit tests for navigation axes."""
+
+from repro.ssd import E, document, parse_document
+from repro.ssd import navigation as nav
+
+
+def sample():
+    return parse_document(
+        "<a><b><d/><e>t</e></b><c/><b2/></a>"
+    )
+
+
+class TestAxes:
+    def test_children(self):
+        doc = sample()
+        assert [c.tag for c in nav.child_elements(doc.root)] == ["b", "c", "b2"]
+
+    def test_children_of_document(self):
+        doc = sample()
+        assert [c.tag for c in nav.child_elements(doc)] == ["a"]
+
+    def test_children_of_text_is_empty(self):
+        doc = parse_document("<a>t</a>")
+        text = doc.root.children[0]
+        assert list(nav.children(text)) == []
+
+    def test_descendants_document_order(self):
+        doc = sample()
+        tags = [e.tag for e in nav.descendant_elements(doc.root)]
+        assert tags == ["b", "d", "e", "c", "b2"]
+
+    def test_descendant_or_self(self):
+        doc = sample()
+        tags = [e.tag for e in nav.descendant_or_self_elements(doc.root)]
+        assert tags[0] == "a"
+        assert len(tags) == 6
+
+    def test_parent_element(self):
+        doc = sample()
+        b = doc.root.find("b")
+        assert nav.parent_element(b) is doc.root
+        assert nav.parent_element(doc.root) is None
+
+    def test_ancestors(self):
+        doc = sample()
+        d = next(doc.iter("d"))
+        assert [a.tag for a in nav.ancestors(d)] == ["b", "a"]
+
+    def test_following_siblings(self):
+        doc = sample()
+        b = doc.root.find("b")
+        assert [s.tag for s in nav.following_siblings(b)] == ["c", "b2"]
+
+    def test_preceding_siblings(self):
+        doc = sample()
+        b2 = doc.root.find("b2")
+        assert [s.tag for s in nav.preceding_siblings(b2)] == ["c", "b"]
+
+    def test_document_order_includes_text(self):
+        doc = sample()
+        names = [
+            getattr(n, "tag", "#text") for n in nav.document_order(doc.root)
+        ]
+        assert names == ["a", "b", "d", "e", "#text", "c", "b2"]
+
+    def test_document_position_monotone(self):
+        doc = sample()
+        positions = [nav.document_position(e) for e in doc.iter()]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_document_position_detached(self):
+        loose = E("x", E("y"))
+        y = loose.find("y")
+        assert nav.document_position(loose) == 0
+        assert nav.document_position(y) == 1
+
+    def test_depth(self):
+        doc = sample()
+        d = next(doc.iter("d"))
+        assert nav.depth(doc.root) == 0
+        assert nav.depth(d) == 2

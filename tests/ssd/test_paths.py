@@ -1,0 +1,117 @@
+"""Unit tests for the path-expression engine."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.ssd import parse_document
+from repro.ssd.paths import evaluate_path, parse_path
+
+
+@pytest.fixture
+def doc():
+    return parse_document(
+        '<bib>'
+        '<book year="1994"><title>TCP</title><author><last>Stevens</last></author></book>'
+        '<book year="2000"><title>Web</title></book>'
+        '<article><title>GQL</title></article>'
+        '</bib>'
+    )
+
+
+def tags(elements):
+    return [e.tag for e in elements]
+
+
+class TestParsing:
+    def test_simple(self):
+        path = parse_path("/bib/book")
+        assert path.absolute
+        assert [s.axis for s in path.steps] == ["child", "child"]
+
+    def test_descendant(self):
+        path = parse_path("//last")
+        assert path.steps[0].axis == "descendant"
+
+    def test_wildcard(self):
+        assert parse_path("/bib/*").steps[1].tag is None
+
+    def test_predicates(self):
+        path = parse_path("/bib/book[@year='2000'][title]")
+        predicates = path.steps[1].predicates
+        assert predicates[0].kind == "attr" and predicates[0].value == "2000"
+        assert predicates[1].kind == "child"
+
+    def test_round_trip_str(self):
+        for source in (
+            "/bib/book[@year='2000']",
+            "//book[not(author)]",
+            "/bib//last",
+            "book[text()='x']",
+        ):
+            assert str(parse_path(source)) == source
+
+    @pytest.mark.parametrize(
+        "bad", ["", "/", "/bib/[x]", "/bib/book[@year=2000]", "/bib/book[", "a b"]
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_path(bad)
+
+
+class TestEvaluation:
+    def test_absolute_child_chain(self, doc):
+        assert tags(evaluate_path("/bib/book/title", doc)) == ["title", "title"]
+
+    def test_root_must_match(self, doc):
+        assert evaluate_path("/zzz/book", doc) == []
+
+    def test_descendant_from_root(self, doc):
+        assert tags(evaluate_path("//last", doc)) == ["last"]
+
+    def test_descendant_includes_root_level(self, doc):
+        assert len(evaluate_path("//bib", doc)) == 1
+
+    def test_wildcard_step(self, doc):
+        assert tags(evaluate_path("/bib/*", doc)) == ["book", "book", "article"]
+
+    def test_attr_predicate(self, doc):
+        result = evaluate_path("/bib/book[@year='2000']/title", doc)
+        assert [e.text_content() for e in result] == ["Web"]
+
+    def test_attr_existence(self, doc):
+        assert len(evaluate_path("/bib/*[@year]", doc)) == 2
+
+    def test_text_predicate(self, doc):
+        assert len(evaluate_path("//title[text()='TCP']", doc)) == 1
+        assert len(evaluate_path("//title[text()]", doc)) == 3
+
+    def test_child_predicate(self, doc):
+        assert len(evaluate_path("/bib/book[author]", doc)) == 1
+
+    def test_nested_child_predicate(self, doc):
+        assert len(evaluate_path("/bib/book[author[last]]", doc)) == 1
+
+    def test_negated_predicate(self, doc):
+        assert len(evaluate_path("/bib/book[not(author)]", doc)) == 1
+        assert len(evaluate_path("/bib/*[not(@year)]", doc)) == 1
+
+    def test_relative_from_element(self, doc):
+        book = doc.root.find("book")
+        assert tags(evaluate_path("author/last", book)) == ["last"]
+
+    def test_document_order_and_uniqueness(self, doc):
+        result = evaluate_path("//title", doc)
+        positions = [
+            [e for e in doc.iter()].index(t) for t in result
+        ]
+        assert positions == sorted(positions)
+        assert len({id(e) for e in result}) == len(result)
+
+    def test_empty_document(self):
+        from repro.ssd.model import Document
+
+        assert evaluate_path("//a", Document()) == []
+
+    def test_string_or_parsed_equivalent(self, doc):
+        parsed = parse_path("//title")
+        assert evaluate_path(parsed, doc) == evaluate_path("//title", doc)

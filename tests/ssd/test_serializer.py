@@ -1,0 +1,76 @@
+"""Unit tests for serialization and pretty printing."""
+
+from repro.ssd import C, E, PI, document, parse_document, pretty, serialize
+from repro.ssd.model import strip_whitespace
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(E("a")) == "<a/>"
+
+    def test_attributes_escaped(self):
+        e = E("a", {"t": 'x "<&'})
+        assert serialize(e) == '<a t="x &quot;&lt;&amp;"/>'
+
+    def test_text_escaped(self):
+        assert serialize(E("p", "a < b & c > d")) == "<p>a &lt; b &amp; c &gt; d</p>"
+
+    def test_cdata_preserved(self):
+        doc = parse_document("<p><![CDATA[<raw>]]></p>")
+        assert serialize(doc) == "<p><![CDATA[<raw>]]></p>"
+
+    def test_comment_and_pi(self):
+        e = E("r", C(" note "), PI("app", "x=1"))
+        assert serialize(e) == "<r><!-- note --><?app x=1?></r>"
+
+    def test_pi_without_data(self):
+        assert serialize(PI("marker")) == "<?marker?>"
+
+    def test_doctype(self):
+        doc = document(E("bib"))
+        doc.doctype_name = "bib"
+        assert serialize(doc) == "<!DOCTYPE bib><bib/>"
+
+    def test_doctype_with_internal(self):
+        doc = document(E("r"))
+        doc.doctype_name = "r"
+        doc.doctype_internal = "<!ELEMENT r ANY>"
+        assert serialize(doc) == "<!DOCTYPE r [<!ELEMENT r ANY>]><r/>"
+
+    def test_attribute_whitespace_round_trip(self):
+        e = E("a", {"t": "line1\nline2\ttabbed"})
+        text = serialize(e)
+        assert "&#10;" in text and "&#9;" in text
+        reparsed = parse_document(text)
+        assert reparsed.root.get("t") == "line1\nline2\ttabbed"
+
+    def test_round_trip_identity(self):
+        source = '<a x="1"><b>t&amp;t</b><c/><!--n--></a>'
+        assert serialize(parse_document(source)) == source
+
+
+class TestPretty:
+    def test_indentation(self):
+        doc = document(E("a", E("b", E("c", "text"))))
+        assert pretty(doc) == "<a>\n  <b>\n    <c>text</c>\n  </b>\n</a>"
+
+    def test_inline_text_elements(self):
+        assert pretty(E("t", "hello")) == "<t>hello</t>"
+
+    def test_empty_element(self):
+        assert pretty(E("x", {"a": "1"})) == '<x a="1"/>'
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse_document("<a>\n  <b>x</b>\n</a>")
+        assert pretty(doc) == "<a>\n  <b>x</b>\n</a>"
+
+    def test_pretty_reparse_equals_modulo_whitespace(self):
+        source = '<bib><book year="1999"><title>T</title><price>39</price></book></bib>'
+        doc = parse_document(source)
+        reparsed = parse_document(pretty(doc))
+        assert strip_whitespace(reparsed).equals(doc)
+
+    def test_mixed_inline(self):
+        e = E("p", "before ", E("em", "x"), " after")
+        out = pretty(e)
+        assert "<em>x</em>" in out and "before" in out

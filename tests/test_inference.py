@@ -1,0 +1,197 @@
+"""Tests for schema inference (DataGuides) and G-Log answer graphs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.ssd import E, document, infer_schema, parse_document
+from repro.wglog import InstanceGraph, answer_graph, infer_wg_schema, parse_rule
+from repro.workloads import bibliography, museum_graph, site_graph
+
+
+class TestXmlSchemaInference:
+    def test_inferred_schema_validates_source(self):
+        for seed in range(3):
+            doc = bibliography(30, seed=seed)
+            schema = infer_schema(doc)
+            assert schema.validate(doc) == [], seed
+
+    def test_multiplicities(self):
+        doc = parse_document(
+            "<r><a/><a/><b/></r>"
+        )
+        schema = infer_schema(doc)
+        edges = {e.child_id: e for e in schema.element_edges("r")}
+        assert edges["a"].max is None     # repeated -> unbounded
+        assert edges["b"].max == 1
+
+    def test_optionality_across_occurrences(self):
+        doc = parse_document("<r><x><opt/></x><x/></r>")
+        schema = infer_schema(doc)
+        edge = schema.element_edges("x")[0]
+        assert edge.min == 0
+
+    def test_required_attribute(self):
+        doc = parse_document('<r><e k="1"/><e k="2"/></r>')
+        schema = infer_schema(doc)
+        atts = {a.name: a for a in schema.attribute_nodes("e")}
+        assert atts["k"].required
+
+    def test_optional_attribute(self):
+        doc = parse_document('<r><e k="1"/><e/></r>')
+        schema = infer_schema(doc)
+        atts = {a.name: a for a in schema.attribute_nodes("e")}
+        assert not atts["k"].required
+
+    def test_enumeration_detection(self):
+        doc = parse_document(
+            '<r><e c="red"/><e c="red"/><e c="green"/><e c="green"/><e c="red"/></r>'
+        )
+        schema = infer_schema(doc)
+        atts = {a.name: a for a in schema.attribute_nodes("e")}
+        assert set(atts["c"].values) == {"red", "green"}
+        # a fresh value is now a violation
+        bad = parse_document('<r><e c="blue"/></r>')
+        assert any("must be one of" in v for v in schema.validate(bad))
+
+    def test_distinct_values_not_enumerated(self):
+        doc = parse_document('<r><e id="1"/><e id="2"/><e id="3"/></r>')
+        schema = infer_schema(doc)
+        atts = {a.name: a for a in schema.attribute_nodes("e")}
+        assert atts["id"].values == ()
+
+    def test_text_detection(self):
+        doc = parse_document("<r><t>hello</t><u/></r>")
+        schema = infer_schema(doc)
+        assert schema.allows_text("t")
+        assert not schema.allows_text("u")
+
+    def test_multiple_documents(self):
+        docs = [
+            parse_document("<r><a/></r>"),
+            parse_document("<r><b/></r>"),
+        ]
+        schema = infer_schema(docs)
+        for doc in docs:
+            assert schema.validate(doc) == []
+
+    def test_disagreeing_roots_rejected(self):
+        with pytest.raises(SchemaError, match="root"):
+            infer_schema([parse_document("<a/>"), parse_document("<b/>")])
+
+    def test_no_documents_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_schema([])
+
+    TAGS = ["a", "b", "c"]
+
+    @st.composite
+    @staticmethod
+    def docs(draw, depth: int = 3):
+        def build(level):
+            element = E(draw(st.sampled_from(TestXmlSchemaInference.TAGS)))
+            if draw(st.booleans()):
+                element.set("k", draw(st.sampled_from(["1", "2"])))
+            if draw(st.booleans()):
+                element.append(draw(st.sampled_from(["txt", "more"])))
+            if level > 0:
+                for _ in range(draw(st.integers(0, 3))):
+                    element.append(build(level - 1))
+            return element
+
+        return document(build(depth))
+
+    @given(docs())
+    @settings(max_examples=60, deadline=None)
+    def test_property_inferred_schema_accepts_source(self, doc):
+        schema = infer_schema(doc)
+        assert schema.validate(doc) == []
+
+
+class TestWgSchemaInference:
+    def test_inferred_schema_conforms(self):
+        for maker, size in ((site_graph, 25), (museum_graph, 40)):
+            instance = maker(size, seed=1)
+            schema = infer_wg_schema(instance)
+            assert schema.conform(instance) == []
+
+    def test_slot_types_and_requiredness(self):
+        instance = InstanceGraph()
+        a = instance.add_entity("P", "a")
+        b = instance.add_entity("P", "b")
+        instance.add_slot(a, "size", 5)
+        instance.add_slot(b, "size", 7)
+        instance.add_slot(a, "note", "x")
+        schema = infer_wg_schema(instance)
+        assert schema.slot_decl("P", "size").value_type == "int"
+        assert schema.slot_decl("P", "size").required
+        assert not schema.slot_decl("P", "note").required
+
+    def test_conflicting_types_widen_to_any(self):
+        instance = InstanceGraph()
+        a = instance.add_entity("P", "a")
+        b = instance.add_entity("P", "b")
+        instance.add_slot(a, "v", 5)
+        instance.add_slot(b, "v", "five")
+        schema = infer_wg_schema(instance)
+        assert schema.slot_decl("P", "v").value_type == "any"
+
+    def test_relations_collected(self):
+        instance = InstanceGraph()
+        a = instance.add_entity("A", "a")
+        b = instance.add_entity("B", "b")
+        instance.relate(a, b, "r")
+        schema = infer_wg_schema(instance)
+        assert schema.allows_relation("A", "r", "B")
+        assert not schema.allows_relation("B", "r", "A")
+
+
+class TestAnswerGraph:
+    def library(self):
+        instance = InstanceGraph()
+        i = instance.add_entity("Doc", "i")
+        a = instance.add_entity("Doc", "a")
+        b = instance.add_entity("Doc", "b")
+        c = instance.add_entity("Doc", "c")
+        instance.add_slot(a, "title", "A")
+        instance.relate(i, a, "index")
+        instance.relate(i, b, "index")
+        instance.relate(a, c, "link")
+        return instance
+
+    def test_induced_subgraph(self):
+        rule = parse_rule("rule q { match { x: Doc  y: Doc  x -index-> y } }")
+        answer = answer_graph(rule, self.library())
+        assert set(answer.entities()) == {"i", "a", "b"}
+        assert answer.has_relationship("i", "a", "index")
+        assert not answer.has_relationship("a", "c", "link")
+
+    def test_slots_carried(self):
+        rule = parse_rule("rule q { match { x: Doc  y: Doc  x -index-> y } }")
+        answer = answer_graph(rule, self.library())
+        assert answer.slot_value("a", "title") == "A"
+
+    def test_empty_answer(self):
+        rule = parse_rule("rule q { match { x: Monument } }")
+        answer = answer_graph(rule, self.library())
+        assert answer.entity_count() == 0
+
+    def test_answer_conforms_to_inferred_schema(self):
+        instance = self.library()
+        schema = infer_wg_schema(instance)
+        rule = parse_rule("rule q { match { x: Doc  y: Doc  x -link-> y } }")
+        answer = answer_graph(rule, instance)
+        # requiredness may differ (title is not on every Doc), so check
+        # entities/relations only
+        for entity in answer.entities():
+            assert schema.has_entity(answer.label(entity))
+        for edge in answer.relationship_edges():
+            assert schema.allows_relation(
+                answer.label(edge.source), edge.label, answer.label(edge.target)
+            )
+
+    def test_path_edges_contribute_endpoints_only(self):
+        rule = parse_rule("rule q { match { x: Doc  y: Doc  x -link*-> y } }")
+        answer = answer_graph(rule, self.library())
+        assert set(answer.entities()) == {"a", "c"}
+        assert sum(1 for _ in answer.relationship_edges()) == 0

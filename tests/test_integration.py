@@ -1,0 +1,128 @@
+"""End-to-end integration tests across every subsystem."""
+
+import pytest
+
+from repro.session import QuerySession
+from repro.ssd import parse_document, parse_dtd, serialize, validate
+from repro.ssd.paths import evaluate_path
+from repro.visual import XmlglEditor, load_diagram, save_diagram
+from repro.wglog import (
+    apply_program,
+    document_to_instance,
+    parse_wglog,
+)
+from repro.wglog.datalog import to_datalog
+from repro.workloads import BIB_DTD, bibliography, site_graph, site_schema
+from repro.xmlgl import check_query_against_schema, evaluate_rule, to_path
+from repro.xmlgl.dsl import parse_rule
+from repro.xmlgl.schema import dtd_to_schema
+
+
+class TestFullXmlglPipeline:
+    """workload → schema check → editor → persist → compile → run →
+    validate the result → cross-check via the path engine."""
+
+    def test_pipeline(self, tmp_path):
+        doc = bibliography(40, seed=5)
+        dtd = parse_dtd(BIB_DTD)
+        assert validate(doc, dtd) == []
+        schema, _ = dtd_to_schema(dtd, "bib")
+
+        # author the query through editor gestures
+        editor = XmlglEditor("pipeline")
+        bib = editor.add_element_box("bib", node_id="R", anchored=True)
+        book = editor.add_element_box("book", node_id="B")
+        editor.draw_arc(bib, book)
+        title = editor.add_element_box("title", node_id="T")
+        editor.draw_arc(book, title)
+
+        result_box = editor.add_construct_box("titles")
+        editor.add_triangle(result_box, "T")
+
+        # persist the drawing and reopen it
+        path = tmp_path / "drawing.json"
+        editor.save(str(path))
+        reopened = XmlglEditor.open(str(path))
+        rule = reopened.compile()
+
+        # the query is schema-satisfiable
+        assert check_query_against_schema(rule.queries[0], schema) == []
+
+        # run it
+        result = evaluate_rule(rule, doc)
+        books = len(doc.root.find_all("book"))
+        assert len(result.find_all("title")) == books
+
+        # cross-check through the translated path expression
+        path_expr = to_path(rule.queries[0], "T")
+        assert len(evaluate_path(path_expr, doc)) == books
+
+    def test_session_refinement_over_workload(self):
+        doc = bibliography(30, seed=2)
+        session = QuerySession(doc)
+        all_books = session.run(
+            "query { book as B } construct { r { count(B) } }"
+        )
+        recent = session.run(
+            "query { book as B { @year as Y } where Y >= 1995 }"
+            " construct { r { count(B) } }"
+        )
+        assert int(recent.root.text_content()) <= int(all_books.root.text_content())
+        assert session.back().index == 0
+
+
+class TestFullWglogPipeline:
+    """workload → schema conformance → rules (DSL) → datalog reading →
+    generative fixpoint → query the derived structure → export."""
+
+    def test_pipeline(self):
+        schema = site_schema()
+        site = site_graph(pages=25, seed=4)
+        assert schema.conform(site) == []
+
+        source = """
+        rule base {
+          match { a: Page  b: Page  a -link-> b }
+          construct { a -reach-> b }
+        }
+        rule step {
+          match { a: Page  b: Page  c: Page  a -reach-> b  b -link-> c }
+          construct { a -reach-> c }
+        }
+        rule hub {
+          match { p: Page  q: Page  p -reach-> q }
+          construct { h: HubList collect  h -hub-> p }
+        }
+        """
+        _, rules = parse_wglog(source)
+        # every rule has a logical reading
+        for rule in rules:
+            assert ":-" in to_datalog(rule)
+        apply_program(site, rules)
+        reach = sum(1 for e in site.relationship_edges() if e.label == "reach")
+        assert reach > 0
+        hubs = site.entities("HubList")
+        assert len(hubs) == 1
+        # applying again changes nothing
+        assert apply_program(site, rules) == 0
+
+    def test_xml_to_graph_and_back_query_parity(self):
+        doc = bibliography(20, seed=6)
+        instance, _ = document_to_instance(doc)
+        # same query in both worlds
+        xg = parse_rule(
+            "query { book as B { title as T } } construct { r { collect T } }"
+        )
+        xg_titles = {
+            e.text_content()
+            for e in evaluate_rule(xg, doc).find_all("title")
+        }
+        from repro.wglog import parse_rule as wg_parse
+        from repro.wglog.semantics import query as wg_query
+
+        wg = wg_parse("rule t { match { b: book  t: title  b -child-> t } }")
+        wg_titles = {
+            str(instance.slot_value(binding["t"], "text"))
+            for binding in wg_query(wg, instance)
+        }
+        assert xg_titles == wg_titles

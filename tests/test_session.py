@@ -1,0 +1,109 @@
+"""Tests for the interactive query session (BBQ-style cycles)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.session import QuerySession
+from repro.ssd import parse_document
+from repro.xmlgl import QueryBuilder, Rule, collect, elem
+
+DOC = parse_document(
+    '<bib><book year="1999"><title>A</title></book>'
+    '<book year="1990"><title>B</title></book></bib>'
+)
+
+ALL = "query { book as B } construct { all { collect B } }"
+RECENT = (
+    "query { book as B { @year as Y } where Y >= 1995 }"
+    " construct { recent { collect B } }"
+)
+COUNT = "query { book as B } construct { n { count(B) } }"
+
+
+class TestCycles:
+    def test_run_returns_result(self):
+        session = QuerySession(DOC)
+        result = session.run(ALL)
+        assert len(result.root.find_all("book")) == 2
+
+    def test_refinement_sequence(self):
+        session = QuerySession(DOC)
+        session.run(ALL)
+        result = session.run(RECENT)
+        assert len(result.root.find_all("book")) == 1
+        assert len(session) == 2
+        assert session.current().index == 1
+
+    def test_rule_objects_accepted(self):
+        q = QueryBuilder()
+        q.box("book", id="B")
+        rule = Rule([q.graph()], elem("r", collect("B")))
+        session = QuerySession(DOC)
+        session.run(rule)
+        assert session.current().source_text is None
+
+    def test_stats_recorded(self):
+        session = QuerySession(DOC)
+        session.run(ALL)
+        assert session.current().stats.bindings_produced == 2
+        assert session.current().seconds >= 0
+
+    def test_empty_session_has_no_current(self):
+        with pytest.raises(ReproError):
+            QuerySession(DOC).current()
+
+
+class TestNavigation:
+    def make(self):
+        session = QuerySession(DOC)
+        session.run(ALL)
+        session.run(RECENT)
+        session.run(COUNT)
+        return session
+
+    def test_back_and_forward(self):
+        session = self.make()
+        assert session.back().index == 1
+        assert session.back().index == 0
+        assert session.back() is None
+        assert session.forward().index == 1
+        assert session.forward().index == 2
+        assert session.forward() is None
+
+    def test_run_truncates_forward_tail(self):
+        session = self.make()
+        session.back()
+        session.back()  # at cycle 0
+        session.run(RECENT)
+        assert len(session) == 2
+        assert session.current().index == 1
+        assert session.forward() is None
+
+    def test_history_keeps_forward_tail_until_truncated(self):
+        session = self.make()
+        session.back()
+        assert len(session.history()) == 3
+
+    def test_summary_marks_current(self):
+        session = self.make()
+        session.back()
+        summary = session.summary()
+        assert summary.count("->") == 1
+        assert "cycle 1" in summary
+
+    def test_index_cache_shared_across_cycles(self):
+        session = QuerySession(DOC)
+        session.run(ALL)
+        first_cache = dict(session._indexes)
+        session.run(RECENT)
+        assert session._indexes.keys() == first_cache.keys()
+
+
+class TestMultiSourceSession:
+    def test_named_sources(self):
+        other = parse_document("<bib><article><title>X</title></article></bib>")
+        session = QuerySession({"books": DOC, "arts": other})
+        result = session.run(
+            "query books { book as B } construct { r { count(B) } }"
+        )
+        assert result.root.text_content() == "2"

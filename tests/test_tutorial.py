@@ -1,0 +1,161 @@
+"""The tutorial's snippets, executed — docs/TUTORIAL.md cannot rot."""
+
+import pytest
+
+from repro.ssd import parse_document
+from repro.wglog import (
+    apply_program,
+    apply_rule,
+    document_to_instance,
+    parse_wglog,
+)
+from repro.wglog import parse_rule as wg_rule
+from repro.wglog.semantics import query
+from repro.xmlgl import evaluate_rule
+from repro.xmlgl.dsl import parse_rule
+
+
+@pytest.fixture
+def doc():
+    return parse_document(
+        """
+<bib>
+  <book year="2000" id="b1">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <price>39.95</price>
+  </book>
+  <book year="1994" id="b2" cites="b1">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+</bib>"""
+    )
+
+
+class TestXmlglSteps:
+    def test_step1_box_and_triangle(self, doc):
+        rule = parse_rule(
+            "query { book as B } construct { result { collect B } }"
+        )
+        assert len(evaluate_rule(rule, doc).find_all("book")) == 2
+
+    def test_step2_arcs_and_circles(self, doc):
+        rule = parse_rule(
+            """
+            query { book as B { @year as Y  title as T } }
+            construct { result { collect T } }
+            """
+        )
+        assert len(evaluate_rule(rule, doc).find_all("title")) == 2
+
+    def test_step3_predicates(self, doc):
+        rule = parse_rule(
+            "query { book as B { @year as Y  title as T } where Y >= 1995 }"
+            " construct { result { collect T } }"
+        )
+        result = evaluate_rule(rule, doc)
+        assert [t.text_content() for t in result.find_all("title")] == [
+            "Data on the Web"
+        ]
+
+    def test_step4_restructuring(self, doc):
+        rule = parse_rule(
+            """
+            query { book as B { @year as Y  title as T  price as P { text as PT } } }
+            construct {
+              report {
+                n { count(B) }
+                cheapest { min(PT) }
+                by-year { year for Y sortby Y { value Y  books { collect T } } }
+              }
+            }
+            """
+        )
+        report = evaluate_rule(rule, doc)
+        assert report.find("n").text_content() == "2"
+        assert report.find("cheapest").text_content() == "39.95"
+        years = [
+            y.immediate_text() for y in report.find("by-year").find_all("year")
+        ]
+        assert years == ["1994", "2000"]
+
+    def test_step5_negation_and_depth(self, doc):
+        rule = parse_rule(
+            """
+            query { root bib { book as B { not publisher as PU  deep last as L } } }
+            construct { result { collect L } }
+            """
+        )
+        lasts = evaluate_rule(rule, doc).find_all("last")
+        assert sorted(l.text_content() for l in lasts) == ["Abiteboul", "Stevens"]
+
+
+class TestWglogSteps:
+    def test_step1_red_query(self, doc):
+        instance, _ = document_to_instance(doc)
+        titles = query(
+            wg_rule("rule q { match { b: book  t: title  b -child-> t } }"),
+            instance,
+        )
+        assert len(titles) == 2
+
+    def test_step2_conditions(self, doc):
+        instance, _ = document_to_instance(doc)
+        recent = query(
+            wg_rule("rule q { match { b: book } where b.year >= 1995 }"),
+            instance,
+        )
+        assert len(recent) == 1
+
+    def test_step3_derivation(self, doc):
+        instance, _ = document_to_instance(doc)
+        apply_rule(
+            instance,
+            wg_rule(
+                """
+                rule backcite {
+                  match { a: book  b: book  a -cites-> b }
+                  construct { b -cited_by-> a }
+                }
+                """
+            ),
+        )
+        edges = [e for e in instance.relationship_edges() if e.label == "cited_by"]
+        assert len(edges) == 1
+
+    def test_step4_recursion(self, doc):
+        instance, _ = document_to_instance(doc)
+        _, closure = parse_wglog(
+            """
+            rule base { match { a: book  b: book  a -cites-> b }
+                        construct { a -reaches-> b } }
+            rule step { match { a: book  b: book  c: book
+                                a -reaches-> b  b -cites-> c }
+                        construct { a -reaches-> c } }
+            """
+        )
+        apply_program(instance, closure)
+        reaches = [e for e in instance.relationship_edges() if e.label == "reaches"]
+        assert len(reaches) == 1  # b2 -> b1 only (no longer chains here)
+
+    def test_step5_forall_negation(self, doc):
+        instance, _ = document_to_instance(doc)
+        apply_rule(
+            instance,
+            wg_rule(
+                """
+                rule roots {
+                  match { b: book  o: book  no o -cites-> b }
+                  construct { b.uncited = 'yes' }
+                }
+                """
+            ),
+        )
+        uncited = [
+            b
+            for b in instance.entities("book")
+            if instance.slot_value(b, "uncited") == "yes"
+        ]
+        assert len(uncited) == 1  # b2 is cited by nobody... b1 is cited

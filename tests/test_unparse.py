@@ -1,0 +1,206 @@
+"""Tests for the unparser round trips (AST → DSL → AST)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryStructureError
+from repro.ssd import parse_document, serialize
+from repro.wglog import parse_rule as parse_wg_rule
+from repro.wglog import parse_wglog
+from repro.wglog.unparse import unparse_rule as unparse_wg
+from repro.wglog.unparse import unparse_schema, unparse_wglog
+from repro.xmlgl import QueryBuilder, evaluate_program, evaluate_rule
+from repro.xmlgl.dsl import parse_program, parse_rule
+from repro.xmlgl.unparse import unparse_program, unparse_rule
+
+FULL_XMLGL = """
+query src {
+  root bib as R {
+    book as B {
+      @year as Y
+      not @id = "zzz" as I
+      title as T { text ~ /.*/ as TT }
+      deep author as A
+      not cdrom as C
+      ord isbn as ISBN
+      or { publisher as P | editor as E }
+    }
+  }
+  where Y >= 1995 and TT ~ /X.*/
+}
+construct {
+  result(version = "1", y = $Y) {
+    entry for B sortby Y {
+      copy T
+      collect A shallow
+      text "lit"
+      value Y
+      group Y { g }
+      count(B)
+    }
+  }
+}
+"""
+
+FULL_WGLOG = """
+rule full {
+  match {
+    a: Doc
+    b: Doc
+    x: *
+    a -link-> b
+    a -cites*-> b
+    no x -index-> a
+    c -_*-> a
+  }
+  construct {
+    lst: List collect
+    lst -member-> a
+    n: Note
+    n -about-> b
+    a -sib-> b
+    n.kind = 'auto'
+    n.size = 5
+    n.title = a.title
+  }
+  where a.size > 3 and name(b) = 'Doc'
+}
+"""
+
+
+class TestXmlglUnparse:
+    def test_round_trip_structure(self):
+        rule = parse_rule(FULL_XMLGL)
+        text = unparse_rule(rule)
+        back = parse_rule(text)
+        original, rebuilt = rule.queries[0], back.queries[0]
+        assert set(original.nodes) == set(rebuilt.nodes)
+        assert original.source == rebuilt.source
+        assert {
+            (e.parent, e.child, e.deep, e.ordered, e.negated)
+            for e in original.all_edges()
+        } == {
+            (e.parent, e.child, e.deep, e.ordered, e.negated)
+            for e in rebuilt.all_edges()
+        }
+        assert len(rebuilt.or_groups) == 1
+        assert [str(c) for c in rebuilt.conditions] == [
+            str(c) for c in original.conditions
+        ]
+
+    def test_round_trip_evaluation(self):
+        doc = parse_document(
+            '<bib><book year="1999" id="a"><title>Xml</title>'
+            "<author>A</author><isbn>1</isbn><publisher>P</publisher></book></bib>"
+        )
+        rule = parse_rule(FULL_XMLGL)
+        back = parse_rule(unparse_rule(rule))
+        assert serialize(evaluate_rule(rule, {"src": doc})) == serialize(
+            evaluate_rule(back, {"src": doc})
+        )
+
+    def test_canonical_fixpoint(self):
+        # unparse(parse(unparse(x))) == unparse(x)
+        rule = parse_rule(FULL_XMLGL)
+        once = unparse_rule(rule)
+        twice = unparse_rule(parse_rule(once))
+        assert once == twice
+
+    def test_program_round_trip(self):
+        program = parse_program(
+            """
+            chained
+            rule a { query { x as X } construct { r1 { collect X } } }
+            rule b { query a { r1 as R } construct { r2 { count(R) } } }
+            """
+        )
+        back = parse_program(unparse_program(program))
+        assert back.chained
+        assert [r.name for r in back.rules] == ["a", "b"]
+
+    def test_shared_node_rejected(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        b = q.box("b", id="B")
+        shared = q.box("c", id="C")
+        q.contains(a, shared)
+        q.contains(b, shared)
+        from repro.xmlgl import Rule, collect, elem
+
+        rule = Rule([q.graph()], elem("r", collect("C")))
+        with pytest.raises(QueryStructureError, match="shared"):
+            unparse_rule(rule)
+
+
+class TestWglogUnparse:
+    def test_round_trip(self):
+        rule = parse_wg_rule(FULL_WGLOG)
+        back = parse_wg_rule(unparse_wg(rule))
+        assert back.describe() == rule.describe()
+        assert back.name == rule.name
+
+    def test_canonical_fixpoint(self):
+        rule = parse_wg_rule(FULL_WGLOG)
+        once = unparse_wg(rule)
+        assert unparse_wg(parse_wg_rule(once)) == once
+
+    def test_schema_round_trip(self):
+        schema, rules = parse_wglog(
+            """
+            schema {
+              entity Doc { title: string required, size: int }
+              entity Index
+              relation Index -index-> Doc
+            }
+            rule q { match { d: Doc } }
+            """
+        )
+        text = unparse_wglog(schema, rules)
+        schema2, rules2 = parse_wglog(text)
+        assert schema2.describe() == schema.describe()
+        assert rules2[0].describe() == rules[0].describe()
+
+
+# -- property: random built rules survive the round trip -------------------------
+
+TAGS = ["a", "b", "c"]
+
+
+@st.composite
+def random_rules(draw):
+    q = QueryBuilder()
+    ids = [q.box(draw(st.sampled_from(TAGS + [None])), id="N0",
+                 anchored=draw(st.booleans()))]
+    for index in range(1, draw(st.integers(1, 4))):
+        parent = draw(st.sampled_from(ids))
+        kind = draw(st.sampled_from(["element", "attr", "text", "neg"]))
+        node_id = f"N{index}"
+        if kind == "element":
+            ids.append(
+                q.box(draw(st.sampled_from(TAGS + [None])), id=node_id,
+                      parent=parent, deep=draw(st.booleans()))
+            )
+        elif kind == "attr":
+            q.attribute(parent, draw(st.sampled_from(["k", "m"])), id=node_id,
+                        value=draw(st.sampled_from(["1", None])))
+        elif kind == "text":
+            q.text(parent, id=node_id, value=draw(st.sampled_from(["t", None])))
+        else:
+            q.negate(parent, q.box(draw(st.sampled_from(TAGS)), id=node_id))
+    from repro.xmlgl import Rule, collect, elem
+
+    return Rule([q.graph()], elem("out", collect("N0")))
+
+
+class TestUnparseProperty:
+    @given(random_rules())
+    @settings(max_examples=80, deadline=None)
+    def test_xmlgl_round_trip(self, rule):
+        back = parse_rule(unparse_rule(rule))
+        original, rebuilt = rule.queries[0], back.queries[0]
+        assert set(original.nodes) == set(rebuilt.nodes)
+        assert {
+            (e.parent, e.child, e.deep, e.negated) for e in original.edges
+        } == {
+            (e.parent, e.child, e.deep, e.negated) for e in rebuilt.edges
+        }

@@ -1,0 +1,140 @@
+"""Unit tests for the diagram model and layout engine."""
+
+import pytest
+
+from repro.errors import DiagramError
+from repro.visual import (
+    Connector,
+    Diagram,
+    Shape,
+    ShapeKind,
+    StrokeStyle,
+    layered_layout,
+    side_by_side,
+)
+
+
+def chain_diagram(n: int = 3) -> Diagram:
+    d = Diagram("chain")
+    for i in range(n):
+        d.add_shape(Shape(f"s{i}", ShapeKind.BOX, label=f"node{i}"))
+    for i in range(n - 1):
+        d.add_connector(Connector(f"c{i}", f"s{i}", f"s{i+1}"))
+    return d
+
+
+class TestDiagram:
+    def test_duplicate_shape_rejected(self):
+        d = Diagram()
+        d.add_shape(Shape("a", ShapeKind.BOX))
+        with pytest.raises(DiagramError):
+            d.add_shape(Shape("a", ShapeKind.BOX))
+
+    def test_connector_endpoints_checked(self):
+        d = Diagram()
+        d.add_shape(Shape("a", ShapeKind.BOX))
+        with pytest.raises(DiagramError):
+            d.add_connector(Connector("c", "a", "missing"))
+
+    def test_duplicate_connector_rejected(self):
+        d = chain_diagram()
+        with pytest.raises(DiagramError):
+            d.add_connector(Connector("c0", "s0", "s1"))
+
+    def test_remove_shape_cascades(self):
+        d = chain_diagram()
+        d.remove_shape("s1")
+        assert len(list(d.connectors())) == 0
+        assert "s1" not in d
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(DiagramError):
+            chain_diagram().remove_shape("zzz")
+        with pytest.raises(DiagramError):
+            chain_diagram().remove_connector("zzz")
+
+    def test_lookup_helpers(self):
+        d = chain_diagram()
+        assert d.shape("s0").label == "node0"
+        assert d.connector("c0").target == "s1"
+        assert len(d.shapes_of_kind(ShapeKind.BOX)) == 3
+        assert len(d.connectors_from("s0")) == 1
+        assert len(d.connectors_to("s1")) == 1
+        assert len(d) == 3
+
+    def test_fresh_id_never_collides(self):
+        d = chain_diagram()
+        ids = {d.fresh_id() for _ in range(10)}
+        assert len(ids) == 10
+        assert not ids & {"s0", "s1", "s2"}
+
+    def test_validate_separator_count(self):
+        d = Diagram()
+        d.add_shape(Shape("a", ShapeKind.SEPARATOR))
+        d.add_shape(Shape("b", ShapeKind.SEPARATOR))
+        with pytest.raises(DiagramError):
+            d.validate()
+
+
+class TestLayout:
+    def test_layers_top_down(self):
+        d = chain_diagram(4)
+        layered_layout(d)
+        ys = [d.shape(f"s{i}").y for i in range(4)]
+        assert ys == sorted(ys)
+        assert len(set(ys)) == 4
+
+    def test_shapes_get_sizes(self):
+        d = chain_diagram()
+        layered_layout(d)
+        for shape in d.shapes():
+            assert shape.width > 0 and shape.height > 0
+
+    def test_no_overlap_within_layer(self):
+        d = Diagram()
+        d.add_shape(Shape("root", ShapeKind.BOX, label="r"))
+        for i in range(5):
+            d.add_shape(Shape(f"k{i}", ShapeKind.BOX, label=f"child{i}"))
+            d.add_connector(Connector(f"c{i}", "root", f"k{i}"))
+        layered_layout(d)
+        children = sorted(
+            (d.shape(f"k{i}") for i in range(5)), key=lambda s: s.x
+        )
+        for left, right in zip(children, children[1:]):
+            assert left.x + left.width <= right.x + 1e-6
+
+    def test_cycles_do_not_crash(self):
+        d = chain_diagram(3)
+        d.add_connector(Connector("back", "s2", "s0"))
+        layered_layout(d)  # must terminate and place everything
+        assert all(s.width > 0 for s in d.shapes())
+
+    def test_deterministic(self):
+        d1, d2 = chain_diagram(5), chain_diagram(5)
+        layered_layout(d1)
+        layered_layout(d2)
+        for i in range(5):
+            assert d1.shape(f"s{i}").x == d2.shape(f"s{i}").x
+            assert d1.shape(f"s{i}").y == d2.shape(f"s{i}").y
+
+    def test_labels_stacked_below(self):
+        d = chain_diagram(2)
+        d.add_shape(Shape("lbl", ShapeKind.LABEL, label="where x"))
+        layered_layout(d)
+        assert d.shape("lbl").y > d.shape("s1").y
+
+    def test_side_by_side(self):
+        d = Diagram()
+        d.add_shape(Shape("l", ShapeKind.BOX, label="left"))
+        d.add_shape(Shape("r", ShapeKind.BOX, label="right"))
+        d.add_shape(Shape("sep", ShapeKind.SEPARATOR))
+        side_by_side(d, ["l"], ["r"], separator_id="sep")
+        assert d.shape("l").x + d.shape("l").width <= d.shape("sep").x
+        assert d.shape("sep").x <= d.shape("r").x
+        assert d.shape("sep").height > 0
+
+    def test_bounds(self):
+        d = chain_diagram()
+        layered_layout(d)
+        min_x, min_y, max_x, max_y = d.bounds()
+        assert max_x > min_x and max_y > min_y

@@ -1,0 +1,214 @@
+"""Tests for the headless gesture editors."""
+
+import pytest
+
+from repro.errors import DiagramError
+from repro.ssd import parse_document, serialize
+from repro.visual import WglogEditor, XmlglEditor
+from repro.wglog import InstanceGraph, apply_rule
+from repro.xmlgl import attr, cmp, evaluate_rule
+from repro.xmlgl.dsl import parse_rule
+
+
+class TestXmlglEditor:
+    def build_session(self) -> XmlglEditor:
+        """Author the running example purely through gestures."""
+        editor = XmlglEditor("recent-books")
+        bib = editor.add_element_box("bib", node_id="R", anchored=True)
+        book = editor.add_element_box("book", node_id="B")
+        editor.draw_arc(bib, book)
+        editor.add_attribute_circle(book, "year", node_id="Y")
+        title = editor.add_element_box("title", node_id="T")
+        editor.draw_arc(book, title)
+        editor.annotate_condition(cmp(">=", attr("B", "year"), 1999))
+        result = editor.add_construct_box("recent")
+        editor.add_triangle(result, "T")
+        return editor
+
+    def test_compile_and_run(self):
+        editor = self.build_session()
+        rule = editor.compile()
+        doc = parse_document(
+            '<bib><book year="2000"><title>New</title></book>'
+            '<book year="1990"><title>Old</title></book></bib>'
+        )
+        result = evaluate_rule(rule, doc)
+        assert serialize(result) == "<recent><title>New</title></recent>"
+
+    def test_gesture_parity_with_dsl(self):
+        editor = self.build_session()
+        dsl_rule = parse_rule(
+            """
+            query { root bib as R { book as B { @year as Y title as T } }
+                    where B.year >= 1999 }
+            construct { recent { collect T } }
+            """
+        )
+        doc = parse_document(
+            '<bib><book year="2000"><title>New</title></book></bib>'
+        )
+        assert serialize(evaluate_rule(editor.compile(), doc)) == serialize(
+            evaluate_rule(dsl_rule, doc)
+        )
+
+    def test_cross_out_negates(self):
+        editor = XmlglEditor()
+        book = editor.add_element_box("book", node_id="B")
+        cdrom = editor.add_element_box("cdrom", node_id="C")
+        arc = editor.draw_arc(book, cdrom)
+        editor.cross_out(arc)
+        result = editor.add_construct_box("r")
+        editor.add_triangle(result, "B")
+        rule = editor.compile()
+        assert rule.queries[0].negated_edges()[0].child == "C"
+
+    def test_arc_requires_element_parent(self):
+        editor = XmlglEditor()
+        book = editor.add_element_box("book", node_id="B")
+        text = editor.add_text_circle(book, node_id="T")
+        other = editor.add_element_box("x", node_id="X")
+        with pytest.raises(DiagramError):
+            editor.draw_arc(text, other)
+
+    def test_undo_redo(self):
+        editor = XmlglEditor()
+        editor.add_element_box("book", node_id="B")
+        editor.add_element_box("title", node_id="T")
+        assert len(editor.diagram) == 2
+        assert editor.undo()
+        assert len(editor.diagram) == 1
+        assert editor.redo()
+        assert len(editor.diagram) == 2
+
+    def test_undo_on_empty_stack(self):
+        editor = XmlglEditor()
+        assert not editor.undo()
+        assert not editor.redo()
+
+    def test_redo_cleared_by_new_gesture(self):
+        editor = XmlglEditor()
+        editor.add_element_box("a", node_id="A")
+        editor.undo()
+        editor.add_element_box("b", node_id="B")
+        assert not editor.redo()
+
+    def test_delete_gesture(self):
+        editor = self.build_session()
+        editor.delete("q:T")
+        assert "q:T" not in editor.diagram
+
+    def test_render_outputs(self):
+        editor = self.build_session()
+        editor.arrange()
+        assert editor.to_svg().startswith("<svg")
+        assert "book" in editor.to_ascii()
+
+    def test_from_rule_round_trip(self):
+        dsl_rule = parse_rule(
+            "query { book as B { title as T } } construct { r { collect T } }"
+        )
+        editor = XmlglEditor.from_rule(dsl_rule)
+        rebuilt = editor.compile()
+        assert set(rebuilt.queries[0].nodes) == {"B", "T"}
+
+    def test_multi_document_gestures(self):
+        editor = XmlglEditor()
+        a = editor.add_element_box("vendor", node_id="V", graph=0)
+        editor.set_source("vendors", graph=0)
+        b = editor.add_element_box("product", node_id="P", graph=1)
+        editor.set_source("products", graph=1)
+        result = editor.add_construct_box("r")
+        editor.add_triangle(result, "P")
+        rule = editor.compile()
+        assert [g.source for g in rule.queries] == ["vendors", "products"]
+
+
+class TestWglogEditor:
+    def build_session(self) -> WglogEditor:
+        editor = WglogEditor("siblings")
+        idx = editor.add_rectangle("Doc", node_id="idx")
+        d1 = editor.add_rectangle("Doc", node_id="d1")
+        d2 = editor.add_rectangle("Doc", node_id="d2")
+        editor.draw_arrow(idx, d1, "index")
+        editor.draw_arrow(idx, d2, "index")
+        editor.draw_arrow(d1, d2, "sibling", green=True)
+        return editor
+
+    def test_compile_and_apply(self):
+        rule = self.build_session().compile()
+        inst = InstanceGraph()
+        i = inst.add_entity("Doc", "i")
+        a = inst.add_entity("Doc", "a")
+        b = inst.add_entity("Doc", "b")
+        inst.relate(i, a, "index")
+        inst.relate(i, b, "index")
+        apply_rule(inst, rule)
+        assert inst.has_relationship("a", "b", "sibling")
+
+    def test_crossed_arrow(self):
+        editor = WglogEditor()
+        d = editor.add_rectangle("Doc", node_id="d")
+        x = editor.add_rectangle(None, node_id="x")
+        editor.draw_arrow(x, d, "index", crossed=True)
+        editor.assert_slot(d, "root", value="yes")
+        rule = editor.compile()
+        assert rule.red_edges()[0].crossed
+
+    def test_collector_gesture(self):
+        editor = WglogEditor()
+        d = editor.add_rectangle("Doc", node_id="d")
+        lst = editor.add_rectangle("List", node_id="lst", green=True, collector=True)
+        editor.draw_arrow(lst, d, "member", green=True)
+        rule = editor.compile()
+        assert rule.nodes["lst"].collector
+
+    def test_slot_copy_gesture(self):
+        editor = WglogEditor()
+        s = editor.add_rectangle("Doc", node_id="s")
+        t = editor.add_rectangle("Doc", node_id="t")
+        editor.draw_arrow(s, t, "link")
+        editor.assert_slot(t, "src_title", from_node="s", from_slot="title")
+        rule = editor.compile()
+        assertion = rule.slot_assertions[0]
+        assert assertion.from_node == "s" and assertion.from_slot == "title"
+
+    def test_condition_gesture(self):
+        editor = WglogEditor()
+        editor.add_rectangle("Doc", node_id="d")
+        editor.annotate_condition(cmp(">", attr("d", "size"), 1))
+        rule = editor.compile()
+        assert len(rule.conditions) == 1
+
+    def test_undo_across_gestures(self):
+        editor = self.build_session()
+        connector_count = len(list(editor.diagram.connectors()))
+        editor.undo()  # removes the green arrow
+        assert len(list(editor.diagram.connectors())) == connector_count - 1
+
+    def test_arrange_and_render(self):
+        editor = self.build_session()
+        editor.arrange()
+        svg = editor.to_svg()
+        assert "#1a7f37" in svg  # green stroke present
+
+    def test_from_rule(self):
+        rule = self.build_session().compile()
+        reopened = WglogEditor.from_rule(rule)
+        assert reopened.compile().describe() == rule.describe()
+
+
+class TestEditorPersistence:
+    def test_save_and_reopen(self, tmp_path):
+        editor = XmlglEditor("session")
+        book = editor.add_element_box("book", node_id="B")
+        editor.add_attribute_circle(book, "year", node_id="Y")
+        result = editor.add_construct_box("r")
+        editor.add_triangle(result, "B")
+        path = tmp_path / "session.json"
+        editor.save(str(path))
+        reopened = XmlglEditor.open(str(path))
+        assert reopened.diagram.title == "session"
+        rule = reopened.compile()
+        assert "B" in rule.queries[0].nodes
+        # reopened editors start with a clean undo history
+        assert not reopened.undo()

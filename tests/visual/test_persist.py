@@ -1,0 +1,98 @@
+"""Tests for diagram JSON persistence."""
+
+import pytest
+
+from repro.errors import DiagramError
+from repro.ssd import parse_document, serialize
+from repro.visual import diagram_to_xmlgl, xmlgl_rule_diagram, wglog_rule_diagram
+from repro.visual.persist import load_diagram, save_diagram
+from repro.visual.parse_diagram import diagram_to_wglog
+from repro.xmlgl import evaluate_rule
+from repro.xmlgl.dsl import parse_rule
+from repro.wglog import parse_rule as parse_wg_rule
+
+RULE = """
+query {
+  root bib { book as B { @year as Y  title as T  not cdrom as C } }
+  where Y >= 1995 and T ~ /.*/
+}
+construct { recent(v = "1") { entry for B sortby Y { copy T value Y } } }
+"""
+
+
+class TestRoundTrip:
+    def test_shapes_and_connectors_survive(self):
+        diagram = xmlgl_rule_diagram(parse_rule(RULE))
+        loaded = load_diagram(save_diagram(diagram))
+        assert loaded.title == diagram.title
+        assert {s.id for s in loaded.shapes()} == {s.id for s in diagram.shapes()}
+        assert len(list(loaded.connectors())) == len(list(diagram.connectors()))
+        for original in diagram.shapes():
+            restored = loaded.shape(original.id)
+            assert restored.kind is original.kind
+            assert restored.label == original.label
+            assert restored.stroke is original.stroke
+            assert (restored.x, restored.y) == (original.x, original.y)
+
+    def test_compiles_to_equivalent_rule(self):
+        doc = parse_document(
+            '<bib><book year="1999"><title>T</title></book></bib>'
+        )
+        rule = parse_rule(RULE)
+        diagram = xmlgl_rule_diagram(rule)
+        reloaded = load_diagram(save_diagram(diagram))
+        rebuilt = diagram_to_xmlgl(reloaded)
+        assert serialize(evaluate_rule(rebuilt, doc)) == serialize(
+            evaluate_rule(rule, doc)
+        )
+
+    def test_conditions_round_trip_through_text(self):
+        diagram = xmlgl_rule_diagram(parse_rule(RULE))
+        reloaded = load_diagram(save_diagram(diagram))
+        conditions = [
+            s.meta["condition"]
+            for s in reloaded.shapes()
+            if s.meta.get("role") == "condition"
+        ]
+        assert len(conditions) == 1
+        assert "Y >= 1995" in str(conditions[0])
+
+    def test_wglog_diagram_round_trip(self):
+        rule = parse_wg_rule(
+            """
+            rule r {
+              match { a: Doc  b: Doc  a -link-> b }
+              construct { b -rev-> a  a.seen = 'y' }
+              where a.size > 1
+            }
+            """
+        )
+        diagram = wglog_rule_diagram(rule)
+        reloaded = load_diagram(save_diagram(diagram))
+        assert diagram_to_wglog(reloaded).describe() == rule.describe()
+
+    def test_save_is_stable(self):
+        diagram = xmlgl_rule_diagram(parse_rule(RULE))
+        assert save_diagram(diagram) == save_diagram(
+            load_diagram(save_diagram(diagram))
+        )
+
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(DiagramError, match="not a diagram"):
+            load_diagram("<svg/>")
+
+    def test_missing_shapes(self):
+        with pytest.raises(DiagramError, match="shapes"):
+            load_diagram("{}")
+
+    def test_wrong_version(self):
+        with pytest.raises(DiagramError, match="version"):
+            load_diagram('{"version": 99, "shapes": []}')
+
+    def test_bad_shape_kind(self):
+        with pytest.raises(DiagramError, match="bad shape"):
+            load_diagram(
+                '{"version": 1, "shapes": [{"id": "a", "kind": "BLOB"}]}'
+            )

@@ -1,0 +1,208 @@
+"""Tests for SVG/ASCII rendering and the AST⇄diagram round trip."""
+
+import pytest
+
+from repro.visual import (
+    Diagram,
+    Shape,
+    ShapeKind,
+    StrokeStyle,
+    diagram_to_wglog,
+    diagram_to_xmlgl,
+    render_ascii,
+    render_svg,
+    wglog_rule_diagram,
+    xmlgl_rule_diagram,
+)
+from repro.errors import DiagramError
+from repro.wglog import RuleGraph
+from repro.wglog import parse_rule as parse_wg_rule
+from repro.xmlgl.dsl import parse_rule
+
+FULL_XMLGL = """
+query src1 {
+  root bib {
+    book as B {
+      @year as Y
+      title as T { text as TT }
+      deep author as A
+      not cdrom as C
+      ord isbn as I
+      or { publisher as P | editor as E }
+    }
+  }
+  where Y >= 1995 and TT ~ /.*Web.*/
+}
+construct {
+  result(version = "1", stamp = $Y) {
+    entry for B sortby Y {
+      copy T
+      collect A
+      text "sep"
+      value Y
+      group Y { inner }
+      count(B)
+    }
+  }
+}
+"""
+
+FULL_WGLOG = """
+rule full {
+  match {
+    d1: Doc
+    d2: Doc
+    idx: Doc
+    idx -index-> d1
+    idx -index-> d2
+    d1 -link*-> d2
+    no x -cites-> d1
+  }
+  construct {
+    lst: List collect
+    lst -member-> d1
+    n: Note
+    n -about-> d2
+    d1 -sibling-> d2
+    n.kind = 'auto'
+    n.title = d1.title
+  }
+  where d1.size > 3
+}
+"""
+
+
+class TestXmlglRoundTrip:
+    def test_structure_preserved(self):
+        rule = parse_rule(FULL_XMLGL)
+        back = diagram_to_xmlgl(xmlgl_rule_diagram(rule))
+        original, rebuilt = rule.queries[0], back.queries[0]
+        assert set(original.nodes) == set(rebuilt.nodes)
+        assert original.source == rebuilt.source
+        for node_id in original.nodes:
+            assert type(original.nodes[node_id]) is type(rebuilt.nodes[node_id])
+        orig_edges = {
+            (e.parent, e.child, e.deep, e.ordered, e.negated)
+            for e in original.edges
+        }
+        new_edges = {
+            (e.parent, e.child, e.deep, e.ordered, e.negated)
+            for e in rebuilt.edges
+        }
+        assert orig_edges == new_edges
+        assert len(rebuilt.or_groups) == 1
+        assert len(rebuilt.or_groups[0].alternatives) == 2
+        assert len(rebuilt.conditions) == len(original.conditions)
+
+    def test_construct_preserved(self):
+        rule = parse_rule(FULL_XMLGL)
+        back = diagram_to_xmlgl(xmlgl_rule_diagram(rule))
+        assert back.construct.tag == "result"
+        assert [
+            (a.name, a.value, a.from_variable) for a in back.construct.attributes
+        ] == [("version", "1", None), ("stamp", None, "Y")]
+        entry = back.construct.children[0]
+        assert entry.for_each == ["B"] and entry.sort_by == "Y"
+        kinds = [type(c).__name__ for c in entry.children]
+        assert kinds == [
+            "Copy", "Collect", "TextLiteral", "TextFrom", "GroupBy", "Aggregate",
+        ]
+
+    def test_evaluation_equivalence(self, bib_doc=None):
+        from repro.ssd import parse_document, serialize
+        from repro.xmlgl import evaluate_rule
+
+        doc = parse_document(
+            '<bib><book year="1999"><title>Data on the Web</title>'
+            "<author>A</author><isbn>1</isbn><publisher>P</publisher></book></bib>"
+        )
+        rule = parse_rule(FULL_XMLGL)
+        back = diagram_to_xmlgl(xmlgl_rule_diagram(rule))
+        assert serialize(evaluate_rule(rule, {"src1": doc})) == serialize(
+            evaluate_rule(back, {"src1": doc})
+        )
+
+    def test_diagram_without_query_rejected(self):
+        d = Diagram()
+        d.add_shape(
+            Shape("c:1", ShapeKind.BOX, meta={"role": "new_element", "tag": "r"})
+        )
+        with pytest.raises(DiagramError):
+            diagram_to_xmlgl(d)
+
+    def test_two_construct_roots_rejected(self):
+        rule = parse_rule("query { a as A } construct { r }")
+        diagram = xmlgl_rule_diagram(rule)
+        diagram.add_shape(
+            Shape("c:extra", ShapeKind.BOX, meta={"role": "new_element", "tag": "x"})
+        )
+        with pytest.raises(DiagramError, match="construct root"):
+            diagram_to_xmlgl(diagram)
+
+
+class TestWglogRoundTrip:
+    def test_full_rule(self):
+        rule = parse_wg_rule(FULL_WGLOG)
+        back = diagram_to_wglog(wglog_rule_diagram(rule))
+        assert back.describe() == rule.describe()
+        assert back.name == rule.name
+
+    def test_empty_diagram_rejected(self):
+        with pytest.raises(DiagramError):
+            diagram_to_wglog(Diagram())
+
+    def test_collector_preserved(self):
+        rule = parse_wg_rule(FULL_WGLOG)
+        back = diagram_to_wglog(wglog_rule_diagram(rule))
+        assert back.nodes["lst"].collector
+
+
+class TestRenderers:
+    def diagrams(self):
+        yield xmlgl_rule_diagram(parse_rule(FULL_XMLGL))
+        yield wglog_rule_diagram(parse_wg_rule(FULL_WGLOG))
+
+    def test_svg_well_formed_xml(self):
+        from repro.ssd import parse_document
+
+        for diagram in self.diagrams():
+            svg = render_svg(diagram)
+            doc = parse_document(svg)  # our own parser validates it
+            assert doc.root.tag == "svg"
+
+    def test_svg_contains_vocabulary(self):
+        svg = render_svg(xmlgl_rule_diagram(parse_rule(FULL_XMLGL)))
+        assert "<rect" in svg and "<ellipse" in svg and "<polygon" in svg
+        assert "stroke-dasharray" in svg  # binding lines
+        assert "marker-end" in svg
+
+    def test_svg_deterministic(self):
+        rule = parse_rule(FULL_XMLGL)
+        assert render_svg(xmlgl_rule_diagram(rule)) == render_svg(
+            xmlgl_rule_diagram(parse_rule(FULL_XMLGL))
+        )
+
+    def test_svg_escapes_labels(self):
+        d = Diagram()
+        d.add_shape(Shape("a", ShapeKind.BOX, label='<evil> & "q"'))
+        svg = render_svg(d)
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+    def test_ascii_contains_shapes(self):
+        text = render_ascii(wglog_rule_diagram(parse_wg_rule(FULL_WGLOG)))
+        assert "Doc" in text
+        assert "+" in text and "|" in text
+
+    def test_ascii_title(self):
+        text = render_ascii(wglog_rule_diagram(parse_wg_rule(FULL_WGLOG)))
+        assert text.startswith("== full ==")
+
+    def test_ascii_crossed_edge_marked(self):
+        rule = RuleGraph()
+        rule.red("a", "A")
+        rule.red("b", "B")
+        rule.match_edge("a", "b", "x", crossed=True)
+        rule.assert_slot("a", "m", value="1")
+        text = render_ascii(wglog_rule_diagram(rule))
+        assert "X" in text

@@ -1,0 +1,108 @@
+"""Tests for the WG-Log → Datalog pretty-printer."""
+
+import pytest
+
+from repro.wglog import RuleGraph, parse_rule
+from repro.wglog.datalog import to_datalog
+
+
+def render(source: str) -> str:
+    return to_datalog(parse_rule(source))
+
+
+class TestBodies:
+    def test_nodes_and_edges(self):
+        text = render("rule r { match { a: Doc  b: Doc  a -link-> b } }")
+        assert "node(A, 'Doc')" in text
+        assert "edge(A, 'link', B)" in text
+
+    def test_pure_query_gets_answer_head(self):
+        text = render("rule q { match { a: Doc } }")
+        assert text.startswith("q(A) :-")
+
+    def test_unnamed_rule_defaults(self):
+        rule = RuleGraph()
+        rule.red("x", "Doc")
+        assert to_datalog(rule).startswith("query(X) :-")
+
+    def test_wildcard_contributes_no_node_atom(self):
+        text = render("rule q { match { a: *  b: Doc  a -link-> b } }")
+        assert "node(A" not in text
+        assert "edge(A, 'link', B)" in text
+
+    def test_path_edge_renders_path_predicate(self):
+        text = render("rule q { match { a: Doc  b: Doc  a -link*-> b } }")
+        assert "path(A, 'link', B)" in text
+
+    def test_pairwise_negation(self):
+        text = render(
+            "rule q { match { a: Doc  b: Doc  a -index-> b  no a -link-> b } }"
+        )
+        assert "not edge(A, 'link', B)" in text
+
+    def test_forall_negation_wraps_fragment(self):
+        text = render(
+            """
+            rule q {
+              match { d: Doc  s: Doc  no s -index-> d }
+              construct { d.root = 'y' }
+            }
+            """
+        )
+        assert "not (edge(S, 'index', D), node(S, 'Doc'))" in text
+
+    def test_conditions(self):
+        text = render(
+            "rule q { match { d: Doc } where d.size > 3 and name(d) = 'Doc' }"
+        )
+        assert "slot_of(D, 'size') > 3" in text
+        assert "label_of(D) = 'Doc'" in text
+
+    def test_regex_condition(self):
+        text = render("rule q { match { d: Doc } where d.title ~ /A.*/ }")
+        assert "match(slot_of(D, 'title'), 'A.*')" in text
+
+    def test_disjunctive_condition(self):
+        text = render(
+            "rule q { match { d: Doc } where d.size > 3 or d.size < 1 }"
+        )
+        assert " ; " in text
+
+
+class TestHeads:
+    def test_green_edge_head(self):
+        text = render(
+            "rule r { match { a: Doc  b: Doc  a -x-> b } construct { a -y-> b } }"
+        )
+        assert text.startswith("edge(A, 'y', B) :-")
+
+    def test_multiple_heads_share_body(self):
+        text = render(
+            """
+            rule r {
+              match { a: Doc }
+              construct { n: Note  n -about-> a  a.seen = 'y' }
+            }
+            """
+        )
+        lines = text.split("\n")
+        assert len(lines) == 3
+        bodies = {line.split(":-")[1] for line in lines}
+        assert len(bodies) == 1
+
+    def test_slot_head_with_copied_value(self):
+        text = render(
+            """
+            rule r {
+              match { s: Doc  t: Doc  s -link-> t }
+              construct { t.title = s.title }
+            }
+            """
+        )
+        assert "slot(T, 'title', slot_of(S, 'title'))" in text
+
+    def test_collector_annotated(self):
+        text = render(
+            "rule r { match { d: Doc } construct { l: List collect  l -m-> d } }"
+        )
+        assert "collector" in text

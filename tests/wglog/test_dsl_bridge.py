@@ -1,0 +1,242 @@
+"""Unit tests for the WG-Log DSL and the XML bridge."""
+
+import pytest
+
+from repro.errors import BridgeError, QuerySyntaxError
+from repro.ssd import parse_document, serialize
+from repro.wglog import (
+    Color,
+    InstanceGraph,
+    apply_rule,
+    document_to_instance,
+    instance_to_document,
+    parse_rule,
+    parse_wglog,
+    query,
+)
+
+
+class TestDslSchema:
+    def test_schema_block(self):
+        schema, rules = parse_wglog(
+            """
+            schema {
+              entity Document { title: string required, size: int }
+              entity Index
+              relation Index -index-> Document
+            }
+            rule q { match { d: Document } }
+            """
+        )
+        assert schema.has_entity("Document")
+        assert schema.slot_decl("Document", "title").required
+        assert schema.slot_decl("Document", "size").value_type == "int"
+        assert schema.allows_relation("Index", "index", "Document")
+        assert len(rules) == 1
+
+    def test_no_rules_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_wglog("schema { entity A }")
+
+
+class TestDslRules:
+    def test_nodes_and_edges(self):
+        rule = parse_rule(
+            "rule r { match { a: Doc  b: *  a -link-> b } }"
+        )
+        assert rule.nodes["a"].label == "Doc"
+        assert rule.nodes["b"].label is None
+        assert len(rule.red_edges()) == 1
+
+    def test_implicit_nodes_from_edges(self):
+        rule = parse_rule("rule r { match { a -link-> b } }")
+        assert set(rule.nodes) == {"a", "b"}
+        assert all(n.label is None for n in rule.nodes.values())
+
+    def test_crossed_edge(self):
+        rule = parse_rule(
+            "rule r { match { d: Doc  no i -index-> d } construct { d.root = 'y' } }"
+        )
+        crossed = [e for e in rule.red_edges() if e.crossed]
+        assert len(crossed) == 1
+
+    def test_path_edge(self):
+        rule = parse_rule("rule r { match { a: Doc b: Doc a -link*-> b } }")
+        assert rule.red_edges()[0].path
+
+    def test_any_label_path_edge(self):
+        rule = parse_rule("rule r { match { a: Doc b: Doc a -_*-> b } }")
+        edge = rule.red_edges()[0]
+        assert edge.path and edge.label == ""
+
+    def test_any_label_requires_path(self):
+        with pytest.raises(QuerySyntaxError, match="path edge"):
+            parse_rule("rule r { match { a: Doc b: Doc a -_-> b } }")
+
+    def test_green_parts(self):
+        rule = parse_rule(
+            """
+            rule r {
+              match { d: Doc }
+              construct {
+                n: Note
+                n -about-> d
+                n.kind = 'auto'
+                n.title = d.title
+              }
+            }
+            """
+        )
+        assert rule.nodes["n"].color is Color.GREEN
+        assert len(rule.green_edges()) == 1
+        literal, copied = rule.slot_assertions
+        assert literal.value == "auto"
+        assert copied.from_node == "d" and copied.from_slot == "title"
+
+    def test_collector(self):
+        rule = parse_rule(
+            "rule r { match { d: Doc } construct { l: List collect  l -m-> d } }"
+        )
+        assert rule.nodes["l"].collector
+
+    def test_where_clause(self):
+        rule = parse_rule(
+            "rule r { match { d: Doc } where d.size > 10 and name(d) = 'Doc' }"
+        )
+        assert len(rule.conditions) == 1
+
+    def test_rule_name_optional(self):
+        named = parse_rule("rule myname { match { d: Doc } }")
+        assert named.name == "myname"
+        _, rules = parse_wglog("rule { match { d: Doc } }")
+        assert rules[0].name is None
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "rule r { construct { d: Doc } }",           # no match block
+            "rule r { match { } construct { a -x-> b } }",  # green edge undeclared
+            "rule r { match { d: } }",
+            "rule r { match { d: Doc } where d ~ 5 }",
+            "rule r { match { no d: Doc } }",
+            "rule r { match { d: Doc } } trailing",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises((QuerySyntaxError, Exception)):
+            parse_rule(source)
+
+    def test_end_to_end(self):
+        inst = InstanceGraph()
+        h = inst.add_entity("Page", "h")
+        a = inst.add_entity("Page", "a")
+        inst.relate(h, a, "link")
+        inst.add_slot(a, "title", "About")
+        rule = parse_rule(
+            """
+            rule back {
+              match { x: Page  y: Page  x -link-> y }
+              construct { y -backlink-> x }
+            }
+            """
+        )
+        apply_rule(inst, rule)
+        assert inst.has_relationship("a", "h", "backlink")
+
+
+class TestBridge:
+    def doc(self):
+        return parse_document(
+            '<site><page id="p1" title="Home">welcome'
+            '<link ref="p2"/></page><page id="p2" title="About"/></site>'
+        )
+
+    def test_document_to_instance_structure(self):
+        inst, mapping = document_to_instance(self.doc())
+        assert len(inst.entities("page")) == 2
+        assert len(inst.entities("site")) == 1
+        assert len(inst.entities("link")) == 1
+
+    def test_slots_from_attributes_and_text(self):
+        inst, mapping = document_to_instance(self.doc())
+        doc = self.doc()
+        # find the p1 entity via a query
+        pages = [
+            e for e in inst.entities("page") if inst.slot_value(e, "id") == "p1"
+        ]
+        assert len(pages) == 1
+        assert inst.slot_value(pages[0], "title") == "Home"
+        assert inst.slot_value(pages[0], "text") == "welcome"
+
+    def test_child_edges(self):
+        inst, _ = document_to_instance(self.doc())
+        site = inst.entities("site")[0]
+        assert len(inst.relationships(site, "child")) == 2
+
+    def test_idref_edges(self):
+        inst, _ = document_to_instance(self.doc())
+        links = inst.entities("link")
+        targets = inst.relationships(links[0], "ref")
+        assert len(targets) == 1
+        assert inst.slot_value(targets[0].target, "id") == "p2"
+
+    def test_reference_resolution_optional(self):
+        inst, _ = document_to_instance(self.doc(), reference_attributes=False)
+        links = inst.entities("link")
+        assert inst.relationships(links[0], "ref") == []
+
+    def test_element_map_alignment(self):
+        doc = self.doc()
+        inst, mapping = document_to_instance(doc)
+        for element in doc.iter():
+            assert inst.label(mapping[id(element)]) == element.tag
+
+    def test_bridge_empty_document_rejected(self):
+        from repro.ssd.model import Document
+
+        with pytest.raises(BridgeError):
+            document_to_instance(Document())
+
+    def test_instance_to_document_round_trip(self):
+        doc = self.doc()
+        inst, mapping = document_to_instance(doc)
+        site = inst.entities("site")[0]
+        back = instance_to_document(inst, site)
+        assert back.root.tag == "site"
+        assert len(back.root.find_all("page")) == 2
+        titles = sorted(p.get("title") for p in back.root.find_all("page"))
+        assert titles == ["About", "Home"]
+
+    def test_instance_to_document_text_slot(self):
+        inst = InstanceGraph()
+        p = inst.add_entity("p", "p")
+        inst.add_slot(p, "text", "hello")
+        doc = instance_to_document(inst, p)
+        assert serialize(doc) == "<p>hello</p>"
+
+    def test_instance_to_document_cycle_detected(self):
+        inst = InstanceGraph()
+        a = inst.add_entity("a", "a")
+        b = inst.add_entity("b", "b")
+        inst.relate(a, b, "child")
+        inst.relate(b, a, "child")
+        with pytest.raises(BridgeError):
+            instance_to_document(inst, a)
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(BridgeError):
+            instance_to_document(InstanceGraph(), "zzz")
+
+    def test_query_bridged_document(self):
+        # the same data queried through WG-Log after bridging
+        inst, _ = document_to_instance(self.doc())
+        rule = parse_rule(
+            """
+            rule pages {
+              match { s: site  p: page  s -child-> p }
+              where p.title = 'Home'
+            }
+            """
+        )
+        matches = query(rule, inst)
+        assert len(matches) == 1

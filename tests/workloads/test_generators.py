@@ -1,0 +1,131 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.ssd import IdentityIndex, parse_dtd, validate
+from repro.workloads import (
+    BIB_DTD,
+    Rng,
+    bibliography,
+    museum_graph,
+    museum_schema,
+    nested_sections,
+    site_graph,
+    site_schema,
+)
+
+
+class TestRng:
+    def test_deterministic(self):
+        a, b = Rng(7), Rng(7)
+        assert [a.integer(0, 100) for _ in range(10)] == [
+            b.integer(0, 100) for _ in range(10)
+        ]
+        assert Rng(7).words(3) == Rng(7).words(3)
+
+    def test_different_seeds_differ(self):
+        assert [Rng(1).integer(0, 10**9)] != [Rng(2).integer(0, 10**9)]
+
+    def test_ranges(self):
+        rng = Rng(0)
+        assert all(0 <= rng.integer(0, 5) <= 5 for _ in range(50))
+        assert all(1985 <= int(rng.year()) <= 2000 for _ in range(50))
+        assert all(5 <= float(rng.price()) <= 150 for _ in range(50))
+
+    def test_sample_caps(self):
+        assert len(Rng(0).sample([1, 2], 5)) == 2
+
+
+class TestBibliography:
+    def test_size(self):
+        doc = bibliography(25, seed=1)
+        entries = doc.root.child_elements()
+        assert len(entries) == 25
+
+    def test_deterministic(self):
+        from repro.ssd import serialize
+
+        assert serialize(bibliography(10, seed=5)) == serialize(
+            bibliography(10, seed=5)
+        )
+
+    def test_valid_against_dtd(self):
+        dtd = parse_dtd(BIB_DTD)
+        for seed in range(3):
+            doc = bibliography(40, seed=seed)
+            assert validate(doc, dtd) == [], seed
+
+    def test_citations_resolve(self):
+        doc = bibliography(60, seed=2)
+        index = IdentityIndex(doc, idref_attributes={"cites"})
+        assert index.dangling_refs == []
+        assert len(index.edges()) > 0
+
+    def test_structure_mix(self):
+        doc = bibliography(100, seed=3)
+        books = doc.root.find_all("book")
+        articles = doc.root.find_all("article")
+        assert len(books) > len(articles) > 0
+        assert all(b.find("price") is not None for b in books)
+        assert all(a.find("price") is None for a in articles)
+
+
+class TestNestedSections:
+    def test_depth(self):
+        doc = nested_sections(depth=4, fanout=2, seed=0)
+        levels = {int(s.get("level")) for s in doc.iter("section")}
+        assert max(levels) == 4
+
+    def test_leaf_count(self):
+        doc = nested_sections(depth=3, fanout=2, seed=0)
+        paras = list(doc.iter("para"))
+        assert len(paras) == 4  # fanout**(depth-1)
+
+    def test_headings_everywhere(self):
+        doc = nested_sections(depth=3, seed=0)
+        for section in doc.iter("section"):
+            assert section.find("heading") is not None
+
+
+class TestSiteGraph:
+    def test_conforms_to_schema(self):
+        schema = site_schema()
+        for seed in range(3):
+            assert schema.conform(site_graph(30, seed=seed)) == []
+
+    def test_counts(self):
+        instance = site_graph(50, seed=1)
+        assert len(instance.entities("Page")) == 50
+        assert len(instance.entities("Index")) == 5
+
+    def test_every_page_indexed(self):
+        instance = site_graph(30, seed=2)
+        for page in instance.entities("Page"):
+            incoming = [
+                e for e in instance.graph.in_edges(page) if e.label == "index"
+            ]
+            assert incoming, page
+
+    def test_deterministic(self):
+        assert site_graph(20, seed=9).describe() == site_graph(20, seed=9).describe()
+
+
+class TestMuseumGraph:
+    def test_conforms_to_schema(self):
+        schema = museum_schema()
+        for seed in range(3):
+            assert schema.conform(museum_graph(40, seed=seed)) == []
+
+    def test_every_work_connected(self):
+        instance = museum_graph(40, seed=1)
+        for work in instance.entities("Work"):
+            assert instance.relationships(work, "by"), work
+            exhibited = [
+                e for e in instance.graph.in_edges(work) if e.label == "exhibits"
+            ]
+            assert exhibited, work
+
+    def test_scaling(self):
+        small = museum_graph(16, seed=0)
+        large = museum_graph(160, seed=0)
+        assert large.entity_count() > small.entity_count()

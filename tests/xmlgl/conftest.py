@@ -1,0 +1,39 @@
+"""Shared fixtures for the XML-GL tests: the bibliography running example."""
+
+import pytest
+
+from repro.ssd import parse_document
+
+BIB_XML = """
+<bib>
+  <book year="1994" id="b1">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000" id="b2">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <price>39.95</price>
+  </book>
+  <book year="1999" id="b3">
+    <title>The Economics of Technology</title>
+    <editor><last>Gerbarg</last><first>Darcy</first></editor>
+    <publisher>Kluwer Academic</publisher>
+    <price>129.95</price>
+  </book>
+  <article year="2000">
+    <title>Graphical Query Languages</title>
+    <author><last>Comai</last><first>Sara</first></author>
+  </article>
+</bib>
+"""
+
+
+@pytest.fixture
+def bib():
+    """The bibliography document used across XML-GL tests."""
+    return parse_document(BIB_XML)

@@ -1,0 +1,182 @@
+"""Unit tests for the XML-GL query-side AST and its validation."""
+
+import pytest
+
+from repro.errors import QueryStructureError
+from repro.xmlgl import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    OrGroup,
+    QueryBuilder,
+    QueryGraph,
+    TextPattern,
+    attr,
+    cmp,
+)
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_id_rejected(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("B", "book"))
+        with pytest.raises(QueryStructureError):
+            g.add_node(ElementPattern("B", "article"))
+
+    def test_edge_endpoints_must_exist(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("B", "book"))
+        with pytest.raises(QueryStructureError):
+            g.add_edge(ContainmentEdge("B", "missing"))
+        with pytest.raises(QueryStructureError):
+            g.add_edge(ContainmentEdge("missing", "B"))
+
+    def test_containment_parent_must_be_element(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("B", "book"))
+        g.add_node(TextPattern("T"))
+        g.add_edge(ContainmentEdge("B", "T"))
+        with pytest.raises(QueryStructureError):
+            g.add_edge(ContainmentEdge("T", "B"))
+
+    def test_deep_edge_needs_element_child(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("B", "book"))
+        g.add_node(TextPattern("T"))
+        with pytest.raises(QueryStructureError):
+            g.add_edge(ContainmentEdge("B", "T", deep=True))
+
+    def test_empty_or_group_rejected(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("B", "book"))
+        with pytest.raises(QueryStructureError):
+            g.add_or_group(OrGroup(()))
+
+
+class TestValidation:
+    def test_no_element_box(self):
+        g = QueryGraph()
+        with pytest.raises(QueryStructureError):
+            g.validate()
+
+    def test_dangling_text_node(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("B", "book"))
+        g.add_node(TextPattern("T"))
+        with pytest.raises(QueryStructureError, match="no parent arc"):
+            g.validate()
+
+    def test_dangling_attribute_node(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("B", "book"))
+        g.add_node(AttributePattern("Y", "year"))
+        with pytest.raises(QueryStructureError, match="no parent arc"):
+            g.validate()
+
+    def test_containment_cycle_rejected(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("A", "a"))
+        g.add_node(ElementPattern("B", "b"))
+        g.add_edge(ContainmentEdge("A", "B"))
+        g.add_edge(ContainmentEdge("B", "A"))
+        with pytest.raises(QueryStructureError, match="cycle"):
+            g.validate()
+
+    def test_negated_subtree_must_be_private(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("A", "a"))
+        g.add_node(ElementPattern("B", "b"))
+        g.add_node(ElementPattern("C", "c"))
+        g.add_edge(ContainmentEdge("A", "C"))
+        g.add_edge(ContainmentEdge("B", "C", negated=True))
+        with pytest.raises(QueryStructureError, match="shared"):
+            g.validate()
+
+    def test_or_edge_duplicating_plain_edge_rejected(self):
+        g = QueryGraph()
+        g.add_node(ElementPattern("A", "a"))
+        g.add_node(ElementPattern("B", "b"))
+        g.add_edge(ContainmentEdge("A", "B"))
+        g.add_or_group(OrGroup(((ContainmentEdge("A", "B"),),)))
+        with pytest.raises(QueryStructureError, match="or-group"):
+            g.validate()
+
+    def test_valid_dag_join_accepted(self):
+        # two parents sharing one child = join; must validate fine
+        g = QueryGraph()
+        g.add_node(ElementPattern("A", "a"))
+        g.add_node(ElementPattern("B", "b"))
+        g.add_node(ElementPattern("C", "c"))
+        g.add_edge(ContainmentEdge("A", "C"))
+        g.add_edge(ContainmentEdge("B", "C"))
+        g.validate()
+
+
+class TestAccessors:
+    def make(self) -> QueryGraph:
+        q = QueryBuilder()
+        bib = q.box("bib", id="R", anchored=True)
+        book = q.box("book", id="B", parent=bib)
+        q.attribute(book, "year", id="Y")
+        q.text(q.box("title", id="T", parent=book), id="TT")
+        q.negate(book, q.box("cdrom", id="C"))
+        return q.graph()
+
+    def test_roots(self):
+        assert self.make().roots() == ["R"]
+
+    def test_element_nodes(self):
+        ids = [n.id for n in self.make().element_nodes()]
+        assert ids == ["R", "B", "T", "C"]
+
+    def test_children_of_sorted_by_position(self):
+        g = self.make()
+        children = [e.child for e in g.children_of("B")]
+        assert children == ["Y", "T", "C"]
+
+    def test_parents_of(self):
+        g = self.make()
+        assert g.parents_of("B") == ["R"]
+        assert g.parents_of("C") == []  # negated edge is not a positive parent
+
+    def test_negated_edges(self):
+        g = self.make()
+        assert [e.child for e in g.negated_edges()] == ["C"]
+        assert all(not e.negated for e in g.positive_edges())
+
+    def test_describe_smoke(self):
+        text = self.make().describe()
+        assert "[book](B)" in text
+        assert "B -!-> C" in text
+
+
+class TestBuilder:
+    def test_auto_ids_unique(self):
+        q = QueryBuilder()
+        a = q.box("book")
+        b = q.box("book")
+        assert a != b
+
+    def test_where_returns_builder(self):
+        q = QueryBuilder()
+        q.box("b", id="B")
+        assert q.where(cmp("=", attr("B", "x"), 1)) is q
+
+    def test_graph_validates(self):
+        q = QueryBuilder()
+        q.box("a", id="A")
+        q.box("b", id="B")
+        q.contains("A", "B")
+        q.contains("B", "A")
+        with pytest.raises(QueryStructureError):
+            q.graph()
+
+    def test_either_builds_or_group(self):
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        p = q.box("publisher", id="P")
+        a = q.box("author", id="A")
+        q.either([q.detached_edge(book, p)], [q.detached_edge(book, a)])
+        graph = q.graph()
+        assert len(graph.or_groups) == 1
+        assert len(list(graph.all_edges())) == 2

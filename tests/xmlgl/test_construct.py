@@ -1,0 +1,225 @@
+"""Unit tests for the construct side (plain box / triangle / list icon)."""
+
+import pytest
+
+from repro.engine import Binding, BindingSet
+from repro.errors import EvaluationError, QueryStructureError
+from repro.ssd import E, serialize
+from repro.xmlgl import (
+    Aggregate,
+    aggregate,
+    attribute_const,
+    attribute_from,
+    build,
+    collect,
+    copy_of,
+    elem,
+    group,
+    text,
+    value_of,
+)
+
+
+def bindings_for_books():
+    b1 = E("book", {"year": "1994"}, E("title", "T1"))
+    b2 = E("book", {"year": "2000"}, E("title", "T2"))
+    root = E("bib")  # attach so document order is defined
+    root.append(b1)
+    root.append(b2)
+    return BindingSet(
+        [
+            Binding({"B": b1, "T": b1.find("title"), "Y": "1994"}),
+            Binding({"B": b2, "T": b2.find("title"), "Y": "2000"}),
+        ]
+    )
+
+
+class TestPlainBox:
+    def test_single_element(self):
+        result = build(elem("result"), BindingSet())
+        assert serialize(result) == "<result/>"
+
+    def test_constant_attributes_and_text(self):
+        result = build(
+            elem("r", text("hi"), attrs=[attribute_const("k", "v")]),
+            BindingSet(),
+        )
+        assert serialize(result) == '<r k="v">hi</r>'
+
+    def test_for_each_replication(self):
+        result = build(
+            elem("r", elem("entry", for_each=["B"])),
+            bindings_for_books(),
+        )
+        assert serialize(result) == "<r><entry/><entry/></r>"
+
+    def test_for_each_with_content(self):
+        result = build(
+            elem("r", elem("entry", value_of("Y"), for_each=["B"])),
+            bindings_for_books(),
+        )
+        assert serialize(result) == "<r><entry>1994</entry><entry>2000</entry></r>"
+
+    def test_attribute_from_variable(self):
+        result = build(
+            elem("r", elem("e", attrs=[attribute_from("y", "Y")], for_each=["B"])),
+            bindings_for_books(),
+        )
+        assert serialize(result) == '<r><e y="1994"/><e y="2000"/></r>'
+
+    def test_sort_by(self):
+        result = build(
+            elem(
+                "r",
+                elem("e", value_of("Y"), for_each=["B"], sort_by="Y"),
+            ),
+            BindingSet(list(reversed(list(bindings_for_books())))),
+        )
+        assert serialize(result) == "<r><e>1994</e><e>2000</e></r>"
+
+    def test_root_replication_rejected(self):
+        with pytest.raises(QueryStructureError):
+            build(elem("r", for_each=["B"]), bindings_for_books())
+
+
+class TestCopies:
+    def test_deep_copy(self):
+        result = build(elem("r", copy_of("T")), BindingSet([bindings_for_books()[0]]))
+        assert serialize(result) == "<r><title>T1</title></r>"
+
+    def test_shallow_copy(self):
+        result = build(
+            elem("r", copy_of("B", deep=False)),
+            BindingSet([bindings_for_books()[0]]),
+        )
+        assert serialize(result) == '<r><book year="1994"/></r>'
+
+    def test_copy_does_not_steal_source(self):
+        bindings = bindings_for_books()
+        book = bindings[0]["B"]
+        build(elem("r", copy_of("B")), BindingSet([bindings[0]]))
+        assert book.parent is not None  # original still attached
+
+    def test_collect_document_order(self):
+        result = build(elem("r", collect("B", deep=False)), bindings_for_books())
+        assert serialize(result) == '<r><book year="1994"/><book year="2000"/></r>'
+
+    def test_collect_distinct(self):
+        base = bindings_for_books()
+        doubled = base.union(base)  # same element identities twice
+        result = build(elem("r", collect("B", deep=False)), doubled)
+        assert len(result.child_elements()) == 2
+
+    def test_copy_of_string_binding_is_text(self):
+        result = build(elem("r", copy_of("Y")), bindings_for_books())
+        assert result.text_content() == "19942000"
+
+
+class TestValueOf:
+    def test_single_value(self):
+        result = build(
+            elem("r", value_of("T")),
+            BindingSet([bindings_for_books()[0]]),
+        )
+        assert result.text_content() == "T1"
+
+    def test_unbound_raises(self):
+        with pytest.raises(EvaluationError, match="unbound"):
+            build(elem("r", value_of("Z")), bindings_for_books())
+
+    def test_ambiguous_raises(self):
+        with pytest.raises(EvaluationError, match="functionally determined"):
+            build(elem("r", value_of("Y")), bindings_for_books())
+
+
+class TestGroupBy:
+    def make_bindings(self):
+        rows = []
+        for year, title in (("1999", "A"), ("1999", "B"), ("2000", "C")):
+            rows.append(Binding({"Y": year, "T": E("title", title)}))
+        return BindingSet(rows)
+
+    def test_groups_splice_children(self):
+        result = build(
+            elem(
+                "r",
+                group(["Y"], elem("year-group", value_of("Y"))),
+            ),
+            self.make_bindings(),
+        )
+        assert serialize(result) == (
+            "<r><year-group>1999</year-group><year-group>2000</year-group></r>"
+        )
+
+    def test_group_members_visible(self):
+        result = build(
+            elem("r", group(["Y"], elem("g", aggregate("count", "T")))),
+            self.make_bindings(),
+        )
+        assert serialize(result) == "<r><g>2</g><g>1</g></r>"
+
+
+class TestAggregates:
+    def prices(self):
+        return BindingSet(
+            [Binding({"P": "10"}), Binding({"P": "20"}), Binding({"P": "30"})]
+        )
+
+    def test_count(self):
+        result = build(elem("r", aggregate("count", "P")), self.prices())
+        assert result.text_content() == "3"
+
+    def test_count_distinct(self):
+        doubled = self.prices().union(self.prices())
+        result = build(elem("r", aggregate("count", "P")), doubled)
+        assert result.text_content() == "3"
+
+    def test_sum_min_max_avg(self):
+        for function, expected in (
+            ("sum", "60"), ("min", "10"), ("max", "30"), ("avg", "20")
+        ):
+            result = build(elem("r", aggregate(function, "P")), self.prices())
+            assert result.text_content() == expected, function
+
+    def test_avg_non_integer(self):
+        bindings = BindingSet([Binding({"P": "1"}), Binding({"P": "2"})])
+        result = build(elem("r", aggregate("avg", "P")), bindings)
+        assert result.text_content() == "1.5"
+
+    def test_duplicate_atoms_counted_per_row(self):
+        # two books with the same price: SUM sees both, COUNT DISTINCT one
+        bindings = BindingSet(
+            [Binding({"P": "9.99"}), Binding({"P": "9.99"})]
+        )
+        total = build(elem("r", aggregate("sum", "P")), bindings)
+        assert total.text_content() == "19.98"
+        count = build(elem("r", aggregate("count", "P")), bindings)
+        assert count.text_content() == "1"
+
+    def test_duplicate_elements_deduped_by_identity(self):
+        price = E("price", "5")
+        bindings = BindingSet([Binding({"P": price}), Binding({"P": price})])
+        total = build(elem("r", aggregate("sum", "P")), bindings)
+        assert total.text_content() == "5"
+
+    def test_sum_over_elements_uses_content(self):
+        bindings = BindingSet(
+            [Binding({"P": E("price", "5")}), Binding({"P": E("price", "7")})]
+        )
+        result = build(elem("r", aggregate("sum", "P")), bindings)
+        assert result.text_content() == "12"
+
+    def test_empty_context(self):
+        empty = BindingSet()
+        assert build(elem("r", aggregate("count", "P")), empty).text_content() == "0"
+        assert build(elem("r", aggregate("sum", "P")), empty).text_content() == "0"
+        assert build(elem("r", aggregate("min", "P")), empty).text_content() == ""
+
+    def test_non_numeric_raises(self):
+        bindings = BindingSet([Binding({"P": "abc"})])
+        with pytest.raises(EvaluationError):
+            build(elem("r", aggregate("sum", "P")), bindings)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(EvaluationError):
+            Aggregate("median", "P")

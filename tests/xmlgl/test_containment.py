@@ -1,0 +1,175 @@
+"""Tests for tree-pattern containment, incl. the soundness property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ssd import E, document
+from repro.xmlgl import QueryBuilder, cmp, content, match
+from repro.xmlgl.containment import ContainmentError, contains, equivalent
+
+
+def chain(*specs, anchored=False):
+    """Build a chain query: specs are (tag, deep) pairs; returns (graph, leaf)."""
+    q = QueryBuilder()
+    previous = None
+    leaf = None
+    for index, (tag, deep) in enumerate(specs):
+        leaf = q.box(tag, id=f"n{index}", parent=previous, deep=deep,
+                     anchored=anchored and previous is None)
+        previous = leaf
+    return q.graph(), leaf
+
+
+class TestBasicContainment:
+    def test_query_contains_itself(self):
+        g, t = chain(("a", False), ("b", False))
+        assert contains(g, t, *chain(("a", False), ("b", False)))
+
+    def test_wildcard_contains_specific(self):
+        loose, lt = chain((None, False))
+        strict, st_ = chain(("book", False))
+        assert contains(loose, lt, strict, st_)
+        assert not contains(strict, st_, loose, lt)
+
+    def test_fewer_constraints_contain_more(self):
+        q1 = QueryBuilder()
+        b1 = q1.box("book", id="B")
+        q2 = QueryBuilder()
+        b2 = q2.box("book", id="B")
+        q2.box("title", id="T", parent=b2)
+        assert contains(q1.graph(), "B", q2.graph(), "B")
+        assert not contains(q2.graph(), "B", q1.graph(), "B")
+
+    def test_parent_context_matters(self):
+        in_bib, t1 = chain(("bib", False), ("book", False))
+        bare, t2 = chain(("book", False))
+        assert contains(bare, t2, in_bib, t1)
+        assert not contains(in_bib, t1, bare, t2)
+
+    def test_deep_contains_child(self):
+        deep, dt = chain(("bib", False), ("book", True))
+        shallow, st_ = chain(("bib", False), ("book", False))
+        assert contains(deep, dt, shallow, st_)
+        assert not contains(shallow, st_, deep, dt)
+
+    def test_deep_contains_longer_chain(self):
+        deep, dt = chain(("bib", False), ("last", True))
+        long_chain, lt = chain(
+            ("bib", False), ("book", False), ("author", False), ("last", False)
+        )
+        assert contains(deep, dt, long_chain, lt)
+
+    def test_different_tags_incomparable(self):
+        a, at = chain(("a", False))
+        b, bt = chain(("b", False))
+        assert not contains(a, at, b, bt)
+        assert not contains(b, bt, a, at)
+
+    def test_anchoring(self):
+        anchored, at = chain(("bib", False), ("book", False), anchored=True)
+        floating, ft = chain(("bib", False), ("book", False))
+        # floating matches everywhere incl. anchored spots
+        assert contains(floating, ft, anchored, at)
+        assert not contains(anchored, at, floating, ft)
+
+    def test_value_constraints(self):
+        q1 = QueryBuilder()
+        b1 = q1.box("book", id="B")
+        q1.attribute(b1, "year", id="Y")
+        q2 = QueryBuilder()
+        b2 = q2.box("book", id="B")
+        q2.attribute(b2, "year", id="Y", value="1999")
+        assert contains(q1.graph(), "B", q2.graph(), "B")
+        assert not contains(q2.graph(), "B", q1.graph(), "B")
+
+    def test_equivalent(self):
+        g1, t1 = chain(("a", False), ("b", False))
+        g2, t2 = chain(("a", False), ("b", False))
+        assert equivalent(g1, t1, g2, t2)
+        g3, t3 = chain((None, False), ("b", False))
+        assert not equivalent(g1, t1, g3, t3)
+
+    def test_sibling_subtrees_checked(self):
+        # container: bib/book[author]/title ; containee: bib/book/title
+        q1 = QueryBuilder()
+        bib1 = q1.box("bib", id="R")
+        book1 = q1.box("book", id="B", parent=bib1)
+        q1.box("author", id="A", parent=book1)
+        t1 = q1.box("title", id="T", parent=book1)
+        q2 = QueryBuilder()
+        bib2 = q2.box("bib", id="R")
+        book2 = q2.box("book", id="B", parent=bib2)
+        t2 = q2.box("title", id="T", parent=book2)
+        assert not contains(q1.graph(), "T", q2.graph(), "T")
+        assert contains(q2.graph(), "T", q1.graph(), "T")
+
+
+class TestFragmentBoundaries:
+    def test_negation_rejected(self):
+        q = QueryBuilder()
+        b = q.box("book", id="B")
+        q.negate(b, q.box("cdrom", id="C"))
+        other, t = chain(("book", False))
+        with pytest.raises(ContainmentError, match="negation"):
+            contains(q.graph(), "B", other, t)
+
+    def test_conditions_rejected(self):
+        q = QueryBuilder()
+        q.box("book", id="B")
+        q.where(cmp("=", content("B"), 1))
+        other, t = chain(("book", False))
+        with pytest.raises(ContainmentError, match="conditions"):
+            contains(q.graph(), "B", other, t)
+
+    def test_joins_rejected(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        b = q.box("b", id="B")
+        c = q.box("c", id="C")
+        q.contains(a, c)
+        q.contains(b, c)
+        other, t = chain(("c", False))
+        with pytest.raises(ContainmentError):
+            contains(q.graph(), "C", other, t)
+
+
+# -- soundness property: True answers verified by evaluation ---------------------
+
+TAGS = ["a", "b"]
+
+
+@st.composite
+def tree_queries(draw):
+    q = QueryBuilder()
+    ids = [q.box(draw(st.sampled_from(TAGS + [None])), id="N0")]
+    for index in range(1, draw(st.integers(1, 3))):
+        parent = draw(st.sampled_from(ids))
+        ids.append(
+            q.box(draw(st.sampled_from(TAGS + [None])), id=f"N{index}",
+                  parent=parent, deep=draw(st.booleans()))
+        )
+    return q.graph(), draw(st.sampled_from(ids))
+
+
+@st.composite
+def small_documents(draw):
+    def build(level):
+        element = E(draw(st.sampled_from(TAGS)))
+        if level > 0:
+            for _ in range(draw(st.integers(0, 2))):
+                element.append(build(level - 1))
+        return element
+
+    return document(build(3))
+
+
+class TestSoundnessProperty:
+    @given(tree_queries(), tree_queries(), small_documents())
+    @settings(max_examples=120, deadline=None)
+    def test_containment_verified_by_evaluation(self, query1, query2, doc):
+        (g1, t1), (g2, t2) = query1, query2
+        if not contains(g1, t1, g2, t2):
+            return
+        answers1 = {id(b[t1]) for b in match(g1, doc)}
+        answers2 = {id(b[t2]) for b in match(g2, doc)}
+        assert answers2 <= answers1

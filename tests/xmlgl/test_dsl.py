@@ -1,0 +1,241 @@
+"""Unit tests for the XML-GL textual DSL."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.ssd import serialize
+from repro.xmlgl import evaluate_program, evaluate_rule
+from repro.xmlgl.ast import AttributePattern, ElementPattern, TextPattern
+from repro.xmlgl.dsl import parse_program, parse_rule
+
+
+class TestQueryParsing:
+    def test_simple_structure(self):
+        rule = parse_rule(
+            "query { bib { book as B { title as T } } } construct { r }"
+        )
+        graph = rule.queries[0]
+        assert isinstance(graph.nodes["B"], ElementPattern)
+        assert graph.nodes["B"].tag == "book"
+        assert len(graph.edges) == 2
+
+    def test_root_flag(self):
+        rule = parse_rule("query { root bib as R } construct { r }")
+        assert rule.queries[0].nodes["R"].anchored
+
+    def test_wildcard(self):
+        rule = parse_rule("query { * as X } construct { r }")
+        assert rule.queries[0].nodes["X"].tag is None
+
+    def test_auto_ids(self):
+        rule = parse_rule("query { bib { book { title } } } construct { r }")
+        graph = rule.queries[0]
+        assert set(graph.nodes) == {"bib", "book", "title"}
+
+    def test_deep_not_ord_flags(self):
+        rule = parse_rule(
+            "query { bib { deep author as A  not cdrom as C  ord title as T } }"
+            " construct { r }"
+        )
+        edges = {e.child: e for e in rule.queries[0].edges}
+        assert edges["A"].deep and not edges["A"].negated
+        assert edges["C"].negated
+        assert edges["T"].ordered
+
+    def test_attribute_patterns(self):
+        rule = parse_rule(
+            'query { book as B { @year as Y  @lang = "en"  @id ~ /b\\d+/ as I } }'
+            " construct { r }"
+        )
+        graph = rule.queries[0]
+        assert isinstance(graph.nodes["Y"], AttributePattern)
+        lang = next(
+            n for n in graph.nodes.values()
+            if isinstance(n, AttributePattern) and n.name == "lang"
+        )
+        assert lang.value == "en"
+        assert graph.nodes["I"].regex == "b\\d+"
+
+    def test_text_patterns(self):
+        rule = parse_rule(
+            'query { title as T { text = "Exact" as TT } } construct { r }'
+        )
+        assert rule.queries[0].nodes["TT"].value == "Exact"
+
+    def test_text_regex(self):
+        rule = parse_rule(
+            "query { title as T { text ~ /.*Web.*/ as TT } } construct { r }"
+        )
+        assert rule.queries[0].nodes["TT"].regex == ".*Web.*"
+
+    def test_or_group(self):
+        rule = parse_rule(
+            "query { book as B { or { publisher as P | editor as E } } }"
+            " construct { r }"
+        )
+        graph = rule.queries[0]
+        assert len(graph.or_groups) == 1
+        assert len(graph.or_groups[0].alternatives) == 2
+        assert len(graph.edges) == 0
+
+    def test_source_name(self):
+        rule = parse_rule("query docs { a as A } construct { r }")
+        assert rule.queries[0].source == "docs"
+
+    def test_comments_ignored(self):
+        rule = parse_rule(
+            "# heading\nquery { a as A # trailing\n } construct { r }"
+        )
+        assert "A" in rule.queries[0].nodes
+
+
+class TestConditionParsing:
+    def parse_condition(self, text):
+        rule = parse_rule(f"query {{ a as A {{ b as B }} where {text} }} construct {{ r }}")
+        return rule.queries[0].conditions[0]
+
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            condition = self.parse_condition(f"A.x {op} 5")
+            assert condition.op == op
+
+    def test_attribute_and_content_operands(self):
+        condition = self.parse_condition("A.year = B")
+        assert condition.left.variable == "A"
+        assert condition.right.variable == "B"
+
+    def test_name_function(self):
+        condition = self.parse_condition("name(A) = 'book'")
+        assert type(condition.left).__name__ == "NameOf"
+
+    def test_arithmetic_precedence(self):
+        condition = self.parse_condition("A + B * 2 < 10")
+        # A + (B * 2)
+        assert condition.left.op == "+"
+        assert condition.left.right.op == "*"
+
+    def test_parenthesised_operand(self):
+        condition = self.parse_condition("(A + B) * 2 < 10")
+        assert condition.left.op == "*"
+
+    def test_boolean_structure(self):
+        condition = self.parse_condition("A = 1 and B = 2 or not A = 3")
+        assert type(condition).__name__ == "Or"
+
+    def test_parenthesised_condition(self):
+        condition = self.parse_condition("A = 1 and (B = 2 or B = 3)")
+        assert type(condition).__name__ == "And"
+        assert type(condition.conditions[1]).__name__ == "Or"
+
+    def test_regex_condition(self):
+        condition = self.parse_condition("A ~ /ab\\/c/")
+        assert condition.pattern == "ab/c"
+
+
+class TestConstructParsing:
+    def test_all_items(self):
+        rule = parse_rule(
+            """
+            query { book as B { title as T  @year as Y } }
+            construct {
+              result(version = "1", year = $Y) {
+                copy T
+                collect B shallow
+                text "label"
+                value Y
+                group Y { sub }
+                count(B)
+                avg(Y)
+                nested for B sortby Y { copy T }
+              }
+            }
+            """
+        )
+        kinds = [type(c).__name__ for c in rule.construct.children]
+        assert kinds == [
+            "Copy", "Collect", "TextLiteral", "TextFrom",
+            "GroupBy", "Aggregate", "Aggregate", "NewElement",
+        ]
+        assert rule.construct.attributes[0].value == "1"
+        assert rule.construct.attributes[1].from_variable == "Y"
+        nested = rule.construct.children[-1]
+        assert nested.for_each == ["B"] and nested.sort_by == "Y"
+        assert not rule.construct.children[1].deep  # shallow collect
+
+    def test_programs(self):
+        program = parse_program(
+            "rule a { query { x as X } construct { r1 } }"
+            "rule b { query { y as Y } construct { r2 } }"
+        )
+        assert [r.name for r in program.rules] == ["a", "b"]
+        assert not program.unwrap
+
+    def test_bare_rule_program(self):
+        program = parse_program("query { x as X } construct { r }")
+        assert len(program.rules) == 1 and program.unwrap
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "construct { r }",                          # missing query
+            "query { }",                                # no construct
+            "query { a as A } construct { }",           # empty construct
+            "query { a as A } construct { r } trailing",
+            "query { @x as X } construct { r }",        # attribute without parent
+            "query { deep a as A } construct { r }",    # deep without parent
+            "query { a as A { or { } } } construct { r }",
+            'query { a as A where A < } construct { r }',
+            "query { a as A where A ~ 5 } construct { r }",
+            "query { 'str' } construct { r }",
+            "query { a as A } construct { r { text B } }",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(QuerySyntaxError):
+            parse_rule(source)
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError, match="string"):
+            parse_rule('query { a as A { text = "oops } } construct { r }')
+
+    def test_unterminated_regex(self):
+        with pytest.raises(QuerySyntaxError, match="regex"):
+            parse_rule("query { a as A where A ~ /oops } construct { r }")
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            parse_rule("query {\n  $bad\n} construct { r }")
+        assert exc.value.line == 2
+
+
+class TestEndToEnd:
+    def test_rule_evaluation(self, bib):
+        rule = parse_rule(
+            """
+            query {
+              book as B { @year as Y  title as T }
+              where Y >= 1999
+            }
+            construct { recent { entry for B sortby Y { copy T value Y } } }
+            """
+        )
+        result = evaluate_rule(rule, bib)
+        assert serialize(result) == (
+            "<recent>"
+            "<entry><title>The Economics of Technology</title>1999</entry>"
+            "<entry><title>Data on the Web</title>2000</entry>"
+            "</recent>"
+        )
+
+    def test_program_evaluation(self, bib):
+        program = parse_program(
+            """
+            rule books { query { book as B } construct { books { count(B) } } }
+            rule arts  { query { article as A } construct { arts { count(A) } } }
+            """
+        )
+        doc = evaluate_program(program, bib)
+        assert doc.root.find("books").text_content() == "3"
+        assert doc.root.find("arts").text_content() == "1"

@@ -1,0 +1,250 @@
+"""Unit tests for XML-GL schema graphs and the DTD translation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.ssd import parse_document, parse_dtd
+from repro.ssd import validate as dtd_validate
+from repro.xmlgl.schema import (
+    SchemaGraph,
+    dtd_to_schema,
+    schema_to_dtd,
+)
+
+BOOK_DTD = """
+<!ELEMENT BOOK (title?, price, AUTHOR*)>
+<!ATTLIST BOOK isbn CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT AUTHOR (first-name, last-name)>
+<!ELEMENT first-name (#PCDATA)>
+<!ELEMENT last-name (#PCDATA)>
+"""
+
+
+def book_schema() -> SchemaGraph:
+    schema, notes = dtd_to_schema(parse_dtd(BOOK_DTD), "BOOK")
+    assert notes == []
+    return schema
+
+
+class TestSchemaConstruction:
+    def test_manual_schema(self):
+        s = SchemaGraph(root="site")
+        s.add_element("site")
+        s.add_element("page")
+        s.contain("site", "page", min=1, max=None)
+        s.add_attribute("page", "url", required=True)
+        s.add_text("page")
+        s.check()
+
+    def test_unknown_parent_rejected(self):
+        s = SchemaGraph(root="a")
+        s.add_element("a")
+        with pytest.raises(SchemaError):
+            s.contain("nope", "a")
+
+    def test_bad_root_rejected(self):
+        s = SchemaGraph(root="missing")
+        s.add_element("a")
+        with pytest.raises(SchemaError):
+            s.check()
+
+    def test_max_below_min_rejected(self):
+        s = SchemaGraph(root="a")
+        s.add_element("a")
+        s.add_element("b")
+        s.edges.append(
+            __import__("repro.xmlgl.schema", fromlist=["SchemaEdge"]).SchemaEdge(
+                "a", "b", min=2, max=1
+            )
+        )
+        with pytest.raises(SchemaError):
+            s.check()
+
+    def test_xor_member_needs_edge(self):
+        s = SchemaGraph(root="a")
+        s.add_element("a")
+        s.add_element("b")
+        s.xor("a", ("b",))
+        with pytest.raises(SchemaError):
+            s.check()
+
+
+class TestValidation:
+    def test_valid_instance(self):
+        doc = parse_document(
+            '<BOOK isbn="1"><title>T</title><price>9</price>'
+            "<AUTHOR><first-name>A</first-name><last-name>B</last-name></AUTHOR>"
+            "</BOOK>"
+        )
+        assert book_schema().validate(doc) == []
+
+    def test_wrong_root(self):
+        doc = parse_document("<OTHER/>")
+        violations = book_schema().validate(doc)
+        assert any("schema root" in v for v in violations)
+
+    def test_multiplicity_lower_bound(self):
+        doc = parse_document('<BOOK isbn="1"><title>T</title></BOOK>')
+        violations = book_schema().validate(doc)
+        assert any("at least 1 <price>" in v for v in violations)
+
+    def test_multiplicity_upper_bound(self):
+        doc = parse_document(
+            '<BOOK isbn="1"><price>1</price><price>2</price></BOOK>'
+        )
+        violations = book_schema().validate(doc)
+        assert any("at most 1 <price>" in v for v in violations)
+
+    def test_undeclared_child(self):
+        doc = parse_document('<BOOK isbn="1"><price>1</price><cdrom/></BOOK>')
+        violations = book_schema().validate(doc)
+        assert any("not allowed under" in v for v in violations)
+
+    def test_missing_required_attribute(self):
+        doc = parse_document("<BOOK><price>1</price></BOOK>")
+        assert any("isbn" in v for v in book_schema().validate(doc))
+
+    def test_order_enforced_for_ordered_edges(self):
+        doc = parse_document(
+            '<BOOK isbn="1"><price>1</price><title>T</title></BOOK>'
+        )
+        violations = book_schema().validate(doc)
+        assert any("out of order" in v for v in violations)
+
+    def test_unordered_content_allowed(self):
+        # XML-GL's selling point vs DTDs: unordered content models.
+        s = SchemaGraph(root="pair")
+        for tag in ("pair", "a", "b"):
+            s.add_element(tag)
+        s.contain("pair", "a")
+        s.contain("pair", "b")
+        s.add_text("a")
+        s.add_text("b")
+        for order in ("<a/><b/>", "<b/><a/>"):
+            doc = parse_document(f"<pair>{order}</pair>")
+            # empty a/b have no text; text edge is 0..* so fine
+            assert s.validate(doc) == [], order
+
+    def test_text_rules(self):
+        doc = parse_document('<BOOK isbn="1">loose text<price>1</price></BOOK>')
+        violations = book_schema().validate(doc)
+        assert any("text content not allowed" in v for v in violations)
+
+    def test_enumerated_attribute(self):
+        s = SchemaGraph(root="e")
+        s.add_element("e")
+        s.add_attribute("e", "c", values=("red", "green"))
+        assert s.validate(parse_document('<e c="red"/>')) == []
+        assert any(
+            "must be one of" in v for v in s.validate(parse_document('<e c="blue"/>'))
+        )
+
+    def test_fixed_attribute(self):
+        s = SchemaGraph(root="e")
+        s.add_element("e")
+        s.add_attribute("e", "v", fixed="1")
+        assert s.validate(parse_document('<e v="1"/>')) == []
+        assert any("fixed" in v for v in s.validate(parse_document('<e v="2"/>')))
+
+    def test_recursive_schema(self):
+        # sections contain sections: legal in XML-GL schemas
+        s = SchemaGraph(root="section")
+        s.add_element("section")
+        s.contain("section", "section", min=0, max=None)
+        deep = parse_document("<section><section><section/></section></section>")
+        assert s.validate(deep) == []
+
+
+class TestXor:
+    def make(self) -> SchemaGraph:
+        s = SchemaGraph(root="item")
+        for tag in ("item", "new", "used"):
+            s.add_element(tag)
+        s.contain("item", "new", min=0, max=1)
+        s.contain("item", "used", min=0, max=1)
+        s.xor("item", ("new",), ("used",), required=True)
+        return s
+
+    def test_one_branch_ok(self):
+        assert self.make().validate(parse_document("<item><new/></item>")) == []
+
+    def test_both_branches_rejected(self):
+        violations = self.make().validate(
+            parse_document("<item><new/><used/></item>")
+        )
+        assert any("xor" in v for v in violations)
+
+    def test_required_branch_missing(self):
+        violations = self.make().validate(parse_document("<item/>"))
+        assert any("required" in v for v in violations)
+
+
+class TestDtdTranslation:
+    def test_book_round_trip(self):
+        schema = book_schema()
+        text, notes = schema_to_dtd(schema)
+        assert notes == []
+        reparsed = parse_dtd(text)
+        assert str(reparsed.declaration("BOOK").content) == "(title?,price,AUTHOR*)"
+
+    def test_schema_agrees_with_dtd_validation(self):
+        dtd = parse_dtd(BOOK_DTD)
+        schema = book_schema()
+        samples = [
+            '<BOOK isbn="1"><price>1</price></BOOK>',
+            '<BOOK isbn="1"><title>T</title><price>1</price></BOOK>',
+            '<BOOK isbn="1"><title>T</title></BOOK>',
+            '<BOOK isbn="1"><price>1</price><price>2</price></BOOK>',
+            "<BOOK><price>1</price></BOOK>",
+        ]
+        for sample in samples:
+            doc = parse_document(sample)
+            assert bool(dtd_validate(doc, dtd)) == bool(schema.validate(doc)), sample
+
+    def test_mixed_content_translation(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>")
+        schema, _ = dtd_to_schema(dtd, "p")
+        assert schema.allows_text("p")
+        doc = parse_document("<p>a<em>b</em>c</p>")
+        assert schema.validate(doc) == []
+
+    def test_choice_translation_uses_xor(self):
+        dtd = parse_dtd(
+            "<!ELEMENT m (cash | card)><!ELEMENT cash EMPTY><!ELEMENT card EMPTY>"
+        )
+        schema, notes = dtd_to_schema(dtd, "m")
+        assert notes == []
+        assert schema.validate(parse_document("<m><cash/></m>")) == []
+        assert any(
+            "xor" in v for v in schema.validate(parse_document("<m><cash/><card/></m>"))
+        )
+        assert any(
+            "required" in v for v in schema.validate(parse_document("<m/>"))
+        )
+
+    def test_nested_group_widened_with_note(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r ((a, b)+)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+        )
+        schema, notes = dtd_to_schema(dtd, "r")
+        assert notes  # approximation documented
+        # widened schema accepts what the DTD accepts...
+        assert schema.validate(parse_document("<r><a/><b/></r>")) == []
+        assert schema.validate(parse_document("<r><a/><b/><a/><b/></r>")) == []
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(SchemaError):
+            dtd_to_schema(parse_dtd("<!ELEMENT a EMPTY>"), "zzz")
+
+    def test_any_content_translated_with_note(self):
+        dtd = parse_dtd("<!ELEMENT a ANY><!ELEMENT b EMPTY>")
+        schema, notes = dtd_to_schema(dtd, "a")
+        assert notes
+        assert schema.validate(parse_document("<a><b/><b/>text</a>")) == []
+
+    def test_describe_smoke(self):
+        text = book_schema().describe()
+        assert "BOOK -> price [1..1] ordered" in text
+        assert "BOOK @isbn required" in text

@@ -1,0 +1,175 @@
+"""Tests for schema-aware query checking and chained programs."""
+
+import pytest
+
+from repro.errors import EvaluationError, QueryStructureError
+from repro.ssd import parse_document, parse_dtd, serialize
+from repro.xmlgl import QueryBuilder, evaluate_program
+from repro.xmlgl.dsl import parse_program, parse_rule
+from repro.xmlgl.schema import dtd_to_schema
+from repro.xmlgl.schema_check import check_query_against_schema
+from repro.workloads import BIB_DTD
+
+
+@pytest.fixture
+def schema():
+    return dtd_to_schema(parse_dtd(BIB_DTD), "bib")[0]
+
+
+class TestSchemaAwareChecking:
+    def test_conformant_query_clean(self, schema):
+        q = QueryBuilder()
+        bib = q.box("bib", id="R", anchored=True)
+        book = q.box("book", id="B", parent=bib)
+        q.attribute(book, "year", id="Y")
+        q.box("title", id="T", parent=book)
+        assert check_query_against_schema(q.graph(), schema) == []
+
+    def test_undeclared_element(self, schema):
+        q = QueryBuilder()
+        q.box("cdrom", id="C")
+        warnings = check_query_against_schema(q.graph(), schema)
+        assert any("not declared" in w for w in warnings)
+
+    def test_wrong_anchor(self, schema):
+        q = QueryBuilder()
+        q.box("book", id="B", anchored=True)
+        warnings = check_query_against_schema(q.graph(), schema)
+        assert any("schema root" in w for w in warnings)
+
+    def test_impossible_direct_containment(self, schema):
+        q = QueryBuilder()
+        bib = q.box("bib", id="R")
+        q.box("last", id="L", parent=bib)  # last is 3 levels down
+        warnings = check_query_against_schema(q.graph(), schema)
+        assert any("not a declared child" in w for w in warnings)
+
+    def test_deep_containment_uses_paths(self, schema):
+        q = QueryBuilder()
+        bib = q.box("bib", id="R")
+        q.box("last", id="L", parent=bib, deep=True)
+        assert check_query_against_schema(q.graph(), schema) == []
+
+    def test_impossible_deep_containment(self, schema):
+        q = QueryBuilder()
+        title = q.box("title", id="T")
+        q.box("book", id="B", parent=title, deep=True)  # upside down
+        warnings = check_query_against_schema(q.graph(), schema)
+        assert any("no containment path" in w for w in warnings)
+
+    def test_undeclared_attribute(self, schema):
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        q.attribute(book, "isbn", id="I")
+        warnings = check_query_against_schema(q.graph(), schema)
+        assert any("no attribute 'isbn'" in w for w in warnings)
+
+    def test_enumeration_violation(self):
+        from repro.xmlgl.schema import SchemaGraph
+
+        schema = SchemaGraph(root="e")
+        schema.add_element("e")
+        schema.add_attribute("e", "c", values=("red", "green"))
+        q = QueryBuilder()
+        e = q.box("e", id="E")
+        q.attribute(e, "c", id="C", value="blue")
+        warnings = check_query_against_schema(q.graph(), schema)
+        assert any("enumeration" in w for w in warnings)
+
+    def test_text_under_elementless_content(self, schema):
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        q.text(book, id="T")  # book has element content, no PCDATA
+        warnings = check_query_against_schema(q.graph(), schema)
+        assert any("PCDATA" in w for w in warnings)
+
+    def test_wildcards_never_warned(self, schema):
+        q = QueryBuilder()
+        any_box = q.box(None, id="X")
+        q.box(None, id="Y", parent=any_box, deep=True)
+        assert check_query_against_schema(q.graph(), schema) == []
+
+
+class TestChainedPrograms:
+    DOC = (
+        '<bib><book year="1999"><title>A</title></book>'
+        '<book year="1990"><title>B</title></book></bib>'
+    )
+
+    def test_chained_view(self):
+        program = parse_program(
+            """
+            chained
+            rule recent {
+              query { book as B { @year as Y  title as T } where Y >= 1995 }
+              construct { recent { entry for B { copy T } } }
+            }
+            rule count_recent {
+              query recent { entry as E }
+              construct { summary { count(E) } }
+            }
+            """
+        )
+        assert program.chained
+        result = evaluate_program(program, parse_document(self.DOC))
+        summary = result.root.find("summary")
+        assert summary.text_content() == "1"
+
+    def test_original_input_still_visible(self):
+        program = parse_program(
+            """
+            chained
+            rule one {
+              query input { book as B }
+              construct { all { count(B) } }
+            }
+            rule two {
+              query input { book as B { @year as Y } where Y >= 1995 }
+              construct { recent { count(B) } }
+            }
+            """
+        )
+        result = evaluate_program(program, parse_document(self.DOC))
+        assert result.root.find("all").text_content() == "2"
+        assert result.root.find("recent").text_content() == "1"
+
+    def test_forward_reference_is_unknown_source(self):
+        program = parse_program(
+            """
+            chained
+            rule one {
+              query later { entry as E }
+              construct { out { count(E) } }
+            }
+            rule later {
+              query input { book as B }
+              construct { later-result { collect B } }
+            }
+            """
+        )
+        with pytest.raises(EvaluationError, match="unknown source"):
+            evaluate_program(program, parse_document(self.DOC))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(QueryStructureError, match="distinct"):
+            parse_program(
+                """
+                chained
+                rule same { query input { a as A } construct { r1 } }
+                rule same { query input { b as B } construct { r2 } }
+                """
+            )
+
+    def test_unchained_rules_do_not_see_views(self):
+        program = parse_program(
+            """
+            rule one {
+              query { book as B } construct { all { count(B) } }
+            }
+            rule two {
+              query one { entry as E } construct { out { count(E) } }
+            }
+            """
+        )
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, parse_document(self.DOC))

@@ -1,0 +1,205 @@
+"""Tests for the XML-GL → path translation, incl. the differential oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ssd import E, document, parse_document
+from repro.ssd.paths import evaluate_path
+from repro.xmlgl import QueryBuilder, cmp, content, match
+from repro.xmlgl.translate import TranslationError, to_path, translatable
+
+
+@pytest.fixture
+def doc():
+    return parse_document(
+        '<bib>'
+        '<book year="1994"><title>TCP</title><author><last>Stevens</last></author></book>'
+        '<book year="2000"><title>Web</title></book>'
+        '<article><title>GQL</title></article>'
+        '</bib>'
+    )
+
+
+def matched_elements(graph, doc, node_id):
+    return {id(b[node_id]) for b in match(graph, doc)}
+
+
+class TestTranslation:
+    def test_simple_chain(self, doc):
+        q = QueryBuilder()
+        bib = q.box("bib", id="R", anchored=True)
+        book = q.box("book", id="B", parent=bib)
+        title = q.box("title", id="T", parent=book)
+        path = to_path(q.graph(), "T")
+        assert str(path) == "/bib/book/title"
+        assert {id(e) for e in evaluate_path(path, doc)} == matched_elements(
+            q.graph(), doc, "T"
+        )
+
+    def test_unanchored_root_becomes_descendant(self, doc):
+        q = QueryBuilder()
+        q.box("title", id="T")
+        assert str(to_path(q.graph(), "T")) == "//title"
+
+    def test_deep_edge(self, doc):
+        q = QueryBuilder()
+        bib = q.box("bib", id="R", anchored=True)
+        q.box("last", id="L", parent=bib, deep=True)
+        assert str(to_path(q.graph(), "L")) == "/bib//last"
+
+    def test_attribute_constraint(self, doc):
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        q.attribute(book, "year", id="Y", value="2000")
+        path = to_path(q.graph(), "B")
+        assert str(path) == "//book[@year='2000']"
+        assert len(evaluate_path(path, doc)) == 1
+
+    def test_off_spine_siblings_become_predicates(self, doc):
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        q.box("author", id="A", parent=book)
+        title = q.box("title", id="T", parent=book)
+        path = to_path(q.graph(), "T")
+        assert str(path) == "//book[author]/title"
+
+    def test_negation_becomes_not(self, doc):
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        q.negate(book, q.box("author", id="A"))
+        path = to_path(q.graph(), "B")
+        assert str(path) == "//book[not(author)]"
+        assert len(evaluate_path(path, doc)) == 1
+
+    def test_wildcard_box(self, doc):
+        q = QueryBuilder()
+        any_box = q.box(None, id="X")
+        q.attribute(any_box, "year", id="Y")
+        assert str(to_path(q.graph(), "X")) == "//*[@year]"
+
+
+class TestFragmentBoundaries:
+    def test_join_not_translatable(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        b = q.box("b", id="B")
+        shared = q.box("c", id="C")
+        q.contains(a, shared)
+        q.contains(b, shared)
+        assert "shared" in translatable(q.graph())
+
+    def test_conditions_not_translatable(self):
+        q = QueryBuilder()
+        q.box("a", id="A")
+        q.where(cmp("=", content("A"), 1))
+        assert "predicate annotations" in translatable(q.graph())
+
+    def test_multi_root_not_translatable(self):
+        q = QueryBuilder()
+        q.box("a", id="A")
+        q.box("b", id="B")
+        assert "roots" in translatable(q.graph())
+
+    def test_or_groups_not_translatable(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        b = q.box("b", id="B")
+        c = q.box("c", id="C")
+        q.either([q.detached_edge(a, b)], [q.detached_edge(a, c)])
+        assert "or-arcs" in translatable(q.graph())
+
+    def test_regex_not_translatable(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        q.text(a, id="T", regex="x.*")
+        assert "regex" in translatable(q.graph())
+
+    def test_ordered_not_translatable(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        q.box("b", id="B", parent=a, ordered=True)
+        q.box("c", id="C", parent=a, ordered=True)
+        assert "ordered" in translatable(q.graph())
+
+    def test_untranslatable_raises(self):
+        q = QueryBuilder()
+        q.box("a", id="A")
+        q.box("b", id="B")
+        with pytest.raises(TranslationError):
+            to_path(q.graph(), "A")
+
+    def test_target_must_be_element(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        q.text(a, id="T")
+        with pytest.raises(TranslationError, match="element"):
+            to_path(q.graph(), "T")
+
+    def test_negated_target_rejected(self):
+        q = QueryBuilder()
+        a = q.box("a", id="A")
+        q.negate(a, q.box("b", id="B"))
+        with pytest.raises(TranslationError, match="negated"):
+            to_path(q.graph(), "B")
+
+
+# ---------------------------------------------------------------------------
+# Differential oracle: matcher vs path engine on random tree queries
+# ---------------------------------------------------------------------------
+
+TAGS = ["a", "b", "c"]
+
+
+@st.composite
+def tree_queries(draw):
+    q = QueryBuilder()
+    ids = [q.box(draw(st.sampled_from(TAGS + [None])), id="N0")]
+    for index in range(1, draw(st.integers(1, 4))):
+        parent = draw(st.sampled_from(ids))
+        deep = draw(st.booleans())
+        negated = draw(st.booleans()) and index > 1
+        node_id = f"N{index}"
+        if negated:
+            q.negate(parent, q.box(draw(st.sampled_from(TAGS)), id=node_id))
+        else:
+            ids.append(
+                q.box(
+                    draw(st.sampled_from(TAGS + [None])),
+                    id=node_id, parent=parent, deep=deep,
+                )
+            )
+    if draw(st.booleans()):
+        target_parent = draw(st.sampled_from(ids))
+        q.attribute(target_parent, "k", id="ATT",
+                    value=draw(st.sampled_from(["1", None])))
+    graph = q.graph()
+    target = draw(st.sampled_from(ids))
+    return graph, target
+
+
+@st.composite
+def random_documents(draw):
+    def build(level):
+        element = E(draw(st.sampled_from(TAGS)))
+        if draw(st.booleans()):
+            element.set("k", draw(st.sampled_from(["1", "2"])))
+        if level > 0:
+            for _ in range(draw(st.integers(0, 3))):
+                element.append(build(level - 1))
+        return element
+
+    return document(build(3))
+
+
+class TestDifferentialOracle:
+    @given(tree_queries(), random_documents())
+    @settings(max_examples=150, deadline=None)
+    def test_matcher_agrees_with_path_engine(self, query, doc):
+        graph, target = query
+        reason = translatable(graph)
+        if reason is not None:
+            return
+        path = to_path(graph, target)
+        via_matcher = matched_elements(graph, doc, target)
+        via_paths = {id(e) for e in evaluate_path(path, doc)}
+        assert via_matcher == via_paths, str(path)
