@@ -55,6 +55,17 @@ def bib_instance(bib_doc):
 
 
 @pytest.fixture
+def sections_index(sections_doc):
+    """Prebuilt DocumentIndex for a nested-sections document."""
+
+    def make(depth: int, fanout: int = 2):
+        doc = sections_doc(depth, fanout)
+        return _cached(("sectionsidx", depth, fanout), lambda: DocumentIndex(doc))
+
+    return make
+
+
+@pytest.fixture
 def sections_doc():
     """nested_sections(depth, fanout) -> Document, cached."""
 

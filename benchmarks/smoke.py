@@ -1,0 +1,17 @@
+"""Convenience wrapper so the smoke-runner is discoverable next to the
+benchmarks it samples::
+
+    python benchmarks/smoke.py [-o BENCH_matcher.json] [--repeat N]
+
+Equivalent to ``PYTHONPATH=src python -m repro.bench_smoke``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench_smoke import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

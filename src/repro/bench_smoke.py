@@ -1,0 +1,193 @@
+"""Benchmark smoke-runner: the ``bench_ext_*`` workloads at small sizes.
+
+Runs the representative matcher queries from the extension benchmarks
+(``bench_ext_ablation``, ``bench_ext_paths``, ``bench_ext_scaling``,
+``bench_fig_q4_deep``) on both evaluation paths — the interval-indexed
+default and the naive full-scan ablation — and writes a JSON report
+(``BENCH_matcher.json``) with per-query wall time and
+:class:`~repro.engine.stats.EvalStats` counters, so successive PRs leave a
+perf trajectory to compare against::
+
+    PYTHONPATH=src python -m repro.bench_smoke            # small sizes
+    PYTHONPATH=src python -m repro.bench_smoke --repeat 9 -o BENCH_matcher.json
+
+``work`` is ``candidates_tried + edge_checks``; ``work_ratio`` is
+naive-work / indexed-work (≥ 1 means the interval path does less
+trial-and-error), ``speedup`` the same for wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from .engine.index import DocumentIndex
+from .engine.stats import EvalStats
+from .ssd.model import Document
+from .workloads import bibliography, nested_sections
+from .xmlgl.ast import QueryGraph
+from .xmlgl.dsl import parse_rule
+from .xmlgl.matcher import MatchOptions, match
+
+__all__ = ["run_suite", "main"]
+
+INDEXED = MatchOptions(use_planner=True, use_index=True)
+NAIVE = MatchOptions(use_planner=True, use_index=False)
+
+# (name, dsl text, dataset, descendant_heavy)
+QUERIES: list[tuple[str, str, str, bool]] = [
+    (
+        "ext_paths/chain",
+        "query { root bib as R { book as B { title as T } } }"
+        " construct { r { collect T } }",
+        "bib",
+        False,
+    ),
+    (
+        "ext_paths/deep",
+        "query { root report as R { deep para as P } }"
+        " construct { r { collect P } }",
+        "sections",
+        True,
+    ),
+    (
+        "ext_paths/filtered",
+        'query { book as B { @year = "1999" as Y  not publisher as P } }'
+        " construct { r { collect B } }",
+        "bib",
+        False,
+    ),
+    (
+        "fig_q4/deep_star",
+        "query { root report as R { deep para as P } }"
+        " construct { r { collect P } }",
+        "sections",
+        True,
+    ),
+    (
+        "ext_ablation/multibox",
+        "query { book as B { publisher as P  title as T  @year as Y }"
+        " where Y >= 1995 } construct { r { collect T } }",
+        "bib",
+        False,
+    ),
+    (
+        "ext_scaling/select",
+        "query { book as B { title as T  @year as Y } where Y >= 1995 }"
+        " construct { r { collect T } }",
+        "bib",
+        False,
+    ),
+]
+
+
+def _first_graph(text: str) -> QueryGraph:
+    return parse_rule(text).queries[0]
+
+
+def _time_and_count(
+    graph: QueryGraph,
+    document: Document,
+    index: DocumentIndex,
+    options: MatchOptions,
+    repeat: int,
+) -> tuple[float, dict, int]:
+    stats = EvalStats()
+    bindings = match(graph, document, options=options, index=index, stats=stats)
+    best = stats.seconds
+    for _ in range(repeat - 1):
+        started = time.perf_counter()
+        match(graph, document, options=options, index=index)
+        best = min(best, time.perf_counter() - started)
+    counters = stats.as_dict()
+    counters.pop("seconds", None)
+    return best, counters, len(bindings)
+
+
+def run_suite(
+    bib_entries: int = 400,
+    sections_depth: int = 7,
+    repeat: int = 5,
+) -> dict:
+    """Run every query on both paths; returns the JSON-ready report."""
+    datasets = {
+        "bib": bibliography(bib_entries, seed=0),
+        "sections": nested_sections(depth=sections_depth, fanout=2, seed=0),
+    }
+    indexes = {name: DocumentIndex(doc) for name, doc in datasets.items()}
+    report: dict = {
+        "generated_by": "repro.bench_smoke",
+        "schema_version": 1,
+        "sizes": {
+            "bib_entries": bib_entries,
+            "sections_depth": sections_depth,
+            "bib_elements": indexes["bib"].element_count(),
+            "sections_elements": indexes["sections"].element_count(),
+        },
+        "repeat": repeat,
+        "queries": {},
+    }
+    for name, text, dataset, descendant_heavy in QUERIES:
+        graph = _first_graph(text)
+        document = datasets[dataset]
+        index = indexes[dataset]
+        entry: dict = {"dataset": dataset, "descendant_heavy": descendant_heavy}
+        for label, options in (("indexed", INDEXED), ("naive", NAIVE)):
+            seconds, counters, bindings = _time_and_count(
+                graph, document, index, options, repeat
+            )
+            work = counters["candidates_tried"] + counters["edge_checks"]
+            entry[label] = {
+                "seconds": seconds,
+                "bindings": bindings,
+                "work": work,
+                **counters,
+            }
+        assert entry["indexed"]["bindings"] == entry["naive"]["bindings"], name
+        indexed_work = max(entry["indexed"]["work"], 1)
+        entry["work_ratio"] = round(entry["naive"]["work"] / indexed_work, 2)
+        entry["speedup"] = round(
+            entry["naive"]["seconds"] / max(entry["indexed"]["seconds"], 1e-9), 2
+        )
+        report["queries"][name] = entry
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench_smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("-o", "--output", default="BENCH_matcher.json")
+    parser.add_argument("--bib-entries", type=int, default=400)
+    parser.add_argument("--sections-depth", type=int, default=7)
+    parser.add_argument("--repeat", type=int, default=5)
+    args = parser.parse_args(argv)
+    report = run_suite(args.bib_entries, args.sections_depth, args.repeat)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    heavy = [
+        (name, entry)
+        for name, entry in report["queries"].items()
+        if entry["descendant_heavy"]
+    ]
+    print(f"wrote {args.output}")
+    for name, entry in report["queries"].items():
+        marker = "*" if entry["descendant_heavy"] else " "
+        print(
+            f" {marker} {name}: work {entry['naive']['work']} -> "
+            f"{entry['indexed']['work']} ({entry['work_ratio']}x), "
+            f"time {entry['naive']['seconds'] * 1000:.2f}ms -> "
+            f"{entry['indexed']['seconds'] * 1000:.2f}ms "
+            f"({entry['speedup']}x)"
+        )
+    worst = min(entry["work_ratio"] for _, entry in heavy)
+    print(f"descendant-heavy (*) worst work ratio: {worst}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="named source document (repeatable)",
     )
     xmlgl.add_argument("--compact", action="store_true", help="no pretty printing")
+    xmlgl.add_argument(
+        "--stats", action="store_true",
+        help="print evaluation counters (EvalStats) to stderr",
+    )
 
     wglog = commands.add_parser("wglog", help="run WG-Log rules over bridged XML")
     wglog.add_argument("rules", help="rules file (WG-Log DSL, optional schema block)")
@@ -117,6 +121,7 @@ def _load_document(path: str):
 
 
 def _cmd_xmlgl(args: argparse.Namespace, out) -> int:
+    from .engine.stats import EvalStats
     from .ssd import pretty, serialize
     from .xmlgl import evaluate_program
     from .xmlgl.dsl import parse_program
@@ -137,8 +142,13 @@ def _cmd_xmlgl(args: argparse.Namespace, out) -> int:
     elif not sources:
         print("no input document given", file=sys.stderr)
         return 2
-    result = evaluate_program(program, sources)
+    stats = EvalStats()
+    result = evaluate_program(program, sources, stats=stats)
     print(serialize(result) if args.compact else pretty(result), file=out)
+    if args.stats:
+        for counter, amount in stats.as_dict().items():
+            shown = f"{amount:.6f}" if counter == "seconds" else str(amount)
+            print(f"# {counter}: {shown}", file=sys.stderr)
     return 0
 
 

@@ -18,7 +18,9 @@ from .conditions import (
     TRUE,
     condition_variables,
 )
+from .cache import DocumentIndexCache, get_index, invalidate, shared_cache
 from .index import DocumentIndex
+from .narrowing import intersect_pools
 from .planner import plan_order
 from .stats import EvalStats
 
@@ -27,5 +29,6 @@ __all__ = [
     "Const", "ContentOf", "AttributeOf", "NameOf", "Arith",
     "Comparison", "Regex", "And", "Or", "Not", "TRUE",
     "Condition", "Operand", "DocumentAccessor", "condition_variables",
-    "DocumentIndex", "plan_order", "EvalStats",
+    "DocumentIndex", "DocumentIndexCache", "get_index", "invalidate",
+    "shared_cache", "intersect_pools", "plan_order", "EvalStats",
 ]

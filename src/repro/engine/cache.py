@@ -1,0 +1,90 @@
+"""Shared per-document :class:`DocumentIndex` cache.
+
+The engines treat documents as frozen during evaluation, so an index built
+for one query answers every later query over the same document.  Before
+this cache each entry point (session, CLI, evaluator, benchmarks) kept its
+own ``dict`` keyed by ``id(document)`` — or rebuilt the index per query.
+They now share one process-wide cache:
+
+    from repro.engine.cache import get_index, invalidate
+    index = get_index(document)     # built once, then reused
+    document.root.append(...)       # mutation invalidates the snapshot...
+    invalidate(document)            # ...which the caller signals explicitly
+
+**Invalidation contract.**  Entries are keyed by a weak reference to the
+document and checked by identity, so a recycled ``id()`` can never alias a
+dead document.  An index holds the element tree (and through parent links
+the document) alive, so entries persist until :func:`invalidate` /
+:meth:`DocumentIndexCache.clear` — callers that mutate a document **must**
+invalidate it, and long-lived processes juggling many throwaway documents
+should clear the cache between batches.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from .index import DocumentIndex
+from ..ssd.model import Document
+
+__all__ = ["DocumentIndexCache", "get_index", "invalidate", "shared_cache"]
+
+
+class DocumentIndexCache:
+    """Weakref-keyed, explicitly invalidated index cache."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[weakref.ref, DocumentIndex]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, document: Document) -> DocumentIndex:
+        """The cached index for ``document``, building it on first use."""
+        key = id(document)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is document:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        index = DocumentIndex(document)
+
+        def _dropped(_ref: weakref.ref, key: int = key) -> None:
+            self._entries.pop(key, None)
+
+        self._entries[key] = (weakref.ref(document, _dropped), index)
+        return index
+
+    def peek(self, document: Document) -> DocumentIndex | None:
+        """The cached index, or ``None`` — never builds."""
+        entry = self._entries.get(id(document))
+        if entry is not None and entry[0]() is document:
+            return entry[1]
+        return None
+
+    def invalidate(self, document: Document) -> bool:
+        """Drop ``document``'s entry (after mutation); True if one existed."""
+        return self._entries.pop(id(document), None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, document: object) -> bool:
+        return isinstance(document, Document) and self.peek(document) is not None
+
+
+#: Process-wide cache shared by the session, CLI, evaluator and benchmarks.
+shared_cache = DocumentIndexCache()
+
+
+def get_index(document: Document) -> DocumentIndex:
+    """Shared-cache lookup (see the module docstring for the contract)."""
+    return shared_cache.get(document)
+
+
+def invalidate(document: Document) -> bool:
+    """Drop ``document`` from the shared cache after mutating it."""
+    return shared_cache.invalidate(document)

@@ -2,13 +2,29 @@
 
 The XML-GL matcher scans documents for elements matching pattern nodes; a
 :class:`DocumentIndex` turns those scans into hash lookups and supplies the
-label frequencies the planner's selectivity estimates use.  Indexes are
-built once per document and are immutable snapshots — mutate the document
-and you rebuild (the engines treat documents as frozen during evaluation).
+label frequencies the planner's selectivity estimates use.
+
+On top of the tag/attribute maps the index carries a **pre/post-order
+interval encoding** assigned in one construction pass: every element gets
+``(pre, post, depth, parent_pre)`` where ``pre`` is its document-order
+position and ``post`` the largest ``pre`` in its subtree.  That makes the
+structural predicates the matchers hammer on cheap:
+
+* ancestor/descendant — two integer comparisons
+  (``pre(a) < pre(d) <= post(a)``),
+* document-order comparison — a ``pre`` comparison,
+* "elements with tag T inside the subtree of P" — a :mod:`bisect` range
+  over the per-tag pre-sorted arrays instead of a subtree walk.
+
+Indexes are built once per document and are immutable snapshots — mutate
+the document and you rebuild (the engines treat documents as frozen during
+evaluation; :mod:`repro.engine.cache` holds the shared snapshots and is
+invalidated explicitly).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterator, Optional
 
 from ..ssd.model import Document, Element
@@ -17,20 +33,56 @@ __all__ = ["DocumentIndex"]
 
 
 class DocumentIndex:
-    """Label / attribute / position index over one document."""
+    """Label / attribute / interval index over one document."""
 
     def __init__(self, document: Document) -> None:
         self._document = document
-        self._by_tag: dict[str, list[Element]] = {}
-        self._by_attribute: dict[str, list[Element]] = {}
-        self._positions: dict[int, int] = {}
-        self._element_count = 0
-        for position, element in enumerate(document.iter()):
-            self._element_count += 1
-            self._by_tag.setdefault(element.tag, []).append(element)
-            self._positions[id(element)] = position
+        by_tag: dict[str, list[Element]] = {}
+        tag_pres: dict[str, list[int]] = {}
+        by_attribute: dict[str, list[Element]] = {}
+        self._pre: dict[int, int] = {}          # id(element) -> pre number
+        self._elements: list[Element] = []      # pre -> element
+        self._depth: list[int] = []             # pre -> depth (root = 0)
+        self._parent_pre: list[int] = []        # pre -> parent's pre (-1 at root)
+
+        root = document.root
+        stack: list[tuple[Element, int, int]] = (
+            [(root, -1, 0)] if root is not None else []
+        )
+        while stack:
+            element, parent_pre, depth = stack.pop()
+            pre = len(self._elements)
+            self._elements.append(element)
+            self._pre[id(element)] = pre
+            self._depth.append(depth)
+            self._parent_pre.append(parent_pre)
+            by_tag.setdefault(element.tag, []).append(element)
+            tag_pres.setdefault(element.tag, []).append(pre)
             for name in element.attributes:
-                self._by_attribute.setdefault(name, []).append(element)
+                by_attribute.setdefault(name, []).append(element)
+            stack.extend(
+                (child, pre, depth + 1)
+                for child in reversed(element.child_elements())
+            )
+
+        # post numbers: children are contiguous after their parent in pre
+        # order, so post = pre + subtree_size - 1; accumulate sizes bottom-up.
+        count = len(self._elements)
+        sizes = [1] * count
+        for pre in range(count - 1, 0, -1):
+            sizes[self._parent_pre[pre]] += sizes[pre]
+        self._post: list[int] = [pre + sizes[pre] - 1 for pre in range(count)]
+        self._element_count = count
+
+        # Freeze the pools: lookups hand them straight to callers, and the
+        # matchers slice them, so they must be immutable.
+        self._by_tag: dict[str, tuple[Element, ...]] = {
+            tag: tuple(pool) for tag, pool in by_tag.items()
+        }
+        self._tag_pres: dict[str, list[int]] = tag_pres
+        self._by_attribute: dict[str, tuple[Element, ...]] = {
+            name: tuple(pool) for name, pool in by_attribute.items()
+        }
 
     # -- lookups ------------------------------------------------------------
 
@@ -39,21 +91,57 @@ class DocumentIndex:
         """The indexed document."""
         return self._document
 
-    def elements_with_tag(self, tag: str) -> list[Element]:
-        """All elements with ``tag``, document order."""
-        return self._by_tag.get(tag, [])
+    def elements_with_tag(self, tag: str) -> tuple[Element, ...]:
+        """All elements with ``tag``, document order (immutable)."""
+        return self._by_tag.get(tag, ())
 
-    def elements_with_attribute(self, name: str) -> list[Element]:
+    def elements_with_attribute(self, name: str) -> tuple[Element, ...]:
         """All elements carrying attribute ``name``, document order."""
-        return self._by_attribute.get(name, [])
+        return self._by_attribute.get(name, ())
 
     def all_elements(self) -> Iterator[Element]:
         """Every element, document order."""
-        return self._document.iter()
+        return iter(self._elements)
 
     def position(self, element: Element) -> int:
-        """Document-order position of ``element`` (elements only)."""
-        return self._positions[id(element)]
+        """Document-order position (= pre number) of ``element``."""
+        return self._pre[id(element)]
+
+    def covers(self, element: Element) -> bool:
+        """Whether ``element`` belongs to the indexed document."""
+        return id(element) in self._pre
+
+    # -- interval encoding ----------------------------------------------------
+
+    def interval(self, element: Element) -> tuple[int, int]:
+        """``(pre, post)`` of ``element``'s subtree."""
+        pre = self._pre[id(element)]
+        return pre, self._post[pre]
+
+    def depth(self, element: Element) -> int:
+        """Nesting depth of ``element`` (root = 0)."""
+        return self._depth[self._pre[id(element)]]
+
+    def is_ancestor(self, ancestor: Element, descendant: Element) -> bool:
+        """Proper ancestor test via two integer comparisons."""
+        a = self._pre[id(ancestor)]
+        d = self._pre[id(descendant)]
+        return a < d <= self._post[a]
+
+    def descendants(self, element: Element) -> list[Element]:
+        """Proper descendants of ``element``, document order (O(result))."""
+        pre = self._pre[id(element)]
+        return self._elements[pre + 1 : self._post[pre] + 1]
+
+    def descendants_with_tag(self, element: Element, tag: str) -> tuple[Element, ...]:
+        """Descendants of ``element`` with ``tag`` via a bisect range."""
+        pres = self._tag_pres.get(tag)
+        if not pres:
+            return ()
+        pre = self._pre[id(element)]
+        lo = bisect_right(pres, pre)
+        hi = bisect_right(pres, self._post[pre])
+        return self._by_tag[tag][lo:hi]
 
     # -- statistics -----------------------------------------------------------
 
@@ -64,6 +152,19 @@ class DocumentIndex:
     def tag_count(self, tag: str) -> int:
         """Number of elements with ``tag``."""
         return len(self._by_tag.get(tag, ()))
+
+    def tag_count_within(self, element: Element, tag: Optional[str]) -> int:
+        """Number of ``tag`` elements inside ``element``'s subtree.
+
+        ``None`` counts every proper descendant.  Costs two bisects.
+        """
+        pre = self._pre[id(element)]
+        if tag is None:
+            return self._post[pre] - pre
+        pres = self._tag_pres.get(tag)
+        if not pres:
+            return 0
+        return bisect_right(pres, self._post[pre]) - bisect_right(pres, pre)
 
     def tags(self) -> set[str]:
         """The set of tags occurring in the document."""

@@ -2,14 +2,40 @@
 
 Both engines thread an :class:`EvalStats` object through matching so
 benchmarks and the ablation study can report *work done* (candidates tried,
-bindings produced) rather than wall-clock time alone.
+bindings produced) rather than wall-clock time alone.  ``seconds``
+accumulates evaluation wall time, and the ``interval_*`` counters report
+how often the interval-encoded structural index answered a question the
+naive path would have answered by scanning:
+
+* ``interval_lookups`` — descendant pools served by a bisect range instead
+  of a subtree walk;
+* ``interval_candidates`` — candidates enumerated from interval-verified
+  pools, where every incident structural constraint already holds by
+  construction (no trial-and-error, hence not ``candidates_tried``);
+* ``edge_checks`` — structural checks performed: per candidate on the scan
+  path, once per derived pool on the indexed path.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 __all__ = ["EvalStats"]
+
+_COUNTERS = (
+    "candidates_tried",
+    "edge_checks",
+    "condition_checks",
+    "bindings_produced",
+    "index_lookups",
+    "full_scans",
+    "interval_lookups",
+    "interval_candidates",
+    "seconds",
+)
 
 
 @dataclass
@@ -22,33 +48,33 @@ class EvalStats:
     bindings_produced: int = 0
     index_lookups: int = 0
     full_scans: int = 0
+    interval_lookups: int = 0
+    interval_candidates: int = 0
+    seconds: float = 0.0
     extra: dict[str, int] = field(default_factory=dict)
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named ad-hoc counter."""
         self.extra[counter] = self.extra.get(counter, 0) + amount
 
-    def as_dict(self) -> dict[str, int]:
+    @contextmanager
+    def timed(self) -> Iterator["EvalStats"]:
+        """Accumulate the wall time of the ``with`` body into ``seconds``."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.seconds += time.perf_counter() - started
+
+    def as_dict(self) -> dict[str, float]:
         """Flat dict of every counter (for reports)."""
-        base = {
-            "candidates_tried": self.candidates_tried,
-            "edge_checks": self.edge_checks,
-            "condition_checks": self.condition_checks,
-            "bindings_produced": self.bindings_produced,
-            "index_lookups": self.index_lookups,
-            "full_scans": self.full_scans,
-        }
+        base: dict[str, float] = {name: getattr(self, name) for name in _COUNTERS}
         base.update(self.extra)
         return base
 
     def __add__(self, other: "EvalStats") -> "EvalStats":
         merged = EvalStats(
-            candidates_tried=self.candidates_tried + other.candidates_tried,
-            edge_checks=self.edge_checks + other.edge_checks,
-            condition_checks=self.condition_checks + other.condition_checks,
-            bindings_produced=self.bindings_produced + other.bindings_produced,
-            index_lookups=self.index_lookups + other.index_lookups,
-            full_scans=self.full_scans + other.full_scans,
+            **{name: getattr(self, name) + getattr(other, name) for name in _COUNTERS}
         )
         for key in set(self.extra) | set(other.extra):
             merged.extra[key] = self.extra.get(key, 0) + other.extra.get(key, 0)

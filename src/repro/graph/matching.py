@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterator, Optional
 
+from ..engine.narrowing import intersect_pools
 from .labeled_graph import Edge, LabeledGraph
 from .traversal import reachable_by_labels
 
@@ -172,18 +173,9 @@ def find_homomorphisms(
                 pools.append(data.successors(assignment[edge.source], edge.label))
         if not pools:
             return candidates[pnode]
-        base = min(pools, key=len)
-        allowed = candidate_sets[pnode]
-        others = [set(pool) for pool in pools if pool is not base]
-        result = []
-        seen: set[NodeId] = set()
-        for dnode in base:
-            if dnode in seen or dnode not in allowed:
-                continue
-            if all(dnode in other for other in others):
-                seen.add(dnode)
-                result.append(dnode)
-        return result
+        return intersect_pools(
+            pools, allowed=candidate_sets[pnode], smallest_base=True
+        )
 
     def backtrack(index: int) -> Iterator[dict[NodeId, NodeId]]:
         if index == len(order):

@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass
 from typing import Mapping, Optional, Union
 
-from .engine.index import DocumentIndex
+from .engine.cache import DocumentIndexCache, shared_cache
 from .engine.stats import EvalStats
 from .errors import ReproError
 from .ssd.model import Document
@@ -64,10 +64,14 @@ class QuerySession:
         self,
         sources: Sources,
         options: Optional[MatchOptions] = None,
+        indexes: Optional[DocumentIndexCache] = None,
     ) -> None:
         self._sources = sources
         self._options = options
-        self._indexes: dict[int, DocumentIndex] = {}
+        # Indexes come from the process-wide cache by default, so several
+        # sessions over one document share a single snapshot; pass a
+        # private DocumentIndexCache to isolate (e.g. mutation-heavy use).
+        self._indexes = indexes if indexes is not None else shared_cache
         self._cycles: list[QueryCycle] = []
         self._position = -1  # index of the current cycle
 

@@ -37,7 +37,9 @@ __all__ = [
 class Node:
     """Abstract base of all document nodes."""
 
-    __slots__ = ("parent",)
+    # ``__weakref__`` lets caches (repro.engine.cache) key entries by a
+    # weak reference to the document without pinning detached trees.
+    __slots__ = ("parent", "__weakref__")
 
     def __init__(self) -> None:
         self.parent: Optional[Element | Document] = None

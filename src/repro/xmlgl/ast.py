@@ -28,6 +28,7 @@ no separate variables, the drawing's nodes *are* the variables.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
@@ -79,6 +80,15 @@ class TextPattern:
     value: Optional[str] = None
     regex: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        # Compile once at construction; the matcher fullmatches this per
+        # candidate, so re-resolving through re's cache there is waste.
+        object.__setattr__(
+            self,
+            "compiled_regex",
+            re.compile(self.regex) if self.regex is not None else None,
+        )
+
     def describe(self) -> str:
         constraint = self.value if self.value is not None else (
             f"/{self.regex}/" if self.regex else ""
@@ -98,6 +108,13 @@ class AttributePattern:
     name: str
     value: Optional[str] = None
     regex: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "compiled_regex",
+            re.compile(self.regex) if self.regex is not None else None,
+        )
 
     def describe(self) -> str:
         return f"(@{self.name})({self.id})"

@@ -10,8 +10,8 @@ from __future__ import annotations
 from typing import Mapping, Optional, Union
 
 from ..engine.bindings import BindingSet
+from ..engine.cache import DocumentIndexCache, shared_cache
 from ..engine.conditions import DocumentAccessor
-from ..engine.index import DocumentIndex
 from ..engine.stats import EvalStats
 from ..errors import EvaluationError
 from ..ssd.model import Document, Element
@@ -53,23 +53,22 @@ def rule_bindings(
     sources: Sources,
     options: Optional[MatchOptions] = None,
     stats: Optional[EvalStats] = None,
-    indexes: Optional[dict[int, DocumentIndex]] = None,
+    indexes: Optional[DocumentIndexCache] = None,
 ) -> BindingSet:
     """Matched and joined bindings of a rule (before construction).
 
-    ``indexes`` caches :class:`DocumentIndex` objects keyed by ``id(doc)``
-    across calls (benchmarks reuse it to exclude index build time).
+    ``indexes`` is the :class:`~repro.engine.cache.DocumentIndexCache` to
+    reuse :class:`DocumentIndex` snapshots from; it defaults to the shared
+    process-wide cache, so repeated queries over one document build its
+    index once.  Callers that mutate a document between evaluations must
+    invalidate it (see :mod:`repro.engine.cache`).
     """
     stats = stats if stats is not None else EvalStats()
+    cache = indexes if indexes is not None else shared_cache
     combined: Optional[BindingSet] = None
     for graph in rule.queries:
         document = _resolve_source(graph, sources)
-        index = None
-        if indexes is not None:
-            index = indexes.get(id(document))
-            if index is None:
-                index = DocumentIndex(document)
-                indexes[id(document)] = index
+        index = cache.get(document)
         bindings = match(graph, document, options=options, index=index, stats=stats)
         combined = bindings if combined is None else combined.join(bindings)
         if not combined:
@@ -87,7 +86,7 @@ def evaluate_rule(
     sources: Sources,
     options: Optional[MatchOptions] = None,
     stats: Optional[EvalStats] = None,
-    indexes: Optional[dict[int, DocumentIndex]] = None,
+    indexes: Optional[DocumentIndexCache] = None,
 ) -> Element:
     """Evaluate one rule to its constructed result element."""
     bindings = rule_bindings(rule, sources, options, stats, indexes)
@@ -106,7 +105,7 @@ def evaluate_program(
     element as document root.  Chained programs feed each named rule's
     result to the rules after it as a source document of that name.
     """
-    indexes: dict[int, DocumentIndex] = {}
+    indexes = shared_cache
     if program.chained:
         pool: dict[str, Document] = (
             {"input": sources} if isinstance(sources, Document) else dict(sources)

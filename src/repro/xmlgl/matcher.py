@@ -22,20 +22,29 @@ chosen, the resulting plain graph matched, and the binding sets unioned
 (with duplicate elimination across branches).
 
 The backtracking core orders boxes with :func:`repro.engine.planner.plan_order`
-and narrows candidates dynamically from already-assigned neighbours; both
-the planner and the index can be disabled for the ablation study.
+and narrows candidates dynamically from already-assigned neighbours.  With
+the index enabled (the default), structural questions are answered by the
+:class:`~repro.engine.index.DocumentIndex` interval encoding: descendant
+pools are bisect ranges over per-tag pre-order arrays, ancestor tests are
+two integer comparisons, and candidates drawn from such pools already
+satisfy every incident arc *by construction*, so no per-candidate
+structural re-verification happens (they are counted as
+``interval_candidates``, not ``candidates_tried``).  With ``use_index``
+off, the matcher falls back to the naive scan path — subtree walks and
+per-candidate ancestor chases — which is the ablation baseline (EXT-A1 in
+DESIGN.md) and the differential oracle for the indexed path.
 """
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
 from itertools import product
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from ..engine.bindings import Binding, BindingSet
 from ..engine.conditions import DocumentAccessor, condition_variables
 from ..engine.index import DocumentIndex
+from ..engine.narrowing import intersect_pools
 from ..engine.planner import plan_order
 from ..engine.stats import EvalStats
 from ..errors import QueryStructureError
@@ -72,6 +81,10 @@ def match(
 
     Element boxes bind :class:`~repro.ssd.model.Element` nodes; text and
     attribute circles bind strings.  The graph is validated first.
+
+    ``index`` must be an index *of* ``document``; when omitted a fresh one
+    is built (callers evaluating many queries over one frozen document
+    should pass :func:`repro.engine.cache.get_index` instead).
     """
     graph.validate()
     _check_condition_scope(graph)
@@ -80,17 +93,18 @@ def match(
     index = index or DocumentIndex(document)
 
     results = BindingSet()
-    seen: set[tuple] = set()
-    multiple_branches = bool(graph.or_groups)
-    for expanded in _expand_or_groups(graph):
-        for binding in _match_plain(expanded, document, index, options, stats):
-            if multiple_branches:
-                key = binding.key()
-                if key in seen:
-                    continue
-                seen.add(key)
-            results.add(binding)
-            stats.bindings_produced += 1
+    with stats.timed():
+        seen: set[tuple] = set()
+        multiple_branches = bool(graph.or_groups)
+        for expanded in _expand_or_groups(graph):
+            for binding in _match_plain(expanded, document, index, options, stats):
+                if multiple_branches:
+                    key = binding.key()
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                results.add(binding)
+                stats.bindings_produced += 1
     return results
 
 
@@ -252,9 +266,39 @@ def _match_plain(
         adjacency[edge.parent].append(edge.child)
         adjacency[edge.child].append(edge.parent)
 
+    use_intervals = options.use_index
+
+    def estimate(node_id: str) -> int:
+        """Selectivity: global tag count, sharpened to the count within an
+        already-pinned parent's subtree when the pattern fixes one."""
+        base = len(static_candidates[node_id])
+        if not use_intervals:
+            return base
+        node = graph.nodes[node_id]
+        best = base
+        for edge in element_edges:
+            if edge.child != node_id:
+                continue
+            parents = static_candidates[edge.parent]
+            if len(parents) != 1 or not index.covers(parents[0]):
+                continue
+            anchor = parents[0]
+            if edge.deep:
+                within = index.tag_count_within(anchor, node.tag)
+            else:
+                within = sum(
+                    1
+                    for child in anchor.child_elements()
+                    if node.tag is None or child.tag == node.tag
+                )
+            best = min(best, within)
+        if best < base:
+            stats.bump("selectivity_refinements")
+        return best
+
     order = plan_order(
         element_ids,
-        estimate=lambda n: len(static_candidates[n]),
+        estimate=estimate,
         adjacency=adjacency,
         enabled=options.use_planner,
     )
@@ -263,6 +307,18 @@ def _match_plain(
     for edge in element_edges:
         edges_by_endpoint[edge.parent].append(edge)
         edges_by_endpoint[edge.child].append(edge)
+
+    # ordered-arc groups are fixed by the query: group and sort them once,
+    # not per produced binding
+    ordered_by_parent: dict[str, list[ContainmentEdge]] = {}
+    for edge in element_edges:
+        if edge.ordered:
+            ordered_by_parent.setdefault(edge.parent, []).append(edge)
+    ordered_groups = [
+        sorted(edges, key=lambda e: e.position)
+        for edges in ordered_by_parent.values()
+        if len(edges) >= 2
+    ]
 
     assignment: dict[str, Element] = {}
 
@@ -273,52 +329,77 @@ def _match_plain(
             return True
         stats.edge_checks += 1
         if edge.deep:
+            if use_intervals and index.covers(parent) and index.covers(child):
+                return index.is_ancestor(parent, child)
             return any(anc is parent for anc in child.ancestors())
         return child.parent is parent
 
-    def candidates_for(node_id: str) -> list[Element]:
-        narrowed: Optional[list[Element]] = None
+    def pool_for(edge: ContainmentEdge, node_id: str) -> Optional[Sequence[Element]]:
+        """Candidate pool one incident edge contributes, or ``None`` when
+        the edge's other endpoint is not assigned yet."""
+        if edge.child == node_id and edge.parent in assignment:
+            parent = assignment[edge.parent]
+            if not edge.deep:
+                return parent.child_elements()
+            if use_intervals and index.covers(parent):
+                stats.interval_lookups += 1
+                tag = graph.nodes[node_id].tag
+                if tag is not None:
+                    return index.descendants_with_tag(parent, tag)
+                return index.descendants(parent)
+            return [e for e in parent.iter() if e is not parent]
+        if edge.parent == node_id and edge.child in assignment:
+            child = assignment[edge.child]
+            if edge.deep:
+                return list(child.ancestors())
+            return [child.parent] if isinstance(child.parent, Element) else []
+        return None
+
+    def candidates_for(node_id: str) -> tuple[Sequence[Element], bool]:
+        """``(candidates, verified)`` — every incident assigned edge
+        contributes one pool, so pool-intersection membership *is* the
+        conjunction of those arcs: verified candidates skip per-candidate
+        structural re-checks (one wholesale ``edge_checks`` per pool)."""
+        pools: list[Sequence[Element]] = []
         for edge in edges_by_endpoint[node_id]:
-            pool: Optional[list[Element]] = None
-            if edge.child == node_id and edge.parent in assignment:
-                parent = assignment[edge.parent]
-                pool = (
-                    [e for e in parent.iter() if e is not parent]
-                    if edge.deep
-                    else parent.child_elements()
-                )
-            elif edge.parent == node_id and edge.child in assignment:
-                child = assignment[edge.child]
-                if edge.deep:
-                    pool = list(child.ancestors())
-                else:
-                    pool = [child.parent] if isinstance(child.parent, Element) else []
-            if pool is None:
-                continue
-            narrowed = pool if narrowed is None else [
-                e for e in narrowed if any(e is p for p in pool)
-            ]
-        if narrowed is None:
-            return static_candidates[node_id]
-        allowed = static_sets[node_id]
-        return [e for e in narrowed if id(e) in allowed]
+            pool = pool_for(edge, node_id)
+            if pool is not None:
+                pools.append(pool)
+        if not pools:
+            return static_candidates[node_id], False
+        narrowed = intersect_pools(pools, allowed=static_sets[node_id], key=id)
+        if use_intervals:
+            stats.edge_checks += len(pools)
+            return narrowed, True
+        return narrowed, False
 
     def backtrack(position: int) -> Iterator[dict[str, Element]]:
         if position == len(order):
             yield dict(assignment)
             return
         node_id = order[position]
-        for candidate in candidates_for(node_id):
-            stats.candidates_tried += 1
-            assignment[node_id] = candidate
-            if all(structural_ok(e) for e in edges_by_endpoint[node_id]):
+        candidates, verified = candidates_for(node_id)
+        if verified:
+            for candidate in candidates:
+                stats.interval_candidates += 1
+                assignment[node_id] = candidate
                 yield from backtrack(position + 1)
-            del assignment[node_id]
+                del assignment[node_id]
+        else:
+            incident = edges_by_endpoint[node_id]
+            for candidate in candidates:
+                stats.candidates_tried += 1
+                assignment[node_id] = candidate
+                if all(structural_ok(e) for e in incident):
+                    yield from backtrack(position + 1)
+                del assignment[node_id]
 
     for element_binding in backtrack(0):
-        if not _ordered_ok(graph, element_edges, element_binding, index, stats):
+        if not _ordered_ok(ordered_groups, element_binding, index, stats):
             continue
-        if not _negations_ok(graph, negated_edges, element_binding, stats):
+        if not _negations_ok(
+            graph, negated_edges, element_binding, index, use_intervals, stats
+        ):
             continue
         for binding in _resolve_value_patterns(
             graph, value_edges, element_binding, stats
@@ -356,7 +437,7 @@ def _static_candidates(
         return [e for e in document.iter() if e.tag == node.tag]
     # indexed: start from the smallest pool among the tag pool and the
     # required-attribute pools, then filter by the remaining criteria
-    pools: list[list[Element]] = []
+    pools: list[tuple[Element, ...]] = []
     if node.tag is not None:
         stats.index_lookups += 1
         pools.append(index.elements_with_tag(node.tag))
@@ -376,21 +457,13 @@ def _static_candidates(
 
 
 def _ordered_ok(
-    graph: QueryGraph,
-    element_edges: list[ContainmentEdge],
+    ordered_groups: list[list[ContainmentEdge]],
     assignment: dict[str, Element],
     index: DocumentIndex,
     stats: EvalStats,
 ) -> bool:
     """Ordered arcs of one parent must match in drawing order."""
-    by_parent: dict[str, list[ContainmentEdge]] = {}
-    for edge in element_edges:
-        if edge.ordered:
-            by_parent.setdefault(edge.parent, []).append(edge)
-    for edges in by_parent.values():
-        if len(edges) < 2:
-            continue
-        edges_sorted = sorted(edges, key=lambda e: e.position)
+    for edges_sorted in ordered_groups:
         positions = []
         for edge in edges_sorted:
             child = assignment.get(edge.child)
@@ -434,21 +507,21 @@ def _resolve_value_patterns(
 def _value_of(node, parent: Element) -> Optional[str]:
     """Resolve a text/attribute circle under ``parent``; ``None`` = no match."""
     if isinstance(node, TextPattern):
-        text = parent.immediate_text()
-        if not text.strip():
+        text = parent.immediate_text().strip()
+        if not text:
             return None
-        if node.value is not None and text.strip() != node.value:
+        if node.value is not None and text != node.value:
             return None
-        if node.regex is not None and re.fullmatch(node.regex, text.strip()) is None:
+        if node.compiled_regex is not None and node.compiled_regex.fullmatch(text) is None:
             return None
-        return text.strip()
+        return text
     assert isinstance(node, AttributePattern)
     value = parent.get(node.name)
     if value is None:
         return None
     if node.value is not None and value != node.value:
         return None
-    if node.regex is not None and re.fullmatch(node.regex, value) is None:
+    if node.compiled_regex is not None and node.compiled_regex.fullmatch(value) is None:
         return None
     return value
 
@@ -457,13 +530,15 @@ def _negations_ok(
     graph: QueryGraph,
     negated_edges: list[ContainmentEdge],
     element_binding: dict[str, Element],
+    index: DocumentIndex,
+    use_intervals: bool,
     stats: EvalStats,
 ) -> bool:
     for edge in negated_edges:
         parent = element_binding.get(edge.parent)
         if parent is None:
             continue
-        if _subtree_exists(graph, edge, parent, stats):
+        if _subtree_exists(graph, edge, parent, index, use_intervals, stats):
             return False
     return True
 
@@ -472,6 +547,8 @@ def _subtree_exists(
     graph: QueryGraph,
     edge: ContainmentEdge,
     parent: Element,
+    index: DocumentIndex,
+    use_intervals: bool,
     stats: EvalStats,
 ) -> bool:
     """Does any embedding of ``edge.child``'s subpattern exist under ``parent``?"""
@@ -480,21 +557,32 @@ def _subtree_exists(
         stats.condition_checks += 1
         return _value_of(node, parent) is not None
     assert isinstance(node, ElementPattern)
+    pool: Sequence[Element]
     if edge.deep:
-        pool = (e for e in parent.iter() if e is not parent)
+        if use_intervals and index.covers(parent):
+            stats.interval_lookups += 1
+            pool = (
+                index.descendants_with_tag(parent, node.tag)
+                if node.tag is not None
+                else index.descendants(parent)
+            )
+        else:
+            pool = [e for e in parent.iter(node.tag) if e is not parent]
     else:
-        pool = iter(parent.child_elements())
+        pool = [
+            c
+            for c in parent.child_elements()
+            if node.tag is None or c.tag == node.tag
+        ]
+    child_edges = graph.children_of(node.id)
     for candidate in pool:
         stats.candidates_tried += 1
-        if node.tag is not None and candidate.tag != node.tag:
-            continue
-        child_edges = graph.children_of(node.id)
         if all(
-            _subtree_exists(graph, child_edge, candidate, stats)
+            _subtree_exists(graph, child_edge, candidate, index, use_intervals, stats)
             for child_edge in child_edges
             if not child_edge.negated
         ) and all(
-            not _subtree_exists(graph, child_edge, candidate, stats)
+            not _subtree_exists(graph, child_edge, candidate, index, use_intervals, stats)
             for child_edge in child_edges
             if child_edge.negated
         ):

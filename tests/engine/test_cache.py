@@ -1,0 +1,80 @@
+"""Unit tests for the shared DocumentIndex cache."""
+
+from repro.engine.cache import DocumentIndexCache, get_index, invalidate
+from repro.ssd import parse_document
+
+
+def doc():
+    return parse_document("<bib><book><title>A</title></book></bib>")
+
+
+class TestDocumentIndexCache:
+    def test_get_builds_once_and_reuses(self):
+        cache = DocumentIndexCache()
+        d = doc()
+        first = cache.get(d)
+        second = cache.get(d)
+        assert first is second
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_distinct_documents_get_distinct_indexes(self):
+        cache = DocumentIndexCache()
+        a, b = doc(), doc()
+        assert cache.get(a) is not cache.get(b)
+        assert len(cache) == 2
+
+    def test_peek_never_builds(self):
+        cache = DocumentIndexCache()
+        d = doc()
+        assert cache.peek(d) is None
+        assert cache.misses == 0
+        cache.get(d)
+        assert cache.peek(d) is not None
+
+    def test_invalidate_drops_entry(self):
+        cache = DocumentIndexCache()
+        d = doc()
+        first = cache.get(d)
+        assert d in cache
+        assert cache.invalidate(d)
+        assert d not in cache
+        assert not cache.invalidate(d)  # already gone
+        assert cache.get(d) is not first  # rebuilt fresh
+
+    def test_invalidate_after_mutation_sees_new_structure(self):
+        cache = DocumentIndexCache()
+        d = doc()
+        assert cache.get(d).tag_count("book") == 1
+        book = d.root.find("book")
+        from repro.ssd.model import Element
+
+        d.root.append(Element("book", children=[Element("title", children=["B"])]))
+        assert book is not None
+        cache.invalidate(d)
+        assert cache.get(d).tag_count("book") == 2
+
+    def test_clear(self):
+        cache = DocumentIndexCache()
+        cache.get(doc())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_identity_checked_not_just_id(self):
+        # a recycled id() must never alias a dead document's index
+        cache = DocumentIndexCache()
+        d = doc()
+        index = cache.get(d)
+        entry_ref, entry_index = cache._entries[id(d)]
+        assert entry_ref() is d and entry_index is index
+
+
+class TestSharedCacheHelpers:
+    def test_get_index_and_invalidate(self):
+        d = doc()
+        index = get_index(d)
+        assert get_index(d) is index
+        assert invalidate(d)
+        assert get_index(d) is not index
+        invalidate(d)  # leave the shared cache clean

@@ -19,11 +19,18 @@ class TestDocumentIndex:
         idx = DocumentIndex(doc())
         assert len(idx.elements_with_tag("book")) == 2
         assert len(idx.elements_with_tag("title")) == 3
-        assert idx.elements_with_tag("nope") == []
+        assert idx.elements_with_tag("nope") == ()
+
+    def test_pools_are_immutable(self):
+        # callers must not be able to corrupt the index through a lookup
+        idx = DocumentIndex(doc())
+        assert isinstance(idx.elements_with_tag("book"), tuple)
+        assert isinstance(idx.elements_with_attribute("year"), tuple)
 
     def test_elements_with_attribute(self):
         idx = DocumentIndex(doc())
         assert len(idx.elements_with_attribute("year")) == 2
+        assert idx.elements_with_attribute("nope") == ()
 
     def test_counts(self):
         idx = DocumentIndex(doc())
@@ -40,6 +47,61 @@ class TestDocumentIndex:
         idx = DocumentIndex(doc())
         assert idx.selectivity("book") == 2
         assert idx.selectivity(None) == 7
+
+
+class TestIntervalEncoding:
+    def test_intervals_nest_like_subtrees(self):
+        idx = DocumentIndex(doc())
+        root = idx.document.root
+        pre, post = idx.interval(root)
+        assert (pre, post) == (0, idx.element_count() - 1)
+        for element in idx.all_elements():
+            lo, hi = idx.interval(element)
+            assert pre <= lo <= hi <= post
+
+    def test_is_ancestor_matches_ancestors_walk(self):
+        idx = DocumentIndex(doc())
+        elements = list(idx.all_elements())
+        for a in elements:
+            for b in elements:
+                expected = any(anc is a for anc in b.ancestors())
+                assert idx.is_ancestor(a, b) == expected, (a, b)
+
+    def test_descendants_with_tag_matches_subtree_walk(self):
+        idx = DocumentIndex(doc())
+        for element in idx.all_elements():
+            for tag in idx.tags() | {"nope"}:
+                expected = [
+                    e for e in element.iter(tag) if e is not element
+                ]
+                got = list(idx.descendants_with_tag(element, tag))
+                assert got == expected, (element, tag)
+
+    def test_descendants_document_order(self):
+        idx = DocumentIndex(doc())
+        root = idx.document.root
+        walked = [e for e in root.iter() if e is not root]
+        assert idx.descendants(root) == walked
+
+    def test_tag_count_within(self):
+        idx = DocumentIndex(doc())
+        root = idx.document.root
+        assert idx.tag_count_within(root, "title") == 3
+        assert idx.tag_count_within(root, None) == idx.element_count() - 1
+        book = idx.elements_with_tag("book")[0]
+        assert idx.tag_count_within(book, "title") == 1
+        assert idx.tag_count_within(book, "book") == 0
+
+    def test_depth_and_covers(self):
+        idx = DocumentIndex(doc())
+        root = idx.document.root
+        assert idx.depth(root) == 0
+        title = idx.elements_with_tag("title")[0]
+        assert idx.depth(title) == 2
+        assert idx.covers(title)
+        from repro.ssd.model import Element
+
+        assert not idx.covers(Element("stranger"))
 
 
 class TestPlanner:

@@ -1,0 +1,217 @@
+"""Randomized ablation-equivalence suite for the XML-GL matcher.
+
+Seeded generators build random documents and random (always-valid) query
+graphs; every case asserts that all four ``MatchOptions`` ablation
+combinations — which include the interval-backed indexed path
+(``use_index=True``) versus the naive full-scan path (``use_index=False``)
+— produce *identical* binding sets.  The naive path is the differential
+oracle: it never touches the interval encoding, so agreement here is the
+correctness argument for the index-driven candidate narrowing.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.bindings import value_key
+from repro.ssd.model import Document, Element
+from repro.xmlgl.ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    OrGroup,
+    QueryGraph,
+    TextPattern,
+)
+from repro.xmlgl.matcher import MatchOptions, match
+
+TAGS = ["a", "b", "c", "d"]
+ATTRS = ["k", "m"]
+VALUES = ["1", "2", "3"]
+TEXTS = ["x", "y", "zz"]
+
+CONFIGS = [
+    MatchOptions(use_planner=True, use_index=True),
+    MatchOptions(use_planner=False, use_index=True),
+    MatchOptions(use_planner=True, use_index=False),
+    MatchOptions(use_planner=False, use_index=False),
+]
+
+
+def random_document(rng: random.Random) -> Document:
+    """A random tree of ~10-50 elements with random attributes and text."""
+
+    def grow(depth: int) -> Element:
+        element = Element(rng.choice(TAGS))
+        for name in ATTRS:
+            if rng.random() < 0.4:
+                element.set(name, rng.choice(VALUES))
+        if rng.random() < 0.5:
+            element.append(rng.choice(TEXTS))
+        if depth < 4:
+            for _ in range(rng.randint(0, 3)):
+                element.append(grow(depth + 1))
+        return element
+
+    root = Element("root")
+    for _ in range(rng.randint(1, 3)):
+        root.append(grow(1))
+    return Document(root)
+
+
+def random_query(rng: random.Random) -> QueryGraph:
+    """A random valid query graph: boxes, deep arcs, circles, negation,
+    ordered arcs and the occasional or-group."""
+    graph = QueryGraph()
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def random_tag():
+        return rng.choice(TAGS) if rng.random() < 0.8 else None
+
+    positions: dict[str, int] = {}
+
+    def next_position(parent: str) -> int:
+        positions[parent] = positions.get(parent, 0) + 1
+        return positions[parent]
+
+    root_id = fresh("n")
+    anchored = rng.random() < 0.3
+    graph.add_node(
+        ElementPattern(
+            root_id,
+            tag="root" if anchored else random_tag(),
+            anchored=anchored,
+        )
+    )
+    boxes = [root_id]
+
+    for _ in range(rng.randint(1, 3)):
+        parent = rng.choice(boxes)
+        child = fresh("n")
+        graph.add_node(ElementPattern(child, tag=random_tag()))
+        graph.add_edge(
+            ContainmentEdge(
+                parent,
+                child,
+                deep=rng.random() < 0.4,
+                position=next_position(parent),
+            )
+        )
+        boxes.append(child)
+
+    # value circles
+    for parent in boxes:
+        if rng.random() < 0.4:
+            circle = fresh("v")
+            if rng.random() < 0.5:
+                constraint = {}
+                roll = rng.random()
+                if roll < 0.3:
+                    constraint["value"] = rng.choice(TEXTS)
+                elif roll < 0.5:
+                    constraint["regex"] = "[xyz]+"
+                graph.add_node(TextPattern(circle, **constraint))
+            else:
+                constraint = {}
+                roll = rng.random()
+                if roll < 0.3:
+                    constraint["value"] = rng.choice(VALUES)
+                elif roll < 0.5:
+                    constraint["regex"] = "[12]"
+                graph.add_node(
+                    AttributePattern(circle, name=rng.choice(ATTRS), **constraint)
+                )
+            graph.add_edge(
+                ContainmentEdge(parent, circle, position=next_position(parent))
+            )
+
+    # one negated fresh leaf, sometimes deep
+    if rng.random() < 0.4:
+        parent = rng.choice(boxes)
+        leaf = fresh("neg")
+        graph.add_node(ElementPattern(leaf, tag=rng.choice(TAGS)))
+        graph.add_edge(
+            ContainmentEdge(
+                parent,
+                leaf,
+                deep=rng.random() < 0.5,
+                negated=True,
+                position=next_position(parent),
+            )
+        )
+
+    # an ordered sibling pair under the root box
+    if rng.random() < 0.3:
+        first, second = fresh("o"), fresh("o")
+        for node_id in (first, second):
+            graph.add_node(ElementPattern(node_id, tag=random_tag()))
+            graph.add_edge(
+                ContainmentEdge(
+                    root_id,
+                    node_id,
+                    ordered=True,
+                    position=next_position(root_id),
+                )
+            )
+
+    # an or-group of two single-edge branches to fresh boxes
+    if rng.random() < 0.3:
+        left, right = fresh("alt"), fresh("alt")
+        branches = []
+        for node_id in (left, right):
+            graph.add_node(ElementPattern(node_id, tag=random_tag()))
+            branches.append(
+                (
+                    ContainmentEdge(
+                        root_id,
+                        node_id,
+                        deep=rng.random() < 0.3,
+                        position=next_position(root_id),
+                    ),
+                )
+            )
+        graph.add_or_group(OrGroup(alternatives=tuple(branches)))
+
+    return graph
+
+
+def binding_multiset(bindings):
+    """Order-insensitive, identity-keyed view of a binding set."""
+    return sorted(
+        tuple(sorted((var, value_key(binding[var])) for var in binding))
+        for binding in bindings
+    )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_all_ablation_configs_agree(seed):
+    rng = random.Random(seed)
+    document = random_document(rng)
+    graph = random_query(rng)
+    results = [
+        binding_multiset(match(graph, document, options=options))
+        for options in CONFIGS
+    ]
+    for other in results[1:]:
+        assert other == results[0], f"seed {seed} diverged across ablations"
+
+
+@pytest.mark.parametrize("seed", range(40, 60))
+def test_interval_path_matches_naive_scan_path(seed):
+    """Focused deep-arc cases: interval-sliced pools vs subtree scans."""
+    rng = random.Random(seed)
+    document = random_document(rng)
+    graph = QueryGraph()
+    graph.add_node(ElementPattern("R", tag="root", anchored=True))
+    graph.add_node(ElementPattern("X", tag=rng.choice(TAGS)))
+    graph.add_node(ElementPattern("Y", tag=rng.choice(TAGS + [None])))
+    graph.add_edge(ContainmentEdge("R", "X", deep=True, position=1))
+    graph.add_edge(ContainmentEdge("X", "Y", deep=rng.random() < 0.5, position=1))
+    indexed = match(graph, document, options=MatchOptions(use_index=True))
+    naive = match(graph, document, options=MatchOptions(use_index=False))
+    assert binding_multiset(indexed) == binding_multiset(naive)

@@ -1,0 +1,44 @@
+"""Smoke test for the benchmark runner (tiny sizes, one repeat)."""
+
+import json
+
+from repro.bench_smoke import QUERIES, main, run_suite
+
+
+def test_run_suite_shape_and_agreement():
+    report = run_suite(bib_entries=30, sections_depth=4, repeat=1)
+    assert set(report["queries"]) == {name for name, *_ in QUERIES}
+    for entry in report["queries"].values():
+        assert entry["indexed"]["bindings"] == entry["naive"]["bindings"]
+        assert entry["work_ratio"] >= 1.0
+        assert entry["indexed"]["seconds"] > 0
+
+
+def test_descendant_heavy_work_reduction():
+    report = run_suite(bib_entries=30, sections_depth=4, repeat=1)
+    heavy = [e for e in report["queries"].values() if e["descendant_heavy"]]
+    assert heavy
+    for entry in heavy:
+        assert entry["work_ratio"] >= 2.0
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert (
+        main(
+            [
+                "-o",
+                str(out),
+                "--bib-entries",
+                "20",
+                "--sections-depth",
+                "4",
+                "--repeat",
+                "1",
+            ]
+        )
+        == 0
+    )
+    report = json.loads(out.read_text())
+    assert report["schema_version"] == 1
+    assert "worst work ratio" in capsys.readouterr().out

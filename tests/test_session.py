@@ -92,11 +92,16 @@ class TestNavigation:
         assert "cycle 1" in summary
 
     def test_index_cache_shared_across_cycles(self):
-        session = QuerySession(DOC)
+        from repro.engine.cache import DocumentIndexCache
+
+        cache = DocumentIndexCache()
+        session = QuerySession(DOC, indexes=cache)
         session.run(ALL)
-        first_cache = dict(session._indexes)
+        index = cache.peek(DOC)
+        assert index is not None
         session.run(RECENT)
-        assert session._indexes.keys() == first_cache.keys()
+        assert cache.peek(DOC) is index  # reused, not rebuilt
+        assert cache.misses == 1 and cache.hits >= 1
 
 
 class TestMultiSourceSession:
