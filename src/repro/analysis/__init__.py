@@ -1,0 +1,110 @@
+"""Static analysis of XML-GL and WG-Log queries.
+
+The paper's central claim for graphical query languages is that their
+restricted, graph-shaped structure makes queries *checkable before they
+run*: safety and stratification for the Datalog-flavoured WG-Log,
+satisfiability and schema conformance for XML-GL.  This package is that
+checker — a diagnostics model (:class:`Diagnostic`, stable codes,
+severities, node/edge anchors), a pass registry, and concrete passes per
+language:
+
+==========  =========================================================
+family      passes
+==========  =========================================================
+structure   ``xmlgl.structure`` — XGL001-XGL013
+sat         ``xmlgl.satisfiability`` / ``wglog.satisfiability``
+construct   ``xmlgl.construct`` — XGL020-XGL024
+safety      ``wglog.safety`` / ``wglog.stratification`` — WGL001-WGL008
+schema      ``xmlgl.schema`` (XGS001-XGS008) / ``wglog.schema``
+==========  =========================================================
+
+Entry points: :func:`analyze_rule` for one XML-GL rule,
+:func:`analyze_program` for a WG-Log rule program (stratification is a
+whole-program property), and the evaluator-facing pre-flights in
+:mod:`repro.analysis.preflight`.  The ``repro lint`` CLI command and
+``QuerySession.analyze()`` are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    dedupe,
+    has_errors,
+    max_severity,
+    render_json,
+    render_text,
+)
+from .passes import AnalysisContext, AnalysisPass, passes_for, register
+from .preflight import wglog_preflight, xmlgl_preflight
+
+# Importing the pass modules registers them.
+from . import xmlgl_query as _xmlgl_query  # noqa: F401
+from . import xmlgl_construct as _xmlgl_construct  # noqa: F401
+from . import xmlgl_schema as _xmlgl_schema  # noqa: F401
+from . import wglog_rules as _wglog_rules  # noqa: F401
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "AnalysisContext",
+    "AnalysisPass",
+    "register",
+    "passes_for",
+    "analyze_rule",
+    "analyze_program",
+    "dedupe",
+    "has_errors",
+    "max_severity",
+    "render_text",
+    "render_json",
+    "xmlgl_preflight",
+    "wglog_preflight",
+]
+
+
+def _sorted(findings: list[Diagnostic]) -> list[Diagnostic]:
+    return sorted(
+        dedupe(findings),
+        key=lambda d: (-d.severity.rank, d.code, d.node or "", d.message),
+    )
+
+
+def analyze_rule(
+    rule,
+    context: Optional[AnalysisContext] = None,
+    families: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """All diagnostics for one XML-GL rule, most severe first.
+
+    ``context`` supplies an optional :class:`~repro.xmlgl.schema.SchemaGraph`
+    (``xml_schema``) for the conformance pass; ``families`` restricts which
+    pass families run (default: all).
+    """
+    context = context or AnalysisContext()
+    findings: list[Diagnostic] = []
+    for analysis_pass in passes_for("xmlgl", families):
+        findings.extend(analysis_pass.run(rule, context))
+    return _sorted(findings)
+
+
+def analyze_program(
+    rules: Union[list, tuple],
+    context: Optional[AnalysisContext] = None,
+    families: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """All diagnostics for a WG-Log rule program, most severe first.
+
+    Pass every rule that will evaluate together: stratification (WGL003)
+    is only meaningful across the whole program.  ``context`` supplies an
+    optional :class:`~repro.wglog.schema.WGSchema` (``wg_schema``).
+    """
+    context = context or AnalysisContext()
+    program = list(rules)
+    findings: list[Diagnostic] = []
+    for analysis_pass in passes_for("wglog", families):
+        findings.extend(analysis_pass.run(program, context))
+    return _sorted(findings)

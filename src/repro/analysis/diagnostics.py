@@ -1,0 +1,167 @@
+"""The diagnostic model of the static-analysis subsystem.
+
+Every check in :mod:`repro.analysis` reports its findings as
+:class:`Diagnostic` objects instead of bare strings or exceptions, so an
+editor (or the ``repro lint`` command) can present them uniformly:
+
+* a **stable code** (``XGL010``, ``WGL003``, ...) that tests, docs and
+  tooling can key on — the full registry is the table in DESIGN.md;
+* a **severity** — :attr:`Severity.ERROR` means the query is rejected
+  (``repro lint`` exits non-zero), :attr:`Severity.WARNING` flags likely
+  mistakes that still evaluate, :attr:`Severity.INFO` is advisory;
+* **anchors** — the query node and/or edge the finding points at, so a
+  visual editor can highlight the offending box or arc;
+* an optional **hint** suggesting the fix.
+
+Diagnostics compare and hash by content, which makes de-duplication (two
+starred arcs producing the same finding) a set operation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "has_errors",
+    "max_severity",
+    "dedupe",
+    "render_text",
+    "render_json",
+]
+
+
+class Severity(Enum):
+    """How bad a finding is, ordered INFO < WARNING < ERROR."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass.
+
+    Attributes:
+        code: stable identifier (``XGL``/``WGL``/``XGS`` family + number).
+        severity: ERROR rejects the query; WARNING/INFO annotate it.
+        message: human-readable description of the finding.
+        node: id of the query/rule node the finding anchors at, if any.
+        edge: ``(source, target)`` of the anchoring arc, if any.
+        hint: optional suggestion for fixing the query.
+        rule: name of the rule the finding belongs to (programs).
+        unsatisfiable: True when the finding *proves* the query part can
+            never match anything — the evaluator pre-flight keys on this
+            to short-circuit evaluation (see :mod:`repro.analysis.preflight`).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    node: Optional[str] = None
+    edge: Optional[tuple[str, str]] = None
+    hint: Optional[str] = None
+    rule: Optional[str] = None
+    unsatisfiable: bool = field(default=False, compare=False)
+
+    def anchored(self, rule: Optional[str]) -> "Diagnostic":
+        """A copy carrying the owning rule's name (no-op when unnamed)."""
+        if rule is None or self.rule is not None:
+            return self
+        return Diagnostic(
+            self.code, self.severity, self.message, self.node, self.edge,
+            self.hint, rule, self.unsatisfiable,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (stable key order)."""
+        payload: dict = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.node is not None:
+            payload["node"] = self.node
+        if self.edge is not None:
+            payload["edge"] = list(self.edge)
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        if self.rule is not None:
+            payload["rule"] = self.rule
+        if self.unsatisfiable:
+            payload["unsatisfiable"] = True
+        return payload
+
+    def format(self) -> str:
+        """One-line rendering: ``CODE severity: message [at ...] (hint)``."""
+        anchor = ""
+        if self.edge is not None:
+            anchor = f" [at {self.edge[0]} -> {self.edge[1]}]"
+        elif self.node is not None:
+            anchor = f" [at {self.node}]"
+        where = f" (rule {self.rule})" if self.rule else ""
+        hint = f"; hint: {self.hint}" if self.hint else ""
+        return (
+            f"{self.code} {self.severity.value}{where}: "
+            f"{self.message}{anchor}{hint}"
+        )
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """Does any finding reject the query?"""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The worst severity present, or ``None`` for a clean report."""
+    worst: Optional[Severity] = None
+    for diagnostic in diagnostics:
+        if worst is None or diagnostic.severity.rank > worst.rank:
+            worst = diagnostic.severity
+    return worst
+
+
+def dedupe(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Drop exact repeats (same code/message/anchor), keeping first order."""
+    seen: set[Diagnostic] = set()
+    unique: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        if diagnostic in seen:
+            continue
+        seen.add(diagnostic)
+        unique.append(diagnostic)
+    return unique
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """The text report ``repro lint`` prints: one finding per line."""
+    items = list(diagnostics)
+    if not items:
+        return "no findings"
+    lines = [d.format() for d in items]
+    errors = sum(1 for d in items if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in items if d.severity is Severity.WARNING)
+    lines.append(f"# {len(items)} finding(s): {errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """The ``--format json`` report: a stable JSON document."""
+    items = list(diagnostics)
+    return json.dumps(
+        {
+            "findings": [d.as_dict() for d in items],
+            "errors": sum(1 for d in items if d.severity is Severity.ERROR),
+            "warnings": sum(1 for d in items if d.severity is Severity.WARNING),
+        },
+        indent=2,
+    )

@@ -1,0 +1,85 @@
+"""The analysis-pass registry.
+
+A *pass* is one named check over a parsed query: it takes the language's
+analysis target (an XML-GL :class:`~repro.xmlgl.rule.Rule`, or a WG-Log
+rule program) plus an :class:`AnalysisContext`, and returns diagnostics.
+Passes self-register at import time via :func:`register`, keyed by
+language and *family*:
+
+========== ===============================================================
+family     checks
+========== ===============================================================
+structure  well-formedness of the drawn graph (cycles, dangling circles)
+sat        satisfiability — parts that provably match nothing
+construct  the construct (right-hand) part against the extract part
+safety     WG-Log range-restriction and program stratification
+schema     conformance against a supplied schema graph
+========== ===============================================================
+
+``repro lint`` and :meth:`QuerySession.analyze` run every registered pass
+for the language; the evaluator pre-flight runs only the cheap ``sat``
+family (see :mod:`repro.analysis.preflight`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .diagnostics import Diagnostic
+
+__all__ = ["AnalysisContext", "AnalysisPass", "register", "passes_for"]
+
+
+@dataclass
+class AnalysisContext:
+    """Optional surroundings a pass may consult.
+
+    Attributes:
+        xml_schema: an XML-GL :class:`~repro.xmlgl.schema.SchemaGraph` for
+            schema-conformance passes (``None`` = schema-optional mode).
+        wg_schema: a :class:`~repro.wglog.schema.WGSchema` for WG-Log.
+    """
+
+    xml_schema: Optional[Any] = None
+    wg_schema: Optional[Any] = None
+
+
+PassFn = Callable[[Any, AnalysisContext], list[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """One registered check."""
+
+    name: str
+    language: str  # "xmlgl" | "wglog"
+    family: str    # "structure" | "sat" | "construct" | "safety" | "schema"
+    run: PassFn = field(compare=False)
+
+
+_REGISTRY: dict[str, AnalysisPass] = {}
+
+
+def register(name: str, language: str, family: str) -> Callable[[PassFn], PassFn]:
+    """Decorator: add a pass to the registry under a unique name."""
+
+    def wrap(fn: PassFn) -> PassFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate analysis pass {name!r}")
+        _REGISTRY[name] = AnalysisPass(name, language, family, fn)
+        return fn
+
+    return wrap
+
+
+def passes_for(
+    language: str, families: Optional[set[str]] = None
+) -> list[AnalysisPass]:
+    """Registered passes for a language, registration order, optionally
+    restricted to the given families."""
+    return [
+        p
+        for p in _REGISTRY.values()
+        if p.language == language and (families is None or p.family in families)
+    ]

@@ -1,0 +1,52 @@
+"""Cheap pre-evaluation short-circuit for provably-empty queries.
+
+The evaluators call these before matching: when a query is *statically*
+unsatisfiable — contradictory predicates, an always-false constant
+comparison, two anchored boxes with different tags — there is no point
+walking the document or instance at all.  Only diagnostics explicitly
+flagged ``unsatisfiable`` participate: those are the ones whose proof is
+"the match set is empty", as opposed to style or crash findings.
+
+The pre-flight must never change observable semantics beyond skipping
+work, so it is deliberately defensive: any analysis failure means "no
+verdict" and evaluation proceeds normally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .diagnostics import Diagnostic
+from .passes import AnalysisContext, passes_for
+
+__all__ = ["xmlgl_preflight", "wglog_preflight"]
+
+#: Pass families cheap enough to run on every evaluation.
+_XMLGL_FAMILIES = ("structure", "sat")
+_WGLOG_FAMILIES = ("safety", "sat")
+
+_CONTEXT = AnalysisContext()
+
+
+def _first_unsatisfiable(
+    target, language: str, families: tuple[str, ...]
+) -> Optional[Diagnostic]:
+    for analysis_pass in passes_for(language, families):
+        try:
+            findings = analysis_pass.run(target, _CONTEXT)
+        except Exception:
+            return None  # a broken analysis must not break evaluation
+        for finding in findings:
+            if finding.unsatisfiable:
+                return finding
+    return None
+
+
+def xmlgl_preflight(rule) -> Optional[Diagnostic]:
+    """The first proof that ``rule`` (an XML-GL rule) matches nothing."""
+    return _first_unsatisfiable(rule, "xmlgl", _XMLGL_FAMILIES)
+
+
+def wglog_preflight(rule) -> Optional[Diagnostic]:
+    """The first proof that a WG-Log rule's red part embeds nowhere."""
+    return _first_unsatisfiable([rule], "wglog", _WGLOG_FAMILIES)

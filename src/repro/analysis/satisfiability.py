@@ -1,0 +1,370 @@
+"""Conjunctive-constraint satisfiability shared by both language analysers.
+
+Graphical queries accumulate constraints on one bound value from several
+places at once: a text circle's literal, a predicate annotation, a regex
+constraint, a schema-fixed attribute.  Each is individually sensible; the
+*conjunction* can be unsatisfiable (``= 'a'`` ∧ ``= 'b'``, ``< 5`` ∧
+``> 10``), which means the query part can never match any document — the
+editor-time rejection the paper attributes to graph-shaped queries.
+
+:class:`ConstraintStore` accumulates constraints per *value view* — the
+textual content of a bound node, a named attribute/slot of it, or its
+tag/label — and :meth:`ConstraintStore.contradictions` reports every
+provably-empty combination.  The analysis is deliberately conservative:
+only top-level conjuncts with one constant side are interpreted, so every
+reported contradiction is real (no false positives), at the price of
+missing contradictions hidden under ``or``/``not`` or variable-to-variable
+comparisons.
+
+Two kinds of equality are tracked separately because the engines treat
+them differently:
+
+* **exact** — a raw-string requirement (a circle's ``value`` literal, a
+  declared fixed attribute): the bound string must equal it verbatim;
+* **atom equality** — a predicate ``= const``: compared with numeric
+  coercion (``"007" = 7``).
+
+A regex constraint can only be played against *exact* requirements (the
+raw string is known then); pitting it against coerced equalities would
+risk false positives.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from ..engine.conditions import (
+    And,
+    AttributeOf,
+    Comparison,
+    Condition,
+    Const,
+    ContentOf,
+    NameOf,
+    Not,
+    Operand,
+    Or,
+    Regex,
+    _True,
+)
+from ..ssd.datatypes import Atomic, compare, equal_atoms
+
+__all__ = ["ViewKey", "Contradiction", "ConstraintStore", "conjuncts", "extract_conjuncts"]
+
+#: Identifies one constrained value: ("content", var), ("attr", var, name)
+#: or ("name", var).
+ViewKey = tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class Contradiction:
+    """One provably-empty constraint combination."""
+
+    key: Optional[ViewKey]
+    message: str
+    hint: Optional[str] = None
+
+    @property
+    def variable(self) -> Optional[str]:
+        """The query variable the contradiction anchors at, if any."""
+        if self.key is None:
+            return None
+        return str(self.key[1])
+
+
+@dataclass
+class _Constraints:
+    exact: list[str] = field(default_factory=list)
+    equals: list[Atomic] = field(default_factory=list)
+    not_equals: list[Atomic] = field(default_factory=list)
+    lowers: list[tuple[Atomic, bool]] = field(default_factory=list)  # (bound, strict)
+    uppers: list[tuple[Atomic, bool]] = field(default_factory=list)
+    regexes: list[str] = field(default_factory=list)
+
+
+def _describe(key: ViewKey) -> str:
+    kind = key[0]
+    if kind == "content":
+        return f"the value of {key[1]!r}"
+    if kind == "attr":
+        return f"attribute {key[2]!r} of {key[1]!r}"
+    if kind == "text":
+        return f"the text of {key[1]!r}"
+    return f"the name of {key[1]!r}"
+
+
+class ConstraintStore:
+    """Accumulates per-view constraints and detects contradictions.
+
+    ``aliases`` maps equivalent views onto one canonical key — e.g. an
+    attribute circle's content view onto the owning element's attribute
+    view — so constraints stated through either route are played against
+    each other.
+    """
+
+    def __init__(self, aliases: Optional[dict[ViewKey, ViewKey]] = None) -> None:
+        self._constraints: dict[ViewKey, _Constraints] = {}
+        self._aliases = aliases or {}
+        self._always_false: list[Contradiction] = []
+
+    def _slot(self, key: ViewKey) -> _Constraints:
+        key = self._aliases.get(key, key)
+        return self._constraints.setdefault(key, _Constraints())
+
+    # -- accumulation ---------------------------------------------------------
+
+    def require_exact(self, key: ViewKey, raw: str) -> None:
+        """The bound string must equal ``raw`` verbatim."""
+        self._slot(key).exact.append(raw)
+
+    def require_equal(self, key: ViewKey, value: Atomic) -> None:
+        """The bound value must equal ``value`` under atom coercion."""
+        self._slot(key).equals.append(value)
+
+    def require_not_equal(self, key: ViewKey, value: Atomic) -> None:
+        self._slot(key).not_equals.append(value)
+
+    def require_bound(self, key: ViewKey, op: str, value: Atomic) -> None:
+        """An ordering requirement ``view op value`` (op in < <= > >=)."""
+        slot = self._slot(key)
+        if op in ("<", "<="):
+            slot.uppers.append((value, op == "<"))
+        else:
+            slot.lowers.append((value, op == ">"))
+
+    def require_regex(self, key: ViewKey, pattern: str) -> None:
+        self._slot(key).regexes.append(pattern)
+
+    def constant_false(self, message: str, hint: Optional[str] = None) -> None:
+        """Record a condition that is false regardless of any binding."""
+        self._always_false.append(Contradiction(None, message, hint))
+
+    # -- analysis -------------------------------------------------------------
+
+    def contradictions(self) -> list[Contradiction]:
+        """Every provably-empty combination accumulated so far."""
+        found = list(self._always_false)
+        for key, slot in self._constraints.items():
+            found.extend(self._check_slot(key, slot))
+        return found
+
+    def _check_slot(self, key: ViewKey, slot: _Constraints) -> list[Contradiction]:
+        found: list[Contradiction] = []
+        where = _describe(key)
+
+        distinct_exact = sorted(set(slot.exact))
+        if len(distinct_exact) > 1:
+            found.append(Contradiction(
+                key,
+                f"{where} is required to equal {distinct_exact[0]!r} and "
+                f"{distinct_exact[1]!r} at once",
+                hint="remove one of the literal constraints",
+            ))
+        fixed: Optional[str] = distinct_exact[0] if distinct_exact else None
+
+        # atom equalities against each other and against the exact literal
+        for i, left in enumerate(slot.equals):
+            if fixed is not None and not equal_atoms(fixed, left):
+                found.append(Contradiction(
+                    key,
+                    f"{where} is fixed to {fixed!r} but also compared "
+                    f"= {left!r}",
+                    hint="the two equality constraints cannot both hold",
+                ))
+            for right in slot.equals[i + 1:]:
+                if not equal_atoms(left, right):
+                    found.append(Contradiction(
+                        key,
+                        f"{where} is compared = {left!r} and = {right!r} "
+                        "at once",
+                        hint="a value cannot equal two different constants",
+                    ))
+
+        # disequalities against the pinned value
+        pinned: Optional[Atomic] = fixed if fixed is not None else (
+            slot.equals[0] if slot.equals else None
+        )
+        if pinned is not None:
+            for value in slot.not_equals:
+                if equal_atoms(pinned, value):
+                    found.append(Contradiction(
+                        key,
+                        f"{where} is required = {pinned!r} and != {value!r}",
+                    ))
+
+        # ordering bounds: effective range plus pinned-value membership
+        found.extend(self._check_bounds(key, slot, where, pinned))
+
+        # regexes against the exact literal (the raw string is known)
+        if fixed is not None:
+            for pattern in slot.regexes:
+                try:
+                    matches = re.fullmatch(pattern, fixed) is not None
+                except re.error:
+                    continue  # malformed patterns are reported elsewhere
+                if not matches:
+                    found.append(Contradiction(
+                        key,
+                        f"{where} is fixed to {fixed!r}, which does not "
+                        f"match the required pattern /{pattern}/",
+                    ))
+        return found
+
+    def _check_bounds(
+        self,
+        key: ViewKey,
+        slot: _Constraints,
+        where: str,
+        pinned: Optional[Atomic],
+    ) -> list[Contradiction]:
+        found: list[Contradiction] = []
+        for low, low_strict in slot.lowers:
+            for high, high_strict in slot.uppers:
+                try:
+                    order = compare(low, high)
+                except TypeError:
+                    # a single value cannot satisfy an ordering against a
+                    # number and against a non-numeric string at once
+                    found.append(Contradiction(
+                        key,
+                        f"{where} is ordered against {low!r} and {high!r}, "
+                        "which have incomparable types",
+                    ))
+                    continue
+                if order > 0 or (order == 0 and (low_strict or high_strict)):
+                    low_op = ">" if low_strict else ">="
+                    high_op = "<" if high_strict else "<="
+                    found.append(Contradiction(
+                        key,
+                        f"{where} is required {low_op} {low!r} and "
+                        f"{high_op} {high!r}: the range is empty",
+                    ))
+        if pinned is None:
+            return found
+        for bound, strict in slot.lowers:
+            if not _satisfies_bound(pinned, bound, ">" if strict else ">="):
+                found.append(Contradiction(
+                    key,
+                    f"{where} is required = {pinned!r} but also "
+                    f"{'>' if strict else '>='} {bound!r}",
+                ))
+        for bound, strict in slot.uppers:
+            if not _satisfies_bound(pinned, bound, "<" if strict else "<="):
+                found.append(Contradiction(
+                    key,
+                    f"{where} is required = {pinned!r} but also "
+                    f"{'<' if strict else '<='} {bound!r}",
+                ))
+        return found
+
+
+def _satisfies_bound(value: Atomic, bound: Atomic, op: str) -> bool:
+    try:
+        delta = compare(value, bound)
+    except TypeError:
+        return False  # mixed types: the runtime comparison is always false
+    if op == ">":
+        return delta > 0
+    if op == ">=":
+        return delta >= 0
+    if op == "<":
+        return delta < 0
+    return delta <= 0
+
+
+# ---------------------------------------------------------------------------
+# Condition extraction
+# ---------------------------------------------------------------------------
+
+def conjuncts(condition: Condition) -> list[Condition]:
+    """Flatten nested ``And`` into the list of top-level conjuncts."""
+    if isinstance(condition, And):
+        flat: list[Condition] = []
+        for sub in condition.conditions:
+            flat.extend(conjuncts(sub))
+        return flat
+    if isinstance(condition, _True):
+        return []
+    return [condition]
+
+
+def _view_of(operand: Operand) -> Optional[ViewKey]:
+    if isinstance(operand, ContentOf):
+        return ("content", operand.variable)
+    if isinstance(operand, AttributeOf):
+        return ("attr", operand.variable, operand.name)
+    if isinstance(operand, NameOf):
+        return ("name", operand.variable)
+    return None
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def extract_conjuncts(
+    conditions: list[Condition],
+    store: ConstraintStore,
+    known_variable: Callable[[str], bool],
+) -> None:
+    """Feed the analysable top-level conjuncts of ``conditions`` into ``store``.
+
+    Interprets comparisons and regexes with one variable-view side and one
+    constant side, and constant-only conditions (evaluated outright).
+    Conjuncts mentioning unknown variables are skipped here — the language
+    passes report those separately (an unknown variable is its own
+    diagnostic, not a satisfiability fact).  ``or``/``not`` sub-trees are
+    skipped: they cannot make the conjunction unsatisfiable on their own
+    without case analysis this pass intentionally avoids.
+    """
+    for condition in [c for top in conditions for c in conjuncts(top)]:
+        if isinstance(condition, (Or, Not)):
+            continue
+        if isinstance(condition, Comparison):
+            _extract_comparison(condition, store, known_variable)
+        elif isinstance(condition, Regex):
+            view = _view_of(condition.operand)
+            if view is not None and known_variable(str(view[1])):
+                store.require_regex(view, condition.pattern)
+            elif isinstance(condition.operand, Const):
+                try:
+                    ok = re.fullmatch(
+                        condition.pattern, str(condition.operand.value)
+                    ) is not None
+                except re.error:
+                    continue
+                if not ok:
+                    store.constant_false(
+                        f"condition {condition} can never hold"
+                    )
+
+
+def _extract_comparison(
+    condition: Comparison,
+    store: ConstraintStore,
+    known_variable: Callable[[str], bool],
+) -> None:
+    left, right, op = condition.left, condition.right, condition.op
+    if isinstance(left, Const) and isinstance(right, Const):
+        if not condition.evaluate(None, None):  # type: ignore[arg-type]
+            store.constant_false(
+                f"condition {condition} is false for every binding",
+                hint="remove or correct the constant comparison",
+            )
+        return
+    view, const = _view_of(left), right
+    if view is None or not isinstance(const, Const):
+        view, const = _view_of(right), left
+        if view is None or not isinstance(const, Const):
+            return
+        op = _FLIP.get(op, op)  # = and != are symmetric
+    if not known_variable(str(view[1])):
+        return
+    value = const.value
+    if op == "=":
+        store.require_equal(view, value)
+    elif op == "!=":
+        store.require_not_equal(view, value)
+    else:
+        store.require_bound(view, op, value)

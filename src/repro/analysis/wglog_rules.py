@@ -1,0 +1,456 @@
+"""Static analysis of WG-Log rule programs.
+
+WG-Log inherits stratified Datalog's editor-time guarantees, and these
+passes make them checkable before evaluation:
+
+* ``wglog.safety`` — structure and range-restriction (WGL001-WGL008):
+  every node referenced by the green (derive) part or by a predicate must
+  be *range-restricted* — labelled, or reached by a positive red edge —
+  otherwise the rule derives for every entity in the database; crossed
+  edges need a positively bound endpoint; green nodes need labels to be
+  instantiable; collectors must aggregate something red.
+* ``wglog.stratification`` — WGL003: negation must be stratifiable across
+  the *program*.  A label derived (directly or transitively) by rules
+  that also negate it has no stratified reading, and the round-robin
+  fixpoint of :func:`~repro.wglog.semantics.apply_program` can oscillate
+  or diverge on it.
+* ``wglog.satisfiability`` — WGL012: contradictory predicate sets prove
+  the red part matches nothing (used by the evaluator pre-flight).
+* ``wglog.schema`` — WGL010/WGL011: undeclared entity types or relations
+  against a supplied :class:`~repro.wglog.schema.WGSchema` (the checks of
+  :func:`~repro.wglog.matcher.check_against_schema`, as diagnostics).
+
+The analysis target of every WG-Log pass is a *program* — a list of
+:class:`~repro.wglog.ast.RuleGraph` — because stratification is a
+whole-program property; single rules are analysed as one-rule programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.conditions import (
+    Comparison,
+    ContentOf,
+    Regex,
+    condition_variables,
+)
+from ..errors import QueryStructureError
+from ..wglog.ast import Color, RuleGraph
+from ..wglog.matcher import _positively_anchored, _split_negation
+from ..wglog.schema import WGSchema
+from .diagnostics import Diagnostic, Severity
+from .passes import AnalysisContext, register
+from .satisfiability import ConstraintStore, conjuncts, extract_conjuncts
+
+__all__ = ["safety_pass", "stratification_pass", "satisfiability_pass", "schema_pass"]
+
+#: A predicate in the Datalog reading: ("node", label) or ("edge", label).
+Predicate = tuple[str, str]
+
+
+def _error(code: str, message: str, **kw) -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, message, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Safety / range restriction
+# ---------------------------------------------------------------------------
+
+@register("wglog.safety", "wglog", "safety")
+def safety_pass(
+    rules: list[RuleGraph], context: AnalysisContext
+) -> list[Diagnostic]:
+    """WGL001, WGL002, WGL004-WGL008 for every rule of the program."""
+    findings: list[Diagnostic] = []
+    for rule in rules:
+        findings.extend(_rule_safety(rule))
+    return findings
+
+
+def _rule_safety(rule: RuleGraph) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    name = rule.name
+
+    if not rule.red_nodes():
+        findings.append(_error(
+            "WGL005", "rule has no red (query) part", rule=name,
+            hint="every rule needs at least one thin (red) node to match",
+        ))
+
+    positive_edge_ends: set[str] = set()
+    for edge in rule.red_edges():
+        if not edge.crossed:
+            positive_edge_ends.add(edge.source)
+            positive_edge_ends.add(edge.target)
+
+    referenced: dict[str, str] = {}  # red node id -> how it is referenced
+    for edge in rule.green_edges():
+        for endpoint in (edge.source, edge.target):
+            node = rule.nodes.get(endpoint)
+            if node is not None and node.color is Color.RED:
+                referenced.setdefault(endpoint, f"green edge {edge.describe()}")
+    for assertion in rule.slot_assertions:
+        node = rule.nodes.get(assertion.node)
+        if node is not None and node.color is Color.RED:
+            referenced.setdefault(
+                assertion.node, f"slot assertion on {assertion.node!r}"
+            )
+        if assertion.from_node is not None:
+            referenced.setdefault(
+                assertion.from_node, f"slot copy from {assertion.from_node!r}"
+            )
+    for condition in rule.conditions:
+        for variable in condition_variables(condition):
+            if variable in rule.nodes:
+                referenced.setdefault(variable, f"condition {condition}")
+
+    for node_id, where in sorted(referenced.items()):
+        node = rule.nodes.get(node_id)
+        if node is None or node.color is not Color.RED:
+            continue
+        if node.label is None and node_id not in positive_edge_ends:
+            findings.append(_error(
+                "WGL001",
+                f"{where} references {node_id!r}, which is unrestricted: "
+                "it has no label and no positive red edge, so it ranges "
+                "over every entity in the database",
+                node=node_id,
+                rule=name,
+                hint="label the node or connect it with a positive edge",
+            ))
+
+    try:
+        anchored = _positively_anchored(rule)
+    except QueryStructureError:
+        anchored = set(rule.nodes)
+    for edge in rule.red_edges():
+        if not edge.crossed:
+            continue
+        if edge.source not in anchored and edge.target not in anchored:
+            findings.append(_error(
+                "WGL002",
+                f"crossed edge {edge.describe()} has no positively bound "
+                "endpoint",
+                edge=(edge.source, edge.target),
+                rule=name,
+                hint="anchor one side in the positive pattern",
+            ))
+
+    for node in rule.green_nodes():
+        if node.label is None:
+            findings.append(_error(
+                "WGL004",
+                f"green node {node.id!r} has no label: derived entities "
+                "need a declared type to be created",
+                node=node.id,
+                rule=name,
+            ))
+        if node.collector:
+            outgoing = [e for e in rule.green_edges() if e.source == node.id]
+            if not outgoing:
+                findings.append(_error(
+                    "WGL006",
+                    f"collector {node.id!r} aggregates nothing",
+                    node=node.id,
+                    rule=name,
+                    hint="point the triangle at the red nodes to collect",
+                ))
+            for edge in outgoing:
+                target = rule.nodes.get(edge.target)
+                if target is not None and target.color is not Color.RED:
+                    findings.append(_error(
+                        "WGL006",
+                        f"collector {node.id!r} points at green node "
+                        f"{edge.target!r}; it must collect red (matched) nodes",
+                        edge=(edge.source, edge.target),
+                        rule=name,
+                    ))
+    for assertion in rule.slot_assertions:
+        if assertion.from_node is not None:
+            source = rule.nodes.get(assertion.from_node)
+            if source is not None and source.color is not Color.RED:
+                findings.append(_error(
+                    "WGL007",
+                    f"slot {assertion.name!r} of {assertion.node!r} copies "
+                    f"from green node {assertion.from_node!r}: values can "
+                    "only be copied from matched (red) nodes",
+                    node=assertion.node,
+                    rule=name,
+                ))
+
+    for top in rule.conditions:
+        for condition in conjuncts(top):
+            for variable in sorted(condition_variables(condition)):
+                if variable not in rule.nodes:
+                    findings.append(_error(
+                        "WGL008",
+                        f"condition {condition} references {variable!r}, "
+                        "which is not a node of the rule",
+                        node=variable,
+                        rule=name,
+                        hint="check the node id for typos",
+                        unsatisfiable=isinstance(condition, (Comparison, Regex)),
+                    ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Stratification
+# ---------------------------------------------------------------------------
+
+def _rule_predicates(
+    rule: RuleGraph,
+) -> tuple[set[Predicate], set[Predicate], set[Predicate]]:
+    """``(derived, positive, negative)`` predicates of one rule."""
+    derived: set[Predicate] = set()
+    for node in rule.green_nodes():
+        if node.label is not None:
+            derived.add(("node", node.label))
+    for edge in rule.green_edges():
+        derived.add(("edge", edge.label))
+
+    positive: set[Predicate] = set()
+    negative: set[Predicate] = set()
+    fragment_nodes: set[str] = set()
+    try:
+        _, fragments = _split_negation(rule)
+        for _, fragment in fragments:
+            fragment_nodes |= fragment
+    except QueryStructureError:
+        pass  # reported as WGL002/WGL005; fall back to edge-level negation
+    for node in rule.red_nodes():
+        if node.label is None:
+            continue
+        bucket = negative if node.id in fragment_nodes else positive
+        bucket.add(("node", node.label))
+    for edge in rule.red_edges():
+        if edge.crossed:
+            negative.add(("edge", edge.label))
+        elif edge.source in fragment_nodes or edge.target in fragment_nodes:
+            negative.add(("edge", edge.label))
+        else:
+            positive.add(("edge", edge.label))
+    return derived, positive, negative
+
+
+@register("wglog.stratification", "wglog", "safety")
+def stratification_pass(
+    rules: list[RuleGraph], context: AnalysisContext
+) -> list[Diagnostic]:
+    """WGL003: negation cycles in the program's predicate dependency graph.
+
+    Predicates are node labels and edge labels; rule ``R`` contributes a
+    dependency ``b -> h`` for every body predicate ``b`` and every head
+    (derived) predicate ``h``, negative when ``b`` occurs behind a crossed
+    edge.  A strongly connected component containing a negative dependency
+    admits no stratification — the declarative and fixpoint readings can
+    disagree on it.
+    """
+    edges: list[tuple[Predicate, Predicate, bool, Optional[str]]] = []
+    for rule in rules:
+        derived, positive, negative = _rule_predicates(rule)
+        for head in derived:
+            for body in positive:
+                edges.append((body, head, False, rule.name))
+            for body in negative:
+                edges.append((body, head, True, rule.name))
+    component = _strongly_connected(edges)
+    findings: list[Diagnostic] = []
+    seen: set[tuple] = set()
+    for body, head, is_negative, rule_name in edges:
+        if not is_negative:
+            continue
+        if component.get(body) != component.get(head):
+            continue
+        key = (body, head, rule_name)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(_error(
+            "WGL003",
+            f"negation is not stratified: {_pred(head)} is derived from "
+            f"the negation of {_pred(body)}, which itself depends on "
+            f"{_pred(head)}",
+            rule=rule_name,
+            hint="split the program so negated labels are fully derived "
+            "by earlier strata",
+        ))
+    return findings
+
+
+def _pred(predicate: Predicate) -> str:
+    kind, label = predicate
+    shown = label or "''"
+    return f"{kind} label {shown}"
+
+
+def _strongly_connected(
+    edges: list[tuple[Predicate, Predicate, bool, Optional[str]]]
+) -> dict[Predicate, int]:
+    """Iterative Tarjan: predicate -> SCC id."""
+    graph: dict[Predicate, list[Predicate]] = {}
+    for source, target, _, _ in edges:
+        graph.setdefault(source, []).append(target)
+        graph.setdefault(target, [])
+    index: dict[Predicate, int] = {}
+    lowlink: dict[Predicate, int] = {}
+    on_stack: set[Predicate] = set()
+    stack: list[Predicate] = []
+    component: dict[Predicate, int] = {}
+    counter = 0
+    components = 0
+
+    for root in graph:
+        if root in index:
+            continue
+        work: list[tuple[Predicate, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = graph[node]
+            while child_index < len(successors):
+                successor = successors[child_index]
+                child_index += 1
+                if successor not in index:
+                    work[-1] = (node, child_index)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = components
+                    if member == node:
+                        break
+                components += 1
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            else:
+                continue
+    return component
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability
+# ---------------------------------------------------------------------------
+
+@register("wglog.satisfiability", "wglog", "sat")
+def satisfiability_pass(
+    rules: list[RuleGraph], context: AnalysisContext
+) -> list[Diagnostic]:
+    """WGL012: red parts that provably embed nowhere."""
+    findings: list[Diagnostic] = []
+    for rule in rules:
+        for contradiction in rule_contradictions(rule):
+            findings.append(Diagnostic(
+                "WGL012",
+                Severity.ERROR,
+                contradiction.message,
+                node=contradiction.variable,
+                rule=rule.name,
+                hint=contradiction.hint,
+                unsatisfiable=True,
+            ))
+    return findings
+
+
+def rule_contradictions(rule: RuleGraph):
+    """The contradiction records of one rule (shared with the pre-flight)."""
+    store = ConstraintStore()
+    for node in rule.nodes.values():
+        if node.color is Color.RED and node.label is not None:
+            store.require_exact(("name", node.id), node.label)
+    extract_conjuncts(rule.conditions, store, lambda v: v in rule.nodes)
+    # The content view of an *entity* node is None at evaluation time
+    # (only slot nodes carry a value), so a positive content comparison on
+    # a labelled node is constantly false.
+    for top in rule.conditions:
+        for condition in conjuncts(top):
+            if not isinstance(condition, (Comparison, Regex)):
+                continue
+            for operand in _content_operands(condition):
+                node = rule.nodes.get(operand.variable)
+                if node is not None and node.label is not None:
+                    store.constant_false(
+                        f"condition {condition} reads the content of "
+                        f"{operand.variable!r}, a {node.label!r} entity; "
+                        "entities have no content (only slots do)",
+                        hint=f"compare a slot instead, e.g. "
+                        f"{operand.variable}.<slot>",
+                    )
+    return store.contradictions()
+
+
+def _content_operands(condition) -> list[ContentOf]:
+    operands = []
+    if isinstance(condition, Comparison):
+        candidates = [condition.left, condition.right]
+    else:
+        candidates = [condition.operand]
+    for candidate in candidates:
+        if isinstance(candidate, ContentOf):
+            operands.append(candidate)
+    return operands
+
+
+# ---------------------------------------------------------------------------
+# Schema conformance
+# ---------------------------------------------------------------------------
+
+@register("wglog.schema", "wglog", "schema")
+def schema_pass(
+    rules: list[RuleGraph], context: AnalysisContext
+) -> list[Diagnostic]:
+    """WGL010/WGL011: the checks of ``check_against_schema``, as diagnostics."""
+    schema = context.wg_schema
+    if schema is None:
+        return []
+    findings: list[Diagnostic] = []
+    for rule in rules:
+        findings.extend(_schema_findings(rule, schema))
+    return findings
+
+
+def _schema_findings(rule: RuleGraph, schema: WGSchema) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for node in rule.nodes.values():
+        if node.label is not None and not schema.has_entity(node.label):
+            findings.append(_error(
+                "WGL010",
+                f"node {node.id!r} uses undeclared entity type "
+                f"{node.label!r}",
+                node=node.id,
+                rule=rule.name,
+                hint="declare the entity in the schema block, or fix the label",
+            ))
+    for edge in rule.edges:
+        if edge.path:
+            continue
+        source = rule.nodes[edge.source].label
+        target = rule.nodes[edge.target].label
+        if source is None or target is None:
+            continue
+        if not schema.has_entity(source) or not schema.has_entity(target):
+            continue  # WGL010 already covers the endpoints
+        if not schema.allows_relation(source, edge.label, target):
+            findings.append(_error(
+                "WGL011",
+                f"edge {source} -{edge.label}-> {target} is not a declared "
+                "relation",
+                edge=(edge.source, edge.target),
+                rule=rule.name,
+            ))
+    return findings

@@ -1,0 +1,193 @@
+"""Schema conformance of XML-GL queries as an analysis pass.
+
+This is :mod:`repro.xmlgl.schema_check` migrated onto the diagnostics
+framework: the same checks — query parts no schema-valid document can
+satisfy — now report :class:`Diagnostic` objects with stable ``XGS`` codes
+and node/edge anchors instead of bare strings.  The original module keeps
+a thin back-compat wrapper returning the formatted messages.
+
+All findings are warnings: XML-GL is schema-*optional*, so a query that
+disagrees with a supplied schema still evaluates (against documents that
+need not conform).  The codes:
+
+* **XGS001** — a box's tag is not declared in the schema;
+* **XGS002** — a box anchored at the root names a non-root tag;
+* **XGS003** — an attribute circle names an undeclared attribute;
+* **XGS004** — an attribute value outside the declared enumeration;
+* **XGS005** — an attribute value differing from the declared fixed value;
+* **XGS006** — a text circle under an element with no declared PCDATA;
+* **XGS007** — an arc to a tag that is not a declared child of the parent;
+* **XGS008** — a starred arc with no schema containment path at any depth.
+
+Findings are de-duplicated: two starred arcs between the same tags yield
+the finding once (the drawing repeats, the fact does not).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..xmlgl.ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    QueryGraph,
+    TextPattern,
+)
+from ..xmlgl.rule import Rule
+from ..xmlgl.schema import SchemaAttribute, SchemaElement, SchemaGraph
+from .diagnostics import Diagnostic, Severity, dedupe
+from .passes import AnalysisContext, register
+
+__all__ = ["schema_pass", "schema_diagnostics"]
+
+
+def _warn(code: str, message: str, **kw) -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, message, **kw)
+
+
+@register("xmlgl.schema", "xmlgl", "schema")
+def schema_pass(rule: Rule, context: AnalysisContext) -> list[Diagnostic]:
+    """XGS001-XGS008 for every extract graph, against ``context.xml_schema``."""
+    schema = context.xml_schema
+    if schema is None:
+        return []
+    findings: list[Diagnostic] = []
+    for graph in rule.queries:
+        findings.extend(schema_diagnostics(graph, schema))
+    return [d.anchored(rule.name) for d in findings]
+
+
+def schema_diagnostics(
+    graph: QueryGraph, schema: SchemaGraph
+) -> list[Diagnostic]:
+    """Diagnostics for query parts no schema-valid document can satisfy."""
+    schema.check()
+    findings: list[Diagnostic] = []
+    declared = {
+        node.tag
+        for node in schema.nodes.values()
+        if isinstance(node, SchemaElement)
+    }
+
+    for node in graph.nodes.values():
+        if isinstance(node, ElementPattern):
+            if node.tag is not None and node.tag not in declared:
+                findings.append(_warn(
+                    "XGS001",
+                    f"box {node.id!r}: element <{node.tag}> is not declared "
+                    "in the schema",
+                    node=node.id,
+                    hint="check the tag against the schema's element names",
+                ))
+            if node.anchored and node.tag is not None and node.tag != schema.root:
+                findings.append(_warn(
+                    "XGS002",
+                    f"box {node.id!r}: anchored to <{node.tag}> but the "
+                    f"schema root is <{schema.root}>",
+                    node=node.id,
+                ))
+
+    for edge in graph.all_edges():
+        parent = graph.nodes[edge.parent]
+        child = graph.nodes[edge.child]
+        if not isinstance(parent, ElementPattern) or parent.tag is None:
+            continue
+        if parent.tag not in declared:
+            continue  # XGS001 already reported the parent
+        if isinstance(child, AttributePattern):
+            findings.extend(_attribute_findings(parent.tag, child, schema))
+        elif isinstance(child, TextPattern):
+            if not schema.allows_text(parent.tag):
+                findings.append(_warn(
+                    "XGS006",
+                    f"text circle {child.id!r}: <{parent.tag}> has no PCDATA "
+                    "in the schema",
+                    node=child.id,
+                ))
+        elif isinstance(child, ElementPattern) and child.tag is not None:
+            if child.tag not in declared:
+                continue
+            findings.extend(_containment_findings(parent, child, edge, schema))
+    return dedupe(findings)
+
+
+def _containment_findings(
+    parent: ElementPattern,
+    child: ElementPattern,
+    edge: ContainmentEdge,
+    schema: SchemaGraph,
+) -> list[Diagnostic]:
+    if edge.deep:
+        if not _schema_reachable(schema, parent.tag, child.tag):
+            return [_warn(
+                "XGS008",
+                f"no containment path from <{parent.tag}> to "
+                f"<{child.tag}> in the schema at any depth",
+                edge=(edge.parent, edge.child),
+            )]
+        return []
+    allowed = {
+        schema.nodes[e.child_id].tag  # type: ignore[union-attr]
+        for e in schema.element_edges(parent.tag)
+    }
+    if child.tag not in allowed:
+        return [_warn(
+            "XGS007",
+            f"<{child.tag}> is not a declared child of <{parent.tag}>",
+            edge=(edge.parent, edge.child),
+            hint="use a starred arc for deeper containment, or fix the tag",
+        )]
+    return []
+
+
+def _attribute_findings(
+    parent_tag: str,
+    pattern: AttributePattern,
+    schema: SchemaGraph,
+) -> list[Diagnostic]:
+    declared: dict[str, SchemaAttribute] = {
+        a.name: a for a in schema.attribute_nodes(parent_tag)
+    }
+    attribute = declared.get(pattern.name)
+    if attribute is None:
+        return [_warn(
+            "XGS003",
+            f"attribute circle {pattern.id!r}: <{parent_tag}> has no "
+            f"attribute {pattern.name!r} in the schema",
+            node=pattern.id,
+        )]
+    findings: list[Diagnostic] = []
+    if pattern.value is not None:
+        if attribute.values and pattern.value not in attribute.values:
+            findings.append(_warn(
+                "XGS004",
+                f"attribute circle {pattern.id!r}: value {pattern.value!r} "
+                f"is outside the declared enumeration {attribute.values}",
+                node=pattern.id,
+            ))
+        if attribute.fixed is not None and pattern.value != attribute.fixed:
+            findings.append(_warn(
+                "XGS005",
+                f"attribute circle {pattern.id!r}: value {pattern.value!r} "
+                f"differs from the fixed value {attribute.fixed!r}",
+                node=pattern.id,
+            ))
+    return findings
+
+
+def _schema_reachable(schema: SchemaGraph, source: str, target: str) -> bool:
+    """Is there a (non-empty) containment path source → target?"""
+    seen: set[str] = set()
+    queue: deque[str] = deque([source])
+    while queue:
+        tag = queue.popleft()
+        for edge in schema.element_edges(tag):
+            child = schema.nodes[edge.child_id]
+            assert isinstance(child, SchemaElement)
+            if child.tag == target:
+                return True
+            if child.tag not in seen:
+                seen.add(child.tag)
+                queue.append(child.tag)
+    return False

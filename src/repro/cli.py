@@ -5,6 +5,7 @@ Everything the library does, scriptable from a shell::
     python -m repro xmlgl rule.xgl data.xml            # run a query
     python -m repro xmlgl rule.xgl a.xml --source b=c.xml
     python -m repro wglog rules.wgl data.xml --apply   # generative semantics
+    python -m repro lint rule.xgl --format json        # static analysis
     python -m repro render rule.xgl -o figure.svg      # draw the query
     python -m repro validate data.xml --dtd schema.dtd
     python -m repro compare --entries 30               # TAB-1 + FIG-Q* report
@@ -60,6 +61,24 @@ def build_parser() -> argparse.ArgumentParser:
     wglog.add_argument(
         "--no-schema-check", action="store_true",
         help="skip checking rules against the file's schema block",
+    )
+
+    lint = commands.add_parser(
+        "lint", help="statically analyse a rule file (no evaluation)"
+    )
+    lint.add_argument("rule", help="rule/program file (either DSL)")
+    lint.add_argument(
+        "--lang", choices=("xmlgl", "wglog"), default="xmlgl",
+        help="which language the file is written in",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format",
+    )
+    lint.add_argument(
+        "--schema",
+        help="schema to lint against: a DTD file for xmlgl "
+        "(wglog uses the rule file's own schema block)",
     )
 
     render = commands.add_parser("render", help="render a rule as SVG/ASCII")
@@ -174,6 +193,48 @@ def _cmd_wglog(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    from .analysis import (
+        AnalysisContext,
+        analyze_program,
+        analyze_rule,
+        has_errors,
+        render_json,
+        render_text,
+    )
+
+    source = _read(args.rule)
+    if args.lang == "xmlgl":
+        from .xmlgl.dsl import parse_program
+
+        xml_schema = None
+        if args.schema:
+            from .ssd import parse_dtd
+            from .xmlgl.schema import dtd_to_schema
+
+            dtd = parse_dtd(_read(args.schema))
+            if not dtd.elements:
+                print("error: the DTD declares no elements", file=sys.stderr)
+                return 2
+            root = next(iter(dtd.elements))
+            xml_schema, _ = dtd_to_schema(dtd, root)
+        context = AnalysisContext(xml_schema=xml_schema)
+        findings = []
+        for rule in parse_program(source).rules:
+            findings.extend(analyze_rule(rule, context))
+    else:
+        from .wglog.dsl import parse_wglog
+
+        wg_schema, rules = parse_wglog(source)
+        context = AnalysisContext(wg_schema=wg_schema)
+        findings = analyze_program(rules, context)
+    print(
+        render_json(findings) if args.format == "json" else render_text(findings),
+        file=out,
+    )
+    return 1 if has_errors(findings) else 0
+
+
 def _cmd_render(args: argparse.Namespace, out) -> int:
     from .visual import (
         render_ascii,
@@ -279,6 +340,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     handlers = {
         "xmlgl": _cmd_xmlgl,
         "wglog": _cmd_wglog,
+        "lint": _cmd_lint,
         "render": _cmd_render,
         "validate": _cmd_validate,
         "compare": _cmd_compare,

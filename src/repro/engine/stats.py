@@ -13,7 +13,10 @@ naive path would have answered by scanning:
   pools, where every incident structural constraint already holds by
   construction (no trial-and-error, hence not ``candidates_tried``);
 * ``edge_checks`` — structural checks performed: per candidate on the scan
-  path, once per derived pool on the indexed path.
+  path, once per derived pool on the indexed path;
+* ``preflight_skips`` — evaluations short-circuited by the static
+  pre-flight (:mod:`repro.analysis.preflight`): the query was proved
+  unsatisfiable before any matching work.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ _COUNTERS = (
     "full_scans",
     "interval_lookups",
     "interval_candidates",
+    "preflight_skips",
     "seconds",
 )
 
@@ -50,6 +54,7 @@ class EvalStats:
     full_scans: int = 0
     interval_lookups: int = 0
     interval_candidates: int = 0
+    preflight_skips: int = 0
     seconds: float = 0.0
     extra: dict[str, int] = field(default_factory=dict)
 

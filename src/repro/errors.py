@@ -63,6 +63,27 @@ class EvaluationError(ReproError):
     """Raised when query evaluation cannot proceed (bad condition types, etc.)."""
 
 
+class UnboundConstructVariable(EvaluationError):
+    """Raised when a construct part reads a variable that is bound nowhere.
+
+    Attributes:
+        variable: the unresolved query-variable name.
+        where: path of the construct node doing the read (e.g.
+            ``result/entry[0]``), or ``None`` when unavailable.
+
+    The static analyser reports the same situation ahead of time as
+    XGL020/XGL024.
+    """
+
+    def __init__(self, variable: str, where: "str | None" = None) -> None:
+        self.variable = variable
+        self.where = where
+        location = f" (at construct node {where})" if where else ""
+        super().__init__(
+            f"variable {variable!r} is unbound in this context{location}"
+        )
+
+
 class DiagramError(ReproError):
     """Raised by the visual layer: unknown shapes, dangling connectors, etc."""
 

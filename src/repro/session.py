@@ -110,6 +110,27 @@ class QuerySession:
         self._position = len(self._cycles) - 1
         return result
 
+    # -- analysis ---------------------------------------------------------------
+
+    def analyze(self, query: Union[str, Rule, None] = None) -> list:
+        """Static diagnostics for a query without running it.
+
+        With no argument, analyses the current cycle's rule — "why did my
+        last refinement return nothing?" is the session-loop question this
+        answers (a lurking contradiction shows up here as an
+        ``unsatisfiable`` error).  Returns the
+        :class:`~repro.analysis.Diagnostic` list, most severe first.
+        """
+        from .analysis import analyze_rule
+
+        if query is None:
+            rule = self.current().rule
+        elif isinstance(query, str):
+            rule = parse_rule(query)
+        else:
+            rule = query
+        return analyze_rule(rule)
+
     # -- navigation -------------------------------------------------------------
 
     def current(self) -> QueryCycle:

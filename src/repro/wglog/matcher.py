@@ -92,17 +92,31 @@ def embeddings(
     schema: Optional[WGSchema] = None,
     injective: bool = False,
     stats: Optional[EvalStats] = None,
+    preflight: bool = True,
 ) -> BindingSet:
     """All embeddings of the rule's red part into ``instance``.
 
     Returns bindings from red node ids to instance node ids.  ``injective``
     requires distinct red nodes to bind distinct instance nodes (G-Log
     embeddings); the default is homomorphic matching.
+
+    ``preflight`` (default on) first asks the static analyser whether the
+    red part can embed anywhere at all; a proof of unsatisfiability —
+    contradictory predicates, a content comparison on an entity node —
+    short-circuits to an empty binding set, counted in
+    ``stats.preflight_skips``.  Structural and schema violations still
+    raise (the pre-flight runs after ``validate`` and the schema check).
     """
     rule.validate()
     if schema is not None:
         check_against_schema(rule, schema)
     stats = stats if stats is not None else EvalStats()
+    if preflight:
+        from ..analysis.preflight import wglog_preflight
+
+        if wglog_preflight(rule) is not None:
+            stats.preflight_skips += 1
+            return BindingSet()
     accessor = GraphAccessor(instance)
 
     core_ids, fragments = _split_negation(rule)

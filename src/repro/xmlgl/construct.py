@@ -31,7 +31,11 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..engine.bindings import BindingSet
-from ..errors import EvaluationError, QueryStructureError
+from ..errors import (
+    EvaluationError,
+    QueryStructureError,
+    UnboundConstructVariable,
+)
 from ..ssd.datatypes import coerce
 from ..ssd.model import Element
 from ..ssd import navigation
@@ -178,7 +182,7 @@ def build(root: NewElement, bindings: BindingSet) -> Element:
     """
     if root.for_each:
         raise QueryStructureError("the construct root cannot be replicated")
-    elements = _eval_new_element(root, bindings)
+    elements = _eval_new_element(root, bindings, root.tag)
     assert len(elements) == 1
     return elements[0]
 
@@ -187,14 +191,18 @@ def build(root: NewElement, bindings: BindingSet) -> Element:
 # Evaluation
 # ---------------------------------------------------------------------------
 
-def _eval_node(node: ConstructNode, context: BindingSet) -> list:
-    """Evaluate one construct node to a list of result children."""
+def _eval_node(node: ConstructNode, context: BindingSet, path: str) -> list:
+    """Evaluate one construct node to a list of result children.
+
+    ``path`` names the node's position in the construct tree (e.g.
+    ``result/entry[0]``) so evaluation errors point back at the drawing.
+    """
     if isinstance(node, NewElement):
-        return _eval_new_element(node, context)
+        return _eval_new_element(node, context, path)
     if isinstance(node, TextLiteral):
         return [node.text]
     if isinstance(node, TextFrom):
-        return [_text_of_context(node.variable, context)]
+        return [_text_of_context(node.variable, context, path)]
     if isinstance(node, Copy):
         return _copies(node.variable, node.deep, context)
     if isinstance(node, Collect):
@@ -202,15 +210,19 @@ def _eval_node(node: ConstructNode, context: BindingSet) -> list:
     if isinstance(node, GroupBy):
         results: list = []
         for _, group in context.group_by(node.group_on):
-            for child in node.children:
-                results.extend(_eval_node(child, group))
+            for child_index, child in enumerate(node.children):
+                results.extend(
+                    _eval_node(child, group, f"{path}/[{child_index}]")
+                )
         return results
     if isinstance(node, Aggregate):
         return [_aggregate(node, context)]
     raise EvaluationError(f"unknown construct node {node!r}")
 
 
-def _eval_new_element(node: NewElement, context: BindingSet) -> list[Element]:
+def _eval_new_element(
+    node: NewElement, context: BindingSet, path: str
+) -> list[Element]:
     contexts: list[BindingSet]
     if node.for_each:
         groups = context.group_by(node.for_each)
@@ -226,12 +238,21 @@ def _eval_new_element(node: NewElement, context: BindingSet) -> list[Element]:
             if attribute.from_variable is not None:
                 element.set(
                     attribute.name,
-                    str(_text_of_context(attribute.from_variable, sub_context)),
+                    str(_text_of_context(
+                        attribute.from_variable,
+                        sub_context,
+                        f"{path}/@{attribute.name}",
+                    )),
                 )
             else:
                 element.set(attribute.name, attribute.value or "")
-        for child in node.children:
-            for result in _eval_node(child, sub_context):
+        for child_index, child in enumerate(node.children):
+            child_path = (
+                f"{path}/{child.tag}[{child_index}]"
+                if isinstance(child, NewElement)
+                else f"{path}/[{child_index}]"
+            )
+            for result in _eval_node(child, sub_context, child_path):
                 element.append(result)
         elements.append(element)
     return elements
@@ -303,10 +324,10 @@ def _copies(variable: str, deep: bool, context: BindingSet) -> list:
     return results
 
 
-def _text_of_context(variable: str, context: BindingSet):
+def _text_of_context(variable: str, context: BindingSet, where: Optional[str] = None):
     values = _distinct_values(variable, context)
     if not values:
-        raise EvaluationError(f"variable {variable!r} is unbound in this context")
+        raise UnboundConstructVariable(variable, where)
     if len(values) > 1:
         raise EvaluationError(
             f"variable {variable!r} is not functionally determined here "

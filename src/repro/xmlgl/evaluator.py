@@ -54,6 +54,7 @@ def rule_bindings(
     options: Optional[MatchOptions] = None,
     stats: Optional[EvalStats] = None,
     indexes: Optional[DocumentIndexCache] = None,
+    preflight: bool = True,
 ) -> BindingSet:
     """Matched and joined bindings of a rule (before construction).
 
@@ -62,8 +63,19 @@ def rule_bindings(
     process-wide cache, so repeated queries over one document build its
     index once.  Callers that mutate a document between evaluations must
     invalidate it (see :mod:`repro.engine.cache`).
+
+    ``preflight`` (default on) runs the static satisfiability pre-flight
+    first: a rule proved to match nothing — contradictory predicates, an
+    impossible anchoring — returns an empty binding set without touching
+    any document, counted in ``stats.preflight_skips``.
     """
     stats = stats if stats is not None else EvalStats()
+    if preflight:
+        from ..analysis.preflight import xmlgl_preflight
+
+        if xmlgl_preflight(rule) is not None:
+            stats.preflight_skips += 1
+            return BindingSet()
     cache = indexes if indexes is not None else shared_cache
     combined: Optional[BindingSet] = None
     for graph in rule.queries:

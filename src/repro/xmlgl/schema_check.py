@@ -1,35 +1,21 @@
-"""Checking XML-GL queries against XML-GL schemas.
+"""Checking XML-GL queries against XML-GL schemas (back-compat wrapper).
 
-XML-GL is schema-*optional*: queries run on raw XML.  But when a schema
-graph is available (drawn in XML-GL itself or translated from a DTD), an
-editor can warn about queries that **cannot match any valid document** —
-the assistance the schema-driven systems of the era (BBQ, WG-Log) offer.
-This module implements that static check:
+The implementation moved to :mod:`repro.analysis.xmlgl_schema`, where the
+checks report structured :class:`~repro.analysis.Diagnostic` objects with
+stable ``XGS`` codes and node/edge anchors, and run as a registered pass
+of the static-analysis subsystem (``repro lint --schema ...``).
 
-* a box whose tag is not declared in the schema,
-* a containment arc ``parent → child`` with no corresponding schema edge
-  (for starred arcs: no schema *path* from parent to child),
-* an attribute circle naming an undeclared attribute, or a value
-  constraint outside a declared enumeration / fixed value,
-* a text circle under an element the schema gives no PCDATA.
-
-Each problem is reported as a human-readable warning; an empty list means
-the query is *satisfiable with respect to the schema* (not that it will
-match a given document).  Wildcard boxes are never warned about.
+This module keeps the original string-returning entry point for existing
+callers: each diagnostic is rendered back to a human-readable warning
+line (edge-anchored findings regain their ``arc 'P'->'C':`` prefix), and
+repeated findings — e.g. one starred arc duplicated across or-group
+branches — are reported once.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-from .ast import (
-    AttributePattern,
-    ContainmentEdge,
-    ElementPattern,
-    QueryGraph,
-    TextPattern,
-)
-from .schema import SchemaAttribute, SchemaElement, SchemaGraph
+from .ast import QueryGraph
+from .schema import SchemaGraph
 
 __all__ = ["check_query_against_schema"]
 
@@ -37,108 +23,19 @@ __all__ = ["check_query_against_schema"]
 def check_query_against_schema(
     graph: QueryGraph, schema: SchemaGraph
 ) -> list[str]:
-    """Warnings for query parts no schema-valid document can satisfy."""
-    schema.check()
+    """Warnings for query parts no schema-valid document can satisfy.
+
+    Thin wrapper over
+    :func:`repro.analysis.xmlgl_schema.schema_diagnostics`; prefer that
+    for anything richer than printing.
+    """
+    from ..analysis.xmlgl_schema import schema_diagnostics
+
     warnings: list[str] = []
-    declared = {
-        node.tag
-        for node in schema.nodes.values()
-        if isinstance(node, SchemaElement)
-    }
-
-    for node in graph.nodes.values():
-        if isinstance(node, ElementPattern):
-            if node.tag is not None and node.tag not in declared:
-                warnings.append(
-                    f"box {node.id!r}: element <{node.tag}> is not declared "
-                    "in the schema"
-                )
-            if node.anchored and node.tag is not None and node.tag != schema.root:
-                warnings.append(
-                    f"box {node.id!r}: anchored to <{node.tag}> but the "
-                    f"schema root is <{schema.root}>"
-                )
-
-    for edge in graph.all_edges():
-        parent = graph.nodes[edge.parent]
-        child = graph.nodes[edge.child]
-        if not isinstance(parent, ElementPattern) or parent.tag is None:
-            continue
-        if parent.tag not in declared:
-            continue  # already warned above
-        if isinstance(child, AttributePattern):
-            _check_attribute(parent.tag, child, edge, schema, warnings)
-        elif isinstance(child, TextPattern):
-            if not schema.allows_text(parent.tag):
-                warnings.append(
-                    f"text circle {child.id!r}: <{parent.tag}> has no PCDATA "
-                    "in the schema"
-                )
-        elif isinstance(child, ElementPattern) and child.tag is not None:
-            if child.tag not in declared:
-                continue
-            if edge.deep:
-                if not _schema_reachable(schema, parent.tag, child.tag):
-                    warnings.append(
-                        f"starred arc {edge.parent!r}->{edge.child!r}: no "
-                        f"containment path from <{parent.tag}> to "
-                        f"<{child.tag}> in the schema"
-                    )
-            else:
-                allowed = {
-                    schema.nodes[e.child_id].tag  # type: ignore[union-attr]
-                    for e in schema.element_edges(parent.tag)
-                }
-                if child.tag not in allowed:
-                    warnings.append(
-                        f"arc {edge.parent!r}->{edge.child!r}: <{child.tag}> "
-                        f"is not a declared child of <{parent.tag}>"
-                    )
+    for diagnostic in schema_diagnostics(graph, schema):
+        if diagnostic.edge is not None:
+            source, target = diagnostic.edge
+            warnings.append(f"arc {source!r}->{target!r}: {diagnostic.message}")
+        else:
+            warnings.append(diagnostic.message)
     return warnings
-
-
-def _check_attribute(
-    parent_tag: str,
-    pattern: AttributePattern,
-    edge: ContainmentEdge,
-    schema: SchemaGraph,
-    warnings: list[str],
-) -> None:
-    declared: dict[str, SchemaAttribute] = {
-        a.name: a for a in schema.attribute_nodes(parent_tag)
-    }
-    attribute = declared.get(pattern.name)
-    if attribute is None:
-        warnings.append(
-            f"attribute circle {pattern.id!r}: <{parent_tag}> has no "
-            f"attribute {pattern.name!r} in the schema"
-        )
-        return
-    if pattern.value is not None:
-        if attribute.values and pattern.value not in attribute.values:
-            warnings.append(
-                f"attribute circle {pattern.id!r}: value {pattern.value!r} "
-                f"is outside the declared enumeration {attribute.values}"
-            )
-        if attribute.fixed is not None and pattern.value != attribute.fixed:
-            warnings.append(
-                f"attribute circle {pattern.id!r}: value {pattern.value!r} "
-                f"differs from the fixed value {attribute.fixed!r}"
-            )
-
-
-def _schema_reachable(schema: SchemaGraph, source: str, target: str) -> bool:
-    """Is there a (non-empty) containment path source → target?"""
-    seen: set[str] = set()
-    queue: deque[str] = deque([source])
-    while queue:
-        tag = queue.popleft()
-        for edge in schema.element_edges(tag):
-            child = schema.nodes[edge.child_id]
-            assert isinstance(child, SchemaElement)
-            if child.tag == target:
-                return True
-            if child.tag not in seen:
-                seen.add(child.tag)
-                queue.append(child.tag)
-    return False

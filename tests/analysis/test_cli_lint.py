@@ -1,0 +1,146 @@
+"""The ``repro lint`` command: exit codes, formats, schema mode."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_XGL = """
+query { book as B { @year as Y  title as T } where Y >= 1995 }
+construct { result { entry for B { value Y  copy T } } }
+"""
+CONTRADICTORY_XGL = """
+query { book as B { @year as Y } } where Y = 1990 and Y = 1995
+construct { result { collect B } }
+"""
+WARNING_ONLY_XGL = """
+query { book as B }
+construct { result { entry for B sortby NOPE { copy B } } }
+"""
+UNSAFE_WGL = """
+rule unsafe {
+  match { x: * }
+  construct { d: derived  d -of-> x }
+}
+"""
+CLEAN_WGL = """
+schema {
+  entity book { year: int }
+  entity title
+  relation book -child-> title
+}
+rule pairs { match { b: book  t: title  b -child-> t } }
+"""
+OFF_SCHEMA_WGL = """
+schema {
+  entity book { year: int }
+  entity title
+  relation book -child-> title
+}
+rule off { match { m: movie } }
+"""
+DTD = """
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+"""
+OFF_DTD_XGL = """
+query { root bib { chapter as C } }
+construct { result { collect C } }
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, content in (
+        ("clean.xgl", CLEAN_XGL),
+        ("contradictory.xgl", CONTRADICTORY_XGL),
+        ("warning.xgl", WARNING_ONLY_XGL),
+        ("unsafe.wgl", UNSAFE_WGL),
+        ("clean.wgl", CLEAN_WGL),
+        ("off_schema.wgl", OFF_SCHEMA_WGL),
+        ("off_dtd.xgl", OFF_DTD_XGL),
+        ("schema.dtd", DTD),
+    ):
+        path = tmp_path / name
+        path.write_text(content)
+        paths[name] = str(path)
+    return paths
+
+
+def run(argv):
+    out = io.StringIO()
+    status = main(argv, out=out)
+    return status, out.getvalue()
+
+
+def test_clean_file_exits_zero(files):
+    status, output = run(["lint", files["clean.xgl"]])
+    assert status == 0
+    assert "no findings" in output
+
+
+def test_contradictory_query_rejected(files):
+    status, output = run(["lint", files["contradictory.xgl"]])
+    assert status == 1
+    assert "XGL010" in output
+
+
+def test_warnings_do_not_fail_the_lint(files):
+    status, output = run(["lint", files["warning.xgl"]])
+    assert status == 0
+    assert "XGL020" in output
+    assert "warning" in output
+
+
+def test_unsafe_wglog_rule_rejected(files):
+    status, output = run(["lint", files["unsafe.wgl"], "--lang", "wglog"])
+    assert status == 1
+    assert "WGL001" in output
+
+
+def test_clean_wglog_program(files):
+    status, output = run(["lint", files["clean.wgl"], "--lang", "wglog"])
+    assert status == 0
+
+
+def test_wglog_uses_the_files_schema_block(files):
+    status, output = run(["lint", files["off_schema.wgl"], "--lang", "wglog"])
+    assert status == 1
+    assert "WGL010" in output
+
+
+def test_json_format(files):
+    status, output = run(
+        ["lint", files["contradictory.xgl"], "--format", "json"]
+    )
+    assert status == 1
+    payload = json.loads(output)
+    assert payload["errors"] >= 1
+    assert any(f["code"] == "XGL010" for f in payload["findings"])
+    assert any(f.get("unsatisfiable") for f in payload["findings"])
+
+
+def test_dtd_schema_flag(files):
+    status, output = run(
+        ["lint", files["off_dtd.xgl"], "--schema", files["schema.dtd"]]
+    )
+    # schema findings are warnings: reported but not fatal
+    assert status == 0
+    assert "XGS001" in output
+
+
+def test_missing_file_exits_two(files):
+    status, _ = run(["lint", files["clean.xgl"] + ".missing"])
+    assert status == 2
+
+
+def test_syntax_error_exits_two(tmp_path):
+    path = tmp_path / "broken.xgl"
+    path.write_text("query { book as B ")
+    status, _ = run(["lint", str(path)])
+    assert status == 2

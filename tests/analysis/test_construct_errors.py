@@ -1,0 +1,55 @@
+"""Regression: unbound construct variables raise a typed, located error."""
+
+import pytest
+
+from repro.errors import EvaluationError, ReproError, UnboundConstructVariable
+from repro.ssd import parse_document
+from repro.xmlgl.dsl import parse_rule
+from repro.xmlgl.evaluator import evaluate_rule
+
+DOC = parse_document("<bib><book><title>T</title></book></bib>")
+
+
+def test_unbound_value_raises_typed_error_with_location():
+    rule = parse_rule(
+        "query { book as B } "
+        "construct { result { entry for B { value NOPE } } }"
+    )
+    with pytest.raises(UnboundConstructVariable) as excinfo:
+        evaluate_rule(rule, DOC)
+    error = excinfo.value
+    assert error.variable == "NOPE"
+    assert error.where is not None
+    assert "entry" in error.where
+    assert "NOPE" in str(error)
+
+
+def test_unbound_attribute_variable_names_the_attribute_path():
+    rule = parse_rule(
+        "query { book as B } "
+        "construct { result { entry(id=$MISSING) for B { copy B } } }"
+    )
+    with pytest.raises(UnboundConstructVariable) as excinfo:
+        evaluate_rule(rule, DOC)
+    assert excinfo.value.variable == "MISSING"
+    assert "@id" in excinfo.value.where
+
+
+def test_error_is_catchable_as_the_old_types():
+    # back-compat: callers catching EvaluationError / ReproError still work
+    rule = parse_rule(
+        "query { book as B } construct { result { value NOPE } }"
+    )
+    with pytest.raises(EvaluationError):
+        evaluate_rule(rule, DOC)
+    with pytest.raises(ReproError):
+        evaluate_rule(rule, DOC)
+
+
+def test_the_lint_flags_the_same_mistake_statically():
+    from repro.analysis import analyze_rule
+
+    rule = parse_rule(
+        "query { book as B } construct { result { value NOPE } }"
+    )
+    assert any(d.code == "XGL020" for d in analyze_rule(rule))

@@ -1,0 +1,88 @@
+"""The diagnostic model: formatting, ordering, de-duplication."""
+
+import json
+
+from repro.analysis import (
+    Diagnostic,
+    Severity,
+    dedupe,
+    has_errors,
+    max_severity,
+    render_json,
+    render_text,
+)
+
+
+def test_severity_ranking():
+    assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+
+def test_format_mentions_code_rule_anchor_and_hint():
+    diagnostic = Diagnostic(
+        "XGL010", Severity.ERROR, "boom", node="B", rule="q1", hint="fix it"
+    )
+    line = diagnostic.format()
+    assert "XGL010" in line
+    assert "error" in line
+    assert "q1" in line
+    assert "B" in line
+    assert "fix it" in line
+
+
+def test_anchored_sets_rule_once():
+    diagnostic = Diagnostic("XGL001", Severity.ERROR, "m").anchored("r1")
+    assert diagnostic.rule == "r1"
+    # already-anchored findings keep their rule
+    assert diagnostic.anchored("r2").rule == "r1"
+
+
+def test_dedupe_keeps_first_occurrence_order():
+    a = Diagnostic("XGS008", Severity.WARNING, "same")
+    b = Diagnostic("XGS008", Severity.WARNING, "same")
+    c = Diagnostic("XGS001", Severity.WARNING, "other")
+    assert dedupe([a, c, b]) == [a, c]
+
+
+def test_unsatisfiable_flag_does_not_affect_identity():
+    a = Diagnostic("XGL010", Severity.ERROR, "m", unsatisfiable=True)
+    b = Diagnostic("XGL010", Severity.ERROR, "m", unsatisfiable=False)
+    assert a == b
+    assert len(dedupe([a, b])) == 1
+
+
+def test_has_errors_and_max_severity():
+    warning = Diagnostic("W", Severity.WARNING, "w")
+    error = Diagnostic("E", Severity.ERROR, "e")
+    assert not has_errors([warning])
+    assert has_errors([warning, error])
+    assert max_severity([warning, error]) is Severity.ERROR
+    assert max_severity([]) is None
+
+
+def test_render_text_summary_line():
+    text = render_text([
+        Diagnostic("E", Severity.ERROR, "e"),
+        Diagnostic("W", Severity.WARNING, "w"),
+    ])
+    assert "# 2 finding(s): 1 error(s), 1 warning(s)" in text
+
+
+def test_render_json_round_trips():
+    payload = json.loads(render_json([
+        Diagnostic(
+            "XGL010", Severity.ERROR, "m", node="B", hint="h",
+            unsatisfiable=True,
+        )
+    ]))
+    assert payload["errors"] == 1
+    assert payload["warnings"] == 0
+    (finding,) = payload["findings"]
+    assert finding["code"] == "XGL010"
+    assert finding["severity"] == "error"
+    assert finding["node"] == "B"
+    assert finding["unsatisfiable"] is True
+
+
+def test_render_json_of_nothing():
+    payload = json.loads(render_json([]))
+    assert payload == {"findings": [], "errors": 0, "warnings": 0}

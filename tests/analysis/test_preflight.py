@@ -1,0 +1,93 @@
+"""The evaluator pre-flight: provably-empty queries skip matching."""
+
+from repro.engine.stats import EvalStats
+from repro.ssd import parse_document
+from repro.wglog import document_to_instance
+from repro.wglog.dsl import parse_wglog
+from repro.wglog.matcher import embeddings
+from repro.xmlgl.dsl import parse_rule
+from repro.xmlgl.evaluator import evaluate_rule, rule_bindings
+
+DOC = parse_document(
+    '<bib><book year="1990"><title>Old</title></book>'
+    '<book year="2000"><title>New</title></book></bib>'
+)
+
+EMPTY_QUERY = """
+query { book as B { @year as Y } } where Y = 1990 and Y = 1995
+construct { result { collect B } }
+"""
+
+LIVE_QUERY = """
+query { book as B { @year as Y } } where Y = 1990
+construct { result { collect B } }
+"""
+
+
+def test_preflight_short_circuits_without_matching():
+    stats = EvalStats()
+    bindings = rule_bindings(parse_rule(EMPTY_QUERY), DOC, stats=stats)
+    assert len(bindings) == 0
+    assert stats.preflight_skips == 1
+    # the matcher never ran: no candidates were ever tried
+    assert stats.candidates_tried == 0
+    assert stats.index_lookups == 0
+
+
+def test_preflight_leaves_satisfiable_queries_alone():
+    stats = EvalStats()
+    bindings = rule_bindings(parse_rule(LIVE_QUERY), DOC, stats=stats)
+    assert len(bindings) == 1
+    assert stats.preflight_skips == 0
+
+
+def test_preflight_can_be_disabled():
+    stats = EvalStats()
+    bindings = rule_bindings(
+        parse_rule(EMPTY_QUERY), DOC, stats=stats, preflight=False
+    )
+    # same (empty) answer, computed the hard way
+    assert len(bindings) == 0
+    assert stats.preflight_skips == 0
+    assert stats.candidates_tried > 0
+
+
+def test_preflight_and_full_evaluation_agree():
+    skipped = evaluate_rule(parse_rule(EMPTY_QUERY), DOC)
+    checked = rule_bindings(parse_rule(EMPTY_QUERY), DOC, preflight=False)
+    assert skipped.tag == "result"
+    assert not skipped.children
+    assert len(checked) == 0
+
+
+def test_preflight_skip_is_reported_in_stats_dict():
+    stats = EvalStats()
+    rule_bindings(parse_rule(EMPTY_QUERY), DOC, stats=stats)
+    assert stats.as_dict()["preflight_skips"] == 1
+
+
+def test_wglog_preflight_short_circuits():
+    _, rules = parse_wglog("""
+    rule empty {
+      match { b: book }
+      where b.year = 1990 and b.year = 1995
+    }
+    """)
+    instance, _ = document_to_instance(DOC)
+    stats = EvalStats()
+    bindings = embeddings(rules[0], instance, stats=stats)
+    assert len(bindings) == 0
+    assert stats.preflight_skips == 1
+    assert stats.candidates_tried == 0
+
+
+def test_wglog_preflight_agrees_with_evaluation():
+    _, rules = parse_wglog("""
+    rule empty {
+      match { b: book }
+      where b.year = 1990 and b.year = 1995
+    }
+    """)
+    instance, _ = document_to_instance(DOC)
+    checked = embeddings(rules[0], instance, preflight=False)
+    assert len(checked) == 0

@@ -1,0 +1,107 @@
+"""Soundness properties of the analyser, over randomized workloads.
+
+Two implications, checked on the same random documents and query graphs
+the matcher-equivalence suite uses:
+
+* **no error-level diagnostics ⇒ evaluation does not raise** — every
+  run-time crash the engine can produce from a drawn query must be
+  predicted by some error finding;
+* **an ``unsatisfiable`` finding ⇒ the matcher (pre-flight disabled)
+  really returns no bindings** — the proofs the pre-flight trusts are
+  sound, so short-circuiting never changes a result.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Severity, analyze_rule
+from repro.engine.conditions import (
+    AttributeOf,
+    Comparison,
+    Const,
+    ContentOf,
+    NameOf,
+)
+from repro.errors import ReproError
+from repro.xmlgl.ast import AttributePattern, ElementPattern, TextPattern
+from repro.xmlgl.construct import Collect, NewElement
+from repro.xmlgl.evaluator import evaluate_rule, rule_bindings
+from repro.xmlgl.rule import Rule
+
+from ..property.test_matcher_equivalence import (
+    TAGS,
+    VALUES,
+    random_document,
+    random_query,
+)
+
+_OPS = ["=", "!=", "<", "<=", ">", ">="]
+
+
+def _random_conditions(rng, graph):
+    """0-2 predicate annotations over (mostly) existing nodes."""
+    conditions = []
+    node_ids = list(graph.nodes)
+    for _ in range(rng.randint(0, 2)):
+        target = rng.choice(node_ids + ["missing"])
+        node = graph.nodes.get(target)
+        roll = rng.random()
+        if isinstance(node, ElementPattern) and roll < 0.4:
+            operand = (
+                NameOf(target) if roll < 0.2 else AttributeOf(target, "k")
+            )
+        else:
+            operand = ContentOf(target)
+        constant = Const(rng.choice(VALUES + TAGS + [7]))
+        conditions.append(Comparison(rng.choice(_OPS), operand, constant))
+    return conditions
+
+
+def _build_rule(rng):
+    graph = random_query(rng)
+    for condition in _random_conditions(rng, graph):
+        graph.add_condition(condition)
+    collected = rng.choice(list(graph.nodes))
+    construct = NewElement("result", children=[Collect(collected)])
+    return Rule(queries=[graph], construct=construct, name="prop")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_no_errors_implies_evaluation_does_not_raise(seed):
+    rng = random.Random(seed)
+    document = random_document(rng)
+    rule = _build_rule(rng)
+    findings = analyze_rule(rule)
+    if any(d.severity is Severity.ERROR for d in findings):
+        return
+    try:
+        result = evaluate_rule(rule, document)
+    except ReproError as error:  # pragma: no cover - the property violation
+        raise AssertionError(
+            f"lint was clean but evaluation raised {error!r} for:\n"
+            f"{rule.queries[0].describe()}"
+        )
+    assert result.tag == "result"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_unsatisfiable_findings_are_sound(seed):
+    rng = random.Random(seed)
+    document = random_document(rng)
+    rule = _build_rule(rng)
+    findings = analyze_rule(rule)
+    if not any(d.unsatisfiable for d in findings):
+        return
+    try:
+        bindings = rule_bindings(rule, document, preflight=False)
+    except ReproError:
+        # a different (reported) error fired first; the proof is moot
+        assert any(d.severity is Severity.ERROR for d in findings)
+        return
+    assert len(bindings) == 0, (
+        "a query proved unsatisfiable produced bindings:\n"
+        + rule.queries[0].describe()
+    )

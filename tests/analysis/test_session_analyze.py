@@ -1,0 +1,45 @@
+"""QuerySession.analyze(): static diagnostics inside the refinement loop."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.session import QuerySession
+from repro.ssd import parse_document
+
+DOC = parse_document(
+    '<bib><book year="1990"><title>Old</title></book></bib>'
+)
+
+
+def test_analyze_a_query_without_running_it():
+    session = QuerySession(DOC)
+    findings = session.analyze(
+        "query { book as B { @year as Y } } where Y = 1 and Y = 2 "
+        "construct { result { collect B } }"
+    )
+    assert any(d.code == "XGL010" for d in findings)
+    assert len(session) == 0  # nothing was executed
+
+
+def test_analyze_defaults_to_the_current_cycle():
+    session = QuerySession(DOC)
+    session.run(
+        "query { book as B { @year as Y } } where Y = 1 and Y = 2 "
+        "construct { result { collect B } }"
+    )
+    # the refinement returned nothing; analyze() explains why
+    findings = session.analyze()
+    assert any(d.unsatisfiable for d in findings)
+
+
+def test_analyze_with_no_cycles_raises():
+    session = QuerySession(DOC)
+    with pytest.raises(ReproError):
+        session.analyze()
+
+
+def test_clean_query_analyzes_clean():
+    session = QuerySession(DOC)
+    assert session.analyze(
+        "query { book as B } construct { result { collect B } }"
+    ) == []

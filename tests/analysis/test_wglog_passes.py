@@ -1,0 +1,220 @@
+"""Table-driven coverage of the WG-Log analysis passes."""
+
+import pytest
+
+from repro.analysis import AnalysisContext, Severity, analyze_program
+from repro.engine.conditions import Comparison, Const, ContentOf
+from repro.wglog.dsl import parse_wglog
+from repro.wglog.schema import SlotDecl, WGSchema
+
+
+def program(source):
+    _, rules = parse_wglog(source)
+    return rules
+
+
+def codes(rules, context=None):
+    return {d.code for d in analyze_program(rules, context)}
+
+
+def diagnostics_for(rules, code, context=None):
+    return [d for d in analyze_program(rules, context) if d.code == code]
+
+
+GOOD = """
+rule pairs {
+  match { b: book  t: title  b -child-> t }
+  construct { b -titled-> t }
+}
+"""
+
+
+def test_clean_program_has_no_findings():
+    assert analyze_program(program(GOOD)) == []
+
+
+BAD_SOURCES = [
+    ("WGL001", """
+     rule unsafe {
+       match { x: * }
+       construct { d: derived  d -of-> x }
+     }
+     """),
+    ("WGL002", """
+     rule floating_negation {
+       match { a: book  b: cdrom  c: title  no b -child-> c }
+     }
+     """),
+    ("WGL008", """
+     rule typo {
+       match { b: book }
+       where zz.year > 0
+     }
+     """),
+    ("WGL012", """
+     rule empty {
+       match { b: book }
+       where b.year = 1990 and b.year = 1995
+     }
+     """),
+]
+
+
+@pytest.mark.parametrize(
+    "code,source", BAD_SOURCES, ids=[row[0] for row in BAD_SOURCES]
+)
+def test_bad_rule_reports_code(code, source):
+    found = diagnostics_for(program(source), code)
+    assert found, f"{code} not reported"
+    assert all(d.severity is Severity.ERROR for d in found)
+
+
+def test_wgl001_names_the_referencing_construct():
+    (finding,) = diagnostics_for(program(BAD_SOURCES[0][1]), "WGL001")
+    assert finding.node == "x"
+    assert finding.rule == "unsafe"
+    assert finding.unsatisfiable is False
+
+
+def test_wgl002_is_the_static_face_of_the_matcher_error():
+    # The matcher raises QueryStructureError for the same rule at run time;
+    # the lint reports it without needing an instance.
+    from repro.errors import QueryStructureError
+    from repro.wglog.data import InstanceGraph
+    from repro.wglog.matcher import embeddings
+
+    (rule,) = program(BAD_SOURCES[1][1])
+    with pytest.raises(QueryStructureError):
+        embeddings(rule, InstanceGraph())
+
+
+def test_wgl003_negation_cycle_within_one_rule():
+    rules = program("""
+    rule self_negating {
+      match { a: thing  b: thing  no a -p-> b  a -q-> b }
+      construct { a -p-> b }
+    }
+    """)
+    found = diagnostics_for(rules, "WGL003")
+    assert found and all(d.severity is Severity.ERROR for d in found)
+
+
+def test_wgl003_negation_cycle_across_rules():
+    rules = program("""
+    rule first {
+      match { a: thing  b: thing  no a -p-> b  a -r-> b }
+      construct { a -q-> b }
+    }
+    rule second {
+      match { a: thing  b: thing  a -q-> b }
+      construct { a -p-> b }
+    }
+    """)
+    assert diagnostics_for(rules, "WGL003")
+
+
+def test_stratified_negation_is_clean():
+    # p is negated but never derived: one stratum, no finding.
+    rules = program("""
+    rule fine {
+      match { a: thing  b: thing  no a -p-> b  a -r-> b }
+      construct { a -q-> b }
+    }
+    """)
+    assert diagnostics_for(rules, "WGL003") == []
+
+
+def test_wgl004_green_node_without_label():
+    from repro.wglog.ast import RuleGraph
+
+    rule = RuleGraph(name="unlabelled_green")
+    rule.red("b", "book")
+    rule.green("d")
+    rule.derive_edge("d", "b", "of")
+    found = diagnostics_for([rule], "WGL004")
+    assert found and all(d.severity is Severity.ERROR for d in found)
+
+
+def test_wgl005_no_red_part():
+    from repro.wglog.ast import RuleGraph
+
+    rule = RuleGraph(name="empty")
+    rule.green("d", "derived")
+    assert "WGL005" in codes([rule])
+
+
+def test_wgl006_collector_aggregating_nothing():
+    from repro.wglog.ast import RuleGraph
+
+    rule = RuleGraph(name="lonely")
+    rule.red("b", "book")
+    rule.green("c", "summary", collector=True)
+    assert "WGL006" in codes([rule])
+
+
+def test_wgl007_slot_copied_from_green_node():
+    from repro.wglog.ast import RuleGraph
+
+    rule = RuleGraph(name="copy_from_green")
+    rule.red("b", "book")
+    rule.green("d", "derived")
+    rule.green("e", "extra")
+    rule.derive_edge("d", "b", "of")
+    rule.slot_assertions.append(
+        __import__("repro.wglog.ast", fromlist=["SlotAssertion"]).SlotAssertion(
+            "d", "name", from_node="e"
+        )
+    )
+    assert "WGL007" in codes([rule])
+
+
+def test_wgl012_content_of_entity_is_constant_false():
+    rules = program("""
+    rule entity_content {
+      match { b: book }
+      where b = 'Logic'
+    }
+    """)
+    found = diagnostics_for(rules, "WGL012")
+    assert found and all(d.unsatisfiable for d in found)
+
+
+def test_wgl012_slot_conditions_on_wildcard_are_fine():
+    rules = program("""
+    rule fine {
+      match { b: book  t: title  b -child-> t }
+      where b.year > 1990 and b.year < 2000
+    }
+    """)
+    assert analyze_program(rules) == []
+
+
+# --- schema (WGL010/WGL011) -------------------------------------------------
+
+def _schema():
+    schema = WGSchema()
+    schema.entity("book", SlotDecl("year", "int"))
+    schema.entity("title")
+    schema.relation("book", "child", "title")
+    return schema
+
+
+def test_wgl010_undeclared_entity():
+    rules = program("rule r { match { m: movie } }")
+    found = diagnostics_for(
+        rules, "WGL010", AnalysisContext(wg_schema=_schema())
+    )
+    assert found and found[0].node == "m"
+
+
+def test_wgl011_undeclared_relation():
+    rules = program("rule r { match { b: book  t: title  t -child-> b } }")
+    found = diagnostics_for(
+        rules, "WGL011", AnalysisContext(wg_schema=_schema())
+    )
+    assert found and found[0].edge == ("t", "b")
+
+
+def test_schema_pass_silent_without_schema():
+    rules = program("rule r { match { m: movie } }")
+    assert diagnostics_for(rules, "WGL010") == []
