@@ -12,6 +12,6 @@ executable comparison framework.
 __version__ = "1.0.0"
 
 from . import errors
-from .session import QueryCycle, QuerySession
+from .session import BatchResult, QueryCycle, QuerySession
 
-__all__ = ["errors", "QuerySession", "QueryCycle", "__version__"]
+__all__ = ["errors", "QuerySession", "QueryCycle", "BatchResult", "__version__"]

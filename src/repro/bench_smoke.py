@@ -2,18 +2,30 @@
 
 Runs the representative matcher queries from the extension benchmarks
 (``bench_ext_ablation``, ``bench_ext_paths``, ``bench_ext_scaling``,
-``bench_fig_q4_deep``) on both evaluation paths — the interval-indexed
-default and the naive full-scan ablation — and writes a JSON report
-(``BENCH_matcher.json``) with per-query wall time and
-:class:`~repro.engine.stats.EvalStats` counters, so successive PRs leave a
-perf trajectory to compare against::
+``bench_fig_q3_join``, ``bench_fig_q4_deep``) on all three evaluation
+engines — the set-at-a-time semi-join **pipeline** (default), the
+interval-**indexed** backtracking core and the **naive** full-scan
+ablation — and writes a JSON report (``BENCH_matcher.json``) with
+per-query wall time and :class:`~repro.engine.stats.EvalStats` counters,
+so successive PRs leave a perf trajectory to compare against::
 
     PYTHONPATH=src python -m repro.bench_smoke            # small sizes
     PYTHONPATH=src python -m repro.bench_smoke --repeat 9 -o BENCH_matcher.json
+    PYTHONPATH=src python -m repro.bench_smoke -o /tmp/b.json \
+        --baseline BENCH_matcher.json --append-history     # CI mode
 
 ``work`` is ``candidates_tried + edge_checks``; ``work_ratio`` is
 naive-work / indexed-work (≥ 1 means the interval path does less
-trial-and-error), ``speedup`` the same for wall time.
+trial-and-error) and ``speedup`` the same for wall time;
+``pipeline_work_ratio`` is pipeline-work / indexed-work (≤ 1 means the
+semi-join plan replaces per-candidate search with set operations) and
+``pipeline_speedup`` indexed-time / pipeline-time.
+
+``--baseline`` compares each engine's ``work`` per query against a
+committed report and prints a GitHub ``::warning::`` annotation for every
+regression beyond 20% — but always exits 0 (fails-soft; the CI bench job
+is informative, not gating).  ``--append-history`` carries the baseline's
+``history`` forward and appends one timestamped summary record per run.
 """
 
 from __future__ import annotations
@@ -34,16 +46,27 @@ from .xmlgl.matcher import MatchOptions, match
 
 __all__ = ["run_suite", "main"]
 
-INDEXED = MatchOptions(use_planner=True, use_index=True)
-NAIVE = MatchOptions(use_planner=True, use_index=False)
+PIPELINE = MatchOptions(engine="pipeline")
+INDEXED = MatchOptions(engine="backtracking")
+NAIVE = MatchOptions(engine="naive")
 
-# (name, dsl text, dataset, descendant_heavy)
-QUERIES: list[tuple[str, str, str, bool]] = [
+ENGINES: list[tuple[str, MatchOptions]] = [
+    ("pipeline", PIPELINE),
+    ("indexed", INDEXED),
+    ("naive", NAIVE),
+]
+
+#: Work regression tolerated before --baseline warns (fails-soft).
+REGRESSION_TOLERANCE = 0.20
+
+# (name, dsl text, dataset, descendant_heavy, join_heavy)
+QUERIES: list[tuple[str, str, str, bool, bool]] = [
     (
         "ext_paths/chain",
         "query { root bib as R { book as B { title as T } } }"
         " construct { r { collect T } }",
         "bib",
+        False,
         False,
     ),
     (
@@ -52,12 +75,14 @@ QUERIES: list[tuple[str, str, str, bool]] = [
         " construct { r { collect P } }",
         "sections",
         True,
+        False,
     ),
     (
         "ext_paths/filtered",
         'query { book as B { @year = "1999" as Y  not publisher as P } }'
         " construct { r { collect B } }",
         "bib",
+        False,
         False,
     ),
     (
@@ -66,6 +91,15 @@ QUERIES: list[tuple[str, str, str, bool]] = [
         " construct { r { collect P } }",
         "sections",
         True,
+        False,
+    ),
+    (
+        "fig_q3/join",
+        "query { book as B  * as C { title as T } where B.cites = C.id }"
+        " construct { r { collect T } }",
+        "bib",
+        False,
+        True,
     ),
     (
         "ext_ablation/multibox",
@@ -73,12 +107,14 @@ QUERIES: list[tuple[str, str, str, bool]] = [
         " where Y >= 1995 } construct { r { collect T } }",
         "bib",
         False,
+        True,
     ),
     (
         "ext_scaling/select",
         "query { book as B { title as T  @year as Y } where Y >= 1995 }"
         " construct { r { collect T } }",
         "bib",
+        False,
         False,
     ),
 ]
@@ -112,7 +148,7 @@ def run_suite(
     sections_depth: int = 7,
     repeat: int = 5,
 ) -> dict:
-    """Run every query on both paths; returns the JSON-ready report."""
+    """Run every query on all three engines; returns the JSON-ready report."""
     datasets = {
         "bib": bibliography(bib_entries, seed=0),
         "sections": nested_sections(depth=sections_depth, fanout=2, seed=0),
@@ -120,7 +156,7 @@ def run_suite(
     indexes = {name: DocumentIndex(doc) for name, doc in datasets.items()}
     report: dict = {
         "generated_by": "repro.bench_smoke",
-        "schema_version": 1,
+        "schema_version": 2,
         "sizes": {
             "bib_entries": bib_entries,
             "sections_depth": sections_depth,
@@ -130,12 +166,16 @@ def run_suite(
         "repeat": repeat,
         "queries": {},
     }
-    for name, text, dataset, descendant_heavy in QUERIES:
+    for name, text, dataset, descendant_heavy, join_heavy in QUERIES:
         graph = _first_graph(text)
         document = datasets[dataset]
         index = indexes[dataset]
-        entry: dict = {"dataset": dataset, "descendant_heavy": descendant_heavy}
-        for label, options in (("indexed", INDEXED), ("naive", NAIVE)):
+        entry: dict = {
+            "dataset": dataset,
+            "descendant_heavy": descendant_heavy,
+            "join_heavy": join_heavy,
+        }
+        for label, options in ENGINES:
             seconds, counters, bindings = _time_and_count(
                 graph, document, index, options, repeat
             )
@@ -147,13 +187,63 @@ def run_suite(
                 **counters,
             }
         assert entry["indexed"]["bindings"] == entry["naive"]["bindings"], name
+        assert entry["pipeline"]["bindings"] == entry["indexed"]["bindings"], name
         indexed_work = max(entry["indexed"]["work"], 1)
         entry["work_ratio"] = round(entry["naive"]["work"] / indexed_work, 2)
         entry["speedup"] = round(
             entry["naive"]["seconds"] / max(entry["indexed"]["seconds"], 1e-9), 2
         )
+        entry["pipeline_work_ratio"] = round(
+            entry["pipeline"]["work"] / indexed_work, 4
+        )
+        entry["pipeline_speedup"] = round(
+            entry["indexed"]["seconds"] / max(entry["pipeline"]["seconds"], 1e-9),
+            2,
+        )
         report["queries"][name] = entry
     return report
+
+
+def check_baseline(report: dict, baseline: dict) -> list[str]:
+    """Per-query, per-engine ``work`` regressions beyond the tolerance.
+
+    Returns human-readable warning lines (empty = no regressions).  Only
+    queries and engines present in both reports are compared, so adding or
+    renaming queries never trips the check.
+    """
+    warnings = []
+    for name, entry in report.get("queries", {}).items():
+        base_entry = baseline.get("queries", {}).get(name)
+        if not isinstance(base_entry, dict):
+            continue
+        for label, _ in ENGINES:
+            current = entry.get(label, {}).get("work")
+            previous = base_entry.get(label, {}).get("work")
+            if current is None or previous is None or previous <= 0:
+                continue
+            if current > previous * (1 + REGRESSION_TOLERANCE):
+                warnings.append(
+                    f"{name} [{label}]: work {previous} -> {current} "
+                    f"(+{(current / previous - 1) * 100:.0f}%, "
+                    f"tolerance {REGRESSION_TOLERANCE * 100:.0f}%)"
+                )
+    return warnings
+
+
+def _history_record(report: dict) -> dict:
+    """One compact, timestamped trajectory point for the history list."""
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sizes": dict(report["sizes"]),
+        "work": {
+            name: {label: entry[label]["work"] for label, _ in ENGINES}
+            for name, entry in report["queries"].items()
+        },
+        "pipeline_speedup": {
+            name: entry["pipeline_speedup"]
+            for name, entry in report["queries"].items()
+        },
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -164,28 +254,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--bib-entries", type=int, default=400)
     parser.add_argument("--sections-depth", type=int, default=7)
     parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed report to compare against; work regressions beyond "
+        "20%% print ::warning:: annotations but never fail the run",
+    )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="carry the baseline's (or previous output's) history forward "
+        "and append one timestamped record for this run",
+    )
     args = parser.parse_args(argv)
     report = run_suite(args.bib_entries, args.sections_depth, args.repeat)
+
+    baseline: Optional[dict] = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"::warning::bench baseline unreadable: {exc}")
+
+    if args.append_history:
+        prior = baseline
+        if prior is None:
+            try:
+                with open(args.output, "r", encoding="utf-8") as handle:
+                    prior = json.load(handle)
+            except (OSError, ValueError):
+                prior = None
+        history = list(prior.get("history", [])) if prior else []
+        history.append(_history_record(report))
+        report["history"] = history
+
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+    print(f"wrote {args.output}")
+    for name, entry in report["queries"].items():
+        marker = "*" if entry["descendant_heavy"] else " "
+        marker = "j" if entry["join_heavy"] else marker
+        print(
+            f" {marker} {name}: work {entry['naive']['work']} -> "
+            f"{entry['indexed']['work']} -> {entry['pipeline']['work']} "
+            f"(naive/indexed {entry['work_ratio']}x), "
+            f"time {entry['naive']['seconds'] * 1000:.2f}ms -> "
+            f"{entry['indexed']['seconds'] * 1000:.2f}ms -> "
+            f"{entry['pipeline']['seconds'] * 1000:.2f}ms "
+            f"(pipeline {entry['pipeline_speedup']}x over indexed)"
+        )
     heavy = [
         (name, entry)
         for name, entry in report["queries"].items()
         if entry["descendant_heavy"]
     ]
-    print(f"wrote {args.output}")
-    for name, entry in report["queries"].items():
-        marker = "*" if entry["descendant_heavy"] else " "
-        print(
-            f" {marker} {name}: work {entry['naive']['work']} -> "
-            f"{entry['indexed']['work']} ({entry['work_ratio']}x), "
-            f"time {entry['naive']['seconds'] * 1000:.2f}ms -> "
-            f"{entry['indexed']['seconds'] * 1000:.2f}ms "
-            f"({entry['speedup']}x)"
-        )
     worst = min(entry["work_ratio"] for _, entry in heavy)
     print(f"descendant-heavy (*) worst work ratio: {worst}x")
+    joins = [
+        (name, entry)
+        for name, entry in report["queries"].items()
+        if entry["join_heavy"]
+    ]
+    if joins:
+        worst_join = min(entry["pipeline_speedup"] for _, entry in joins)
+        print(f"join-heavy (j) worst pipeline speedup: {worst_join}x")
+
+    if baseline is not None:
+        regressions = check_baseline(report, baseline)
+        for line in regressions:
+            print(f"::warning::bench regression: {line}")
+        if not regressions:
+            print("no work regressions vs baseline")
     return 0
 
 

@@ -20,7 +20,10 @@ from .conditions import (
 )
 from .cache import DocumentIndexCache, get_index, invalidate, shared_cache
 from .index import DocumentIndex
+from .joins import EdgeRelation, equijoin_key
 from .narrowing import intersect_pools
+from .options import MatchOptions
+from .pipeline import connected_components, evaluate_forest, is_forest
 from .planner import plan_order
 from .stats import EvalStats
 
@@ -31,4 +34,6 @@ __all__ = [
     "Condition", "Operand", "DocumentAccessor", "condition_variables",
     "DocumentIndex", "DocumentIndexCache", "get_index", "invalidate",
     "shared_cache", "intersect_pools", "plan_order", "EvalStats",
+    "MatchOptions", "EdgeRelation", "equijoin_key",
+    "connected_components", "evaluate_forest", "is_forest",
 ]

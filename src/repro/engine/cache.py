@@ -16,46 +16,103 @@ document and checked by identity, so a recycled ``id()`` can never alias a
 dead document.  An index holds the element tree (and through parent links
 the document) alive, so entries persist until :func:`invalidate` /
 :meth:`DocumentIndexCache.clear` — callers that mutate a document **must**
-invalidate it, and long-lived processes juggling many throwaway documents
-should clear the cache between batches.
+invalidate it.
+
+**Bound.**  The cache is LRU-bounded over *document count*
+(``max_documents``): inserting beyond the bound evicts the least recently
+used snapshot (counted in :attr:`DocumentIndexCache.evictions`), so
+many-document workloads — batch serving, large collection sweeps — no
+longer grow the cache without limit.  ``max_documents=None`` restores the
+unbounded behaviour for callers that manage lifetimes themselves.  Hits
+and misses are tallied on the cache and, when an
+:class:`~repro.engine.stats.EvalStats` is passed to :meth:`get`, surfaced
+per-evaluation through ``stats.cache_hits`` / ``stats.cache_misses``.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
+from typing import Optional
 
 from .index import DocumentIndex
+from .stats import EvalStats
 from ..ssd.model import Document
 
-__all__ = ["DocumentIndexCache", "get_index", "invalidate", "shared_cache"]
+__all__ = [
+    "DEFAULT_MAX_DOCUMENTS",
+    "DocumentIndexCache",
+    "get_index",
+    "invalidate",
+    "shared_cache",
+]
+
+#: Bound of the process-wide shared cache.  Generous for interactive and
+#: benchmark use while keeping many-document batch workloads from pinning
+#: every document they ever touched.
+DEFAULT_MAX_DOCUMENTS = 64
 
 
 class DocumentIndexCache:
-    """Weakref-keyed, explicitly invalidated index cache."""
+    """Weakref-keyed, LRU-bounded, explicitly invalidated index cache."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_documents: Optional[int] = DEFAULT_MAX_DOCUMENTS) -> None:
+        if max_documents is not None and max_documents < 1:
+            raise ValueError("max_documents must be at least 1 (or None)")
+        # Insertion order doubles as recency order: hits reinsert their
+        # entry, so the first key is always the least recently used.
         self._entries: dict[int, tuple[weakref.ref, DocumentIndex]] = {}
+        # Indexes are shared read-only, but the LRU bookkeeping reorders
+        # the dict on every hit — guard it so concurrent batch evaluation
+        # (QuerySession.run_batch) can share one cache.
+        self._lock = threading.Lock()
+        self.max_documents = max_documents
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def get(self, document: Document) -> DocumentIndex:
-        """The cached index for ``document``, building it on first use."""
+    def get(
+        self, document: Document, stats: Optional[EvalStats] = None
+    ) -> DocumentIndex:
+        """The cached index for ``document``, building it on first use.
+
+        Passing ``stats`` mirrors the hit/miss into that evaluation's
+        ``cache_hits`` / ``cache_misses`` counters.
+        """
         key = id(document)
-        entry = self._entries.get(key)
-        if entry is not None and entry[0]() is document:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is document:
+                self.hits += 1
+                if stats is not None:
+                    stats.cache_hits += 1
+                # refresh recency
+                self._entries[key] = self._entries.pop(key)
+                return entry[1]
+            self.misses += 1
+            if stats is not None:
+                stats.cache_misses += 1
+        # build outside the lock: indexing a large document must not stall
+        # every other thread's cache hits
         index = DocumentIndex(document)
 
         def _dropped(_ref: weakref.ref, key: int = key) -> None:
             self._entries.pop(key, None)
 
-        self._entries[key] = (weakref.ref(document, _dropped), index)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is document:
+                return entry[1]  # another thread built it first
+            self._entries[key] = (weakref.ref(document, _dropped), index)
+            if self.max_documents is not None:
+                while len(self._entries) > self.max_documents:
+                    oldest = next(iter(self._entries))
+                    del self._entries[oldest]
+                    self.evictions += 1
         return index
 
     def peek(self, document: Document) -> DocumentIndex | None:
-        """The cached index, or ``None`` — never builds."""
+        """The cached index, or ``None`` — never builds, never reorders."""
         entry = self._entries.get(id(document))
         if entry is not None and entry[0]() is document:
             return entry[1]
@@ -63,11 +120,13 @@ class DocumentIndexCache:
 
     def invalidate(self, document: Document) -> bool:
         """Drop ``document``'s entry (after mutation); True if one existed."""
-        return self._entries.pop(id(document), None) is not None
+        with self._lock:
+            return self._entries.pop(id(document), None) is not None
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -80,9 +139,9 @@ class DocumentIndexCache:
 shared_cache = DocumentIndexCache()
 
 
-def get_index(document: Document) -> DocumentIndex:
+def get_index(document: Document, stats: Optional[EvalStats] = None) -> DocumentIndex:
     """Shared-cache lookup (see the module docstring for the contract)."""
-    return shared_cache.get(document)
+    return shared_cache.get(document, stats)
 
 
 def invalidate(document: Document) -> bool:

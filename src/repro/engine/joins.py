@@ -1,0 +1,233 @@
+"""Relational building blocks for set-at-a-time query evaluation.
+
+The set-at-a-time pipeline (:mod:`repro.engine.pipeline`) compiles a query
+fragment into *unary* relations (per-node candidate pools) and *binary*
+relations (candidate pairs satisfying one pattern edge).  This module holds
+the relation representation and the two algorithms the pipeline runs over
+them:
+
+* :func:`semijoin_reduce` — a Yannakakis-style full reduction over an
+  acyclic join structure: one bottom-up and one top-down semi-join pass
+  remove every *dangling* candidate (one that participates in no final
+  answer), so the subsequent joins never enumerate a dead end;
+* :func:`join_forest` — hash-join assembly of the reduced relations along
+  the join tree, producing complete assignments.
+
+Candidates are identified by a caller-supplied key function (``id`` for
+document elements, the value itself for graph node ids), mirroring the
+identity-keyed conventions of :mod:`repro.engine.bindings`.
+
+:func:`equijoin_key` is the hash-key normalisation for *value* equi-joins
+(XML-GL's shared-value joins): two values receive the same key exactly when
+:func:`repro.ssd.datatypes.equal_atoms` considers them equal, so a hash
+join on these keys is equivalent to filtering a cross product with ``=``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator, Optional, Sequence
+
+from ..ssd.datatypes import coerce
+from .stats import EvalStats
+
+__all__ = ["EdgeRelation", "equijoin_key", "semijoin_reduce", "join_forest"]
+
+Key = Callable[[Any], Hashable]
+
+
+def equijoin_key(value: Any) -> Optional[Hashable]:
+    """Hash key under :func:`~repro.ssd.datatypes.equal_atoms` semantics.
+
+    Numeric-coercible values key by their number (``"007"`` and ``7`` and
+    ``7.0`` collide, as ``equal_atoms`` demands); everything else keys by
+    its canonical string.  ``None`` (a missing attribute) returns ``None``
+    — the caller must drop the row, matching ``Comparison``'s semantics
+    that a ``None`` operand never compares equal.
+    """
+    if value is None:
+        return None
+    coerced = coerce(value)
+    if isinstance(coerced, bool):
+        return int(coerced)  # equal_atoms treats booleans as numbers
+    if isinstance(coerced, (int, float)):
+        return coerced
+    return str(coerced)
+
+
+class EdgeRelation:
+    """A binary relation between the candidates of two pattern nodes.
+
+    Stores the satisfying ``(left, right)`` candidate pairs for one pattern
+    edge, with lazily built per-side groupings used by semi-joins (membership)
+    and hash joins (partner lookup).
+    """
+
+    __slots__ = ("left_var", "right_var", "pairs", "key", "_by_left", "_by_right")
+
+    def __init__(
+        self,
+        left_var: Hashable,
+        right_var: Hashable,
+        pairs: Iterable[tuple[Any, Any]],
+        key: Key = id,
+    ) -> None:
+        self.left_var = left_var
+        self.right_var = right_var
+        self.pairs: list[tuple[Any, Any]] = list(pairs)
+        self.key = key
+        self._by_left: Optional[dict[Hashable, list[Any]]] = None
+        self._by_right: Optional[dict[Hashable, list[Any]]] = None
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def vars(self) -> tuple[Hashable, Hashable]:
+        return (self.left_var, self.right_var)
+
+    def other(self, var: Hashable) -> Hashable:
+        """The opposite endpoint of ``var``."""
+        return self.right_var if var == self.left_var else self.left_var
+
+    def _invalidate(self) -> None:
+        self._by_left = None
+        self._by_right = None
+
+    def by_side(self, var: Hashable) -> dict[Hashable, list[Any]]:
+        """Partner values grouped by the ``var`` side's candidate key."""
+        if var == self.left_var:
+            if self._by_left is None:
+                grouped: dict[Hashable, list[Any]] = {}
+                for left, right in self.pairs:
+                    grouped.setdefault(self.key(left), []).append(right)
+                self._by_left = grouped
+            return self._by_left
+        if self._by_right is None:
+            grouped = {}
+            for left, right in self.pairs:
+                grouped.setdefault(self.key(right), []).append(left)
+            self._by_right = grouped
+        return self._by_right
+
+    def restrict(
+        self,
+        left_keys: Optional[set[Hashable]] = None,
+        right_keys: Optional[set[Hashable]] = None,
+    ) -> int:
+        """Drop pairs whose endpoints left the pools; returns pairs removed."""
+        before = len(self.pairs)
+        self.pairs = [
+            (left, right)
+            for left, right in self.pairs
+            if (left_keys is None or self.key(left) in left_keys)
+            and (right_keys is None or self.key(right) in right_keys)
+        ]
+        self._invalidate()
+        return before - len(self.pairs)
+
+
+def _semijoin(
+    pools: dict[Hashable, list[Any]],
+    relation: EdgeRelation,
+    keep_var: Hashable,
+    stats: EvalStats,
+) -> None:
+    """Reduce ``pools[keep_var]`` to candidates with a partner in ``relation``."""
+    present = set(relation.by_side(keep_var))
+    pool = pools[keep_var]
+    kept = [candidate for candidate in pool if relation.key(candidate) in present]
+    stats.semijoins += 1
+    stats.semijoin_dropped += len(pool) - len(kept)
+    pools[keep_var] = kept
+
+
+def semijoin_reduce(
+    pools: dict[Hashable, list[Any]],
+    relations: Sequence[EdgeRelation],
+    order: Sequence[Hashable],
+    parent_of: dict[Hashable, tuple[Hashable, EdgeRelation]],
+    stats: EvalStats,
+) -> bool:
+    """Yannakakis full reduction over a rooted join forest (in place).
+
+    Args:
+        pools: per-variable candidate pools; mutated to their reduced form.
+        relations: every edge relation of the forest.
+        order: planner order; each non-root variable appears after its parent.
+        parent_of: variable -> (parent variable, connecting relation) for
+            every non-root variable.
+        stats: semi-join counters are accumulated here.
+
+    Returns:
+        False when some pool or relation became empty (no results exist),
+        True otherwise.  After a True return every remaining candidate
+        participates in at least one final assignment.
+    """
+    # Bottom-up: children reduce their parents before the parents reduce
+    # anything above them.
+    for var in reversed(order):
+        entry = parent_of.get(var)
+        if entry is None:
+            continue
+        parent_var, relation = entry
+        relation.restrict(
+            left_keys={relation.key(c) for c in pools[relation.left_var]},
+            right_keys={relation.key(c) for c in pools[relation.right_var]},
+        )
+        _semijoin(pools, relation, parent_var, stats)
+        if not pools[parent_var]:
+            return False
+    # Top-down: parents reduce their children.
+    for var in order:
+        entry = parent_of.get(var)
+        if entry is None:
+            continue
+        parent_var, relation = entry
+        relation.restrict(
+            left_keys={relation.key(c) for c in pools[relation.left_var]},
+            right_keys={relation.key(c) for c in pools[relation.right_var]},
+        )
+        _semijoin(pools, relation, var, stats)
+        if not pools[var]:
+            return False
+    return True
+
+
+def join_forest(
+    pools: dict[Hashable, list[Any]],
+    order: Sequence[Hashable],
+    parent_of: dict[Hashable, tuple[Hashable, EdgeRelation]],
+    stats: EvalStats,
+) -> Iterator[dict[Hashable, Any]]:
+    """Assemble full assignments along the join forest by hash joins.
+
+    Variables are added in planner order: a root variable contributes its
+    pool wholesale (a cross product across trees of the forest), every
+    other variable contributes the partners of its parent's value in the
+    connecting relation.  After :func:`semijoin_reduce` no partial row ever
+    dies, so the row count only tracks true results.
+    """
+    rows: list[dict[Hashable, Any]] = [{}]
+    for var in order:
+        entry = parent_of.get(var)
+        extended: list[dict[Hashable, Any]] = []
+        if entry is None:
+            pool = pools[var]
+            for row in rows:
+                for candidate in pool:
+                    new_row = dict(row)
+                    new_row[var] = candidate
+                    extended.append(new_row)
+        else:
+            parent_var, relation = entry
+            partners = relation.by_side(parent_var)
+            key = relation.key
+            for row in rows:
+                for candidate in partners.get(key(row[parent_var]), ()):
+                    new_row = dict(row)
+                    new_row[var] = candidate
+                    extended.append(new_row)
+        stats.hashjoin_rows += len(extended)
+        rows = extended
+        if not rows:
+            return
+    yield from rows

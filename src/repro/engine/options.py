@@ -1,0 +1,68 @@
+"""Evaluation options shared by both matchers.
+
+:class:`MatchOptions` collects the engine-selection and ablation knobs the
+XML-GL document matcher and the WG-Log graph matcher both honour:
+
+* ``engine`` — the evaluation strategy:
+
+  - ``"pipeline"`` (default): set-at-a-time evaluation.  The query is
+    compiled into per-node candidate pools plus binary edge relations, a
+    Yannakakis-style semi-join reduction removes dangling candidates over a
+    cost-chosen join tree, and hash joins assemble the final binding set.
+    Fragments the pipeline cannot cover — undirected cycles, ordered arcs,
+    negation, path edges — fall back to the backtracking core *per
+    fragment*, so one uncooperative corner of a query does not forfeit
+    set-at-a-time evaluation for the rest.
+  - ``"backtracking"``: the node-at-a-time core with interval-index
+    candidate narrowing (the PR-1 engine; differential oracle for the
+    pipeline).
+  - ``"naive"``: backtracking with indexes disabled — full scans and
+    per-candidate structural checks (the ablation baseline).
+
+* ``use_planner`` / ``use_index`` — the EXT-A1 ablation switches carried
+  over from the node-at-a-time engine.  ``use_index=False`` implies the
+  naive engine (the pipeline builds its pools and relations from the
+  index, so it degrades to backtracking without one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ENGINES", "MatchOptions"]
+
+#: Recognised values of :attr:`MatchOptions.engine`.
+ENGINES = ("pipeline", "backtracking", "naive")
+
+
+@dataclass
+class MatchOptions:
+    """Evaluation switches (engine choice + ablation knobs EXT-A1)."""
+
+    use_planner: bool = True
+    use_index: bool = True
+    engine: str = "pipeline"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+
+    def resolved_engine(self) -> str:
+        """The engine that will actually run.
+
+        ``"naive"`` forces scans regardless of ``use_index``; conversely,
+        ``use_index=False`` demotes the pipeline to backtracking (which
+        then scans), preserving the historical meaning of the ablation
+        flag for callers that never mention engines.
+        """
+        if self.engine == "naive":
+            return "naive"
+        if self.engine == "pipeline" and not self.use_index:
+            return "backtracking"
+        return self.engine
+
+    def scans_only(self) -> bool:
+        """Whether evaluation must avoid the index (naive/ablation mode)."""
+        return self.engine == "naive" or not self.use_index

@@ -1,0 +1,158 @@
+"""Generic set-at-a-time join pipeline.
+
+Both graphical languages compile a query fragment to the same shape — the
+paper's shared sub-nodes *are* relational joins — so the pipeline works on
+that shape directly and leaves language semantics to the matchers:
+
+* a *variable* per pattern node, with a **candidate pool** (unary relation)
+  supplied by the caller, typically from a
+  :class:`~repro.engine.index.DocumentIndex` lookup;
+* an :class:`~repro.engine.joins.EdgeRelation` per pattern edge holding the
+  candidate **pairs** that satisfy it.
+
+:func:`evaluate_forest` then runs the classic acyclic-query plan: choose a
+join order from cardinality estimates (pool sizes, which for indexed pools
+are exactly the index label counts), root a join tree per connected
+component, *fully reduce* pools and relations by Yannakakis semi-joins,
+and assemble the answers with hash joins.  The reduction guarantees that
+assembly never extends a row that cannot reach a final answer — the
+set-at-a-time counterpart of a backtracking search that never backtracks.
+
+The pipeline only accepts **forests** (acyclic join structure); callers
+detect cyclic fragments with :func:`is_forest` /
+:func:`connected_components` and fall back to their backtracking core for
+those, per fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Optional, Sequence
+
+from .joins import EdgeRelation, join_forest, semijoin_reduce
+from .planner import plan_order
+from .stats import EvalStats
+
+__all__ = ["connected_components", "is_forest", "evaluate_forest", "relation_for"]
+
+Var = Hashable
+
+
+def connected_components(
+    variables: Iterable[Var], edges: Iterable[tuple[Var, Var]]
+) -> list[set[Var]]:
+    """Undirected connected components, in first-seen variable order."""
+    parent: dict[Var, Var] = {}
+
+    def find(var: Var) -> Var:
+        root = var
+        while parent[root] != root:
+            root = parent[root]
+        while parent[var] != root:  # path compression
+            parent[var], var = root, parent[var]
+        return root
+
+    ordered = list(variables)
+    for var in ordered:
+        parent.setdefault(var, var)
+    for left, right in edges:
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            parent[left_root] = right_root
+    groups: dict[Var, set[Var]] = {}
+    for var in ordered:
+        groups.setdefault(find(var), set()).add(var)
+    return list(groups.values())
+
+
+def is_forest(variables: Iterable[Var], edges: Sequence[tuple[Var, Var]]) -> bool:
+    """Whether the undirected (multi)graph is acyclic.
+
+    Parallel edges and self-loops count as cycles — exactly the cases the
+    semi-join tree cannot represent.
+    """
+    variable_list = list(variables)
+    if any(left == right for left, right in edges):
+        return False
+    components = connected_components(variable_list, edges)
+    # A forest has exactly |V| - #components edges; multigraph double
+    # edges push the count past that.
+    return len(edges) == len(variable_list) - len(components)
+
+
+def evaluate_forest(
+    pools: dict[Var, list[Any]],
+    relations: Sequence[EdgeRelation],
+    stats: EvalStats,
+    planner_enabled: bool = True,
+) -> Iterator[dict[Var, Any]]:
+    """All assignments of a forest-shaped join query, set-at-a-time.
+
+    Args:
+        pools: candidate pool per variable (consumed; reduced in place).
+        relations: one :class:`EdgeRelation` per pattern edge; the
+            undirected graph they induce over ``pools``' keys must be a
+            forest (:func:`is_forest`).
+        stats: semi-join / hash-join counters accumulate here.
+        planner_enabled: when False, keep the pools' insertion order as the
+            join order (planner ablation).
+
+    Yields:
+        Complete ``{variable: candidate}`` assignments.  Distinct trees of
+        the forest combine by cross product, as in the backtracking core.
+    """
+    variables = list(pools)
+    adjacency: dict[Var, list[Var]] = {var: [] for var in variables}
+    for relation in relations:
+        adjacency[relation.left_var].append(relation.right_var)
+        adjacency[relation.right_var].append(relation.left_var)
+
+    order = plan_order(
+        variables,
+        estimate=lambda var: len(pools[var]),
+        adjacency=adjacency,
+        enabled=planner_enabled,
+    )
+
+    # Root the forest along the planner order: the first placed endpoint of
+    # each relation becomes the parent of the other.
+    relations_by_var: dict[Var, list[EdgeRelation]] = {var: [] for var in variables}
+    for relation in relations:
+        relations_by_var[relation.left_var].append(relation)
+        relations_by_var[relation.right_var].append(relation)
+    placed: set[Var] = set()
+    parent_of: dict[Var, tuple[Var, EdgeRelation]] = {}
+    for var in order:
+        for relation in relations_by_var[var]:
+            other = relation.other(var)
+            if other in placed:
+                if var in parent_of:
+                    raise ValueError(
+                        "cyclic join structure: "
+                        f"variable {var!r} reaches two placed parents"
+                    )
+                parent_of[var] = (other, relation)
+        placed.add(var)
+
+    if not semijoin_reduce(pools, relations, order, parent_of, stats):
+        return
+    yield from join_forest(pools, order, parent_of, stats)
+
+
+def relation_for(
+    left_var: Var,
+    right_var: Var,
+    pairs: Iterable[tuple[Any, Any]],
+    stats: EvalStats,
+    key=id,
+) -> EdgeRelation:
+    """Materialise an :class:`EdgeRelation`, tallying its size.
+
+    One wholesale ``edge_checks`` bump per relation mirrors the interval
+    convention: pairs drawn from index-backed pools satisfy their edge *by
+    construction*, so they are counted as ``relation_pairs``, not as
+    per-candidate trials.
+    """
+    relation = EdgeRelation(left_var, right_var, pairs, key=key)
+    stats.edge_checks += 1
+    stats.relation_pairs += len(relation)
+    return relation

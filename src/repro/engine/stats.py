@@ -17,6 +17,23 @@ naive path would have answered by scanning:
 * ``preflight_skips`` — evaluations short-circuited by the static
   pre-flight (:mod:`repro.analysis.preflight`): the query was proved
   unsatisfiable before any matching work.
+
+The set-at-a-time pipeline (:mod:`repro.engine.pipeline`) adds its own
+family, mirroring the interval convention that wholesale set operations are
+counted separately from per-candidate trial-and-error:
+
+* ``semijoins`` — semi-join reduction passes over pool/relation pairs;
+* ``semijoin_dropped`` — candidates eliminated by those passes (work the
+  backtracking core would have discovered by failing, one trial at a time);
+* ``hashjoin_rows`` — rows produced by hash joins (tree assembly plus
+  cross-fragment equi-joins);
+* ``relation_pairs`` — pairs materialised in binary edge relations;
+* ``pipeline_fragments`` — query fragments evaluated set-at-a-time;
+* ``pipeline_fallbacks`` — fragments handed back to the backtracking core
+  (cyclic, ordered, negated or path-edge fragments);
+* ``cache_hits`` / ``cache_misses`` — shared
+  :class:`~repro.engine.cache.DocumentIndexCache` lookups served from /
+  missing the cache during this evaluation.
 """
 
 from __future__ import annotations
@@ -38,6 +55,14 @@ _COUNTERS = (
     "interval_lookups",
     "interval_candidates",
     "preflight_skips",
+    "semijoins",
+    "semijoin_dropped",
+    "hashjoin_rows",
+    "relation_pairs",
+    "pipeline_fragments",
+    "pipeline_fallbacks",
+    "cache_hits",
+    "cache_misses",
     "seconds",
 )
 
@@ -55,6 +80,14 @@ class EvalStats:
     interval_lookups: int = 0
     interval_candidates: int = 0
     preflight_skips: int = 0
+    semijoins: int = 0
+    semijoin_dropped: int = 0
+    hashjoin_rows: int = 0
+    relation_pairs: int = 0
+    pipeline_fragments: int = 0
+    pipeline_fallbacks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     seconds: float = 0.0
     extra: dict[str, int] = field(default_factory=dict)
 

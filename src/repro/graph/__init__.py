@@ -1,7 +1,12 @@
 """Generic graph substrate: labelled multigraphs, traversal, matching."""
 
 from .labeled_graph import Edge, LabeledGraph, NodeData
-from .matching import MatchSpec, count_homomorphisms, find_homomorphisms
+from .matching import (
+    MatchSpec,
+    count_homomorphisms,
+    find_homomorphisms,
+    find_homomorphisms_setwise,
+)
 from .traversal import (
     bfs_order,
     dfs_order,
@@ -15,7 +20,8 @@ from .traversal import (
 
 __all__ = [
     "LabeledGraph", "NodeData", "Edge",
-    "MatchSpec", "find_homomorphisms", "count_homomorphisms",
+    "MatchSpec", "find_homomorphisms", "find_homomorphisms_setwise",
+    "count_homomorphisms",
     "bfs_order", "dfs_order", "reachable", "reachable_by_labels",
     "has_cycle", "topological_order", "weakly_connected_components",
     "shortest_path",

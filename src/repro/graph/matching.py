@@ -19,13 +19,22 @@ in :mod:`repro.xmlgl.matcher` that shares the same ordering ideas.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import product
 from typing import Callable, Hashable, Iterator, Optional
 
 from ..engine.narrowing import intersect_pools
+from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
+from ..engine.stats import EvalStats
 from .labeled_graph import Edge, LabeledGraph
 from .traversal import reachable_by_labels
 
-__all__ = ["PatternEdgeKind", "MatchSpec", "find_homomorphisms", "count_homomorphisms"]
+__all__ = [
+    "PatternEdgeKind",
+    "MatchSpec",
+    "find_homomorphisms",
+    "find_homomorphisms_setwise",
+    "count_homomorphisms",
+]
 
 NodeId = Hashable
 NodeCompat = Callable[[NodeId, NodeId], bool]
@@ -193,6 +202,130 @@ def find_homomorphisms(
             del assignment[pnode]
 
     yield from backtrack(0)
+
+
+def find_homomorphisms_setwise(
+    pattern: LabeledGraph,
+    data: LabeledGraph,
+    spec: Optional[MatchSpec] = None,
+    stats: Optional[EvalStats] = None,
+) -> Iterator[dict[NodeId, NodeId]]:
+    """Set-at-a-time counterpart of :func:`find_homomorphisms`.
+
+    Pattern components whose direct-edge skeleton is a forest are compiled
+    to candidate pools plus edge relations and evaluated through
+    :func:`repro.engine.pipeline.evaluate_forest` (semi-join reduction,
+    then hash joins).  Components the pipeline cannot cover — cyclic
+    skeletons, path edges, negated edges — and injective runs (a global
+    constraint no per-component plan can honour) fall back to the
+    backtracking matcher; fallbacks are tallied in
+    ``stats.pipeline_fallbacks``.  Yields the same mappings as
+    :func:`find_homomorphisms`, though possibly in a different order.
+    """
+    spec = spec or MatchSpec()
+    stats = stats if stats is not None else EvalStats()
+    pattern_nodes = list(pattern.nodes())
+    if not pattern_nodes:
+        yield {}
+        return
+    if spec.injective:
+        stats.pipeline_fallbacks += 1
+        yield from find_homomorphisms(pattern, data, spec)
+        return
+
+    compat = spec.node_compat or _default_compat(pattern, data)
+    all_edges = list(pattern.edges())
+    components = connected_components(
+        pattern_nodes, [(e.source, e.target) for e in all_edges]
+    )
+    per_component: list[list[dict[NodeId, NodeId]]] = []
+    for component in components:
+        nodes = [p for p in pattern_nodes if p in component]
+        edges = [e for e in all_edges if e.source in component]
+        if _setwise_coverable(component, edges, spec):
+            stats.pipeline_fragments += 1
+            rows = _setwise_component(nodes, edges, data, compat, stats)
+        else:
+            stats.pipeline_fallbacks += 1
+            subspec = MatchSpec(
+                injective=False,
+                node_compat=compat,
+                path_edges={e for e in spec.path_edges if e.source in component},
+                negated_edges={e for e in spec.negated_edges if e.source in component},
+                narrow=spec.narrow,
+            )
+            rows = [
+                dict(m)
+                for m in find_homomorphisms(
+                    pattern.subgraph(nodes), data, subspec
+                )
+            ]
+        if not rows:
+            return
+        per_component.append(rows)
+    for combo in product(*per_component):
+        merged: dict[NodeId, NodeId] = {}
+        for part in combo:
+            merged.update(part)
+        yield merged
+
+
+def _setwise_coverable(
+    component: set[NodeId], edges: list[Edge], spec: MatchSpec
+) -> bool:
+    """One component fits the pipeline: direct forest, nothing special."""
+    if any(e in spec.path_edges or e in spec.negated_edges for e in edges):
+        return False
+    return is_forest(component, [(e.source, e.target) for e in edges])
+
+
+def _setwise_key(candidate: NodeId) -> NodeId:
+    return candidate  # graph node ids are their own identity
+
+
+def _setwise_component(
+    nodes: list[NodeId],
+    edges: list[Edge],
+    data: LabeledGraph,
+    compat: NodeCompat,
+    stats: EvalStats,
+) -> list[dict[NodeId, NodeId]]:
+    """Pools + edge relations + forest evaluation for one component."""
+    pools: dict[NodeId, list[NodeId]] = {}
+    pool_sets: dict[NodeId, set[NodeId]] = {}
+    for pnode in nodes:
+        pool = [dnode for dnode in data.nodes() if compat(pnode, dnode)]
+        if not pool:
+            return []
+        pools[pnode] = pool
+        pool_sets[pnode] = set(pool)
+    relations = []
+    for edge in edges:
+        # enumerate from the smaller side's adjacency, deduplicating
+        # parallel data edges (the relation is a set of pairs)
+        pairs: list[tuple[NodeId, NodeId]] = []
+        seen: set[tuple[NodeId, NodeId]] = set()
+        if len(pools[edge.source]) <= len(pools[edge.target]):
+            target_set = pool_sets[edge.target]
+            for source in pools[edge.source]:
+                for target in data.successors(source, edge.label):
+                    if target in target_set and (source, target) not in seen:
+                        seen.add((source, target))
+                        pairs.append((source, target))
+        else:
+            source_set = pool_sets[edge.source]
+            for target in pools[edge.target]:
+                for source in data.predecessors(target, edge.label):
+                    if source in source_set and (source, target) not in seen:
+                        seen.add((source, target))
+                        pairs.append((source, target))
+        relation = relation_for(
+            edge.source, edge.target, pairs, stats, key=_setwise_key
+        )
+        if not relation.pairs:
+            return []
+        relations.append(relation)
+    return list(evaluate_forest(pools, relations, stats))
 
 
 def count_homomorphisms(

@@ -19,8 +19,9 @@ experiment log (:meth:`QuerySession.summary`).
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from .engine.cache import DocumentIndexCache, shared_cache
 from .engine.stats import EvalStats
@@ -31,7 +32,7 @@ from .xmlgl.evaluator import evaluate_rule
 from .xmlgl.matcher import MatchOptions
 from .xmlgl.rule import Rule
 
-__all__ = ["QueryCycle", "QuerySession"]
+__all__ = ["BatchResult", "QueryCycle", "QuerySession"]
 
 Sources = Union[Document, Mapping[str, Document]]
 
@@ -55,6 +56,23 @@ class QueryCycle:
             f"result <{root.tag if root is not None else '-'}> "
             f"({size} nodes, {self.seconds * 1000:.1f} ms)"
         )
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one query in a :meth:`QuerySession.run_batch` run."""
+
+    index: int
+    source_text: Optional[str]
+    rule: Rule
+    result: Optional[Document]
+    stats: EvalStats
+    seconds: float
+    error: Optional[ReproError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 class QuerySession:
@@ -109,6 +127,70 @@ class QuerySession:
         self._cycles.append(cycle)
         self._position = len(self._cycles) - 1
         return result
+
+    def run_batch(
+        self,
+        queries: Sequence[Union[str, Rule]],
+        max_workers: Optional[int] = None,
+    ) -> list[BatchResult]:
+        """Evaluate many queries against the session's sources concurrently.
+
+        Queries run on a thread pool over the *same* documents and the same
+        (locked, read-only-shared) index cache: the indexes are pre-warmed
+        once on the calling thread, so workers only take cache hits.  Each
+        query gets its own :class:`~repro.engine.stats.EvalStats` and wall
+        clock, returned in input order as :class:`BatchResult` rows.
+
+        Evaluation errors (:class:`~repro.errors.ReproError`) are captured
+        per query in :attr:`BatchResult.error` rather than aborting the
+        batch; parse errors raise immediately, before any evaluation
+        starts.  A batch does not enter the cycle history — it is a bulk
+        measurement, not a refinement step.
+        """
+        prepared: list[tuple[Rule, Optional[str]]] = []
+        for query in queries:
+            if isinstance(query, str):
+                prepared.append((parse_rule(query), query))
+            else:
+                prepared.append((query, None))
+        for document in self._documents():
+            self._indexes.get(document)
+
+        def evaluate_one(item: tuple[int, tuple[Rule, Optional[str]]]) -> BatchResult:
+            position, (rule, source_text) = item
+            stats = EvalStats()
+            result: Optional[Document] = None
+            error: Optional[ReproError] = None
+            started = time.perf_counter()
+            try:
+                result = Document(
+                    evaluate_rule(
+                        rule, self._sources, self._options, stats, self._indexes
+                    )
+                )
+            except ReproError as exc:
+                error = exc
+            elapsed = time.perf_counter() - started
+            return BatchResult(
+                index=position,
+                source_text=source_text,
+                rule=rule,
+                result=result,
+                stats=stats,
+                seconds=elapsed,
+                error=error,
+            )
+
+        if not prepared:
+            return []
+        workers = max_workers if max_workers is not None else min(8, len(prepared))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(evaluate_one, enumerate(prepared)))
+
+    def _documents(self) -> list[Document]:
+        if isinstance(self._sources, Document):
+            return [self._sources]
+        return list(self._sources.values())
 
     # -- analysis ---------------------------------------------------------------
 

@@ -21,10 +21,11 @@ from typing import Any, Hashable, Optional
 
 from ..engine.bindings import Binding, BindingSet
 from ..engine.conditions import condition_variables
+from ..engine.options import MatchOptions
 from ..engine.stats import EvalStats
 from ..errors import QueryStructureError, SchemaError
 from ..graph.labeled_graph import Edge, LabeledGraph
-from ..graph.matching import MatchSpec, find_homomorphisms
+from ..graph.matching import MatchSpec, find_homomorphisms, find_homomorphisms_setwise
 from .ast import Color, RuleEdge, RuleGraph
 from .data import SLOT_LABEL, InstanceGraph
 from .schema import WGSchema
@@ -93,12 +94,18 @@ def embeddings(
     injective: bool = False,
     stats: Optional[EvalStats] = None,
     preflight: bool = True,
+    options: Optional[MatchOptions] = None,
 ) -> BindingSet:
     """All embeddings of the rule's red part into ``instance``.
 
     Returns bindings from red node ids to instance node ids.  ``injective``
     requires distinct red nodes to bind distinct instance nodes (G-Log
     embeddings); the default is homomorphic matching.
+
+    ``options.engine`` picks the evaluation strategy: the set-at-a-time
+    pipeline (default; forest-shaped rule fragments reduce by semi-joins,
+    the rest falls back per fragment), the node-at-a-time backtracking
+    core, or the narrowing-free naive scan (the ablation baseline).
 
     ``preflight`` (default on) first asks the static analyser whether the
     red part can embed anywhere at all; a proof of unsatisfiability —
@@ -110,6 +117,7 @@ def embeddings(
     rule.validate()
     if schema is not None:
         check_against_schema(rule, schema)
+    options = options or MatchOptions()
     stats = stats if stats is not None else EvalStats()
     if preflight:
         from ..analysis.preflight import wglog_preflight
@@ -121,15 +129,23 @@ def embeddings(
 
     core_ids, fragments = _split_negation(rule)
     pattern, spec_edges = _red_pattern(rule, core_ids)
+    engine = options.resolved_engine()
     spec = MatchSpec(
         injective=injective,
         node_compat=_compat(rule, instance),
         path_edges=spec_edges["path"],
         negated_edges=spec_edges["negated"],
+        narrow=engine != "naive",
     )
+    if engine == "pipeline":
+        mappings = find_homomorphisms_setwise(
+            pattern, instance.graph, spec, stats=stats
+        )
+    else:
+        mappings = find_homomorphisms(pattern, instance.graph, spec)
 
     results = BindingSet()
-    for mapping in find_homomorphisms(pattern, instance.graph, spec):
+    for mapping in mappings:
         stats.candidates_tried += 1
         if any(
             _fragment_exists(rule, instance, fragment, crossed, mapping, injective)

@@ -50,9 +50,17 @@ def query(
     schema: Optional[WGSchema] = None,
     injective: bool = False,
     stats: Optional[EvalStats] = None,
+    options=None,
 ):
-    """Evaluate a rule as a query: the embeddings of its red part."""
-    return embeddings(rule, instance, schema=schema, injective=injective, stats=stats)
+    """Evaluate a rule as a query: the embeddings of its red part.
+
+    ``options`` (a :class:`~repro.engine.options.MatchOptions`) selects the
+    evaluation engine; the set-at-a-time pipeline is the default.
+    """
+    return embeddings(
+        rule, instance, schema=schema, injective=injective, stats=stats,
+        options=options,
+    )
 
 
 def satisfies(

@@ -80,7 +80,7 @@ def rule_bindings(
     combined: Optional[BindingSet] = None
     for graph in rule.queries:
         document = _resolve_source(graph, sources)
-        index = cache.get(document)
+        index = cache.get(document, stats=stats)
         bindings = match(graph, document, options=options, index=index, stats=stats)
         combined = bindings if combined is None else combined.join(bindings)
         if not combined:

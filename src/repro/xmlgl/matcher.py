@@ -21,30 +21,56 @@ Or-arcs are evaluated by branch expansion: one branch per or-group is
 chosen, the resulting plain graph matched, and the binding sets unioned
 (with duplicate elimination across branches).
 
-The backtracking core orders boxes with :func:`repro.engine.planner.plan_order`
-and narrows candidates dynamically from already-assigned neighbours.  With
-the index enabled (the default), structural questions are answered by the
-:class:`~repro.engine.index.DocumentIndex` interval encoding: descendant
-pools are bisect ranges over per-tag pre-order arrays, ancestor tests are
-two integer comparisons, and candidates drawn from such pools already
-satisfy every incident arc *by construction*, so no per-candidate
-structural re-verification happens (they are counted as
-``interval_candidates``, not ``candidates_tried``).  With ``use_index``
-off, the matcher falls back to the naive scan path — subtree walks and
-per-candidate ancestor chases — which is the ablation baseline (EXT-A1 in
-DESIGN.md) and the differential oracle for the indexed path.
+Three engines share this module (``MatchOptions.engine``):
+
+* ``"pipeline"`` (default) evaluates **set-at-a-time**: the paper's
+  queries-are-graphs idiom makes every extract graph a relational join
+  plan, so each acyclic query fragment is compiled to per-box candidate
+  pools (from the :class:`~repro.engine.index.DocumentIndex`) plus binary
+  edge relations, single-box predicates and required circles are pushed
+  down into the pools, a Yannakakis semi-join reduction removes dangling
+  candidates over a cost-chosen join tree, and hash joins assemble the
+  binding set.  Value joins — ``=`` conditions linking otherwise
+  disconnected fragments — become hash equi-joins instead of filtered
+  cross products.  Fragments the pipeline cannot cover (undirected cycles,
+  ordered arcs, negation parents) fall back to the backtracking core *per
+  fragment* (counted in ``stats.pipeline_fallbacks``).
+* ``"backtracking"`` is the node-at-a-time core: boxes ordered with
+  :func:`repro.engine.planner.plan_order`, candidates narrowed dynamically
+  from already-assigned neighbours via the interval-encoded index
+  (descendant pools are bisect ranges, ancestor tests two integer
+  comparisons; candidates drawn from such pools satisfy every incident arc
+  *by construction* and are counted as ``interval_candidates``, not
+  ``candidates_tried``).
+* ``"naive"`` is backtracking with the index disabled — subtree walks and
+  per-candidate ancestor chases — the ablation baseline (EXT-A1 in
+  DESIGN.md) and the differential oracle for both other engines.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import product
-from typing import Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..engine.bindings import Binding, BindingSet
-from ..engine.conditions import DocumentAccessor, condition_variables
+from ..engine.conditions import (
+    Arith,
+    AttributeOf,
+    Comparison,
+    Condition,
+    Const,
+    ContentOf,
+    DocumentAccessor,
+    NameOf,
+    Operand,
+    condition_variables,
+)
 from ..engine.index import DocumentIndex
+from ..engine.joins import equijoin_key
 from ..engine.narrowing import intersect_pools
+from ..engine.options import MatchOptions
+from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
 from ..engine.planner import plan_order
 from ..engine.stats import EvalStats
 from ..errors import QueryStructureError
@@ -60,14 +86,6 @@ from .ast import (
 __all__ = ["MatchOptions", "match"]
 
 _ACCESSOR = DocumentAccessor()
-
-
-@dataclass
-class MatchOptions:
-    """Evaluation switches (ablation knobs EXT-A1 in DESIGN.md)."""
-
-    use_planner: bool = True
-    use_index: bool = True
 
 
 def match(
@@ -91,13 +109,21 @@ def match(
     options = options or MatchOptions()
     stats = stats if stats is not None else EvalStats()
     index = index or DocumentIndex(document)
+    engine = options.resolved_engine()
 
     results = BindingSet()
     with stats.timed():
         seen: set[tuple] = set()
         multiple_branches = bool(graph.or_groups)
         for expanded in _expand_or_groups(graph):
-            for binding in _match_plain(expanded, document, index, options, stats):
+            prep = _prepare(expanded, document, index, options, stats)
+            if prep is None:
+                continue
+            if engine == "pipeline":
+                produced: Iterator[Binding] = _match_pipeline(prep)
+            else:
+                produced = _match_backtracking(prep)
+            for binding in produced:
                 if multiple_branches:
                     key = binding.key()
                     if key in seen:
@@ -156,7 +182,7 @@ def _prune_unchosen(expanded: QueryGraph, had_parent: set[str]) -> None:
 
 
 # ---------------------------------------------------------------------------
-# Plain-graph matching
+# Shared preparation
 # ---------------------------------------------------------------------------
 
 def _check_condition_scope(graph: QueryGraph) -> None:
@@ -208,19 +234,37 @@ def _active_nodes(graph: QueryGraph) -> set[str]:
     return active - negated_only
 
 
-def _match_plain(
+@dataclass
+class _Prep:
+    """One expanded (plain) graph, digested for either engine."""
+
+    graph: QueryGraph
+    document: Document
+    index: DocumentIndex
+    options: MatchOptions
+    stats: EvalStats
+    element_ids: list[str]
+    element_edges: list[ContainmentEdge]
+    value_edges: list[ContainmentEdge]
+    negated_edges: list[ContainmentEdge]
+    static_candidates: dict[str, list[Element]]
+    static_sets: dict[str, set[int]]
+    adjacency: dict[str, list[str]] = field(default_factory=dict)
+    use_intervals: bool = True
+
+
+def _prepare(
     graph: QueryGraph,
     document: Document,
     index: DocumentIndex,
     options: MatchOptions,
     stats: EvalStats,
-) -> Iterator[Binding]:
+) -> Optional[_Prep]:
+    """Digest one plain graph; ``None`` when it cannot bind anything."""
     active = _active_nodes(graph)
-    element_ids = [
-        n.id for n in graph.element_nodes() if n.id in active
-    ]
+    element_ids = [n.id for n in graph.element_nodes() if n.id in active]
     if not element_ids:
-        return
+        return None
 
     element_edges = [
         e
@@ -255,18 +299,78 @@ def _match_plain(
         for node_id in element_ids
     }
     if any(not c for c in static_candidates.values()):
-        return
+        return None
     static_sets = {
         node_id: {id(e) for e in cands}
         for node_id, cands in static_candidates.items()
     }
-
     adjacency: dict[str, list[str]] = {n: [] for n in element_ids}
     for edge in element_edges:
         adjacency[edge.parent].append(edge.child)
         adjacency[edge.child].append(edge.parent)
 
-    use_intervals = options.use_index
+    return _Prep(
+        graph=graph,
+        document=document,
+        index=index,
+        options=options,
+        stats=stats,
+        element_ids=element_ids,
+        element_edges=element_edges,
+        value_edges=value_edges,
+        negated_edges=negated_edges,
+        static_candidates=static_candidates,
+        static_sets=static_sets,
+        adjacency=adjacency,
+        use_intervals=not options.scans_only(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Backtracking core (node-at-a-time)
+# ---------------------------------------------------------------------------
+
+def _match_backtracking(prep: _Prep) -> Iterator[Binding]:
+    """The node-at-a-time engine: one backtracking pass over every box."""
+    for row in _fragment_bindings(prep, prep.element_ids):
+        full = Binding(row)
+        ok = True
+        for condition in prep.graph.conditions:
+            prep.stats.condition_checks += 1
+            if not condition.evaluate(full, _ACCESSOR):
+                ok = False
+                break
+        if ok:
+            yield full
+
+
+def _fragment_bindings(
+    prep: _Prep, fragment_ids: Sequence[str]
+) -> Iterator[dict[str, object]]:
+    """Backtracking enumeration of one query fragment.
+
+    Yields complete assignments for ``fragment_ids`` — ordered arcs,
+    negated arcs and value circles of the fragment resolved — as plain
+    dicts.  Rule-level conditions are *not* applied here; the pipeline
+    applies them after fragments are combined, the backtracking engine
+    right after this generator.  With ``fragment_ids`` covering every box
+    this is exactly the legacy single-pass engine.
+    """
+    graph, index, options, stats = prep.graph, prep.index, prep.options, prep.stats
+    ids = set(fragment_ids)
+    element_edges = [
+        e for e in prep.element_edges if e.parent in ids and e.child in ids
+    ]
+    value_edges = [e for e in prep.value_edges if e.parent in ids]
+    negated_edges = [e for e in prep.negated_edges if e.parent in ids]
+    static_candidates = prep.static_candidates
+    static_sets = prep.static_sets
+    use_intervals = prep.use_intervals
+
+    adjacency: dict[str, list[str]] = {n: [] for n in fragment_ids}
+    for edge in element_edges:
+        adjacency[edge.parent].append(edge.child)
+        adjacency[edge.child].append(edge.parent)
 
     def estimate(node_id: str) -> int:
         """Selectivity: global tag count, sharpened to the count within an
@@ -297,13 +401,15 @@ def _match_plain(
         return best
 
     order = plan_order(
-        element_ids,
+        list(fragment_ids),
         estimate=estimate,
         adjacency=adjacency,
         enabled=options.use_planner,
     )
 
-    edges_by_endpoint: dict[str, list[ContainmentEdge]] = {n: [] for n in element_ids}
+    edges_by_endpoint: dict[str, list[ContainmentEdge]] = {
+        n: [] for n in fragment_ids
+    }
     for edge in element_edges:
         edges_by_endpoint[edge.parent].append(edge)
         edges_by_endpoint[edge.child].append(edge)
@@ -401,19 +507,389 @@ def _match_plain(
             graph, negated_edges, element_binding, index, use_intervals, stats
         ):
             continue
-        for binding in _resolve_value_patterns(
+        yield from _resolve_value_patterns(
             graph, value_edges, element_binding, stats
-        ):
-            full = Binding(binding)
-            ok = True
-            for condition in graph.conditions:
-                stats.condition_checks += 1
-                if not condition.evaluate(full, _ACCESSOR):
-                    ok = False
-                    break
-            if ok:
-                yield full
+        )
 
+
+# ---------------------------------------------------------------------------
+# Set-at-a-time pipeline
+# ---------------------------------------------------------------------------
+
+def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
+    """The set-at-a-time engine: semi-join pipeline with per-fragment
+    fallback; see the module docstring for the plan shape."""
+    graph, stats = prep.graph, prep.stats
+
+    # A circle with several parent arcs resolves against each in edge
+    # order (last write wins); that interleaving is inherently
+    # tuple-at-a-time, so keep the legacy core for the whole expansion.
+    circle_parents: dict[str, int] = {}
+    for edge in prep.value_edges:
+        circle_parents[edge.child] = circle_parents.get(edge.child, 0) + 1
+    if any(count > 1 for count in circle_parents.values()):
+        stats.pipeline_fallbacks += 1
+        yield from _match_backtracking(prep)
+        return
+
+    values_by_parent: dict[str, list[ContainmentEdge]] = {}
+    for edge in prep.value_edges:
+        values_by_parent.setdefault(edge.parent, []).append(edge)
+
+    components = connected_components(
+        prep.element_ids, [(e.parent, e.child) for e in prep.element_edges]
+    )
+    comp_plans: list[tuple[list[str], list[ContainmentEdge], bool]] = []
+    coverable_nodes: set[str] = set()
+    for component in components:
+        ids = [n for n in prep.element_ids if n in component]
+        edges = [
+            e
+            for e in prep.element_edges
+            if e.parent in component and e.child in component
+        ]
+        coverable = _coverable(prep, component, edges)
+        if coverable:
+            coverable_nodes |= component
+        comp_plans.append((ids, edges, coverable))
+
+    pushed, consumed = _push_down_conditions(
+        graph, prep.element_ids, values_by_parent, coverable_nodes
+    )
+
+    fragments: list[tuple[set[str], list[dict[str, object]]]] = []
+    for ids, edges, coverable in comp_plans:
+        if coverable:
+            stats.pipeline_fragments += 1
+            rows = _setwise_fragment(prep, ids, edges, values_by_parent, pushed)
+        else:
+            stats.pipeline_fallbacks += 1
+            rows = list(_fragment_bindings(prep, ids))
+        if not rows:
+            return  # conjunctive semantics: one empty fragment, no bindings
+        variables = set(ids) | {
+            e.child for n in ids for e in values_by_parent.get(n, ())
+        }
+        fragments.append((variables, rows))
+
+    rows = _combine_fragments(graph.conditions, fragments, consumed, stats)
+    remaining = [
+        c for i, c in enumerate(graph.conditions) if i not in consumed
+    ]
+    final: list[dict[str, object]] = []
+    for row in rows:
+        ok = True
+        for condition in remaining:
+            stats.condition_checks += 1
+            if not condition.evaluate(row, _ACCESSOR):  # type: ignore[arg-type]
+                ok = False
+                break
+        if ok:
+            final.append(row)
+    # Canonical result order: document order over the boxes in drawing
+    # order (the backtracking engines emit nested-loop order, which
+    # coincides for tree queries; sorting keeps construction — ``collect``
+    # output — deterministic regardless of join order).
+    position = prep.index.position
+    final.sort(
+        key=lambda row: tuple(position(row[n]) for n in prep.element_ids)  # type: ignore[arg-type]
+    )
+    for row in final:
+        yield Binding(row)
+
+
+def _coverable(
+    prep: _Prep, component: set[str], edges: list[ContainmentEdge]
+) -> bool:
+    """Whether one fragment fits the semi-join pipeline.
+
+    Ordered arcs (an n-ary constraint over siblings), negation parents and
+    cyclic / multi-edge skeletons stay on the backtracking core.
+    """
+    if any(e.ordered for e in edges):
+        return False
+    if any(e.parent in component for e in prep.negated_edges):
+        return False
+    return is_forest(component, [(e.parent, e.child) for e in edges])
+
+
+def _operand_variables(operand: Operand) -> set[str]:
+    if isinstance(operand, Const):
+        return set()
+    if isinstance(operand, (ContentOf, NameOf, AttributeOf)):
+        return {operand.variable}
+    if isinstance(operand, Arith):
+        return _operand_variables(operand.left) | _operand_variables(operand.right)
+    return set()
+
+
+def _push_down_conditions(
+    graph: QueryGraph,
+    element_ids: list[str],
+    values_by_parent: dict[str, list[ContainmentEdge]],
+    coverable_nodes: set[str],
+) -> tuple[dict[str, list[Condition]], set[int]]:
+    """Assign single-box conditions to their box's candidate pool.
+
+    A condition whose variables all belong to one box's *cluster* — the box
+    plus its value circles — evaluates identically on the pool row and on
+    the final binding, so it filters the pool before any join.  Only boxes
+    of set-at-a-time fragments consume conditions (fallback fragments leave
+    them for the final filter).  Returns the per-box pushed conditions and
+    the set of consumed condition indexes.
+    """
+    clusters = {
+        n: {n} | {e.child for e in values_by_parent.get(n, ())}
+        for n in element_ids
+    }
+    pushed: dict[str, list[Condition]] = {}
+    consumed: set[int] = set()
+    for idx, condition in enumerate(graph.conditions):
+        variables = condition_variables(condition)
+        if not variables:
+            continue
+        for node_id in element_ids:
+            if node_id in coverable_nodes and variables <= clusters[node_id]:
+                pushed.setdefault(node_id, []).append(condition)
+                consumed.add(idx)
+                break
+    return pushed, consumed
+
+
+def _setwise_fragment(
+    prep: _Prep,
+    ids: list[str],
+    edges: list[ContainmentEdge],
+    values_by_parent: dict[str, list[ContainmentEdge]],
+    pushed: dict[str, list[Condition]],
+) -> list[dict[str, object]]:
+    """Evaluate one acyclic fragment set-at-a-time.
+
+    Pools are filtered by required circles and pushed-down predicates,
+    edge relations materialised from the cheaper side (cost-estimated from
+    the interval index), then reduced and hash-joined by
+    :func:`repro.engine.pipeline.evaluate_forest`.
+    """
+    graph, stats = prep.graph, prep.stats
+    pools: dict[str, list[Element]] = {}
+    value_rows: dict[str, dict[int, dict[str, str]]] = {}
+    for node_id in ids:
+        pool, values = _filtered_pool(
+            prep, node_id, values_by_parent.get(node_id, ()), pushed.get(node_id, ())
+        )
+        if not pool:
+            return []
+        pools[node_id] = pool
+        value_rows[node_id] = values
+
+    relations = []
+    for edge in edges:
+        relation = relation_for(
+            edge.parent, edge.child, _edge_pairs(prep, edge, pools), stats, key=id
+        )
+        if not relation.pairs:
+            return []
+        relations.append(relation)
+
+    rows: list[dict[str, object]] = []
+    for assignment in evaluate_forest(
+        pools, relations, stats, planner_enabled=prep.options.use_planner
+    ):
+        row: dict[str, object] = dict(assignment)
+        for node_id in ids:
+            extra = value_rows[node_id].get(id(assignment[node_id]))
+            if extra:
+                row.update(extra)
+        rows.append(row)
+    return rows
+
+
+def _filtered_pool(
+    prep: _Prep,
+    node_id: str,
+    value_edges: Sequence[ContainmentEdge],
+    conditions: Sequence[Condition],
+) -> tuple[list[Element], dict[int, dict[str, str]]]:
+    """A box's candidate pool with circles resolved and predicates applied."""
+    graph, stats = prep.graph, prep.stats
+    pool: list[Element] = []
+    values: dict[int, dict[str, str]] = {}
+    for element in prep.static_candidates[node_id]:
+        row: dict[str, object] = {node_id: element}
+        ok = True
+        for edge in value_edges:
+            node = graph.nodes[edge.child]
+            stats.condition_checks += 1
+            value = _value_of(node, element)
+            if value is None:
+                ok = False
+                break
+            row[edge.child] = value
+        if not ok:
+            continue
+        for condition in conditions:
+            stats.condition_checks += 1
+            if not condition.evaluate(row, _ACCESSOR):  # type: ignore[arg-type]
+                ok = False
+                break
+        if not ok:
+            continue
+        pool.append(element)
+        if len(row) > 1:
+            del row[node_id]
+            values[id(element)] = row  # type: ignore[assignment]
+    return pool, values
+
+
+def _edge_pairs(
+    prep: _Prep, edge: ContainmentEdge, pools: dict[str, list[Element]]
+) -> Iterator[tuple[Element, Element]]:
+    """Candidate pairs satisfying one containment arc.
+
+    Direct arcs probe each child's parent pointer (O(child pool)).  Deep
+    arcs are enumerated from whichever side the interval index estimates
+    cheaper: per-parent descendant slices (bisect ranges) versus per-child
+    ancestor walks.
+    """
+    parent_pool = pools[edge.parent]
+    child_pool = pools[edge.child]
+    index, stats = prep.index, prep.stats
+    if not edge.deep:
+        parent_ids = {id(e) for e in parent_pool}
+        for child in child_pool:
+            parent = child.parent
+            if isinstance(parent, Element) and id(parent) in parent_ids:
+                yield (parent, child)
+        return
+
+    tag = prep.graph.nodes[edge.child].tag
+    # Cost estimates from the index: slices cost their output, ancestor
+    # walks cost their depth.
+    parent_cost = sum(index.tag_count_within(p, tag) for p in parent_pool)
+    child_cost = sum(index.depth(c) for c in child_pool)
+    if parent_cost <= child_cost:
+        child_ids = {id(c) for c in child_pool}
+        for parent in parent_pool:
+            stats.interval_lookups += 1
+            descendants = (
+                index.descendants_with_tag(parent, tag)
+                if tag is not None
+                else index.descendants(parent)
+            )
+            for child in descendants:
+                if id(child) in child_ids:
+                    yield (parent, child)
+    else:
+        parent_ids = {id(p) for p in parent_pool}
+        for child in child_pool:
+            for ancestor in child.ancestors():
+                if id(ancestor) in parent_ids:
+                    yield (ancestor, child)
+
+
+def _combine_fragments(
+    conditions: Sequence[Condition],
+    fragments: list[tuple[set[str], list[dict[str, object]]]],
+    consumed: set[int],
+    stats: EvalStats,
+) -> list[dict[str, object]]:
+    """Merge fragment row sets: hash equi-joins where a ``=`` condition
+    links two fragments, cross products otherwise.
+
+    Consumed condition indexes are added to ``consumed`` so the final
+    filter skips them.  Smallest fragments merge first.
+    """
+    if not fragments:
+        return []
+    join_conditions = [
+        (idx, condition, _operand_variables(condition.left),
+         _operand_variables(condition.right))
+        for idx, condition in enumerate(conditions)
+        if idx not in consumed
+        and isinstance(condition, Comparison)
+        and condition.op == "="
+        and _operand_variables(condition.left)
+        and _operand_variables(condition.right)
+    ]
+    pending = sorted(fragments, key=lambda f: len(f[1]))
+    current_vars, current_rows = pending.pop(0)
+    current_vars = set(current_vars)
+    while pending:
+        pick = None
+        for idx, condition, left_vars, right_vars in join_conditions:
+            if idx in consumed:
+                continue
+            for position, (frag_vars, _) in enumerate(pending):
+                if left_vars <= current_vars and right_vars <= frag_vars:
+                    pick = (idx, condition.left, condition.right, position)
+                    break
+                if right_vars <= current_vars and left_vars <= frag_vars:
+                    pick = (idx, condition.right, condition.left, position)
+                    break
+            if pick:
+                break
+        if pick:
+            idx, current_operand, other_operand, position = pick
+            frag_vars, frag_rows = pending.pop(position)
+            current_rows = _hash_equijoin(
+                current_rows, current_operand, frag_rows, other_operand, stats
+            )
+            consumed.add(idx)
+        else:
+            frag_vars, frag_rows = pending.pop(0)
+            current_rows = [
+                {**row, **other} for row in current_rows for other in frag_rows
+            ]
+            stats.hashjoin_rows += len(current_rows)
+        current_vars |= frag_vars
+        if not current_rows:
+            return []
+    return current_rows
+
+
+def _hash_equijoin(
+    left_rows: list[dict[str, object]],
+    left_operand: Operand,
+    right_rows: list[dict[str, object]],
+    right_operand: Operand,
+    stats: EvalStats,
+) -> list[dict[str, object]]:
+    """Join two row sets on computed operand values.
+
+    Keys normalise through :func:`repro.engine.joins.equijoin_key`, so the
+    join accepts exactly the pairs ``Comparison("=")`` would — rows whose
+    operand is ``None`` or fails to evaluate never match.
+    """
+    table: dict[object, list[dict[str, object]]] = {}
+    for row in right_rows:
+        stats.condition_checks += 1
+        try:
+            value = right_operand.evaluate(row, _ACCESSOR)  # type: ignore[arg-type]
+        except (TypeError, KeyError):
+            continue
+        key = equijoin_key(value)
+        if key is None:
+            continue
+        table.setdefault(key, []).append(row)
+    joined: list[dict[str, object]] = []
+    for row in left_rows:
+        stats.condition_checks += 1
+        try:
+            value = left_operand.evaluate(row, _ACCESSOR)  # type: ignore[arg-type]
+        except (TypeError, KeyError):
+            continue
+        key = equijoin_key(value)
+        if key is None:
+            continue
+        for other in table.get(key, ()):
+            joined.append({**row, **other})
+    stats.hashjoin_rows += len(joined)
+    return joined
+
+
+# ---------------------------------------------------------------------------
+# Shared leaf helpers
+# ---------------------------------------------------------------------------
 
 def _static_candidates(
     node: ElementPattern,
@@ -430,7 +906,7 @@ def _static_candidates(
         if node.tag is not None and root.tag != node.tag:
             return []
         return [root]
-    if not options.use_index:
+    if options.scans_only():
         stats.full_scans += 1
         if node.tag is None:
             return list(document.iter())

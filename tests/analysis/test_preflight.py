@@ -46,10 +46,10 @@ def test_preflight_can_be_disabled():
     bindings = rule_bindings(
         parse_rule(EMPTY_QUERY), DOC, stats=stats, preflight=False
     )
-    # same (empty) answer, computed the hard way
+    # same (empty) answer, computed the hard way: the matcher really ran
     assert len(bindings) == 0
     assert stats.preflight_skips == 0
-    assert stats.candidates_tried > 0
+    assert stats.index_lookups > 0
 
 
 def test_preflight_and_full_evaluation_agree():

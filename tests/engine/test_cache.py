@@ -78,3 +78,81 @@ class TestSharedCacheHelpers:
         assert invalidate(d)
         assert get_index(d) is not index
         invalidate(d)  # leave the shared cache clean
+
+
+class TestLruBound:
+    def test_eviction_at_bound(self):
+        cache = DocumentIndexCache(max_documents=2)
+        a, b, c = doc(), doc(), doc()
+        cache.get(a)
+        cache.get(b)
+        assert len(cache) == 2 and cache.evictions == 0
+        cache.get(c)  # evicts a, the least recently used
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert a not in cache and b in cache and c in cache
+
+    def test_hit_refreshes_recency(self):
+        cache = DocumentIndexCache(max_documents=2)
+        a, b, c = doc(), doc(), doc()
+        cache.get(a)
+        cache.get(b)
+        cache.get(a)  # a is now the most recently used
+        cache.get(c)  # so b is the one evicted
+        assert b not in cache and a in cache and c in cache
+
+    def test_evicted_entry_rebuilds_as_miss(self):
+        cache = DocumentIndexCache(max_documents=1)
+        a, b = doc(), doc()
+        first = cache.get(a)
+        cache.get(b)
+        assert cache.get(a) is not first
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_unbounded_never_evicts(self):
+        cache = DocumentIndexCache(max_documents=None)
+        documents = [doc() for _ in range(100)]
+        for d in documents:
+            cache.get(d)
+        assert len(cache) == 100 and cache.evictions == 0
+
+    def test_bound_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DocumentIndexCache(max_documents=0)
+
+
+class TestStatsMirroring:
+    def test_get_mirrors_hit_and_miss_into_stats(self):
+        from repro.engine.stats import EvalStats
+
+        cache = DocumentIndexCache()
+        d = doc()
+        stats = EvalStats()
+        cache.get(d, stats=stats)
+        assert stats.cache_misses == 1 and stats.cache_hits == 0
+        cache.get(d, stats=stats)
+        assert stats.cache_misses == 1 and stats.cache_hits == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_hits_share_one_index(self):
+        import threading
+
+        cache = DocumentIndexCache(max_documents=4)
+        d = doc()
+        results = []
+
+        def worker():
+            for _ in range(200):
+                results.append(cache.get(d))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(map(id, results))) == 1
+        assert cache.misses >= 1  # concurrent first builds may race benignly
+        assert len(cache) == 1

@@ -1,0 +1,209 @@
+"""Unit tests for the set-at-a-time join layer (joins.py + pipeline.py)."""
+
+import pytest
+
+from repro.engine.joins import (
+    EdgeRelation,
+    equijoin_key,
+    join_forest,
+    semijoin_reduce,
+)
+from repro.engine.pipeline import (
+    connected_components,
+    evaluate_forest,
+    is_forest,
+    relation_for,
+)
+from repro.engine.stats import EvalStats
+
+
+class TestEquijoinKey:
+    def test_numeric_coercion_collides_equal_atoms(self):
+        assert equijoin_key("007") == equijoin_key(7) == equijoin_key(7.0)
+
+    def test_booleans_key_as_numbers(self):
+        assert equijoin_key(True) == equijoin_key(1)
+        assert equijoin_key(False) == equijoin_key(0)
+
+    def test_strings_key_canonically(self):
+        assert equijoin_key("abc") == equijoin_key("abc")
+        assert equijoin_key("abc") != equijoin_key("abd")
+
+    def test_none_is_none(self):
+        assert equijoin_key(None) is None
+
+
+class TestEdgeRelation:
+    def relation(self):
+        return EdgeRelation("a", "b", [(1, 10), (1, 11), (2, 10)], key=lambda x: x)
+
+    def test_len_vars_other(self):
+        rel = self.relation()
+        assert len(rel) == 3
+        assert rel.vars() == ("a", "b")
+        assert rel.other("a") == "b"
+        assert rel.other("b") == "a"
+
+    def test_by_side_groups_partners(self):
+        rel = self.relation()
+        assert rel.by_side("a") == {1: [10, 11], 2: [10]}
+        assert rel.by_side("b") == {10: [1, 2], 11: [1]}
+
+    def test_restrict_drops_and_invalidates(self):
+        rel = self.relation()
+        rel.by_side("a")  # build the lazy grouping, then invalidate it
+        removed = rel.restrict(left_keys={1}, right_keys={10})
+        assert removed == 2
+        assert rel.pairs == [(1, 10)]
+        assert rel.by_side("a") == {1: [10]}
+
+    def test_restrict_none_means_no_filter(self):
+        rel = self.relation()
+        assert rel.restrict() == 0
+        assert rel.restrict(left_keys={1}) == 1
+
+
+def chain_setup():
+    """a -> b -> c chain with one dangling candidate at each level."""
+    pools = {"a": [1, 2], "b": [10, 11, 12], "c": [100]}
+    r_ab = EdgeRelation("a", "b", [(1, 10), (2, 11), (2, 12)], key=lambda x: x)
+    r_bc = EdgeRelation("b", "c", [(10, 100)], key=lambda x: x)
+    order = ["a", "b", "c"]
+    parent_of = {"b": ("a", r_ab), "c": ("b", r_bc)}
+    return pools, [r_ab, r_bc], order, parent_of
+
+
+class TestSemijoinReduce:
+    def test_full_reduction_removes_all_dangling(self):
+        pools, relations, order, parent_of = chain_setup()
+        stats = EvalStats()
+        assert semijoin_reduce(pools, relations, order, parent_of, stats)
+        # only a=1, b=10, c=100 survive: 2/11/12 reach no c
+        assert pools == {"a": [1], "b": [10], "c": [100]}
+        assert stats.semijoins > 0
+        # dropped: b=11 and b=12 (no c partner), then a=2 (its b's are gone)
+        assert stats.semijoin_dropped == 3
+        for relation in relations:
+            assert all(
+                left in pools[relation.left_var]
+                and right in pools[relation.right_var]
+                for left, right in relation.pairs
+            )
+
+    def test_empty_pool_reports_no_results(self):
+        pools, relations, order, parent_of = chain_setup()
+        pools["c"] = []  # no c candidate at all
+        assert not semijoin_reduce(pools, relations, order, parent_of, EvalStats())
+
+
+class TestJoinForest:
+    def test_joins_along_tree(self):
+        pools, relations, order, parent_of = chain_setup()
+        stats = EvalStats()
+        assert semijoin_reduce(pools, relations, order, parent_of, stats)
+        rows = list(join_forest(pools, order, parent_of, stats))
+        assert rows == [{"a": 1, "b": 10, "c": 100}]
+        assert stats.hashjoin_rows > 0
+
+    def test_roots_cross_product(self):
+        pools = {"a": [1, 2], "b": [10, 11]}
+        rows = list(join_forest(pools, ["a", "b"], {}, EvalStats()))
+        assert sorted((r["a"], r["b"]) for r in rows) == [
+            (1, 10), (1, 11), (2, 10), (2, 11),
+        ]
+
+    def test_empty_root_pool_yields_nothing(self):
+        assert list(join_forest({"a": []}, ["a"], {}, EvalStats())) == []
+
+
+class TestForestHelpers:
+    def test_connected_components(self):
+        components = connected_components(
+            ["a", "b", "c", "d"], [("a", "b"), ("c", "c")]
+        )
+        assert sorted(sorted(c, key=str) for c in components) == [
+            ["a", "b"], ["c"], ["d"],
+        ]
+
+    def test_is_forest_accepts_trees_and_forests(self):
+        assert is_forest(["a", "b", "c"], [("a", "b"), ("a", "c")])
+        assert is_forest(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        assert is_forest(["a"], [])
+
+    def test_is_forest_rejects_cycles(self):
+        assert not is_forest(["a", "b", "c"], [("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_is_forest_rejects_parallel_edges_and_self_loops(self):
+        assert not is_forest(["a", "b"], [("a", "b"), ("a", "b")])
+        assert not is_forest(["a", "b"], [("b", "a"), ("a", "b")])
+        assert not is_forest(["a"], [("a", "a")])
+
+
+class TestEvaluateForest:
+    def test_chain_query(self):
+        stats = EvalStats()
+        pools = {"a": [1, 2], "b": [10, 11, 12], "c": [100]}
+        relations = [
+            relation_for(
+                "a", "b", [(1, 10), (2, 11), (2, 12)], stats, key=lambda x: x
+            ),
+            relation_for("b", "c", [(10, 100)], stats, key=lambda x: x),
+        ]
+        rows = list(evaluate_forest(pools, relations, stats))
+        assert rows == [{"a": 1, "b": 10, "c": 100}]
+        assert stats.relation_pairs == 4
+        assert stats.edge_checks == 2
+
+    def test_planner_off_agrees_with_planner_on(self):
+        def build():
+            stats = EvalStats()
+            pools = {"a": [1, 2], "b": [10, 11], "c": [100, 101]}
+            relations = [
+                relation_for(
+                    "b", "a", [(10, 1), (11, 2)], stats, key=lambda x: x
+                ),
+                relation_for(
+                    "b", "c", [(10, 100), (10, 101)], stats, key=lambda x: x
+                ),
+            ]
+            return pools, relations, stats
+
+        pools, relations, stats = build()
+        planned = sorted(
+            tuple(sorted(r.items())) for r in evaluate_forest(pools, relations, stats)
+        )
+        pools, relations, stats = build()
+        unplanned = sorted(
+            tuple(sorted(r.items()))
+            for r in evaluate_forest(pools, relations, stats, planner_enabled=False)
+        )
+        assert planned == unplanned == [
+            (("a", 1), ("b", 10), ("c", 100)),
+            (("a", 1), ("b", 10), ("c", 101)),
+        ]
+
+    def test_disconnected_trees_cross_product(self):
+        stats = EvalStats()
+        pools = {"a": [1], "b": [10], "x": [7, 8]}
+        relations = [relation_for("a", "b", [(1, 10)], stats, key=lambda x: x)]
+        rows = list(evaluate_forest(pools, relations, stats))
+        assert sorted((r["a"], r["b"], r["x"]) for r in rows) == [
+            (1, 10, 7), (1, 10, 8),
+        ]
+
+    def test_cyclic_structure_raises(self):
+        stats = EvalStats()
+        pools = {"a": [1], "b": [2], "c": [3]}
+        relations = [
+            relation_for("a", "b", [(1, 2)], stats, key=lambda x: x),
+            relation_for("b", "c", [(2, 3)], stats, key=lambda x: x),
+            relation_for("c", "a", [(3, 1)], stats, key=lambda x: x),
+        ]
+        with pytest.raises(ValueError, match="cyclic"):
+            list(evaluate_forest(pools, relations, stats))
+
+    def test_empty_relation_short_circuits(self):
+        stats = EvalStats()
+        pools = {"a": [1], "b": [10]}
+        relations = [relation_for("a", "b", [], stats, key=lambda x: x)]
+        assert list(evaluate_forest(pools, relations, stats)) == []

@@ -1,12 +1,19 @@
-"""Randomized ablation-equivalence suite for the XML-GL matcher.
+"""Randomized engine-equivalence suite for the XML-GL matcher.
 
 Seeded generators build random documents and random (always-valid) query
-graphs; every case asserts that all four ``MatchOptions`` ablation
-combinations — which include the interval-backed indexed path
-(``use_index=True``) versus the naive full-scan path (``use_index=False``)
-— produce *identical* binding sets.  The naive path is the differential
-oracle: it never touches the interval encoding, so agreement here is the
-correctness argument for the index-driven candidate narrowing.
+graphs; every case asserts that all engine/ablation combinations — the
+set-at-a-time semi-join **pipeline** (default), the interval-**indexed**
+backtracking core and the **naive** full-scan path, each with the planner
+on and off — produce *identical* binding multisets.  The naive path is the
+differential oracle: it touches neither the interval encoding nor the join
+pipeline, so agreement here is the correctness argument for both.
+
+The query generator deliberately produces the shapes that stress the
+pipeline's fragment logic: negated and ordered arcs (per-fragment
+fallback), or-groups (branch expansion before engine dispatch), DAG
+edges between existing boxes (cyclic skeletons → fallback), detached
+boxes (cross products), and value equi-join conditions linking detached
+fragments (hash equi-joins).
 """
 
 import random
@@ -14,6 +21,7 @@ import random
 import pytest
 
 from repro.engine.bindings import value_key
+from repro.engine.conditions import AttributeOf, Comparison, Const
 from repro.ssd.model import Document, Element
 from repro.xmlgl.ast import (
     AttributePattern,
@@ -31,10 +39,14 @@ VALUES = ["1", "2", "3"]
 TEXTS = ["x", "y", "zz"]
 
 CONFIGS = [
-    MatchOptions(use_planner=True, use_index=True),
-    MatchOptions(use_planner=False, use_index=True),
+    MatchOptions(engine="pipeline", use_planner=True),
+    MatchOptions(engine="pipeline", use_planner=False),
+    MatchOptions(engine="backtracking", use_planner=True),
+    MatchOptions(engine="backtracking", use_planner=False),
+    MatchOptions(engine="naive", use_planner=True),
+    MatchOptions(engine="naive", use_planner=False),
+    # legacy spelling of the ablation knobs still works
     MatchOptions(use_planner=True, use_index=False),
-    MatchOptions(use_planner=False, use_index=False),
 ]
 
 
@@ -177,6 +189,40 @@ def random_query(rng: random.Random) -> QueryGraph:
             )
         graph.add_or_group(OrGroup(alternatives=tuple(branches)))
 
+    # a DAG edge between existing boxes: diamonds and parallel edges make
+    # the fragment cyclic, forcing the pipeline's backtracking fallback
+    if rng.random() < 0.3 and len(boxes) >= 3:
+        i, j = sorted(rng.sample(range(len(boxes)), 2))
+        graph.add_edge(
+            ContainmentEdge(
+                boxes[i],
+                boxes[j],
+                deep=rng.random() < 0.5,
+                position=next_position(boxes[i]),
+            )
+        )
+
+    # a single-box predicate the pipeline can push into the candidate pool
+    if rng.random() < 0.3:
+        box = rng.choice(boxes)
+        graph.add_condition(
+            Comparison("=", AttributeOf(box, rng.choice(ATTRS)), Const(rng.choice(VALUES)))
+        )
+
+    # a detached box, sometimes tied back by a value equi-join condition
+    # (hash join between fragments), sometimes left as a cross product
+    if rng.random() < 0.35:
+        detached = fresh("n")
+        graph.add_node(ElementPattern(detached, tag=random_tag()))
+        if rng.random() < 0.7:
+            graph.add_condition(
+                Comparison(
+                    "=",
+                    AttributeOf(root_id, rng.choice(ATTRS)),
+                    AttributeOf(detached, rng.choice(ATTRS)),
+                )
+            )
+
     return graph
 
 
@@ -188,8 +234,8 @@ def binding_multiset(bindings):
     )
 
 
-@pytest.mark.parametrize("seed", range(40))
-def test_all_ablation_configs_agree(seed):
+@pytest.mark.parametrize("seed", range(80))
+def test_all_engine_configs_agree(seed):
     rng = random.Random(seed)
     document = random_document(rng)
     graph = random_query(rng)
@@ -197,8 +243,42 @@ def test_all_ablation_configs_agree(seed):
         binding_multiset(match(graph, document, options=options))
         for options in CONFIGS
     ]
+    for options, other in zip(CONFIGS[1:], results[1:]):
+        assert other == results[0], (
+            f"seed {seed}: {options} diverged from {CONFIGS[0]}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(200, 230))
+def test_fallback_fragments_agree(seed):
+    """Shapes that force the pipeline's per-fragment fallback: a negated
+    arc plus an ordered pair on one parent, alongside a coverable chain."""
+    rng = random.Random(seed)
+    document = random_document(rng)
+    graph = QueryGraph()
+    graph.add_node(ElementPattern("P", tag=rng.choice(TAGS)))
+    graph.add_node(ElementPattern("O1", tag=random_tag_of(rng)))
+    graph.add_node(ElementPattern("O2", tag=random_tag_of(rng)))
+    graph.add_edge(ContainmentEdge("P", "O1", ordered=True, position=1))
+    graph.add_edge(ContainmentEdge("P", "O2", ordered=True, position=2))
+    graph.add_node(ElementPattern("N", tag=rng.choice(TAGS)))
+    graph.add_edge(
+        ContainmentEdge("P", "N", negated=True, deep=rng.random() < 0.5, position=3)
+    )
+    # a second, coverable fragment evaluated set-at-a-time alongside
+    graph.add_node(ElementPattern("X", tag=rng.choice(TAGS)))
+    graph.add_node(ElementPattern("Y", tag=random_tag_of(rng)))
+    graph.add_edge(ContainmentEdge("X", "Y", deep=rng.random() < 0.5, position=1))
+    results = [
+        binding_multiset(match(graph, document, options=options))
+        for options in CONFIGS
+    ]
     for other in results[1:]:
-        assert other == results[0], f"seed {seed} diverged across ablations"
+        assert other == results[0], f"seed {seed} diverged on fallback shapes"
+
+
+def random_tag_of(rng):
+    return rng.choice(TAGS) if rng.random() < 0.8 else None
 
 
 @pytest.mark.parametrize("seed", range(40, 60))

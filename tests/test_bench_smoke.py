@@ -2,7 +2,7 @@
 
 import json
 
-from repro.bench_smoke import QUERIES, main, run_suite
+from repro.bench_smoke import QUERIES, check_baseline, main, run_suite
 
 
 def test_run_suite_shape_and_agreement():
@@ -10,8 +10,10 @@ def test_run_suite_shape_and_agreement():
     assert set(report["queries"]) == {name for name, *_ in QUERIES}
     for entry in report["queries"].values():
         assert entry["indexed"]["bindings"] == entry["naive"]["bindings"]
+        assert entry["pipeline"]["bindings"] == entry["indexed"]["bindings"]
         assert entry["work_ratio"] >= 1.0
         assert entry["indexed"]["seconds"] > 0
+        assert entry["pipeline"]["seconds"] > 0
 
 
 def test_descendant_heavy_work_reduction():
@@ -22,23 +24,53 @@ def test_descendant_heavy_work_reduction():
         assert entry["work_ratio"] >= 2.0
 
 
+def test_join_heavy_pipeline_work_reduction():
+    report = run_suite(bib_entries=30, sections_depth=4, repeat=1)
+    joins = [e for e in report["queries"].values() if e["join_heavy"]]
+    assert joins
+    for entry in joins:
+        # the semi-join plan replaces per-candidate search with wholesale
+        # set operations; its residual work is a fraction of backtracking's
+        assert entry["pipeline_work_ratio"] <= 0.5
+
+
+def test_check_baseline_flags_only_regressions():
+    report = run_suite(bib_entries=20, sections_depth=4, repeat=1)
+    assert check_baseline(report, report) == []
+    worse = json.loads(json.dumps(report))
+    name = next(iter(worse["queries"]))
+    worse["queries"][name]["indexed"]["work"] *= 10
+    warnings = check_baseline(worse, report)
+    assert len(warnings) == 1
+    assert name in warnings[0]
+    # missing queries in either report never trip the check
+    del worse["queries"][name]
+    assert check_baseline(worse, report) == []
+
+
 def test_main_writes_json(tmp_path, capsys):
     out = tmp_path / "bench.json"
-    assert (
-        main(
-            [
-                "-o",
-                str(out),
-                "--bib-entries",
-                "20",
-                "--sections-depth",
-                "4",
-                "--repeat",
-                "1",
-            ]
-        )
-        == 0
-    )
+    args = [
+        "-o", str(out),
+        "--bib-entries", "20",
+        "--sections-depth", "4",
+        "--repeat", "1",
+    ]
+    assert main(args) == 0
     report = json.loads(out.read_text())
-    assert report["schema_version"] == 1
-    assert "worst work ratio" in capsys.readouterr().out
+    assert report["schema_version"] == 2
+    assert "history" not in report
+    out_text = capsys.readouterr().out
+    assert "worst work ratio" in out_text
+    assert "worst pipeline speedup" in out_text
+
+    # a second run with --append-history and --baseline carries history
+    # forward and reports no regressions against itself
+    assert main(args + ["--baseline", str(out), "--append-history"]) == 0
+    report2 = json.loads(out.read_text())
+    assert len(report2["history"]) == 1
+    assert "timestamp" in report2["history"][0]
+    assert "no work regressions" in capsys.readouterr().out
+    assert main(args + ["--baseline", str(out), "--append-history"]) == 0
+    report3 = json.loads(out.read_text())
+    assert len(report3["history"]) == 2

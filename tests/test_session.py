@@ -112,3 +112,68 @@ class TestMultiSourceSession:
             "query books { book as B } construct { r { count(B) } }"
         )
         assert result.root.text_content() == "2"
+
+
+class TestRunBatch:
+    QUERIES = [ALL, RECENT, COUNT]
+
+    def test_batch_matches_serial_runs(self):
+        session = QuerySession(DOC)
+        serial = [session.run(q) for q in self.QUERIES]
+        batch = QuerySession(DOC).run_batch(self.QUERIES)
+        assert [r.index for r in batch] == [0, 1, 2]
+        for expected, result in zip(serial, batch):
+            assert result.ok
+            from repro.ssd import serialize
+
+            assert serialize(result.result) == serialize(expected)
+
+    def test_batch_does_not_enter_history(self):
+        session = QuerySession(DOC)
+        session.run_batch(self.QUERIES)
+        assert len(session) == 0
+        with pytest.raises(ReproError):
+            session.current()
+
+    def test_per_query_stats_and_timing(self):
+        results = QuerySession(DOC).run_batch([ALL, COUNT])
+        assert results[0].stats is not results[1].stats
+        assert results[0].stats.bindings_produced == 2
+        assert all(r.seconds >= 0 for r in results)
+        assert results[0].source_text == ALL
+
+    def test_parse_errors_raise_before_any_evaluation(self):
+        session = QuerySession(DOC)
+        with pytest.raises(ReproError):
+            session.run_batch([ALL, "query { oops"])
+
+    def test_evaluation_errors_captured_per_query(self):
+        # an undeclared source name fails at evaluation time, not parse time
+        bad = "query nosuch { book as B } construct { r { count(B) } }"
+        results = QuerySession({"books": DOC}).run_batch(
+            ["query books { book as B } construct { r { count(B) } }", bad]
+        )
+        assert results[0].ok
+        assert not results[1].ok
+        assert isinstance(results[1].error, ReproError)
+        assert results[1].result is None
+
+    def test_empty_batch(self):
+        assert QuerySession(DOC).run_batch([]) == []
+
+    def test_indexes_prewarmed_once_and_shared(self):
+        from repro.engine.cache import DocumentIndexCache
+
+        cache = DocumentIndexCache()
+        session = QuerySession(DOC, indexes=cache)
+        results = session.run_batch(self.QUERIES, max_workers=3)
+        assert all(r.ok for r in results)
+        assert cache.misses == 1  # built once on the calling thread
+        assert cache.hits >= len(self.QUERIES)
+
+    def test_rule_objects_in_batch(self):
+        q = QueryBuilder()
+        q.box("book", id="B")
+        rule = Rule([q.graph()], elem("r", collect("B")))
+        results = QuerySession(DOC).run_batch([rule])
+        assert results[0].ok and results[0].source_text is None

@@ -320,8 +320,22 @@ class TestStatsAndOptions:
         stats = EvalStats()
         match(q.graph(), bib, stats=stats)
         assert stats.bindings_produced == 3
-        assert stats.candidates_tried > 0
+        # default engine is the set-at-a-time pipeline: work shows up as
+        # join rows, not per-candidate trials
+        assert stats.pipeline_fragments == 1
+        assert stats.hashjoin_rows > 0
         assert stats.edge_checks > 0
+
+    def test_stats_populated_backtracking(self, bib):
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        q.box("title", id="T", parent=book)
+        stats = EvalStats()
+        match(q.graph(), bib, options=MatchOptions(engine="backtracking"), stats=stats)
+        assert stats.bindings_produced == 3
+        assert stats.candidates_tried + stats.interval_candidates > 0
+        assert stats.edge_checks > 0
+        assert stats.pipeline_fragments == 0
 
     def test_planner_and_index_toggles_same_result(self, bib):
         q = QueryBuilder()
