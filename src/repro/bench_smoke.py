@@ -26,6 +26,13 @@ committed report and prints a GitHub ``::warning::`` annotation for every
 regression beyond 20% — but always exits 0 (fails-soft; the CI bench job
 is informative, not gating).  ``--append-history`` carries the baseline's
 ``history`` forward and appends one timestamped summary record per run.
+
+The report also carries a ``tracing`` block: the observability guard runs
+the join-heavy query with span recording on and off, *asserts* the work
+counters are identical (tracing must observe the engine, never steer it),
+and records ``overhead_ratio`` (traced / untraced wall time) plus the
+disabled-path timing so the cost of the dormant instrumentation stays on
+the perf trajectory.
 """
 
 from __future__ import annotations
@@ -58,6 +65,9 @@ ENGINES: list[tuple[str, MatchOptions]] = [
 
 #: Work regression tolerated before --baseline warns (fails-soft).
 REGRESSION_TOLERANCE = 0.20
+
+#: Query the tracing-overhead guard measures (join-heavy: deepest span tree).
+TRACING_GUARD_QUERY = "fig_q3/join"
 
 # (name, dsl text, dataset, descendant_heavy, join_heavy)
 QUERIES: list[tuple[str, str, str, bool, bool]] = [
@@ -143,6 +153,51 @@ def _time_and_count(
     return best, counters, len(bindings)
 
 
+def measure_tracing_overhead(
+    graph: QueryGraph,
+    document: Document,
+    index: DocumentIndex,
+    repeat: int,
+) -> dict:
+    """The observability guard: tracing observes, it must never steer.
+
+    Runs the query on the pipeline engine with span recording off and on,
+    best-of-``repeat`` each.  Asserts bindings and every work counter are
+    identical between the two — a divergence means the instrumentation
+    changed what the engine did, which is a bug, so this fails hard.  The
+    returned block records both timings and their ratio.
+    """
+    traced = MatchOptions(engine="pipeline", trace=True)
+
+    def best_of(options: MatchOptions) -> tuple[float, dict, int]:
+        stats = EvalStats()
+        bindings = match(
+            graph, document, options=options, index=index, stats=stats
+        )
+        best = stats.seconds
+        for _ in range(repeat - 1):
+            fresh = EvalStats()
+            started = time.perf_counter()
+            match(graph, document, options=options, index=index, stats=fresh)
+            best = min(best, time.perf_counter() - started)
+        counters = stats.as_dict()
+        counters.pop("seconds", None)
+        return best, counters, len(bindings)
+
+    off_seconds, off_counters, off_bindings = best_of(PIPELINE)
+    on_seconds, on_counters, on_bindings = best_of(traced)
+    assert off_bindings == on_bindings, "tracing changed the result size"
+    assert off_counters == on_counters, "tracing changed the work counters"
+    return {
+        "query": TRACING_GUARD_QUERY,
+        "counters_identical": True,
+        "bindings": off_bindings,
+        "disabled_seconds": off_seconds,
+        "traced_seconds": on_seconds,
+        "overhead_ratio": round(on_seconds / max(off_seconds, 1e-9), 3),
+    }
+
+
 def run_suite(
     bib_entries: int = 400,
     sections_depth: int = 7,
@@ -201,6 +256,14 @@ def run_suite(
             2,
         )
         report["queries"][name] = entry
+    guard_text = next(q[1] for q in QUERIES if q[0] == TRACING_GUARD_QUERY)
+    guard_dataset = next(q[2] for q in QUERIES if q[0] == TRACING_GUARD_QUERY)
+    report["tracing"] = measure_tracing_overhead(
+        _first_graph(guard_text),
+        datasets[guard_dataset],
+        indexes[guard_dataset],
+        repeat,
+    )
     return report
 
 
@@ -321,6 +384,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if joins:
         worst_join = min(entry["pipeline_speedup"] for _, entry in joins)
         print(f"join-heavy (j) worst pipeline speedup: {worst_join}x")
+    tracing = report["tracing"]
+    print(
+        f"tracing overhead ({tracing['query']}): "
+        f"{tracing['disabled_seconds'] * 1000:.2f}ms untraced -> "
+        f"{tracing['traced_seconds'] * 1000:.2f}ms traced "
+        f"({tracing['overhead_ratio']}x), counters identical"
+    )
 
     if baseline is not None:
         regressions = check_baseline(report, baseline)

@@ -4,6 +4,8 @@ Everything the library does, scriptable from a shell::
 
     python -m repro xmlgl rule.xgl data.xml            # run a query
     python -m repro xmlgl rule.xgl a.xml --source b=c.xml
+    python -m repro run rule.xgl data.xml --trace      # run + span tree
+    python -m repro explain rule.xgl                   # EXPLAIN ANALYZE
     python -m repro wglog rules.wgl data.xml --apply   # generative semantics
     python -m repro lint rule.xgl --format json        # static analysis
     python -m repro render rule.xgl -o figure.svg      # draw the query
@@ -49,6 +51,58 @@ def build_parser() -> argparse.ArgumentParser:
     xmlgl.add_argument(
         "--stats", action="store_true",
         help="print evaluation counters (EvalStats) to stderr",
+    )
+
+    run = commands.add_parser(
+        "run", help="run an XML-GL rule with observability (tracing/EXPLAIN)"
+    )
+    run.add_argument("rule", help="rule/program file (XML-GL DSL)")
+    run.add_argument("document", nargs="?", help="input XML document")
+    run.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="named source document (repeatable)",
+    )
+    run.add_argument("--compact", action="store_true", help="no pretty printing")
+    run.add_argument(
+        "--trace", action="store_true",
+        help="record spans and print the span tree to stderr after the result",
+    )
+    run.add_argument(
+        "--explain", action="store_true",
+        help="print the EXPLAIN report instead of the result document",
+    )
+    run.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="EXPLAIN output format (with --explain)",
+    )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="print the process metrics snapshot (JSON) to stderr afterwards",
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE an XML-GL rule: join forest, engine decisions, "
+        "semi-join pool sizes",
+    )
+    explain.add_argument("rule", help="rule file (XML-GL DSL)")
+    explain.add_argument(
+        "document", nargs="?",
+        help="input XML document (default: built-in synthetic bibliography)",
+    )
+    explain.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="named source document (repeatable)",
+    )
+    explain.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report output format",
     )
 
     wglog = commands.add_parser("wglog", help="run WG-Log rules over bridged XML")
@@ -139,6 +193,28 @@ def _load_document(path: str):
     return parse_document(_read(path))
 
 
+def _gather_sources(args: argparse.Namespace):
+    """Sources from positional ``document`` + repeatable ``--source NAME=FILE``.
+
+    Returns ``None`` when the arguments were malformed (an error has been
+    printed) and the sentinel ``{}`` when no document at all was named —
+    callers decide whether that is an error or means "use a default".
+    """
+    sources: dict = {}
+    for spec in args.source:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--source expects NAME=FILE, got {spec!r}", file=sys.stderr)
+            return None
+        sources[name] = _load_document(path)
+    if args.document:
+        if sources:
+            sources.setdefault("input", _load_document(args.document))
+        else:
+            return _load_document(args.document)
+    return sources
+
+
 def _cmd_xmlgl(args: argparse.Namespace, out) -> int:
     from .engine.stats import EvalStats
     from .ssd import pretty, serialize
@@ -146,19 +222,10 @@ def _cmd_xmlgl(args: argparse.Namespace, out) -> int:
     from .xmlgl.dsl import parse_program
 
     program = parse_program(_read(args.rule))
-    sources: dict = {}
-    for spec in args.source:
-        name, _, path = spec.partition("=")
-        if not path:
-            print(f"--source expects NAME=FILE, got {spec!r}", file=sys.stderr)
-            return 2
-        sources[name] = _load_document(path)
-    if args.document:
-        if sources:
-            sources.setdefault("input", _load_document(args.document))
-        else:
-            sources = _load_document(args.document)
-    elif not sources:
+    sources = _gather_sources(args)
+    if sources is None:
+        return 2
+    if not sources:
         print("no input document given", file=sys.stderr)
         return 2
     stats = EvalStats()
@@ -168,6 +235,70 @@ def _cmd_xmlgl(args: argparse.Namespace, out) -> int:
         for counter, amount in stats.as_dict().items():
             shown = f"{amount:.6f}" if counter == "seconds" else str(amount)
             print(f"# {counter}: {shown}", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    import time
+
+    from .engine.metrics import global_registry
+    from .engine.stats import EvalStats
+    from .engine.trace import Tracer
+    from .ssd import pretty, serialize
+    from .xmlgl import evaluate_program
+    from .xmlgl.dsl import parse_program
+
+    program = parse_program(_read(args.rule))
+    sources = _gather_sources(args)
+    if sources is None:
+        return 2
+    if args.explain:
+        from .explain import explain
+
+        if len(program.rules) > 1:
+            print(
+                "# note: explaining the first of "
+                f"{len(program.rules)} rules",
+                file=sys.stderr,
+            )
+        report = explain(program.rules[0], sources if sources else None)
+        print(report.render(args.format), file=out)
+        if args.metrics:
+            print(global_registry.to_json(), file=sys.stderr)
+        return 0
+    if not sources:
+        print("no input document given", file=sys.stderr)
+        return 2
+    stats = EvalStats()
+    if args.trace:
+        stats.trace = Tracer()
+    started = time.perf_counter()
+    result = evaluate_program(program, sources, stats=stats)
+    elapsed = time.perf_counter() - started
+    global_registry.record(stats, seconds=elapsed, query=args.rule)
+    print(serialize(result) if args.compact else pretty(result), file=out)
+    if args.trace:
+        print(stats.trace.render_text(), file=sys.stderr)
+    if args.metrics:
+        print(global_registry.to_json(), file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    from .explain import explain
+    from .xmlgl.dsl import parse_program
+
+    program = parse_program(_read(args.rule))
+    sources = _gather_sources(args)
+    if sources is None:
+        return 2
+    if len(program.rules) > 1:
+        print(
+            f"# note: explaining the first of {len(program.rules)} rules",
+            file=sys.stderr,
+        )
+    report = explain(program.rules[0], sources if sources else None)
+    print(report.render(args.format), file=out)
     return 0
 
 
@@ -339,6 +470,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "xmlgl": _cmd_xmlgl,
+        "run": _cmd_run,
+        "explain": _cmd_explain,
         "wglog": _cmd_wglog,
         "lint": _cmd_lint,
         "render": _cmd_render,

@@ -21,11 +21,13 @@ from .conditions import (
 from .cache import DocumentIndexCache, get_index, invalidate, shared_cache
 from .index import DocumentIndex
 from .joins import EdgeRelation, equijoin_key
+from .metrics import MetricsRegistry, global_registry
 from .narrowing import intersect_pools
 from .options import MatchOptions
 from .pipeline import connected_components, evaluate_forest, is_forest
 from .planner import plan_order
 from .stats import EvalStats
+from .trace import Span, Tracer
 
 __all__ = [
     "Binding", "BindingSet", "value_key",
@@ -36,4 +38,5 @@ __all__ = [
     "shared_cache", "intersect_pools", "plan_order", "EvalStats",
     "MatchOptions", "EdgeRelation", "equijoin_key",
     "connected_components", "evaluate_forest", "is_forest",
+    "Span", "Tracer", "MetricsRegistry", "global_registry",
 ]

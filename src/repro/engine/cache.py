@@ -66,6 +66,11 @@ class DocumentIndexCache:
         # the dict on every hit — guard it so concurrent batch evaluation
         # (QuerySession.run_batch) can share one cache.
         self._lock = threading.Lock()
+        # Dead-document removals the weakref callback could not perform
+        # because the lock was busy; drained under the lock on the next
+        # cache operation.  A plain list: append/pop are atomic under the
+        # GIL, so the callback never needs the lock to defer.
+        self._pending_drops: list[tuple[int, weakref.ref]] = []
         self.max_documents = max_documents
         self.hits = 0
         self.misses = 0
@@ -77,39 +82,97 @@ class DocumentIndexCache:
         """The cached index for ``document``, building it on first use.
 
         Passing ``stats`` mirrors the hit/miss into that evaluation's
-        ``cache_hits`` / ``cache_misses`` counters.
+        ``cache_hits`` / ``cache_misses`` counters — and, when the stats
+        carry a tracer, records an ``index.lookup`` span whose ``outcome``
+        attribute is ``hit``, ``built`` or ``raced`` (another thread built
+        the index first).
         """
+        tracer = stats.trace if stats is not None else None
+        if tracer is None:
+            return self._lookup(document, stats)[0]
+        with tracer.span("index.lookup") as span:
+            index, outcome = self._lookup(document, stats)
+            span["outcome"] = outcome
+            span["elements"] = index.element_count()
+        return index
+
+    def _lookup(
+        self, document: Document, stats: Optional[EvalStats]
+    ) -> tuple[DocumentIndex, str]:
         key = id(document)
         with self._lock:
+            self._flush_pending_drops()
             entry = self._entries.get(key)
             if entry is not None and entry[0]() is document:
-                self.hits += 1
-                if stats is not None:
-                    stats.cache_hits += 1
-                # refresh recency
-                self._entries[key] = self._entries.pop(key)
-                return entry[1]
+                self._record_hit(key, stats)
+                return entry[1], "hit"
             self.misses += 1
             if stats is not None:
                 stats.cache_misses += 1
         # build outside the lock: indexing a large document must not stall
         # every other thread's cache hits
         index = DocumentIndex(document)
-
-        def _dropped(_ref: weakref.ref, key: int = key) -> None:
-            self._entries.pop(key, None)
-
+        ref = weakref.ref(document, self._make_drop_callback(key))
         with self._lock:
+            self._flush_pending_drops()
             entry = self._entries.get(key)
             if entry is not None and entry[0]() is document:
-                return entry[1]  # another thread built it first
-            self._entries[key] = (weakref.ref(document, _dropped), index)
+                # Another thread built it first.  Count the hit and refresh
+                # recency: without the refresh a concurrently-hot document
+                # keeps its stale LRU position and becomes the next
+                # eviction victim despite being the busiest entry.
+                self._record_hit(key, stats)
+                return entry[1], "raced"
+            self._entries[key] = (ref, index)
             if self.max_documents is not None:
                 while len(self._entries) > self.max_documents:
                     oldest = next(iter(self._entries))
                     del self._entries[oldest]
                     self.evictions += 1
-        return index
+        return index, "built"
+
+    def _record_hit(self, key: int, stats: Optional[EvalStats]) -> None:
+        """Tally a hit and move ``key`` to most-recently-used (lock held)."""
+        self.hits += 1
+        if stats is not None:
+            stats.cache_hits += 1
+        self._entries[key] = self._entries.pop(key)
+
+    def _make_drop_callback(self, key: int):
+        """The weakref callback dropping ``key`` once its document dies.
+
+        ``id()`` values are recycled: after an eviction, a *new* live
+        document can occupy the same key, so removal must check that the
+        entry still belongs to the dying reference (``entry[0] is ref`` —
+        the ref object's identity, never the recycled id).  The callback
+        can fire on any thread — including re-entrantly on a thread that
+        already holds ``_lock`` (a GC run inside a locked section) — so it
+        only tries the lock without blocking and defers to
+        ``_pending_drops`` when the lock is busy.
+        """
+
+        def _dropped(ref: weakref.ref) -> None:
+            if self._lock.acquire(blocking=False):
+                try:
+                    self._drop_if_current(key, ref)
+                finally:
+                    self._lock.release()
+            else:
+                self._pending_drops.append((key, ref))
+
+        return _dropped
+
+    def _drop_if_current(self, key: int, ref: weakref.ref) -> None:
+        """Remove ``key`` if it still holds ``ref``'s entry (lock held)."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is ref:
+            del self._entries[key]
+
+    def _flush_pending_drops(self) -> None:
+        """Apply removals a busy lock made the callback defer (lock held)."""
+        while self._pending_drops:
+            key, ref = self._pending_drops.pop()
+            self._drop_if_current(key, ref)
 
     def peek(self, document: Document) -> DocumentIndex | None:
         """The cached index, or ``None`` — never builds, never reorders."""
@@ -121,11 +184,13 @@ class DocumentIndexCache:
     def invalidate(self, document: Document) -> bool:
         """Drop ``document``'s entry (after mutation); True if one existed."""
         with self._lock:
+            self._flush_pending_drops()
             return self._entries.pop(id(document), None) is not None
 
     def clear(self) -> None:
         """Drop every entry."""
         with self._lock:
+            del self._pending_drops[:]
             self._entries.clear()
 
     def __len__(self) -> int:

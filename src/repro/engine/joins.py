@@ -29,6 +29,7 @@ from typing import Any, Callable, Hashable, Iterable, Iterator, Optional, Sequen
 
 from ..ssd.datatypes import coerce
 from .stats import EvalStats
+from .trace import span as trace_span
 
 __all__ = ["EdgeRelation", "equijoin_key", "semijoin_reduce", "join_forest"]
 
@@ -130,6 +131,7 @@ def _semijoin(
     relation: EdgeRelation,
     keep_var: Hashable,
     stats: EvalStats,
+    direction: str,
 ) -> None:
     """Reduce ``pools[keep_var]`` to candidates with a partner in ``relation``."""
     present = set(relation.by_side(keep_var))
@@ -138,6 +140,15 @@ def _semijoin(
     stats.semijoins += 1
     stats.semijoin_dropped += len(pool) - len(kept)
     pools[keep_var] = kept
+    if stats.trace is not None:
+        stats.trace.event(
+            "semijoin",
+            var=str(keep_var),
+            via=f"{relation.left_var}-{relation.right_var}",
+            direction=direction,
+            before=len(pool),
+            after=len(kept),
+        )
 
 
 def semijoin_reduce(
@@ -162,33 +173,38 @@ def semijoin_reduce(
         True otherwise.  After a True return every remaining candidate
         participates in at least one final assignment.
     """
-    # Bottom-up: children reduce their parents before the parents reduce
-    # anything above them.
-    for var in reversed(order):
-        entry = parent_of.get(var)
-        if entry is None:
-            continue
-        parent_var, relation = entry
-        relation.restrict(
-            left_keys={relation.key(c) for c in pools[relation.left_var]},
-            right_keys={relation.key(c) for c in pools[relation.right_var]},
-        )
-        _semijoin(pools, relation, parent_var, stats)
-        if not pools[parent_var]:
-            return False
-    # Top-down: parents reduce their children.
-    for var in order:
-        entry = parent_of.get(var)
-        if entry is None:
-            continue
-        parent_var, relation = entry
-        relation.restrict(
-            left_keys={relation.key(c) for c in pools[relation.left_var]},
-            right_keys={relation.key(c) for c in pools[relation.right_var]},
-        )
-        _semijoin(pools, relation, var, stats)
-        if not pools[var]:
-            return False
+    with trace_span(stats.trace, "reduce") as reduce_span:
+        if reduce_span is not None:
+            reduce_span["before"] = {str(v): len(p) for v, p in pools.items()}
+        # Bottom-up: children reduce their parents before the parents reduce
+        # anything above them.
+        for var in reversed(order):
+            entry = parent_of.get(var)
+            if entry is None:
+                continue
+            parent_var, relation = entry
+            relation.restrict(
+                left_keys={relation.key(c) for c in pools[relation.left_var]},
+                right_keys={relation.key(c) for c in pools[relation.right_var]},
+            )
+            _semijoin(pools, relation, parent_var, stats, "bottom-up")
+            if not pools[parent_var]:
+                return False
+        # Top-down: parents reduce their children.
+        for var in order:
+            entry = parent_of.get(var)
+            if entry is None:
+                continue
+            parent_var, relation = entry
+            relation.restrict(
+                left_keys={relation.key(c) for c in pools[relation.left_var]},
+                right_keys={relation.key(c) for c in pools[relation.right_var]},
+            )
+            _semijoin(pools, relation, var, stats, "top-down")
+            if not pools[var]:
+                return False
+        if reduce_span is not None:
+            reduce_span["after"] = {str(v): len(p) for v, p in pools.items()}
     return True
 
 
@@ -207,27 +223,31 @@ def join_forest(
     dies, so the row count only tracks true results.
     """
     rows: list[dict[Hashable, Any]] = [{}]
-    for var in order:
-        entry = parent_of.get(var)
-        extended: list[dict[Hashable, Any]] = []
-        if entry is None:
-            pool = pools[var]
-            for row in rows:
-                for candidate in pool:
-                    new_row = dict(row)
-                    new_row[var] = candidate
-                    extended.append(new_row)
-        else:
-            parent_var, relation = entry
-            partners = relation.by_side(parent_var)
-            key = relation.key
-            for row in rows:
-                for candidate in partners.get(key(row[parent_var]), ()):
-                    new_row = dict(row)
-                    new_row[var] = candidate
-                    extended.append(new_row)
-        stats.hashjoin_rows += len(extended)
-        rows = extended
-        if not rows:
-            return
-    yield from rows
+    with trace_span(stats.trace, "assemble") as assemble_span:
+        for var in order:
+            entry = parent_of.get(var)
+            extended: list[dict[Hashable, Any]] = []
+            if entry is None:
+                pool = pools[var]
+                for row in rows:
+                    for candidate in pool:
+                        new_row = dict(row)
+                        new_row[var] = candidate
+                        extended.append(new_row)
+            else:
+                parent_var, relation = entry
+                partners = relation.by_side(parent_var)
+                key = relation.key
+                for row in rows:
+                    for candidate in partners.get(key(row[parent_var]), ()):
+                        new_row = dict(row)
+                        new_row[var] = candidate
+                        extended.append(new_row)
+            stats.hashjoin_rows += len(extended)
+            rows = extended
+            if not rows:
+                break
+        if assemble_span is not None:
+            assemble_span["rows"] = len(rows)
+    if rows:
+        yield from rows

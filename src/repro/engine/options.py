@@ -23,6 +23,12 @@ XML-GL document matcher and the WG-Log graph matcher both honour:
   over from the node-at-a-time engine.  ``use_index=False`` implies the
   naive engine (the pipeline builds its pools and relations from the
   index, so it degrades to backtracking without one).
+
+* ``trace`` — record a span tree (:mod:`repro.engine.trace`) of the
+  evaluation.  The matchers attach a fresh
+  :class:`~repro.engine.trace.Tracer` to the evaluation's ``EvalStats``
+  unless the caller installed one already; sessions expose the recorded
+  tree on ``QueryCycle.trace`` / ``BatchResult.trace``.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ class MatchOptions:
     use_planner: bool = True
     use_index: bool = True
     engine: str = "pipeline"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:

@@ -31,6 +31,7 @@ from typing import Any, Hashable, Iterable, Iterator, Optional, Sequence
 from .joins import EdgeRelation, join_forest, semijoin_reduce
 from .planner import plan_order
 from .stats import EvalStats
+from .trace import span as trace_span
 
 __all__ = ["connected_components", "is_forest", "evaluate_forest", "relation_for"]
 
@@ -106,32 +107,45 @@ def evaluate_forest(
         adjacency[relation.left_var].append(relation.right_var)
         adjacency[relation.right_var].append(relation.left_var)
 
-    order = plan_order(
-        variables,
-        estimate=lambda var: len(pools[var]),
-        adjacency=adjacency,
-        enabled=planner_enabled,
-    )
+    with trace_span(stats.trace, "plan") as plan_span:
+        order = plan_order(
+            variables,
+            estimate=lambda var: len(pools[var]),
+            adjacency=adjacency,
+            enabled=planner_enabled,
+        )
 
-    # Root the forest along the planner order: the first placed endpoint of
-    # each relation becomes the parent of the other.
-    relations_by_var: dict[Var, list[EdgeRelation]] = {var: [] for var in variables}
-    for relation in relations:
-        relations_by_var[relation.left_var].append(relation)
-        relations_by_var[relation.right_var].append(relation)
-    placed: set[Var] = set()
-    parent_of: dict[Var, tuple[Var, EdgeRelation]] = {}
-    for var in order:
-        for relation in relations_by_var[var]:
-            other = relation.other(var)
-            if other in placed:
-                if var in parent_of:
-                    raise ValueError(
-                        "cyclic join structure: "
-                        f"variable {var!r} reaches two placed parents"
-                    )
-                parent_of[var] = (other, relation)
-        placed.add(var)
+        # Root the forest along the planner order: the first placed endpoint
+        # of each relation becomes the parent of the other.
+        relations_by_var: dict[Var, list[EdgeRelation]] = {
+            var: [] for var in variables
+        }
+        for relation in relations:
+            relations_by_var[relation.left_var].append(relation)
+            relations_by_var[relation.right_var].append(relation)
+        placed: set[Var] = set()
+        parent_of: dict[Var, tuple[Var, EdgeRelation]] = {}
+        for var in order:
+            for relation in relations_by_var[var]:
+                other = relation.other(var)
+                if other in placed:
+                    if var in parent_of:
+                        raise ValueError(
+                            "cyclic join structure: "
+                            f"variable {var!r} reaches two placed parents"
+                        )
+                    parent_of[var] = (other, relation)
+            placed.add(var)
+        if plan_span is not None:
+            plan_span["order"] = [str(var) for var in order]
+            plan_span["pool_sizes"] = {
+                str(var): len(pools[var]) for var in order
+            }
+            plan_span["forest"] = [
+                {"var": str(var), "parent": str(parent)}
+                for var, (parent, _) in parent_of.items()
+            ]
+            plan_span["planner"] = "cost" if planner_enabled else "input-order"
 
     if not semijoin_reduce(pools, relations, order, parent_of, stats):
         return

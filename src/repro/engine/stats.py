@@ -41,7 +41,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:
+    from .trace import Tracer
 
 __all__ = ["EvalStats"]
 
@@ -90,6 +93,11 @@ class EvalStats:
     cache_misses: int = 0
     seconds: float = 0.0
     extra: dict[str, int] = field(default_factory=dict)
+    #: Optional span recorder (:class:`repro.engine.trace.Tracer`).  Not a
+    #: counter: excluded from :meth:`as_dict`, and merging keeps the first
+    #: non-``None`` tracer.  Instrumentation sites guard on ``is None``, so
+    #: the default costs nothing on the hot path.
+    trace: Optional["Tracer"] = field(default=None, repr=False, compare=False)
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named ad-hoc counter."""
@@ -116,4 +124,5 @@ class EvalStats:
         )
         for key in set(self.extra) | set(other.extra):
             merged.extra[key] = self.extra.get(key, 0) + other.extra.get(key, 0)
+        merged.trace = self.trace if self.trace is not None else other.trace
         return merged

@@ -25,6 +25,7 @@ from typing import Callable, Hashable, Iterator, Optional
 from ..engine.narrowing import intersect_pools
 from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
 from ..engine.stats import EvalStats
+from ..engine.trace import span as trace_span
 from .labeled_graph import Edge, LabeledGraph
 from .traversal import reachable_by_labels
 
@@ -230,7 +231,15 @@ def find_homomorphisms_setwise(
         return
     if spec.injective:
         stats.pipeline_fallbacks += 1
-        yield from find_homomorphisms(pattern, data, spec)
+        stats.bump("fallback_injective")
+        with trace_span(
+            stats.trace,
+            "match.fragment",
+            variables=[str(p) for p in pattern_nodes],
+            decision="fallback",
+            reason="injective",
+        ):
+            yield from find_homomorphisms(pattern, data, spec)
         return
 
     compat = spec.node_compat or _default_compat(pattern, data)
@@ -242,24 +251,39 @@ def find_homomorphisms_setwise(
     for component in components:
         nodes = [p for p in pattern_nodes if p in component]
         edges = [e for e in all_edges if e.source in component]
-        if _setwise_coverable(component, edges, spec):
-            stats.pipeline_fragments += 1
-            rows = _setwise_component(nodes, edges, data, compat, stats)
-        else:
-            stats.pipeline_fallbacks += 1
-            subspec = MatchSpec(
-                injective=False,
-                node_compat=compat,
-                path_edges={e for e in spec.path_edges if e.source in component},
-                negated_edges={e for e in spec.negated_edges if e.source in component},
-                narrow=spec.narrow,
-            )
-            rows = [
-                dict(m)
-                for m in find_homomorphisms(
-                    pattern.subgraph(nodes), data, subspec
+        fallback_reason = _setwise_fallback_reason(component, edges, spec)
+        with trace_span(
+            stats.trace,
+            "match.fragment",
+            variables=[str(p) for p in nodes],
+            decision="pipeline" if fallback_reason is None else "fallback",
+            reason=fallback_reason,
+        ) as fragment_span:
+            if fallback_reason is None:
+                stats.pipeline_fragments += 1
+                rows = _setwise_component(nodes, edges, data, compat, stats)
+            else:
+                stats.pipeline_fallbacks += 1
+                stats.bump(f"fallback_{fallback_reason}")
+                subspec = MatchSpec(
+                    injective=False,
+                    node_compat=compat,
+                    path_edges={
+                        e for e in spec.path_edges if e.source in component
+                    },
+                    negated_edges={
+                        e for e in spec.negated_edges if e.source in component
+                    },
+                    narrow=spec.narrow,
                 )
-            ]
+                rows = [
+                    dict(m)
+                    for m in find_homomorphisms(
+                        pattern.subgraph(nodes), data, subspec
+                    )
+                ]
+            if fragment_span is not None:
+                fragment_span["rows"] = len(rows)
         if not rows:
             return
         per_component.append(rows)
@@ -270,13 +294,21 @@ def find_homomorphisms_setwise(
         yield merged
 
 
-def _setwise_coverable(
+def _setwise_fallback_reason(
     component: set[NodeId], edges: list[Edge], spec: MatchSpec
-) -> bool:
-    """One component fits the pipeline: direct forest, nothing special."""
-    if any(e in spec.path_edges or e in spec.negated_edges for e in edges):
-        return False
-    return is_forest(component, [(e.source, e.target) for e in edges])
+) -> Optional[str]:
+    """Why one component cannot run on the pipeline (``None`` = it can).
+
+    Reason strings are stable identifiers shared with EXPLAIN output and
+    the ``fallback_<reason>`` counters.
+    """
+    if any(e in spec.path_edges for e in edges):
+        return "path-edge"
+    if any(e in spec.negated_edges for e in edges):
+        return "negated"
+    if not is_forest(component, [(e.source, e.target) for e in edges]):
+        return "cyclic"
+    return None
 
 
 def _setwise_key(candidate: NodeId) -> NodeId:

@@ -24,7 +24,9 @@ from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence, Union
 
 from .engine.cache import DocumentIndexCache, shared_cache
+from .engine.metrics import MetricsRegistry
 from .engine.stats import EvalStats
+from .engine.trace import Tracer
 from .errors import ReproError
 from .ssd.model import Document
 from .xmlgl.dsl import parse_rule
@@ -47,6 +49,8 @@ class QueryCycle:
     result: Document
     stats: EvalStats
     seconds: float
+    #: Recorded span tree when the cycle ran with tracing enabled.
+    trace: Optional[Tracer] = None
 
     def describe(self) -> str:
         root = self.result.root
@@ -69,6 +73,8 @@ class BatchResult:
     stats: EvalStats
     seconds: float
     error: Optional[ReproError] = None
+    #: Recorded span tree when the batch ran with tracing enabled.
+    trace: Optional[Tracer] = None
 
     @property
     def ok(self) -> bool:
@@ -83,6 +89,7 @@ class QuerySession:
         sources: Sources,
         options: Optional[MatchOptions] = None,
         indexes: Optional[DocumentIndexCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._sources = sources
         self._options = options
@@ -90,24 +97,45 @@ class QuerySession:
         # sessions over one document share a single snapshot; pass a
         # private DocumentIndexCache to isolate (e.g. mutation-heavy use).
         self._indexes = indexes if indexes is not None else shared_cache
+        # Metrics default to a private registry so a session's totals stay
+        # attributable; pass repro.engine.metrics.global_registry to pool
+        # several sessions into the process-wide aggregate.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._cycles: list[QueryCycle] = []
         self._position = -1  # index of the current cycle
 
     # -- running ---------------------------------------------------------------
 
-    def run(self, query: Union[str, Rule]) -> Document:
+    def _tracing(self, trace: Optional[bool]) -> bool:
+        if trace is not None:
+            return trace
+        return self._options.trace if self._options is not None else False
+
+    def run(
+        self, query: Union[str, Rule], trace: Optional[bool] = None
+    ) -> Document:
         """Execute a query; it becomes the current cycle.
 
         Running while positioned back in history truncates the forward
         cycles (browser semantics).  Returns the result document.
+
+        ``trace`` overrides the session options' ``trace`` flag for this
+        cycle; the recorded span tree lands on ``QueryCycle.trace``.  Every
+        run is folded into the session's :meth:`metrics` registry.
         """
+        tracer = Tracer() if self._tracing(trace) else None
         if isinstance(query, str):
-            rule = parse_rule(query)
+            if tracer is not None:
+                with tracer.span("parse"):
+                    rule = parse_rule(query)
+            else:
+                rule = parse_rule(query)
             source_text = query
         else:
             rule = query
             source_text = None
         stats = EvalStats()
+        stats.trace = tracer
         started = time.perf_counter()
         result = Document(
             evaluate_rule(
@@ -115,6 +143,7 @@ class QuerySession:
             )
         )
         elapsed = time.perf_counter() - started
+        self._metrics.record(stats, seconds=elapsed, query=source_text)
         del self._cycles[self._position + 1 :]
         cycle = QueryCycle(
             index=len(self._cycles),
@@ -123,6 +152,7 @@ class QuerySession:
             result=result,
             stats=stats,
             seconds=elapsed,
+            trace=tracer,
         )
         self._cycles.append(cycle)
         self._position = len(self._cycles) - 1
@@ -132,6 +162,7 @@ class QuerySession:
         self,
         queries: Sequence[Union[str, Rule]],
         max_workers: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> list[BatchResult]:
         """Evaluate many queries against the session's sources concurrently.
 
@@ -146,7 +177,14 @@ class QuerySession:
         batch; parse errors raise immediately, before any evaluation
         starts.  A batch does not enter the cycle history — it is a bulk
         measurement, not a refinement step.
+
+        With tracing on (``trace=True``, or the session options' flag),
+        every row gets its own :class:`~repro.engine.trace.Tracer` on
+        ``BatchResult.trace`` — per-query span trees even under
+        concurrency, because the tracer rides on the row's private
+        ``EvalStats``.  Every row is folded into :meth:`metrics`.
         """
+        tracing = self._tracing(trace)
         prepared: list[tuple[Rule, Optional[str]]] = []
         for query in queries:
             if isinstance(query, str):
@@ -159,6 +197,8 @@ class QuerySession:
         def evaluate_one(item: tuple[int, tuple[Rule, Optional[str]]]) -> BatchResult:
             position, (rule, source_text) = item
             stats = EvalStats()
+            if tracing:
+                stats.trace = Tracer()
             result: Optional[Document] = None
             error: Optional[ReproError] = None
             started = time.perf_counter()
@@ -171,6 +211,12 @@ class QuerySession:
             except ReproError as exc:
                 error = exc
             elapsed = time.perf_counter() - started
+            self._metrics.record(
+                stats,
+                seconds=elapsed,
+                query=source_text,
+                error=error is not None,
+            )
             return BatchResult(
                 index=position,
                 source_text=source_text,
@@ -179,6 +225,7 @@ class QuerySession:
                 stats=stats,
                 seconds=elapsed,
                 error=error,
+                trace=stats.trace,
             )
 
         if not prepared:
@@ -212,6 +259,28 @@ class QuerySession:
         else:
             rule = query
         return analyze_rule(rule)
+
+    def explain(self, query: Union[str, Rule, None] = None):
+        """EXPLAIN a query against the session's own sources and indexes.
+
+        With no argument, explains the current cycle's rule — "what did my
+        last refinement actually do?".  Runs the query with tracing forced
+        on (this is EXPLAIN ANALYZE; the run does not enter the cycle
+        history) and returns an :class:`~repro.explain.Explanation`.
+        """
+        from .explain import explain as explain_rule
+
+        if query is None:
+            rule: Union[str, Rule] = self.current().rule
+        else:
+            rule = query
+        return explain_rule(
+            rule, self._sources, options=self._options, indexes=self._indexes
+        )
+
+    def metrics(self) -> MetricsRegistry:
+        """The session's metrics registry (every run/run_batch is folded in)."""
+        return self._metrics
 
     # -- navigation -------------------------------------------------------------
 

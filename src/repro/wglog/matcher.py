@@ -23,6 +23,7 @@ from ..engine.bindings import Binding, BindingSet
 from ..engine.conditions import condition_variables
 from ..engine.options import MatchOptions
 from ..engine.stats import EvalStats
+from ..engine.trace import Tracer, span as trace_span
 from ..errors import QueryStructureError, SchemaError
 from ..graph.labeled_graph import Edge, LabeledGraph
 from ..graph.matching import MatchSpec, find_homomorphisms, find_homomorphisms_setwise
@@ -119,6 +120,8 @@ def embeddings(
         check_against_schema(rule, schema)
     options = options or MatchOptions()
     stats = stats if stats is not None else EvalStats()
+    if options.trace and stats.trace is None:
+        stats.trace = Tracer()
     if preflight:
         from ..analysis.preflight import wglog_preflight
 
@@ -137,31 +140,34 @@ def embeddings(
         negated_edges=spec_edges["negated"],
         narrow=engine != "naive",
     )
-    if engine == "pipeline":
-        mappings = find_homomorphisms_setwise(
-            pattern, instance.graph, spec, stats=stats
-        )
-    else:
-        mappings = find_homomorphisms(pattern, instance.graph, spec)
-
     results = BindingSet()
-    for mapping in mappings:
-        stats.candidates_tried += 1
-        if any(
-            _fragment_exists(rule, instance, fragment, crossed, mapping, injective)
-            for crossed, fragment in fragments
-        ):
-            continue
-        binding = Binding(mapping)
-        ok = True
-        for condition in rule.conditions:
-            stats.condition_checks += 1
-            if not condition.evaluate(binding, accessor):
-                ok = False
-                break
-        if ok:
-            results.add(binding)
-            stats.bindings_produced += 1
+    with trace_span(stats.trace, "match", engine=engine, language="wglog"):
+        if engine == "pipeline":
+            mappings = find_homomorphisms_setwise(
+                pattern, instance.graph, spec, stats=stats
+            )
+        else:
+            mappings = find_homomorphisms(pattern, instance.graph, spec)
+
+        for mapping in mappings:
+            stats.candidates_tried += 1
+            if any(
+                _fragment_exists(
+                    rule, instance, fragment, crossed, mapping, injective
+                )
+                for crossed, fragment in fragments
+            ):
+                continue
+            binding = Binding(mapping)
+            ok = True
+            for condition in rule.conditions:
+                stats.condition_checks += 1
+                if not condition.evaluate(binding, accessor):
+                    ok = False
+                    break
+            if ok:
+                results.add(binding)
+                stats.bindings_produced += 1
     return results
 
 

@@ -13,6 +13,7 @@ from ..engine.bindings import BindingSet
 from ..engine.cache import DocumentIndexCache, shared_cache
 from ..engine.conditions import DocumentAccessor
 from ..engine.stats import EvalStats
+from ..engine.trace import Tracer, span as trace_span
 from ..errors import EvaluationError
 from ..ssd.model import Document, Element
 from .ast import QueryGraph
@@ -70,18 +71,36 @@ def rule_bindings(
     any document, counted in ``stats.preflight_skips``.
     """
     stats = stats if stats is not None else EvalStats()
+    if options is not None and options.trace and stats.trace is None:
+        stats.trace = Tracer()
     if preflight:
         from ..analysis.preflight import xmlgl_preflight
 
-        if xmlgl_preflight(rule) is not None:
+        with trace_span(stats.trace, "preflight") as preflight_span:
+            verdict = xmlgl_preflight(rule)
+            if preflight_span is not None:
+                preflight_span["skipped"] = verdict is not None
+        if verdict is not None:
             stats.preflight_skips += 1
             return BindingSet()
     cache = indexes if indexes is not None else shared_cache
     combined: Optional[BindingSet] = None
-    for graph in rule.queries:
+    for position, graph in enumerate(rule.queries):
         document = _resolve_source(graph, sources)
         index = cache.get(document, stats=stats)
-        bindings = match(graph, document, options=options, index=index, stats=stats)
+        with trace_span(
+            stats.trace,
+            "match",
+            graph=position,
+            source=graph.source or "-",
+            engine=(options or MatchOptions()).resolved_engine(),
+            language="xmlgl",
+        ) as match_span:
+            bindings = match(
+                graph, document, options=options, index=index, stats=stats
+            )
+            if match_span is not None:
+                match_span["bindings"] = len(bindings)
         combined = bindings if combined is None else combined.join(bindings)
         if not combined:
             return BindingSet()
@@ -102,7 +121,13 @@ def evaluate_rule(
 ) -> Element:
     """Evaluate one rule to its constructed result element."""
     bindings = rule_bindings(rule, sources, options, stats, indexes)
-    return build(rule.construct, bindings)
+    tracer = stats.trace if stats is not None else None
+    with trace_span(tracer, "construct") as construct_span:
+        result = build(rule.construct, bindings)
+        if construct_span is not None:
+            construct_span["bindings"] = len(bindings)
+            construct_span["nodes"] = result.size()
+    return result
 
 
 def evaluate_program(

@@ -73,6 +73,7 @@ from ..engine.options import MatchOptions
 from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
 from ..engine.planner import plan_order
 from ..engine.stats import EvalStats
+from ..engine.trace import Tracer, span as trace_span
 from ..errors import QueryStructureError
 from ..ssd.model import Document, Element
 from .ast import (
@@ -108,6 +109,8 @@ def match(
     _check_condition_scope(graph)
     options = options or MatchOptions()
     stats = stats if stats is not None else EvalStats()
+    if options.trace and stats.trace is None:
+        stats.trace = Tracer()
     index = index or DocumentIndex(document)
     engine = options.resolved_engine()
 
@@ -520,6 +523,7 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
     """The set-at-a-time engine: semi-join pipeline with per-fragment
     fallback; see the module docstring for the plan shape."""
     graph, stats = prep.graph, prep.stats
+    tracer = stats.trace
 
     # A circle with several parent arcs resolves against each in edge
     # order (last write wins); that interleaving is inherently
@@ -529,7 +533,15 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
         circle_parents[edge.child] = circle_parents.get(edge.child, 0) + 1
     if any(count > 1 for count in circle_parents.values()):
         stats.pipeline_fallbacks += 1
-        yield from _match_backtracking(prep)
+        stats.bump("fallback_multi-parent-circle")
+        with trace_span(
+            tracer,
+            "match.fragment",
+            variables=list(prep.element_ids),
+            decision="fallback",
+            reason="multi-parent-circle",
+        ):
+            yield from _match_backtracking(prep)
         return
 
     values_by_parent: dict[str, list[ContainmentEdge]] = {}
@@ -539,7 +551,7 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
     components = connected_components(
         prep.element_ids, [(e.parent, e.child) for e in prep.element_edges]
     )
-    comp_plans: list[tuple[list[str], list[ContainmentEdge], bool]] = []
+    comp_plans: list[tuple[list[str], list[ContainmentEdge], Optional[str]]] = []
     coverable_nodes: set[str] = set()
     for component in components:
         ids = [n for n in prep.element_ids if n in component]
@@ -548,23 +560,36 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
             for e in prep.element_edges
             if e.parent in component and e.child in component
         ]
-        coverable = _coverable(prep, component, edges)
-        if coverable:
+        fallback_reason = _fallback_reason(prep, component, edges)
+        if fallback_reason is None:
             coverable_nodes |= component
-        comp_plans.append((ids, edges, coverable))
+        comp_plans.append((ids, edges, fallback_reason))
 
     pushed, consumed = _push_down_conditions(
         graph, prep.element_ids, values_by_parent, coverable_nodes
     )
 
     fragments: list[tuple[set[str], list[dict[str, object]]]] = []
-    for ids, edges, coverable in comp_plans:
-        if coverable:
-            stats.pipeline_fragments += 1
-            rows = _setwise_fragment(prep, ids, edges, values_by_parent, pushed)
-        else:
-            stats.pipeline_fallbacks += 1
-            rows = list(_fragment_bindings(prep, ids))
+    for ids, edges, fallback_reason in comp_plans:
+        decision = "pipeline" if fallback_reason is None else "fallback"
+        with trace_span(
+            tracer,
+            "match.fragment",
+            variables=ids,
+            decision=decision,
+            reason=fallback_reason,
+        ) as fragment_span:
+            if fallback_reason is None:
+                stats.pipeline_fragments += 1
+                rows = _setwise_fragment(
+                    prep, ids, edges, values_by_parent, pushed
+                )
+            else:
+                stats.pipeline_fallbacks += 1
+                stats.bump(f"fallback_{fallback_reason}")
+                rows = list(_fragment_bindings(prep, ids))
+            if fragment_span is not None:
+                fragment_span["rows"] = len(rows)
         if not rows:
             return  # conjunctive semantics: one empty fragment, no bindings
         variables = set(ids) | {
@@ -598,19 +623,23 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
         yield Binding(row)
 
 
-def _coverable(
+def _fallback_reason(
     prep: _Prep, component: set[str], edges: list[ContainmentEdge]
-) -> bool:
-    """Whether one fragment fits the semi-join pipeline.
+) -> Optional[str]:
+    """Why one fragment cannot run on the semi-join pipeline (or ``None``).
 
     Ordered arcs (an n-ary constraint over siblings), negation parents and
-    cyclic / multi-edge skeletons stay on the backtracking core.
+    cyclic / multi-edge skeletons stay on the backtracking core.  The
+    returned reason string is stable — EXPLAIN output, fallback counters
+    (``stats.extra["fallback_<reason>"]``) and the trace all carry it.
     """
     if any(e.ordered for e in edges):
-        return False
+        return "ordered"
     if any(e.parent in component for e in prep.negated_edges):
-        return False
-    return is_forest(component, [(e.parent, e.child) for e in edges])
+        return "negated"
+    if not is_forest(component, [(e.parent, e.child) for e in edges]):
+        return "cyclic"
+    return None
 
 
 def _operand_variables(operand: Operand) -> set[str]:
@@ -671,25 +700,37 @@ def _setwise_fragment(
     :func:`repro.engine.pipeline.evaluate_forest`.
     """
     graph, stats = prep.graph, prep.stats
+    tracer = stats.trace
     pools: dict[str, list[Element]] = {}
     value_rows: dict[str, dict[int, dict[str, str]]] = {}
-    for node_id in ids:
-        pool, values = _filtered_pool(
-            prep, node_id, values_by_parent.get(node_id, ()), pushed.get(node_id, ())
-        )
-        if not pool:
-            return []
-        pools[node_id] = pool
-        value_rows[node_id] = values
+    with trace_span(tracer, "fragment.pools") as pools_span:
+        for node_id in ids:
+            pool, values = _filtered_pool(
+                prep,
+                node_id,
+                values_by_parent.get(node_id, ()),
+                pushed.get(node_id, ()),
+            )
+            if pools_span is not None:
+                pools_span.attributes.setdefault("sizes", {})[node_id] = len(pool)
+            if not pool:
+                return []
+            pools[node_id] = pool
+            value_rows[node_id] = values
 
     relations = []
-    for edge in edges:
-        relation = relation_for(
-            edge.parent, edge.child, _edge_pairs(prep, edge, pools), stats, key=id
-        )
-        if not relation.pairs:
-            return []
-        relations.append(relation)
+    with trace_span(tracer, "fragment.relations") as relations_span:
+        for edge in edges:
+            relation = relation_for(
+                edge.parent, edge.child, _edge_pairs(prep, edge, pools), stats, key=id
+            )
+            if relations_span is not None:
+                relations_span.attributes.setdefault("pairs", {})[
+                    f"{edge.parent}-{edge.child}"
+                ] = len(relation)
+            if not relation.pairs:
+                return []
+            relations.append(relation)
 
     rows: list[dict[str, object]] = []
     for assignment in evaluate_forest(

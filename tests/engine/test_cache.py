@@ -136,6 +136,161 @@ class TestStatsMirroring:
         assert stats.cache_misses == 1 and stats.cache_hits == 1
 
 
+class TestDropCallbackIdentity:
+    """Regressions for the weakref-callback eviction race.
+
+    ``id()`` values are recycled: after an entry is replaced (eviction,
+    invalidate + rebuild, or a new document landing on a reused id), the
+    *old* document's death callback must not remove the new entry."""
+
+    def test_stale_callback_never_drops_recycled_key(self):
+        import gc
+        import weakref
+
+        from repro.engine.index import DocumentIndex
+
+        cache = DocumentIndexCache()
+        a = doc()
+        cache.get(a)
+        key = id(a)
+        stale_ref = cache._entries[key][0]  # keeps a's ref (and callback) alive
+        # simulate id() recycling: a new live document now owns the key
+        b = doc()
+        cache._entries[key] = (weakref.ref(b), DocumentIndex(b))
+        del a
+        gc.collect()  # fires a's death callback with the stale ref
+        assert key in cache._entries
+        assert cache._entries[key][0]() is b
+        assert stale_ref() is None
+
+    def test_callback_defers_when_lock_busy(self):
+        # A GC run can fire the callback on a thread that already holds the
+        # (non-reentrant) cache lock; it must defer, not deadlock.
+        cache = DocumentIndexCache()
+        a = doc()
+        cache.get(a)
+        key = id(a)
+        ref = cache._entries[key][0]
+        callback = cache._make_drop_callback(key)
+        with cache._lock:
+            callback(ref)  # simulated re-entrant firing
+            assert cache._pending_drops == [(key, ref)]
+            assert key in cache._entries  # removal deferred, not performed
+        cache.get(doc())  # any later cache operation drains the deferral
+        assert key not in cache._entries
+        assert cache._pending_drops == []
+
+    def test_deferred_drop_ignores_recycled_key(self):
+        import weakref
+
+        from repro.engine.index import DocumentIndex
+
+        cache = DocumentIndexCache()
+        a = doc()
+        cache.get(a)
+        key = id(a)
+        stale_ref = cache._entries[key][0]
+        callback = cache._make_drop_callback(key)
+        with cache._lock:
+            callback(stale_ref)  # deferred while the lock is busy
+        b = doc()
+        cache._entries[key] = (weakref.ref(b), DocumentIndex(b))
+        cache.get(doc())  # drains the deferral; identity check protects b
+        assert cache._entries[key][0]() is b
+
+    def test_clear_discards_pending_drops(self):
+        cache = DocumentIndexCache()
+        a = doc()
+        cache.get(a)
+        key = id(a)
+        with cache._lock:
+            cache._make_drop_callback(key)(cache._entries[key][0])
+        cache.clear()
+        assert cache._pending_drops == []
+        assert len(cache) == 0
+
+
+class TestRacedBuildRecency:
+    """Regression: the "another thread built it first" return path must
+    refresh LRU recency and mirror the hit into the caller's stats."""
+
+    def _race(self, cache, winner_doc, monkeypatch):
+        """Make the next ``cache.get(winner_doc)`` lose the build race."""
+        import weakref
+
+        import repro.engine.cache as cache_mod
+        from repro.engine.index import DocumentIndex
+
+        real_cls = DocumentIndex
+        raced_index = real_cls(winner_doc)
+
+        def fake_index(document):
+            # while "we" are building, another thread finishes first and
+            # inserts its entry at the LRU (oldest) position
+            cache._entries[id(winner_doc)] = (
+                weakref.ref(winner_doc),
+                raced_index,
+            )
+            for key in [k for k in cache._entries if k != id(winner_doc)]:
+                cache._entries[key] = cache._entries.pop(key)
+            return real_cls(document)
+
+        monkeypatch.setattr(cache_mod, "DocumentIndex", fake_index)
+        return raced_index
+
+    def test_raced_return_counts_hit_and_mirrors_stats(self, monkeypatch):
+        from repro.engine.stats import EvalStats
+
+        cache = DocumentIndexCache()
+        c = doc()
+        raced_index = self._race(cache, c, monkeypatch)
+        stats = EvalStats()
+        assert cache.get(c, stats=stats) is raced_index
+        assert cache.hits == 1
+        assert stats.cache_hits == 1
+        # the losing build still counted its miss before racing
+        assert stats.cache_misses == 1
+
+    def test_raced_return_refreshes_recency(self, monkeypatch):
+        cache = DocumentIndexCache(max_documents=2)
+        a, b = doc(), doc()
+        cache.get(a)
+        cache.get(b)
+        c = doc()
+        self._race(cache, c, monkeypatch)
+        cache.get(c)  # raced: c entered at LRU position, hit must refresh
+        assert list(cache._entries)[-1] == id(c)
+
+    def test_raced_return_records_raced_span_outcome(self, monkeypatch):
+        from repro.engine.stats import EvalStats
+        from repro.engine.trace import Tracer
+
+        cache = DocumentIndexCache()
+        c = doc()
+        self._race(cache, c, monkeypatch)
+        stats = EvalStats()
+        stats.trace = Tracer()
+        cache.get(c, stats=stats)
+        lookups = stats.trace.find("index.lookup")
+        assert [span["outcome"] for span in lookups] == ["raced"]
+
+
+class TestLookupTraceSpans:
+    def test_outcomes_built_then_hit(self):
+        from repro.engine.stats import EvalStats
+        from repro.engine.trace import Tracer
+
+        cache = DocumentIndexCache()
+        d = doc()
+        stats = EvalStats()
+        stats.trace = Tracer()
+        cache.get(d, stats=stats)
+        cache.get(d, stats=stats)
+        lookups = stats.trace.find("index.lookup")
+        assert [span["outcome"] for span in lookups] == ["built", "hit"]
+        assert all(span["elements"] > 0 for span in lookups)
+
+
 class TestThreadSafety:
     def test_concurrent_hits_share_one_index(self):
         import threading

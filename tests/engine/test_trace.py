@@ -1,0 +1,104 @@
+"""Unit tests for the span recorder (repro.engine.trace)."""
+
+import json
+
+from repro.engine.trace import Span, Tracer, span as trace_span
+
+
+class TestSpan:
+    def test_attributes_mapping(self):
+        s = Span("work", 0.0)
+        s["rows"] = 3
+        assert s["rows"] == 3
+        assert s.attributes == {"rows": 3}
+
+    def test_seconds_zero_until_closed(self):
+        s = Span("work", 5.0)
+        assert s.seconds == 0.0
+
+    def test_find_recurses(self):
+        root = Span("a", 0.0)
+        mid = Span("b", 0.0)
+        leaf = Span("a", 0.0)
+        mid.children.append(leaf)
+        root.children.append(mid)
+        assert root.find("a") == [root, leaf]
+        assert root.find("b") == [mid]
+        assert root.find("missing") == []
+
+
+class TestTracer:
+    def test_nesting_follows_with_blocks(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", depth=1):
+                tracer.event("tick", n=1)
+            with tracer.span("sibling"):
+                pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        inner = outer.children[0]
+        assert inner["depth"] == 1
+        assert [c.name for c in inner.children] == ["tick"]
+
+    def test_span_records_duration_and_pops_on_error(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.roots[0].seconds > 0
+        with tracer.span("after"):
+            pass
+        # the failed span must not leave the stack dirty
+        assert [s.name for s in tracer.roots] == ["boom", "after"]
+
+    def test_event_is_zero_duration(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            event = tracer.event("mark", k="v")
+        assert event.seconds == 0.0
+        assert tracer.roots[0].children[0]["k"] == "v"
+
+    def test_find_spans_across_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            with tracer.span("a"):
+                pass
+        assert len(tracer.find("a")) == 2
+
+    def test_as_dict_is_json_ready(self):
+        tracer = Tracer()
+        with tracer.span("outer", label="x"):
+            tracer.event("inner", n=2)
+        payload = json.loads(json.dumps(tracer.as_dict()))
+        outer = payload["spans"][0]
+        assert outer["name"] == "outer"
+        assert outer["attributes"] == {"label": "x"}
+        assert outer["children"][0]["name"] == "inner"
+
+    def test_render_text_shows_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("mark", var="B")
+        text = tracer.render_text()
+        assert "outer" in text
+        assert "mark" in text
+        assert "var=B" in text
+
+
+class TestModuleSpanHelper:
+    def test_none_tracer_yields_none(self):
+        with trace_span(None, "anything", k=1) as opened:
+            assert opened is None
+
+    def test_real_tracer_records(self):
+        tracer = Tracer()
+        with trace_span(tracer, "step", k=1) as opened:
+            assert opened is not None
+            opened["extra"] = 2
+        assert tracer.roots[0].attributes == {"k": 1, "extra": 2}

@@ -74,3 +74,44 @@ def test_main_writes_json(tmp_path, capsys):
     assert main(args + ["--baseline", str(out), "--append-history"]) == 0
     report3 = json.loads(out.read_text())
     assert len(report3["history"]) == 2
+
+
+def test_report_carries_tracing_guard_block():
+    report = run_suite(bib_entries=20, sections_depth=4, repeat=1)
+    tracing = report["tracing"]
+    assert tracing["query"] == "fig_q3/join"
+    assert tracing["counters_identical"] is True
+    assert tracing["bindings"] > 0
+    assert tracing["disabled_seconds"] > 0
+    assert tracing["traced_seconds"] > 0
+    assert tracing["overhead_ratio"] > 0
+
+
+def test_tracing_guard_fails_hard_when_counters_diverge(monkeypatch):
+    from repro import bench_smoke
+    from repro.engine.index import DocumentIndex
+    from repro.engine.stats import EvalStats
+    from repro.workloads import bibliography
+    from repro.xmlgl.dsl import parse_rule
+
+    graph = parse_rule(
+        "query { book as B { title as T } } construct { r { collect T } }"
+    ).queries[0]
+    document = bibliography(10, seed=0)
+    index = DocumentIndex(document)
+
+    real_match = bench_smoke.match
+
+    def skewed_match(graph, document, options=None, index=None, stats=None):
+        result = real_match(
+            graph, document, options=options, index=index, stats=stats
+        )
+        if options is not None and options.trace and stats is not None:
+            stats.candidates_tried += 1  # tracing "steering" the engine
+        return result
+
+    monkeypatch.setattr(bench_smoke, "match", skewed_match)
+    import pytest
+
+    with pytest.raises(AssertionError, match="work counters"):
+        bench_smoke.measure_tracing_overhead(graph, document, index, repeat=1)

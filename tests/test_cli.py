@@ -205,3 +205,87 @@ class TestFmtCommand:
         status, output = run(["fmt", files["rules.wgl"], "--lang", "wglog"])
         assert status == 0
         assert "match {" in output
+
+
+class TestRunCommand:
+    def test_runs_like_xmlgl(self, files):
+        status, output = run(["run", files["rule.xgl"], files["data.xml"]])
+        assert status == 0
+        assert "<title>New</title>" in output
+
+    def test_trace_prints_span_tree_to_stderr(self, files, capsys):
+        status, output = run(
+            ["run", files["rule.xgl"], files["data.xml"], "--trace"]
+        )
+        assert status == 0
+        assert "<title>New</title>" in output
+        err = capsys.readouterr().err
+        assert "match" in err and "construct" in err
+
+    def test_explain_replaces_result(self, files):
+        status, output = run(
+            ["run", files["rule.xgl"], files["data.xml"], "--explain"]
+        )
+        assert status == 0
+        assert output.startswith("EXPLAIN")
+        assert "<recent>" not in output
+
+    def test_records_into_global_registry(self, files):
+        from repro.engine.metrics import global_registry
+
+        before = global_registry.queries
+        status, _ = run(["run", files["rule.xgl"], files["data.xml"]])
+        assert status == 0
+        assert global_registry.queries == before + 1
+
+    def test_metrics_flag_prints_snapshot(self, files, capsys):
+        status, _ = run(
+            ["run", files["rule.xgl"], files["data.xml"], "--metrics"]
+        )
+        assert status == 0
+        err = capsys.readouterr().err
+        import json
+
+        assert json.loads(err)["queries"] >= 1
+
+    def test_missing_document(self, files):
+        status, _ = run(["run", files["rule.xgl"]])
+        assert status == 2
+
+
+class TestExplainCommand:
+    def test_explains_with_document(self, files):
+        status, output = run(["explain", files["rule.xgl"], files["data.xml"]])
+        assert status == 0
+        assert output.startswith("EXPLAIN")
+        assert "fragment" in output
+        assert "pools" in output
+
+    def test_no_document_uses_synthetic_workload(self, files):
+        status, output = run(["explain", files["rule.xgl"]])
+        assert status == 0
+        assert "built-in bibliography" in output
+
+    def test_json_round_trips(self, files):
+        import json
+
+        status, output = run(
+            ["explain", files["rule.xgl"], files["data.xml"], "--format", "json"]
+        )
+        assert status == 0
+        payload = json.loads(output)
+        assert payload["graphs"][0]["fragments"]
+
+    def test_shipped_example_join_query(self):
+        # the acceptance path: the committed FIG-Q3 example must explain
+        # against the synthetic workload, showing the join forest and the
+        # pre/post semi-join pool sizes
+        status, output = run(["explain", "examples/fig_q3_join.xgl"])
+        assert status == 0
+        assert "join forest" in output
+        assert "semi-join" in output
+        assert "->" in output
+
+    def test_missing_file(self):
+        status, _ = run(["explain", "/nonexistent.xgl"])
+        assert status == 2

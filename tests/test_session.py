@@ -177,3 +177,117 @@ class TestRunBatch:
         rule = Rule([q.graph()], elem("r", collect("B")))
         results = QuerySession(DOC).run_batch([rule])
         assert results[0].ok and results[0].source_text is None
+
+
+class TestObservability:
+    def test_run_untraced_by_default(self):
+        session = QuerySession(DOC)
+        session.run(ALL)
+        assert session.current().trace is None
+        assert session.current().stats.trace is None
+
+    def test_run_trace_records_span_tree(self):
+        session = QuerySession(DOC)
+        session.run(ALL, trace=True)
+        trace = session.current().trace
+        assert trace is not None
+        names = [root.name for root in trace.roots]
+        assert names[0] == "parse"  # string queries record parsing
+        for required in ("preflight", "index.lookup", "match", "construct"):
+            assert trace.find(required), required
+
+    def test_options_trace_flag_is_the_default(self):
+        from repro.xmlgl.matcher import MatchOptions
+
+        session = QuerySession(DOC, options=MatchOptions(trace=True))
+        session.run(ALL)
+        assert session.current().trace is not None
+        session.run(ALL, trace=False)  # per-run override wins
+        assert session.current().trace is None
+
+    def test_rule_objects_skip_parse_span(self):
+        q = QueryBuilder()
+        q.box("book", id="B")
+        rule = Rule([q.graph()], elem("r", collect("B")))
+        session = QuerySession(DOC)
+        session.run(rule, trace=True)
+        assert not session.current().trace.find("parse")
+
+    def test_batch_rows_get_private_traces(self):
+        results = QuerySession(DOC).run_batch([ALL, COUNT], trace=True)
+        assert all(r.trace is not None for r in results)
+        assert results[0].trace is not results[1].trace
+        assert results[0].trace.find("match")
+
+    def test_batch_untraced_by_default(self):
+        results = QuerySession(DOC).run_batch([ALL])
+        assert results[0].trace is None
+
+    def test_explain_current_cycle(self):
+        session = QuerySession(DOC)
+        session.run(RECENT)
+        report = session.explain()
+        assert report.graphs[0].fragments
+        assert not report.synthetic_source  # session sources, not synthetic
+        assert len(session) == 1  # explain does not enter history
+
+    def test_explain_explicit_query(self):
+        report = QuerySession(DOC).explain(ALL)
+        assert report.engine in {"pipeline", "backtracking", "naive"}
+        assert report.construct is not None
+
+
+class TestSessionMetrics:
+    def test_private_registry_by_default(self):
+        a, b = QuerySession(DOC), QuerySession(DOC)
+        a.run(ALL)
+        assert a.metrics().queries == 1
+        assert b.metrics().queries == 0
+        assert a.metrics() is not b.metrics()
+
+    def test_injected_registry_is_used(self):
+        from repro.engine.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        session = QuerySession(DOC, metrics=registry)
+        session.run(ALL)
+        assert session.metrics() is registry
+        assert registry.queries == 1
+
+    def test_run_folds_stats_and_latency(self):
+        session = QuerySession(DOC)
+        session.run(ALL)
+        session.run(RECENT)
+        snap = session.metrics().snapshot()
+        assert snap["queries"] == 2
+        expected = sum(c.stats.bindings_produced for c in session.history())
+        assert snap["totals"]["bindings_produced"] == expected
+        assert snap["latency"]["samples"] == 2
+
+    def test_batch_errors_counted(self):
+        bad = "query nosuch { book as B } construct { r { count(B) } }"
+        session = QuerySession({"books": DOC})
+        session.run_batch(
+            ["query books { book as B } construct { r { count(B) } }", bad]
+        )
+        snap = session.metrics().snapshot()
+        assert snap["queries"] == 2 and snap["errors"] == 1
+
+    def test_concurrent_batch_totals_equal_per_query_sum(self):
+        # the registry is recorded into from worker threads; its totals
+        # must equal the sum of every row's private EvalStats exactly
+        from repro.engine.stats import EvalStats
+
+        queries = [ALL, RECENT, COUNT] * 8
+        session = QuerySession(DOC)
+        results = session.run_batch(queries, max_workers=6)
+        assert all(r.ok for r in results)
+        summed = EvalStats()
+        for row in results:
+            summed = summed + row.stats
+        totals = session.metrics().totals()
+        for name, value in summed.as_dict().items():
+            if name == "seconds":
+                continue  # registry latency uses caller-measured wall time
+            assert totals.get(name, 0) == value, name
+        assert session.metrics().queries == len(queries)
