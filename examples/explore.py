@@ -11,10 +11,10 @@ Run with::
     python examples/explore.py
 """
 
+from repro.analysis.xmlgl_schema import schema_diagnostics
 from repro.session import QuerySession
 from repro.ssd import infer_schema
 from repro.workloads import bibliography
-from repro.xmlgl import check_query_against_schema
 from repro.xmlgl.dsl import parse_rule
 
 
@@ -29,8 +29,8 @@ def main() -> None:
     bad = parse_rule(
         "query { book as B { isbn as I } } construct { r { collect I } }"
     )
-    for warning in check_query_against_schema(bad.queries[0], schema):
-        print("  warning:", warning)
+    for diagnostic in schema_diagnostics(bad.queries[0], schema):
+        print(f"  warning [{diagnostic.code}]:", diagnostic.message)
 
     good = parse_rule(
         "query { book as B { @year as Y  price as P } where Y >= 1995 }"
@@ -38,7 +38,8 @@ def main() -> None:
     )
     print(
         "  good query warnings:",
-        check_query_against_schema(good.queries[0], schema) or "none",
+        [d.message for d in schema_diagnostics(good.queries[0], schema)]
+        or "none",
     )
 
     print("\n== 3. refine over a session ==")

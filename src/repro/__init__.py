@@ -7,11 +7,102 @@ WWW-style graph data), together with every substrate they need — an XML data
 model and parser, DTD validation, a generic graph-pattern matcher, a shared
 condition/binding engine, a headless visual (diagram) layer, and an
 executable comparison framework.
+
+This module is the consolidated public facade.  Everything a library
+consumer needs rides on ``repro`` itself::
+
+    from repro import QuerySession, MatchOptions, QueryBudget, explain
+
+    session = QuerySession(document)
+    cycle = session.run(
+        "query { book as B { title as T } } construct { r { collect T } }",
+        budget=QueryBudget(deadline_ms=500, on_limit="partial"),
+    )
+
+The facade groups:
+
+* **Sessions** — :class:`QuerySession` / :class:`QueryCycle` /
+  :class:`BatchResult`: parse-evaluate-inspect with a shared index cache.
+* **Evaluation** — :func:`parse_rule` / :func:`evaluate_rule` /
+  :func:`rule_bindings` (XML-GL) and :func:`wglog_query` (WG-Log), all
+  speaking the same keyword-only ``options=`` / ``trace=`` / ``budget=``
+  contract.
+* **Governance** — :class:`QueryBudget` / :class:`CancelToken`
+  (:mod:`repro.engine.limits`) plus the typed errors in :mod:`.errors`.
+* **Observability** — :func:`explain`, :class:`MatchOptions`,
+  :class:`EvalStats`, :class:`MetricsRegistry`.
+* **Static analysis** — :class:`Diagnostic`, :func:`analyze_rule`,
+  :func:`analyze_program`.
+
+Submodule attributes resolve lazily (PEP 562), so ``import repro`` stays
+cheap; ``__all__`` is the supported surface and is snapshot-tested in
+``tests/api/test_public_surface.py`` — additions are deliberate, removals
+are breaking.
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
+
+from typing import Any
+
+__version__ = "1.1.0"
 
 from . import errors
 from .session import BatchResult, QueryCycle, QuerySession
 
-__all__ = ["errors", "QuerySession", "QueryCycle", "BatchResult", "__version__"]
+# Imported eagerly, function bound *after* the submodule registers itself
+# on the package, so ``repro.explain`` is deterministically the function
+# (the submodule stays reachable as ``sys.modules["repro.explain"]``,
+# which is how every ``from repro.explain import ...`` resolves).
+from .explain import Explanation, explain
+
+#: Lazily-resolved facade attribute -> (module, attribute there).
+_LAZY: dict[str, tuple[str, str]] = {
+    # evaluation (XML-GL)
+    "parse_rule": (".xmlgl.dsl", "parse_rule"),
+    "parse_program": (".xmlgl.dsl", "parse_program"),
+    "evaluate_rule": (".xmlgl.evaluator", "evaluate_rule"),
+    "evaluate_program": (".xmlgl.evaluator", "evaluate_program"),
+    "rule_bindings": (".xmlgl.evaluator", "rule_bindings"),
+    # evaluation (WG-Log)
+    "wglog_query": (".wglog.semantics", "query"),
+    # engine knobs + governance
+    "MatchOptions": (".engine.options", "MatchOptions"),
+    "EvalStats": (".engine.stats", "EvalStats"),
+    "QueryBudget": (".engine.limits", "QueryBudget"),
+    "CancelToken": (".engine.limits", "CancelToken"),
+    # observability
+    "MetricsRegistry": (".engine.metrics", "MetricsRegistry"),
+    "global_registry": (".engine.metrics", "global_registry"),
+    # static analysis
+    "Diagnostic": (".analysis", "Diagnostic"),
+    "Severity": (".analysis", "Severity"),
+    "analyze_rule": (".analysis", "analyze_rule"),
+    "analyze_program": (".analysis", "analyze_program"),
+}
+
+__all__ = [
+    "errors",
+    "QuerySession",
+    "QueryCycle",
+    "BatchResult",
+    "explain",
+    "Explanation",
+    "__version__",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module_name, __name__), attribute)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -33,6 +33,12 @@ counters are identical (tracing must observe the engine, never steer it),
 and records ``overhead_ratio`` (traced / untraced wall time) plus the
 disabled-path timing so the cost of the dormant instrumentation stays on
 the perf trajectory.
+
+The ``governance`` block is the same guard for the resource-governance
+layer: the join-heavy query runs with no budget and with a generous
+budget that cannot trip, the work counters are *asserted* identical
+(budget checks are pay-for-use and must never steer the engine), and the
+budgeted/unbudgeted timing ratio joins the trajectory.
 """
 
 from __future__ import annotations
@@ -198,6 +204,64 @@ def measure_tracing_overhead(
     }
 
 
+def measure_governance_overhead(
+    graph: QueryGraph,
+    document: Document,
+    index: DocumentIndex,
+    repeat: int,
+) -> dict:
+    """The governance guard: an unarmed budget must cost nothing.
+
+    Mirrors :func:`measure_tracing_overhead` for the resource-governance
+    layer (PR-5): runs the guard query with no budget and with a generous
+    budget that can never trip, best-of-``repeat`` each, and *asserts*
+    bindings and every work counter are identical — the budget checks are
+    pay-for-use (``stats.budget is None`` guards every site), so an
+    unbudgeted run must do byte-identical work, and a budgeted-but-ample
+    run must only add the bookkeeping, never steer the engine.  Records
+    both timings and their ratio.
+    """
+    from .engine.limits import QueryBudget
+
+    generous = MatchOptions(
+        engine="pipeline",
+        budget=QueryBudget(
+            deadline_ms=3_600_000.0,
+            max_work=10**12,
+            max_bindings=10**9,
+            max_hashjoin_rows=10**12,
+        ),
+    )
+
+    def best_of(options: MatchOptions) -> tuple[float, dict, int]:
+        stats = EvalStats()
+        bindings = match(
+            graph, document, options=options, index=index, stats=stats
+        )
+        best = stats.seconds
+        for _ in range(repeat - 1):
+            fresh = EvalStats()
+            started = time.perf_counter()
+            match(graph, document, options=options, index=index, stats=fresh)
+            best = min(best, time.perf_counter() - started)
+        counters = stats.as_dict()
+        counters.pop("seconds", None)
+        return best, counters, len(bindings)
+
+    off_seconds, off_counters, off_bindings = best_of(PIPELINE)
+    on_seconds, on_counters, on_bindings = best_of(generous)
+    assert off_bindings == on_bindings, "budgeting changed the result size"
+    assert off_counters == on_counters, "budgeting changed the work counters"
+    return {
+        "query": TRACING_GUARD_QUERY,
+        "counters_identical": True,
+        "bindings": off_bindings,
+        "unbudgeted_seconds": off_seconds,
+        "budgeted_seconds": on_seconds,
+        "overhead_ratio": round(on_seconds / max(off_seconds, 1e-9), 3),
+    }
+
+
 def run_suite(
     bib_entries: int = 400,
     sections_depth: int = 7,
@@ -259,6 +323,12 @@ def run_suite(
     guard_text = next(q[1] for q in QUERIES if q[0] == TRACING_GUARD_QUERY)
     guard_dataset = next(q[2] for q in QUERIES if q[0] == TRACING_GUARD_QUERY)
     report["tracing"] = measure_tracing_overhead(
+        _first_graph(guard_text),
+        datasets[guard_dataset],
+        indexes[guard_dataset],
+        repeat,
+    )
+    report["governance"] = measure_governance_overhead(
         _first_graph(guard_text),
         datasets[guard_dataset],
         indexes[guard_dataset],
@@ -390,6 +460,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{tracing['disabled_seconds'] * 1000:.2f}ms untraced -> "
         f"{tracing['traced_seconds'] * 1000:.2f}ms traced "
         f"({tracing['overhead_ratio']}x), counters identical"
+    )
+    governance = report["governance"]
+    print(
+        f"governance overhead ({governance['query']}): "
+        f"{governance['unbudgeted_seconds'] * 1000:.2f}ms unbudgeted -> "
+        f"{governance['budgeted_seconds'] * 1000:.2f}ms budgeted "
+        f"({governance['overhead_ratio']}x), counters identical"
     )
 
     if baseline is not None:

@@ -5,6 +5,7 @@ Everything the library does, scriptable from a shell::
     python -m repro xmlgl rule.xgl data.xml            # run a query
     python -m repro xmlgl rule.xgl a.xml --source b=c.xml
     python -m repro run rule.xgl data.xml --trace      # run + span tree
+    python -m repro run rule.xgl data.xml --timeout 50 --on-limit partial
     python -m repro explain rule.xgl                   # EXPLAIN ANALYZE
     python -m repro wglog rules.wgl data.xml --apply   # generative semantics
     python -m repro lint rule.xgl --format json        # static analysis
@@ -81,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--metrics", action="store_true",
         help="print the process metrics snapshot (JSON) to stderr afterwards",
+    )
+    run.add_argument(
+        "--timeout", type=float, metavar="MS",
+        help="query deadline in milliseconds (QueryBudget.deadline_ms)",
+    )
+    run.add_argument(
+        "--max-work", type=int, metavar="UNITS",
+        help="cap on matcher work units (QueryBudget.max_work)",
+    )
+    run.add_argument(
+        "--on-limit", choices=("raise", "partial"), default="raise",
+        help="on a tripped budget: fail (exit 4) or return a truncated "
+        "result flagged in the stats (default: raise)",
     )
 
     explain = commands.add_parser(
@@ -241,9 +255,11 @@ def _cmd_xmlgl(args: argparse.Namespace, out) -> int:
 def _cmd_run(args: argparse.Namespace, out) -> int:
     import time
 
+    from .engine.limits import QueryBudget
     from .engine.metrics import global_registry
     from .engine.stats import EvalStats
     from .engine.trace import Tracer
+    from .errors import BudgetExceeded, QueryCancelled
     from .ssd import pretty, serialize
     from .xmlgl import evaluate_program
     from .xmlgl.dsl import parse_program
@@ -252,6 +268,13 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     sources = _gather_sources(args)
     if sources is None:
         return 2
+    budget = None
+    if args.timeout is not None or args.max_work is not None:
+        budget = QueryBudget(
+            deadline_ms=args.timeout,
+            max_work=args.max_work,
+            on_limit=args.on_limit,
+        )
     if args.explain:
         from .explain import explain
 
@@ -273,10 +296,33 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     if args.trace:
         stats.trace = Tracer()
     started = time.perf_counter()
-    result = evaluate_program(program, sources, stats=stats)
+    try:
+        result = evaluate_program(program, sources, budget=budget, stats=stats)
+    except (BudgetExceeded, QueryCancelled) as error:
+        elapsed = time.perf_counter() - started
+        global_registry.record(stats, seconds=elapsed, query=args.rule, error=True)
+        print(f"error: {error}", file=sys.stderr)
+        if args.trace and stats.trace is not None:
+            print(stats.trace.render_text(), file=sys.stderr)
+        if args.metrics:
+            print(global_registry.to_json(), file=sys.stderr)
+        return 4
     elapsed = time.perf_counter() - started
     global_registry.record(stats, seconds=elapsed, query=args.rule)
     print(serialize(result) if args.compact else pretty(result), file=out)
+    if stats.extra.get("truncated"):
+        cause = next(
+            (
+                key[len("truncated_by_"):]
+                for key in stats.extra
+                if key.startswith("truncated_by_")
+            ),
+            "?",
+        )
+        print(
+            f"# truncated: budget limit {cause} reached (partial result)",
+            file=sys.stderr,
+        )
     if args.trace:
         print(stats.trace.render_text(), file=sys.stderr)
     if args.metrics:

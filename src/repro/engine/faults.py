@@ -1,0 +1,130 @@
+"""Deterministic fault injection at named evaluation stages (test-only).
+
+The robustness suite (``tests/robustness/``) needs to prove the engine
+degrades and recovers cleanly when stages are slow or fail mid-flight.
+Rather than monkeypatching internals per test, this module piggybacks on
+the stable span-site taxonomy from :mod:`repro.engine.trace`: every traced
+stage (``match``, ``reduce``, ``assemble``, ``construct``, …) already
+announces itself by name, so a :class:`FaultInjector` installed via
+:func:`inject` receives each name as the stage opens and can, per its
+rules, sleep (exercising deadlines) or raise (exercising per-row isolation
+and cache hygiene).
+
+Determinism: every injector is seeded.  A rule's ``probability`` draws
+from a private ``random.Random(seed)`` stream, and draws are made in site
+arrival order, so a single-threaded run with a fixed seed injects exactly
+the same faults every time.  CI runs the suite with pinned seeds.
+
+This is a **test-only** facility: nothing in the library installs an
+injector, the hook global is ``None`` in production, and the cost of the
+disabled path is one global read per *stage* (the same pay-for-use deal as
+tracing and budgets).
+
+Usage::
+
+    boom = FaultRule(site="reduce", exception=RuntimeError("injected"))
+    with inject(FaultInjector(seed=7, rules=[boom])):
+        evaluate_rule(rule, document)   # first "reduce" stage raises
+
+Note: ``index.lookup`` is recorded by the cache via ``Tracer.span`` only
+when a tracer is attached, so rules targeting it require tracing on; every
+other documented site fires regardless of tracing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from . import trace as _trace
+
+__all__ = ["FaultRule", "FaultInjector", "inject"]
+
+
+@dataclass
+class FaultRule:
+    """One injection rule: what happens when a named site is reached.
+
+    * ``site`` — the span name to match (exact match against the stable
+      taxonomy in DESIGN.md § Observability, e.g. ``"match.fragment"``).
+    * ``delay_ms`` — sleep this long at the site (simulates a slow stage).
+    * ``exception`` — raise this instance at the site (after any delay).
+    * ``probability`` — chance the rule fires on each arrival, drawn from
+      the injector's seeded stream; 1.0 fires always.
+    * ``max_fires`` — stop firing after this many activations (``None`` =
+      unlimited); lets a test fail the first attempt and watch recovery.
+    """
+
+    site: str
+    delay_ms: float = 0.0
+    exception: Optional[BaseException] = None
+    probability: float = 1.0
+    max_fires: Optional[int] = None
+    fired: int = field(default=0, init=False)
+
+    def exhausted(self) -> bool:
+        return self.max_fires is not None and self.fired >= self.max_fires
+
+
+class FaultInjector:
+    """Seed-driven dispatcher from span-site arrivals to fault rules.
+
+    Thread-safe: ``run_batch`` rows share one injector, so rule counters
+    and the random stream sit behind a lock.  Draw order — hence which
+    arrivals fire under ``probability < 1`` — follows global site arrival
+    order; multi-threaded tests that need exact determinism should use
+    ``probability=1.0`` with ``max_fires``.
+    """
+
+    def __init__(self, seed: int = 0, rules: Iterable[FaultRule] = ()) -> None:
+        self.rules = list(rules)
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+        self.sites_seen: list[str] = []
+
+    def add(self, rule: FaultRule) -> "FaultInjector":
+        with self._lock:
+            self.rules.append(rule)
+        return self
+
+    def __call__(self, site: str) -> None:
+        """The :data:`repro.engine.trace._SITE_HOOK` entry point."""
+        pending: Optional[FaultRule] = None
+        with self._lock:
+            self.sites_seen.append(site)
+            for rule in self.rules:
+                if rule.site != site or rule.exhausted():
+                    continue
+                if rule.probability < 1.0 and self._random.random() >= rule.probability:
+                    continue
+                rule.fired += 1
+                pending = rule
+                break
+        if pending is None:
+            return
+        # Sleep and raise outside the lock so a delayed site never blocks
+        # sibling batch rows from reaching their own sites.
+        if pending.delay_ms > 0:
+            time.sleep(pending.delay_ms / 1000.0)
+        if pending.exception is not None:
+            raise pending.exception
+
+
+@contextmanager
+def inject(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` as the global site hook for the ``with`` body.
+
+    Restores the previous hook on exit (nesting stacks, the innermost
+    wins).  Test fixtures must keep installation scoped — leaking a hook
+    across tests would make unrelated suites nondeterministic.
+    """
+    previous = _trace._SITE_HOOK
+    _trace._SITE_HOOK = injector
+    try:
+        yield injector
+    finally:
+        _trace._SITE_HOOK = previous

@@ -140,6 +140,8 @@ def _semijoin(
     stats.semijoins += 1
     stats.semijoin_dropped += len(pool) - len(kept)
     pools[keep_var] = kept
+    if stats.budget is not None:
+        stats.budget.charge(len(pool))
     if stats.trace is not None:
         stats.trace.event(
             "semijoin",
@@ -244,6 +246,8 @@ def join_forest(
                         new_row[var] = candidate
                         extended.append(new_row)
             stats.hashjoin_rows += len(extended)
+            if stats.budget is not None:
+                stats.budget.add_rows(len(extended))
             rows = extended
             if not rows:
                 break

@@ -147,6 +147,12 @@ class MetricsRegistry:
         pipeline_fallbacks)`` — both ``None`` until a relevant counter
         ticked.  Percentiles cover the most recent ``max_samples``
         evaluations (nearest-rank).
+
+        The ``governance`` block surfaces the resource-governance
+        counters (``budget_exceeded``, ``truncated_results``,
+        ``degraded_fragments``) explicitly — always present, zero when
+        no budgeted query has tripped — so dashboards need not know the
+        counters exist before they tick.
         """
         with self._lock:
             totals = dict(self._totals)
@@ -158,6 +164,11 @@ class MetricsRegistry:
         fragments = totals.get("pipeline_fragments", 0)
         fallbacks = totals.get("pipeline_fallbacks", 0)
         return {
+            "governance": {
+                "budget_exceeded": int(totals.get("budget_exceeded", 0)),
+                "truncated_results": int(totals.get("truncated_results", 0)),
+                "degraded_fragments": int(totals.get("degraded_fragments", 0)),
+            },
             "queries": queries,
             "errors": errors,
             "totals": totals,

@@ -29,11 +29,21 @@ XML-GL document matcher and the WG-Log graph matcher both honour:
   :class:`~repro.engine.trace.Tracer` to the evaluation's ``EvalStats``
   unless the caller installed one already; sessions expose the recorded
   tree on ``QueryCycle.trace`` / ``BatchResult.trace``.
+
+* ``budget`` — resource limits (:class:`repro.engine.limits.QueryBudget`):
+  deadline, work-unit ceiling, bindings / result-node / join-row caps, and
+  the ``on_limit`` raise-vs-partial policy.  Armed onto the evaluation's
+  ``EvalStats`` at query start, mirroring the tracer convention; ``None``
+  (the default) means ungoverned and costs nothing on the hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from .limits import QueryBudget
 
 __all__ = ["ENGINES", "MatchOptions"]
 
@@ -49,6 +59,7 @@ class MatchOptions:
     use_index: bool = True
     engine: str = "pipeline"
     trace: bool = False
+    budget: Optional["QueryBudget"] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:

@@ -101,6 +101,8 @@ def evaluate_forest(
         Complete ``{variable: candidate}`` assignments.  Distinct trees of
         the forest combine by cross product, as in the backtracking core.
     """
+    if stats.budget is not None:
+        stats.budget.poll()
     variables = list(pools)
     adjacency: dict[Var, list[Var]] = {var: [] for var in variables}
     for relation in relations:
@@ -166,6 +168,8 @@ def relation_for(
     construction*, so they are counted as ``relation_pairs``, not as
     per-candidate trials.
     """
+    if stats.budget is not None:
+        pairs = stats.budget.bounded_rows(pairs)
     relation = EdgeRelation(left_var, right_var, pairs, key=key)
     stats.edge_checks += 1
     stats.relation_pairs += len(relation)

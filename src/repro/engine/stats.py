@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:
+    from .limits import BudgetState
     from .trace import Tracer
 
 __all__ = ["EvalStats"]
@@ -98,6 +99,12 @@ class EvalStats:
     #: non-``None`` tracer.  Instrumentation sites guard on ``is None``, so
     #: the default costs nothing on the hot path.
     trace: Optional["Tracer"] = field(default=None, repr=False, compare=False)
+    #: Optional armed budget (:class:`repro.engine.limits.BudgetState`).
+    #: Rides along exactly like ``trace``: not a counter, excluded from
+    #: :meth:`as_dict`, merging keeps the first non-``None`` state, and
+    #: check sites guard on ``is None`` so an unbudgeted run does
+    #: byte-identical work (the bench_smoke governance guard asserts it).
+    budget: Optional["BudgetState"] = field(default=None, repr=False, compare=False)
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named ad-hoc counter."""
@@ -125,4 +132,5 @@ class EvalStats:
         for key in set(self.extra) | set(other.extra):
             merged.extra[key] = self.extra.get(key, 0) + other.extra.get(key, 0)
         merged.trace = self.trace if self.trace is not None else other.trace
+        merged.budget = self.budget if self.budget is not None else other.budget
         return merged

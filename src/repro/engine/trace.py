@@ -45,9 +45,16 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 __all__ = ["Span", "Tracer", "span"]
+
+#: Test-only fault-injection hook (:mod:`repro.engine.faults`).  When set,
+#: it is called with each span *name* as the stage opens — exactly once per
+#: site, whether or not a tracer is attached: :func:`span` fires it only on
+#: the no-tracer path, :meth:`Tracer.span` always.  ``None`` in production;
+#: the guard is one global read per stage, never per candidate.
+_SITE_HOOK: Optional[Callable[[str], None]] = None
 
 
 class Span:
@@ -109,6 +116,8 @@ class Tracer:
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
         """Record a stage spanning the ``with`` body; yields the span."""
+        if _SITE_HOOK is not None:
+            _SITE_HOOK(name)
         opened = Span(name, time.perf_counter(), **attributes)
         if self._stack:
             self._stack[-1].children.append(opened)
@@ -182,6 +191,8 @@ def span(tracer: Optional[Tracer], name: str, **attributes: Any) -> Iterator[Opt
             ...
     """
     if tracer is None:
+        if _SITE_HOOK is not None:
+            _SITE_HOOK(name)
         yield None
         return
     with tracer.span(name, **attributes) as opened:

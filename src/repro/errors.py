@@ -84,6 +84,64 @@ class UnboundConstructVariable(EvaluationError):
         )
 
 
+class BudgetExceeded(EvaluationError):
+    """Raised when a query exceeds a :class:`~repro.engine.limits.QueryBudget`.
+
+    Attributes:
+        limit: name of the budget field that tripped (``max_work``,
+            ``max_bindings``, ``max_hashjoin_rows``, ``max_result_nodes``,
+            or ``deadline_ms`` via :class:`DeadlineExceeded`).
+        allowed: the configured limit value.
+        spent: the amount actually consumed when the check fired.
+        stats: the partial :class:`~repro.engine.stats.EvalStats` of the
+            evaluation up to the point of interruption, or ``None`` when the
+            budget was armed without stats.
+
+    Under ``QueryBudget(on_limit="partial")`` the engines catch this
+    internally and return a truncated-but-well-formed result instead
+    (flagged ``stats.extra["truncated"]``); under the default
+    ``on_limit="raise"`` it propagates to the caller.
+    """
+
+    def __init__(
+        self,
+        limit: str,
+        allowed: "float | int",
+        spent: "float | int",
+        stats: "object | None" = None,
+    ) -> None:
+        self.limit = limit
+        self.allowed = allowed
+        self.spent = spent
+        self.stats = stats
+        super().__init__(
+            f"query budget exceeded: {limit} (allowed {allowed}, spent {spent})"
+        )
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """Raised when a query runs past its wall-clock deadline.
+
+    A :class:`BudgetExceeded` subclass, so ``except BudgetExceeded`` catches
+    both; ``limit`` is always ``"deadline_ms"`` and ``allowed``/``spent``
+    are milliseconds.
+    """
+
+
+class QueryCancelled(EvaluationError):
+    """Raised when a :class:`~repro.engine.limits.CancelToken` is triggered.
+
+    Cooperative: the evaluation notices the token at its next budget check
+    site.  Carries the partial ``stats`` like :class:`BudgetExceeded`, but
+    is *not* a budget error — ``on_limit="partial"`` never converts a
+    cancellation into a truncated result.
+    """
+
+    def __init__(self, stats: "object | None" = None) -> None:
+        self.stats = stats
+        super().__init__("query cancelled")
+
+
 class DiagramError(ReproError):
     """Raised by the visual layer: unknown shapes, dangling connectors, etc."""
 

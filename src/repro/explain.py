@@ -359,10 +359,11 @@ def explain(
         use_index=base.use_index,
         engine=base.engine,
         trace=True,
+        budget=base.budget,
     )
     stats = EvalStats()
     stats.trace = Tracer()
-    evaluate_rule(rule, sources, traced, stats, indexes)
+    evaluate_rule(rule, sources, options=traced, stats=stats, indexes=indexes)
     return _digest(
         query_text,
         traced.resolved_engine(),

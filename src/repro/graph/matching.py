@@ -26,6 +26,7 @@ from ..engine.narrowing import intersect_pools
 from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
 from ..engine.stats import EvalStats
 from ..engine.trace import span as trace_span
+from ..errors import BudgetExceeded
 from .labeled_graph import Edge, LabeledGraph
 from .traversal import reachable_by_labels
 
@@ -99,13 +100,18 @@ def find_homomorphisms(
     pattern: LabeledGraph,
     data: LabeledGraph,
     spec: Optional[MatchSpec] = None,
+    stats: Optional[EvalStats] = None,
 ) -> Iterator[dict[NodeId, NodeId]]:
     """Yield every mapping of ``pattern`` into ``data`` satisfying ``spec``.
 
     Mappings are dicts from pattern node ids to data node ids.  The empty
-    pattern yields exactly one empty mapping.
+    pattern yields exactly one empty mapping.  ``stats`` is optional and
+    only consulted for governance: when it carries an armed budget
+    (``stats.budget``), each candidate tried charges one work unit, so
+    deadlines and work caps interrupt the search cooperatively.
     """
     spec = spec or MatchSpec()
+    budget = None if stats is None else stats.budget
     compat = spec.node_compat or _default_compat(pattern, data)
     positive_edges = [
         e for e in pattern.edges() if e not in spec.negated_edges
@@ -120,6 +126,8 @@ def find_homomorphisms(
     candidate_sets: dict[NodeId, set[NodeId]] = {}
     for pnode in pattern_nodes:
         cands = [dnode for dnode in data.nodes() if compat(pnode, dnode)]
+        if budget is not None:
+            budget.charge(max(1, len(cands)))
         if not cands:
             return
         candidates[pnode] = cands
@@ -193,6 +201,8 @@ def find_homomorphisms(
             return
         pnode = order[index]
         for dnode in candidates_for(pnode):
+            if budget is not None:
+                budget.charge()
             if spec.injective and dnode in used:
                 continue
             assignment[pnode] = dnode
@@ -239,7 +249,7 @@ def find_homomorphisms_setwise(
             decision="fallback",
             reason="injective",
         ):
-            yield from find_homomorphisms(pattern, data, spec)
+            yield from find_homomorphisms(pattern, data, spec, stats=stats)
         return
 
     compat = spec.node_compat or _default_compat(pattern, data)
@@ -259,27 +269,55 @@ def find_homomorphisms_setwise(
             decision="pipeline" if fallback_reason is None else "fallback",
             reason=fallback_reason,
         ) as fragment_span:
+            subspec = MatchSpec(
+                injective=False,
+                node_compat=compat,
+                path_edges={
+                    e for e in spec.path_edges if e.source in component
+                },
+                negated_edges={
+                    e for e in spec.negated_edges if e.source in component
+                },
+                narrow=spec.narrow,
+            )
             if fallback_reason is None:
                 stats.pipeline_fragments += 1
-                rows = _setwise_component(nodes, edges, data, compat, stats)
+                rows_before = 0 if stats.budget is None else stats.budget.rows
+                try:
+                    rows = _setwise_component(nodes, edges, data, compat, stats)
+                except BudgetExceeded as exc:
+                    if exc.limit != "max_hashjoin_rows":
+                        raise
+                    # Degradation ladder: the component's materialised
+                    # relations blew the row cap — refund the discarded
+                    # rows and re-run it node-at-a-time (bounded memory).
+                    stats.pipeline_fallbacks += 1
+                    stats.bump("fallback_budget")
+                    stats.bump("degraded_fragments")
+                    if stats.budget is not None:
+                        stats.budget.rows = rows_before
+                    if fragment_span is not None:
+                        fragment_span["decision"] = "fallback"
+                        fragment_span["reason"] = "budget"
+                    if stats.trace is not None:
+                        stats.trace.event(
+                            "degraded",
+                            reason="budget",
+                            variables=[str(p) for p in nodes],
+                        )
+                    rows = [
+                        dict(m)
+                        for m in find_homomorphisms(
+                            pattern.subgraph(nodes), data, subspec, stats=stats
+                        )
+                    ]
             else:
                 stats.pipeline_fallbacks += 1
                 stats.bump(f"fallback_{fallback_reason}")
-                subspec = MatchSpec(
-                    injective=False,
-                    node_compat=compat,
-                    path_edges={
-                        e for e in spec.path_edges if e.source in component
-                    },
-                    negated_edges={
-                        e for e in spec.negated_edges if e.source in component
-                    },
-                    narrow=spec.narrow,
-                )
                 rows = [
                     dict(m)
                     for m in find_homomorphisms(
-                        pattern.subgraph(nodes), data, subspec
+                        pattern.subgraph(nodes), data, subspec, stats=stats
                     )
                 ]
             if fragment_span is not None:
@@ -327,6 +365,8 @@ def _setwise_component(
     pool_sets: dict[NodeId, set[NodeId]] = {}
     for pnode in nodes:
         pool = [dnode for dnode in data.nodes() if compat(pnode, dnode)]
+        if stats.budget is not None:
+            stats.budget.charge(max(1, len(pool)))
         if not pool:
             return []
         pools[pnode] = pool

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence, Union
 
 from .engine.cache import DocumentIndexCache, shared_cache
+from .engine.limits import CancelToken, QueryBudget, arm_budget
 from .engine.metrics import MetricsRegistry
 from .engine.stats import EvalStats
 from .engine.trace import Tracer
@@ -106,24 +107,53 @@ class QuerySession:
 
     # -- running ---------------------------------------------------------------
 
-    def _tracing(self, trace: Optional[bool]) -> bool:
-        if trace is not None:
-            return trace
-        return self._options.trace if self._options is not None else False
+    def _effective(
+        self,
+        options: Optional[MatchOptions],
+        trace: Optional[bool],
+        budget: Optional[QueryBudget],
+    ) -> tuple[Optional[MatchOptions], bool, Optional[QueryBudget]]:
+        """Resolve the unified per-call overrides against session defaults."""
+        opts = options if options is not None else self._options
+        tracing = trace if trace is not None else (
+            opts.trace if opts is not None else False
+        )
+        effective_budget = budget if budget is not None else (
+            opts.budget if opts is not None else None
+        )
+        return opts, tracing, effective_budget
 
     def run(
-        self, query: Union[str, Rule], trace: Optional[bool] = None
+        self,
+        query: Union[str, Rule],
+        *,
+        options: Optional[MatchOptions] = None,
+        trace: Optional[bool] = None,
+        budget: Optional[QueryBudget] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> Document:
         """Execute a query; it becomes the current cycle.
 
         Running while positioned back in history truncates the forward
         cycles (browser semantics).  Returns the result document.
 
-        ``trace`` overrides the session options' ``trace`` flag for this
-        cycle; the recorded span tree lands on ``QueryCycle.trace``.  Every
-        run is folded into the session's :meth:`metrics` registry.
+        The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is
+        the unified run contract (shared with ``evaluate_rule`` and WG-Log
+        ``query``): each overrides the session options for this cycle
+        only.  ``budget`` governs the run (its deadline starts here);
+        under ``on_limit="raise"`` a tripped limit propagates as
+        :class:`~repro.errors.BudgetExceeded` / ``DeadlineExceeded``, under
+        ``"partial"`` the truncated result still becomes a cycle, flagged
+        ``stats.extra["truncated"]``.  ``cancel`` is a
+        :class:`~repro.engine.limits.CancelToken` another thread may
+        trigger.  The recorded span tree lands on ``QueryCycle.trace``.
+        Every run is folded into the session's :meth:`metrics` registry.
         """
-        tracer = Tracer() if self._tracing(trace) else None
+        opts, tracing, effective_budget = self._effective(options, trace, budget)
+        tracer = Tracer() if tracing else None
+        stats = EvalStats()
+        stats.trace = tracer
+        arm_budget(stats, effective_budget, cancel)
         if isinstance(query, str):
             if tracer is not None:
                 with tracer.span("parse"):
@@ -134,12 +164,11 @@ class QuerySession:
         else:
             rule = query
             source_text = None
-        stats = EvalStats()
-        stats.trace = tracer
         started = time.perf_counter()
         result = Document(
             evaluate_rule(
-                rule, self._sources, self._options, stats, self._indexes
+                rule, self._sources, options=opts, stats=stats,
+                indexes=self._indexes,
             )
         )
         elapsed = time.perf_counter() - started
@@ -161,8 +190,12 @@ class QuerySession:
     def run_batch(
         self,
         queries: Sequence[Union[str, Rule]],
+        *,
         max_workers: Optional[int] = None,
+        options: Optional[MatchOptions] = None,
         trace: Optional[bool] = None,
+        budget: Optional[QueryBudget] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> list[BatchResult]:
         """Evaluate many queries against the session's sources concurrently.
 
@@ -171,6 +204,18 @@ class QuerySession:
         once on the calling thread, so workers only take cache hits.  Each
         query gets its own :class:`~repro.engine.stats.EvalStats` and wall
         clock, returned in input order as :class:`BatchResult` rows.
+
+        The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is
+        the unified run contract.  ``budget`` governs **each row
+        separately**: every row arms its own
+        :class:`~repro.engine.limits.BudgetState` when its evaluation
+        starts, so one slow row exhausts only its own deadline.  Under
+        ``on_limit="raise"`` a tripped row is captured in
+        :attr:`BatchResult.error` (typed ``BudgetExceeded`` /
+        ``DeadlineExceeded``) exactly like any other evaluation error —
+        sibling rows and the shared index cache are untouched.  ``cancel``
+        is shared across rows: one :class:`CancelToken` aborts the whole
+        batch cooperatively (cancelled rows report ``QueryCancelled``).
 
         Evaluation errors (:class:`~repro.errors.ReproError`) are captured
         per query in :attr:`BatchResult.error` rather than aborting the
@@ -184,7 +229,7 @@ class QuerySession:
         concurrency, because the tracer rides on the row's private
         ``EvalStats``.  Every row is folded into :meth:`metrics`.
         """
-        tracing = self._tracing(trace)
+        opts, tracing, effective_budget = self._effective(options, trace, budget)
         prepared: list[tuple[Rule, Optional[str]]] = []
         for query in queries:
             if isinstance(query, str):
@@ -199,13 +244,17 @@ class QuerySession:
             stats = EvalStats()
             if tracing:
                 stats.trace = Tracer()
+            # Each row arms a fresh state: deadlines are per row, measured
+            # from the row's own start, never from batch submission.
+            arm_budget(stats, effective_budget, cancel)
             result: Optional[Document] = None
             error: Optional[ReproError] = None
             started = time.perf_counter()
             try:
                 result = Document(
                     evaluate_rule(
-                        rule, self._sources, self._options, stats, self._indexes
+                        rule, self._sources, options=opts, stats=stats,
+                        indexes=self._indexes,
                     )
                 )
             except ReproError as exc:

@@ -21,10 +21,11 @@ from typing import Any, Hashable, Optional
 
 from ..engine.bindings import Binding, BindingSet
 from ..engine.conditions import condition_variables
+from ..engine.limits import QueryBudget, arm_budget, mark_truncated
 from ..engine.options import MatchOptions
 from ..engine.stats import EvalStats
 from ..engine.trace import Tracer, span as trace_span
-from ..errors import QueryStructureError, SchemaError
+from ..errors import BudgetExceeded, QueryStructureError, SchemaError
 from ..graph.labeled_graph import Edge, LabeledGraph
 from ..graph.matching import MatchSpec, find_homomorphisms, find_homomorphisms_setwise
 from .ast import Color, RuleEdge, RuleGraph
@@ -95,13 +96,24 @@ def embeddings(
     injective: bool = False,
     stats: Optional[EvalStats] = None,
     preflight: bool = True,
+    *,
     options: Optional[MatchOptions] = None,
+    trace: Optional[bool] = None,
+    budget: Optional[QueryBudget] = None,
 ) -> BindingSet:
     """All embeddings of the rule's red part into ``instance``.
 
     Returns bindings from red node ids to instance node ids.  ``injective``
     requires distinct red nodes to bind distinct instance nodes (G-Log
     embeddings); the default is homomorphic matching.
+
+    The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is the
+    unified run contract shared with the XML-GL evaluator and
+    ``QuerySession.run``: ``trace`` overrides ``options.trace``, ``budget``
+    overrides ``options.budget``.  A tripped budget raises
+    :class:`~repro.errors.BudgetExceeded` carrying the partial stats, or —
+    under ``on_limit="partial"`` — returns the bindings gathered so far,
+    flagged ``stats.extra["truncated"]``.
 
     ``options.engine`` picks the evaluation strategy: the set-at-a-time
     pipeline (default; forest-shaped rule fragments reduce by semi-joins,
@@ -120,8 +132,12 @@ def embeddings(
         check_against_schema(rule, schema)
     options = options or MatchOptions()
     stats = stats if stats is not None else EvalStats()
-    if options.trace and stats.trace is None:
+    tracing = trace if trace is not None else options.trace
+    if tracing and stats.trace is None:
         stats.trace = Tracer()
+    state = arm_budget(
+        stats, budget if budget is not None else options.budget
+    )
     if preflight:
         from ..analysis.preflight import wglog_preflight
 
@@ -147,27 +163,38 @@ def embeddings(
                 pattern, instance.graph, spec, stats=stats
             )
         else:
-            mappings = find_homomorphisms(pattern, instance.graph, spec)
+            mappings = find_homomorphisms(
+                pattern, instance.graph, spec, stats=stats
+            )
 
-        for mapping in mappings:
-            stats.candidates_tried += 1
-            if any(
-                _fragment_exists(
-                    rule, instance, fragment, crossed, mapping, injective
-                )
-                for crossed, fragment in fragments
-            ):
-                continue
-            binding = Binding(mapping)
-            ok = True
-            for condition in rule.conditions:
-                stats.condition_checks += 1
-                if not condition.evaluate(binding, accessor):
-                    ok = False
-                    break
-            if ok:
-                results.add(binding)
-                stats.bindings_produced += 1
+        try:
+            for mapping in mappings:
+                stats.candidates_tried += 1
+                if state is not None:
+                    state.charge()
+                if any(
+                    _fragment_exists(
+                        rule, instance, fragment, crossed, mapping, injective
+                    )
+                    for crossed, fragment in fragments
+                ):
+                    continue
+                binding = Binding(mapping)
+                ok = True
+                for condition in rule.conditions:
+                    stats.condition_checks += 1
+                    if not condition.evaluate(binding, accessor):
+                        ok = False
+                        break
+                if ok:
+                    if state is not None:
+                        state.check_bindings(stats.bindings_produced + 1)
+                    results.add(binding)
+                    stats.bindings_produced += 1
+        except BudgetExceeded as exc:
+            if state is None or not state.budget.partial:
+                raise
+            mark_truncated(stats, exc.limit)
     return results
 
 

@@ -50,16 +50,25 @@ def query(
     schema: Optional[WGSchema] = None,
     injective: bool = False,
     stats: Optional[EvalStats] = None,
+    *,
     options=None,
+    trace: Optional[bool] = None,
+    budget=None,
 ):
     """Evaluate a rule as a query: the embeddings of its red part.
 
-    ``options`` (a :class:`~repro.engine.options.MatchOptions`) selects the
-    evaluation engine; the set-at-a-time pipeline is the default.
+    Accepts the unified keyword-only ``options=`` / ``trace=`` /
+    ``budget=`` run contract (see
+    :func:`repro.xmlgl.evaluator.evaluate_rule` — identical semantics and
+    defaults): ``options`` (a :class:`~repro.engine.options.MatchOptions`)
+    selects the evaluation engine, ``trace`` overrides its trace flag, and
+    ``budget`` (a :class:`~repro.engine.limits.QueryBudget`) governs the
+    run — raising typed errors or returning a truncated binding set
+    flagged ``stats.extra["truncated"]`` under ``on_limit="partial"``.
     """
     return embeddings(
         rule, instance, schema=schema, injective=injective, stats=stats,
-        options=options,
+        options=options, trace=trace, budget=budget,
     )
 
 

@@ -12,9 +12,10 @@ from typing import Mapping, Optional, Union
 from ..engine.bindings import BindingSet
 from ..engine.cache import DocumentIndexCache, shared_cache
 from ..engine.conditions import DocumentAccessor
+from ..engine.limits import QueryBudget, arm_budget, mark_truncated, truncate_element
 from ..engine.stats import EvalStats
 from ..engine.trace import Tracer, span as trace_span
-from ..errors import EvaluationError
+from ..errors import BudgetExceeded, EvaluationError
 from ..ssd.model import Document, Element
 from .ast import QueryGraph
 from .construct import build
@@ -52,12 +53,22 @@ def _resolve_source(graph: QueryGraph, sources: Sources) -> Document:
 def rule_bindings(
     rule: Rule,
     sources: Sources,
+    *,
     options: Optional[MatchOptions] = None,
+    trace: Optional[bool] = None,
+    budget: Optional[QueryBudget] = None,
     stats: Optional[EvalStats] = None,
     indexes: Optional[DocumentIndexCache] = None,
     preflight: bool = True,
 ) -> BindingSet:
     """Matched and joined bindings of a rule (before construction).
+
+    The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is the
+    unified run contract shared with :func:`evaluate_rule`,
+    :meth:`repro.session.QuerySession.run` and WG-Log's
+    :func:`~repro.wglog.semantics.query`: ``trace`` overrides
+    ``options.trace`` for this call, ``budget`` overrides
+    ``options.budget``, and both default to deferring to the options.
 
     ``indexes`` is the :class:`~repro.engine.cache.DocumentIndexCache` to
     reuse :class:`DocumentIndex` snapshots from; it defaults to the shared
@@ -71,8 +82,16 @@ def rule_bindings(
     any document, counted in ``stats.preflight_skips``.
     """
     stats = stats if stats is not None else EvalStats()
-    if options is not None and options.trace and stats.trace is None:
+    tracing = trace if trace is not None else (
+        options.trace if options is not None else False
+    )
+    if tracing and stats.trace is None:
         stats.trace = Tracer()
+    effective_budget = budget if budget is not None else (
+        options.budget if options is not None else None
+    )
+    # Arm here (not in match) so one deadline spans preflight-to-construct.
+    arm_budget(stats, effective_budget)
     if preflight:
         from ..analysis.preflight import xmlgl_preflight
 
@@ -115,15 +134,58 @@ def rule_bindings(
 def evaluate_rule(
     rule: Rule,
     sources: Sources,
+    *,
     options: Optional[MatchOptions] = None,
+    trace: Optional[bool] = None,
+    budget: Optional[QueryBudget] = None,
     stats: Optional[EvalStats] = None,
     indexes: Optional[DocumentIndexCache] = None,
 ) -> Element:
-    """Evaluate one rule to its constructed result element."""
-    bindings = rule_bindings(rule, sources, options, stats, indexes)
-    tracer = stats.trace if stats is not None else None
-    with trace_span(tracer, "construct") as construct_span:
+    """Evaluate one rule to its constructed result element.
+
+    Accepts the unified keyword-only ``options=`` / ``trace=`` / ``budget=``
+    contract (see :func:`rule_bindings`).  When a budget caps
+    ``max_result_nodes``, the constructed tree is checked after building:
+    under ``on_limit="raise"`` an oversized result raises
+    :class:`~repro.errors.BudgetExceeded`; under ``"partial"`` it is pruned
+    in document order to the cap (well-formed, every kept node retains its
+    ancestors) and flagged ``stats.extra["truncated"]``.
+    """
+    stats = stats if stats is not None else EvalStats()
+    bindings = rule_bindings(
+        rule,
+        sources,
+        options=options,
+        trace=trace,
+        budget=budget,
+        stats=stats,
+        indexes=indexes,
+    )
+    state = stats.budget
+    with trace_span(stats.trace, "construct") as construct_span:
+        if state is not None:
+            try:
+                state.poll()
+            except BudgetExceeded as exc:
+                # Partial mode: a deadline expiring *between* matching and
+                # construction must not discard the gathered bindings —
+                # build the (possibly already truncated) result anyway.
+                # Cancellation is not a BudgetExceeded and still aborts.
+                if not state.budget.partial:
+                    raise
+                if not stats.extra.get("truncated"):
+                    mark_truncated(stats, exc.limit)
         result = build(rule.construct, bindings)
+        if state is not None:
+            try:
+                state.check_result_nodes(result.size())
+            except BudgetExceeded as exc:
+                if not state.budget.partial:
+                    raise
+                max_nodes = state.budget.max_result_nodes
+                assert max_nodes is not None
+                truncate_element(result, max_nodes)
+                mark_truncated(stats, exc.limit)
         if construct_span is not None:
             construct_span["bindings"] = len(bindings)
             construct_span["nodes"] = result.size()
@@ -133,7 +195,10 @@ def evaluate_rule(
 def evaluate_program(
     program: Program,
     sources: Sources,
+    *,
     options: Optional[MatchOptions] = None,
+    trace: Optional[bool] = None,
+    budget: Optional[QueryBudget] = None,
     stats: Optional[EvalStats] = None,
 ) -> Document:
     """Evaluate a program: union of rule results under a common root.
@@ -149,13 +214,19 @@ def evaluate_program(
         )
         results = []
         for rule in program.rules:
-            result = evaluate_rule(rule, pool, options, stats, indexes)
+            result = evaluate_rule(
+                rule, pool, options=options, trace=trace, budget=budget,
+                stats=stats, indexes=indexes,
+            )
             results.append(result)
             if rule.name:
                 pool[rule.name] = Document(result.copy())
     else:
         results = [
-            evaluate_rule(rule, sources, options, stats, indexes)
+            evaluate_rule(
+                rule, sources, options=options, trace=trace, budget=budget,
+                stats=stats, indexes=indexes,
+            )
             for rule in program.rules
         ]
     if program.unwrap and len(results) == 1:

@@ -68,13 +68,14 @@ from ..engine.conditions import (
 )
 from ..engine.index import DocumentIndex
 from ..engine.joins import equijoin_key
+from ..engine.limits import arm_budget, mark_truncated
 from ..engine.narrowing import intersect_pools
 from ..engine.options import MatchOptions
 from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
 from ..engine.planner import plan_order
 from ..engine.stats import EvalStats
 from ..engine.trace import Tracer, span as trace_span
-from ..errors import QueryStructureError
+from ..errors import BudgetExceeded, QueryStructureError
 from ..ssd.model import Document, Element
 from .ast import (
     AttributePattern,
@@ -111,6 +112,7 @@ def match(
     stats = stats if stats is not None else EvalStats()
     if options.trace and stats.trace is None:
         stats.trace = Tracer()
+    budget = arm_budget(stats, options.budget)
     index = index or DocumentIndex(document)
     engine = options.resolved_engine()
 
@@ -118,22 +120,33 @@ def match(
     with stats.timed():
         seen: set[tuple] = set()
         multiple_branches = bool(graph.or_groups)
-        for expanded in _expand_or_groups(graph):
-            prep = _prepare(expanded, document, index, options, stats)
-            if prep is None:
-                continue
-            if engine == "pipeline":
-                produced: Iterator[Binding] = _match_pipeline(prep)
-            else:
-                produced = _match_backtracking(prep)
-            for binding in produced:
-                if multiple_branches:
-                    key = binding.key()
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                results.add(binding)
-                stats.bindings_produced += 1
+        try:
+            for expanded in _expand_or_groups(graph):
+                prep = _prepare(expanded, document, index, options, stats)
+                if prep is None:
+                    continue
+                if engine == "pipeline":
+                    produced: Iterator[Binding] = _match_pipeline(prep)
+                else:
+                    produced = _match_backtracking(prep)
+                for binding in produced:
+                    if multiple_branches:
+                        key = binding.key()
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    if budget is not None:
+                        # Check before adding so a partial result holds at
+                        # most max_bindings rows.
+                        budget.check_bindings(stats.bindings_produced + 1)
+                    results.add(binding)
+                    stats.bindings_produced += 1
+        except BudgetExceeded as exc:
+            # Cancellation (QueryCancelled) is not a budget trip and always
+            # propagates; budget trips honour the on_limit policy.
+            if budget is None or not budget.budget.partial:
+                raise
+            mark_truncated(stats, exc.limit)
     return results
 
 
@@ -360,6 +373,7 @@ def _fragment_bindings(
     this is exactly the legacy single-pass engine.
     """
     graph, index, options, stats = prep.graph, prep.index, prep.options, prep.stats
+    budget = stats.budget
     ids = set(fragment_ids)
     element_edges = [
         e for e in prep.element_edges if e.parent in ids and e.child in ids
@@ -491,6 +505,8 @@ def _fragment_bindings(
         if verified:
             for candidate in candidates:
                 stats.interval_candidates += 1
+                if budget is not None:
+                    budget.charge()
                 assignment[node_id] = candidate
                 yield from backtrack(position + 1)
                 del assignment[node_id]
@@ -498,6 +514,8 @@ def _fragment_bindings(
             incident = edges_by_endpoint[node_id]
             for candidate in candidates:
                 stats.candidates_tried += 1
+                if budget is not None:
+                    budget.charge()
                 assignment[node_id] = candidate
                 if all(structural_ok(e) for e in incident):
                     yield from backtrack(position + 1)
@@ -581,9 +599,21 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
         ) as fragment_span:
             if fallback_reason is None:
                 stats.pipeline_fragments += 1
-                rows = _setwise_fragment(
-                    prep, ids, edges, values_by_parent, pushed
-                )
+                rows_before = 0 if stats.budget is None else stats.budget.rows
+                try:
+                    rows = _setwise_fragment(
+                        prep, ids, edges, values_by_parent, pushed
+                    )
+                except BudgetExceeded as exc:
+                    if exc.limit != "max_hashjoin_rows":
+                        raise
+                    # Degradation ladder step 1: the fragment's materialised
+                    # relations / join rows blew the memory-ish cap, so
+                    # discard them and re-run this fragment on the
+                    # backtracking core (bounded memory, node-at-a-time).
+                    rows = _degrade_fragment(
+                        prep, ids, pushed, fragment_span, rows_before
+                    )
             else:
                 stats.pipeline_fallbacks += 1
                 stats.bump(f"fallback_{fallback_reason}")
@@ -597,10 +627,28 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
         }
         fragments.append((variables, rows))
 
-    rows = _combine_fragments(graph.conditions, fragments, consumed, stats)
-    remaining = [
-        c for i, c in enumerate(graph.conditions) if i not in consumed
-    ]
+    rows_before_combine = 0 if stats.budget is None else stats.budget.rows
+    try:
+        rows = _combine_fragments(graph.conditions, fragments, consumed, stats)
+        remaining = [
+            c for i, c in enumerate(graph.conditions) if i not in consumed
+        ]
+    except BudgetExceeded as exc:
+        if exc.limit != "max_hashjoin_rows":
+            raise
+        # Degradation ladder, combine stage: the *cross-fragment* hash
+        # join blew the row cap.  Discard the joined rows and re-run the
+        # whole graph on the backtracking core (bounded memory), which
+        # re-checks every rule-level condition itself.
+        stats.pipeline_fallbacks += 1
+        stats.bump("fallback_budget")
+        stats.bump("degraded_fragments")
+        assert stats.budget is not None
+        stats.budget.rows = rows_before_combine
+        if tracer is not None:
+            tracer.event("degraded", scope="combine", reason="budget")
+        rows = list(_fragment_bindings(prep, list(prep.element_ids)))
+        remaining = list(graph.conditions)
     final: list[dict[str, object]] = []
     for row in rows:
         ok = True
@@ -621,6 +669,55 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
     )
     for row in final:
         yield Binding(row)
+
+
+def _degrade_fragment(
+    prep: _Prep,
+    ids: list[str],
+    pushed: dict[str, list[Condition]],
+    fragment_span,
+    rows_before: int,
+) -> list[dict[str, object]]:
+    """Re-run one fragment on the backtracking core after a row-cap trip.
+
+    Records the stable fallback reason ``budget`` exactly like the static
+    fallback reasons (counter ``fallback_budget``, span ``decision`` /
+    ``reason`` attributes digested by ``explain()``) plus the governance
+    counter ``degraded_fragments``.  The abandoned fragment's row charge is
+    refunded (back to ``rows_before``) so sibling fragments keep their
+    headroom — those rows were discarded, not kept.
+
+    The fragment's pushed-down conditions (already consumed from the final
+    filter) are re-applied here: the backtracking core does not see pool
+    filters, so skipping them would leak rows the pipeline would have cut.
+    """
+    stats = prep.stats
+    budget = stats.budget
+    stats.pipeline_fallbacks += 1
+    stats.bump("fallback_budget")
+    stats.bump("degraded_fragments")
+    if budget is not None:
+        budget.rows = rows_before
+    if fragment_span is not None:
+        fragment_span["decision"] = "fallback"
+        fragment_span["reason"] = "budget"
+    if stats.trace is not None:
+        stats.trace.event("degraded", reason="budget", variables=list(ids))
+    rows = list(_fragment_bindings(prep, ids))
+    conditions = [c for n in ids for c in pushed.get(n, ())]
+    if conditions:
+        kept = []
+        for row in rows:
+            ok = True
+            for condition in conditions:
+                stats.condition_checks += 1
+                if not condition.evaluate(row, _ACCESSOR):  # type: ignore[arg-type]
+                    ok = False
+                    break
+            if ok:
+                kept.append(row)
+        rows = kept
+    return rows
 
 
 def _fallback_reason(
@@ -753,9 +850,12 @@ def _filtered_pool(
 ) -> tuple[list[Element], dict[int, dict[str, str]]]:
     """A box's candidate pool with circles resolved and predicates applied."""
     graph, stats = prep.graph, prep.stats
+    budget = stats.budget
     pool: list[Element] = []
     values: dict[int, dict[str, str]] = {}
     for element in prep.static_candidates[node_id]:
+        if budget is not None:
+            budget.charge()
         row: dict[str, object] = {node_id: element}
         ok = True
         for edge in value_edges:
@@ -795,6 +895,7 @@ def _edge_pairs(
     parent_pool = pools[edge.parent]
     child_pool = pools[edge.child]
     index, stats = prep.index, prep.stats
+    budget = stats.budget
     if not edge.deep:
         parent_ids = {id(e) for e in parent_pool}
         for child in child_pool:
@@ -818,12 +919,16 @@ def _edge_pairs(
                 else index.descendants(parent)
             )
             for child in descendants:
+                if budget is not None:
+                    budget.charge()
                 if id(child) in child_ids:
                     yield (parent, child)
     else:
         parent_ids = {id(p) for p in parent_pool}
         for child in child_pool:
             for ancestor in child.ancestors():
+                if budget is not None:
+                    budget.charge()
                 if id(ancestor) in parent_ids:
                     yield (ancestor, child)
 
@@ -882,6 +987,8 @@ def _combine_fragments(
                 {**row, **other} for row in current_rows for other in frag_rows
             ]
             stats.hashjoin_rows += len(current_rows)
+            if stats.budget is not None:
+                stats.budget.add_rows(len(current_rows))
         current_vars |= frag_vars
         if not current_rows:
             return []
@@ -925,6 +1032,8 @@ def _hash_equijoin(
         for other in table.get(key, ()):
             joined.append({**row, **other})
     stats.hashjoin_rows += len(joined)
+    if stats.budget is not None:
+        stats.budget.add_rows(len(joined))
     return joined
 
 
@@ -1094,6 +1203,8 @@ def _subtree_exists(
     child_edges = graph.children_of(node.id)
     for candidate in pool:
         stats.candidates_tried += 1
+        if stats.budget is not None:
+            stats.budget.charge()
         if all(
             _subtree_exists(graph, child_edge, candidate, index, use_intervals, stats)
             for child_edge in child_edges

@@ -10,9 +10,18 @@ callers: each diagnostic is rendered back to a human-readable warning
 line (edge-anchored findings regain their ``arc 'P'->'C':`` prefix), and
 repeated findings — e.g. one starred arc duplicated across or-group
 branches — are reported once.
+
+.. deprecated::
+    The wrapper is deprecated; calling it emits a
+    :class:`DeprecationWarning`.  Use
+    :func:`repro.analysis.xmlgl_schema.schema_diagnostics` (structured
+    diagnostics) or :func:`repro.analysis.analyze_rule` with a schema
+    context instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from .ast import QueryGraph
 from .schema import SchemaGraph
@@ -25,17 +34,25 @@ def check_query_against_schema(
 ) -> list[str]:
     """Warnings for query parts no schema-valid document can satisfy.
 
-    Thin wrapper over
-    :func:`repro.analysis.xmlgl_schema.schema_diagnostics`; prefer that
-    for anything richer than printing.
+    Deprecated thin wrapper over
+    :func:`repro.analysis.xmlgl_schema.schema_diagnostics`; use that
+    directly — it reports structured diagnostics with stable codes
+    instead of flat strings.
     """
+    warnings.warn(
+        "check_query_against_schema is deprecated; use "
+        "repro.analysis.xmlgl_schema.schema_diagnostics (structured "
+        "diagnostics with stable XGS codes) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..analysis.xmlgl_schema import schema_diagnostics
 
-    warnings: list[str] = []
+    lines: list[str] = []
     for diagnostic in schema_diagnostics(graph, schema):
         if diagnostic.edge is not None:
             source, target = diagnostic.edge
-            warnings.append(f"arc {source!r}->{target!r}: {diagnostic.message}")
+            lines.append(f"arc {source!r}->{target!r}: {diagnostic.message}")
         else:
-            warnings.append(diagnostic.message)
-    return warnings
+            lines.append(diagnostic.message)
+    return lines

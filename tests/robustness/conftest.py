@@ -1,0 +1,44 @@
+"""Shared fixtures for the robustness suite.
+
+Everything here is deterministic: workloads are seeded, fault injectors
+are seeded, and budgets use limits far from scheduling jitter.  CI runs
+this suite with the same pinned seeds on every platform.
+"""
+
+import pytest
+
+from repro.engine.cache import DocumentIndexCache
+from repro.workloads import bibliography
+
+#: Join-heavy rule (cites -> id): exercises the set-at-a-time pipeline,
+#: hash joins, and produces one binding per resolved citation.
+JOIN_RULE = (
+    "query { book as B  * as C { title as T } where B.cites = C.id }"
+    " construct { r { collect T } }"
+)
+
+#: Chain rule: one binding per book, cheap per binding.
+CHAIN_RULE = (
+    "query { book as B { title as T } } construct { r { collect T } }"
+)
+
+#: Root-anchored rule: exactly one binding however large the document.
+ONE_BINDING_RULE = "query { root bib as R } construct { r { count(R) } }"
+
+
+@pytest.fixture(scope="session")
+def doc():
+    """A mid-size bibliography (deterministic, seed 0)."""
+    return bibliography(200, seed=0)
+
+
+@pytest.fixture(scope="session")
+def big_doc():
+    """A large bibliography for deadline tests (tens of thousands of nodes)."""
+    return bibliography(2000, seed=0)
+
+
+@pytest.fixture
+def indexes():
+    """A private index cache: no warm-up leakage between tests."""
+    return DocumentIndexCache()

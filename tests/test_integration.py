@@ -13,7 +13,8 @@ from repro.wglog import (
 )
 from repro.wglog.datalog import to_datalog
 from repro.workloads import BIB_DTD, bibliography, site_graph, site_schema
-from repro.xmlgl import check_query_against_schema, evaluate_rule, to_path
+from repro.analysis.xmlgl_schema import schema_diagnostics
+from repro.xmlgl import evaluate_rule, to_path
 from repro.xmlgl.dsl import parse_rule
 from repro.xmlgl.schema import dtd_to_schema
 
@@ -46,7 +47,7 @@ class TestFullXmlglPipeline:
         rule = reopened.compile()
 
         # the query is schema-satisfiable
-        assert check_query_against_schema(rule.queries[0], schema) == []
+        assert schema_diagnostics(rule.queries[0], schema) == []
 
         # run it
         result = evaluate_rule(rule, doc)

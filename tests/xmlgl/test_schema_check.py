@@ -16,6 +16,12 @@ def schema():
     return dtd_to_schema(parse_dtd(BIB_DTD), "bib")[0]
 
 
+def checked(graph, schema):
+    """Call the deprecated wrapper, asserting it warns on every call."""
+    with pytest.warns(DeprecationWarning, match="schema_diagnostics"):
+        return check_query_against_schema(graph, schema)
+
+
 class TestSchemaAwareChecking:
     def test_conformant_query_clean(self, schema):
         q = QueryBuilder()
@@ -23,45 +29,45 @@ class TestSchemaAwareChecking:
         book = q.box("book", id="B", parent=bib)
         q.attribute(book, "year", id="Y")
         q.box("title", id="T", parent=book)
-        assert check_query_against_schema(q.graph(), schema) == []
+        assert checked(q.graph(), schema) == []
 
     def test_undeclared_element(self, schema):
         q = QueryBuilder()
         q.box("cdrom", id="C")
-        warnings = check_query_against_schema(q.graph(), schema)
+        warnings = checked(q.graph(), schema)
         assert any("not declared" in w for w in warnings)
 
     def test_wrong_anchor(self, schema):
         q = QueryBuilder()
         q.box("book", id="B", anchored=True)
-        warnings = check_query_against_schema(q.graph(), schema)
+        warnings = checked(q.graph(), schema)
         assert any("schema root" in w for w in warnings)
 
     def test_impossible_direct_containment(self, schema):
         q = QueryBuilder()
         bib = q.box("bib", id="R")
         q.box("last", id="L", parent=bib)  # last is 3 levels down
-        warnings = check_query_against_schema(q.graph(), schema)
+        warnings = checked(q.graph(), schema)
         assert any("not a declared child" in w for w in warnings)
 
     def test_deep_containment_uses_paths(self, schema):
         q = QueryBuilder()
         bib = q.box("bib", id="R")
         q.box("last", id="L", parent=bib, deep=True)
-        assert check_query_against_schema(q.graph(), schema) == []
+        assert checked(q.graph(), schema) == []
 
     def test_impossible_deep_containment(self, schema):
         q = QueryBuilder()
         title = q.box("title", id="T")
         q.box("book", id="B", parent=title, deep=True)  # upside down
-        warnings = check_query_against_schema(q.graph(), schema)
+        warnings = checked(q.graph(), schema)
         assert any("no containment path" in w for w in warnings)
 
     def test_undeclared_attribute(self, schema):
         q = QueryBuilder()
         book = q.box("book", id="B")
         q.attribute(book, "isbn", id="I")
-        warnings = check_query_against_schema(q.graph(), schema)
+        warnings = checked(q.graph(), schema)
         assert any("no attribute 'isbn'" in w for w in warnings)
 
     def test_enumeration_violation(self):
@@ -73,21 +79,39 @@ class TestSchemaAwareChecking:
         q = QueryBuilder()
         e = q.box("e", id="E")
         q.attribute(e, "c", id="C", value="blue")
-        warnings = check_query_against_schema(q.graph(), schema)
+        warnings = checked(q.graph(), schema)
         assert any("enumeration" in w for w in warnings)
 
     def test_text_under_elementless_content(self, schema):
         q = QueryBuilder()
         book = q.box("book", id="B")
         q.text(book, id="T")  # book has element content, no PCDATA
-        warnings = check_query_against_schema(q.graph(), schema)
+        warnings = checked(q.graph(), schema)
         assert any("PCDATA" in w for w in warnings)
 
     def test_wildcards_never_warned(self, schema):
         q = QueryBuilder()
         any_box = q.box(None, id="X")
         q.box(None, id="Y", parent=any_box, deep=True)
-        assert check_query_against_schema(q.graph(), schema) == []
+        assert checked(q.graph(), schema) == []
+
+    def test_wrapper_is_deprecated(self, schema):
+        q = QueryBuilder()
+        q.box("book", id="B")
+        with pytest.warns(DeprecationWarning) as caught:
+            check_query_against_schema(q.graph(), schema)
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert "check_query_against_schema is deprecated" in message
+        assert "schema_diagnostics" in message
+
+    def test_wrapper_agrees_with_structured_diagnostics(self, schema):
+        from repro.analysis.xmlgl_schema import schema_diagnostics
+
+        q = QueryBuilder()
+        q.box("cdrom", id="C")
+        diagnostics = schema_diagnostics(q.graph(), schema)
+        assert len(checked(q.graph(), schema)) == len(diagnostics)
 
 
 class TestChainedPrograms:
