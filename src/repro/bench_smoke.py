@@ -2,10 +2,11 @@
 
 Runs the representative matcher queries from the extension benchmarks
 (``bench_ext_ablation``, ``bench_ext_paths``, ``bench_ext_scaling``,
-``bench_fig_q3_join``, ``bench_fig_q4_deep``) on all three evaluation
-engines — the set-at-a-time semi-join **pipeline** (default), the
-interval-**indexed** backtracking core and the **naive** full-scan
-ablation — and writes a JSON report (``BENCH_matcher.json``) with
+``bench_fig_q3_join``, ``bench_fig_q4_deep``) on all four evaluation
+engines — the cost-based **adaptive** selector (default), the
+set-at-a-time semi-join **pipeline**, the interval-**indexed**
+backtracking core and the **naive** full-scan ablation — and writes a
+JSON report (``BENCH_matcher.json``) with
 per-query wall time and :class:`~repro.engine.stats.EvalStats` counters,
 so successive PRs leave a perf trajectory to compare against::
 
@@ -23,9 +24,12 @@ semi-join plan replaces per-candidate search with set operations) and
 
 ``--baseline`` compares each engine's ``work`` per query against a
 committed report and prints a GitHub ``::warning::`` annotation for every
-regression beyond 20% — but always exits 0 (fails-soft; the CI bench job
-is informative, not gating).  ``--append-history`` carries the baseline's
-``history`` forward and appends one timestamped summary record per run.
+regression beyond 20% (fails-soft).  The **adaptive gate** is gating: if
+any query runs more than 10% (plus a 1ms noise floor) slower under the
+adaptive default than under the best forced engine, the run prints
+``::error::`` annotations and exits 1.  ``--append-history`` carries the
+baseline's ``history`` forward and appends one timestamped summary record
+per run.
 
 The report also carries a ``tracing`` block: the observability guard runs
 the join-heavy query with span recording on and off, *asserts* the work
@@ -39,6 +43,12 @@ layer: the join-heavy query runs with no budget and with a generous
 budget that cannot trip, the work counters are *asserted* identical
 (budget checks are pay-for-use and must never steer the engine), and the
 budgeted/unbudgeted timing ratio joins the trajectory.
+
+The ``plan_cache`` block runs the join-heavy query through a
+:class:`~repro.session.QuerySession` with a private plan cache, *asserts*
+the counters (cold run = one compile miss, each warm run = one hit), and
+records the cold/warm timings so the repeat-query latency win stays on
+the trajectory.
 """
 
 from __future__ import annotations
@@ -62,8 +72,10 @@ __all__ = ["run_suite", "main"]
 PIPELINE = MatchOptions(engine="pipeline")
 INDEXED = MatchOptions(engine="backtracking")
 NAIVE = MatchOptions(engine="naive")
+ADAPTIVE = MatchOptions(engine="adaptive")
 
 ENGINES: list[tuple[str, MatchOptions]] = [
+    ("adaptive", ADAPTIVE),
     ("pipeline", PIPELINE),
     ("indexed", INDEXED),
     ("naive", NAIVE),
@@ -71,6 +83,14 @@ ENGINES: list[tuple[str, MatchOptions]] = [
 
 #: Work regression tolerated before --baseline warns (fails-soft).
 REGRESSION_TOLERANCE = 0.20
+
+#: The adaptive gate (hard-fails): per query, the cost-based default may be
+#: at most this fraction slower than the best *forced* engine...
+ADAPTIVE_TOLERANCE = 0.10
+
+#: ...plus this absolute allowance, so micro-queries whose entire runtime
+#: is timer noise cannot flake the gate.
+ADAPTIVE_NOISE_FLOOR_SECONDS = 0.001
 
 #: Query the tracing-overhead guard measures (join-heavy: deepest span tree).
 TRACING_GUARD_QUERY = "fig_q3/join"
@@ -262,12 +282,54 @@ def measure_governance_overhead(
     }
 
 
+def measure_plan_cache(repeat: int, bib_entries: int = 400) -> dict:
+    """The plan-cache guard: a repeat query must skip parse/analyse/plan.
+
+    Runs the join-heavy guard query through :class:`~repro.session.QuerySession`
+    with a private plan cache.  The cold run *asserts* exactly one
+    plan-cache miss (compile); every warm run asserts exactly one hit and
+    zero misses — the gate is on the counters, which are deterministic,
+    while the cold/warm timings and their ratio are recorded for the
+    trajectory (informative, wall-time noise must not flake CI).
+    """
+    from .engine.cache import DocumentIndexCache
+    from .engine.plan_cache import PlanCache
+    from .session import QuerySession
+
+    query = next(q[1] for q in QUERIES if q[0] == TRACING_GUARD_QUERY)
+    session = QuerySession(
+        bibliography(bib_entries, seed=0),
+        indexes=DocumentIndexCache(),
+        plans=PlanCache(),
+    )
+    session.run(query)
+    cold = session.current()
+    assert cold.stats.plan_cache_misses == 1, "cold run must compile"
+    assert cold.stats.plan_cache_hits == 0
+    cold_seconds = cold.seconds
+    warm_seconds = None
+    for _ in range(max(repeat, 1)):
+        session.run(query)
+        warm = session.current()
+        assert warm.stats.plan_cache_hits == 1, "warm run must hit the cache"
+        assert warm.stats.plan_cache_misses == 0
+        assert warm.result.size() == cold.result.size()
+        seconds = warm.seconds
+        warm_seconds = seconds if warm_seconds is None else min(warm_seconds, seconds)
+    return {
+        "query": TRACING_GUARD_QUERY,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 3),
+    }
+
+
 def run_suite(
     bib_entries: int = 400,
     sections_depth: int = 7,
     repeat: int = 5,
 ) -> dict:
-    """Run every query on all three engines; returns the JSON-ready report."""
+    """Run every query on all four engines; returns the JSON-ready report."""
     datasets = {
         "bib": bibliography(bib_entries, seed=0),
         "sections": nested_sections(depth=sections_depth, fanout=2, seed=0),
@@ -307,6 +369,7 @@ def run_suite(
             }
         assert entry["indexed"]["bindings"] == entry["naive"]["bindings"], name
         assert entry["pipeline"]["bindings"] == entry["indexed"]["bindings"], name
+        assert entry["adaptive"]["bindings"] == entry["indexed"]["bindings"], name
         indexed_work = max(entry["indexed"]["work"], 1)
         entry["work_ratio"] = round(entry["naive"]["work"] / indexed_work, 2)
         entry["speedup"] = round(
@@ -318,6 +381,10 @@ def run_suite(
         entry["pipeline_speedup"] = round(
             entry["indexed"]["seconds"] / max(entry["pipeline"]["seconds"], 1e-9),
             2,
+        )
+        best_forced = min(entry["pipeline"]["seconds"], entry["indexed"]["seconds"])
+        entry["adaptive_overhead"] = round(
+            entry["adaptive"]["seconds"] / max(best_forced, 1e-9), 3
         )
         report["queries"][name] = entry
     guard_text = next(q[1] for q in QUERIES if q[0] == TRACING_GUARD_QUERY)
@@ -334,7 +401,36 @@ def run_suite(
         indexes[guard_dataset],
         repeat,
     )
+    report["plan_cache"] = measure_plan_cache(repeat, bib_entries)
     return report
+
+
+def check_adaptive(report: dict) -> list[str]:
+    """Per-query gate: the adaptive default must keep up with the best
+    forced engine (within :data:`ADAPTIVE_TOLERANCE` plus the absolute
+    noise floor).  Returns violation lines; any violation fails the run.
+    """
+    violations = []
+    for name, entry in report.get("queries", {}).items():
+        adaptive = entry.get("adaptive", {}).get("seconds")
+        forced = [
+            entry.get(label, {}).get("seconds")
+            for label in ("pipeline", "indexed")
+        ]
+        forced = [s for s in forced if s is not None]
+        if adaptive is None or not forced:
+            continue
+        best = min(forced)
+        allowed = best * (1 + ADAPTIVE_TOLERANCE) + ADAPTIVE_NOISE_FLOOR_SECONDS
+        if adaptive > allowed:
+            violations.append(
+                f"{name}: adaptive {adaptive * 1000:.2f}ms > "
+                f"{allowed * 1000:.2f}ms allowed "
+                f"(best forced {best * 1000:.2f}ms "
+                f"+{ADAPTIVE_TOLERANCE * 100:.0f}% "
+                f"+{ADAPTIVE_NOISE_FLOOR_SECONDS * 1000:.0f}ms floor)"
+            )
+    return violations
 
 
 def check_baseline(report: dict, baseline: dict) -> list[str]:
@@ -437,7 +533,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"time {entry['naive']['seconds'] * 1000:.2f}ms -> "
             f"{entry['indexed']['seconds'] * 1000:.2f}ms -> "
             f"{entry['pipeline']['seconds'] * 1000:.2f}ms "
-            f"(pipeline {entry['pipeline_speedup']}x over indexed)"
+            f"(pipeline {entry['pipeline_speedup']}x over indexed, "
+            f"adaptive {entry['adaptive_overhead']}x of best forced)"
         )
     heavy = [
         (name, entry)
@@ -468,6 +565,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{governance['budgeted_seconds'] * 1000:.2f}ms budgeted "
         f"({governance['overhead_ratio']}x), counters identical"
     )
+    plan_cache = report["plan_cache"]
+    print(
+        f"plan cache ({plan_cache['query']}): "
+        f"{plan_cache['cold_seconds'] * 1000:.2f}ms cold -> "
+        f"{plan_cache['warm_seconds'] * 1000:.2f}ms warm "
+        f"({plan_cache['speedup']}x), counters asserted"
+    )
 
     if baseline is not None:
         regressions = check_baseline(report, baseline)
@@ -475,6 +579,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"::warning::bench regression: {line}")
         if not regressions:
             print("no work regressions vs baseline")
+
+    violations = check_adaptive(report)
+    for line in violations:
+        print(f"::error::adaptive regression: {line}")
+    if violations:
+        return 1
+    print("adaptive within tolerance of best forced engine on every query")
     return 0
 
 

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="report output format",
     )
+    explain.add_argument(
+        "--engine",
+        choices=("adaptive", "pipeline", "backtracking", "naive"),
+        default=None,
+        help="force an evaluation engine (default: adaptive cost-based)",
+    )
 
     wglog = commands.add_parser("wglog", help="run WG-Log rules over bridged XML")
     wglog.add_argument("rules", help="rules file (WG-Log DSL, optional schema block)")
@@ -343,7 +349,14 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
             f"# note: explaining the first of {len(program.rules)} rules",
             file=sys.stderr,
         )
-    report = explain(program.rules[0], sources if sources else None)
+    options = None
+    if args.engine is not None:
+        from .engine.options import MatchOptions
+
+        options = MatchOptions(engine=args.engine)
+    report = explain(
+        program.rules[0], sources if sources else None, options=options
+    )
     print(report.render(args.format), file=out)
     return 0
 

@@ -1,0 +1,254 @@
+"""Cardinality estimation from per-document statistics.
+
+The adaptive engine (``MatchOptions(engine="adaptive")``) decides, per
+query fragment, whether the set-at-a-time semi-join pipeline or the
+node-at-a-time backtracking core is cheaper.  That comparison needs real
+numbers, not shapes, so :class:`DocumentStatistics` collects — in one
+extra pass piggybacked on :class:`~repro.engine.index.DocumentIndex`
+construction — the document facts both cost formulas consume:
+
+* per-tag node counts (the candidate-pool sizes),
+* depth and fanout histograms (tree shape),
+* exact direct parent/child pair counts per ``(parent_tag, child_tag)``
+  with row/column/total aggregates so wildcard endpoints estimate without
+  guessing,
+* the same family for ancestor/descendant ("deep") pairs, computed by
+  walking each node's parent chain (``O(n * depth)`` — cheap on document
+  trees, exact instead of sampled),
+* a :class:`ValueSketch` per attribute name: occurrence count and a
+  capped distinct-value count, the selectivity source for equality
+  predicates.
+
+Statistics are immutable snapshots exactly like the index that carries
+them; rebuilding the index (after a document mutation and cache
+invalidation) collects fresh statistics and bumps the index's *stats
+epoch*, which is what keys compiled plans out of the plan cache
+(:mod:`repro.engine.plan_cache`).
+
+:class:`CardinalityEstimator` is the read side: pool sizes, raw and
+pool-scaled edge-pair estimates, and attribute selectivities, consumed by
+:func:`repro.engine.planner.choose_fragment_engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..ssd.model import Element
+
+__all__ = [
+    "DISTINCT_CAP",
+    "ValueSketch",
+    "DocumentStatistics",
+    "CardinalityEstimator",
+]
+
+#: Distinct attribute values tracked exactly before a sketch saturates.
+DISTINCT_CAP = 64
+
+
+@dataclass(frozen=True)
+class ValueSketch:
+    """Selectivity sketch of one attribute name across a document."""
+
+    #: Elements carrying the attribute.
+    occurrences: int
+    #: Distinct values seen (exact until :data:`DISTINCT_CAP`, then capped).
+    distinct: int
+    #: Whether ``distinct`` is exact or the cap was hit.
+    exact: bool
+
+    @property
+    def selectivity(self) -> float:
+        """Estimated fraction of carriers an ``= constant`` predicate keeps."""
+        return 1.0 / max(1, self.distinct)
+
+
+@dataclass(frozen=True)
+class DocumentStatistics:
+    """Immutable per-document statistics collected at index build."""
+
+    element_count: int
+    tag_counts: Mapping[str, int]
+    #: depth -> number of elements at that depth (root = 0).
+    depth_histogram: Mapping[int, int]
+    #: child-element count -> number of elements with that fanout.
+    fanout_histogram: Mapping[int, int]
+    #: (parent_tag, child_tag) -> exact direct parent/child pair count.
+    child_pairs: Mapping[tuple[str, str], int]
+    #: parent_tag -> direct pairs with any child tag (row totals).
+    child_parent_totals: Mapping[str, int]
+    #: child_tag -> direct pairs with any parent tag (column totals).
+    child_child_totals: Mapping[str, int]
+    #: Direct pairs overall (= element_count - 1 on non-empty documents).
+    child_total: int
+    #: (ancestor_tag, descendant_tag) -> exact ancestor/descendant pairs.
+    deep_pairs: Mapping[tuple[str, str], int]
+    deep_parent_totals: Mapping[str, int]
+    deep_child_totals: Mapping[str, int]
+    #: Ancestor/descendant pairs overall (= sum of element depths).
+    deep_total: int
+    #: attribute name -> :class:`ValueSketch`.
+    attributes: Mapping[str, ValueSketch]
+
+    @classmethod
+    def collect(
+        cls,
+        elements: Sequence[Element],
+        parent_pre: Sequence[int],
+        depth: Sequence[int],
+    ) -> "DocumentStatistics":
+        """One pass over the index's pre-order arrays (plus ancestor walks)."""
+        tag_counts: dict[str, int] = {}
+        depth_histogram: dict[int, int] = {}
+        child_counts = [0] * len(elements)
+        child_pairs: dict[tuple[str, str], int] = {}
+        child_parent_totals: dict[str, int] = {}
+        child_child_totals: dict[str, int] = {}
+        deep_pairs: dict[tuple[str, str], int] = {}
+        deep_parent_totals: dict[str, int] = {}
+        deep_child_totals: dict[str, int] = {}
+        deep_total = 0
+        attr_occurrences: dict[str, int] = {}
+        attr_values: dict[str, set[str]] = {}
+        attr_saturated: set[str] = set()
+
+        for pre, element in enumerate(elements):
+            tag = element.tag
+            tag_counts[tag] = tag_counts.get(tag, 0) + 1
+            level = depth[pre]
+            depth_histogram[level] = depth_histogram.get(level, 0) + 1
+            ppre = parent_pre[pre]
+            if ppre >= 0:
+                child_counts[ppre] += 1
+                parent_tag = elements[ppre].tag
+                key = (parent_tag, tag)
+                child_pairs[key] = child_pairs.get(key, 0) + 1
+                child_parent_totals[parent_tag] = (
+                    child_parent_totals.get(parent_tag, 0) + 1
+                )
+                child_child_totals[tag] = child_child_totals.get(tag, 0) + 1
+                # Exact deep pairs: every ancestor of this element
+                # contributes one (ancestor_tag, tag) pair.
+                walk = ppre
+                while walk >= 0:
+                    ancestor_tag = elements[walk].tag
+                    deep_key = (ancestor_tag, tag)
+                    deep_pairs[deep_key] = deep_pairs.get(deep_key, 0) + 1
+                    deep_parent_totals[ancestor_tag] = (
+                        deep_parent_totals.get(ancestor_tag, 0) + 1
+                    )
+                    walk = parent_pre[walk]
+                deep_child_totals[tag] = deep_child_totals.get(tag, 0) + level
+                deep_total += level
+            for name, value in element.attributes.items():
+                attr_occurrences[name] = attr_occurrences.get(name, 0) + 1
+                if name not in attr_saturated:
+                    seen = attr_values.setdefault(name, set())
+                    seen.add(value)
+                    if len(seen) >= DISTINCT_CAP:
+                        attr_saturated.add(name)
+
+        fanout_histogram: dict[int, int] = {}
+        for fanout in child_counts:
+            fanout_histogram[fanout] = fanout_histogram.get(fanout, 0) + 1
+
+        attributes = {
+            name: ValueSketch(
+                occurrences=count,
+                distinct=len(attr_values.get(name, ())),
+                exact=name not in attr_saturated,
+            )
+            for name, count in attr_occurrences.items()
+        }
+        return cls(
+            element_count=len(elements),
+            tag_counts=tag_counts,
+            depth_histogram=depth_histogram,
+            fanout_histogram=fanout_histogram,
+            child_pairs=child_pairs,
+            child_parent_totals=child_parent_totals,
+            child_child_totals=child_child_totals,
+            child_total=max(0, len(elements) - 1),
+            deep_pairs=deep_pairs,
+            deep_parent_totals=deep_parent_totals,
+            deep_child_totals=deep_child_totals,
+            deep_total=deep_total,
+            attributes=attributes,
+        )
+
+
+class CardinalityEstimator:
+    """Pool and edge-pair estimates over one document's statistics.
+
+    ``None`` tags mean wildcards throughout and resolve against the
+    row/column/total aggregates, so every (tag, wildcard) combination has
+    an exact answer rather than an independence guess.
+    """
+
+    def __init__(self, statistics: DocumentStatistics) -> None:
+        self._statistics = statistics
+
+    @property
+    def statistics(self) -> DocumentStatistics:
+        return self._statistics
+
+    def pool(self, tag: Optional[str]) -> int:
+        """Candidate-pool size for a box with ``tag`` (``None`` = wildcard)."""
+        if tag is None:
+            return self._statistics.element_count
+        return self._statistics.tag_counts.get(tag, 0)
+
+    def edge_pairs(
+        self,
+        parent_tag: Optional[str],
+        child_tag: Optional[str],
+        deep: bool = False,
+    ) -> int:
+        """Exact pair count one containment arc relates, over whole pools."""
+        s = self._statistics
+        if deep:
+            if parent_tag is None and child_tag is None:
+                return s.deep_total
+            if parent_tag is None:
+                return s.deep_child_totals.get(child_tag, 0)  # type: ignore[arg-type]
+            if child_tag is None:
+                return s.deep_parent_totals.get(parent_tag, 0)
+            return s.deep_pairs.get((parent_tag, child_tag), 0)
+        if parent_tag is None and child_tag is None:
+            return s.child_total
+        if parent_tag is None:
+            return s.child_child_totals.get(child_tag, 0)  # type: ignore[arg-type]
+        if child_tag is None:
+            return s.child_parent_totals.get(parent_tag, 0)
+        return s.child_pairs.get((parent_tag, child_tag), 0)
+
+    def scaled_edge_pairs(
+        self,
+        parent_tag: Optional[str],
+        child_tag: Optional[str],
+        deep: bool,
+        parent_pool: int,
+        child_pool: int,
+    ) -> float:
+        """Pair estimate scaled to narrowed pools.
+
+        The exact counts cover *whole* tag pools; anchoring, required
+        attributes and constant circles narrow the actual pools, so the
+        count is scaled by each endpoint's kept fraction (uniformity
+        assumption, clamped to 1).
+        """
+        raw = self.edge_pairs(parent_tag, child_tag, deep)
+        if raw <= 0:
+            return 0.0
+        parent_fraction = parent_pool / max(1, self.pool(parent_tag))
+        child_fraction = child_pool / max(1, self.pool(child_tag))
+        return raw * min(1.0, parent_fraction) * min(1.0, child_fraction)
+
+    def attribute_selectivity(self, name: str) -> float:
+        """Kept fraction of an ``@name = constant`` predicate (1.0 unknown)."""
+        sketch = self._statistics.attributes.get(name)
+        if sketch is None:
+            return 1.0
+        return sketch.selectivity

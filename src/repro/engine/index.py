@@ -24,12 +24,20 @@ invalidated explicitly).
 
 from __future__ import annotations
 
+import itertools
 from bisect import bisect_right
 from typing import Iterator, Optional
 
 from ..ssd.model import Document, Element
+from .estimator import DocumentStatistics
 
 __all__ = ["DocumentIndex"]
+
+#: Monotonic stamp handed to each index at construction.  A rebuilt index
+#: (after a document mutation and cache invalidation) gets a new epoch, so
+#: plan-cache keys embedding the old one can never serve stale plans.
+#: ``itertools.count`` is atomic under the GIL — no lock needed.
+_STATS_EPOCHS = itertools.count(1)
 
 
 class DocumentIndex:
@@ -83,6 +91,14 @@ class DocumentIndex:
         self._by_attribute: dict[str, tuple[Element, ...]] = {
             name: tuple(pool) for name, pool in by_attribute.items()
         }
+
+        # Cost-model statistics ride on the index snapshot (collected once,
+        # same immutability contract); the epoch versions them for the
+        # compiled-plan cache.
+        self._statistics = DocumentStatistics.collect(
+            self._elements, self._parent_pre, self._depth
+        )
+        self._stats_epoch = next(_STATS_EPOCHS)
 
     # -- lookups ------------------------------------------------------------
 
@@ -144,6 +160,16 @@ class DocumentIndex:
         return self._by_tag[tag][lo:hi]
 
     # -- statistics -----------------------------------------------------------
+
+    @property
+    def statistics(self) -> DocumentStatistics:
+        """Cost-model statistics collected at index build (immutable)."""
+        return self._statistics
+
+    @property
+    def stats_epoch(self) -> int:
+        """Monotonic stamp of this snapshot; plan-cache keys embed it."""
+        return self._stats_epoch
 
     def element_count(self) -> int:
         """Total number of elements."""

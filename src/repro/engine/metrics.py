@@ -161,6 +161,8 @@ class MetricsRegistry:
             ordered = sorted(self._samples)
         hits = totals.get("cache_hits", 0)
         misses = totals.get("cache_misses", 0)
+        plan_hits = totals.get("plan_cache_hits", 0)
+        plan_misses = totals.get("plan_cache_misses", 0)
         fragments = totals.get("pipeline_fragments", 0)
         fallbacks = totals.get("pipeline_fallbacks", 0)
         return {
@@ -174,6 +176,11 @@ class MetricsRegistry:
             "totals": totals,
             "cache_hit_rate": (
                 hits / (hits + misses) if hits + misses else None
+            ),
+            "plan_cache_hit_rate": (
+                plan_hits / (plan_hits + plan_misses)
+                if plan_hits + plan_misses
+                else None
             ),
             "pipeline_fallback_rate": (
                 fallbacks / (fragments + fallbacks)

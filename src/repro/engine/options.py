@@ -5,7 +5,14 @@ XML-GL document matcher and the WG-Log graph matcher both honour:
 
 * ``engine`` — the evaluation strategy:
 
-  - ``"pipeline"`` (default): set-at-a-time evaluation.  The query is
+  - ``"adaptive"`` (default): per-fragment cost-based selection.  Each
+    coverable query fragment is costed with the document's statistics
+    (:mod:`repro.engine.estimator`) and runs on whichever of the two
+    engines below is estimated cheaper
+    (:func:`repro.engine.planner.choose_fragment_engine`); the shape-based
+    *hard* fallbacks (ordered / negated / cyclic fragments) apply exactly
+    as under ``"pipeline"``.
+  - ``"pipeline"``: set-at-a-time evaluation, forced.  The query is
     compiled into per-node candidate pools plus binary edge relations, a
     Yannakakis-style semi-join reduction removes dangling candidates over a
     cost-chosen join tree, and hash joins assemble the final binding set.
@@ -48,7 +55,7 @@ if TYPE_CHECKING:
 __all__ = ["ENGINES", "MatchOptions"]
 
 #: Recognised values of :attr:`MatchOptions.engine`.
-ENGINES = ("pipeline", "backtracking", "naive")
+ENGINES = ("adaptive", "pipeline", "backtracking", "naive")
 
 
 @dataclass
@@ -57,7 +64,7 @@ class MatchOptions:
 
     use_planner: bool = True
     use_index: bool = True
-    engine: str = "pipeline"
+    engine: str = "adaptive"
     trace: bool = False
     budget: Optional["QueryBudget"] = None
 
@@ -71,13 +78,15 @@ class MatchOptions:
         """The engine that will actually run.
 
         ``"naive"`` forces scans regardless of ``use_index``; conversely,
-        ``use_index=False`` demotes the pipeline to backtracking (which
-        then scans), preserving the historical meaning of the ablation
-        flag for callers that never mention engines.
+        ``use_index=False`` demotes the adaptive/pipeline engines to
+        backtracking (which then scans), preserving the historical meaning
+        of the ablation flag for callers that never mention engines — the
+        cost model and the set-at-a-time plans both feed on the index, so
+        neither exists without one.
         """
         if self.engine == "naive":
             return "naive"
-        if self.engine == "pipeline" and not self.use_index:
+        if self.engine in ("adaptive", "pipeline") and not self.use_index:
             return "backtracking"
         return self.engine
 

@@ -1,0 +1,111 @@
+"""Compiled-plan cache.
+
+Parsing, validation and plan compilation (or-expansion, edge
+classification, fragment discovery, condition pushdown — see
+:func:`repro.xmlgl.matcher.compile_graph`) are document-independent, so a
+query evaluated twice over unchanged documents repeats that analysis for
+nothing.  :class:`PlanCache` memoises the fully analysed plan, keyed by
+
+* the SHA-256 digest of the query *text* (callers with only an AST digest
+  its canonical unparse), and
+* the tuple of **stats epochs** of the participating document indexes
+  (:attr:`repro.engine.index.DocumentIndex.stats_epoch`).
+
+A rebuilt index — after a document mutation and cache invalidation — gets
+a fresh epoch, so the old key simply never matches again: invalidation is
+structural, not evented.  Stale entries age out of the LRU.
+
+The cache is a lock-guarded LRU (``dict`` insertion order, move-to-end on
+hit) safe for :meth:`repro.session.QuerySession.run_batch`'s worker
+threads; entries are immutable compiled plans shared freely across
+threads.  ``shared_plans`` is the process-wide default, mirroring the
+``shared_cache`` convention of :mod:`repro.engine.cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+__all__ = ["CompiledPlan", "PlanCache", "shared_plans"]
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """One cached analysis: parsed rule plus per-graph compiled plans.
+
+    ``graph_plans`` holds one :class:`repro.xmlgl.matcher.CompiledGraphPlan`
+    per extract graph of the rule (typed ``Any`` to keep this module free
+    of language imports).  ``preflight_skip`` records a static
+    contradiction verdict: the rule can never bind, so evaluation
+    short-circuits without matching (and ``graph_plans`` is empty).
+    """
+
+    rule: Any
+    preflight_skip: bool
+    graph_plans: tuple[Any, ...]
+
+
+class PlanCache:
+    """Thread-safe LRU over compiled plans."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[Hashable, CompiledPlan] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Optional[CompiledPlan]:
+        """The cached plan for ``key``, refreshed to most-recent, or ``None``."""
+        with self._lock:
+            plan = self._entries.pop(key, None)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._entries[key] = plan  # re-insert = move to LRU tail
+            self._hits += 1
+            return plan
+
+    def put(self, key: Hashable, plan: CompiledPlan) -> None:
+        """Insert ``plan``, evicting least-recently-used entries over capacity."""
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = plan
+            while len(self._entries) > self._max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self._evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one entry if present (epoch keys make this rarely needed)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry; counters keep accumulating."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters plus current size (one consistent snapshot)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+
+#: Process-wide default cache (mirrors ``repro.engine.cache.shared_cache``).
+shared_plans = PlanCache()

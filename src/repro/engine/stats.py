@@ -33,7 +33,10 @@ counted separately from per-candidate trial-and-error:
   (cyclic, ordered, negated or path-edge fragments);
 * ``cache_hits`` / ``cache_misses`` — shared
   :class:`~repro.engine.cache.DocumentIndexCache` lookups served from /
-  missing the cache during this evaluation.
+  missing the cache during this evaluation;
+* ``plan_cache_hits`` / ``plan_cache_misses`` — compiled-plan lookups
+  (:mod:`repro.engine.plan_cache`) served from / missing the plan cache
+  (a hit skips parse, validation, preflight and graph analysis).
 """
 
 from __future__ import annotations
@@ -67,6 +70,8 @@ _COUNTERS = (
     "pipeline_fallbacks",
     "cache_hits",
     "cache_misses",
+    "plan_cache_hits",
+    "plan_cache_misses",
     "seconds",
 )
 
@@ -92,6 +97,8 @@ class EvalStats:
     pipeline_fallbacks: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     seconds: float = 0.0
     extra: dict[str, int] = field(default_factory=dict)
     #: Optional span recorder (:class:`repro.engine.trace.Tracer`).  Not a

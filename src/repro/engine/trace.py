@@ -24,12 +24,20 @@ the names staying stable:
 span / event              recorded by
 ========================  ===================================================
 ``parse``                 session / CLI / explain — DSL text to Rule
+``plan.cache.hit``        event: :func:`repro.xmlgl.evaluator.lookup_or_compile`
+                          served a compiled plan (attr ``key``)
+``plan.cache.miss``       event: plan-cache lookup missed (attr ``key``)
+``plan.cache.compile``    :func:`repro.xmlgl.evaluator.lookup_or_compile`
+                          compiling the plan after a miss (attr ``key``)
 ``preflight``             :func:`repro.xmlgl.evaluator.rule_bindings`
+                          (attr ``cached`` when served from a compiled plan)
 ``index.lookup``          :meth:`repro.engine.cache.DocumentIndexCache.get`
                           (attr ``outcome``: hit / built / raced)
 ``match``                 evaluator / WG-Log ``embeddings`` (attr ``engine``)
 ``match.fragment``        per connected query fragment (attrs ``variables``,
-                          ``decision``: pipeline / fallback, ``reason``)
+                          ``decision``: pipeline / backtracking / fallback,
+                          ``reason``; adaptive cost decisions carry
+                          ``est_pipeline`` / ``est_backtracking``)
 ``fragment.pools``        XML-GL pool construction (attr ``sizes``)
 ``fragment.relations``    edge-relation build (attr ``pairs``)
 ``plan``                  :func:`repro.engine.pipeline.evaluate_forest`

@@ -33,11 +33,11 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
 from .engine.options import MatchOptions
+from .engine.plan_cache import PlanCache
 from .engine.stats import EvalStats
 from .engine.trace import Span, Tracer
 from .ssd.model import Document
-from .xmlgl.dsl import parse_rule
-from .xmlgl.evaluator import evaluate_rule
+from .xmlgl.evaluator import evaluate_rule, lookup_or_compile
 from .xmlgl.rule import Rule
 from .xmlgl.unparse import unparse_rule
 
@@ -74,7 +74,7 @@ class FragmentPlan:
     """One connected query fragment's evaluation decision and plan."""
 
     variables: list[str]
-    decision: str  # pipeline | fallback
+    decision: str  # pipeline | backtracking | fallback
     reason: Optional[str]
     rows: Optional[int]
     order: list[str] = field(default_factory=list)
@@ -82,6 +82,9 @@ class FragmentPlan:
     pool_sizes: dict[str, int] = field(default_factory=dict)
     semijoins: list[SemiJoinPass] = field(default_factory=list)
     assembled_rows: Optional[int] = None
+    #: Adaptive cost estimates, when the decision was cost-based.
+    est_pipeline: Optional[float] = None
+    est_backtracking: Optional[float] = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -94,6 +97,8 @@ class FragmentPlan:
             "pool_sizes": self.pool_sizes,
             "semijoins": [p.as_dict() for p in self.semijoins],
             "assembled_rows": self.assembled_rows,
+            "est_pipeline": self.est_pipeline,
+            "est_backtracking": self.est_backtracking,
         }
 
 
@@ -128,12 +133,16 @@ class Explanation:
     stats: EvalStats
     trace: Tracer
     synthetic_source: bool = False
+    #: ``cached`` when the compiled plan came from the plan cache,
+    #: ``compiled`` when this run compiled it.
+    plan_source: str = "compiled"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready view (``render_json`` round-trips through this)."""
         return {
             "query": self.query,
             "engine": self.engine,
+            "plan_source": self.plan_source,
             "preflight_skipped": self.preflight_skipped,
             "synthetic_source": self.synthetic_source,
             "index_lookups": self.index_lookups,
@@ -149,6 +158,7 @@ class Explanation:
     def render_text(self) -> str:
         lines = [f"EXPLAIN {self.query.strip()}"]
         lines.append(f"engine: {self.engine}")
+        lines.append(f"plan: {self.plan_source}")
         if self.synthetic_source:
             lines.append(
                 "source: (none given) built-in bibliography workload, "
@@ -197,6 +207,17 @@ class Explanation:
 
 def _render_fragment(fragment: FragmentPlan) -> list[str]:
     variables = ", ".join(fragment.variables)
+    if fragment.decision == "backtracking":
+        estimates = ""
+        if fragment.est_pipeline is not None:
+            estimates = (
+                f" (est pipeline {fragment.est_pipeline} vs "
+                f"backtracking {fragment.est_backtracking})"
+            )
+        return [
+            f"  fragment [{variables}]: cost-chosen backtracking"
+            f"{estimates} -> {fragment.rows} row(s)"
+        ]
     if fragment.decision != "pipeline":
         return [
             f"  fragment [{variables}]: fallback to backtracking "
@@ -262,6 +283,8 @@ def _fragment_from_span(span: Span) -> FragmentPlan:
         decision=span.attributes.get("decision", "?"),
         reason=span.attributes.get("reason"),
         rows=span.attributes.get("rows"),
+        est_pipeline=span.attributes.get("est_pipeline"),
+        est_backtracking=span.attributes.get("est_backtracking"),
     )
     plans = span.find("plan")
     if plans:
@@ -315,6 +338,7 @@ def _digest(
         )
     constructs = tracer.find("construct")
     construct = dict(constructs[0].attributes) if constructs else None
+    plan_source = "cached" if tracer.find("plan.cache.hit") else "compiled"
     return Explanation(
         query=query_text,
         engine=engine,
@@ -325,6 +349,7 @@ def _digest(
         stats=stats,
         trace=tracer,
         synthetic_source=synthetic_source,
+        plan_source=plan_source,
     )
 
 
@@ -333,6 +358,7 @@ def explain(
     sources: Optional[Sources] = None,
     options: Optional[MatchOptions] = None,
     indexes: Optional[Any] = None,
+    plans: Optional[PlanCache] = None,
 ) -> Explanation:
     """Evaluate ``query`` with tracing on and digest the trace.
 
@@ -340,14 +366,10 @@ def explain(
     can be explained without data; ``options`` defaults to the default
     engine with tracing forced on (the caller's ``trace`` flag is
     irrelevant here — EXPLAIN always records).  ``indexes`` is forwarded
-    to the evaluator (a private cache isolates the explain run).
+    to the evaluator (a private cache isolates the explain run); ``plans``
+    likewise selects the compiled-plan cache — the report's ``plan:`` line
+    says whether this run's plan was served ``cached`` or ``compiled``.
     """
-    if isinstance(query, str):
-        rule = parse_rule(query)
-        query_text = query
-    else:
-        rule = query
-        query_text = unparse_rule(rule)
     synthetic = sources is None
     if sources is None:
         from .workloads import bibliography
@@ -363,7 +385,13 @@ def explain(
     )
     stats = EvalStats()
     stats.trace = Tracer()
-    evaluate_rule(rule, sources, options=traced, stats=stats, indexes=indexes)
+    rule, source_text, plan = lookup_or_compile(
+        query, sources, indexes=indexes, stats=stats, plans=plans
+    )
+    query_text = source_text if source_text is not None else unparse_rule(rule)
+    evaluate_rule(
+        rule, sources, options=traced, stats=stats, indexes=indexes, plan=plan
+    )
     return _digest(
         query_text,
         traced.resolved_engine(),

@@ -26,12 +26,13 @@ from typing import Mapping, Optional, Sequence, Union
 from .engine.cache import DocumentIndexCache, shared_cache
 from .engine.limits import CancelToken, QueryBudget, arm_budget
 from .engine.metrics import MetricsRegistry
+from .engine.plan_cache import PlanCache, shared_plans
 from .engine.stats import EvalStats
 from .engine.trace import Tracer
 from .errors import ReproError
 from .ssd.model import Document
 from .xmlgl.dsl import parse_rule
-from .xmlgl.evaluator import evaluate_rule
+from .xmlgl.evaluator import evaluate_rule, lookup_or_compile
 from .xmlgl.matcher import MatchOptions
 from .xmlgl.rule import Rule
 
@@ -91,6 +92,7 @@ class QuerySession:
         options: Optional[MatchOptions] = None,
         indexes: Optional[DocumentIndexCache] = None,
         metrics: Optional[MetricsRegistry] = None,
+        plans: Optional[PlanCache] = None,
     ) -> None:
         self._sources = sources
         self._options = options
@@ -102,6 +104,10 @@ class QuerySession:
         # attributable; pass repro.engine.metrics.global_registry to pool
         # several sessions into the process-wide aggregate.
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        # Compiled plans likewise default to the process-wide cache: the
+        # key embeds the query digest and index epochs, so sharing across
+        # sessions is safe; pass a private PlanCache to isolate.
+        self._plans = plans if plans is not None else shared_plans
         self._cycles: list[QueryCycle] = []
         self._position = -1  # index of the current cycle
 
@@ -154,21 +160,20 @@ class QuerySession:
         stats = EvalStats()
         stats.trace = tracer
         arm_budget(stats, effective_budget, cancel)
-        if isinstance(query, str):
-            if tracer is not None:
-                with tracer.span("parse"):
-                    rule = parse_rule(query)
-            else:
-                rule = parse_rule(query)
-            source_text = query
-        else:
-            rule = query
-            source_text = None
+        # The clock starts before plan lookup so cycle timings show the
+        # plan-cache win (a hit skips parse + analysis entirely).
         started = time.perf_counter()
+        rule, source_text, plan = lookup_or_compile(
+            query,
+            self._sources,
+            indexes=self._indexes,
+            stats=stats,
+            plans=self._plans,
+        )
         result = Document(
             evaluate_rule(
                 rule, self._sources, options=opts, stats=stats,
-                indexes=self._indexes,
+                indexes=self._indexes, plan=plan,
             )
         )
         elapsed = time.perf_counter() - started
@@ -238,6 +243,18 @@ class QuerySession:
                 prepared.append((query, None))
         for document in self._documents():
             self._indexes.get(document)
+        # Prewarm the plan cache on the calling thread (throwaway stats):
+        # duplicate queries across rows compile once instead of racing, and
+        # every row then takes a deterministic plan-cache hit.
+        for rule, source_text in prepared:
+            lookup_or_compile(
+                source_text if source_text is not None else rule,
+                self._sources,
+                parsed=rule,
+                indexes=self._indexes,
+                stats=EvalStats(),
+                plans=self._plans,
+            )
 
         def evaluate_one(item: tuple[int, tuple[Rule, Optional[str]]]) -> BatchResult:
             position, (rule, source_text) = item
@@ -251,10 +268,18 @@ class QuerySession:
             error: Optional[ReproError] = None
             started = time.perf_counter()
             try:
+                rule, _, plan = lookup_or_compile(
+                    source_text if source_text is not None else rule,
+                    self._sources,
+                    parsed=rule,
+                    indexes=self._indexes,
+                    stats=stats,
+                    plans=self._plans,
+                )
                 result = Document(
                     evaluate_rule(
                         rule, self._sources, options=opts, stats=stats,
-                        indexes=self._indexes,
+                        indexes=self._indexes, plan=plan,
                     )
                 )
             except ReproError as exc:
@@ -324,7 +349,8 @@ class QuerySession:
         else:
             rule = query
         return explain_rule(
-            rule, self._sources, options=self._options, indexes=self._indexes
+            rule, self._sources, options=self._options,
+            indexes=self._indexes, plans=self._plans,
         )
 
     def metrics(self) -> MetricsRegistry:

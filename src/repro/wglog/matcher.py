@@ -158,9 +158,13 @@ def embeddings(
     )
     results = BindingSet()
     with trace_span(stats.trace, "match", engine=engine, language="wglog"):
-        if engine == "pipeline":
+        if engine in ("pipeline", "adaptive"):
             mappings = find_homomorphisms_setwise(
-                pattern, instance.graph, spec, stats=stats
+                pattern,
+                instance.graph,
+                spec,
+                stats=stats,
+                adaptive=engine == "adaptive",
             )
         else:
             mappings = find_homomorphisms(

@@ -3,26 +3,43 @@
 Ties the pieces together: match every extract graph against its source
 document, join the binding sets (shared predicates realise multi-document
 joins), filter by rule-level conditions, and run the construct tree.
+
+Repeated queries skip the front half entirely: :func:`lookup_or_compile`
+keys a :class:`~repro.engine.plan_cache.CompiledPlan` — the parsed rule,
+its static-preflight verdict and one compiled
+:class:`~repro.xmlgl.matcher.CompiledGraphPlan` per extract graph — by the
+query text's digest and the participating indexes' stats epochs, and
+:func:`rule_bindings` / :func:`evaluate_rule` accept the cached plan via
+``plan=`` so parse, validation, preflight and graph analysis all amortise
+to one execution.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Mapping, Optional, Union
 
 from ..engine.bindings import BindingSet
 from ..engine.cache import DocumentIndexCache, shared_cache
 from ..engine.conditions import DocumentAccessor
 from ..engine.limits import QueryBudget, arm_budget, mark_truncated, truncate_element
+from ..engine.plan_cache import CompiledPlan, PlanCache, shared_plans
 from ..engine.stats import EvalStats
 from ..engine.trace import Tracer, span as trace_span
 from ..errors import BudgetExceeded, EvaluationError
 from ..ssd.model import Document, Element
 from .ast import QueryGraph
 from .construct import build
-from .matcher import MatchOptions, match
+from .matcher import MatchOptions, compile_graph, match
 from .rule import Program, Rule
 
-__all__ = ["evaluate_rule", "evaluate_program", "rule_bindings"]
+__all__ = [
+    "compile_plan",
+    "evaluate_rule",
+    "evaluate_program",
+    "lookup_or_compile",
+    "rule_bindings",
+]
 
 _ACCESSOR = DocumentAccessor()
 
@@ -50,6 +67,88 @@ def _resolve_source(graph: QueryGraph, sources: Sources) -> Document:
         raise EvaluationError(f"unknown source document {graph.source!r}")
 
 
+def compile_plan(rule: Rule) -> CompiledPlan:
+    """Analyse ``rule`` once: preflight verdict plus per-graph compiled plans.
+
+    A statically contradictory rule is recorded as ``preflight_skip`` with
+    no graph plans — evaluation of the cached plan short-circuits exactly
+    like the live preflight would.
+    """
+    from ..analysis.preflight import xmlgl_preflight
+
+    if xmlgl_preflight(rule) is not None:
+        return CompiledPlan(rule=rule, preflight_skip=True, graph_plans=())
+    return CompiledPlan(
+        rule=rule,
+        preflight_skip=False,
+        graph_plans=tuple(compile_graph(graph) for graph in rule.queries),
+    )
+
+
+def lookup_or_compile(
+    query: Union[str, Rule],
+    sources: Sources,
+    *,
+    parsed: Optional[Rule] = None,
+    indexes: Optional[DocumentIndexCache] = None,
+    stats: Optional[EvalStats] = None,
+    plans: Optional[PlanCache] = None,
+) -> tuple[Rule, Optional[str], CompiledPlan]:
+    """The plan-cache front door: ``(rule, source_text, compiled plan)``.
+
+    The cache key pairs the query text's SHA-256 digest (an AST ``query``
+    is digested via its canonical unparse) with the stats epochs of every
+    source document's index — a mutated-and-reinvalidated document rebuilds
+    its index under a fresh epoch, so stale plans can never be served.
+    Indexes are resolved through ``indexes`` (the shared cache by default),
+    which doubles as the index prewarm for the subsequent evaluation.
+
+    On a hit the parse, validation, preflight and graph analysis are all
+    skipped (``stats.plan_cache_hits``, trace event ``plan.cache.hit``); on
+    a miss the query is parsed — unless the caller supplies ``parsed`` —
+    and compiled under a ``plan.cache.compile`` span, then cached.
+    """
+    stats = stats if stats is not None else EvalStats()
+    tracer = stats.trace
+    if isinstance(query, str):
+        source_text = query
+    else:
+        from .unparse import unparse_rule
+
+        parsed = query
+        source_text = None
+    digest = hashlib.sha256(
+        (source_text if source_text is not None else unparse_rule(parsed)).encode()
+    ).hexdigest()
+    cache = indexes if indexes is not None else shared_cache
+    documents = (
+        [sources] if isinstance(sources, Document) else list(sources.values())
+    )
+    epochs = tuple(
+        cache.get(document, stats=stats).stats_epoch for document in documents
+    )
+    plan_cache = plans if plans is not None else shared_plans
+    key = (digest, epochs)
+    plan = plan_cache.get(key)
+    if plan is not None:
+        stats.plan_cache_hits += 1
+        if tracer is not None:
+            tracer.event("plan.cache.hit", key=digest[:12])
+        return plan.rule, source_text, plan
+    stats.plan_cache_misses += 1
+    if tracer is not None:
+        tracer.event("plan.cache.miss", key=digest[:12])
+    if parsed is None:
+        from .dsl import parse_rule
+
+        with trace_span(tracer, "parse", query=len(source_text or "")):
+            parsed = parse_rule(source_text)
+    with trace_span(tracer, "plan.cache.compile", key=digest[:12]):
+        plan = compile_plan(parsed)
+    plan_cache.put(key, plan)
+    return parsed, source_text, plan
+
+
 def rule_bindings(
     rule: Rule,
     sources: Sources,
@@ -60,6 +159,7 @@ def rule_bindings(
     stats: Optional[EvalStats] = None,
     indexes: Optional[DocumentIndexCache] = None,
     preflight: bool = True,
+    plan: Optional[CompiledPlan] = None,
 ) -> BindingSet:
     """Matched and joined bindings of a rule (before construction).
 
@@ -80,6 +180,10 @@ def rule_bindings(
     first: a rule proved to match nothing — contradictory predicates, an
     impossible anchoring — returns an empty binding set without touching
     any document, counted in ``stats.preflight_skips``.
+
+    ``plan`` is a :func:`compile_plan` result *for this rule* (usually via
+    :func:`lookup_or_compile`): the live preflight and each graph's
+    compilation are skipped in favour of the cached analysis.
     """
     stats = stats if stats is not None else EvalStats()
     tracing = trace if trace is not None else (
@@ -92,7 +196,15 @@ def rule_bindings(
     )
     # Arm here (not in match) so one deadline spans preflight-to-construct.
     arm_budget(stats, effective_budget)
-    if preflight:
+    if plan is not None:
+        with trace_span(stats.trace, "preflight") as preflight_span:
+            if preflight_span is not None:
+                preflight_span["cached"] = True
+                preflight_span["skipped"] = plan.preflight_skip
+        if plan.preflight_skip:
+            stats.preflight_skips += 1
+            return BindingSet()
+    elif preflight:
         from ..analysis.preflight import xmlgl_preflight
 
         with trace_span(stats.trace, "preflight") as preflight_span:
@@ -116,7 +228,12 @@ def rule_bindings(
             language="xmlgl",
         ) as match_span:
             bindings = match(
-                graph, document, options=options, index=index, stats=stats
+                graph,
+                document,
+                options=options,
+                index=index,
+                stats=stats,
+                plan=plan.graph_plans[position] if plan is not None else None,
             )
             if match_span is not None:
                 match_span["bindings"] = len(bindings)
@@ -140,11 +257,13 @@ def evaluate_rule(
     budget: Optional[QueryBudget] = None,
     stats: Optional[EvalStats] = None,
     indexes: Optional[DocumentIndexCache] = None,
+    plan: Optional[CompiledPlan] = None,
 ) -> Element:
     """Evaluate one rule to its constructed result element.
 
     Accepts the unified keyword-only ``options=`` / ``trace=`` / ``budget=``
-    contract (see :func:`rule_bindings`).  When a budget caps
+    contract (see :func:`rule_bindings`, including ``plan=`` for cached
+    compiled plans).  When a budget caps
     ``max_result_nodes``, the constructed tree is checked after building:
     under ``on_limit="raise"`` an oversized result raises
     :class:`~repro.errors.BudgetExceeded`; under ``"partial"`` it is pruned
@@ -160,6 +279,7 @@ def evaluate_rule(
         budget=budget,
         stats=stats,
         indexes=indexes,
+        plan=plan,
     )
     state = stats.budget
     with trace_span(stats.trace, "construct") as construct_span:

@@ -21,9 +21,26 @@ Or-arcs are evaluated by branch expansion: one branch per or-group is
 chosen, the resulting plain graph matched, and the binding sets unioned
 (with duplicate elimination across branches).
 
-Three engines share this module (``MatchOptions.engine``):
+Matching is split into two phases.  :func:`compile_graph` performs every
+document-independent analysis once — validation, condition-scope checks,
+or-group branch expansion, edge classification, fragment discovery with
+hard-fallback reasons, condition pushdown assignment — producing a
+:class:`CompiledGraphPlan` that :func:`match` accepts via ``plan=`` so
+repeated queries (through the plan cache,
+:mod:`repro.engine.plan_cache`) skip the analysis entirely.  Document-
+dependent state (candidate pools) is prepared per evaluation.
 
-* ``"pipeline"`` (default) evaluates **set-at-a-time**: the paper's
+Four engines share this module (``MatchOptions.engine``):
+
+* ``"adaptive"`` (default) runs the pipeline's fragment loop but decides
+  **per fragment** between set-at-a-time and backtracking evaluation by
+  comparing estimated costs (:mod:`repro.engine.estimator`,
+  :func:`repro.engine.planner.choose_fragment_engine`).  Fragments with
+  pushed-down predicates stay set-at-a-time (pool pre-filtering is the
+  pipeline's structural advantage); the shape-based hard fallbacks below
+  apply unchanged.  Cost-chosen backtracking fragments carry the trace
+  decision ``backtracking`` / reason ``cost``.
+* ``"pipeline"`` evaluates **set-at-a-time**: the paper's
   queries-are-graphs idiom makes every extract graph a relational join
   plan, so each acyclic query fragment is compiled to per-box candidate
   pools (from the :class:`~repro.engine.index.DocumentIndex`) plus binary
@@ -66,13 +83,14 @@ from ..engine.conditions import (
     Operand,
     condition_variables,
 )
+from ..engine.estimator import CardinalityEstimator
 from ..engine.index import DocumentIndex
 from ..engine.joins import equijoin_key
 from ..engine.limits import arm_budget, mark_truncated
 from ..engine.narrowing import intersect_pools
 from ..engine.options import MatchOptions
 from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
-from ..engine.planner import plan_order
+from ..engine.planner import FragmentCosts, choose_fragment_engine, plan_order
 from ..engine.stats import EvalStats
 from ..engine.trace import Tracer, span as trace_span
 from ..errors import BudgetExceeded, QueryStructureError
@@ -85,7 +103,7 @@ from .ast import (
     TextPattern,
 )
 
-__all__ = ["MatchOptions", "match"]
+__all__ = ["CompiledGraphPlan", "MatchOptions", "compile_graph", "match"]
 
 _ACCESSOR = DocumentAccessor()
 
@@ -96,6 +114,7 @@ def match(
     options: Optional[MatchOptions] = None,
     index: Optional[DocumentIndex] = None,
     stats: Optional[EvalStats] = None,
+    plan: Optional["CompiledGraphPlan"] = None,
 ) -> BindingSet:
     """All bindings of ``graph`` in ``document``.
 
@@ -105,9 +124,13 @@ def match(
     ``index`` must be an index *of* ``document``; when omitted a fresh one
     is built (callers evaluating many queries over one frozen document
     should pass :func:`repro.engine.cache.get_index` instead).
+
+    ``plan`` is a :func:`compile_graph` result *for this graph*: the
+    document-independent analysis (validation included) is then skipped —
+    the plan-cache fast path.  When omitted the graph is compiled here.
     """
-    graph.validate()
-    _check_condition_scope(graph)
+    if plan is None:
+        plan = compile_graph(graph)
     options = options or MatchOptions()
     stats = stats if stats is not None else EvalStats()
     if options.trace and stats.trace is None:
@@ -119,14 +142,16 @@ def match(
     results = BindingSet()
     with stats.timed():
         seen: set[tuple] = set()
-        multiple_branches = bool(graph.or_groups)
+        multiple_branches = plan.multiple_branches
         try:
-            for expanded in _expand_or_groups(graph):
-                prep = _prepare(expanded, document, index, options, stats)
+            for branch in plan.branches:
+                prep = _prepare(branch, document, index, options, stats)
                 if prep is None:
                     continue
-                if engine == "pipeline":
-                    produced: Iterator[Binding] = _match_pipeline(prep)
+                if engine in ("pipeline", "adaptive"):
+                    produced: Iterator[Binding] = _match_pipeline(
+                        prep, adaptive=engine == "adaptive"
+                    )
                 else:
                     produced = _match_backtracking(prep)
                 for binding in produced:
@@ -198,6 +223,149 @@ def _prune_unchosen(expanded: QueryGraph, had_parent: set[str]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Compilation (document-independent analysis)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _BranchPlan:
+    """One expanded (plain) branch, fully analysed without any document.
+
+    Everything here depends only on the query graph, so a branch plan is
+    immutable-by-convention and safe to share across evaluations and
+    threads (the plan cache does both).  ``consumed`` is a *frozen* set:
+    :func:`_combine_fragments` mutates its working copy while equi-joining,
+    so every evaluation copies it first.
+    """
+
+    graph: QueryGraph
+    element_ids: list[str]
+    element_edges: list[ContainmentEdge]
+    value_edges: list[ContainmentEdge]
+    negated_edges: list[ContainmentEdge]
+    attr_hints: dict[str, list[str]]
+    adjacency: dict[str, list[str]]
+    values_by_parent: dict[str, list[ContainmentEdge]]
+    #: Non-negated circles with a constant/regex constraint, per parent box
+    #: — these prefilter the box's static pool for every engine.
+    constrained_circles: dict[str, list[object]]
+    multi_parent_circle: bool
+    #: ``(ids, edges, hard_fallback_reason)`` per connected fragment.
+    components: list[tuple[list[str], list[ContainmentEdge], Optional[str]]]
+    pushed: dict[str, list[Condition]]
+    consumed: frozenset[int]
+
+
+@dataclass
+class CompiledGraphPlan:
+    """The compiled form of one extract graph: analysed or-branches."""
+
+    branches: list[_BranchPlan]
+    multiple_branches: bool
+
+
+def compile_graph(graph: QueryGraph) -> CompiledGraphPlan:
+    """Analyse ``graph`` once: everything :func:`match` needs that does
+    not depend on the document.
+
+    Validates the graph and checks condition scope (so a cached plan
+    implies a valid query), expands or-groups, and digests each branch.
+    Branches proved empty (no active boxes) are dropped here.
+    """
+    graph.validate()
+    _check_condition_scope(graph)
+    branches = []
+    for expanded in _expand_or_groups(graph):
+        branch = _compile_branch(expanded)
+        if branch is not None:
+            branches.append(branch)
+    return CompiledGraphPlan(
+        branches=branches, multiple_branches=bool(graph.or_groups)
+    )
+
+
+def _compile_branch(graph: QueryGraph) -> Optional[_BranchPlan]:
+    """Digest one plain (or-free) graph; ``None`` when it has no boxes."""
+    active = _active_nodes(graph)
+    element_ids = [n.id for n in graph.element_nodes() if n.id in active]
+    if not element_ids:
+        return None
+
+    element_edges = [
+        e
+        for e in graph.edges
+        if not e.negated
+        and e.parent in active
+        and e.child in active
+        and isinstance(graph.nodes[e.child], ElementPattern)
+    ]
+    value_edges = [
+        e
+        for e in graph.edges
+        if not e.negated
+        and e.parent in active
+        and isinstance(graph.nodes[e.child], (TextPattern, AttributePattern))
+    ]
+    negated_edges = [e for e in graph.negated_edges() if e.parent in active]
+
+    # attribute circles required (non-negated) below each box: their names
+    # narrow the box's static candidates through the attribute index
+    attr_hints: dict[str, list[str]] = {}
+    for edge in value_edges:
+        child = graph.nodes[edge.child]
+        if isinstance(child, AttributePattern):
+            attr_hints.setdefault(edge.parent, []).append(child.name)
+
+    adjacency: dict[str, list[str]] = {n: [] for n in element_ids}
+    for edge in element_edges:
+        adjacency[edge.parent].append(edge.child)
+        adjacency[edge.child].append(edge.parent)
+
+    values_by_parent: dict[str, list[ContainmentEdge]] = {}
+    circle_parents: dict[str, int] = {}
+    for edge in value_edges:
+        values_by_parent.setdefault(edge.parent, []).append(edge)
+        circle_parents[edge.child] = circle_parents.get(edge.child, 0) + 1
+    multi_parent_circle = any(count > 1 for count in circle_parents.values())
+
+    constrained_circles: dict[str, list[object]] = {}
+    for edge in value_edges:
+        child = graph.nodes[edge.child]
+        if child.value is not None or child.compiled_regex is not None:
+            constrained_circles.setdefault(edge.parent, []).append(child)
+
+    components: list[tuple[list[str], list[ContainmentEdge], Optional[str]]] = []
+    for component in connected_components(
+        element_ids, [(e.parent, e.child) for e in element_edges]
+    ):
+        ids = [n for n in element_ids if n in component]
+        edges = [
+            e
+            for e in element_edges
+            if e.parent in component and e.child in component
+        ]
+        components.append(
+            (ids, edges, _fallback_reason(negated_edges, component, edges))
+        )
+
+    pushed, consumed = _push_down_conditions(graph, element_ids, values_by_parent)
+    return _BranchPlan(
+        graph=graph,
+        element_ids=element_ids,
+        element_edges=element_edges,
+        value_edges=value_edges,
+        negated_edges=negated_edges,
+        attr_hints=attr_hints,
+        adjacency=adjacency,
+        values_by_parent=values_by_parent,
+        constrained_circles=constrained_circles,
+        multi_parent_circle=multi_parent_circle,
+        components=components,
+        pushed=pushed,
+        consumed=frozenset(consumed),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Shared preparation
 # ---------------------------------------------------------------------------
 
@@ -252,93 +420,95 @@ def _active_nodes(graph: QueryGraph) -> set[str]:
 
 @dataclass
 class _Prep:
-    """One expanded (plain) graph, digested for either engine."""
+    """One compiled branch bound to a document: pools plus run context."""
 
-    graph: QueryGraph
+    branch: _BranchPlan
     document: Document
     index: DocumentIndex
     options: MatchOptions
     stats: EvalStats
-    element_ids: list[str]
-    element_edges: list[ContainmentEdge]
-    value_edges: list[ContainmentEdge]
-    negated_edges: list[ContainmentEdge]
     static_candidates: dict[str, list[Element]]
     static_sets: dict[str, set[int]]
-    adjacency: dict[str, list[str]] = field(default_factory=dict)
     use_intervals: bool = True
+
+    # Pass-throughs so the engine code reads one object, whether the
+    # analysis was cached or compiled this call.
+    @property
+    def graph(self) -> QueryGraph:
+        return self.branch.graph
+
+    @property
+    def element_ids(self) -> list[str]:
+        return self.branch.element_ids
+
+    @property
+    def element_edges(self) -> list[ContainmentEdge]:
+        return self.branch.element_edges
+
+    @property
+    def value_edges(self) -> list[ContainmentEdge]:
+        return self.branch.value_edges
+
+    @property
+    def negated_edges(self) -> list[ContainmentEdge]:
+        return self.branch.negated_edges
+
+    @property
+    def adjacency(self) -> dict[str, list[str]]:
+        return self.branch.adjacency
 
 
 def _prepare(
-    graph: QueryGraph,
+    branch: _BranchPlan,
     document: Document,
     index: DocumentIndex,
     options: MatchOptions,
     stats: EvalStats,
 ) -> Optional[_Prep]:
-    """Digest one plain graph; ``None`` when it cannot bind anything."""
-    active = _active_nodes(graph)
-    element_ids = [n.id for n in graph.element_nodes() if n.id in active]
-    if not element_ids:
-        return None
-
-    element_edges = [
-        e
-        for e in graph.edges
-        if not e.negated
-        and e.parent in active
-        and e.child in active
-        and isinstance(graph.nodes[e.child], ElementPattern)
-    ]
-    value_edges = [
-        e
-        for e in graph.edges
-        if not e.negated
-        and e.parent in active
-        and isinstance(graph.nodes[e.child], (TextPattern, AttributePattern))
-    ]
-    negated_edges = [e for e in graph.negated_edges() if e.parent in active]
-
-    # attribute circles required (non-negated) below each box: their names
-    # narrow the box's static candidates through the attribute index
-    attr_hints: dict[str, list[str]] = {}
-    for edge in value_edges:
-        child = graph.nodes[edge.child]
-        if isinstance(child, AttributePattern) and not edge.negated:
-            attr_hints.setdefault(edge.parent, []).append(child.name)
-
-    static_candidates = {
-        node_id: _static_candidates(
+    """Bind one compiled branch to a document; ``None`` when some box's
+    pool is empty (the branch cannot bind anything)."""
+    graph = branch.graph
+    use_intervals = not options.scans_only()
+    static_candidates: dict[str, list[Element]] = {}
+    for node_id in branch.element_ids:
+        pool = _static_candidates(
             graph.nodes[node_id], document, index, options, stats,
-            attr_hints.get(node_id, []),
+            branch.attr_hints.get(node_id, []),
         )
-        for node_id in element_ids
-    }
-    if any(not c for c in static_candidates.values()):
-        return None
+        # Constant/regex circles are per-element filters known statically:
+        # apply them to the pool once, so *both* engines enumerate only
+        # elements that can still resolve every constrained circle (the
+        # ext_paths/filtered fix — without this, a fallback fragment scans
+        # the unfiltered pool exactly like the naive engine).
+        constrained = branch.constrained_circles.get(node_id)
+        if constrained and use_intervals and pool:
+            kept = []
+            for element in pool:
+                stats.condition_checks += len(constrained)
+                if all(
+                    _value_of(circle, element) is not None
+                    for circle in constrained
+                ):
+                    kept.append(element)
+            if len(kept) < len(pool):
+                stats.bump("circle_prefiltered", len(pool) - len(kept))
+            pool = kept
+        if not pool:
+            return None
+        static_candidates[node_id] = pool
     static_sets = {
         node_id: {id(e) for e in cands}
         for node_id, cands in static_candidates.items()
     }
-    adjacency: dict[str, list[str]] = {n: [] for n in element_ids}
-    for edge in element_edges:
-        adjacency[edge.parent].append(edge.child)
-        adjacency[edge.child].append(edge.parent)
-
     return _Prep(
-        graph=graph,
+        branch=branch,
         document=document,
         index=index,
         options=options,
         stats=stats,
-        element_ids=element_ids,
-        element_edges=element_edges,
-        value_edges=value_edges,
-        negated_edges=negated_edges,
         static_candidates=static_candidates,
         static_sets=static_sets,
-        adjacency=adjacency,
-        use_intervals=not options.scans_only(),
+        use_intervals=use_intervals,
     )
 
 
@@ -361,7 +531,9 @@ def _match_backtracking(prep: _Prep) -> Iterator[Binding]:
 
 
 def _fragment_bindings(
-    prep: _Prep, fragment_ids: Sequence[str]
+    prep: _Prep,
+    fragment_ids: Sequence[str],
+    pools: Optional[dict[str, list[Element]]] = None,
 ) -> Iterator[dict[str, object]]:
     """Backtracking enumeration of one query fragment.
 
@@ -370,7 +542,9 @@ def _fragment_bindings(
     dicts.  Rule-level conditions are *not* applied here; the pipeline
     applies them after fragments are combined, the backtracking engine
     right after this generator.  With ``fragment_ids`` covering every box
-    this is exactly the legacy single-pass engine.
+    this is exactly the legacy single-pass engine.  ``pools`` overrides
+    per-box candidate pools (pushed-down conditions applied by
+    :func:`_pushdown_pools`) without touching the shared preparation.
     """
     graph, index, options, stats = prep.graph, prep.index, prep.options, prep.stats
     budget = stats.budget
@@ -382,6 +556,12 @@ def _fragment_bindings(
     negated_edges = [e for e in prep.negated_edges if e.parent in ids]
     static_candidates = prep.static_candidates
     static_sets = prep.static_sets
+    if pools:
+        static_candidates = {**static_candidates, **pools}
+        static_sets = {
+            **static_sets,
+            **{n: {id(e) for e in pool} for n, pool in pools.items()},
+        }
     use_intervals = prep.use_intervals
 
     adjacency: dict[str, list[str]] = {n: [] for n in fragment_ids}
@@ -537,19 +717,23 @@ def _fragment_bindings(
 # Set-at-a-time pipeline
 # ---------------------------------------------------------------------------
 
-def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
+def _match_pipeline(prep: _Prep, adaptive: bool = False) -> Iterator[Binding]:
     """The set-at-a-time engine: semi-join pipeline with per-fragment
-    fallback; see the module docstring for the plan shape."""
+    fallback; see the module docstring for the plan shape.
+
+    With ``adaptive=True`` each coverable fragment is cost-compared first
+    (:func:`_adaptive_decision`) and runs on the backtracking core when the
+    estimator says node-at-a-time is cheaper; hard fallbacks and the
+    cross-fragment combine stage are identical under both modes.
+    """
+    branch = prep.branch
     graph, stats = prep.graph, prep.stats
     tracer = stats.trace
 
     # A circle with several parent arcs resolves against each in edge
     # order (last write wins); that interleaving is inherently
     # tuple-at-a-time, so keep the legacy core for the whole expansion.
-    circle_parents: dict[str, int] = {}
-    for edge in prep.value_edges:
-        circle_parents[edge.child] = circle_parents.get(edge.child, 0) + 1
-    if any(count > 1 for count in circle_parents.values()):
+    if branch.multi_parent_circle:
         stats.pipeline_fallbacks += 1
         stats.bump("fallback_multi-parent-circle")
         with trace_span(
@@ -562,42 +746,31 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
             yield from _match_backtracking(prep)
         return
 
-    values_by_parent: dict[str, list[ContainmentEdge]] = {}
-    for edge in prep.value_edges:
-        values_by_parent.setdefault(edge.parent, []).append(edge)
-
-    components = connected_components(
-        prep.element_ids, [(e.parent, e.child) for e in prep.element_edges]
-    )
-    comp_plans: list[tuple[list[str], list[ContainmentEdge], Optional[str]]] = []
-    coverable_nodes: set[str] = set()
-    for component in components:
-        ids = [n for n in prep.element_ids if n in component]
-        edges = [
-            e
-            for e in prep.element_edges
-            if e.parent in component and e.child in component
-        ]
-        fallback_reason = _fallback_reason(prep, component, edges)
-        if fallback_reason is None:
-            coverable_nodes |= component
-        comp_plans.append((ids, edges, fallback_reason))
-
-    pushed, consumed = _push_down_conditions(
-        graph, prep.element_ids, values_by_parent, coverable_nodes
-    )
+    values_by_parent = branch.values_by_parent
+    pushed = branch.pushed
+    consumed = set(branch.consumed)
 
     fragments: list[tuple[set[str], list[dict[str, object]]]] = []
-    for ids, edges, fallback_reason in comp_plans:
+    for ids, edges, fallback_reason in branch.components:
         decision = "pipeline" if fallback_reason is None else "fallback"
+        costs: Optional[FragmentCosts] = None
+        if adaptive and fallback_reason is None:
+            costs = _adaptive_decision(prep, ids, edges)
+            if costs is not None and costs.engine == "backtracking":
+                decision = "backtracking"
         with trace_span(
             tracer,
             "match.fragment",
             variables=ids,
             decision=decision,
-            reason=fallback_reason,
+            reason="cost" if decision == "backtracking" else fallback_reason,
         ) as fragment_span:
-            if fallback_reason is None:
+            if fragment_span is not None and costs is not None:
+                fragment_span["est_pipeline"] = round(costs.pipeline, 1)
+                fragment_span["est_backtracking"] = round(costs.backtracking, 1)
+            if decision == "pipeline":
+                if adaptive:
+                    stats.bump("adaptive_pipeline")
                 stats.pipeline_fragments += 1
                 rows_before = 0 if stats.budget is None else stats.budget.rows
                 try:
@@ -614,10 +787,21 @@ def _match_pipeline(prep: _Prep) -> Iterator[Binding]:
                     rows = _degrade_fragment(
                         prep, ids, pushed, fragment_span, rows_before
                     )
+            elif decision == "backtracking":
+                stats.bump("adaptive_backtracking")
+                rows = list(
+                    _fragment_bindings(
+                        prep, ids, pools=_pushdown_pools(prep, ids)
+                    )
+                )
             else:
                 stats.pipeline_fallbacks += 1
                 stats.bump(f"fallback_{fallback_reason}")
-                rows = list(_fragment_bindings(prep, ids))
+                rows = list(
+                    _fragment_bindings(
+                        prep, ids, pools=_pushdown_pools(prep, ids)
+                    )
+                )
             if fragment_span is not None:
                 fragment_span["rows"] = len(rows)
         if not rows:
@@ -721,22 +905,93 @@ def _degrade_fragment(
 
 
 def _fallback_reason(
-    prep: _Prep, component: set[str], edges: list[ContainmentEdge]
+    negated_edges: list[ContainmentEdge],
+    component: set[str],
+    edges: list[ContainmentEdge],
 ) -> Optional[str]:
     """Why one fragment cannot run on the semi-join pipeline (or ``None``).
 
     Ordered arcs (an n-ary constraint over siblings), negation parents and
-    cyclic / multi-edge skeletons stay on the backtracking core.  The
-    returned reason string is stable — EXPLAIN output, fallback counters
+    cyclic / multi-edge skeletons stay on the backtracking core.  These are
+    the *hard* fallbacks — correctness, not cost — so the adaptive engine
+    honours them before consulting the estimator.  The returned reason
+    string is stable — EXPLAIN output, fallback counters
     (``stats.extra["fallback_<reason>"]``) and the trace all carry it.
     """
     if any(e.ordered for e in edges):
         return "ordered"
-    if any(e.parent in component for e in prep.negated_edges):
+    if any(e.parent in component for e in negated_edges):
         return "negated"
     if not is_forest(component, [(e.parent, e.child) for e in edges]):
         return "cyclic"
     return None
+
+
+def _pushdown_pools(
+    prep: _Prep, ids: Sequence[str]
+) -> Optional[dict[str, list[Element]]]:
+    """Per-box pool overrides applying pushed-down conditions.
+
+    Conditions consumed by push-down never reach the final filter, so
+    fragments that run node-at-a-time (hard fallback or cost-chosen
+    backtracking) must apply them to their pools here — otherwise rows the
+    pipeline would have cut leak through.  Returns ``None`` when the
+    fragment has nothing pushed.
+    """
+    branch = prep.branch
+    overrides: dict[str, list[Element]] = {}
+    for node_id in ids:
+        conditions = branch.pushed.get(node_id)
+        if not conditions:
+            continue
+        pool, _ = _filtered_pool(
+            prep,
+            node_id,
+            branch.values_by_parent.get(node_id, ()),
+            conditions,
+        )
+        overrides[node_id] = pool
+    return overrides or None
+
+
+def _adaptive_decision(
+    prep: _Prep, ids: list[str], edges: list[ContainmentEdge]
+) -> Optional[FragmentCosts]:
+    """Cost-compare one coverable fragment's two engines, or ``None``.
+
+    ``None`` means "no decision — run the pipeline": either the fragment
+    has pushed-down predicates (set-at-a-time applies them while building
+    pools, a leverage the walk-based cost model does not see) or the index
+    carries no statistics to estimate from.
+    """
+    branch = prep.branch
+    if any(branch.pushed.get(node_id) for node_id in ids):
+        return None
+    statistics = getattr(prep.index, "statistics", None)
+    if statistics is None:
+        return None
+    estimator = CardinalityEstimator(statistics)
+    graph = prep.graph
+    pool_sizes = {
+        node_id: len(prep.static_candidates[node_id]) for node_id in ids
+    }
+    edge_estimates = [
+        (
+            edge.parent,
+            edge.child,
+            estimator.scaled_edge_pairs(
+                graph.nodes[edge.parent].tag,
+                graph.nodes[edge.child].tag,
+                edge.deep,
+                pool_sizes[edge.parent],
+                pool_sizes[edge.child],
+            ),
+        )
+        for edge in edges
+    ]
+    return choose_fragment_engine(
+        pool_sizes, edge_estimates, enabled=prep.options.use_planner
+    )
 
 
 def _operand_variables(operand: Operand) -> set[str]:
@@ -753,16 +1008,16 @@ def _push_down_conditions(
     graph: QueryGraph,
     element_ids: list[str],
     values_by_parent: dict[str, list[ContainmentEdge]],
-    coverable_nodes: set[str],
 ) -> tuple[dict[str, list[Condition]], set[int]]:
     """Assign single-box conditions to their box's candidate pool.
 
     A condition whose variables all belong to one box's *cluster* — the box
     plus its value circles — evaluates identically on the pool row and on
-    the final binding, so it filters the pool before any join.  Only boxes
-    of set-at-a-time fragments consume conditions (fallback fragments leave
-    them for the final filter).  Returns the per-box pushed conditions and
-    the set of consumed condition indexes.
+    the final binding, so it filters the pool before any join.  Every box
+    consumes its conditions, whatever engine its fragment runs on:
+    set-at-a-time fragments filter pools in :func:`_filtered_pool`,
+    backtracking fragments through :func:`_pushdown_pools`.  Returns the
+    per-box pushed conditions and the set of consumed condition indexes.
     """
     clusters = {
         n: {n} | {e.child for e in values_by_parent.get(n, ())}
@@ -775,7 +1030,7 @@ def _push_down_conditions(
         if not variables:
             continue
         for node_id in element_ids:
-            if node_id in coverable_nodes and variables <= clusters[node_id]:
+            if variables <= clusters[node_id]:
                 pushed.setdefault(node_id, []).append(condition)
                 consumed.add(idx)
                 break

@@ -1,0 +1,158 @@
+"""Tests for document statistics, cardinality estimation and the
+fragment cost model (repro.engine.estimator / repro.engine.planner)."""
+
+import pytest
+
+from repro.engine.estimator import (
+    DISTINCT_CAP,
+    CardinalityEstimator,
+    DocumentStatistics,
+    ValueSketch,
+)
+from repro.engine.index import DocumentIndex
+from repro.engine.planner import choose_fragment_engine
+from repro.ssd import parse_document
+from repro.ssd.model import Document, Element
+
+# bib (depth 0) -> 2 books + 1 paper (depth 1); books hold 3 titles total.
+DOC = parse_document(
+    "<bib>"
+    '<book year="1999"><title>A</title><title>B</title></book>'
+    '<book year="1999"><title>C</title></book>'
+    "<paper/>"
+    "</bib>"
+)
+
+
+@pytest.fixture(scope="module")
+def stats() -> DocumentStatistics:
+    return DocumentIndex(DOC).statistics
+
+
+class TestDocumentStatistics:
+    def test_counts_and_histograms(self, stats):
+        assert stats.element_count == 7
+        assert stats.tag_counts == {"bib": 1, "book": 2, "paper": 1, "title": 3}
+        assert stats.depth_histogram == {0: 1, 1: 3, 2: 3}
+        # bib fans out 3, first book 2, second book 1; paper + titles 0.
+        assert stats.fanout_histogram == {0: 4, 1: 1, 2: 1, 3: 1}
+
+    def test_direct_pairs_are_exact(self, stats):
+        assert stats.child_pairs == {
+            ("bib", "book"): 2,
+            ("bib", "paper"): 1,
+            ("book", "title"): 3,
+        }
+        assert stats.child_parent_totals == {"bib": 3, "book": 3}
+        assert stats.child_child_totals == {"book": 2, "paper": 1, "title": 3}
+        assert stats.child_total == 6  # element_count - 1
+
+    def test_deep_pairs_are_exact(self, stats):
+        # every element pairs with each of its ancestors exactly once
+        assert stats.deep_pairs == {
+            ("bib", "book"): 2,
+            ("bib", "paper"): 1,
+            ("bib", "title"): 3,
+            ("book", "title"): 3,
+        }
+        assert stats.deep_total == 9  # sum of element depths
+
+    def test_aggregates_are_consistent(self, stats):
+        assert sum(stats.child_pairs.values()) == stats.child_total
+        assert sum(stats.child_parent_totals.values()) == stats.child_total
+        assert sum(stats.child_child_totals.values()) == stats.child_total
+        assert sum(stats.deep_pairs.values()) == stats.deep_total
+        assert sum(stats.deep_child_totals.values()) == stats.deep_total
+
+    def test_attribute_sketches(self, stats):
+        sketch = stats.attributes["year"]
+        assert sketch == ValueSketch(occurrences=2, distinct=1, exact=True)
+        assert sketch.selectivity == 1.0
+
+    def test_sketch_saturates_at_the_cap(self):
+        root = Element("r")
+        for i in range(DISTINCT_CAP + 10):
+            child = Element("c")
+            child.set("id", str(i))
+            root.append(child)
+        stats = DocumentIndex(Document(root)).statistics
+        sketch = stats.attributes["id"]
+        assert sketch.occurrences == DISTINCT_CAP + 10
+        assert sketch.distinct == DISTINCT_CAP
+        assert not sketch.exact
+        assert sketch.selectivity == 1.0 / DISTINCT_CAP
+
+    def test_stats_epoch_increases_per_build(self):
+        first = DocumentIndex(DOC)
+        second = DocumentIndex(DOC)
+        assert second.stats_epoch > first.stats_epoch
+
+
+class TestCardinalityEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self) -> CardinalityEstimator:
+        return CardinalityEstimator(DocumentIndex(DOC).statistics)
+
+    def test_pools(self, estimator):
+        assert estimator.pool("book") == 2
+        assert estimator.pool("missing") == 0
+        assert estimator.pool(None) == 7  # wildcard = whole document
+
+    def test_edge_pairs_with_wildcards(self, estimator):
+        assert estimator.edge_pairs("book", "title") == 3
+        assert estimator.edge_pairs(None, "title") == 3
+        assert estimator.edge_pairs("bib", None) == 3
+        assert estimator.edge_pairs(None, None) == 6
+        assert estimator.edge_pairs("book", "paper") == 0
+
+    def test_deep_edge_pairs_with_wildcards(self, estimator):
+        assert estimator.edge_pairs("bib", "title", deep=True) == 3
+        assert estimator.edge_pairs("bib", None, deep=True) == 6
+        assert estimator.edge_pairs(None, "title", deep=True) == 6
+        assert estimator.edge_pairs(None, None, deep=True) == 9
+
+    def test_scaled_pairs_follow_the_kept_fraction(self, estimator):
+        # half the book pool kept -> half the pairs expected
+        assert estimator.scaled_edge_pairs("book", "title", False, 1, 3) == 1.5
+        # pools larger than the statistics know about clamp to 1
+        assert estimator.scaled_edge_pairs("book", "title", False, 50, 50) == 3.0
+        assert estimator.scaled_edge_pairs("book", "paper", False, 2, 1) == 0.0
+
+    def test_attribute_selectivity(self, estimator):
+        assert estimator.attribute_selectivity("year") == 1.0
+        assert estimator.attribute_selectivity("unknown") == 1.0
+
+
+class TestChooseFragmentEngine:
+    def test_tiny_fragment_prefers_backtracking(self):
+        # 2 books x 3 titles: the walk touches ~5 candidates, the pipeline
+        # must materialise both pools plus the relation plus the rows
+        costs = choose_fragment_engine({"B": 2, "T": 3}, [("B", "T", 3.0)])
+        assert costs.engine == "backtracking"
+        assert costs.backtracking < costs.pipeline
+        assert costs.rows == 3.0
+
+    def test_multiplicative_blowup_prefers_pipeline(self):
+        # a chain whose intermediate rows outgrow the data size: the
+        # node-at-a-time walk enumerates every intermediate row, the
+        # pipeline stays data-size-bound
+        pools = {"A": 10, "B": 10, "C": 10, "D": 10}
+        edges = [("A", "B", 100.0), ("B", "C", 100.0), ("C", "D", 100.0)]
+        costs = choose_fragment_engine(pools, edges)
+        assert costs.engine == "pipeline"
+        assert costs.pipeline < costs.backtracking
+        assert costs.rows == pytest.approx(10_000.0)
+
+    def test_ties_go_to_backtracking(self):
+        costs = choose_fragment_engine({"A": 0}, [])
+        assert costs.backtracking == costs.pipeline
+        assert costs.engine == "backtracking"
+
+    def test_planner_ablation_keeps_the_drawing_order(self):
+        # selective-first ordering walks T (3) before B (1000); disabled,
+        # the drawing order starts at the huge pool and pays for it
+        pools = {"B": 1000, "T": 3}
+        edges = [("B", "T", 3.0)]
+        planned = choose_fragment_engine(pools, edges, enabled=True)
+        drawn = choose_fragment_engine(pools, edges, enabled=False)
+        assert planned.backtracking < drawn.backtracking

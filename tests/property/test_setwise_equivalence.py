@@ -12,7 +12,7 @@ Two layers, mirroring how the pipeline is wired in:
 * **WG-Log rule level** — seeded random instance graphs run hand-built
   rule shapes (forest rules, ∀-negated crossed edges, path edges, a
   diamond that defeats the forest test) through ``embeddings`` with all
-  three ``MatchOptions.engine`` choices and both injectivity modes.
+  four ``MatchOptions.engine`` choices and both injectivity modes.
 """
 
 import random
@@ -172,6 +172,7 @@ RULES = [
 ]
 
 ENGINES = [
+    MatchOptions(engine="adaptive"),
     MatchOptions(engine="pipeline"),
     MatchOptions(engine="backtracking"),
     MatchOptions(engine="naive"),

@@ -165,11 +165,13 @@ class TestDegradation:
         assert len(degraded) == len(baseline)
 
     def test_degradation_visible_in_explain(self, doc):
+        from repro.engine.options import MatchOptions
         from repro.explain import explain
 
         report = explain(
             parse_rule(JOIN_RULE), doc,
-            options=None, indexes=DocumentIndexCache(),
+            options=MatchOptions(engine="pipeline"),
+            indexes=DocumentIndexCache(),
         )
         # Unbudgeted: the join fragment runs on the pipeline...
         decisions = {
@@ -178,11 +180,11 @@ class TestDegradation:
         assert "pipeline" in decisions
         # ...and under a row cap the same fragment reports the budget
         # fallback reason.
-        from repro.engine.options import MatchOptions
-
         capped = explain(
             parse_rule(JOIN_RULE), doc,
-            options=MatchOptions(budget=QueryBudget(max_hashjoin_rows=20)),
+            options=MatchOptions(
+                engine="pipeline", budget=QueryBudget(max_hashjoin_rows=20)
+            ),
             indexes=DocumentIndexCache(),
         )
         reasons = {

@@ -278,13 +278,23 @@ class TestExplainCommand:
 
     def test_shipped_example_join_query(self):
         # the acceptance path: the committed FIG-Q3 example must explain
-        # against the synthetic workload, showing the join forest and the
-        # pre/post semi-join pool sizes
-        status, output = run(["explain", "examples/fig_q3_join.xgl"])
+        # against the synthetic workload; forcing the pipeline shows the
+        # join forest and the pre/post semi-join pool sizes
+        status, output = run(
+            ["explain", "examples/fig_q3_join.xgl", "--engine", "pipeline"]
+        )
         assert status == 0
         assert "join forest" in output
         assert "semi-join" in output
         assert "->" in output
+
+    def test_shipped_example_adaptive_default(self):
+        # under the adaptive default the same example reports per-fragment
+        # cost decisions and the plan-cache outcome
+        status, output = run(["explain", "examples/fig_q3_join.xgl"])
+        assert status == 0
+        assert "engine: adaptive" in output
+        assert "plan: " in output
 
     def test_missing_file(self):
         status, _ = run(["explain", "/nonexistent.xgl"])

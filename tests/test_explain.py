@@ -4,9 +4,12 @@ import json
 
 import pytest
 
+from repro.engine.options import MatchOptions
 from repro.explain import explain
 from repro.ssd import parse_document
 from repro.xmlgl.dsl import parse_rule
+
+PIPELINE = MatchOptions(engine="pipeline")
 
 DOC = parse_document(
     '<bib>'
@@ -36,7 +39,7 @@ UNSAT = (
 
 class TestExplainDigest:
     def test_pipeline_fragment_with_forest_and_semijoins(self):
-        report = explain(CHAIN, DOC)
+        report = explain(CHAIN, DOC, options=PIPELINE)
         assert report.engine == "pipeline"
         assert not report.preflight_skipped
         assert len(report.graphs) == 1
@@ -98,9 +101,35 @@ class TestSyntheticDefault:
         assert not report.synthetic_source
 
 
+class TestAdaptiveExplain:
+    def test_cost_chosen_backtracking_surfaces(self):
+        # adaptive default on a tiny document: the walk is cheaper than
+        # materialising pools + relations, and the report says so
+        report = explain(CHAIN, DOC)
+        assert report.engine == "adaptive"
+        [fragment] = report.graphs[0].fragments
+        assert fragment.decision == "backtracking"
+        assert fragment.reason == "cost"
+        assert fragment.est_pipeline > fragment.est_backtracking > 0
+        assert "cost-chosen backtracking" in report.render_text()
+
+    def test_plan_source_cached_on_repeat(self):
+        from repro.engine.cache import DocumentIndexCache
+        from repro.engine.plan_cache import PlanCache
+
+        indexes, plans = DocumentIndexCache(), PlanCache()
+        first = explain(CHAIN, DOC, indexes=indexes, plans=plans)
+        assert first.plan_source == "compiled"
+        assert "plan: compiled" in first.render_text()
+        second = explain(CHAIN, DOC, indexes=indexes, plans=plans)
+        assert second.plan_source == "cached"
+        assert "plan: cached" in second.render_text()
+        assert second.stats.plan_cache_hits == 1
+
+
 class TestRendering:
     def test_text_mentions_plan_ingredients(self):
-        text = explain(CHAIN, DOC).render_text()
+        text = explain(CHAIN, DOC, options=PIPELINE).render_text()
         assert "join forest" in text
         assert "join order" in text
         assert "semi-join" in text
@@ -108,7 +137,7 @@ class TestRendering:
         assert "pipeline" in text
 
     def test_json_round_trips(self):
-        payload = json.loads(explain(CHAIN, DOC).render_json())
+        payload = json.loads(explain(CHAIN, DOC, options=PIPELINE).render_json())
         assert payload["engine"] == "pipeline"
         [fragment] = payload["graphs"][0]["fragments"]
         assert fragment["decision"] == "pipeline"

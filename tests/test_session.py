@@ -187,13 +187,21 @@ class TestObservability:
         assert session.current().stats.trace is None
 
     def test_run_trace_records_span_tree(self):
-        session = QuerySession(DOC)
+        from repro.engine.plan_cache import PlanCache
+
+        session = QuerySession(DOC, plans=PlanCache())
         session.run(ALL, trace=True)
         trace = session.current().trace
         assert trace is not None
-        names = [root.name for root in trace.roots]
-        assert names[0] == "parse"  # string queries record parsing
-        for required in ("preflight", "index.lookup", "match", "construct"):
+        # cold run: string queries record parsing and plan compilation
+        for required in (
+            "parse",
+            "plan.cache.compile",
+            "preflight",
+            "index.lookup",
+            "match",
+            "construct",
+        ):
             assert trace.find(required), required
 
     def test_options_trace_flag_is_the_default(self):
@@ -233,7 +241,7 @@ class TestObservability:
 
     def test_explain_explicit_query(self):
         report = QuerySession(DOC).explain(ALL)
-        assert report.engine in {"pipeline", "backtracking", "naive"}
+        assert report.engine in {"adaptive", "pipeline", "backtracking", "naive"}
         assert report.construct is not None
 
 

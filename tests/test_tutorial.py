@@ -159,3 +159,20 @@ class TestWglogSteps:
             if instance.slot_value(b, "uncited") == "yes"
         ]
         assert len(uncited) == 1  # b2 is cited by nobody... b1 is cited
+
+
+class TestObservabilitySteps:
+    def test_step7_plan_cache_snippet(self, doc):
+        from repro.engine.cache import DocumentIndexCache
+        from repro.engine.plan_cache import PlanCache
+        from repro.session import QuerySession
+
+        query = "query { book as B } construct { result { collect B } }"
+        session = QuerySession(
+            doc, indexes=DocumentIndexCache(), plans=PlanCache()
+        )
+        session.run(query)
+        session.run(query)
+        assert session.current().stats.plan_cache_hits == 1
+        assert session.explain(query).plan_source == "cached"
+        assert session.metrics().snapshot()["plan_cache_hit_rate"] > 0

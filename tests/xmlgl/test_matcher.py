@@ -318,13 +318,27 @@ class TestStatsAndOptions:
         book = q.box("book", id="B")
         q.box("title", id="T", parent=book)
         stats = EvalStats()
-        match(q.graph(), bib, stats=stats)
+        match(q.graph(), bib, options=MatchOptions(engine="pipeline"), stats=stats)
         assert stats.bindings_produced == 3
-        # default engine is the set-at-a-time pipeline: work shows up as
-        # join rows, not per-candidate trials
+        # forced pipeline: work shows up as join rows, not per-candidate
+        # trials
         assert stats.pipeline_fragments == 1
         assert stats.hashjoin_rows > 0
         assert stats.edge_checks > 0
+
+    def test_stats_populated_adaptive_default(self, bib):
+        # the default engine is adaptive: per-fragment cost decisions are
+        # recorded, and the bindings match the forced engines
+        q = QueryBuilder()
+        book = q.box("book", id="B")
+        q.box("title", id="T", parent=book)
+        stats = EvalStats()
+        match(q.graph(), bib, stats=stats)
+        assert stats.bindings_produced == 3
+        decisions = stats.extra.get("adaptive_pipeline", 0) + stats.extra.get(
+            "adaptive_backtracking", 0
+        )
+        assert decisions == 1
 
     def test_stats_populated_backtracking(self, bib):
         q = QueryBuilder()
