@@ -78,6 +78,10 @@ _LAZY: dict[str, tuple[str, str]] = {
     "Severity": (".analysis", "Severity"),
     "analyze_rule": (".analysis", "analyze_rule"),
     "analyze_program": (".analysis", "analyze_program"),
+    # static query rewriting (canonicalization, minimization, pruning)
+    "rewrite_rule": (".analysis.rewrite", "rewrite_rule"),
+    "RewriteReport": (".analysis.rewrite", "RewriteReport"),
+    "contains": (".analysis.rewrite", "contains"),
 }
 
 __all__ = [

@@ -44,7 +44,13 @@ class Severity(Enum):
 
     @property
     def rank(self) -> int:
-        return {"info": 0, "warning": 1, "error": 2}[self.value]
+        # the table is hoisted to module level (below) so sorting a large
+        # finding list does not rebuild a dict per comparison
+        return _SEVERITY_RANK[self.value]
+
+
+#: Severity ordering, built once at import time; ``Severity.rank`` reads it.
+_SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,323 @@
+"""Containment-based minimization of XML-GL extract graphs.
+
+Classic conjunctive-query minimization (Chandra–Merlin): a branch of the
+query tree whose pattern *homomorphically embeds* into a sibling branch is
+redundant — any document match of the sibling yields, by composition, a
+match of the redundant branch, so deleting it changes neither whether a
+parent matches nor the bindings projected onto the surviving variables.
+XML-GL matching is non-injective, which is exactly what makes branch
+subsumption sound (two query boxes may match the same document element).
+
+Three safety gates keep every deletion sound:
+
+* **free branches only** — the deleted subtree must be a private tree: no
+  variable in it is referenced by any condition, the construct part, or
+  an or-group, no arc crosses its boundary except its root arc, and it
+  contains no ordered/negated arcs.
+* **keeper witnesses** — the surviving sibling is followed only through
+  plain, non-negated arcs (structure that is *guaranteed* matched);
+  arc kinds must strengthen (a non-deep arc only maps to a non-deep arc,
+  a deep arc maps anywhere below).
+* **multiplicity-sensitive constructs** — ``sum``/``avg`` aggregate
+  atomic bindings once *per row*, so redundant branches change their
+  result multiplicities; rules whose construct part contains them skip
+  branch pruning entirely (duplicate-arc merging stays safe: an exact
+  duplicate arc adds no variables and no rows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...xmlgl.ast import (
+    ContainmentEdge,
+    ElementPattern,
+    QueryGraph,
+)
+from ...xmlgl.containment import _node_maps_to
+from .report import RewriteReport
+
+__all__ = ["merge_duplicate_arcs", "prune_subsumed_branches"]
+
+
+def _copy_graph(
+    graph: QueryGraph,
+    *,
+    drop_nodes: frozenset[str] = frozenset(),
+    drop_edges: frozenset[int] = frozenset(),
+) -> QueryGraph:
+    """A structural copy without the named nodes / edge indices."""
+    return QueryGraph(
+        nodes={k: v for k, v in graph.nodes.items() if k not in drop_nodes},
+        edges=[
+            e
+            for i, e in enumerate(graph.edges)
+            if i not in drop_edges
+            and e.parent not in drop_nodes
+            and e.child not in drop_nodes
+        ],
+        or_groups=list(graph.or_groups),
+        conditions=list(graph.conditions),
+        source=graph.source,
+    )
+
+
+def merge_duplicate_arcs(
+    graph: QueryGraph, *, report: RewriteReport
+) -> tuple[QueryGraph, bool]:
+    """Drop arcs that restate an existing arc between the same two nodes.
+
+    Two plain arcs between the *same* parent and child node with the same
+    flags are one constraint written twice; ordered arcs are exempt
+    because each ordered arc occupies a slot in the sibling order.
+    """
+    seen: set[tuple[str, str, bool, bool]] = set()
+    drop: set[int] = set()
+    for index, edge in enumerate(graph.edges):
+        if edge.ordered:
+            continue
+        key = (edge.parent, edge.child, edge.deep, edge.negated)
+        if key in seen:
+            drop.add(index)
+            report.record(
+                "merged",
+                "XGL101",
+                f"duplicate arc {edge.describe()} merged with an "
+                "identical arc",
+                edge=(edge.parent, edge.child),
+            )
+        else:
+            seen.add(key)
+    if not drop:
+        return graph, False
+    return _copy_graph(graph, drop_edges=frozenset(drop)), True
+
+
+# ---------------------------------------------------------------------------
+# Branch subsumption
+# ---------------------------------------------------------------------------
+
+def _positive_children(graph: QueryGraph, node_id: str) -> list[ContainmentEdge]:
+    return [e for e in graph.children_of(node_id) if not e.negated]
+
+
+def _free_subtree(
+    graph: QueryGraph, root_edge: ContainmentEdge, protected: frozenset[str]
+) -> Optional[frozenset[str]]:
+    """Nodes of the private tree under ``root_edge``, or ``None``.
+
+    ``None`` means the branch is not safely deletable: a protected
+    variable, an or-group touch, an internal ordered/negated arc, or an
+    arc crossing the subtree boundary.
+    """
+    nodes = {root_edge.child}
+    stack = [root_edge.child]
+    while stack:
+        current = stack.pop()
+        for edge in graph.edges:
+            if edge.parent != current:
+                continue
+            if edge.negated or edge.ordered:
+                return None
+            if edge.child in nodes:
+                return None  # internal DAG: shared structure, keep it
+            nodes.add(edge.child)
+            stack.append(edge.child)
+    if nodes & protected:
+        return None
+    for edge in graph.all_edges():
+        if edge is root_edge:
+            continue
+        if edge.child in nodes and edge.parent not in nodes:
+            return None  # a join arc reaches into the branch
+    for group in graph.or_groups:
+        for branch in group.alternatives:
+            for edge in branch:
+                if edge.parent in nodes or edge.child in nodes:
+                    return None
+    return frozenset(nodes)
+
+
+def _embeds(
+    graph: QueryGraph,
+    source: str,
+    target: str,
+    memo: dict[tuple[str, str], bool],
+) -> bool:
+    """Homomorphism from the (tree) branch at ``source`` into the plain
+    positive structure at ``target``, both within ``graph``."""
+    key = (source, target)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    memo[key] = False  # cycle guard; graphs are acyclic but be safe
+    src_node = graph.nodes[source]
+    dst_node = graph.nodes[target]
+    if not _node_maps_to(src_node, dst_node):
+        return False
+    ok = True
+    for edge in _positive_children(graph, source):
+        if edge.deep:
+            candidates = [
+                nid
+                for nid in _positive_descendants(graph, target)
+                if isinstance(graph.nodes[nid], ElementPattern)
+            ]
+        else:
+            candidates = [
+                e.child
+                for e in _positive_children(graph, target)
+                if not e.deep
+            ]
+        if not any(_embeds(graph, edge.child, c, memo) for c in candidates):
+            ok = False
+            break
+    memo[key] = ok
+    return ok
+
+
+def _positive_descendants(graph: QueryGraph, node_id: str) -> list[str]:
+    """Nodes strictly below ``node_id`` via plain non-negated arcs."""
+    result: list[str] = []
+    seen = {node_id}
+    stack = [node_id]
+    while stack:
+        current = stack.pop()
+        for edge in _positive_children(graph, current):
+            if edge.child in seen:
+                continue
+            seen.add(edge.child)
+            result.append(edge.child)
+            stack.append(edge.child)
+    return result
+
+
+def _branch_witnessed_by(
+    graph: QueryGraph,
+    candidate: ContainmentEdge,
+    keeper: ContainmentEdge,
+    memo: dict[tuple[str, str], bool],
+) -> bool:
+    """Does every match of ``keeper``'s branch witness ``candidate``'s?"""
+    if candidate.deep:
+        # the candidate's child may sit at any depth below the parent:
+        # the keeper's child or anything matched below it will do
+        targets = [keeper.child] + [
+            nid
+            for nid in _positive_descendants(graph, keeper.child)
+        ]
+        targets = [
+            nid for nid in targets
+            if isinstance(graph.nodes[nid], ElementPattern)
+        ]
+    else:
+        # a non-deep arc needs a depth-1 witness: only a non-deep keeper
+        # arc guarantees its child matches directly under the parent
+        if keeper.deep:
+            return False
+        targets = [keeper.child]
+    return any(_embeds(graph, candidate.child, t, memo) for t in targets)
+
+
+def prune_subsumed_branches(
+    graph: QueryGraph,
+    *,
+    protected: frozenset[str],
+    report: RewriteReport,
+) -> tuple[QueryGraph, bool]:
+    """Delete free branches subsumed by a sibling branch (one per call).
+
+    Operates at every element box (sibling branches under one parent) and
+    at the root level (independent root subtrees of one extract graph).
+    Returns after the first deletion; the fixed-point driver re-invokes
+    until nothing fires, so cascades (a branch made redundant by an
+    earlier deletion) are handled without intra-pass aliasing bugs.
+    """
+    memo: dict[tuple[str, str], bool] = {}
+
+    # sibling branches under each element parent
+    for parent_id in sorted(graph.nodes):
+        if not isinstance(graph.nodes[parent_id], ElementPattern):
+            continue
+        branches = _positive_children(graph, parent_id)
+        if len(branches) < 2:
+            continue
+        for candidate in branches:
+            if candidate.ordered:
+                continue
+            subtree = _free_subtree(graph, candidate, protected)
+            if subtree is None:
+                continue
+            for keeper in branches:
+                if keeper is candidate:
+                    continue
+                if not _branch_witnessed_by(graph, candidate, keeper, memo):
+                    continue
+                mutual = _branch_witnessed_by(graph, keeper, candidate, memo)
+                edge_index = next(
+                    i for i, e in enumerate(graph.edges) if e is candidate
+                )
+                if mutual:
+                    report.record(
+                        "merged",
+                        "XGL101",
+                        f"duplicate branch {candidate.describe()} merged "
+                        f"with equivalent sibling {keeper.child!r}",
+                        edge=(parent_id, candidate.child),
+                    )
+                else:
+                    report.record(
+                        "pruned",
+                        "XGL100",
+                        f"redundant branch {candidate.describe()} removed: "
+                        f"subsumed by sibling branch at {keeper.child!r}",
+                        edge=(parent_id, candidate.child),
+                        hint="every match of the sibling already witnesses "
+                        "this branch",
+                    )
+                pruned = _copy_graph(
+                    graph,
+                    drop_nodes=subtree,
+                    drop_edges=frozenset({edge_index}),
+                )
+                return pruned, True
+
+    # independent root subtrees (cartesian factors of one graph)
+    roots = graph.roots()
+    if len(roots) >= 2:
+        for root in sorted(roots):
+            pseudo = ContainmentEdge(parent="", child=root, deep=True)
+            subtree = _free_subtree(graph, pseudo, protected)
+            if subtree is None:
+                continue
+            root_node = graph.nodes[root]
+            for keeper in roots:
+                if keeper == root:
+                    continue
+                if isinstance(root_node, ElementPattern) and root_node.anchored:
+                    keeper_node = graph.nodes[keeper]
+                    anchored_keeper = (
+                        isinstance(keeper_node, ElementPattern)
+                        and keeper_node.anchored
+                    )
+                    if not (anchored_keeper and _embeds(graph, root, keeper, memo)):
+                        continue
+                else:
+                    # an unanchored root matches any element: any element
+                    # matched inside the keeper subtree is a witness
+                    targets = [keeper] + _positive_descendants(graph, keeper)
+                    targets = [
+                        nid for nid in targets
+                        if isinstance(graph.nodes[nid], ElementPattern)
+                    ]
+                    if not any(_embeds(graph, root, t, memo) for t in targets):
+                        continue
+                report.record(
+                    "pruned",
+                    "XGL100",
+                    f"redundant root subtree at {root!r} removed: "
+                    f"subsumed by root {keeper!r}",
+                    node=root,
+                )
+                return _copy_graph(graph, drop_nodes=subtree), True
+    return graph, False

@@ -1,0 +1,107 @@
+"""Rewrite outcome: per-rule counters plus the diagnostics the rules emit.
+
+Every rewrite rule that fires records (a) one bump of a stable counter —
+the names below are part of the observability surface (EXPLAIN prints
+``rewrites: merged=2 pruned=1``, EvalStats mirrors them as
+``rewrite_<counter>`` extras) — and (b) one :class:`Diagnostic` in the
+``XGL1xx`` / ``WGL1xx`` range so `repro rewrite` and lint-style tooling
+can show *why* the query shrank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..diagnostics import Diagnostic, Severity
+
+__all__ = ["COUNTERS", "RewriteReport"]
+
+#: Stable counter names, in display order.
+COUNTERS = (
+    "merged",     # duplicate arcs / duplicate branches merged
+    "pruned",     # subsumed or schema-empty branches removed
+    "dropped",    # tautological or implied conditions removed
+    "folded",     # node-level constant folds (regex implied by literal)
+    "tightened",  # schema-informed wildcard tightenings
+    "failed",     # statically-false detections (query cannot match)
+)
+
+
+@dataclass
+class RewriteReport:
+    """What a rewrite pass did to one rule.
+
+    ``static_false`` means the rewriter proved the query matches nothing
+    (an always-false condition, or a branch the schema proves empty); the
+    evaluator turns this into a preflight short-circuit.  The offending
+    structure is deliberately *kept* in the rewritten rule so that its
+    unparsed form stays semantically equal to the input.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    static_false: bool = False
+
+    @property
+    def changed(self) -> bool:
+        """Did any rewrite rule fire?"""
+        return bool(self.counters) or self.static_false
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def record(
+        self,
+        counter: str,
+        code: str,
+        message: str,
+        *,
+        severity: Severity = Severity.INFO,
+        node: Optional[str] = None,
+        edge: Optional[tuple[str, str]] = None,
+        hint: Optional[str] = None,
+        unsatisfiable: bool = False,
+    ) -> None:
+        """Bump ``counter`` and attach the matching diagnostic."""
+        self.bump(counter)
+        self.diagnostics.append(Diagnostic(
+            code,
+            severity,
+            message,
+            node=node,
+            edge=edge,
+            hint=hint,
+            unsatisfiable=unsatisfiable,
+        ))
+        if unsatisfiable:
+            self.static_false = True
+
+    def merge(self, other: "RewriteReport") -> None:
+        for name, value in other.counters.items():
+            self.bump(name, value)
+        self.diagnostics.extend(other.diagnostics)
+        self.static_false = self.static_false or other.static_false
+
+    def describe(self) -> str:
+        """The EXPLAIN rendering: ``merged=2 pruned=1`` (or ``none``)."""
+        parts = [
+            f"{name}={self.counters[name]}"
+            for name in COUNTERS
+            if self.counters.get(name)
+        ]
+        # counters outside the stable tuple would be a programming error,
+        # but render them anyway rather than hiding work
+        parts += [
+            f"{name}={value}"
+            for name, value in sorted(self.counters.items())
+            if name not in COUNTERS and value
+        ]
+        return " ".join(parts) if parts else "none"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "counters": dict(self.counters),
+            "static_false": self.static_false,
+            "findings": [d.as_dict() for d in self.diagnostics],
+        }

@@ -1,0 +1,224 @@
+"""Schema-informed pruning of XML-GL extract graphs.
+
+When the caller registers a schema (a DTD translated through
+:func:`~repro.xmlgl.schema.dtd_to_schema`, or a native
+:class:`~repro.xmlgl.schema.SchemaGraph`), three rewrites become
+available.  All three *assume the queried documents conform* to the
+schema — which is why this stage only runs when a schema is explicitly
+passed (``rewrite_rule(rule, schema=...)``, ``repro rewrite --schema``),
+never on the schema-less engine path:
+
+* **wildcard tightening** (XGL110) — a wildcard box whose parents all
+  admit exactly one child tag gets that tag, narrowing the planner's
+  candidate pools without changing matches on conforming documents.
+* **vacuous negation removal** (XGL111) — a crossed arc whose child
+  pattern the schema proves empty is always satisfied; the negated
+  branch is deleted.
+* **empty-branch detection** (XGL112, warning + unsatisfiable) — a
+  positive arc the schema proves impossible means the query matches
+  nothing on conforming documents; the rewriter flags ``static_false``
+  (structure is kept, mirroring the always-false condition rule).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...xmlgl.ast import (
+    AttributePattern,
+    ContainmentEdge,
+    ElementPattern,
+    QueryGraph,
+    QueryNode,
+    TextPattern,
+)
+from ...xmlgl.schema import SchemaElement, SchemaGraph
+from ..diagnostics import Severity
+from .minimize import _copy_graph, _free_subtree
+from .report import RewriteReport
+
+__all__ = ["schema_prune"]
+
+
+def _child_tags(schema: SchemaGraph, parent_tag: str) -> Optional[set[str]]:
+    """Declared child element tags of ``parent_tag`` (``None`` = unknown)."""
+    if parent_tag not in schema.nodes:
+        return None
+    tags: set[str] = set()
+    for edge in schema.element_edges(parent_tag):
+        node = schema.nodes[edge.child_id]
+        assert isinstance(node, SchemaElement)
+        tags.add(node.tag)
+    return tags
+
+
+def _reachable_tags(schema: SchemaGraph, source_tag: str) -> Optional[set[str]]:
+    """Element tags reachable below ``source_tag`` at any depth ≥ 1."""
+    direct = _child_tags(schema, source_tag)
+    if direct is None:
+        return None
+    reached: set[str] = set()
+    stack = list(direct)
+    while stack:
+        tag = stack.pop()
+        if tag in reached:
+            continue
+        reached.add(tag)
+        stack.extend(_child_tags(schema, tag) or ())
+    return reached
+
+
+def _attribute_names(schema: SchemaGraph, parent_tag: str) -> Optional[set[str]]:
+    if parent_tag not in schema.nodes:
+        return None
+    return {a.name for a in schema.attribute_nodes(parent_tag)}
+
+
+def _edge_impossible(
+    schema: SchemaGraph,
+    parent_tag: str,
+    edge: ContainmentEdge,
+    child: QueryNode,
+) -> bool:
+    """Can the schema prove no conforming document matches this arc?
+
+    Conservative: unknown parent tags, undeclared structure and wildcard
+    children (except under childless parents) all answer ``False``.
+    """
+    if parent_tag not in schema.nodes:
+        return False
+    if isinstance(child, ElementPattern):
+        allowed = (
+            _reachable_tags(schema, parent_tag)
+            if edge.deep
+            else _child_tags(schema, parent_tag)
+        )
+        if allowed is None:
+            return False
+        if child.tag is None:
+            return not allowed
+        return child.tag not in allowed
+    if isinstance(child, AttributePattern):
+        names = _attribute_names(schema, parent_tag)
+        return names is not None and child.name not in names
+    assert isinstance(child, TextPattern)
+    return not schema.allows_text(parent_tag)
+
+
+def _parent_tags_of(
+    graph: QueryGraph, node_id: str
+) -> list[tuple[ContainmentEdge, Optional[str]]]:
+    """Incoming plain non-negated arcs with the parent's tag (if fixed)."""
+    result = []
+    for edge in graph.edges:
+        if edge.child != node_id or edge.negated:
+            continue
+        parent = graph.nodes[edge.parent]
+        tag = parent.tag if isinstance(parent, ElementPattern) else None
+        result.append((edge, tag))
+    return result
+
+
+def schema_prune(
+    graph: QueryGraph,
+    schema: SchemaGraph,
+    *,
+    protected: frozenset[str],
+    report: RewriteReport,
+) -> tuple[QueryGraph, bool]:
+    """One round of schema-informed rewrites; fixed-point driven by caller."""
+    # vacuous negations first: deleting them can unlock other rewrites
+    for index, edge in enumerate(graph.edges):
+        if not edge.negated:
+            continue
+        parent = graph.nodes[edge.parent]
+        if not isinstance(parent, ElementPattern) or parent.tag is None:
+            continue
+        if not _edge_impossible(schema, parent.tag, edge, graph.nodes[edge.child]):
+            continue
+        subtree = _free_subtree(graph, edge, protected)
+        if subtree is None:
+            continue
+        report.record(
+            "pruned",
+            "XGL111",
+            f"negated branch {edge.describe()} removed: the schema "
+            "proves the pattern empty, so the negation always holds",
+            edge=(edge.parent, edge.child),
+        )
+        return (
+            _copy_graph(
+                graph, drop_nodes=subtree, drop_edges=frozenset({index})
+            ),
+            True,
+        )
+
+    # statically empty positive branches (conforming documents only)
+    flagged = {
+        d.edge for d in report.diagnostics if d.code == "XGL112"
+    }
+    for edge in graph.edges:
+        if edge.negated:
+            continue
+        anchor = (edge.parent, edge.child)
+        if anchor in flagged:
+            continue
+        parent = graph.nodes[edge.parent]
+        if not isinstance(parent, ElementPattern) or parent.tag is None:
+            continue
+        if _edge_impossible(schema, parent.tag, edge, graph.nodes[edge.child]):
+            report.record(
+                "failed",
+                "XGL112",
+                f"branch {edge.describe()} matches nothing on "
+                "schema-conforming documents: the query is empty",
+                severity=Severity.WARNING,
+                edge=anchor,
+                unsatisfiable=True,
+            )
+
+    # wildcard tightening
+    for node_id in sorted(graph.nodes):
+        node = graph.nodes[node_id]
+        if not isinstance(node, ElementPattern) or node.tag is not None:
+            continue
+        if node.anchored:
+            candidates: Optional[set[str]] = {schema.root}
+        else:
+            candidates = None
+            for edge, parent_tag in _parent_tags_of(graph, node_id):
+                if parent_tag is None:
+                    candidates = None
+                    break
+                allowed = (
+                    _reachable_tags(schema, parent_tag)
+                    if edge.deep
+                    else _child_tags(schema, parent_tag)
+                )
+                if allowed is None:
+                    candidates = None
+                    break
+                candidates = (
+                    set(allowed)
+                    if candidates is None
+                    else candidates & allowed
+                )
+        if not candidates or len(candidates) != 1:
+            continue
+        (tag,) = candidates
+        tightened = dict(graph.nodes)
+        tightened[node_id] = ElementPattern(
+            id=node.id, tag=tag, anchored=node.anchored
+        )
+        report.record(
+            "tightened",
+            "XGL110",
+            f"wildcard box {node_id!r} tightened to <{tag}>: the schema "
+            "admits no other tag here",
+            node=node_id,
+        )
+        rewritten = _copy_graph(graph)
+        rewritten.nodes = tightened
+        return rewritten, True
+
+    return graph, False

@@ -1,0 +1,211 @@
+"""Condition simplification: constant folding and range/equality reasoning.
+
+Works on the conjunction formed by a rule's condition list.  Three rewrite
+rules, each *row-wise sound* — for every single binding row, the rewritten
+conjunction evaluates exactly like the original:
+
+* **constant folding** — a conjunct with no variables is evaluated
+  outright; ``True`` conjuncts are removed (tautology), a ``False``
+  conjunct proves the whole query empty (``static_false``; the conjunct is
+  kept so the rewritten text stays semantically identical).
+* **duplicate elimination** — structurally equal conjuncts collapse to
+  one (conditions are frozen dataclasses, so ``==`` is structural).
+* **implication pruning** — among comparisons of one value view against a
+  constant (the same fragment :class:`~repro.analysis.satisfiability.\
+ConstraintStore` interprets), a conjunct implied by a stronger sibling is
+  dropped: ``X > 7`` makes ``X > 5`` redundant, ``X = 7`` makes
+  ``X >= 7`` and ``X != 9`` redundant.
+
+Why implication pruning is row-wise sound under the engine's loose
+typing: a comparison with a missing value or a type-mismatched pair
+evaluates to *false*.  We only drop the weak conjunct when
+:func:`~repro.ssd.datatypes.compare` succeeds on the two constants, which
+forces them into the same comparability class (both numeric, or both
+non-numeric strings).  Any row value satisfying the strong conjunct is
+then in that same class, so the weak comparison cannot fail on typing and
+is entailed by transitivity.  Rows *failing* the strong conjunct are
+filtered either way, so the conjunction is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...engine.conditions import (
+    Comparison,
+    Condition,
+    Const,
+)
+from ...ssd.datatypes import Atomic, compare, equal_atoms
+from ..satisfiability import _FLIP, _view_of, conjuncts
+from .report import RewriteReport
+
+__all__ = ["simplify_conditions"]
+
+_LOWER_OPS = {">", ">="}
+_UPPER_OPS = {"<", "<="}
+
+
+def _constant_value(condition: Condition) -> Optional[bool]:
+    """Evaluate a variable-free conjunct, or ``None`` if it has variables.
+
+    Constant conditions never touch the binding/accessor, so evaluating
+    with ``None`` for both is safe; anything unexpected bails out.
+    """
+    from ...engine.conditions import condition_variables
+
+    try:
+        if condition_variables(condition):
+            return None
+        return bool(condition.evaluate(None, None))  # type: ignore[arg-type]
+    except Exception:
+        return None
+
+
+def _view_comparison(
+    condition: Condition,
+) -> Optional[tuple[tuple[object, ...], str, Atomic]]:
+    """Decompose ``view op const`` (either side), or ``None``."""
+    if not isinstance(condition, Comparison):
+        return None
+    left, right, op = condition.left, condition.right, condition.op
+    view = _view_of(left)
+    if view is not None and isinstance(right, Const):
+        return (tuple(view), op, right.value)
+    view = _view_of(right)
+    if view is not None and isinstance(left, Const):
+        return (tuple(view), _FLIP.get(op, op), left.value)
+    return None
+
+
+def _implies(
+    strong_op: str, strong: Atomic, weak_op: str, weak: Atomic
+) -> bool:
+    """Does ``view strong_op strong`` entail ``view weak_op weak``?
+
+    Only comparisons whose constants :func:`compare` (same comparability
+    class) are considered — see the module docstring for why that makes
+    the entailment row-wise exact.
+    """
+    if strong_op == "=":
+        if weak_op == "=":
+            return equal_atoms(strong, weak)
+        if weak_op == "!=":
+            return not equal_atoms(strong, weak)
+        try:
+            delta = compare(strong, weak)
+        except TypeError:
+            return False
+        if weak_op == "<":
+            return delta < 0
+        if weak_op == "<=":
+            return delta <= 0
+        if weak_op == ">":
+            return delta > 0
+        return delta >= 0
+    if strong_op in _LOWER_OPS and weak_op in _LOWER_OPS:
+        try:
+            delta = compare(strong, weak)
+        except TypeError:
+            return False
+        # at equal bounds ``>=`` does not entail the strict ``>``
+        return delta > 0 or (delta == 0 and not (weak_op == ">" and strong_op == ">="))
+    if strong_op in _UPPER_OPS and weak_op in _UPPER_OPS:
+        try:
+            delta = compare(strong, weak)
+        except TypeError:
+            return False
+        return delta < 0 or (delta == 0 and not (weak_op == "<" and strong_op == "<="))
+    return False
+
+
+def simplify_conditions(
+    conditions: list[Condition],
+    *,
+    report: RewriteReport,
+    prefix: str,
+    known_variable: Callable[[str], bool],
+) -> tuple[list[Condition], bool]:
+    """Simplify a conjunction; returns ``(new_conditions, changed)``.
+
+    ``prefix`` is the language code family (``"XGL"`` / ``"WGL"``);
+    diagnostics use ``<prefix>102`` (tautology), ``<prefix>103``
+    (implied) and ``<prefix>105`` (always false).
+    """
+    from ..diagnostics import Severity
+
+    flat: list[Condition] = []
+    for top in conditions:
+        flat.extend(conjuncts(top))
+    # `conjuncts` silently drops bare TRUE and flattens nested And; both
+    # are order-preserving normalisations, not semantic changes, so they
+    # count as "changed" only through the length comparison at the end.
+
+    keep: list[Condition] = []
+    views: list[Optional[tuple[tuple[object, ...], str, Atomic]]] = []
+    for condition in flat:
+        constant = _constant_value(condition)
+        if constant is True:
+            report.record(
+                "dropped",
+                f"{prefix}102",
+                f"condition `{condition}` is tautological; removed",
+                hint="a constant-true predicate filters nothing",
+            )
+            continue
+        if constant is False:
+            report.record(
+                "failed",
+                f"{prefix}105",
+                f"condition `{condition}` is always false: "
+                "the query cannot match any document",
+                severity=Severity.WARNING,
+                unsatisfiable=True,
+            )
+            keep.append(condition)
+            views.append(None)
+            continue
+        if any(condition == kept for kept in keep):
+            report.record(
+                "dropped",
+                f"{prefix}103",
+                f"duplicate condition `{condition}` removed",
+            )
+            continue
+        decomposed = _view_comparison(condition)
+        if decomposed is not None and not known_variable(str(decomposed[0][1])):
+            decomposed = None  # unknown variables are lint's business
+        keep.append(condition)
+        views.append(decomposed)
+
+    # implication pruning among same-view comparisons
+    survivors: list[Condition] = []
+    for i, condition in enumerate(keep):
+        weak = views[i]
+        implied_by: Optional[Condition] = None
+        if weak is not None:
+            for j, other in enumerate(keep):
+                strong = views[j]
+                if i == j or strong is None or strong[0] != weak[0]:
+                    continue
+                # when two conjuncts imply each other (e.g. `= 7` and
+                # `= "007"`), keep the earlier one only
+                if _implies(strong[1], strong[2], weak[1], weak[2]) and not (
+                    j > i and _implies(weak[1], weak[2], strong[1], strong[2])
+                ):
+                    implied_by = other
+                    break
+        if implied_by is not None:
+            report.record(
+                "dropped",
+                f"{prefix}103",
+                f"condition `{condition}` is implied by the stronger "
+                f"`{implied_by}`; removed",
+            )
+            continue
+        survivors.append(condition)
+
+    changed = len(survivors) != len(conditions) or any(
+        s is not o for s, o in zip(survivors, conditions)
+    )
+    return survivors, changed

@@ -1,0 +1,69 @@
+"""WG-Log rule-graph rewriting.
+
+WG-Log embeddings may be requested *injective* (distinct rule nodes bind
+distinct instance nodes), which makes branch subsumption unsound there —
+a subsumed branch still forces an extra, distinct witness.  The WG-Log
+rewriter therefore only applies rewrites that are valid under both
+semantics:
+
+* **duplicate red edges** (WGL100) — an identical ``(source, target,
+  label, crossed, path)`` red edge written twice is one constraint
+  twice; edges bind no variables, so dropping the duplicate changes no
+  embedding under either matching discipline.
+* **condition simplification** (WGL102/WGL103/WGL105) — the same
+  row-wise-sound constant folding and implication pruning as XML-GL,
+  via :func:`~repro.analysis.rewrite.simplify.simplify_conditions`.
+"""
+
+from __future__ import annotations
+
+from ...wglog.ast import Color, RuleEdge, RuleGraph
+from .report import RewriteReport
+from .simplify import simplify_conditions
+
+__all__ = ["rewrite_rulegraph"]
+
+
+def rewrite_rulegraph(rule: RuleGraph) -> tuple[RuleGraph, RewriteReport]:
+    """Rewrite one WG-Log rule; returns ``(rule, report)``.
+
+    The input is never mutated; when nothing fires the original object is
+    returned unchanged.
+    """
+    report = RewriteReport()
+
+    seen: set[tuple[str, str, str, bool, bool]] = set()
+    edges: list[RuleEdge] = []
+    for edge in rule.edges:
+        if edge.color is Color.RED:
+            key = (edge.source, edge.target, edge.label, edge.crossed, edge.path)
+            if key in seen:
+                report.record(
+                    "merged",
+                    "WGL100",
+                    f"duplicate edge {edge.describe()} merged with an "
+                    "identical edge",
+                    edge=(edge.source, edge.target),
+                )
+                continue
+            seen.add(key)
+        edges.append(edge)
+
+    red_ids = {n.id for n in rule.red_nodes()}
+    conditions, conditions_changed = simplify_conditions(
+        rule.conditions,
+        report=report,
+        prefix="WGL",
+        known_variable=lambda v: v in red_ids,
+    )
+
+    if len(edges) == len(rule.edges) and not conditions_changed:
+        return rule, report
+    rewritten = RuleGraph(
+        nodes=dict(rule.nodes),
+        edges=edges,
+        slot_assertions=list(rule.slot_assertions),
+        conditions=conditions,
+        name=rule.name,
+    )
+    return rewritten, report

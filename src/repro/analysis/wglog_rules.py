@@ -41,7 +41,12 @@ from ..wglog.matcher import _positively_anchored, _split_negation
 from ..wglog.schema import WGSchema
 from .diagnostics import Diagnostic, Severity
 from .passes import AnalysisContext, register
-from .satisfiability import ConstraintStore, conjuncts, extract_conjuncts
+from .satisfiability import (
+    ConstraintStore,
+    Contradiction,
+    conjuncts,
+    extract_conjuncts,
+)
 
 __all__ = ["safety_pass", "stratification_pass", "satisfiability_pass", "schema_pass"]
 
@@ -367,7 +372,7 @@ def satisfiability_pass(
     return findings
 
 
-def rule_contradictions(rule: RuleGraph):
+def rule_contradictions(rule: RuleGraph) -> list[Contradiction]:
     """The contradiction records of one rule (shared with the pre-flight)."""
     store = ConstraintStore()
     for node in rule.nodes.values():
@@ -394,7 +399,7 @@ def rule_contradictions(rule: RuleGraph):
     return store.contradictions()
 
 
-def _content_operands(condition) -> list[ContentOf]:
+def _content_operands(condition: Comparison | Regex) -> list[ContentOf]:
     operands = []
     if isinstance(condition, Comparison):
         candidates = [condition.left, condition.right]

@@ -49,6 +49,12 @@ The ``plan_cache`` block runs the join-heavy query through a
 the counters (cold run = one compile miss, each warm run = one hit), and
 records the cold/warm timings so the repeat-query latency win stays on
 the trajectory.
+
+The ``rewrite`` block evaluates a deliberately redundant query (three
+overlapping deep arcs + a tautological condition) with the static
+rewriter off and on, *asserts* at least one fragment was removed, the
+results are identical and the off/on work ratio clears 2x, and records
+the counters and timings.
 """
 
 from __future__ import annotations
@@ -324,6 +330,69 @@ def measure_plan_cache(repeat: int, bib_entries: int = 400) -> dict:
     }
 
 
+#: The deliberately redundant drawing the rewrite guard measures (the same
+#: shape as ``examples/fig_redundant.xgl``): three deep arcs asking for
+#: overlapping structure plus a tautological conjunct.  The rewriter must
+#: shrink it to one arc.
+REWRITE_GUARD_QUERY = (
+    "query { root report as R { deep para as P  deep para as P2  "
+    "deep * as W } where 1 = 1 } construct { r { collect P } }"
+)
+
+
+def measure_rewrite(document: Document, repeat: int) -> dict:
+    """The rewrite guard: minimization must pay for itself on redundancy.
+
+    Evaluates the redundant guard rule with the rewriter off (the drawing
+    verbatim) and on (the minimized rule), best-of-``repeat`` each.
+    *Asserts* the rewriter removed at least one fragment, that the
+    constructed results are byte-identical, and that the off/on work
+    ratio clears 2x — the counters are deterministic, so this cannot
+    flake on wall time.  Records counters, timings and the ratio.
+    """
+    from .analysis.rewrite import rewrite_rule
+    from .ssd import serialize
+    from .xmlgl.evaluator import evaluate_rule
+
+    rule = parse_rule(REWRITE_GUARD_QUERY)
+    rewritten, report = rewrite_rule(rule)
+    fragments_removed = report.counters.get(
+        "merged", 0
+    ) + report.counters.get("pruned", 0)
+    assert fragments_removed >= 1, "the redundant guard rule did not shrink"
+
+    def best_of(target) -> tuple[float, int, str]:
+        stats = EvalStats()
+        result = evaluate_rule(target, document, options=PIPELINE, stats=stats)
+        work = stats.candidates_tried + stats.edge_checks
+        best = stats.seconds
+        for _ in range(repeat - 1):
+            started = time.perf_counter()
+            evaluate_rule(target, document, options=PIPELINE)
+            best = min(best, time.perf_counter() - started)
+        return best, work, serialize(result)
+
+    off_seconds, off_work, off_result = best_of(rule)
+    on_seconds, on_work, on_result = best_of(rewritten)
+    assert on_result == off_result, "the rewrite changed the result"
+    work_ratio = round(off_work / max(on_work, 1), 2)
+    assert work_ratio > 2.0, (
+        f"rewrite-off/rewrite-on work ratio {work_ratio} <= 2x"
+    )
+    return {
+        "query": "rewrite/redundant",
+        "rewrites": report.describe(),
+        "fragments_removed": fragments_removed,
+        "results_identical": True,
+        "off_work": off_work,
+        "on_work": on_work,
+        "work_ratio": work_ratio,
+        "off_seconds": off_seconds,
+        "on_seconds": on_seconds,
+        "speedup": round(off_seconds / max(on_seconds, 1e-9), 2),
+    }
+
+
 def run_suite(
     bib_entries: int = 400,
     sections_depth: int = 7,
@@ -402,6 +471,7 @@ def run_suite(
         repeat,
     )
     report["plan_cache"] = measure_plan_cache(repeat, bib_entries)
+    report["rewrite"] = measure_rewrite(datasets["sections"], repeat)
     return report
 
 
@@ -571,6 +641,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{plan_cache['cold_seconds'] * 1000:.2f}ms cold -> "
         f"{plan_cache['warm_seconds'] * 1000:.2f}ms warm "
         f"({plan_cache['speedup']}x), counters asserted"
+    )
+    rewrite = report["rewrite"]
+    print(
+        f"rewrite ({rewrite['query']}): {rewrite['rewrites']}, "
+        f"work {rewrite['off_work']} -> {rewrite['on_work']} "
+        f"({rewrite['work_ratio']}x off/on), results identical"
     )
 
     if baseline is not None:

@@ -9,6 +9,7 @@ Everything the library does, scriptable from a shell::
     python -m repro explain rule.xgl                   # EXPLAIN ANALYZE
     python -m repro wglog rules.wgl data.xml --apply   # generative semantics
     python -m repro lint rule.xgl --format json        # static analysis
+    python -m repro rewrite rule.xgl                   # static query rewriting
     python -m repro render rule.xgl -o figure.svg      # draw the query
     python -m repro validate data.xml --dtd schema.dtd
     python -m repro compare --entries 30               # TAB-1 + FIG-Q* report
@@ -80,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="EXPLAIN output format (with --explain)",
     )
     run.add_argument(
+        "--no-rewrite", action="store_true",
+        help="evaluate the drawn query verbatim, skipping the static "
+        "rewrite layer (canonicalization, minimization, pruning)",
+    )
+    run.add_argument(
         "--metrics", action="store_true",
         help="print the process metrics snapshot (JSON) to stderr afterwards",
     )
@@ -124,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="force an evaluation engine (default: adaptive cost-based)",
     )
+    explain.add_argument(
+        "--no-rewrite", action="store_true",
+        help="explain the drawn query verbatim, skipping the static "
+        "rewrite layer",
+    )
 
     wglog = commands.add_parser("wglog", help="run WG-Log rules over bridged XML")
     wglog.add_argument("rules", help="rules file (WG-Log DSL, optional schema block)")
@@ -153,6 +164,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--schema",
         help="schema to lint against: a DTD file for xmlgl "
         "(wglog uses the rule file's own schema block)",
+    )
+
+    rewrite = commands.add_parser(
+        "rewrite",
+        help="statically rewrite a rule file: canonicalization, "
+        "containment-based minimization, condition simplification",
+    )
+    rewrite.add_argument("rule", help="rule/program file (either DSL)")
+    rewrite.add_argument(
+        "--lang", choices=("xmlgl", "wglog"), default="xmlgl",
+        help="which language the file is written in",
+    )
+    rewrite.add_argument(
+        "--schema",
+        help="DTD file enabling schema-informed pruning (xmlgl only); "
+        "the rewrites then assume documents conform to it",
+    )
+    rewrite.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report output format",
     )
 
     render = commands.add_parser("render", help="render a rule as SVG/ASCII")
@@ -281,6 +312,11 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             max_work=args.max_work,
             on_limit=args.on_limit,
         )
+    options = None
+    if args.no_rewrite:
+        from .engine.options import MatchOptions
+
+        options = MatchOptions(rewrite=False)
     if args.explain:
         from .explain import explain
 
@@ -290,7 +326,9 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
                 f"{len(program.rules)} rules",
                 file=sys.stderr,
             )
-        report = explain(program.rules[0], sources if sources else None)
+        report = explain(
+            program.rules[0], sources if sources else None, options=options
+        )
         print(report.render(args.format), file=out)
         if args.metrics:
             print(global_registry.to_json(), file=sys.stderr)
@@ -303,7 +341,9 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         stats.trace = Tracer()
     started = time.perf_counter()
     try:
-        result = evaluate_program(program, sources, budget=budget, stats=stats)
+        result = evaluate_program(
+            program, sources, options=options, budget=budget, stats=stats
+        )
     except (BudgetExceeded, QueryCancelled) as error:
         elapsed = time.perf_counter() - started
         global_registry.record(stats, seconds=elapsed, query=args.rule, error=True)
@@ -350,10 +390,13 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
     options = None
-    if args.engine is not None:
+    if args.engine is not None or args.no_rewrite:
         from .engine.options import MatchOptions
 
-        options = MatchOptions(engine=args.engine)
+        options = MatchOptions(
+            engine=args.engine if args.engine is not None else "adaptive",
+            rewrite=not args.no_rewrite,
+        )
     report = explain(
         program.rules[0], sources if sources else None, options=options
     )
@@ -423,6 +466,71 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
         file=out,
     )
     return 1 if has_errors(findings) else 0
+
+
+def _cmd_rewrite(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .analysis import render_text
+    from .analysis.rewrite import rewrite_rule, rewrite_rulegraph
+
+    source = _read(args.rule)
+    reports = []  # (name, rewritten_text, RewriteReport)
+    if args.lang == "xmlgl":
+        from .xmlgl.dsl import parse_program
+        from .xmlgl.unparse import unparse_rule
+
+        xml_schema = None
+        if args.schema:
+            from .ssd import parse_dtd
+            from .xmlgl.schema import dtd_to_schema
+
+            dtd = parse_dtd(_read(args.schema))
+            if not dtd.elements:
+                print("error: the DTD declares no elements", file=sys.stderr)
+                return 2
+            root = next(iter(dtd.elements))
+            xml_schema, _ = dtd_to_schema(dtd, root)
+        for position, rule in enumerate(parse_program(source).rules):
+            rewritten, report = rewrite_rule(rule, schema=xml_schema)
+            name = rule.name or f"rule {position}"
+            reports.append((name, unparse_rule(rewritten), report))
+    else:
+        if args.schema:
+            print(
+                "error: --schema applies to xmlgl only (wglog uses the "
+                "rule file's own schema block)",
+                file=sys.stderr,
+            )
+            return 2
+        from .wglog.dsl import parse_wglog
+        from .wglog.unparse import unparse_rule as unparse_wg_rule
+
+        _, rules = parse_wglog(source)
+        for position, rule in enumerate(rules):
+            rewritten, report = rewrite_rulegraph(rule)
+            name = rule.name or f"rule {position}"
+            reports.append((name, unparse_wg_rule(rewritten), report))
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {"rule": name, "rewritten": text, **report.as_dict()}
+                    for name, text, report in reports
+                ],
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+    else:
+        for name, text, report in reports:
+            print(f"# {name}: rewrites: {report.describe()}", file=out)
+            if report.diagnostics:
+                print(render_text(report.diagnostics), file=out)
+            print(text, file=out)
+    # a statically-false query is a warning-level outcome, not a failure
+    return 0
 
 
 def _cmd_render(args: argparse.Namespace, out) -> int:
@@ -533,6 +641,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "explain": _cmd_explain,
         "wglog": _cmd_wglog,
         "lint": _cmd_lint,
+        "rewrite": _cmd_rewrite,
         "render": _cmd_render,
         "validate": _cmd_validate,
         "compare": _cmd_compare,

@@ -31,6 +31,14 @@ XML-GL document matcher and the WG-Log graph matcher both honour:
   naive engine (the pipeline builds its pools and relations from the
   index, so it degrades to backtracking without one).
 
+* ``rewrite`` — run the static query-rewrite layer
+  (:mod:`repro.analysis.rewrite`) before planning: canonicalization,
+  containment-based minimization and condition simplification.  On by
+  default; ``False`` is the escape hatch (``repro run --no-rewrite``)
+  that evaluates the drawn query verbatim — the ablation switch for the
+  rewrite layer, and the way out should a rewrite rule ever prove
+  unsound in the field.
+
 * ``trace`` — record a span tree (:mod:`repro.engine.trace`) of the
   evaluation.  The matchers attach a fresh
   :class:`~repro.engine.trace.Tracer` to the evaluation's ``EvalStats``
@@ -65,6 +73,7 @@ class MatchOptions:
     use_planner: bool = True
     use_index: bool = True
     engine: str = "adaptive"
+    rewrite: bool = True
     trace: bool = False
     budget: Optional["QueryBudget"] = None
 

@@ -6,14 +6,24 @@ classification, fragment discovery, condition pushdown — see
 query evaluated twice over unchanged documents repeats that analysis for
 nothing.  :class:`PlanCache` memoises the fully analysed plan, keyed by
 
-* the SHA-256 digest of the query *text* (callers with only an AST digest
-  its canonical unparse), and
+* the SHA-256 digest of the query's **canonical rewritten form**
+  (:func:`repro.analysis.rewrite.canonical_rule_text`), and
 * the tuple of **stats epochs** of the participating document indexes
   (:attr:`repro.engine.index.DocumentIndex.stats_epoch`).
 
 A rebuilt index — after a document mutation and cache invalidation — gets
 a fresh epoch, so the old key simply never matches again: invalidation is
 structural, not evented.  Stale entries age out of the LRU.
+
+Because computing the canonical key itself requires a parse and a rewrite
+pass, a second, much cheaper **alias map** sits in front of the entries:
+it maps the digest of the raw query *text* (plus epochs) to the canonical
+key it resolved to last time.  A warm repeat of the identical text
+resolves through the alias without parsing; a *different* text with the
+same meaning parses once, lands on the same canonical key, and then
+shares the compiled plan.  Aliases are bookkeeping, not entries: they are
+excluded from ``len()``/``stats()``/hit/miss counters and bounded
+separately (a stale alias merely falls through to a normal miss).
 
 The cache is a lock-guarded LRU (``dict`` insertion order, move-to-end on
 hit) safe for :meth:`repro.session.QuerySession.run_batch`'s worker
@@ -40,11 +50,18 @@ class CompiledPlan:
     of language imports).  ``preflight_skip`` records a static
     contradiction verdict: the rule can never bind, so evaluation
     short-circuits without matching (and ``graph_plans`` is empty).
+
+    ``rewrite`` is the :class:`repro.analysis.rewrite.RewriteReport` of the
+    rewrite pass that produced ``rule`` (``None`` when the plan was
+    compiled with rewriting disabled); caching it alongside the plan means
+    warm hits replay the rewrite/analysis outcome without re-running any
+    static pass.
     """
 
     rule: Any
     preflight_skip: bool
     graph_plans: tuple[Any, ...]
+    rewrite: Optional[Any] = None
 
 
 class PlanCache:
@@ -56,6 +73,10 @@ class PlanCache:
         self._max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: dict[Hashable, CompiledPlan] = {}
+        # raw-text-key -> canonical entry key; bounded separately, never
+        # counted as entries (see the module docstring)
+        self._aliases: dict[Hashable, Hashable] = {}
+        self._max_aliases = 4 * max_entries
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -81,15 +102,39 @@ class PlanCache:
                 del self._entries[oldest]
                 self._evictions += 1
 
+    def resolve_alias(self, key: Hashable) -> Optional[Hashable]:
+        """The canonical entry key a raw-text key resolved to, if recorded.
+
+        Purely advisory: the returned key may have aged out of the LRU, in
+        which case :meth:`get` reports a normal miss.  Alias lookups do not
+        touch the hit/miss counters — only entry lookups are accounted.
+        """
+        with self._lock:
+            target = self._aliases.pop(key, None)
+            if target is not None:
+                self._aliases[key] = target  # refresh recency
+            return target
+
+    def put_alias(self, key: Hashable, target: Hashable) -> None:
+        """Record that raw-text ``key`` resolves to entry key ``target``."""
+        if key == target:
+            return
+        with self._lock:
+            self._aliases.pop(key, None)
+            self._aliases[key] = target
+            while len(self._aliases) > self._max_aliases:
+                del self._aliases[next(iter(self._aliases))]
+
     def invalidate(self, key: Hashable) -> None:
         """Drop one entry if present (epoch keys make this rarely needed)."""
         with self._lock:
             self._entries.pop(key, None)
 
     def clear(self) -> None:
-        """Drop every entry; counters keep accumulating."""
+        """Drop every entry and alias; counters keep accumulating."""
         with self._lock:
             self._entries.clear()
+            self._aliases.clear()
 
     def __len__(self) -> int:
         with self._lock:

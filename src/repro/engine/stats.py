@@ -16,7 +16,12 @@ naive path would have answered by scanning:
   path, once per derived pool on the indexed path;
 * ``preflight_skips`` — evaluations short-circuited by the static
   pre-flight (:mod:`repro.analysis.preflight`): the query was proved
-  unsatisfiable before any matching work.
+  unsatisfiable before any matching work;
+* ``preflight_runs`` — times the static pre-flight analysis actually
+  *executed* during this evaluation.  Cached compiled plans carry their
+  preflight verdict, so a warm plan-cache hit evaluates with
+  ``preflight_runs == 0`` — the counter is the regression guard for
+  "warm hits don't re-run analysis".
 
 The set-at-a-time pipeline (:mod:`repro.engine.pipeline`) adds its own
 family, mirroring the interval convention that wholesale set operations are
@@ -62,6 +67,7 @@ _COUNTERS = (
     "interval_lookups",
     "interval_candidates",
     "preflight_skips",
+    "preflight_runs",
     "semijoins",
     "semijoin_dropped",
     "hashjoin_rows",
@@ -89,6 +95,7 @@ class EvalStats:
     interval_lookups: int = 0
     interval_candidates: int = 0
     preflight_skips: int = 0
+    preflight_runs: int = 0
     semijoins: int = 0
     semijoin_dropped: int = 0
     hashjoin_rows: int = 0

@@ -136,6 +136,10 @@ class Explanation:
     #: ``cached`` when the compiled plan came from the plan cache,
     #: ``compiled`` when this run compiled it.
     plan_source: str = "compiled"
+    #: Per-counter summary of the static rewrite layer ("merged=2
+    #: pruned=1"), "none" when nothing fired, "off" when rewriting was
+    #: disabled (``MatchOptions.rewrite=False``).
+    rewrites: str = "off"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready view (``render_json`` round-trips through this)."""
@@ -143,6 +147,7 @@ class Explanation:
             "query": self.query,
             "engine": self.engine,
             "plan_source": self.plan_source,
+            "rewrites": self.rewrites,
             "preflight_skipped": self.preflight_skipped,
             "synthetic_source": self.synthetic_source,
             "index_lookups": self.index_lookups,
@@ -159,6 +164,7 @@ class Explanation:
         lines = [f"EXPLAIN {self.query.strip()}"]
         lines.append(f"engine: {self.engine}")
         lines.append(f"plan: {self.plan_source}")
+        lines.append(f"rewrites: {self.rewrites}")
         if self.synthetic_source:
             lines.append(
                 "source: (none given) built-in bibliography workload, "
@@ -316,6 +322,7 @@ def _digest(
     stats: EvalStats,
     tracer: Tracer,
     synthetic_source: bool,
+    rewrites: str = "off",
 ) -> Explanation:
     preflight_skipped = any(
         span.attributes.get("skipped") for span in tracer.find("preflight")
@@ -350,6 +357,7 @@ def _digest(
         trace=tracer,
         synthetic_source=synthetic_source,
         plan_source=plan_source,
+        rewrites=rewrites,
     )
 
 
@@ -380,22 +388,29 @@ def explain(
         use_planner=base.use_planner,
         use_index=base.use_index,
         engine=base.engine,
+        rewrite=base.rewrite,
         trace=True,
         budget=base.budget,
     )
     stats = EvalStats()
     stats.trace = Tracer()
     rule, source_text, plan = lookup_or_compile(
-        query, sources, indexes=indexes, stats=stats, plans=plans
+        query, sources, indexes=indexes, stats=stats, plans=plans,
+        rewrite=traced.rewrite,
     )
     query_text = source_text if source_text is not None else unparse_rule(rule)
     evaluate_rule(
         rule, sources, options=traced, stats=stats, indexes=indexes, plan=plan
     )
+    rewrites = "off"
+    if traced.rewrite:
+        report = plan.rewrite
+        rewrites = report.describe() if report is not None else "none"
     return _digest(
         query_text,
         traced.resolved_engine(),
         stats,
         stats.trace,
         synthetic,
+        rewrites=rewrites,
     )

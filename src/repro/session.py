@@ -169,6 +169,7 @@ class QuerySession:
             indexes=self._indexes,
             stats=stats,
             plans=self._plans,
+            rewrite=opts.rewrite if opts is not None else True,
         )
         result = Document(
             evaluate_rule(
@@ -246,6 +247,7 @@ class QuerySession:
         # Prewarm the plan cache on the calling thread (throwaway stats):
         # duplicate queries across rows compile once instead of racing, and
         # every row then takes a deterministic plan-cache hit.
+        batch_rewrite = opts.rewrite if opts is not None else True
         for rule, source_text in prepared:
             lookup_or_compile(
                 source_text if source_text is not None else rule,
@@ -254,6 +256,7 @@ class QuerySession:
                 indexes=self._indexes,
                 stats=EvalStats(),
                 plans=self._plans,
+                rewrite=batch_rewrite,
             )
 
         def evaluate_one(item: tuple[int, tuple[Rule, Optional[str]]]) -> BatchResult:
@@ -275,6 +278,7 @@ class QuerySession:
                     indexes=self._indexes,
                     stats=stats,
                     plans=self._plans,
+                    rewrite=batch_rewrite,
                 )
                 result = Document(
                     evaluate_rule(

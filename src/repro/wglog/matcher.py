@@ -138,9 +138,23 @@ def embeddings(
     state = arm_budget(
         stats, budget if budget is not None else options.budget
     )
+    if options.rewrite:
+        from ..analysis.rewrite import rewrite_rulegraph
+
+        with trace_span(stats.trace, "rewrite") as rewrite_span:
+            rule, rewrite_report = rewrite_rulegraph(rule)
+            if rewrite_span is not None:
+                rewrite_span["summary"] = rewrite_report.describe()
+                rewrite_span["changed"] = rewrite_report.changed
+        for name, value in rewrite_report.counters.items():
+            stats.bump(f"rewrite_{name}", value)
+        if rewrite_report.static_false:
+            stats.preflight_skips += 1
+            return BindingSet()
     if preflight:
         from ..analysis.preflight import wglog_preflight
 
+        stats.preflight_runs += 1
         if wglog_preflight(rule) is not None:
             stats.preflight_skips += 1
             return BindingSet()

@@ -67,22 +67,74 @@ def _resolve_source(graph: QueryGraph, sources: Sources) -> Document:
         raise EvaluationError(f"unknown source document {graph.source!r}")
 
 
-def compile_plan(rule: Rule) -> CompiledPlan:
-    """Analyse ``rule`` once: preflight verdict plus per-graph compiled plans.
+def _note_rewrite(stats: EvalStats, report: object) -> None:
+    """Mirror a rewrite report's counters into ``stats.extra``.
 
-    A statically contradictory rule is recorded as ``preflight_skip`` with
-    no graph plans — evaluation of the cached plan short-circuits exactly
-    like the live preflight would.
+    Called both when a rewrite runs and when a cached plan carrying one is
+    served, so every evaluation's stats describe the plan it actually ran
+    (``rewrite_merged=2`` etc. — the names mirror
+    :data:`repro.analysis.rewrite.COUNTERS`).
     """
+    counters = getattr(report, "counters", None)
+    if not counters:
+        return
+    for name, value in counters.items():
+        stats.bump(f"rewrite_{name}", value)
+
+
+def _run_rewrite(rule: Rule, stats: EvalStats) -> tuple[Rule, object]:
+    """The ``rewrite`` span: run the static rewrite layer over ``rule``."""
+    from ..analysis.rewrite import rewrite_rule
+
+    with trace_span(stats.trace, "rewrite") as rewrite_span:
+        rewritten, report = rewrite_rule(rule)
+        if rewrite_span is not None:
+            rewrite_span["summary"] = report.describe()
+            rewrite_span["changed"] = report.changed
+    _note_rewrite(stats, report)
+    return rewritten, report
+
+
+def _finish_plan(
+    rule: Rule, report: object, stats: EvalStats
+) -> CompiledPlan:
+    """Preflight + per-graph compilation of an (already rewritten) rule."""
     from ..analysis.preflight import xmlgl_preflight
 
-    if xmlgl_preflight(rule) is not None:
-        return CompiledPlan(rule=rule, preflight_skip=True, graph_plans=())
+    skip = bool(getattr(report, "static_false", False))
+    if not skip:
+        stats.preflight_runs += 1
+        skip = xmlgl_preflight(rule) is not None
     return CompiledPlan(
         rule=rule,
-        preflight_skip=False,
-        graph_plans=tuple(compile_graph(graph) for graph in rule.queries),
+        preflight_skip=skip,
+        graph_plans=()
+        if skip
+        else tuple(compile_graph(graph) for graph in rule.queries),
+        rewrite=report,
     )
+
+
+def compile_plan(
+    rule: Rule,
+    *,
+    rewrite: bool = True,
+    stats: Optional[EvalStats] = None,
+) -> CompiledPlan:
+    """Analyse ``rule`` once: rewrite, preflight verdict, per-graph plans.
+
+    With ``rewrite`` on (the default) the static rewrite layer runs first
+    and the plan carries the *rewritten* rule plus its
+    :class:`~repro.analysis.rewrite.RewriteReport`; a rewrite that proves
+    the query empty, like a contradictory preflight verdict, is recorded
+    as ``preflight_skip`` with no graph plans — evaluation of the cached
+    plan short-circuits exactly like the live preflight would.
+    """
+    stats = stats if stats is not None else EvalStats()
+    report: object = None
+    if rewrite:
+        rule, report = _run_rewrite(rule, stats)
+    return _finish_plan(rule, report, stats)
 
 
 def lookup_or_compile(
@@ -93,20 +145,29 @@ def lookup_or_compile(
     indexes: Optional[DocumentIndexCache] = None,
     stats: Optional[EvalStats] = None,
     plans: Optional[PlanCache] = None,
+    rewrite: bool = True,
 ) -> tuple[Rule, Optional[str], CompiledPlan]:
     """The plan-cache front door: ``(rule, source_text, compiled plan)``.
 
-    The cache key pairs the query text's SHA-256 digest (an AST ``query``
-    is digested via its canonical unparse) with the stats epochs of every
-    source document's index — a mutated-and-reinvalidated document rebuilds
-    its index under a fresh epoch, so stale plans can never be served.
-    Indexes are resolved through ``indexes`` (the shared cache by default),
-    which doubles as the index prewarm for the subsequent evaluation.
+    Plans are stored under the digest of the query's **canonical rewritten
+    form** (:func:`repro.analysis.rewrite.canonical_rule_text`) paired
+    with the stats epochs of every source document's index — so two
+    textually different but semantically equal queries share one compiled
+    plan, and a mutated-and-reinvalidated document rebuilds its index
+    under a fresh epoch so stale plans can never be served.  A cheap alias
+    map keyed by the raw text's digest fronts the canonical entries: a
+    warm repeat of the *identical* text resolves without parsing at all.
+    Indexes are resolved through ``indexes`` (the shared cache by
+    default), which doubles as the index prewarm for the evaluation.
 
-    On a hit the parse, validation, preflight and graph analysis are all
-    skipped (``stats.plan_cache_hits``, trace event ``plan.cache.hit``); on
-    a miss the query is parsed — unless the caller supplies ``parsed`` —
-    and compiled under a ``plan.cache.compile`` span, then cached.
+    On a hit the parse, validation, rewrite, preflight and graph analysis
+    are all skipped (``stats.plan_cache_hits``, trace event
+    ``plan.cache.hit``) and the cached plan's rewrite counters are
+    replayed into ``stats.extra``; on a miss the query is parsed — unless
+    the caller supplies ``parsed`` — rewritten under a ``rewrite`` span,
+    and compiled under a ``plan.cache.compile`` span, then cached.  With
+    ``rewrite=False`` the raw text digest keys the entry directly and no
+    canonical sharing happens (the returned rule is the drawn one).
     """
     stats = stats if stats is not None else EvalStats()
     tracer = stats.trace
@@ -128,25 +189,71 @@ def lookup_or_compile(
         cache.get(document, stats=stats).stats_epoch for document in documents
     )
     plan_cache = plans if plans is not None else shared_plans
-    key = (digest, epochs)
-    plan = plan_cache.get(key)
-    if plan is not None:
+
+    def _hit(
+        plan: CompiledPlan, *, canonical: bool, replay: bool = True
+    ) -> CompiledPlan:
         stats.plan_cache_hits += 1
         if tracer is not None:
-            tracer.event("plan.cache.hit", key=digest[:12])
-        return plan.rule, source_text, plan
-    stats.plan_cache_misses += 1
-    if tracer is not None:
-        tracer.event("plan.cache.miss", key=digest[:12])
+            tracer.event("plan.cache.hit", key=digest[:12], canonical=canonical)
+        if replay:
+            # warm hit: no rewrite ran this call, so surface the cached
+            # plan's rewrite outcome in this evaluation's stats
+            _note_rewrite(stats, plan.rewrite)
+        return plan
+
+    if not rewrite:
+        # raw-keyed, no canonical sharing: the verbatim-evaluation path
+        raw_key = (("raw", digest), epochs)
+        plan = plan_cache.get(raw_key)
+        if plan is not None:
+            return _hit(plan, canonical=False).rule, source_text, plan
+        stats.plan_cache_misses += 1
+        if tracer is not None:
+            tracer.event("plan.cache.miss", key=digest[:12])
+        if parsed is None:
+            from .dsl import parse_rule
+
+            with trace_span(tracer, "parse", query=len(source_text or "")):
+                parsed = parse_rule(source_text)
+        with trace_span(tracer, "plan.cache.compile", key=digest[:12]):
+            plan = compile_plan(parsed, rewrite=False, stats=stats)
+        plan_cache.put(raw_key, plan)
+        return parsed, source_text, plan
+
+    alias_key = (digest, epochs)
+    target = plan_cache.resolve_alias(alias_key)
+    if target is not None:
+        plan = plan_cache.get(target)
+        if plan is not None:
+            return _hit(plan, canonical=False).rule, source_text, plan
+        # stale alias: the entry aged out — fall through to a normal miss
     if parsed is None:
         from .dsl import parse_rule
 
         with trace_span(tracer, "parse", query=len(source_text or "")):
             parsed = parse_rule(source_text)
-    with trace_span(tracer, "plan.cache.compile", key=digest[:12]):
-        plan = compile_plan(parsed)
-    plan_cache.put(key, plan)
-    return parsed, source_text, plan
+    rewritten, report = _run_rewrite(parsed, stats)
+    from ..analysis.rewrite import canonical_rule_text
+
+    canonical_digest = hashlib.sha256(
+        canonical_rule_text(rewritten).encode()
+    ).hexdigest()
+    canonical_key = (("canon", canonical_digest), epochs)
+    plan = plan_cache.get(canonical_key)
+    if plan is not None:
+        # a semantically equal query compiled this plan under another text;
+        # this call's own rewrite already recorded its counters
+        plan_cache.put_alias(alias_key, canonical_key)
+        return _hit(plan, canonical=True, replay=False).rule, source_text, plan
+    stats.plan_cache_misses += 1
+    if tracer is not None:
+        tracer.event("plan.cache.miss", key=digest[:12])
+    with trace_span(tracer, "plan.cache.compile", key=canonical_digest[:12]):
+        plan = _finish_plan(rewritten, report, stats)
+    plan_cache.put(canonical_key, plan)
+    plan_cache.put_alias(alias_key, canonical_key)
+    return rewritten, source_text, plan
 
 
 def rule_bindings(
@@ -208,6 +315,7 @@ def rule_bindings(
         from ..analysis.preflight import xmlgl_preflight
 
         with trace_span(stats.trace, "preflight") as preflight_span:
+            stats.preflight_runs += 1
             verdict = xmlgl_preflight(rule)
             if preflight_span is not None:
                 preflight_span["skipped"] = verdict is not None
@@ -326,29 +434,34 @@ def evaluate_program(
     Single-rule programs with ``unwrap=True`` return the rule's own result
     element as document root.  Chained programs feed each named rule's
     result to the rules after it as a source document of that name.
+
+    Each rule is compiled through :func:`compile_plan` first, so the
+    static rewrite layer applies (disable with ``options.rewrite=False`` /
+    ``repro run --no-rewrite``) and evaluation runs the rewritten rule.
     """
     indexes = shared_cache
+    rewrite = options.rewrite if options is not None else True
+    plan_stats = stats if stats is not None else EvalStats()
+
+    def run_one(rule: Rule, pool: Sources) -> Element:
+        plan = compile_plan(rule, rewrite=rewrite, stats=plan_stats)
+        return evaluate_rule(
+            plan.rule, pool, options=options, trace=trace, budget=budget,
+            stats=stats, indexes=indexes, plan=plan,
+        )
+
     if program.chained:
         pool: dict[str, Document] = (
             {"input": sources} if isinstance(sources, Document) else dict(sources)
         )
         results = []
         for rule in program.rules:
-            result = evaluate_rule(
-                rule, pool, options=options, trace=trace, budget=budget,
-                stats=stats, indexes=indexes,
-            )
+            result = run_one(rule, pool)
             results.append(result)
             if rule.name:
                 pool[rule.name] = Document(result.copy())
     else:
-        results = [
-            evaluate_rule(
-                rule, sources, options=options, trace=trace, budget=budget,
-                stats=stats, indexes=indexes,
-            )
-            for rule in program.rules
-        ]
+        results = [run_one(rule, sources) for rule in program.rules]
     if program.unwrap and len(results) == 1:
         return Document(results[0])
     wrapper = Element(program.result_tag)

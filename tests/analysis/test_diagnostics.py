@@ -17,6 +17,19 @@ def test_severity_ranking():
     assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
 
 
+def test_severity_rank_table_is_module_level():
+    # ``rank`` must read a table built once at import time, not rebuild a
+    # dict per call (sorting large finding lists calls it O(n log n) times).
+    from repro.analysis import diagnostics
+
+    table = diagnostics._SEVERITY_RANK
+    assert set(table) == {s.value for s in Severity}
+    for severity in Severity:
+        assert severity.rank == table[severity.value]
+    # same object on every access: the property must not copy or rebuild
+    assert diagnostics._SEVERITY_RANK is table
+
+
 def test_format_mentions_code_rule_anchor_and_hint():
     diagnostic = Diagnostic(
         "XGL010", Severity.ERROR, "boom", node="B", rule="q1", hint="fix it"

@@ -1,0 +1,90 @@
+"""Diagnostics-registry consistency: source ↔ DESIGN.md ↔ JSON renderer.
+
+Diagnostic codes are stable API (DESIGN.md, "Static analysis: diagnostic
+codes").  This suite keeps the registry honest as codes are added:
+
+* every code the source can emit appears in exactly one DESIGN.md table
+  row (unique, documented);
+* no DESIGN.md row documents a code the source can no longer emit
+  (no stale docs);
+* every emitted code round-trips through ``render_json`` unchanged.
+"""
+
+import json
+import re
+from pathlib import Path
+
+from repro.analysis import Diagnostic, Severity, render_json
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+DESIGN = REPO / "DESIGN.md"
+
+#: Full codes written literally in source: "XGL010", f"{...}XGL010", ...
+_LITERAL = re.compile(r"""["']((?:XGL|WGL|XGS)\d{3})["']""")
+#: Codes assembled as f"{prefix}NNN" (analysis.rewrite.simplify).
+_PREFIXED = re.compile(r"""\{prefix\}(\d{3})""")
+#: Prefix values passed to simplify_conditions at its call sites.
+_PREFIX_ARG = re.compile(r"""prefix=["'](XGL|WGL)["']""")
+#: A DESIGN.md diagnostics table row: | CODE | ... |
+_DESIGN_ROW = re.compile(r"^\| ((?:XGL|WGL|XGS)\d{3}) +\|", re.MULTILINE)
+
+
+def emitted_codes() -> set[str]:
+    codes: set[str] = set()
+    suffixes: set[str] = set()
+    prefixes: set[str] = set()
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        codes.update(_LITERAL.findall(text))
+        suffixes.update(_PREFIXED.findall(text))
+        prefixes.update(_PREFIX_ARG.findall(text))
+    codes.update(p + s for p in prefixes for s in suffixes)
+    return codes
+
+
+def documented_codes() -> list[str]:
+    return _DESIGN_ROW.findall(DESIGN.read_text())
+
+
+def test_scanner_sees_both_construction_styles():
+    codes = emitted_codes()
+    # a literal code, a prefix-assembled XML-GL code, its WG-Log mirror
+    assert "XGL001" in codes
+    assert "XGL103" in codes
+    assert "WGL103" in codes
+    assert len(codes) >= 40
+
+
+def test_every_emitted_code_is_documented_once():
+    rows = documented_codes()
+    dupes = {c for c in rows if rows.count(c) > 1}
+    assert not dupes, f"duplicate DESIGN.md rows: {sorted(dupes)}"
+    missing = emitted_codes() - set(rows)
+    assert not missing, f"codes without a DESIGN.md row: {sorted(missing)}"
+
+
+def test_no_stale_design_rows():
+    stale = set(documented_codes()) - emitted_codes()
+    assert not stale, f"DESIGN.md rows no source emits: {sorted(stale)}"
+
+
+def test_codes_are_well_formed_and_families_disjoint():
+    codes = emitted_codes()
+    for code in codes:
+        assert re.fullmatch(r"(?:XGL|WGL|XGS)\d{3}", code), code
+    # one family per number-space owner: no code can be parsed two ways
+    assert len(codes) == len({(c[:3], c[3:]) for c in codes})
+
+
+def test_every_code_round_trips_through_render_json():
+    findings = [
+        Diagnostic(code, Severity.INFO, f"registry probe for {code}")
+        for code in sorted(emitted_codes())
+    ]
+    payload = json.loads(render_json(findings))
+    assert [f["code"] for f in payload["findings"]] == [
+        d.code for d in findings
+    ]
+    assert payload["errors"] == 0
+    assert payload["warnings"] == 0

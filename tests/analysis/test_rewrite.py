@@ -1,0 +1,394 @@
+"""Unit tests for the static query-rewrite layer (repro.analysis.rewrite).
+
+One class per rule family: minimization (merge/prune), condition
+simplification, pattern-node constant folding, schema-informed pruning,
+the WG-Log subset, canonicalization, the containment oracle, and the
+report object itself.  Soundness over randomized inputs lives in
+``tests/property/test_rewrite_equivalence.py``; this file pins the exact
+diagnostics and counters each rewrite emits.
+"""
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.rewrite import (
+    COUNTERS,
+    RewriteReport,
+    canonical_graph_text,
+    canonical_rule_text,
+    contains,
+    rewrite_rule,
+    rewrite_rulegraph,
+)
+from repro.ssd import parse_dtd
+from repro.wglog.dsl import parse_wglog
+from repro.xmlgl.ast import TextPattern
+from repro.xmlgl.containment import ContainmentError
+from repro.xmlgl.dsl import parse_rule
+from repro.xmlgl.schema import dtd_to_schema
+from repro.workloads import BIB_DTD
+
+
+def rewritten(source, schema=None):
+    return rewrite_rule(parse_rule(source), schema=schema)
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+def node_count(rule):
+    return sum(len(g.nodes) for g in rule.queries)
+
+
+@pytest.fixture
+def bib_schema():
+    return dtd_to_schema(parse_dtd(BIB_DTD), "bib")[0]
+
+
+class TestMinimization:
+    def test_mutually_subsumed_branches_merge(self):
+        rule, report = rewritten(
+            "query { book as B { title as T  title as T2 } } "
+            "construct { r { collect T } }"
+        )
+        assert report.counters["merged"] == 1
+        assert "XGL101" in codes(report)
+        assert node_count(rule) == 2  # B, T survive; T2 merged away
+
+    def test_one_directional_subsumption_prunes(self):
+        rule, report = rewritten(
+            "query { root report as R { deep para as P  deep * as W } } "
+            "construct { r { collect P } }"
+        )
+        assert report.counters["pruned"] == 1
+        assert "XGL100" in codes(report)
+        assert set(rule.queries[0].nodes) == {"R", "P"}
+
+    def test_non_deep_branch_not_witnessed_by_deep_one(self):
+        # `para as P2` demands a *direct* child; `deep para as P` does
+        # not witness that, so nothing may be deleted (Miklau–Suciu gap)
+        rule, report = rewritten(
+            "query { report as R { deep para as P  para as P2 } } "
+            "construct { r { collect P } }"
+        )
+        assert not report.changed
+        assert node_count(rule) == 3
+
+    def test_construct_variables_are_protected(self):
+        rule, report = rewritten(
+            "query { book as B { title as T  title as T2 } } "
+            "construct { r { collect T  collect T2 } }"
+        )
+        assert not report.changed
+        assert node_count(rule) == 3
+
+    def test_condition_variables_are_protected(self):
+        rule, report = rewritten(
+            "query { book as B { title as T  title as T2 } "
+            'where T2 != "x" } '
+            "construct { r { collect T } }"
+        )
+        assert node_count(rule) == 3
+
+    def test_sum_aggregate_gates_branch_pruning(self):
+        # sum/avg aggregate once per binding ROW: deleting a redundant
+        # branch changes row multiplicities, so pruning must stand down
+        source = (
+            "query { book as B { price as P  price as P2 } } "
+            "construct { r { sum(P) } }"
+        )
+        rule, report = rewritten(source)
+        assert report.counters.get("pruned", 0) == 0
+        assert report.counters.get("merged", 0) == 0
+        assert node_count(rule) == 3
+
+    def test_count_aggregate_is_distinct_based_and_safe(self):
+        rule, report = rewritten(
+            "query { book as B { price as P  price as P2 } } "
+            "construct { r { count(P) } }"
+        )
+        assert report.counters["merged"] == 1
+        assert node_count(rule) == 2
+
+    def test_negated_branches_never_pruned(self):
+        rule, report = rewritten(
+            "query { book as B { not cdrom as C  not cdrom as C2 "
+            "title as T } } construct { r { collect T } }"
+        )
+        # two negated constraints look alike but pruning one would weaken
+        # nothing only by accident; the rewriter leaves negation alone
+        assert {"C", "C2"} <= set(rule.queries[0].nodes)
+
+
+class TestConditionSimplification:
+    def test_tautology_dropped(self):
+        rule, report = rewritten(
+            "query { book as B { @year as Y } where 1 = 1 and Y > 1990 } "
+            "construct { r { copy B } }"
+        )
+        assert report.counters["dropped"] >= 1
+        assert "XGL102" in codes(report)
+        assert len(rule.queries[0].conditions) == 1
+
+    def test_weaker_bound_implied_away(self):
+        rule, report = rewritten(
+            "query { book as B { @year as Y } "
+            "where Y > 1990 and Y > 1985 } "
+            "construct { r { copy B } }"
+        )
+        assert "XGL103" in codes(report)
+        (condition,) = rule.queries[0].conditions
+        assert "1990" in str(condition)
+        assert "1985" not in str(condition)
+
+    def test_duplicate_conjunct_dropped(self):
+        _, report = rewritten(
+            "query { book as B { @year as Y } "
+            "where Y = 1990 and Y = 1990 } "
+            "construct { r { copy B } }"
+        )
+        assert "XGL103" in codes(report)
+
+    def test_constant_false_flags_static_false_but_keeps_condition(self):
+        rule, report = rewritten(
+            "query { book as B where 1 = 2 } construct { r { copy B } }"
+        )
+        assert report.static_false
+        (finding,) = [d for d in report.diagnostics if d.code == "XGL105"]
+        assert finding.severity is Severity.WARNING
+        assert finding.unsatisfiable
+        assert len(rule.queries[0].conditions) == 1
+
+    def test_incomparable_bounds_left_alone(self):
+        rule, report = rewritten(
+            'query { book as B { @year as Y } '
+            'where Y > 1990 and Y > "abc" } '
+            "construct { r { copy B } }"
+        )
+        # number vs string: no comparability proof, no implication
+        assert "XGL103" not in codes(report)
+        assert len(rule.queries[0].conditions) == 2
+
+
+class TestConstantFolding:
+    def test_regex_implied_by_literal_folds(self):
+        rule = parse_rule(
+            "query { book as B { title as T { text as TT } } } "
+            "construct { r { copy T } }"
+        )
+        graph = rule.queries[0]
+        graph.nodes["TT"] = TextPattern(id="TT", value="abc", regex="a.*")
+        folded, report = rewrite_rule(rule)
+        assert report.counters["folded"] == 1
+        assert "XGL106" in codes(report)
+        assert folded.queries[0].nodes["TT"].regex is None
+        assert folded.queries[0].nodes["TT"].value == "abc"
+
+    def test_regex_not_matching_literal_untouched(self):
+        rule = parse_rule(
+            "query { book as B { title as T { text as TT } } } "
+            "construct { r { copy T } }"
+        )
+        rule.queries[0].nodes["TT"] = TextPattern(
+            id="TT", value="abc", regex="z.*"
+        )
+        folded, report = rewrite_rule(rule)
+        assert report.counters.get("folded", 0) == 0
+        assert folded.queries[0].nodes["TT"].regex == "z.*"
+
+
+class TestSchemaPruning:
+    def test_wildcard_tightened_to_single_admitted_tag(self):
+        schema = dtd_to_schema(
+            parse_dtd("<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>"), "r"
+        )[0]
+        rule, report = rewritten(
+            "query { r as R { * as W } } construct { out { copy W } }",
+            schema=schema,
+        )
+        assert report.counters["tightened"] == 1
+        assert "XGL110" in codes(report)
+        assert rule.queries[0].nodes["W"].tag == "a"
+
+    def test_anchored_wildcard_becomes_schema_root(self, bib_schema):
+        rule, report = rewritten(
+            "query { root * as R { book as B } } "
+            "construct { r { copy B } }",
+            schema=bib_schema,
+        )
+        assert rule.queries[0].nodes["R"].tag == "bib"
+
+    def test_ambiguous_wildcard_untouched(self, bib_schema):
+        rule, report = rewritten(
+            "query { bib as R { * as W } } construct { r { copy W } }",
+            schema=bib_schema,
+        )
+        # bib admits book|article: two candidates, no tightening
+        assert report.counters.get("tightened", 0) == 0
+        assert rule.queries[0].nodes["W"].tag is None
+
+    def test_schema_empty_branch_is_static_false(self, bib_schema):
+        _, report = rewritten(
+            "query { book as B { cdrom as C } } construct { r { copy B } }",
+            schema=bib_schema,
+        )
+        assert report.static_false
+        (finding,) = [d for d in report.diagnostics if d.code == "XGL112"]
+        assert finding.severity is Severity.WARNING
+        assert finding.unsatisfiable
+        assert finding.edge == ("B", "C")
+
+    def test_vacuous_negation_removed(self, bib_schema):
+        rule, report = rewritten(
+            "query { book as B { not cdrom as C  title as T } } "
+            "construct { r { copy T } }",
+            schema=bib_schema,
+        )
+        assert "XGL111" in codes(report)
+        assert "C" not in rule.queries[0].nodes
+        assert not report.static_false
+
+    def test_no_schema_means_no_schema_rewrites(self):
+        _, report = rewritten(
+            "query { book as B { cdrom as C } } construct { r { copy B } }"
+        )
+        assert not codes(report) & {"XGL110", "XGL111", "XGL112"}
+
+
+class TestWGLog:
+    def wg(self, source):
+        _, rules = parse_wglog(source)
+        return rewrite_rulegraph(rules[0])
+
+    def test_duplicate_red_edge_merged(self):
+        rule, report = self.wg(
+            "rule r { match { b: book  t: title  b -child-> t  "
+            "b -child-> t } construct { b -titled-> t } }"
+        )
+        assert report.counters["merged"] == 1
+        assert "WGL100" in codes(report)
+        assert len(rule.edges) == 2  # one red survivor + the green edge
+
+    def test_distinct_labels_not_merged(self):
+        rule, report = self.wg(
+            "rule r { match { b: book  t: title  b -child-> t  "
+            "b -cites-> t } }"
+        )
+        assert report.counters.get("merged", 0) == 0
+        assert len(rule.edges) == 2
+
+    def test_condition_simplification_uses_wgl_codes(self):
+        _, report = self.wg(
+            "rule r { match { d: Doc } where 1 = 1 and d.size > 3 }"
+        )
+        assert "WGL102" in codes(report)
+
+    def test_constant_false_sets_static_false(self):
+        _, report = self.wg("rule r { match { d: Doc } where 1 = 2 }")
+        assert report.static_false
+        assert "WGL105" in codes(report)
+
+    def test_untouched_rule_returned_identically(self):
+        _, rules = parse_wglog(
+            "rule r { match { b: book  t: title  b -child-> t } }"
+        )
+        rewrittenn, report = rewrite_rulegraph(rules[0])
+        assert rewrittenn is rules[0]
+        assert not report.changed
+
+
+class TestCanonicalization:
+    BASE = (
+        "query { book as B { title as T  @year as Y } } "
+        "construct { r { collect T } }"
+    )
+    SHUFFLED = (
+        "query { book as BK { @year as YR  title as TI } } "
+        "construct { r { collect TI } }"
+    )
+
+    def test_invariant_under_branch_order_and_renames(self):
+        first = canonical_rule_text(parse_rule(self.BASE))
+        second = canonical_rule_text(parse_rule(self.SHUFFLED))
+        assert first == second
+
+    def test_distinct_queries_get_distinct_texts(self):
+        other = (
+            "query { book as B { title as T } } "
+            "construct { r { collect T } }"
+        )
+        assert canonical_rule_text(parse_rule(self.BASE)) != (
+            canonical_rule_text(parse_rule(other))
+        )
+
+    def test_construct_differences_are_visible(self):
+        copied = self.BASE.replace("collect T", "copy T")
+        assert canonical_rule_text(parse_rule(self.BASE)) != (
+            canonical_rule_text(parse_rule(copied))
+        )
+
+    def test_rule_text_is_versioned(self):
+        # the version tag keys cache compatibility: bump it and every
+        # cached digest changes
+        assert canonical_rule_text(parse_rule(self.BASE)).startswith("xglc1")
+
+    def test_graph_text_renders_structure(self):
+        graph = parse_rule(self.BASE).queries[0]
+        text = canonical_graph_text(graph)
+        assert "e[book]" in text and "e[title]" in text
+
+
+class TestContains:
+    def graph(self, source):
+        return parse_rule(source + " construct { r { copy R } }").queries[0]
+
+    def test_deep_contains_direct(self):
+        deep = self.graph("query { report as R { deep para as P } }")
+        direct = self.graph("query { report as R { para as P } }")
+        assert contains(deep, direct)
+
+    def test_direct_does_not_contain_deep(self):
+        deep = self.graph("query { report as R { deep para as P } }")
+        direct = self.graph("query { report as R { para as P } }")
+        assert not contains(direct, deep)
+
+    def test_reflexive(self):
+        q = self.graph("query { report as R { para as P } }")
+        assert contains(q, q)
+
+    def test_negation_is_outside_the_fragment(self):
+        q = self.graph("query { report as R { not para as P } }")
+        plain = self.graph("query { report as R { para as P } }")
+        with pytest.raises(ContainmentError):
+            contains(q, plain)
+
+
+class TestReport:
+    def test_empty_report_describes_none(self):
+        report = RewriteReport()
+        assert not report.changed
+        assert report.describe() == "none"
+
+    def test_describe_lists_fired_counters_in_order(self):
+        report = RewriteReport()
+        report.bump("pruned")
+        report.bump("merged", 2)
+        assert report.describe() == "merged=2 pruned=1"
+
+    def test_counters_are_the_stable_set(self):
+        assert COUNTERS == (
+            "merged", "pruned", "dropped", "folded", "tightened", "failed",
+        )
+        # counters are sparse: a fresh report has fired nothing
+        assert RewriteReport().counters == {}
+
+    def test_as_dict_shape(self):
+        report = RewriteReport()
+        report.record("merged", "XGL101", "m", edge=("A", "B"))
+        payload = report.as_dict()
+        assert payload["counters"]["merged"] == 1
+        assert payload["static_false"] is False
+        (finding,) = payload["findings"]
+        assert finding["code"] == "XGL101"
+        assert finding["edge"] == ["A", "B"]

@@ -24,10 +24,12 @@ EXPECTED_SURFACE = [
     "QueryBudget",
     "QueryCycle",
     "QuerySession",
+    "RewriteReport",
     "Severity",
     "__version__",
     "analyze_program",
     "analyze_rule",
+    "contains",
     "errors",
     "evaluate_program",
     "evaluate_rule",
@@ -35,6 +37,7 @@ EXPECTED_SURFACE = [
     "global_registry",
     "parse_program",
     "parse_rule",
+    "rewrite_rule",
     "rule_bindings",
     "wglog_query",
 ]

@@ -129,6 +129,54 @@ class TestSessionWiring:
         # the stale entry ages out of the LRU rather than being evented
         assert len(plans) == 2
 
+    def test_semantically_equal_queries_share_one_entry(self, session, caches):
+        _, plans = caches
+        # textually different: branch order and variable names differ, but
+        # canonicalization maps both to the same plan-cache key
+        shuffled = (
+            "query { book as BK { @year as YR  title as TI } } "
+            "construct { r { collect TI } }"
+        )
+        original = (
+            "query { book as B { title as T  @year as Y } } "
+            "construct { r { collect T } }"
+        )
+        session.run(original)
+        cold = session.current()
+        assert cold.stats.plan_cache_misses == 1
+
+        session.run(shuffled)
+        warm = session.current()
+        assert warm.stats.plan_cache_hits == 1
+        assert warm.stats.plan_cache_misses == 0
+        assert len(plans) == 1
+        assert warm.result.text_content() == cold.result.text_content()
+
+    def test_rewrite_off_keys_do_not_alias(self, session, caches):
+        from repro import MatchOptions
+
+        _, plans = caches
+        raw = MatchOptions(rewrite=False)
+        session.run(QUERY, options=raw)
+        assert session.current().stats.plan_cache_misses == 1
+        session.run(QUERY, options=raw)
+        warm = session.current()
+        assert warm.stats.plan_cache_hits == 1
+        assert warm.stats.plan_cache_misses == 0
+        assert len(plans) == 1
+
+    def test_warm_hit_skips_preflight_and_lint(self, session):
+        # satellite: analysis results ride with the compiled plan, so a
+        # warm hit must not re-run the lint/pre-flight passes
+        session.run(QUERY)
+        cold = session.current()
+        assert cold.stats.preflight_runs >= 1
+
+        session.run(QUERY)
+        warm = session.current()
+        assert warm.stats.plan_cache_hits == 1
+        assert warm.stats.preflight_runs == 0
+
     def test_run_batch_rows_take_deterministic_hits(self, caches):
         indexes, plans = caches
         session = QuerySession(

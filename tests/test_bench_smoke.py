@@ -115,6 +115,27 @@ def test_plan_cache_block_asserts_counters():
     assert block["speedup"] > 0
 
 
+def test_rewrite_block_asserts_shrink_and_work_ratio():
+    from repro.bench_smoke import measure_rewrite
+    from repro.workloads import nested_sections
+
+    block = measure_rewrite(
+        nested_sections(depth=4, fanout=2, seed=0), repeat=1
+    )
+    assert block["query"] == "rewrite/redundant"
+    assert block["fragments_removed"] >= 1
+    assert block["results_identical"] is True
+    # the acceptance bar: evaluating the drawing verbatim must cost more
+    # than twice the rewritten rule's work
+    assert block["work_ratio"] > 2.0
+    assert block["rewrites"] == "merged=1 pruned=1 dropped=1"
+
+
+def test_report_carries_rewrite_block():
+    report = run_suite(bib_entries=20, sections_depth=4, repeat=1)
+    assert report["rewrite"]["work_ratio"] > 2.0
+
+
 def test_report_carries_tracing_guard_block():
     report = run_suite(bib_entries=20, sections_depth=4, repeat=1)
     tracing = report["tracing"]

@@ -176,3 +176,45 @@ class TestObservabilitySteps:
         assert session.current().stats.plan_cache_hits == 1
         assert session.explain(query).plan_source == "cached"
         assert session.metrics().snapshot()["plan_cache_hit_rate"] > 0
+
+
+class TestRewriteSteps:
+    """§9: the redundant drawing really shrinks and stays equivalent."""
+
+    SOURCE = (
+        "query { root report as R { deep para as P  deep para as P2  "
+        "deep * as W } where 1 = 1 } construct { result { collect P } }"
+    )
+
+    def test_step9_redundant_example_shrinks(self):
+        from repro import RewriteReport, rewrite_rule
+
+        rewritten, report = rewrite_rule(parse_rule(self.SOURCE))
+        assert isinstance(report, RewriteReport)
+        assert report.describe() == "merged=1 pruned=1 dropped=1"
+        assert set(rewritten.queries[0].nodes) == {"R", "P"}
+
+    def test_step9_no_rewrite_escape_hatch(self):
+        from repro import MatchOptions
+        from repro.explain import explain
+
+        report = parse_document("<report><para>x</para></report>")
+        rule = parse_rule(self.SOURCE)
+        on = explain(rule, report)
+        off = explain(rule, report, options=MatchOptions(rewrite=False))
+        assert on.rewrites == "merged=1 pruned=1 dropped=1"
+        assert off.rewrites == "off"
+        assert "rewrites:" in on.render_text()
+
+    def test_step9_contains_oracle(self):
+        from repro import contains
+
+        deep = parse_rule(
+            "query { report as R { deep para as P } } "
+            "construct { r { copy P } }"
+        ).queries[0]
+        direct = parse_rule(
+            "query { report as R { para as P } } "
+            "construct { r { copy P } }"
+        ).queries[0]
+        assert contains(deep, direct) and not contains(direct, deep)
