@@ -5,15 +5,23 @@ matcher work counters alongside wall-clock time.  Shape check: work grows
 near-linearly for the indexed selection (candidates ≈ matches), while the
 value join grows super-linearly — the crossover motivating indexes and
 structural joins.
+
+The sharded runs time :meth:`~repro.engine.shard.ShardedExecutor.map_corpus`
+over a multi-document corpus and attach the per-shard wall times and the
+driver-side merge overhead to the benchmark record (``extra_info``), so
+the trajectory distinguishes worker time from merge tax.
 """
 
 import pytest
 
 from repro.engine import EvalStats
+from repro.engine.shard import ShardedExecutor, shard_document
 from repro.wglog.semantics import query as wg_query
 from repro.wglog import parse_rule as parse_wg
+from repro.workloads import bibliography
 from repro.xmlgl import rule_bindings
 from repro.xmlgl.dsl import parse_rule as parse_xg
+from repro.xmlgl.unparse import unparse_rule
 
 SELECT = parse_xg(
     "query { book as B { title as T  @year as Y } where Y >= 1995 }"
@@ -53,6 +61,55 @@ def test_indexed_selection_work_is_linear(bib_doc):
         ratio = work[large] / work[small]
         # 4x data -> ~4x work, far below quadratic (16x)
         assert 2.0 < ratio < 8.0, (small, large, ratio)
+
+
+SELECT_TEXT = unparse_rule(SELECT)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_sharded_corpus_scaling(benchmark, workers):
+    """map_corpus over 16 documents at 1/2/4 workers.
+
+    Wall time is the benchmark metric; ``extra_info`` records each
+    shard's own wall clock and the merge overhead from the last round, so
+    regressions can be attributed to worker-side evaluation vs
+    driver-side reassembly.
+    """
+    corpus = {
+        f"doc{position}": bibliography(100, seed=position)
+        for position in range(16)
+    }
+    executor = ShardedExecutor(max_workers=workers)
+    runs = []
+
+    def run():
+        outcome = executor.map_corpus(SELECT_TEXT, corpus, shards=workers)
+        runs.append(outcome)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.ok
+    assert outcome.stats.bindings_produced > 0
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["shard_seconds"] = outcome.shard_seconds
+    benchmark.extra_info["merge_seconds"] = outcome.merge_seconds
+
+
+def test_sharded_single_document_split(benchmark):
+    """One 1600-entry document split into 4 contiguous shards and mapped."""
+    document = bibliography(1600, seed=0)
+    pieces = shard_document(document, 4)
+    corpus = {f"shard{position}": piece for position, piece in enumerate(pieces)}
+    executor = ShardedExecutor(max_workers=4)
+
+    def run():
+        return executor.map_corpus(SELECT_TEXT, corpus, shards=len(pieces))
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.ok
+    benchmark.extra_info["shards"] = len(pieces)
+    benchmark.extra_info["shard_seconds"] = outcome.shard_seconds
+    benchmark.extra_info["merge_seconds"] = outcome.merge_seconds
 
 
 def test_value_join_work_is_quadratic(bib_doc):

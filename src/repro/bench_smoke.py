@@ -55,6 +55,25 @@ overlapping deep arcs + a tautological condition) with the static
 rewriter off and on, *asserts* at least one fragment was removed, the
 results are identical and the off/on work ratio clears 2x, and records
 the counters and timings.
+
+The ``columnar`` block runs the join-heavy guard query with the columnar
+kernels on and off, *asserts* the binding multisets are identical, and
+records both the end-to-end timings and the **fragment-level** timings
+(the time actually spent inside ``_setwise_fragment`` /
+``_setwise_fragment_columns``, instrumented at the dispatch seam) — the
+fragment ratio is the honest kernel speedup, undiluted by parse/pool/
+construct overhead shared by both paths.  ``--gate-columnar 3.0`` turns
+the fragment ratio into a hard gate (CI).
+
+The ``scaling`` block (``--workers N``, off by default) maps the
+selection query over a 100-document corpus on a
+:class:`~repro.engine.shard.ShardedExecutor` with 1 worker and with
+``N`` workers, asserts the merged results identical, and records the
+speedup, per-shard wall times and merge overhead along with the host's
+CPU count.  ``--gate-scaling 2.0`` hard-fails the run when the measured
+speedup at ``N >= 4`` workers is below the floor (CI runs this on
+multi-core runners; single-core hosts record an honest ~1x and must not
+gate).
 """
 
 from __future__ import annotations
@@ -393,10 +412,154 @@ def measure_rewrite(document: Document, repeat: int) -> dict:
     }
 
 
+def measure_columnar(
+    graph: QueryGraph,
+    document: Document,
+    index: DocumentIndex,
+    repeat: int,
+) -> dict:
+    """The columnar guard: kernels must win at the fragment level.
+
+    Times the guard query on the pipeline engine with the columnar
+    kernels on and off.  The dispatch seam
+    (``matcher._setwise_fragment`` / ``_setwise_fragment_columns``) is
+    instrumented so the block can report the time actually spent inside
+    the fragment evaluators — the kernel-level ratio the ``>= 3x``
+    acceptance gate measures — alongside the end-to-end ratio, which
+    both paths dilute with identical parse/pool/construct work.
+    *Asserts* the binding multisets are identical.
+    """
+    from .engine import columns
+    from .engine.bindings import value_key
+    from .xmlgl import matcher as matcher_module
+
+    originals = (
+        matcher_module._setwise_fragment,
+        matcher_module._setwise_fragment_columns,
+    )
+    bucket = [0.0]
+
+    def instrument(fn):
+        def wrapper(*args, **kwargs):
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                bucket[0] += time.perf_counter() - started
+
+        return wrapper
+
+    # The pipeline resolves both evaluators through module globals at each
+    # fragment dispatch, so wrapping the globals measures the real engine.
+    matcher_module._setwise_fragment = instrument(originals[0])
+    matcher_module._setwise_fragment_columns = instrument(originals[1])
+    try:
+
+        def best_of(options: MatchOptions) -> tuple[float, float, list]:
+            best_total = best_fragment = None
+            bindings = None
+            for _ in range(repeat):
+                bucket[0] = 0.0
+                started = time.perf_counter()
+                bindings = match(graph, document, options=options, index=index)
+                total = time.perf_counter() - started
+                if best_total is None or total < best_total:
+                    best_total = total
+                if best_fragment is None or bucket[0] < best_fragment:
+                    best_fragment = bucket[0]
+            key = sorted(
+                tuple(sorted((var, value_key(b[var])) for var in b))
+                for b in bindings
+            )
+            return best_total, best_fragment, key
+
+        on_total, on_fragment, on_key = best_of(
+            MatchOptions(engine="pipeline", columnar=True)
+        )
+        off_total, off_fragment, off_key = best_of(
+            MatchOptions(engine="pipeline", columnar=False)
+        )
+    finally:
+        matcher_module._setwise_fragment = originals[0]
+        matcher_module._setwise_fragment_columns = originals[1]
+    assert on_key == off_key, "columnar kernels changed the bindings"
+    return {
+        "query": TRACING_GUARD_QUERY,
+        "backend": columns.backend(),
+        "bindings": len(on_key),
+        "results_identical": True,
+        "tuple_seconds": off_total,
+        "columnar_seconds": on_total,
+        "tuple_fragment_seconds": off_fragment,
+        "columnar_fragment_seconds": on_fragment,
+        "fragment_speedup": round(
+            off_fragment / max(on_fragment, 1e-9), 2
+        ),
+        "end_to_end_speedup": round(off_total / max(on_total, 1e-9), 2),
+    }
+
+
+#: The query the sharded-scaling block maps over the corpus.
+SCALING_QUERY = "ext_scaling/select"
+
+
+def measure_scaling(
+    workers: int,
+    corpus_documents: int = 100,
+    bib_entries: int = 40,
+) -> dict:
+    """The sharding block: one query over a corpus, 1 worker vs ``workers``.
+
+    Builds a ``corpus_documents``-document corpus (distinct seeds — 100
+    documents is the 100x-scale entry the trajectory tracks), maps the
+    selection query over it single-worker and ``workers``-wide, asserts
+    the per-document results identical, and records wall times, the
+    speedup, each shard's own wall time and the driver-side merge
+    overhead.  The host CPU count is recorded because the number *means*
+    nothing without it: a single-core container honestly reports ~1x.
+    """
+    import os
+
+    from .engine.shard import ShardedExecutor
+    from .ssd import serialize
+
+    query = next(q[1] for q in QUERIES if q[0] == SCALING_QUERY)
+    corpus = {
+        f"doc{position}": bibliography(bib_entries, seed=position)
+        for position in range(corpus_documents)
+    }
+    started = time.perf_counter()
+    single = ShardedExecutor(max_workers=1).map_corpus(query, corpus, shards=1)
+    single_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    sharded = ShardedExecutor(max_workers=workers).map_corpus(
+        query, corpus, shards=workers
+    )
+    sharded_seconds = time.perf_counter() - started
+    assert single.ok and sharded.ok, "scaling corpus run raised"
+    for one, other in zip(single.results, sharded.results):
+        assert serialize(one) == serialize(other), "sharded results diverged"
+    return {
+        "query": SCALING_QUERY,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "corpus_documents": corpus_documents,
+        "bib_entries_per_document": bib_entries,
+        "results_identical": True,
+        "bindings": sharded.stats.bindings_produced,
+        "single_seconds": single_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": round(single_seconds / max(sharded_seconds, 1e-9), 2),
+        "shard_seconds": [round(s, 4) for s in sharded.shard_seconds],
+        "merge_seconds": round(sharded.merge_seconds, 4),
+    }
+
+
 def run_suite(
     bib_entries: int = 400,
     sections_depth: int = 7,
     repeat: int = 5,
+    workers: int = 0,
 ) -> dict:
     """Run every query on all four engines; returns the JSON-ready report."""
     datasets = {
@@ -406,7 +569,7 @@ def run_suite(
     indexes = {name: DocumentIndex(doc) for name, doc in datasets.items()}
     report: dict = {
         "generated_by": "repro.bench_smoke",
-        "schema_version": 2,
+        "schema_version": 3,
         "sizes": {
             "bib_entries": bib_entries,
             "sections_depth": sections_depth,
@@ -472,6 +635,14 @@ def run_suite(
     )
     report["plan_cache"] = measure_plan_cache(repeat, bib_entries)
     report["rewrite"] = measure_rewrite(datasets["sections"], repeat)
+    report["columnar"] = measure_columnar(
+        _first_graph(guard_text),
+        datasets[guard_dataset],
+        indexes[guard_dataset],
+        repeat,
+    )
+    if workers > 1:
+        report["scaling"] = measure_scaling(workers)
     return report
 
 
@@ -565,8 +736,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="carry the baseline's (or previous output's) history forward "
         "and append one timestamped record for this run",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also run the sharded-scaling block over a 100-document "
+        "corpus with this many worker processes (0 = skip)",
+    )
+    parser.add_argument(
+        "--gate-columnar",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="hard-fail if the columnar fragment-level speedup is below "
+        "this ratio (CI uses 3.0)",
+    )
+    parser.add_argument(
+        "--gate-scaling",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="hard-fail if the sharded speedup at --workers is below this "
+        "ratio (CI uses 2.0 at 4 workers; needs a multi-core host)",
+    )
     args = parser.parse_args(argv)
-    report = run_suite(args.bib_entries, args.sections_depth, args.repeat)
+    report = run_suite(
+        args.bib_entries, args.sections_depth, args.repeat, args.workers
+    )
 
     baseline: Optional[dict] = None
     if args.baseline:
@@ -648,6 +844,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"work {rewrite['off_work']} -> {rewrite['on_work']} "
         f"({rewrite['work_ratio']}x off/on), results identical"
     )
+    columnar = report["columnar"]
+    print(
+        f"columnar ({columnar['query']}, {columnar['backend']} backend): "
+        f"fragments {columnar['tuple_fragment_seconds'] * 1000:.2f}ms tuple"
+        f" -> {columnar['columnar_fragment_seconds'] * 1000:.2f}ms columnar"
+        f" ({columnar['fragment_speedup']}x), end-to-end "
+        f"{columnar['end_to_end_speedup']}x, bindings identical"
+    )
+    if "scaling" in report:
+        scaling = report["scaling"]
+        print(
+            f"scaling ({scaling['query']}, {scaling['corpus_documents']} "
+            f"docs, {scaling['cpus']} cpu(s)): "
+            f"{scaling['single_seconds'] * 1000:.0f}ms @1 worker -> "
+            f"{scaling['sharded_seconds'] * 1000:.0f}ms @{scaling['workers']}"
+            f" workers ({scaling['speedup']}x), merge "
+            f"{scaling['merge_seconds'] * 1000:.1f}ms, results identical"
+        )
+
+    failures = []
+    if args.gate_columnar is not None:
+        ratio = columnar["fragment_speedup"]
+        if ratio < args.gate_columnar:
+            failures.append(
+                f"columnar fragment speedup {ratio}x < "
+                f"{args.gate_columnar}x floor"
+            )
+    if args.gate_scaling is not None:
+        if "scaling" not in report:
+            failures.append("--gate-scaling given but --workers not set")
+        elif report["scaling"]["speedup"] < args.gate_scaling:
+            failures.append(
+                f"sharded speedup {report['scaling']['speedup']}x at "
+                f"{report['scaling']['workers']} workers < "
+                f"{args.gate_scaling}x floor "
+                f"({report['scaling']['cpus']} cpus)"
+            )
+    for line in failures:
+        print(f"::error::bench gate: {line}")
 
     if baseline is not None:
         regressions = check_baseline(report, baseline)
@@ -659,7 +894,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     violations = check_adaptive(report)
     for line in violations:
         print(f"::error::adaptive regression: {line}")
-    if violations:
+    if violations or failures:
         return 1
     print("adaptive within tolerance of best forced engine on every query")
     return 0

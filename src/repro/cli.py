@@ -102,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="on a tripped budget: fail (exit 4) or return a truncated "
         "result flagged in the stats (default: raise)",
     )
+    run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the input document by top-level subtree across N "
+        "worker processes and merge the per-shard results (collect-style "
+        "constructs only; budgets apply per shard; incompatible with "
+        "--trace/--explain)",
+    )
 
     explain = commands.add_parser(
         "explain",
@@ -336,6 +343,8 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     if not sources:
         print("no input document given", file=sys.stderr)
         return 2
+    if args.workers and args.workers > 1:
+        return _run_sharded(args, program, sources, budget, options, out)
     stats = EvalStats()
     if args.trace:
         stats.trace = Tracer()
@@ -371,6 +380,66 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         )
     if args.trace:
         print(stats.trace.render_text(), file=sys.stderr)
+    if args.metrics:
+        print(global_registry.to_json(), file=sys.stderr)
+    return 0
+
+
+def _run_sharded(args: argparse.Namespace, program, sources, budget, options, out) -> int:
+    """The ``repro run --workers N`` arm: document sharding + merge.
+
+    Splits the (single, unnamed) input document by top-level subtree,
+    evaluates the program's first rule per shard on a process pool, and
+    merges the per-shard result documents in document order.  Sound for
+    collect-style constructs whose matches stay inside one top-level
+    subtree; global aggregations must run single-process.
+    """
+    from .engine.metrics import global_registry
+    from .engine.shard import ShardedExecutor, merge_shard_results, shard_document
+    from .errors import BudgetExceeded, QueryCancelled
+    from .ssd import pretty, serialize
+    from .ssd.model import Document
+    from .xmlgl.unparse import unparse_rule
+
+    if args.trace:
+        print("error: --trace is incompatible with --workers", file=sys.stderr)
+        return 2
+    if not isinstance(sources, Document):
+        print(
+            "error: --workers requires a single positional input document",
+            file=sys.stderr,
+        )
+        return 2
+    if len(program.rules) > 1:
+        print(
+            f"# note: running the first of {len(program.rules)} rules",
+            file=sys.stderr,
+        )
+    query = unparse_rule(program.rules[0])
+    pieces = shard_document(sources, args.workers)
+    executor = ShardedExecutor(max_workers=args.workers)
+    # One single-document corpus entry per shard: outcomes come back in
+    # shard (= document) order with merged stats and typed errors.
+    run = executor.map_corpus(
+        query,
+        {f"shard{position}": piece for position, piece in enumerate(pieces)},
+        shards=len(pieces),
+        options=options,
+        budget=budget,
+    )
+    failed = next((error for error in run.errors if error is not None), None)
+    if failed is not None:
+        global_registry.record(run.stats, query=args.rule, error=True)
+        print(f"error: {failed}", file=sys.stderr)
+        return 4 if isinstance(failed, (BudgetExceeded, QueryCancelled)) else 2
+    global_registry.record(run.stats, query=args.rule)
+    result = merge_shard_results([doc for doc in run.results if doc is not None])
+    print(serialize(result) if args.compact else pretty(result), file=out)
+    print(
+        f"# sharded: {len(pieces)} shard(s) across up to {args.workers} "
+        "worker process(es)",
+        file=sys.stderr,
+    )
     if args.metrics:
         print(global_registry.to_json(), file=sys.stderr)
     return 0

@@ -89,6 +89,8 @@ class Binding(Mapping[str, Any]):
 class BindingSet:
     """An ordered bag of bindings supporting relational operations."""
 
+    __slots__ = ("_bindings",)
+
     def __init__(self, bindings: Optional[Iterable[Binding]] = None) -> None:
         self._bindings: list[Binding] = list(bindings or [])
 

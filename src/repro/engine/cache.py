@@ -31,6 +31,7 @@ per-evaluation through ``stats.cache_hits`` / ``stats.cache_misses``.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from typing import Optional
@@ -193,6 +194,23 @@ class DocumentIndexCache:
             del self._pending_drops[:]
             self._entries.clear()
 
+    def _reset_after_fork(self) -> None:
+        """Reinitialise in a forked child: fresh lock, no inherited entries.
+
+        A fork can happen while another thread holds ``_lock`` — the child
+        inherits a lock that will never be released — and the inherited
+        entries point at parent-built indexes the child never asked for.
+        The child starts from a pristine cache (counters included), which
+        is also what the sharded executor's workers assert
+        (:mod:`repro.engine.shard`).
+        """
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._pending_drops = []
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -202,6 +220,12 @@ class DocumentIndexCache:
 
 #: Process-wide cache shared by the session, CLI, evaluator and benchmarks.
 shared_cache = DocumentIndexCache()
+
+# Fork-safety: a pool worker forked mid-benchmark must not serve (or
+# deadlock on) the parent's cache state.  Spawned workers import this
+# module fresh and need no hook.
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in CI
+    os.register_at_fork(after_in_child=shared_cache._reset_after_fork)
 
 
 def get_index(document: Document, stats: Optional[EvalStats] = None) -> DocumentIndex:

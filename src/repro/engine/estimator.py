@@ -32,6 +32,7 @@ pool-scaled edge-pair estimates, and attribute selectivities, consumed by
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -42,6 +43,7 @@ __all__ = [
     "ValueSketch",
     "DocumentStatistics",
     "CardinalityEstimator",
+    "balanced_partition",
 ]
 
 #: Distinct attribute values tracked exactly before a sketch saturates.
@@ -252,3 +254,34 @@ class CardinalityEstimator:
         if sketch is None:
             return 1.0
         return sketch.selectivity
+
+
+def balanced_partition(weights: Sequence[int], groups: int) -> list[list[int]]:
+    """Split item indices into ``groups`` near-equal-weight groups.
+
+    Greedy longest-processing-time: items are placed heaviest-first onto
+    the currently lightest group, a 4/3-approximation of the optimal
+    makespan — good enough to keep shard wall times balanced.  Weights are
+    whatever cost proxy the caller has (the sharded executor uses element
+    counts, the same statistic the cost model's pools are built from).
+
+    Returns at most ``groups`` lists of indices into ``weights``; empty
+    groups are dropped, and within a group the original order is kept so
+    shard-major iteration stays deterministic.
+    """
+    if groups < 1:
+        raise ValueError("groups must be at least 1")
+    count = min(groups, len(weights))
+    if count == 0:
+        return []
+    # (load, group position) heap; ties broken by position for determinism.
+    heap: list[tuple[int, int]] = [(0, position) for position in range(count)]
+    assignment: list[list[int]] = [[] for _ in range(count)]
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for item in order:
+        load, position = heapq.heappop(heap)
+        assignment[position].append(item)
+        heapq.heappush(heap, (load + weights[item], position))
+    for bucket in assignment:
+        bucket.sort()
+    return [bucket for bucket in assignment if bucket]

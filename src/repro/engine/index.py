@@ -25,8 +25,9 @@ invalidated explicitly).
 from __future__ import annotations
 
 import itertools
+from array import array
 from bisect import bisect_right
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..ssd.model import Document, Element
 from .estimator import DocumentStatistics
@@ -81,6 +82,13 @@ class DocumentIndex:
             sizes[self._parent_pre[pre]] += sizes[pre]
         self._post: list[int] = [pre + sizes[pre] - 1 for pre in range(count)]
         self._element_count = count
+
+        # Flat int columns for the columnar kernels (repro.engine.columns):
+        # pre -> post and pre -> parent's pre as array('i') so numpy can
+        # view them zero-copy, plus a per-tag sorted pre column.
+        self._post_column = array("i", self._post)
+        self._parent_pre_column = array("i", self._parent_pre)
+        self._all_pres = array("i", range(count))
 
         # Freeze the pools: lookups hand them straight to callers, and the
         # matchers slice them, so they must be immutable.
@@ -158,6 +166,38 @@ class DocumentIndex:
         lo = bisect_right(pres, pre)
         hi = bisect_right(pres, self._post[pre])
         return self._by_tag[tag][lo:hi]
+
+    # -- columns (repro.engine.columns kernels) -------------------------------
+
+    def element_table(self) -> list[Element]:
+        """The ``pre -> element`` side table (read-only by convention).
+
+        This is what lets the columnar pipeline defer node materialisation
+        to hash-join assembly: every intermediate stays an int column.
+        """
+        return self._elements
+
+    def post_column(self) -> array:
+        """``pre -> post`` as a flat int column."""
+        return self._post_column
+
+    def parent_pre_column(self) -> array:
+        """``pre -> parent's pre`` (``-1`` at the root) as an int column."""
+        return self._parent_pre_column
+
+    def all_pres(self) -> array:
+        """Every pre id, ascending — the wildcard pool column (shared,
+        read-only by convention)."""
+        return self._all_pres
+
+    def tag_pres(self, tag: str) -> list[int]:
+        """Sorted pre ids of elements with ``tag`` (shared, read-only)."""
+        return self._tag_pres.get(tag, [])
+
+    def pres_of(self, elements: Iterable[Element]) -> array:
+        """Pre-id column of ``elements`` (kept in the iteration order)."""
+        pre = self._pre
+        return array("i", (pre[id(element)] for element in elements))
 
     # -- statistics -----------------------------------------------------------
 

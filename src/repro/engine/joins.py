@@ -25,13 +25,23 @@ join on these keys is equivalent to filtering a cross product with ``=``.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Callable, Hashable, Iterable, Iterator, Optional, Sequence
 
 from ..ssd.datatypes import coerce
+from .columns import intersect_sorted, member_filter, unique_sorted
 from .stats import EvalStats
 from .trace import span as trace_span
 
-__all__ = ["EdgeRelation", "equijoin_key", "semijoin_reduce", "join_forest"]
+__all__ = [
+    "ColumnRelation",
+    "EdgeRelation",
+    "equijoin_key",
+    "join_forest",
+    "join_forest_columns",
+    "semijoin_reduce",
+    "semijoin_reduce_columns",
+]
 
 Key = Callable[[Any], Hashable]
 
@@ -124,6 +134,74 @@ class EdgeRelation:
         ]
         self._invalidate()
         return before - len(self.pairs)
+
+
+class ColumnRelation:
+    """A binary relation between two pools of ``pre`` ids, as columns.
+
+    The columnar counterpart of :class:`EdgeRelation`: pairs live in two
+    parallel ``array('i')`` vectors, so restriction is an int-mask pass,
+    semi-join membership an int-set probe, and the per-side partner
+    grouping a dict of int keys to int columns — no node objects anywhere.
+    """
+
+    __slots__ = ("left_var", "right_var", "left", "right", "_by_left", "_by_right")
+
+    def __init__(
+        self,
+        left_var: Hashable,
+        right_var: Hashable,
+        left: array,
+        right: array,
+    ) -> None:
+        self.left_var = left_var
+        self.right_var = right_var
+        self.left = left
+        self.right = right
+        self._by_left: Optional[dict[int, list[int]]] = None
+        self._by_right: Optional[dict[int, list[int]]] = None
+
+    def __len__(self) -> int:
+        return len(self.left)
+
+    def other(self, var: Hashable) -> Hashable:
+        """The opposite endpoint of ``var``."""
+        return self.right_var if var == self.left_var else self.left_var
+
+    def side(self, var: Hashable) -> array:
+        """The pre column of the ``var`` endpoint."""
+        return self.left if var == self.left_var else self.right
+
+    def partners(self, var: Hashable) -> dict[int, list[int]]:
+        """Partner pres grouped by the ``var`` side's pre (lazy, cached)."""
+        if var == self.left_var:
+            if self._by_left is None:
+                grouped: dict[int, list[int]] = {}
+                for left, right in zip(self.left, self.right):
+                    grouped.setdefault(left, []).append(right)
+                self._by_left = grouped
+            return self._by_left
+        if self._by_right is None:
+            grouped = {}
+            for left, right in zip(self.left, self.right):
+                grouped.setdefault(right, []).append(left)
+            self._by_right = grouped
+        return self._by_right
+
+    def restrict(self, left_keep: set, right_keep: set) -> int:
+        """Drop pairs whose endpoints left the pools; returns pairs removed."""
+        before = len(self.left)
+        new_left = array("i")
+        new_right = array("i")
+        for left, right in zip(self.left, self.right):
+            if left in left_keep and right in right_keep:
+                new_left.append(left)
+                new_right.append(right)
+        self.left = new_left
+        self.right = new_right
+        self._by_left = None
+        self._by_right = None
+        return before - len(new_left)
 
 
 def _semijoin(
@@ -255,3 +333,141 @@ def join_forest(
             assemble_span["rows"] = len(rows)
     if rows:
         yield from rows
+
+
+# ---------------------------------------------------------------------------
+# Columnar kernels (pre-id pools; see repro.engine.columns)
+# ---------------------------------------------------------------------------
+
+def _semijoin_columns(
+    pools: dict[Hashable, array],
+    relation: ColumnRelation,
+    keep_var: Hashable,
+    stats: EvalStats,
+    direction: str,
+) -> None:
+    """Reduce ``pools[keep_var]`` to pres with a partner in ``relation``."""
+    side = relation.side(keep_var)
+    pool = pools[keep_var]
+    present = unique_sorted(side) if len(side) > 1 else set(side)
+    if isinstance(present, set):
+        kept = member_filter(pool, present)
+    else:
+        kept = intersect_sorted(pool, present)
+    stats.semijoins += 1
+    stats.semijoin_dropped += len(pool) - len(kept)
+    pools[keep_var] = kept
+    if stats.budget is not None:
+        stats.budget.charge(len(pool))
+    if stats.trace is not None:
+        stats.trace.event(
+            "semijoin",
+            var=str(keep_var),
+            via=f"{relation.left_var}-{relation.right_var}",
+            direction=direction,
+            before=len(pool),
+            after=len(kept),
+        )
+
+
+def semijoin_reduce_columns(
+    pools: dict[Hashable, array],
+    relations: Sequence[ColumnRelation],
+    order: Sequence[Hashable],
+    parent_of: dict[Hashable, tuple[Hashable, ColumnRelation]],
+    stats: EvalStats,
+) -> bool:
+    """Yannakakis full reduction over int-column pools (in place).
+
+    The columnar twin of :func:`semijoin_reduce`: identical passes and
+    guarantees, but pools are sorted pre columns and relations
+    :class:`ColumnRelation`\\ s, so every membership probe is an int
+    operation.  Relations built *from* the current pools start consistent
+    with them, so a restrict pass only runs against sides whose pool has
+    shrunk since construction — a no-op filter skipped wholesale.
+    """
+    shrunk: set[Hashable] = set()
+
+    def restrict(relation: ColumnRelation) -> None:
+        if relation.left_var not in shrunk and relation.right_var not in shrunk:
+            return
+        relation.restrict(
+            set(pools[relation.left_var]), set(pools[relation.right_var])
+        )
+
+    def reduced(var: Hashable, before: int) -> None:
+        if len(pools[var]) < before:
+            shrunk.add(var)
+
+    with trace_span(stats.trace, "reduce") as reduce_span:
+        if reduce_span is not None:
+            reduce_span["before"] = {str(v): len(p) for v, p in pools.items()}
+        for var in reversed(order):
+            entry = parent_of.get(var)
+            if entry is None:
+                continue
+            parent_var, relation = entry
+            restrict(relation)
+            before = len(pools[parent_var])
+            _semijoin_columns(pools, relation, parent_var, stats, "bottom-up")
+            reduced(parent_var, before)
+            if not pools[parent_var]:
+                return False
+        for var in order:
+            entry = parent_of.get(var)
+            if entry is None:
+                continue
+            parent_var, relation = entry
+            restrict(relation)
+            before = len(pools[var])
+            _semijoin_columns(pools, relation, var, stats, "top-down")
+            reduced(var, before)
+            if not pools[var]:
+                return False
+        if reduce_span is not None:
+            reduce_span["after"] = {str(v): len(p) for v, p in pools.items()}
+    return True
+
+
+def join_forest_columns(
+    pools: dict[Hashable, array],
+    order: Sequence[Hashable],
+    parent_of: dict[Hashable, tuple[Hashable, ColumnRelation]],
+    stats: EvalStats,
+) -> list[list[int]]:
+    """Hash-join assembly over int columns.
+
+    The columnar twin of :func:`join_forest`: rows are flat int lists
+    aligned with ``order`` (``row[i]`` is the pre bound to ``order[i]``),
+    extended by list concatenation instead of per-variable dict copies.
+    Node objects are only materialised by the caller, against the index's
+    ``pre -> element`` side table, after assembly finishes.
+    """
+    position = {var: i for i, var in enumerate(order)}
+    rows: list[list[int]] = [[]]
+    with trace_span(stats.trace, "assemble") as assemble_span:
+        for var in order:
+            entry = parent_of.get(var)
+            extended: list[list[int]] = []
+            if entry is None:
+                pool = pools[var]
+                for row in rows:
+                    for pre in pool:
+                        extended.append(row + [pre])
+            else:
+                parent_var, relation = entry
+                partners = relation.partners(parent_var)
+                parent_at = position[parent_var]
+                empty: list[int] = []
+                for row in rows:
+                    for pre in partners.get(row[parent_at], empty):
+                        extended.append(row + [pre])
+            stats.hashjoin_rows += len(extended)
+            if stats.budget is not None:
+                stats.budget.add_rows(len(extended))
+            rows = extended
+            if not rows:
+                break
+        if assemble_span is not None:
+            assemble_span["rows"] = len(rows)
+    return rows

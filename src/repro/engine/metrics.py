@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import threading
 from collections import deque
 from typing import Any, Callable, Optional
@@ -127,6 +128,22 @@ class MetricsRegistry:
             self._errors = 0
             self._samples.clear()
 
+    def _reset_after_fork(self) -> None:
+        """Reinitialise in a forked child: fresh lock, zero aggregates.
+
+        A pool worker must not report the parent's query history as its
+        own, and must not inherit a lock a parent thread held at fork
+        time.  The slow-query hook is dropped too — it may close over
+        parent-only state (an open log handle, a queue).
+        """
+        self._lock = threading.Lock()
+        self._totals = {}
+        self._queries = 0
+        self._errors = 0
+        self._samples = deque(maxlen=self._samples.maxlen)
+        self._slow_threshold = None
+        self._slow_hook = None
+
     # -- reading -------------------------------------------------------------
 
     @property
@@ -203,3 +220,7 @@ class MetricsRegistry:
 
 #: Process-wide registry (the CLI records every evaluation here).
 global_registry = MetricsRegistry()
+
+# Fork-safety: mirrors the shared caches (see repro.engine.cache).
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in CI
+    os.register_at_fork(after_in_child=global_registry._reset_after_fork)

@@ -39,6 +39,14 @@ XML-GL document matcher and the WG-Log graph matcher both honour:
   rewrite layer, and the way out should a rewrite rule ever prove
   unsound in the field.
 
+* ``columnar`` — let the set-at-a-time path run on the columnar kernels
+  (:mod:`repro.engine.columns`): candidate pools and edge relations as
+  flat sorted ``pre``-id columns, node objects materialised only at
+  hash-join assembly.  On by default; ``False`` pins the historical
+  tuple-of-nodes pipeline (the ablation/differential switch, mirroring
+  ``rewrite``).  Only the interval-indexed XML-GL pipeline has a columnar
+  twin — backtracking, naive and WG-Log evaluation ignore the flag.
+
 * ``trace`` — record a span tree (:mod:`repro.engine.trace`) of the
   evaluation.  The matchers attach a fresh
   :class:`~repro.engine.trace.Tracer` to the evaluation's ``EvalStats``
@@ -74,6 +82,7 @@ class MatchOptions:
     use_index: bool = True
     engine: str = "adaptive"
     rewrite: bool = True
+    columnar: bool = True
     trace: bool = False
     budget: Optional["QueryBudget"] = None
 

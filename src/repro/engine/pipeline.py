@@ -26,14 +26,29 @@ those, per fragment.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Hashable, Iterable, Iterator, Optional, Sequence
 
-from .joins import EdgeRelation, join_forest, semijoin_reduce
+from .joins import (
+    ColumnRelation,
+    EdgeRelation,
+    join_forest,
+    join_forest_columns,
+    semijoin_reduce,
+    semijoin_reduce_columns,
+)
 from .planner import plan_order
 from .stats import EvalStats
 from .trace import span as trace_span
 
-__all__ = ["connected_components", "is_forest", "evaluate_forest", "relation_for"]
+__all__ = [
+    "connected_components",
+    "is_forest",
+    "evaluate_forest",
+    "evaluate_forest_columns",
+    "relation_for",
+    "column_relation_for",
+]
 
 Var = Hashable
 
@@ -152,6 +167,94 @@ def evaluate_forest(
     if not semijoin_reduce(pools, relations, order, parent_of, stats):
         return
     yield from join_forest(pools, order, parent_of, stats)
+
+
+def evaluate_forest_columns(
+    pools: dict[Var, array],
+    relations: Sequence[ColumnRelation],
+    stats: EvalStats,
+    planner_enabled: bool = True,
+) -> tuple[list[Var], list[list[int]]]:
+    """All assignments of a forest-shaped join query over int columns.
+
+    The columnar twin of :func:`evaluate_forest`: pools are sorted
+    ``pre``-id columns and relations :class:`ColumnRelation`\\ s, so the
+    whole plan→reduce→assemble cascade never touches a node object.  Same
+    planner, same rooting, same trace spans.
+
+    Returns:
+        ``(order, rows)`` — the join order and the assembled rows, each a
+        flat int list aligned with ``order``.  Callers materialise nodes
+        against the index's ``pre -> element`` side table.
+    """
+    if stats.budget is not None:
+        stats.budget.poll()
+    variables = list(pools)
+    adjacency: dict[Var, list[Var]] = {var: [] for var in variables}
+    for relation in relations:
+        adjacency[relation.left_var].append(relation.right_var)
+        adjacency[relation.right_var].append(relation.left_var)
+
+    with trace_span(stats.trace, "plan") as plan_span:
+        order = plan_order(
+            variables,
+            estimate=lambda var: len(pools[var]),
+            adjacency=adjacency,
+            enabled=planner_enabled,
+        )
+        relations_by_var: dict[Var, list[ColumnRelation]] = {
+            var: [] for var in variables
+        }
+        for relation in relations:
+            relations_by_var[relation.left_var].append(relation)
+            relations_by_var[relation.right_var].append(relation)
+        placed: set[Var] = set()
+        parent_of: dict[Var, tuple[Var, ColumnRelation]] = {}
+        for var in order:
+            for relation in relations_by_var[var]:
+                other = relation.other(var)
+                if other in placed:
+                    if var in parent_of:
+                        raise ValueError(
+                            "cyclic join structure: "
+                            f"variable {var!r} reaches two placed parents"
+                        )
+                    parent_of[var] = (other, relation)
+            placed.add(var)
+        if plan_span is not None:
+            plan_span["order"] = [str(var) for var in order]
+            plan_span["pool_sizes"] = {
+                str(var): len(pools[var]) for var in order
+            }
+            plan_span["forest"] = [
+                {"var": str(var), "parent": str(parent)}
+                for var, (parent, _) in parent_of.items()
+            ]
+            plan_span["planner"] = "cost" if planner_enabled else "input-order"
+            plan_span["columnar"] = True
+
+    if not semijoin_reduce_columns(pools, relations, order, parent_of, stats):
+        return list(order), []
+    return list(order), join_forest_columns(pools, order, parent_of, stats)
+
+
+def column_relation_for(
+    left_var: Var,
+    right_var: Var,
+    pairs: tuple[array, array],
+    stats: EvalStats,
+) -> ColumnRelation:
+    """Materialise a :class:`ColumnRelation`, tallying like :func:`relation_for`.
+
+    ``pairs`` is the ``(left column, right column)`` output of a
+    :mod:`repro.engine.columns` kernel.  Budget row-bounding happens at the
+    kernel call site (counts are known before materialisation), so this
+    only mirrors the ``edge_checks`` / ``relation_pairs`` accounting.
+    """
+    relation = ColumnRelation(left_var, right_var, pairs[0], pairs[1])
+    stats.edge_checks += 1
+    stats.relation_pairs += len(relation)
+    return relation
 
 
 def relation_for(

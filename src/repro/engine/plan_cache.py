@@ -34,6 +34,7 @@ threads.  ``shared_plans`` is the process-wide default, mirroring the
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
@@ -136,6 +137,21 @@ class PlanCache:
             self._entries.clear()
             self._aliases.clear()
 
+    def _reset_after_fork(self) -> None:
+        """Reinitialise in a forked child (fresh lock, empty, zero counters).
+
+        Compiled plans are keyed partly by document-index *identity*
+        epochs; a forked child rebuilds its indexes, so inherited entries
+        could never hit anyway — and an inherited lock held by a parent
+        thread at fork time would deadlock the child.
+        """
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._aliases = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -154,3 +170,7 @@ class PlanCache:
 
 #: Process-wide default cache (mirrors ``repro.engine.cache.shared_cache``).
 shared_plans = PlanCache()
+
+# Fork-safety: mirrors the shared index cache (see repro.engine.cache).
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in CI
+    os.register_at_fork(after_in_child=shared_plans._reset_after_fork)

@@ -102,10 +102,22 @@ class FragmentCosts:
     rows: float
 
 
+#: Per-item cost discount of columnar pipeline materialisation relative
+#: to the cost model's common currency (one per-candidate step of the
+#: backtracking walk, or one tuple-pipeline pool/relation item — both
+#: Python-level loop iterations).  Columnar pools and relations are flat
+#: int columns built by bisect / vectorised kernels, so their per-item
+#: cost is C-level: calibrated against bench_smoke fragment timings,
+#: where a kernel item runs ~20x cheaper than a walk step.  Assembled
+#: rows stay undiscounted — they materialise node objects either way.
+_COLUMNAR_DISCOUNT = 0.05
+
+
 def choose_fragment_engine(
     pool_sizes: Mapping[NodeId, float],
     edge_pairs: Sequence[tuple[NodeId, NodeId, float]],
     enabled: bool = True,
+    columnar: bool = False,
 ) -> FragmentCosts:
     """Cost-compare one acyclic fragment's two evaluation strategies.
 
@@ -116,6 +128,10 @@ def choose_fragment_engine(
             :meth:`repro.engine.estimator.CardinalityEstimator.scaled_edge_pairs`.
         enabled: forwarded to :func:`plan_order` (planner ablation keeps
             the drawing order).
+        columnar: the pipeline under comparison runs on the columnar
+            kernels — pool and relation materialisation is discounted by
+            ``_COLUMNAR_DISCOUNT`` (assembled rows cost the same: they
+            materialise either way).
 
     The backtracking estimate walks the same selective-first order the
     engine would use: an unattached box scans its whole pool per partial
@@ -160,11 +176,12 @@ def choose_fragment_engine(
             backtracking += rows * pool
             rows *= pool
         placed.add(node)
-    pipeline = (
-        float(sum(pool_sizes.values()))
-        + float(sum(pairs for _, _, pairs in edge_pairs))
-        + rows
+    materialise = float(sum(pool_sizes.values())) + float(
+        sum(pairs for _, _, pairs in edge_pairs)
     )
+    if columnar:
+        materialise *= _COLUMNAR_DISCOUNT
+    pipeline = materialise + rows
     engine = "backtracking" if backtracking <= pipeline else "pipeline"
     return FragmentCosts(
         engine=engine, pipeline=pipeline, backtracking=backtracking, rows=rows

@@ -139,6 +139,24 @@ class EvalStats:
         base.update(self.extra)
         return base
 
+    @classmethod
+    def from_counters(cls, counters: "dict[str, float]") -> "EvalStats":
+        """Rebuild an :class:`EvalStats` from an :meth:`as_dict` snapshot.
+
+        The pickle boundary of sharded execution
+        (:mod:`repro.engine.shard`) ships counters as plain dicts — a
+        worker's stats carry a tracer slot and an armed budget that must
+        not cross processes.  Unknown names land in ``extra``, so ad-hoc
+        ``bump`` counters round-trip too.
+        """
+        stats = cls()
+        for name, amount in counters.items():
+            if name in _COUNTERS:
+                setattr(stats, name, amount if name == "seconds" else int(amount))
+            else:
+                stats.extra[name] = int(amount)
+        return stats
+
     def __add__(self, other: "EvalStats") -> "EvalStats":
         merged = EvalStats(
             **{name: getattr(self, name) + getattr(other, name) for name in _COUNTERS}

@@ -389,6 +389,7 @@ def explain(
         use_index=base.use_index,
         engine=base.engine,
         rewrite=base.rewrite,
+        columnar=base.columnar,
         trace=True,
         budget=base.budget,
     )

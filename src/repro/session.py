@@ -202,14 +202,29 @@ class QuerySession:
         trace: Optional[bool] = None,
         budget: Optional[QueryBudget] = None,
         cancel: Optional[CancelToken] = None,
+        executor: str = "thread",
     ) -> list[BatchResult]:
         """Evaluate many queries against the session's sources concurrently.
 
-        Queries run on a thread pool over the *same* documents and the same
-        (locked, read-only-shared) index cache: the indexes are pre-warmed
-        once on the calling thread, so workers only take cache hits.  Each
-        query gets its own :class:`~repro.engine.stats.EvalStats` and wall
+        With the default ``executor="thread"``, queries run on a thread
+        pool over the *same* documents and the same (locked,
+        read-only-shared) index cache: the indexes are pre-warmed once on
+        the calling thread, so workers only take cache hits.  Each query
+        gets its own :class:`~repro.engine.stats.EvalStats` and wall
         clock, returned in input order as :class:`BatchResult` rows.
+
+        ``executor="process"`` hands the batch to a
+        :class:`~repro.engine.shard.ShardedExecutor`: one picklable task
+        per query (serialized query text + serialized sources — never live
+        indexes), evaluated on a process pool so CPU-bound matching
+        escapes the GIL.  The contract is the same — rows in input order,
+        per-row stats/budget/errors, ``cancel`` fans out cooperatively —
+        with one restriction: tracing is unsupported (span trees cannot
+        cross the pickle boundary; requesting it raises
+        :class:`~repro.errors.ReproError`).  Worker processes use their
+        own process-local caches (reset at startup — see the fork-safety
+        notes in :mod:`repro.engine.shard`), so per-row cache counters
+        reflect worker-side, not session-side, cache state.
 
         The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is
         the unified run contract.  ``budget`` governs **each row
@@ -235,6 +250,10 @@ class QuerySession:
         concurrency, because the tracer rides on the row's private
         ``EvalStats``.  Every row is folded into :meth:`metrics`.
         """
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'thread' or 'process'"
+            )
         opts, tracing, effective_budget = self._effective(options, trace, budget)
         prepared: list[tuple[Rule, Optional[str]]] = []
         for query in queries:
@@ -242,6 +261,16 @@ class QuerySession:
                 prepared.append((parse_rule(query), query))
             else:
                 prepared.append((query, None))
+        if executor == "process":
+            if tracing:
+                raise ReproError(
+                    "tracing is not supported with executor='process': span "
+                    "trees cannot cross the pickle boundary — use "
+                    "executor='thread' or trace a single run()"
+                )
+            return self._run_batch_process(
+                prepared, max_workers, opts, effective_budget, cancel
+            )
         for document in self._documents():
             self._indexes.get(document)
         # Prewarm the plan cache on the calling thread (throwaway stats):
@@ -311,6 +340,68 @@ class QuerySession:
         workers = max_workers if max_workers is not None else min(8, len(prepared))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(evaluate_one, enumerate(prepared)))
+
+    def _run_batch_process(
+        self,
+        prepared: list[tuple[Rule, Optional[str]]],
+        max_workers: Optional[int],
+        opts: Optional[MatchOptions],
+        budget: Optional[QueryBudget],
+        cancel: Optional[CancelToken],
+    ) -> list[BatchResult]:
+        """The ``executor="process"`` arm of :meth:`run_batch`.
+
+        Rule objects are unparsed back to DSL text for the pickle
+        boundary; budgets are armed *inside* each worker so deadlines are
+        per row, measured from the row's own start.  Worker outcomes are
+        folded into the session metrics on the driver, exactly like
+        thread-pool rows.
+        """
+        from .engine.shard import ShardedExecutor, _revive_error
+        from .ssd import parse_document
+        from .xmlgl.unparse import unparse_rule
+
+        if not prepared:
+            return []
+        texts = [
+            source_text if source_text is not None else unparse_rule(rule)
+            for rule, source_text in prepared
+        ]
+        sharded = ShardedExecutor(max_workers=max_workers)
+        outcomes = sharded.run_batch(
+            texts, self._sources, options=opts, budget=budget, cancel=cancel
+        )
+        results: list[BatchResult] = []
+        for outcome, (rule, source_text) in zip(outcomes, prepared):
+            stats = EvalStats.from_counters(outcome.counters)
+            error = (
+                _revive_error(outcome.error, stats)
+                if outcome.error is not None
+                else None
+            )
+            result = (
+                parse_document(outcome.result)
+                if outcome.result is not None
+                else None
+            )
+            self._metrics.record(
+                stats,
+                seconds=outcome.seconds,
+                query=source_text,
+                error=error is not None,
+            )
+            results.append(
+                BatchResult(
+                    index=outcome.position,
+                    source_text=source_text,
+                    rule=rule,
+                    result=result,
+                    stats=stats,
+                    seconds=outcome.seconds,
+                    error=error,
+                )
+            )
+        return results
 
     def _documents(self) -> list[Document]:
         if isinstance(self._sources, Document):

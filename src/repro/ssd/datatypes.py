@@ -38,6 +38,13 @@ def coerce(value: Atomic) -> Atomic:
         return True
     if lowered in _FALSE_WORDS:
         return False
+    # Numeric literals must start with a digit, sign or dot; anything else
+    # can stay a string without paying for two raised ValueErrors (raised
+    # exceptions are ~µs each, and identifier-like values hit both).  The
+    # letter-leading forms float() *would* accept ("inf", "nan") are
+    # non-finite and fall back to the string anyway.
+    if not text or text[0] not in "+-.0123456789":
+        return text
     try:
         return int(text)
     except ValueError:

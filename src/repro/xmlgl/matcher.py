@@ -71,6 +71,7 @@ from itertools import product
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..engine.bindings import Binding, BindingSet
+from ..engine.columns import containment_count, containment_pairs, direct_pairs
 from ..engine.conditions import (
     Arith,
     AttributeOf,
@@ -89,7 +90,14 @@ from ..engine.joins import equijoin_key
 from ..engine.limits import arm_budget, mark_truncated
 from ..engine.narrowing import intersect_pools
 from ..engine.options import MatchOptions
-from ..engine.pipeline import connected_components, evaluate_forest, is_forest, relation_for
+from ..engine.pipeline import (
+    column_relation_for,
+    connected_components,
+    evaluate_forest,
+    evaluate_forest_columns,
+    is_forest,
+    relation_for,
+)
 from ..engine.planner import FragmentCosts, choose_fragment_engine, plan_order
 from ..engine.stats import EvalStats
 from ..engine.trace import Tracer, span as trace_span
@@ -226,6 +234,54 @@ def _prune_unchosen(expanded: QueryGraph, had_parent: set[str]) -> None:
 # Compilation (document-independent analysis)
 # ---------------------------------------------------------------------------
 
+class _FragmentLocals:
+    """Query-only digests of one fragment, shared by every evaluation.
+
+    :func:`_fragment_bindings` used to recompute these per *call* — once
+    per fallback fragment per document, and again per degradation re-run.
+    They depend only on the branch plan and the fragment's id set, so the
+    plan computes them once and caches them (satellite micro-opt, measured
+    in bench_smoke).
+    """
+
+    __slots__ = (
+        "element_edges",
+        "value_edges",
+        "negated_edges",
+        "adjacency",
+        "edges_by_endpoint",
+        "ordered_groups",
+    )
+
+    def __init__(self, branch: "_BranchPlan", fragment_ids: tuple[str, ...]):
+        ids = set(fragment_ids)
+        self.element_edges = [
+            e for e in branch.element_edges if e.parent in ids and e.child in ids
+        ]
+        self.value_edges = [e for e in branch.value_edges if e.parent in ids]
+        self.negated_edges = [e for e in branch.negated_edges if e.parent in ids]
+        self.adjacency: dict[str, list[str]] = {n: [] for n in fragment_ids}
+        self.edges_by_endpoint: dict[str, list[ContainmentEdge]] = {
+            n: [] for n in fragment_ids
+        }
+        for edge in self.element_edges:
+            self.adjacency[edge.parent].append(edge.child)
+            self.adjacency[edge.child].append(edge.parent)
+            self.edges_by_endpoint[edge.parent].append(edge)
+            self.edges_by_endpoint[edge.child].append(edge)
+        # ordered-arc groups are fixed by the query: group and sort them
+        # once, not per produced binding
+        ordered_by_parent: dict[str, list[ContainmentEdge]] = {}
+        for edge in self.element_edges:
+            if edge.ordered:
+                ordered_by_parent.setdefault(edge.parent, []).append(edge)
+        self.ordered_groups = [
+            sorted(edges, key=lambda e: e.position)
+            for edges in ordered_by_parent.values()
+            if len(edges) >= 2
+        ]
+
+
 @dataclass
 class _BranchPlan:
     """One expanded (plain) branch, fully analysed without any document.
@@ -253,6 +309,19 @@ class _BranchPlan:
     components: list[tuple[list[str], list[ContainmentEdge], Optional[str]]]
     pushed: dict[str, list[Condition]]
     consumed: frozenset[int]
+    #: Per-fragment locals cache, keyed by the fragment's id tuple.  Filled
+    #: lazily; recomputation is idempotent, so concurrent warm-up from the
+    #: shared plan cache is benign.
+    _locals: dict[tuple[str, ...], _FragmentLocals] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def fragment_locals(self, fragment_ids: Sequence[str]) -> _FragmentLocals:
+        key = tuple(fragment_ids)
+        locals_ = self._locals.get(key)
+        if locals_ is None:
+            locals_ = self._locals[key] = _FragmentLocals(self, key)
+        return locals_
 
 
 @dataclass
@@ -428,8 +497,49 @@ class _Prep:
     options: MatchOptions
     stats: EvalStats
     static_candidates: dict[str, list[Element]]
-    static_sets: dict[str, set[int]]
     use_intervals: bool = True
+    #: Run coverable fragments on the columnar kernels (pre-id pools,
+    #: :mod:`repro.engine.columns`).  Requires the interval index.
+    use_columns: bool = True
+    #: Lazy caches: membership id-sets feed only the backtracking core and
+    #: pre columns only the columnar pipeline, so neither is built until an
+    #: engine actually asks (a pure-pipeline run never pays for sets, a
+    #: pure-backtracking run never pays for columns).
+    _static_sets: dict[str, set[int]] = field(default_factory=dict, repr=False)
+    _static_pres: dict[str, Sequence[int]] = field(default_factory=dict, repr=False)
+
+    def static_set(self, node_id: str) -> set[int]:
+        """Membership id-set of the node's static pool (cached)."""
+        cached = self._static_sets.get(node_id)
+        if cached is None:
+            cached = self._static_sets[node_id] = {
+                id(e) for e in self.static_candidates[node_id]
+            }
+        return cached
+
+    def static_pres(self, node_id: str) -> Sequence[int]:
+        """Sorted pre column of the node's static pool (cached).
+
+        *Pristine* pools — nothing dropped from a single index pool — are
+        recognised by length (static narrowing only ever removes
+        elements, so equal size means equal set) and reuse the index's own
+        sorted pre arrays with zero copying; every other pool pays one
+        ``pre`` lookup per element.  Static pools inherit document order
+        from the index, so the columns are ascending by construction.
+        """
+        cached = self._static_pres.get(node_id)
+        if cached is None:
+            pool = self.static_candidates[node_id]
+            index = self.index
+            tag = self.graph.nodes[node_id].tag
+            if tag is not None and len(pool) == index.tag_count(tag):
+                cached = index.tag_pres(tag)
+            elif tag is None and len(pool) == index.element_count():
+                cached = index.all_pres()
+            else:
+                cached = index.pres_of(pool)
+            self._static_pres[node_id] = cached
+        return cached
 
     # Pass-throughs so the engine code reads one object, whether the
     # analysis was cached or compiled this call.
@@ -496,10 +606,6 @@ def _prepare(
         if not pool:
             return None
         static_candidates[node_id] = pool
-    static_sets = {
-        node_id: {id(e) for e in cands}
-        for node_id, cands in static_candidates.items()
-    }
     return _Prep(
         branch=branch,
         document=document,
@@ -507,8 +613,8 @@ def _prepare(
         options=options,
         stats=stats,
         static_candidates=static_candidates,
-        static_sets=static_sets,
         use_intervals=use_intervals,
+        use_columns=use_intervals and options.columnar,
     )
 
 
@@ -548,26 +654,22 @@ def _fragment_bindings(
     """
     graph, index, options, stats = prep.graph, prep.index, prep.options, prep.stats
     budget = stats.budget
-    ids = set(fragment_ids)
-    element_edges = [
-        e for e in prep.element_edges if e.parent in ids and e.child in ids
-    ]
-    value_edges = [e for e in prep.value_edges if e.parent in ids]
-    negated_edges = [e for e in prep.negated_edges if e.parent in ids]
+    locals_ = prep.branch.fragment_locals(fragment_ids)
+    element_edges = locals_.element_edges
+    value_edges = locals_.value_edges
+    negated_edges = locals_.negated_edges
+    adjacency = locals_.adjacency
     static_candidates = prep.static_candidates
-    static_sets = prep.static_sets
+    override_sets: dict[str, set[int]] = {}
     if pools:
         static_candidates = {**static_candidates, **pools}
-        static_sets = {
-            **static_sets,
-            **{n: {id(e) for e in pool} for n, pool in pools.items()},
-        }
-    use_intervals = prep.use_intervals
+        override_sets = {n: {id(e) for e in pool} for n, pool in pools.items()}
 
-    adjacency: dict[str, list[str]] = {n: [] for n in fragment_ids}
-    for edge in element_edges:
-        adjacency[edge.parent].append(edge.child)
-        adjacency[edge.child].append(edge.parent)
+    def allowed_for(node_id: str) -> set[int]:
+        override = override_sets.get(node_id)
+        return override if override is not None else prep.static_set(node_id)
+
+    use_intervals = prep.use_intervals
 
     def estimate(node_id: str) -> int:
         """Selectivity: global tag count, sharpened to the count within an
@@ -604,24 +706,8 @@ def _fragment_bindings(
         enabled=options.use_planner,
     )
 
-    edges_by_endpoint: dict[str, list[ContainmentEdge]] = {
-        n: [] for n in fragment_ids
-    }
-    for edge in element_edges:
-        edges_by_endpoint[edge.parent].append(edge)
-        edges_by_endpoint[edge.child].append(edge)
-
-    # ordered-arc groups are fixed by the query: group and sort them once,
-    # not per produced binding
-    ordered_by_parent: dict[str, list[ContainmentEdge]] = {}
-    for edge in element_edges:
-        if edge.ordered:
-            ordered_by_parent.setdefault(edge.parent, []).append(edge)
-    ordered_groups = [
-        sorted(edges, key=lambda e: e.position)
-        for edges in ordered_by_parent.values()
-        if len(edges) >= 2
-    ]
+    edges_by_endpoint = locals_.edges_by_endpoint
+    ordered_groups = locals_.ordered_groups
 
     assignment: dict[str, Element] = {}
 
@@ -670,7 +756,7 @@ def _fragment_bindings(
                 pools.append(pool)
         if not pools:
             return static_candidates[node_id], False
-        narrowed = intersect_pools(pools, allowed=static_sets[node_id], key=id)
+        narrowed = intersect_pools(pools, allowed=allowed_for(node_id), key=id)
         if use_intervals:
             stats.edge_checks += len(pools)
             return narrowed, True
@@ -772,9 +858,18 @@ def _match_pipeline(prep: _Prep, adaptive: bool = False) -> Iterator[Binding]:
                 if adaptive:
                     stats.bump("adaptive_pipeline")
                 stats.pipeline_fragments += 1
+                setwise = (
+                    _setwise_fragment_columns
+                    if prep.use_columns
+                    else _setwise_fragment
+                )
+                if fragment_span is not None:
+                    fragment_span["kernel"] = (
+                        "columnar" if prep.use_columns else "tuple"
+                    )
                 rows_before = 0 if stats.budget is None else stats.budget.rows
                 try:
-                    rows = _setwise_fragment(
+                    rows = setwise(
                         prep, ids, edges, values_by_parent, pushed
                     )
                 except BudgetExceeded as exc:
@@ -990,7 +1085,10 @@ def _adaptive_decision(
         for edge in edges
     ]
     return choose_fragment_engine(
-        pool_sizes, edge_estimates, enabled=prep.options.use_planner
+        pool_sizes,
+        edge_estimates,
+        enabled=prep.options.use_planner,
+        columnar=prep.use_columns,
     )
 
 
@@ -1095,6 +1193,116 @@ def _setwise_fragment(
                 row.update(extra)
         rows.append(row)
     return rows
+
+
+def _setwise_fragment_columns(
+    prep: _Prep,
+    ids: list[str],
+    edges: list[ContainmentEdge],
+    values_by_parent: dict[str, list[ContainmentEdge]],
+    pushed: dict[str, list[Condition]],
+) -> list[dict[str, object]]:
+    """Evaluate one acyclic fragment on the columnar kernels.
+
+    The columnar twin of :func:`_setwise_fragment`: pools become sorted
+    ``pre``-id columns as soon as circle/predicate filtering is done,
+    relations are materialised by the interval kernels
+    (:mod:`repro.engine.columns`) instead of per-candidate enumeration,
+    and node objects are looked up in the index's ``pre -> element`` side
+    table only for the surviving assembled rows.
+    """
+    stats, index = prep.stats, prep.index
+    tracer = stats.trace
+    budget = stats.budget
+    stats.bump("columnar_fragments")
+    pools: dict[str, Sequence[int]] = {}
+    value_rows: dict[str, dict[int, dict[str, str]]] = {}
+    with trace_span(tracer, "fragment.pools") as pools_span:
+        for node_id in ids:
+            circles = values_by_parent.get(node_id, ())
+            conditions = pushed.get(node_id, ())
+            values: dict[int, dict[str, str]] = {}
+            if not circles and not conditions:
+                # Nothing to resolve or filter: adopt the static pool's
+                # pre column wholesale — for pristine index pools this is
+                # the index's own array, no per-element work at all.
+                column: Sequence[int] = prep.static_pres(node_id)
+                if budget is not None:
+                    budget.charge(len(column))
+            else:
+                pool, values = _filtered_pool(prep, node_id, circles, conditions)
+                column = index.pres_of(pool)
+            if pools_span is not None:
+                pools_span.attributes.setdefault("sizes", {})[node_id] = len(
+                    column
+                )
+            if not len(column):
+                return []
+            pools[node_id] = column
+            value_rows[node_id] = values
+
+    relations = []
+    with trace_span(tracer, "fragment.relations") as relations_span:
+        for edge in edges:
+            relation = column_relation_for(
+                edge.parent, edge.child, _column_edge_pairs(prep, edge, pools),
+                stats,
+            )
+            if relations_span is not None:
+                relations_span.attributes.setdefault("pairs", {})[
+                    f"{edge.parent}-{edge.child}"
+                ] = len(relation)
+            if not len(relation):
+                return []
+            relations.append(relation)
+
+    order, int_rows = evaluate_forest_columns(
+        pools, relations, stats, planner_enabled=prep.options.use_planner
+    )
+    table = index.element_table()
+    rows: list[dict[str, object]] = []
+    for int_row in int_rows:
+        row: dict[str, object] = {}
+        for var, pre in zip(order, int_row):
+            element = table[pre]
+            row[var] = element
+            extra = value_rows[var].get(id(element))
+            if extra:
+                row.update(extra)
+        rows.append(row)
+    return rows
+
+
+def _column_edge_pairs(
+    prep: _Prep, edge: ContainmentEdge, pools: dict[str, Sequence[int]]
+) -> tuple[Sequence[int], Sequence[int]]:
+    """Column pairs satisfying one containment arc (sorted pre columns).
+
+    Direct arcs probe each child's slot in the ``parent_pre`` column
+    (O(child pool)); deep arcs become one bisect range per parent over the
+    child column — no descendant enumeration, no ancestor walks.  When a
+    budget is armed, deep pair counts are known *before* materialisation
+    (:func:`containment_count` is pure bisect arithmetic), so the row cap
+    trips without ever building the oversized pair set.
+    """
+    index, stats = prep.index, prep.stats
+    budget = stats.budget
+    parent_col = pools[edge.parent]
+    child_col = pools[edge.child]
+    if not edge.deep:
+        left, right = direct_pairs(
+            parent_col, index.parent_pre_column(), child_col
+        )
+        if budget is not None:
+            budget.charge(len(child_col))
+            budget.add_rows(len(left))
+        return left, right
+    posts = index.post_column()
+    stats.interval_lookups += len(parent_col)
+    if budget is not None:
+        budget.charge(len(parent_col) + len(child_col))
+        budget.add_rows(containment_count(parent_col, posts, child_col))
+    return containment_pairs(parent_col, posts, child_col)
 
 
 def _filtered_pool(
@@ -1326,8 +1534,11 @@ def _static_candidates(
         stats.index_lookups += 1
         pools.append(index.elements_with_attribute(name))
     if not pools:
+        # Wildcard box with no attribute hints: every element qualifies.
+        # The index's pre-order table *is* that pool in document order —
+        # no tree walk needed (still a full scan for accounting purposes).
         stats.full_scans += 1
-        return list(document.iter())
+        return list(index.all_elements())
     base = min(pools, key=len)
     return [
         e

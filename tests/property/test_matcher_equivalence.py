@@ -41,6 +41,9 @@ TEXTS = ["x", "y", "zz"]
 CONFIGS = [
     MatchOptions(engine="pipeline", use_planner=True),
     MatchOptions(engine="pipeline", use_planner=False),
+    # the columnar kernels (default on above) against the tuple pipeline
+    MatchOptions(engine="pipeline", use_planner=True, columnar=False),
+    MatchOptions(engine="pipeline", use_planner=False, columnar=False),
     MatchOptions(engine="backtracking", use_planner=True),
     MatchOptions(engine="backtracking", use_planner=False),
     MatchOptions(engine="naive", use_planner=True),
@@ -48,6 +51,7 @@ CONFIGS = [
     # the cost-based selector must agree with whatever it picks
     MatchOptions(engine="adaptive", use_planner=True),
     MatchOptions(engine="adaptive", use_planner=False),
+    MatchOptions(engine="adaptive", use_planner=True, columnar=False),
     # legacy spelling of the ablation knobs still works
     MatchOptions(use_planner=True, use_index=False),
 ]

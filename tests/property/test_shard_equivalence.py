@@ -1,0 +1,94 @@
+"""Process-sharded execution must be invisible to results and stats.
+
+Hypothesis drives randomized corpora (random small trees, random corpus
+sizes, random shard counts) through both sharded entry points and checks
+them against single-process ground truth:
+
+* ``ShardedExecutor.map_corpus`` — every per-document result document is
+  byte-identical to a single-process ``QuerySession.run`` over the same
+  document, in corpus order, and the merged ``EvalStats`` is the exact
+  counter sum of the per-document rows.
+* ``QuerySession.run_batch(executor="process")`` — every row matches the
+  thread-executor row: same serialized result, same bindings count, same
+  order.
+
+Example counts are kept deliberately low: each example pays for real
+process-pool spawns.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.shard import ShardedExecutor
+from repro.engine.stats import EvalStats
+from repro.session import QuerySession
+from repro.ssd import serialize
+from repro.ssd.model import Document, Element
+
+TAGS = ["a", "b", "c"]
+ATTRS = ["k", "m"]
+VALUES = ["1", "2", "3"]
+
+QUERIES = [
+    "query { a as X } construct { out { collect X } }",
+    "query { b as X { c as Y } } construct { out { collect Y } }",
+    "query { a as X { @k as K } where K >= 2 } construct { out { collect X } }",
+]
+
+
+def random_document(rng: random.Random) -> Document:
+    def grow(depth: int) -> Element:
+        element = Element(rng.choice(TAGS))
+        for name in ATTRS:
+            if rng.random() < 0.4:
+                element.set(name, rng.choice(VALUES))
+        if depth < 3:
+            for _ in range(rng.randint(0, 3)):
+                element.append(grow(depth + 1))
+        return element
+
+    root = Element("root")
+    for _ in range(rng.randint(1, 4)):
+        root.append(grow(1))
+    return Document(root)
+
+
+def random_corpus(rng: random.Random, count: int) -> dict[str, Document]:
+    return {f"doc{index}": random_document(rng) for index in range(count)}
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=5),
+    shards=st.integers(min_value=1, max_value=4),
+    query=st.sampled_from(QUERIES),
+)
+@settings(max_examples=5, deadline=None)
+def test_map_corpus_matches_single_process(seed, count, shards, query):
+    rng = random.Random(seed)
+    corpus = random_corpus(rng, count)
+    run = ShardedExecutor(max_workers=2).map_corpus(query, corpus, shards=shards)
+    assert run.ok
+    merged = EvalStats()
+    for position, name in enumerate(corpus):
+        expected = QuerySession(corpus[name]).run(query)
+        assert serialize(run.results[position]) == serialize(expected)
+        merged = merged + run.stats_per_document[position]
+    assert run.stats.as_dict() == merged.as_dict()
+    assigned = sorted(name for group in run.shards for name in group)
+    assert assigned == sorted(corpus)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=5, deadline=None)
+def test_process_batch_matches_thread_batch(seed):
+    rng = random.Random(seed)
+    session = QuerySession(random_document(rng))
+    threaded = session.run_batch(QUERIES)
+    sharded = session.run_batch(QUERIES, executor="process", max_workers=2)
+    assert [row.index for row in sharded] == [0, 1, 2]
+    for one, other in zip(threaded, sharded):
+        assert one.error is None and other.error is None
+        assert serialize(other.result) == serialize(one.result)
+        assert other.stats.bindings_produced == one.stats.bindings_produced

@@ -71,7 +71,7 @@ def test_main_writes_json(tmp_path, capsys):
     ]
     assert main(args) == 0
     report = json.loads(out.read_text())
-    assert report["schema_version"] == 2
+    assert report["schema_version"] == 3
     assert "history" not in report
     out_text = capsys.readouterr().out
     assert "worst work ratio" in out_text
@@ -175,3 +175,36 @@ def test_tracing_guard_fails_hard_when_counters_diverge(monkeypatch):
 
     with pytest.raises(AssertionError, match="work counters"):
         bench_smoke.measure_tracing_overhead(graph, document, index, repeat=1)
+
+
+def test_report_carries_columnar_block():
+    report = run_suite(bib_entries=30, sections_depth=4, repeat=1)
+    block = report["columnar"]
+    assert block["results_identical"] is True
+    assert block["backend"] in ("python", "numpy")
+    assert block["tuple_fragment_seconds"] > 0
+    assert block["columnar_fragment_seconds"] > 0
+    assert block["fragment_speedup"] > 0
+    assert "scaling" not in report  # off unless workers > 1
+
+
+def test_scaling_block_and_gates(tmp_path, capsys):
+    from repro.bench_smoke import measure_scaling
+
+    block = measure_scaling(workers=2, corpus_documents=4, bib_entries=10)
+    assert block["results_identical"] is True
+    assert block["workers"] == 2 and block["corpus_documents"] == 4
+    assert block["single_seconds"] > 0 and block["sharded_seconds"] > 0
+    assert len(block["shard_seconds"]) <= 2
+    assert block["merge_seconds"] >= 0
+    # an impossible scaling floor must fail the run via --gate-scaling
+    out = tmp_path / "bench.json"
+    args = [
+        "-o", str(out),
+        "--bib-entries", "20",
+        "--sections-depth", "4",
+        "--repeat", "3",
+    ]
+    assert main(args + ["--gate-scaling", "1000"]) == 1
+    assert "--gate-scaling given but --workers not set" in capsys.readouterr().out
+    assert main(args + ["--gate-columnar", "0.0001"]) == 0

@@ -218,3 +218,37 @@ class TestRewriteSteps:
             "construct { r { copy P } }"
         ).queries[0]
         assert contains(deep, direct) and not contains(direct, deep)
+
+
+class TestShardingSteps:
+    """§10: columnar counters in EXPLAIN, process-executor batch contract."""
+
+    def test_step10_explain_shows_columnar_fragments(self, doc):
+        from repro.explain import explain
+
+        join = parse_rule(
+            "query { book as B  * as C { title as T } where B.cites = C.id }"
+            " construct { r { collect T } }"
+        )
+        report = explain(join, doc)
+        assert report.stats.extra.get("columnar_fragments", 0) >= 1
+        assert "work:" in report.render_text()
+
+    def test_step10_process_batch_contract(self, doc):
+        from repro.engine.limits import QueryBudget
+        from repro.session import QuerySession
+
+        session = QuerySession(doc)
+        rows = session.run_batch(
+            [
+                "query { book as B } construct { all { collect B } }",
+                "query { book as B { @year as Y } where Y >= 1995 }"
+                " construct { recent { collect B } }",
+            ],
+            executor="process",
+            max_workers=2,
+            budget=QueryBudget(deadline_ms=60_000),
+        )
+        assert [r.index for r in rows] == [0, 1]
+        assert all(r.error is None for r in rows)
+        assert rows[0].stats.bindings_produced >= rows[1].stats.bindings_produced
