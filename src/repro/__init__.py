@@ -82,6 +82,12 @@ _LAZY: dict[str, tuple[str, str]] = {
     "rewrite_rule": (".analysis.rewrite", "rewrite_rule"),
     "RewriteReport": (".analysis.rewrite", "RewriteReport"),
     "contains": (".analysis.rewrite", "contains"),
+    # the query service (``repro serve``)
+    "QueryService": (".server", "QueryService"),
+    "ServiceClient": (".server", "ServiceClient"),
+    "DocumentStore": (".server", "DocumentStore"),
+    "ServerConfig": (".server", "ServerConfig"),
+    "TenantConfig": (".server", "TenantConfig"),
 }
 
 __all__ = [

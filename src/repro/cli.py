@@ -237,6 +237,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="bridge the first document to a graph and infer a WG-Log schema",
     )
 
+    serve = commands.add_parser(
+        "serve", help="run the async multi-tenant query service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8601,
+        help="bind port (0 picks an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--document", action="append", default=[], metavar="NAME=FILE",
+        help="load an XML document into the store at startup (repeatable)",
+    )
+    serve.add_argument(
+        "--tenant", action="append", default=[], metavar="SPEC",
+        help=(
+            "tenant spec NAME[,key=value]... — keys: max_concurrency, "
+            "max_queue, deadline_ms, max_work, max_bindings, "
+            "max_result_nodes, max_hashjoin_rows, on_limit (repeatable)"
+        ),
+    )
+    serve.add_argument(
+        "--max-workers", type=int, default=8,
+        help="evaluation executor threads",
+    )
+
     return parser
 
 
@@ -699,6 +724,43 @@ def _cmd_infer(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from .server import DocumentStore, ServerConfig, TenantConfig, run_forever
+
+    store = DocumentStore()
+    for spec in args.document:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--document expects NAME=FILE, got {spec!r}", file=sys.stderr)
+            return 2
+        store.add(name, _load_document(path))
+    try:
+        tenants = tuple(TenantConfig.from_spec(spec) for spec in args.tenant)
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_workers=args.max_workers,
+            tenants=tenants,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def announce(service) -> None:
+        # The "listening on" line is the startup contract: the smoke job
+        # and subprocess tests parse the (possibly ephemeral) port off it.
+        print(
+            f"repro serve listening on {config.host}:{service.port} "
+            f"({len(store)} documents, "
+            f"{len(service.gates)} tenants)",
+            file=out,
+            flush=True,
+        )
+
+    run_forever(config, store=store, on_ready=announce)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the exit status."""
     out = out if out is not None else sys.stdout
@@ -716,6 +778,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "compare": _cmd_compare,
         "infer": _cmd_infer,
         "fmt": _cmd_fmt,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args, out)

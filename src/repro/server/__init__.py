@@ -1,0 +1,38 @@
+"""The asyncio multi-tenant query service (``repro serve``).
+
+Layer map (event loop on the left, CPU on the right — the EdgeDB-style
+compiler/IO split the ROADMAP names):
+
+* :mod:`repro.server.http` — minimal asyncio HTTP/1.1, JSON in/out
+* :mod:`repro.server.admission` — per-tenant admit/queue/reject gates
+* :mod:`repro.server.config` — :class:`TenantConfig` budget templates
+  and :class:`ServerConfig`
+* :mod:`repro.server.store` — named, versioned, immutable documents
+* :mod:`repro.server.service` — :class:`QueryService` itself, plus
+  :class:`BackgroundServer` and the blocking :func:`run_forever`
+* :mod:`repro.server.client` — the blocking Python client
+* :mod:`repro.server.smoke` — the CI end-to-end smoke check
+"""
+
+from .admission import AdmissionRejected, TenantGate
+from .client import ServiceClient, ServiceError
+from .config import DEFAULT_TENANT, ServerConfig, TenantConfig
+from .service import BackgroundServer, PreparedQuery, QueryService, run_forever
+from .store import DocumentStore, StoredDocument, UnknownDocument
+
+__all__ = [
+    "AdmissionRejected",
+    "BackgroundServer",
+    "DEFAULT_TENANT",
+    "DocumentStore",
+    "PreparedQuery",
+    "QueryService",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceError",
+    "StoredDocument",
+    "TenantConfig",
+    "TenantGate",
+    "UnknownDocument",
+    "run_forever",
+]

@@ -1,0 +1,123 @@
+"""Per-tenant admission control for the asyncio service.
+
+Each tenant owns one :class:`TenantGate` living on the event loop (no
+locks — every transition happens on the loop thread).  A request moves
+through a three-state machine, documented in DESIGN.md § Query service:
+
+* **ADMITTED** — ``running < max_concurrency``: the request takes a slot
+  immediately and its evaluation is handed to the executor.
+* **QUEUED** — slots are full but the queue has room: the request parks
+  on a future; :meth:`TenantGate.release` promotes the eldest live waiter
+  when a slot frees (FIFO), so queued work drains in arrival order.
+* **REJECTED** — slots *and* queue are full: :class:`AdmissionRejected`
+  propagates as HTTP 429 without touching the executor, so overload
+  sheds at the cheapest possible point.
+
+One tenant's pathology cannot starve another: gates are fully
+independent — separate slots, separate queues, separate counters — and
+the shared executor is only reached by admitted requests, bounded to
+``sum(max_concurrency)`` across tenants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any
+
+from ..errors import ReproError
+from .config import TenantConfig
+
+__all__ = ["AdmissionRejected", "TenantGate"]
+
+
+class AdmissionRejected(ReproError):
+    """Raised when a tenant's slots and queue are both full (HTTP 429)."""
+
+    def __init__(self, tenant: str, running: int, queued: int) -> None:
+        self.tenant = tenant
+        self.running = running
+        self.queued = queued
+        super().__init__(
+            f"tenant {tenant!r} is saturated: {running} running, "
+            f"{queued} queued (admission rejected; retry later)"
+        )
+
+
+class TenantGate:
+    """One tenant's admission state; event-loop confined."""
+
+    def __init__(self, config: TenantConfig) -> None:
+        self.config = config
+        self.running = 0
+        self._queue: deque[asyncio.Future] = deque()
+        # lifetime counters (surfaced by /metrics)
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.errors = 0
+        self.queued_total = 0
+        self.queue_peak = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    async def acquire(self) -> None:
+        """Admit, queue, or raise :class:`AdmissionRejected`."""
+        if self.running < self.config.max_concurrency:
+            self.running += 1
+            self.admitted += 1
+            return
+        if len(self._queue) >= self.config.max_queue:
+            self.rejected += 1
+            raise AdmissionRejected(
+                self.config.name, self.running, len(self._queue)
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.append(waiter)
+        self.queued_total += 1
+        self.queue_peak = max(self.queue_peak, len(self._queue))
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                # Promoted in the same tick we were cancelled: the slot
+                # was already transferred to us — hand it straight on.
+                self._leave()
+            else:
+                self._queue.remove(waiter)
+            raise
+
+    def release(self, *, error: bool = False) -> None:
+        """An admitted request finished; promote the eldest live waiter."""
+        self.completed += 1
+        if error:
+            self.errors += 1
+        self._leave()
+
+    def _leave(self) -> None:
+        self.running -= 1
+        while self._queue:
+            waiter = self._queue.popleft()
+            if waiter.cancelled():
+                continue
+            self.running += 1
+            self.admitted += 1
+            waiter.set_result(None)
+            return
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready admission counters for /metrics."""
+        return {
+            "max_concurrency": self.config.max_concurrency,
+            "max_queue": self.config.max_queue,
+            "running": self.running,
+            "queued": len(self._queue),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "errors": self.errors,
+            "queued_total": self.queued_total,
+            "queue_peak": self.queue_peak,
+        }

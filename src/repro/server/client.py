@@ -1,0 +1,150 @@
+"""Blocking Python client for the query service.
+
+A thin JSON wrapper over :class:`http.client.HTTPConnection` with
+keep-alive — enough for tests, the CI smoke job and scripts, without
+pulling a third-party HTTP stack into the container.  One
+:class:`ServiceClient` holds one connection; it is **not** thread-safe
+(one client per thread — the load test does exactly that, which also
+exercises the server's connection concurrency).
+
+Non-2xx responses raise :class:`ServiceError`, carrying the HTTP status
+and the server's structured error payload; responses that are valid but
+describe a failed evaluation (``/batch`` rows) come back as plain data.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping, Optional
+
+from ..errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        self.status = status
+        self.payload = payload
+        detail = payload
+        if isinstance(payload, Mapping) and "error" in payload:
+            detail = payload["error"]
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """One keep-alive connection to a running :class:`QueryService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8601, timeout: float = 30.0
+    ) -> None:
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        """One round trip; JSON in, JSON out, :class:`ServiceError` on non-2xx."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # The connection died (e.g. server restarted); reconnect once.
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        data = json.loads(raw) if raw else None
+        if not 200 <= response.status < 300:
+            raise ServiceError(response.status, data)
+        return data
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def query(
+        self,
+        query: Optional[str] = None,
+        *,
+        prepared: Optional[str] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        document: Optional[str] = None,
+        version: Optional[int] = None,
+        tenant: Optional[str] = None,
+        budget: Optional[Mapping[str, Any]] = None,
+    ) -> dict[str, Any]:
+        """Evaluate one query (text or prepared digest); the full payload."""
+        body: dict[str, Any] = {}
+        if query is not None:
+            body["query"] = query
+        if prepared is not None:
+            body["prepared"] = prepared
+        if params is not None:
+            body["params"] = dict(params)
+        if document is not None:
+            body["document"] = document
+        if version is not None:
+            body["version"] = version
+        if tenant is not None:
+            body["tenant"] = tenant
+        if budget is not None:
+            body["budget"] = dict(budget)
+        return self.request("POST", "/query", body)
+
+    def batch(
+        self,
+        queries: list[str],
+        *,
+        executor: str = "thread",
+        document: Optional[str] = None,
+        version: Optional[int] = None,
+        tenant: Optional[str] = None,
+        budget: Optional[Mapping[str, Any]] = None,
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"queries": queries, "executor": executor}
+        if document is not None:
+            body["document"] = document
+        if version is not None:
+            body["version"] = version
+        if tenant is not None:
+            body["tenant"] = tenant
+        if budget is not None:
+            body["budget"] = dict(budget)
+        return self.request("POST", "/batch", body)
+
+    def prepare(self, query: str) -> dict[str, Any]:
+        """Register a prepared query; returns ``{"digest", "params"}``."""
+        return self.request("POST", "/prepare", {"query": query})
+
+    def documents(self) -> dict[str, Any]:
+        return self.request("GET", "/documents")
+
+    def add_document(self, name: str, xml_text: str) -> dict[str, Any]:
+        return self.request("POST", "/documents", {"name": name, "xml": xml_text})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("POST", "/shutdown")

@@ -1,0 +1,117 @@
+"""End-to-end smoke check: ``python -m repro.server.smoke``.
+
+The CI server-smoke job runs this module.  It must prove, in a few
+seconds, that the whole serving stack holds together in one process:
+
+1. record the baseline thread set,
+2. start the service on an **ephemeral** port (``port=0``),
+3. poll ``/healthz`` until live,
+4. register a prepared query and run it through the Python client,
+5. verify the result matches a direct :meth:`QuerySession.run`,
+6. shut down cleanly and assert **zero leaked threads** — the executor
+   and the event-loop thread must both be gone.
+
+Exit status 0 on success; any failure raises (non-zero exit).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+SMOKE_XML = (
+    "<bib>"
+    "<book year='1995'><title>DB Systems</title></book>"
+    "<book year='1999'><title>XML-GL</title></book>"
+    "</bib>"
+)
+
+SMOKE_QUERY = (
+    "query { book as B { @year as Y } where Y >= ${year} } "
+    "construct { hits { B } }"
+)
+
+
+def run_smoke(verbose: bool = True) -> None:
+    from ..session import QuerySession
+    from ..ssd import parse_document, serialize
+    from .client import ServiceClient
+    from .config import ServerConfig, TenantConfig
+    from .service import BackgroundServer
+    from .store import DocumentStore
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"smoke: {message}")
+
+    baseline = set(threading.enumerate())
+    store = DocumentStore()
+    store.add("bib", parse_document(SMOKE_XML))
+    config = ServerConfig(
+        port=0,
+        max_workers=2,
+        tenants=(TenantConfig(name="smoke", max_concurrency=2, max_queue=4),),
+    )
+    server = BackgroundServer(config, store=store).start()
+    say(f"listening on 127.0.0.1:{server.port}")
+
+    client = ServiceClient(port=server.port)
+    try:
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                health = client.healthz()
+                if health["status"] == "ok":
+                    break
+            except OSError:
+                pass
+            if time.monotonic() > deadline:
+                raise AssertionError("healthz never became ready")
+            time.sleep(0.05)
+        say(f"healthz ok ({health['documents']} documents)")
+
+        prepared = client.prepare(SMOKE_QUERY)
+        assert prepared["params"] == ["year"], prepared
+        outcome = client.query(
+            prepared=prepared["digest"],
+            params={"year": 1999},
+            document="bib",
+            tenant="smoke",
+        )
+        assert outcome["ok"], outcome
+        expected_doc = QuerySession(parse_document(SMOKE_XML)).run(
+            SMOKE_QUERY.replace("${year}", "1999")
+        )
+        assert expected_doc.root is not None
+        expected = serialize(expected_doc.root)
+        assert outcome["result"] == expected, (outcome["result"], expected)
+        say("prepared query result matches direct QuerySession.run")
+
+        metrics = client.metrics()
+        admission = metrics["tenants"]["smoke"]["admission"]
+        assert admission["completed"] >= 1 and admission["errors"] == 0, admission
+        say("metrics consistent")
+
+        client.shutdown()
+    finally:
+        client.close()
+        server.stop()
+
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = [
+            t for t in threading.enumerate()
+            if t not in baseline and t.is_alive()
+        ]
+        if not leaked:
+            break
+        time.sleep(0.05)
+    else:
+        raise AssertionError(f"leaked threads after shutdown: {leaked}")
+    say("clean shutdown, zero leaked threads")
+
+
+if __name__ == "__main__":
+    run_smoke()
+    sys.exit(0)

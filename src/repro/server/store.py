@@ -1,0 +1,131 @@
+"""Named, versioned document registry for the query service.
+
+The service serves queries over documents loaded *ahead* of the request
+path (at startup via ``repro serve --document NAME=FILE``, or at runtime
+through the ``POST /documents`` admin endpoint).  Every load of a name
+creates a new immutable **version** — documents are never mutated in
+place, so the shared index cache and plan cache stay valid for as long as
+any client still pins an old version.  Queries name a document (and
+optionally a version); omitting the version means "latest", and omitting
+the name is allowed only while the store holds exactly one name.
+
+Thread-safety: ``add`` happens on the event loop (admin endpoint) or the
+startup thread, ``get`` on executor workers — one lock guards the maps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import ReproError
+from ..ssd.model import Document
+
+__all__ = ["DocumentStore", "StoredDocument", "UnknownDocument"]
+
+
+class UnknownDocument(ReproError):
+    """Raised when a query names a document (or version) the store lacks."""
+
+
+@dataclass(frozen=True)
+class StoredDocument:
+    """One immutable version of a named document."""
+
+    name: str
+    version: int
+    document: Document
+    #: Node count (``Element.size`` of the root) — cheap capacity signal.
+    nodes: int
+    #: ``time.time()`` at load, for the admin listing.
+    loaded_at: float
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "nodes": self.nodes,
+            "loaded_at": self.loaded_at,
+        }
+
+
+class DocumentStore:
+    """Thread-safe name → version list registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: dict[str, list[StoredDocument]] = {}
+
+    def add(self, name: str, document: Document) -> StoredDocument:
+        """Register ``document`` as the next version of ``name``."""
+        if not name:
+            raise ReproError("document name must be non-empty")
+        root = document.root
+        nodes = root.size() if root is not None else 0
+        with self._lock:
+            versions = self._versions.setdefault(name, [])
+            stored = StoredDocument(
+                name=name,
+                version=len(versions) + 1,
+                document=document,
+                nodes=nodes,
+                loaded_at=time.time(),
+            )
+            versions.append(stored)
+        return stored
+
+    def add_xml(self, name: str, xml_text: str) -> StoredDocument:
+        """Parse ``xml_text`` and register it (the admin-endpoint path)."""
+        from ..ssd import parse_document
+
+        return self.add(name, parse_document(xml_text))
+
+    def get(
+        self, name: Optional[str] = None, version: Optional[int] = None
+    ) -> StoredDocument:
+        """Resolve a (name, version) reference; ``None`` means latest.
+
+        With ``name=None`` the store must hold exactly one name — the
+        single-document deployment shorthand.
+        """
+        with self._lock:
+            if name is None:
+                if len(self._versions) != 1:
+                    raise UnknownDocument(
+                        "no document named and the store holds "
+                        f"{len(self._versions)} (name one explicitly)"
+                    )
+                name = next(iter(self._versions))
+            versions = self._versions.get(name)
+            if not versions:
+                raise UnknownDocument(f"unknown document {name!r}")
+            if version is None:
+                return versions[-1]
+            if not 1 <= version <= len(versions):
+                raise UnknownDocument(
+                    f"document {name!r} has no version {version} "
+                    f"(latest is {len(versions)})"
+                )
+            return versions[version - 1]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Admin listing: one entry per name with its version history."""
+        with self._lock:
+            return [
+                {
+                    "name": name,
+                    "latest": len(versions),
+                    "versions": [stored.describe() for stored in versions],
+                }
+                for name, versions in sorted(self._versions.items())
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)

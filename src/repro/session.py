@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from .engine.cache import DocumentIndexCache, shared_cache
 from .engine.limits import CancelToken, QueryBudget, arm_budget
@@ -39,6 +39,13 @@ from .xmlgl.rule import Rule
 __all__ = ["BatchResult", "QueryCycle", "QuerySession"]
 
 Sources = Union[Document, Mapping[str, Document]]
+
+#: Default for the per-call ``trace=`` / ``budget=`` overrides: distinct
+#: from an explicit ``None`` so callers can *disable* a session-default
+#: budget or tracer for one call (``budget=None`` means "no budget", not
+#: "defer to the session options").  The query service relies on this to
+#: overlay per-tenant budgets — including "unlimited" — on shared sessions.
+_UNSET: Any = object()
 
 
 @dataclass
@@ -66,11 +73,16 @@ class QueryCycle:
 
 @dataclass
 class BatchResult:
-    """Outcome of one query in a :meth:`QuerySession.run_batch` run."""
+    """Outcome of one query in a :meth:`QuerySession.run_batch` run.
+
+    Also returned by :meth:`QuerySession.execute`, where ``rule`` may be
+    ``None`` when the query text failed to parse (``run_batch`` parses up
+    front, so its rows always carry the rule).
+    """
 
     index: int
     source_text: Optional[str]
-    rule: Rule
+    rule: Optional[Rule]
     result: Optional[Document]
     stats: EvalStats
     seconds: float
@@ -116,26 +128,119 @@ class QuerySession:
     def _effective(
         self,
         options: Optional[MatchOptions],
-        trace: Optional[bool],
-        budget: Optional[QueryBudget],
+        trace: Any,
+        budget: Any,
     ) -> tuple[Optional[MatchOptions], bool, Optional[QueryBudget]]:
-        """Resolve the unified per-call overrides against session defaults."""
+        """Resolve the unified per-call overrides against session defaults.
+
+        ``trace`` and ``budget`` use the :data:`_UNSET` sentinel as their
+        "omitted" value: omitted defers to the session options, while an
+        explicit ``None`` (or ``False`` for ``trace``) switches the
+        feature *off* for this call even when the session options enable
+        it.  Tenant overlays on shared server sessions depend on the
+        distinction — "this tenant runs unbudgeted" must not silently
+        inherit another caller's session-wide budget.
+        """
         opts = options if options is not None else self._options
-        tracing = trace if trace is not None else (
-            opts.trace if opts is not None else False
-        )
-        effective_budget = budget if budget is not None else (
-            opts.budget if opts is not None else None
-        )
+        if trace is _UNSET:
+            tracing = bool(opts.trace) if opts is not None else False
+        else:
+            tracing = bool(trace)
+        if budget is _UNSET:
+            effective_budget = opts.budget if opts is not None else None
+        else:
+            effective_budget = budget
+        # Normalise the options to the *resolved* decisions: the matcher
+        # layers re-derive tracing/budgets from the options they receive,
+        # so a per-call "off" override must not leave the session flags
+        # visible downstream.
+        if opts is not None and (
+            bool(opts.trace) is not tracing or opts.budget is not effective_budget
+        ):
+            opts = replace(opts, trace=tracing, budget=effective_budget)
         return opts, tracing, effective_budget
+
+    def _execute_one(
+        self,
+        query: Union[str, Rule],
+        *,
+        parsed: Optional[Rule] = None,
+        position: int = 0,
+        opts: Optional[MatchOptions] = None,
+        tracing: bool = False,
+        effective_budget: Optional[QueryBudget] = None,
+        cancel: Optional[CancelToken] = None,
+    ) -> BatchResult:
+        """Evaluate one query end to end; the shared core of every run path.
+
+        Used by :meth:`run` (which raises the row's error and appends a
+        cycle), :meth:`execute` (the thread-safe serving path) and each
+        :meth:`run_batch` thread-pool row.  Metrics are recorded in a
+        ``finally`` so *failed* runs — budget trips, evaluation errors,
+        even parse errors — fold into the registry with ``error=True``
+        exactly like successful ones: error rates must never undercount.
+        :class:`~repro.errors.ReproError` is captured on the returned
+        row; anything else (a genuine bug) is recorded, then re-raised.
+        """
+        stats = EvalStats()
+        if tracing:
+            stats.trace = Tracer()
+        arm_budget(stats, effective_budget, cancel)
+        source_text = query if isinstance(query, str) else None
+        rule: Optional[Rule] = parsed if parsed is not None else (
+            query if isinstance(query, Rule) else None
+        )
+        result: Optional[Document] = None
+        error: Optional[Exception] = None
+        # The clock starts before plan lookup so timings show the
+        # plan-cache win (a hit skips parse + analysis entirely).
+        started = time.perf_counter()
+        try:
+            rule, source_text, plan = lookup_or_compile(
+                query,
+                self._sources,
+                parsed=parsed,
+                indexes=self._indexes,
+                stats=stats,
+                plans=self._plans,
+                rewrite=opts.rewrite if opts is not None else True,
+            )
+            result = Document(
+                evaluate_rule(
+                    rule, self._sources, options=opts, trace=tracing,
+                    stats=stats, indexes=self._indexes, plan=plan,
+                )
+            )
+        except Exception as exc:
+            error = exc
+        finally:
+            elapsed = time.perf_counter() - started
+            self._metrics.record(
+                stats,
+                seconds=elapsed,
+                query=source_text,
+                error=error is not None,
+            )
+        if error is not None and not isinstance(error, ReproError):
+            raise error
+        return BatchResult(
+            index=position,
+            source_text=source_text,
+            rule=rule,
+            result=result,
+            stats=stats,
+            seconds=elapsed,
+            error=error,
+            trace=stats.trace,
+        )
 
     def run(
         self,
         query: Union[str, Rule],
         *,
         options: Optional[MatchOptions] = None,
-        trace: Optional[bool] = None,
-        budget: Optional[QueryBudget] = None,
+        trace: Optional[bool] = _UNSET,
+        budget: Optional[QueryBudget] = _UNSET,
         cancel: Optional[CancelToken] = None,
     ) -> Document:
         """Execute a query; it becomes the current cycle.
@@ -146,52 +251,72 @@ class QuerySession:
         The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is
         the unified run contract (shared with ``evaluate_rule`` and WG-Log
         ``query``): each overrides the session options for this cycle
-        only.  ``budget`` governs the run (its deadline starts here);
-        under ``on_limit="raise"`` a tripped limit propagates as
+        only.  Omitting ``trace``/``budget`` defers to the session
+        options; passing ``None`` explicitly switches the feature *off*
+        for this call even when the session options enable it.  ``budget``
+        governs the run (its deadline starts here); under
+        ``on_limit="raise"`` a tripped limit propagates as
         :class:`~repro.errors.BudgetExceeded` / ``DeadlineExceeded``, under
         ``"partial"`` the truncated result still becomes a cycle, flagged
         ``stats.extra["truncated"]``.  ``cancel`` is a
         :class:`~repro.engine.limits.CancelToken` another thread may
         trigger.  The recorded span tree lands on ``QueryCycle.trace``.
-        Every run is folded into the session's :meth:`metrics` registry.
+        Every run — *including* one that raises — is folded into the
+        session's :meth:`metrics` registry (failures with ``error=True``,
+        consistent with ``run_batch`` rows).
         """
         opts, tracing, effective_budget = self._effective(options, trace, budget)
-        tracer = Tracer() if tracing else None
-        stats = EvalStats()
-        stats.trace = tracer
-        arm_budget(stats, effective_budget, cancel)
-        # The clock starts before plan lookup so cycle timings show the
-        # plan-cache win (a hit skips parse + analysis entirely).
-        started = time.perf_counter()
-        rule, source_text, plan = lookup_or_compile(
+        row = self._execute_one(
             query,
-            self._sources,
-            indexes=self._indexes,
-            stats=stats,
-            plans=self._plans,
-            rewrite=opts.rewrite if opts is not None else True,
+            opts=opts,
+            tracing=tracing,
+            effective_budget=effective_budget,
+            cancel=cancel,
         )
-        result = Document(
-            evaluate_rule(
-                rule, self._sources, options=opts, stats=stats,
-                indexes=self._indexes, plan=plan,
-            )
-        )
-        elapsed = time.perf_counter() - started
-        self._metrics.record(stats, seconds=elapsed, query=source_text)
+        if row.error is not None:
+            raise row.error
+        assert row.result is not None and row.rule is not None
         del self._cycles[self._position + 1 :]
         cycle = QueryCycle(
             index=len(self._cycles),
-            source_text=source_text,
-            rule=rule,
-            result=result,
-            stats=stats,
-            seconds=elapsed,
-            trace=tracer,
+            source_text=row.source_text,
+            rule=row.rule,
+            result=row.result,
+            stats=row.stats,
+            seconds=row.seconds,
+            trace=row.trace,
         )
         self._cycles.append(cycle)
         self._position = len(self._cycles) - 1
-        return result
+        return row.result
+
+    def execute(
+        self,
+        query: Union[str, Rule],
+        *,
+        options: Optional[MatchOptions] = None,
+        trace: Optional[bool] = _UNSET,
+        budget: Optional[QueryBudget] = _UNSET,
+        cancel: Optional[CancelToken] = None,
+    ) -> BatchResult:
+        """Evaluate one query outside the cycle history; the serving path.
+
+        Same contract as a single :meth:`run_batch` row: every
+        :class:`~repro.errors.ReproError` — parse, evaluation, budget —
+        is captured on :attr:`BatchResult.error` instead of raising, the
+        row is folded into :meth:`metrics` (failures with ``error=True``)
+        and the cycle history is untouched.  Thread-safe: the history is
+        never read or written, so ``repro.server`` calls this from
+        executor worker threads against one shared session per document.
+        """
+        opts, tracing, effective_budget = self._effective(options, trace, budget)
+        return self._execute_one(
+            query,
+            opts=opts,
+            tracing=tracing,
+            effective_budget=effective_budget,
+            cancel=cancel,
+        )
 
     def run_batch(
         self,
@@ -199,8 +324,8 @@ class QuerySession:
         *,
         max_workers: Optional[int] = None,
         options: Optional[MatchOptions] = None,
-        trace: Optional[bool] = None,
-        budget: Optional[QueryBudget] = None,
+        trace: Optional[bool] = _UNSET,
+        budget: Optional[QueryBudget] = _UNSET,
         cancel: Optional[CancelToken] = None,
         executor: str = "thread",
     ) -> list[BatchResult]:
@@ -290,49 +415,18 @@ class QuerySession:
 
         def evaluate_one(item: tuple[int, tuple[Rule, Optional[str]]]) -> BatchResult:
             position, (rule, source_text) = item
-            stats = EvalStats()
-            if tracing:
-                stats.trace = Tracer()
-            # Each row arms a fresh state: deadlines are per row, measured
-            # from the row's own start, never from batch submission.
-            arm_budget(stats, effective_budget, cancel)
-            result: Optional[Document] = None
-            error: Optional[ReproError] = None
-            started = time.perf_counter()
-            try:
-                rule, _, plan = lookup_or_compile(
-                    source_text if source_text is not None else rule,
-                    self._sources,
-                    parsed=rule,
-                    indexes=self._indexes,
-                    stats=stats,
-                    plans=self._plans,
-                    rewrite=batch_rewrite,
-                )
-                result = Document(
-                    evaluate_rule(
-                        rule, self._sources, options=opts, stats=stats,
-                        indexes=self._indexes, plan=plan,
-                    )
-                )
-            except ReproError as exc:
-                error = exc
-            elapsed = time.perf_counter() - started
-            self._metrics.record(
-                stats,
-                seconds=elapsed,
-                query=source_text,
-                error=error is not None,
-            )
-            return BatchResult(
-                index=position,
-                source_text=source_text,
-                rule=rule,
-                result=result,
-                stats=stats,
-                seconds=elapsed,
-                error=error,
-                trace=stats.trace,
+            # Each row arms a fresh budget state inside the core: deadlines
+            # are per row, measured from the row's own start, never from
+            # batch submission.  Metrics (including error rows) fold into
+            # the registry from the worker thread.
+            return self._execute_one(
+                source_text if source_text is not None else rule,
+                parsed=rule,
+                position=position,
+                opts=opts,
+                tracing=tracing,
+                effective_budget=effective_budget,
+                cancel=cancel,
             )
 
         if not prepared:
@@ -371,6 +465,16 @@ class QuerySession:
         outcomes = sharded.run_batch(
             texts, self._sources, options=opts, budget=budget, cancel=cancel
         )
+        # Realign by task position before pairing with ``prepared``: the
+        # zip below would otherwise attach stats/errors to the wrong row
+        # if an executor returned outcomes out of submission order.
+        outcomes = sorted(outcomes, key=lambda outcome: outcome.position)
+        if [outcome.position for outcome in outcomes] != list(range(len(prepared))):
+            raise ReproError(
+                "sharded executor returned misaligned outcomes: positions "
+                f"{[outcome.position for outcome in outcomes]} for "
+                f"{len(prepared)} queries"
+            )
         results: list[BatchResult] = []
         for outcome, (rule, source_text) in zip(outcomes, prepared):
             stats = EvalStats.from_counters(outcome.counters)

@@ -17,15 +17,20 @@ EXPECTED_SURFACE = [
     "BatchResult",
     "CancelToken",
     "Diagnostic",
+    "DocumentStore",
     "EvalStats",
     "Explanation",
     "MatchOptions",
     "MetricsRegistry",
     "QueryBudget",
     "QueryCycle",
+    "QueryService",
     "QuerySession",
     "RewriteReport",
+    "ServerConfig",
+    "ServiceClient",
     "Severity",
+    "TenantConfig",
     "__version__",
     "analyze_program",
     "analyze_rule",

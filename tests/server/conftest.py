@@ -1,0 +1,72 @@
+"""Shared fixtures for the query-service suite.
+
+``server_factory`` starts a :class:`BackgroundServer` per call and stops
+every one at teardown (drained executor, no leaked threads between
+tests); ``client_factory`` opens keep-alive :class:`ServiceClient`\\ s and
+closes them likewise.
+"""
+
+import pytest
+
+from repro.server import (
+    BackgroundServer,
+    DocumentStore,
+    ServerConfig,
+    ServiceClient,
+)
+from repro.ssd import parse_document
+
+BIB_XML = (
+    "<bib>"
+    "<book year='1994'><title>TCP/IP Illustrated</title>"
+    "<author><last>Stevens</last></author><price>65.95</price></book>"
+    "<book year='2000'><title>Data on the Web</title>"
+    "<author><last>Abiteboul</last></author><price>39.95</price></book>"
+    "<book year='1999'><title>Economics of Tech</title>"
+    "<author><last>Shapiro</last></author><price>129.95</price></book>"
+    "</bib>"
+)
+
+RECENT_QUERY = (
+    "query { book as B { @year as Y } where Y >= 1999 } "
+    "construct { recent { B } }"
+)
+
+COUNT_QUERY = "query { book as B } construct { r { count(B) } }"
+
+
+@pytest.fixture
+def bib_store():
+    store = DocumentStore()
+    store.add("bib", parse_document(BIB_XML))
+    return store
+
+
+@pytest.fixture
+def server_factory():
+    servers = []
+
+    def factory(config=None, store=None):
+        if config is None:
+            config = ServerConfig(port=0, max_workers=4)
+        server = BackgroundServer(config, store=store).start()
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def client_factory():
+    clients = []
+
+    def factory(server):
+        client = ServiceClient(port=server.port)
+        clients.append(client)
+        return client
+
+    yield factory
+    for client in clients:
+        client.close()

@@ -1,0 +1,264 @@
+"""Admission control: gate units and multi-tenant behaviour under load.
+
+The service-level tests make concurrency deterministic with the fault
+injector: a ``delay_ms`` rule at the ``match`` span site holds admitted
+evaluations inside the executor long enough for concurrent requests to
+pile up against the tenant's slots — no sleeps-and-hope scheduling.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.engine.faults import FaultInjector, FaultRule, inject
+from repro.server import ServerConfig, ServiceClient, TenantConfig
+from repro.server.admission import AdmissionRejected, TenantGate
+from repro.server.client import ServiceError
+
+from .conftest import COUNT_QUERY, RECENT_QUERY
+
+
+def _gate(max_concurrency=1, max_queue=1):
+    return TenantGate(
+        TenantConfig(
+            name="t", max_concurrency=max_concurrency, max_queue=max_queue
+        )
+    )
+
+
+class TestTenantGateUnit:
+    def test_admits_under_cap(self):
+        async def scenario():
+            gate = _gate(max_concurrency=2)
+            await gate.acquire()
+            await gate.acquire()
+            assert gate.running == 2 and gate.queued == 0
+            gate.release()
+            gate.release()
+            assert gate.running == 0
+            return gate.snapshot()
+
+        snap = asyncio.run(scenario())
+        assert snap["admitted"] == 2 and snap["completed"] == 2
+
+    def test_queues_then_drains_fifo(self):
+        async def scenario():
+            gate = _gate(max_concurrency=1, max_queue=2)
+            await gate.acquire()
+            order = []
+
+            async def waiter(tag):
+                await gate.acquire()
+                order.append(tag)
+
+            first = asyncio.ensure_future(waiter("first"))
+            await asyncio.sleep(0)
+            second = asyncio.ensure_future(waiter("second"))
+            await asyncio.sleep(0)
+            assert gate.queued == 2 and order == []
+            gate.release()
+            await asyncio.sleep(0)
+            assert order == ["first"]
+            gate.release()
+            await asyncio.sleep(0)
+            assert order == ["first", "second"]
+            await asyncio.gather(first, second)
+            return gate.snapshot()
+
+        snap = asyncio.run(scenario())
+        assert snap["queued_total"] == 2 and snap["queue_peak"] == 2
+
+    def test_rejects_when_queue_full(self):
+        async def scenario():
+            gate = _gate(max_concurrency=1, max_queue=0)
+            await gate.acquire()
+            with pytest.raises(AdmissionRejected):
+                await gate.acquire()
+            gate.release()
+            # a freed slot admits again
+            await gate.acquire()
+            return gate.snapshot()
+
+        snap = asyncio.run(scenario())
+        assert snap["rejected"] == 1 and snap["admitted"] == 2
+
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def scenario():
+            gate = _gate(max_concurrency=1, max_queue=4)
+            await gate.acquire()
+            task = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            assert gate.queued == 1
+            task.cancel()
+            await asyncio.sleep(0)
+            assert gate.queued == 0
+            gate.release()
+            assert gate.running == 0  # no phantom promotion
+
+        asyncio.run(scenario())
+
+    def test_error_counter(self):
+        async def scenario():
+            gate = _gate()
+            await gate.acquire()
+            gate.release(error=True)
+            return gate.snapshot()
+
+        snap = asyncio.run(scenario())
+        assert snap["errors"] == 1 and snap["completed"] == 1
+
+
+def _slow_matches(delay_ms, fires):
+    """An injector that delays the first ``fires`` match-site arrivals."""
+    return FaultInjector(
+        seed=0,
+        rules=[FaultRule(site="match", delay_ms=delay_ms, max_fires=fires)],
+    )
+
+
+class TestServiceAdmission:
+    def test_overflow_rejected_with_429(
+        self, bib_store, server_factory, client_factory
+    ):
+        config = ServerConfig(
+            port=0,
+            max_workers=4,
+            tenants=(
+                TenantConfig(name="tight", max_concurrency=1, max_queue=0),
+            ),
+        )
+        server = server_factory(config, bib_store)
+        statuses = []
+        lock = threading.Lock()
+
+        def one_query():
+            client = ServiceClient(port=server.port)
+            try:
+                client.query(RECENT_QUERY, tenant="tight")
+                with lock:
+                    statuses.append(200)
+            except ServiceError as error:
+                with lock:
+                    statuses.append(error.status)
+            finally:
+                client.close()
+
+        with inject(_slow_matches(delay_ms=400, fires=8)):
+            threads = [threading.Thread(target=one_query) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert statuses.count(200) >= 1
+        assert statuses.count(429) >= 1
+        assert statuses.count(200) + statuses.count(429) == 4
+        admission = client_factory(server).metrics()["tenants"]["tight"][
+            "admission"
+        ]
+        assert admission["rejected"] == statuses.count(429)
+        assert admission["completed"] == statuses.count(200)
+        assert admission["running"] == 0 and admission["queued"] == 0
+
+    def test_queue_absorbs_burst_and_drains(
+        self, bib_store, server_factory, client_factory
+    ):
+        config = ServerConfig(
+            port=0,
+            max_workers=4,
+            tenants=(
+                TenantConfig(name="queued", max_concurrency=1, max_queue=16),
+            ),
+        )
+        server = server_factory(config, bib_store)
+        outcomes = []
+        lock = threading.Lock()
+
+        def one_query():
+            client = ServiceClient(port=server.port)
+            try:
+                payload = client.query(COUNT_QUERY, tenant="queued")
+                with lock:
+                    outcomes.append(payload["ok"])
+            finally:
+                client.close()
+
+        with inject(_slow_matches(delay_ms=100, fires=6)):
+            threads = [threading.Thread(target=one_query) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert outcomes == [True] * 6  # nobody rejected: the queue absorbed
+        admission = client_factory(server).metrics()["tenants"]["queued"][
+            "admission"
+        ]
+        assert admission["rejected"] == 0
+        assert admission["completed"] == 6
+        assert admission["queued_total"] >= 1  # the burst really queued
+        assert admission["queued"] == 0  # and fully drained
+
+    def test_tenant_budget_isolation(
+        self, bib_store, server_factory, client_factory
+    ):
+        config = ServerConfig(
+            port=0,
+            max_workers=4,
+            tenants=(
+                TenantConfig(name="doomed", deadline_ms=0.0),
+                TenantConfig(name="unbounded"),
+            ),
+        )
+        server = server_factory(config, bib_store)
+        client = client_factory(server)
+        # the doomed tenant's template deadline trips every query...
+        with pytest.raises(ServiceError) as excinfo:
+            client.query(RECENT_QUERY, tenant="doomed")
+        assert excinfo.value.status == 408
+        # ...while the unbounded tenant is untouched, before and after
+        for _ in range(2):
+            assert client.query(RECENT_QUERY, tenant="unbounded")["ok"]
+        tenants = client.metrics()["tenants"]
+        assert tenants["doomed"]["admission"]["errors"] == 1
+        assert tenants["doomed"]["engine"]["errors"] == 1
+        assert tenants["unbounded"]["admission"]["errors"] == 0
+        assert tenants["unbounded"]["engine"]["queries"] == 2
+        assert tenants["unbounded"]["engine"]["errors"] == 0
+
+    def test_request_budget_only_tightens(
+        self, bib_store, server_factory, client_factory
+    ):
+        config = ServerConfig(
+            port=0,
+            tenants=(TenantConfig(name="capped", max_work=1),),
+        )
+        server = server_factory(config, bib_store)
+        client = client_factory(server)
+        # asking for a *looser* budget cannot escape the tenant template
+        with pytest.raises(ServiceError) as excinfo:
+            client.query(
+                RECENT_QUERY, tenant="capped",
+                budget={"max_work": 10_000_000},
+            )
+        assert excinfo.value.status == 408
+        # a tighter request budget applies to an unlimited tenant
+        with pytest.raises(ServiceError) as excinfo:
+            client.query(RECENT_QUERY, budget={"max_work": 1})
+        assert excinfo.value.status == 408
+        # and the partial policy downgrades the trip to a truncated 200
+        payload = client.query(
+            RECENT_QUERY,
+            budget={"max_bindings": 1, "on_limit": "partial"},
+        )
+        assert payload["ok"] and payload["stats"]["truncated"]
+
+    def test_unknown_tenant_is_404(
+        self, bib_store, server_factory, client_factory
+    ):
+        server = server_factory(store=bib_store)
+        client = client_factory(server)
+        with pytest.raises(ServiceError) as excinfo:
+            client.query(COUNT_QUERY, tenant="nope")
+        assert excinfo.value.status == 404

@@ -1,0 +1,64 @@
+"""``repro serve`` end to end as a real subprocess.
+
+Starts the CLI on an ephemeral port, parses the announced address off
+stdout (the startup contract), queries it through the client, shuts it
+down over HTTP and asserts a clean exit.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+from repro.server import ServiceClient
+
+from .conftest import BIB_XML, COUNT_QUERY
+
+
+def test_serve_subprocess_roundtrip(tmp_path):
+    document = tmp_path / "bib.xml"
+    document.write_text(BIB_XML)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--document", f"bib={document}",
+            "--tenant", "cli,max_concurrency=2,max_queue=4",
+            "--max-workers", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"listening on [\d.]+:(\d+)", line)
+        assert match, f"no startup line announced a port: {line!r}"
+        port = int(match.group(1))
+
+        client = ServiceClient(port=port)
+        try:
+            deadline = time.monotonic() + 10.0
+            while True:
+                try:
+                    if client.healthz()["status"] == "ok":
+                        break
+                except OSError:
+                    pass
+                assert time.monotonic() < deadline, "healthz never ready"
+                time.sleep(0.05)
+            payload = client.query(COUNT_QUERY, tenant="cli")
+            assert payload["ok"] and "3" in payload["result"]
+            client.shutdown()
+        finally:
+            client.close()
+
+        assert process.wait(timeout=15) == 0, process.stderr.read()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()

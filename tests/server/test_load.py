@@ -1,0 +1,119 @@
+"""The acceptance load test: 50 concurrent clients × 20 queries each.
+
+Every response must be byte-identical to a direct ``QuerySession.run``
+over the same document, per-tenant budget enforcement must be observable
+in ``/metrics``, and *no error may be dropped from the counts* — the
+end-to-end proof of the ``run()`` error-path metrics fix.
+"""
+
+import threading
+
+import pytest
+
+from repro.server import ServerConfig, ServiceClient, TenantConfig
+from repro.server.client import ServiceError
+from repro.session import QuerySession
+from repro.ssd import parse_document, serialize
+
+from .conftest import BIB_XML
+
+CLIENTS = 50
+QUERIES_PER_CLIENT = 20
+
+#: Distinct query texts, cycled across the run so the plan cache is
+#: exercised under real contention (not one degenerate hot entry).
+QUERY_POOL = [
+    "query { book as B { @year as Y } where Y >= 1999 } "
+    "construct { recent { B } }",
+    "query { book as B } construct { r { count(B) } }",
+    "query { book as B { title as T } } construct { titles { T } }",
+    "query { book as B { @year as Y } where Y < 1999 } "
+    "construct { old { B } }",
+    "query { book as B { author { last as L } } } "
+    "construct { names { L } }",
+]
+
+
+@pytest.mark.slow
+def test_load_byte_identical_and_no_dropped_errors(bib_store, server_factory):
+    expected = {}
+    reference = QuerySession(parse_document(BIB_XML))
+    for query in QUERY_POOL:
+        root = reference.run(query).root
+        expected[query] = serialize(root)
+
+    config = ServerConfig(
+        port=0,
+        max_workers=8,
+        tenants=(
+            TenantConfig(name="load", max_concurrency=16, max_queue=2000),
+        ),
+    )
+    server = server_factory(config, bib_store)
+
+    mismatches = []
+    statuses = []
+    lock = threading.Lock()
+
+    def one_client(client_index):
+        client = ServiceClient(port=server.port, timeout=60.0)
+        local_statuses = []
+        local_mismatches = []
+        try:
+            for i in range(QUERIES_PER_CLIENT):
+                query = QUERY_POOL[(client_index + i) % len(QUERY_POOL)]
+                if i == QUERIES_PER_CLIENT - 1:
+                    # the error phase: every client ends on one budget trip,
+                    # so exactly CLIENTS errors must appear in /metrics
+                    try:
+                        client.query(
+                            query, tenant="load", budget={"max_work": 1}
+                        )
+                        local_statuses.append("unexpected-ok")
+                    except ServiceError as error:
+                        local_statuses.append(error.status)
+                else:
+                    payload = client.query(query, tenant="load")
+                    local_statuses.append(200)
+                    if payload["result"] != expected[query]:
+                        local_mismatches.append((query, payload["result"]))
+        finally:
+            client.close()
+        with lock:
+            statuses.extend(local_statuses)
+            mismatches.extend(local_mismatches)
+
+    threads = [
+        threading.Thread(target=one_client, args=(index,))
+        for index in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = CLIENTS * QUERIES_PER_CLIENT
+    successes = total - CLIENTS
+    assert len(statuses) == total
+    assert mismatches == []
+    assert statuses.count(200) == successes
+    assert statuses.count(408) == CLIENTS  # every budget trip surfaced
+
+    client = ServiceClient(port=server.port)
+    try:
+        metrics = client.metrics()
+    finally:
+        client.close()
+    tenant = metrics["tenants"]["load"]
+    # admission saw every request; nothing rejected at this queue depth
+    assert tenant["admission"]["completed"] == total
+    assert tenant["admission"]["rejected"] == 0
+    assert tenant["admission"]["running"] == 0
+    assert tenant["admission"]["queued"] == 0
+    # no dropped error counts, service-wide and per tenant
+    assert tenant["admission"]["errors"] == CLIENTS
+    assert tenant["engine"]["queries"] == total
+    assert tenant["engine"]["errors"] == CLIENTS
+    assert metrics["engine"]["queries"] == total
+    assert metrics["engine"]["errors"] == CLIENTS
+    assert metrics["engine"]["governance"]["budget_exceeded"] == CLIENTS

@@ -1,0 +1,7 @@
+"""The CI smoke check must also pass as an in-suite test."""
+
+from repro.server.smoke import run_smoke
+
+
+def test_smoke_runs_clean():
+    run_smoke(verbose=False)

@@ -1,0 +1,81 @@
+"""DocumentStore: named, immutable versions with latest/pinned lookup."""
+
+import pytest
+
+from repro.errors import ReproError, XmlSyntaxError
+from repro.server import DocumentStore, UnknownDocument
+from repro.ssd import parse_document
+
+
+def _doc(tag):
+    return parse_document(f"<{tag}><x/></{tag}>")
+
+
+class TestVersioning:
+    def test_versions_count_up_from_one(self):
+        store = DocumentStore()
+        assert store.add("d", _doc("a")).version == 1
+        assert store.add("d", _doc("b")).version == 2
+        assert store.add("other", _doc("c")).version == 1
+
+    def test_latest_and_pinned_lookup(self):
+        store = DocumentStore()
+        store.add("d", _doc("a"))
+        store.add("d", _doc("b"))
+        assert store.get("d").document.root.tag == "b"
+        assert store.get("d", 1).document.root.tag == "a"
+        assert store.get("d", 2).document.root.tag == "b"
+
+    def test_old_versions_are_immutable_objects(self):
+        store = DocumentStore()
+        first = store.add("d", _doc("a"))
+        store.add("d", _doc("b"))
+        assert store.get("d", 1) is first
+
+
+class TestLookupErrors:
+    def test_unknown_name(self):
+        store = DocumentStore()
+        with pytest.raises(UnknownDocument):
+            store.get("missing")
+
+    def test_unknown_version(self):
+        store = DocumentStore()
+        store.add("d", _doc("a"))
+        with pytest.raises(UnknownDocument, match="no version 7"):
+            store.get("d", 7)
+
+    def test_unnamed_lookup_needs_exactly_one_document(self):
+        store = DocumentStore()
+        with pytest.raises(UnknownDocument):
+            store.get()
+        store.add("d", _doc("a"))
+        assert store.get().name == "d"
+        store.add("e", _doc("b"))
+        with pytest.raises(UnknownDocument):
+            store.get()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            DocumentStore().add("", _doc("a"))
+
+
+class TestAdminViews:
+    def test_add_xml_parses(self):
+        store = DocumentStore()
+        stored = store.add_xml("d", "<r><x/><y/></r>")
+        assert stored.nodes == 3
+        with pytest.raises(XmlSyntaxError):
+            store.add_xml("d", "<r><unclosed></r>")
+
+    def test_describe_lists_names_and_versions(self):
+        store = DocumentStore()
+        store.add("d", _doc("a"))
+        store.add("d", _doc("b"))
+        store.add("e", _doc("c"))
+        listing = store.describe()
+        assert [entry["name"] for entry in listing] == ["d", "e"]
+        assert listing[0]["latest"] == 2
+        assert [v["version"] for v in listing[0]["versions"]] == [1, 2]
+        assert len(store) == 2
+        assert store.names() == ["d", "e"]

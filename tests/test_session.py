@@ -299,3 +299,147 @@ class TestSessionMetrics:
                 continue  # registry latency uses caller-measured wall time
             assert totals.get(name, 0) == value, name
         assert session.metrics().queries == len(queries)
+
+
+class TestErrorPathMetrics:
+    """Failed runs must fold into the registry exactly like batch rows."""
+
+    def make_budget(self):
+        from repro.engine.limits import QueryBudget
+
+        return QueryBudget(max_work=1)
+
+    def test_budget_tripped_run_matches_batch_row_totals(self):
+        from repro.errors import BudgetExceeded
+
+        direct = QuerySession(DOC)
+        with pytest.raises(BudgetExceeded):
+            direct.run(ALL, budget=self.make_budget())
+        batch = QuerySession(DOC)
+        rows = batch.run_batch([ALL], budget=self.make_budget())
+        assert rows[0].error is not None
+        a, b = direct.metrics().snapshot(), batch.metrics().snapshot()
+        assert a["queries"] == b["queries"] == 1
+        assert a["errors"] == b["errors"] == 1
+        assert (
+            a["governance"]["budget_exceeded"]
+            == b["governance"]["budget_exceeded"]
+            == 1
+        )
+
+    def test_evaluation_error_recorded_with_error_flag(self):
+        bad = "query nosuch { book as B } construct { r { count(B) } }"
+        session = QuerySession({"books": DOC})
+        with pytest.raises(ReproError):
+            session.run(bad)
+        snap = session.metrics().snapshot()
+        assert snap["queries"] == 1 and snap["errors"] == 1
+
+    def test_parse_error_recorded_with_error_flag(self):
+        session = QuerySession(DOC)
+        with pytest.raises(ReproError):
+            session.run("query { oops")
+        snap = session.metrics().snapshot()
+        assert snap["queries"] == 1 and snap["errors"] == 1
+
+    def test_successful_run_stays_error_free(self):
+        session = QuerySession(DOC)
+        session.run(ALL)
+        snap = session.metrics().snapshot()
+        assert snap["queries"] == 1 and snap["errors"] == 0
+
+    def test_execute_captures_error_and_records(self):
+        session = QuerySession(DOC)
+        row = session.execute(ALL, budget=self.make_budget())
+        assert row.error is not None and row.result is None
+        assert len(session) == 0  # never enters the cycle history
+        snap = session.metrics().snapshot()
+        assert snap["queries"] == 1 and snap["errors"] == 1
+
+
+class TestExplicitNoneOverrides:
+    """Explicit ``None`` disables a session default; omitted defers to it."""
+
+    def budgeted_options(self):
+        from repro.engine.limits import QueryBudget
+        from repro.xmlgl.matcher import MatchOptions
+
+        return MatchOptions(budget=QueryBudget(max_work=1))
+
+    def test_omitted_budget_uses_session_default(self):
+        from repro.errors import BudgetExceeded
+
+        session = QuerySession(DOC, options=self.budgeted_options())
+        with pytest.raises(BudgetExceeded):
+            session.run(ALL)
+
+    def test_explicit_none_budget_disables_session_default(self):
+        session = QuerySession(DOC, options=self.budgeted_options())
+        result = session.run(ALL, budget=None)
+        assert len(result.root.find_all("book")) == 2
+
+    def test_explicit_budget_overrides_session_default(self):
+        from repro.engine.limits import QueryBudget
+        from repro.errors import BudgetExceeded
+
+        session = QuerySession(DOC)  # no session budget at all
+        with pytest.raises(BudgetExceeded):
+            session.run(ALL, budget=QueryBudget(max_work=1))
+
+    def test_explicit_none_trace_disables_session_default(self):
+        from repro.xmlgl.matcher import MatchOptions
+
+        session = QuerySession(DOC, options=MatchOptions(trace=True))
+        session.run(ALL, trace=None)
+        assert session.current().trace is None
+        assert session.current().stats.trace is None
+
+    def test_batch_explicit_none_budget_disables_session_default(self):
+        session = QuerySession(DOC, options=self.budgeted_options())
+        tripped = session.run_batch([ALL])
+        assert tripped[0].error is not None
+        unbudgeted = session.run_batch([ALL], budget=None)
+        assert unbudgeted[0].ok
+
+    def test_batch_explicit_none_trace_disables_session_default(self):
+        from repro.xmlgl.matcher import MatchOptions
+
+        session = QuerySession(DOC, options=MatchOptions(trace=True))
+        assert session.run_batch([ALL])[0].trace is not None
+        assert session.run_batch([ALL], trace=None)[0].trace is None
+
+
+class TestProcessOutcomeAlignment:
+    def test_shuffled_outcomes_realign_by_position(self, monkeypatch):
+        import repro.engine.shard as shard_mod
+
+        real = shard_mod.ShardedExecutor.run_batch
+
+        def shuffled(self, *args, **kwargs):
+            return list(reversed(real(self, *args, **kwargs)))
+
+        monkeypatch.setattr(shard_mod.ShardedExecutor, "run_batch", shuffled)
+        bad = "query nosuch { book as B } construct { r { count(B) } }"
+        rows = QuerySession(DOC).run_batch(
+            [ALL, RECENT, bad], executor="process", max_workers=2
+        )
+        assert [row.index for row in rows] == [0, 1, 2]
+        assert rows[0].source_text == ALL
+        assert len(rows[0].result.root.find_all("book")) == 2
+        assert rows[1].source_text == RECENT
+        assert len(rows[1].result.root.find_all("book")) == 1
+        # the error lands on the row that actually failed
+        assert rows[0].ok and rows[1].ok and not rows[2].ok
+        assert rows[2].source_text == bad
+
+    def test_misaligned_positions_are_rejected(self, monkeypatch):
+        import repro.engine.shard as shard_mod
+
+        real = shard_mod.ShardedExecutor.run_batch
+
+        def dropping(self, *args, **kwargs):
+            return real(self, *args, **kwargs)[1:]
+
+        monkeypatch.setattr(shard_mod.ShardedExecutor, "run_batch", dropping)
+        with pytest.raises(ReproError, match="misaligned"):
+            QuerySession(DOC).run_batch([ALL, RECENT], executor="process")

@@ -252,3 +252,79 @@ class TestShardingSteps:
         assert [r.index for r in rows] == [0, 1]
         assert all(r.error is None for r in rows)
         assert rows[0].stats.bindings_produced >= rows[1].stats.bindings_produced
+
+
+class TestQueryServiceSteps:
+    """§11 — the query service snippets, executed against a live server."""
+
+    XML = (
+        "<bib>"
+        "<book year='2000' id='b1'><title>Data on the Web</title></book>"
+        "<book year='1994' id='b2'><title>TCP/IP Illustrated</title></book>"
+        "</bib>"
+    )
+
+    @pytest.fixture
+    def served(self):
+        from repro.server import BackgroundServer, DocumentStore, ServerConfig
+        from repro.server import ServiceClient, TenantConfig
+
+        store = DocumentStore()
+        store.add_xml("bib", self.XML)
+        config = ServerConfig(
+            port=0,
+            tenants=(
+                TenantConfig(name="analytics", max_concurrency=2, max_queue=8),
+            ),
+        )
+        with BackgroundServer(config, store=store) as server:
+            client = ServiceClient(port=server.port)
+            try:
+                yield client
+            finally:
+                client.close()
+
+    def test_step11_query_matches_direct_run(self, served):
+        from repro.session import QuerySession
+        from repro.ssd import parse_document, serialize
+
+        text = (
+            "query { book as B { @year as Y } where Y >= 1999 }"
+            " construct { recent { B } }"
+        )
+        assert served.healthz()["status"] == "ok"
+        payload = served.query(text, document="bib", tenant="analytics")
+        direct = QuerySession(parse_document(self.XML)).run(text)
+        assert payload["ok"]
+        assert payload["result"] == serialize(direct.root)
+
+    def test_step11_prepared_query_with_params(self, served):
+        prepared = served.prepare(
+            "query { book as B { @year as Y } where Y >= ${year} }"
+            " construct { hits { B } }"
+        )
+        assert prepared["params"] == ["year"]
+        payload = served.query(
+            prepared=prepared["digest"], params={"year": 1999}
+        )
+        assert payload["stats"]["bindings_produced"] == 1
+
+    def test_step11_partial_budget_overlay(self, served):
+        payload = served.query(
+            "query { book as B } construct { all { collect B } }",
+            budget={"max_bindings": 1, "on_limit": "partial"},
+        )
+        assert payload["ok"] and payload["stats"]["truncated"]
+
+    def test_step11_metrics_count_errors_exactly(self, served):
+        from repro.server.client import ServiceError
+
+        served.query("query { book as B } construct { r { count(B) } }")
+        with pytest.raises(ServiceError) as excinfo:
+            served.query(
+                "query { book as B } construct { r { count(B) } }",
+                budget={"max_work": 1},
+            )
+        assert excinfo.value.status == 408
+        engine = served.metrics()["engine"]
+        assert engine["queries"] == 2 and engine["errors"] == 1
