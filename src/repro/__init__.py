@@ -33,6 +33,11 @@ The facade groups:
   :class:`EvalStats`, :class:`MetricsRegistry`.
 * **Static analysis** — :class:`Diagnostic`, :func:`analyze_rule`,
   :func:`analyze_program`.
+* **Mutation & continuous queries** — :class:`MutationBatch` /
+  :class:`MutationResult` (typed incremental edits via
+  :meth:`QuerySession.mutate`) and :class:`Subscription` /
+  :class:`ResultDelta` (:meth:`QuerySession.subscribe`), with execution
+  defaults bundled in :class:`ExecOptions`.
 
 Submodule attributes resolve lazily (PEP 562), so ``import repro`` stays
 cheap; ``__all__`` is the supported surface and is snapshot-tested in
@@ -44,7 +49,7 @@ from __future__ import annotations
 
 from typing import Any
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import errors
 from .session import BatchResult, QueryCycle, QuerySession
@@ -67,6 +72,7 @@ _LAZY: dict[str, tuple[str, str]] = {
     "wglog_query": (".wglog.semantics", "query"),
     # engine knobs + governance
     "MatchOptions": (".engine.options", "MatchOptions"),
+    "ExecOptions": (".session", "ExecOptions"),
     "EvalStats": (".engine.stats", "EvalStats"),
     "QueryBudget": (".engine.limits", "QueryBudget"),
     "CancelToken": (".engine.limits", "CancelToken"),
@@ -78,6 +84,11 @@ _LAZY: dict[str, tuple[str, str]] = {
     "Severity": (".analysis", "Severity"),
     "analyze_rule": (".analysis", "analyze_rule"),
     "analyze_program": (".analysis", "analyze_program"),
+    # mutation + continuous queries
+    "MutationBatch": (".engine.mutate", "MutationBatch"),
+    "MutationResult": (".engine.mutate", "MutationResult"),
+    "Subscription": (".engine.subscribe", "Subscription"),
+    "ResultDelta": (".engine.subscribe", "ResultDelta"),
     # static query rewriting (canonicalization, minimization, pruning)
     "rewrite_rule": (".analysis.rewrite", "rewrite_rule"),
     "RewriteReport": (".analysis.rewrite", "RewriteReport"),

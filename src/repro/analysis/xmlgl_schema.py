@@ -1,10 +1,10 @@
 """Schema conformance of XML-GL queries as an analysis pass.
 
-This is :mod:`repro.xmlgl.schema_check` migrated onto the diagnostics
-framework: the same checks — query parts no schema-valid document can
-satisfy — now report :class:`Diagnostic` objects with stable ``XGS`` codes
-and node/edge anchors instead of bare strings.  The original module keeps
-a thin back-compat wrapper returning the formatted messages.
+The checks — query parts no schema-valid document can satisfy — report
+:class:`Diagnostic` objects with stable ``XGS`` codes and node/edge
+anchors.  :func:`schema_diagnostics` is the one entry point (the old
+string-returning ``repro.xmlgl.check_query_against_schema`` wrapper was
+removed after a deprecation cycle).
 
 All findings are warnings: XML-GL is schema-*optional*, so a query that
 disagrees with a supplied schema still evaluates (against documents that

@@ -65,6 +65,16 @@ fragment ratio is the honest kernel speedup, undiluted by parse/pool/
 construct overhead shared by both paths.  ``--gate-columnar 3.0`` turns
 the fragment ratio into a hard gate (CI).
 
+The ``incremental`` block applies a deterministic 1000-edit mutation
+script (inserts, deletes, value and attribute updates) to the
+bibliography through :meth:`~repro.session.QuerySession.mutate` with a
+continuous query subscribed throughout, *asserts* the maintained row set
+equals a from-scratch re-evaluation, and records the maintenance work
+ratio — what rebuild-per-edit would have cost (relabel + recount the
+whole document each commit) over what the gap-label maintenance actually
+did — plus the subscription's footprint eval/skip split.
+``--gate-incremental 5.0`` turns the work ratio into a hard gate (CI).
+
 The ``scaling`` block (``--workers N``, off by default) maps the
 selection query over a 100-document corpus on a
 :class:`~repro.engine.shard.ShardedExecutor` with 1 worker and with
@@ -499,6 +509,124 @@ def measure_columnar(
     }
 
 
+#: The continuous query the incremental block keeps live during the edit
+#: script: tags {book} + attribute {year}, no text reads — so the edit mix
+#: below exercises both footprint outcomes (re-run and provable skip).
+INCREMENTAL_QUERY = (
+    "query { book as B { @year as Y } } construct { r { collect B } }"
+)
+
+
+def measure_incremental(
+    bib_entries: int = 400, edits: int = 1000, seed: int = 0
+) -> dict:
+    """The mutation block: a 1000-edit script, incremental vs rebuild work.
+
+    Applies a deterministic script of typed mutations (insert book /
+    insert note / delete entry / retag year / reprice) to a bibliography
+    through :meth:`~repro.session.QuerySession.mutate`, with the cached
+    :class:`~repro.engine.index.DocumentIndex` maintained in place and a
+    continuous query subscribed throughout.  Records:
+
+    * ``incremental_work`` — labels assigned/removed/relabelled plus
+      statistics nodes touched, from the index's maintenance counters;
+    * ``rebuild_work`` — what rebuild-per-edit would have cost: every
+      edit relabels and recounts the whole document (``2 * n`` per edit);
+    * ``work_ratio`` — rebuild / incremental, the headline number
+      (``--gate-incremental`` turns it into a hard CI floor);
+    * the subscription's eval/skip split and a correctness anchor: the
+      final maintained row count *asserts* equal to a from-scratch
+      re-evaluation over the mutated document with a fresh index.
+    """
+    import random
+
+    from .engine.cache import DocumentIndexCache
+    from .engine.mutate import MutationBatch
+    from .session import QuerySession
+    from .ssd.model import Element, Text
+    from .xmlgl.evaluator import rule_bindings
+
+    document = bibliography(bib_entries, seed=seed)
+    indexes = DocumentIndexCache()
+    session = QuerySession(document, indexes=indexes)
+    index = indexes.get(document)
+    subscription = session.subscribe(INCREMENTAL_QUERY)
+    rng = random.Random(seed)
+    base = index.maintenance_counters()
+    rebuild_work = 0
+    deltas = 0
+    started = time.perf_counter()
+    for position in range(edits):
+        root = document.root
+        entries = root.child_elements()
+        batch = MutationBatch()
+        kind = rng.random()
+        if kind < 0.30 or len(entries) < 10:
+            book = Element("book", attributes={"year": str(rng.randint(1980, 2005))})
+            title = Element("title")
+            title.append(Text(f"generated {position}"))
+            book.append(title)
+            batch.insert_subtree(root, book, rng.randrange(len(entries) + 1))
+        elif kind < 0.50:
+            note = Element("note")
+            note.append(Text(f"margin {position}"))
+            batch.insert_subtree(rng.choice(entries), note)
+        elif kind < 0.65:
+            batch.delete_subtree(rng.choice(entries))
+        elif kind < 0.85:
+            target = rng.choice(entries)
+            prices = [e for e in target.child_elements() if e.tag == "price"]
+            batch.update_value(
+                prices[0] if prices else target.child_elements()[0],
+                f"{rng.randint(10, 200)}.00",
+            )
+        else:
+            batch.update_attribute(
+                rng.choice(entries), "year", str(rng.randint(1980, 2005))
+            )
+        session.mutate(batch)
+        # A rebuild-per-edit maintenance strategy relabels every element
+        # and recollects statistics over every element, each commit.
+        rebuild_work += 2 * index.element_count()
+        deltas += len(subscription.poll())
+    seconds = time.perf_counter() - started
+    counters = index.maintenance_counters()
+    incremental_work = sum(
+        counters[key] - base[key]
+        for key in ("labels_assigned", "labels_removed", "relabel_labels", "stats_nodes")
+    )
+    scratch = len(
+        rule_bindings(
+            parse_rule(INCREMENTAL_QUERY),
+            document,
+            indexes=DocumentIndexCache(),
+        )
+    )
+    maintained_rows = len(subscription.rows())
+    assert maintained_rows == scratch, (
+        f"maintained subscription rows {maintained_rows} != "
+        f"from-scratch re-evaluation {scratch}"
+    )
+    assert subscription.skips > 0, "the edit mix never exercised a skip"
+    return {
+        "query": INCREMENTAL_QUERY,
+        "edits": edits,
+        "final_elements": index.element_count(),
+        "incremental_work": incremental_work,
+        "rebuild_work": rebuild_work,
+        "work_ratio": round(rebuild_work / max(incremental_work, 1), 2),
+        "seconds": seconds,
+        "evals": subscription.evals,
+        "skips": subscription.skips,
+        "deltas": deltas,
+        "rows": maintained_rows,
+        "rows_match_scratch": True,
+        "maintenance_counters": {
+            key: counters[key] - base[key] for key in counters
+        },
+    }
+
+
 #: The query the sharded-scaling block maps over the corpus.
 SCALING_QUERY = "ext_scaling/select"
 
@@ -641,6 +769,11 @@ def run_suite(
         indexes[guard_dataset],
         repeat,
     )
+    # Tiny test-suite sizes get a proportionally shorter edit script;
+    # the CI size (400 entries) runs the full 1000 edits.
+    report["incremental"] = measure_incremental(
+        bib_entries=bib_entries, edits=min(1000, 10 * bib_entries)
+    )
     if workers > 1:
         report["scaling"] = measure_scaling(workers)
     return report
@@ -759,6 +892,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="hard-fail if the sharded speedup at --workers is below this "
         "ratio (CI uses 2.0 at 4 workers; needs a multi-core host)",
     )
+    parser.add_argument(
+        "--gate-incremental",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="hard-fail if the incremental-maintenance work ratio "
+        "(rebuild-per-edit / incremental) is below this ratio (CI uses 5.0)",
+    )
     args = parser.parse_args(argv)
     report = run_suite(
         args.bib_entries, args.sections_depth, args.repeat, args.workers
@@ -852,6 +993,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f" ({columnar['fragment_speedup']}x), end-to-end "
         f"{columnar['end_to_end_speedup']}x, bindings identical"
     )
+    incremental = report["incremental"]
+    print(
+        f"incremental ({incremental['edits']} edits, "
+        f"{incremental['final_elements']} final elements): "
+        f"maintenance work {incremental['rebuild_work']} rebuild -> "
+        f"{incremental['incremental_work']} incremental "
+        f"({incremental['work_ratio']}x), subscription "
+        f"{incremental['evals']} evals / {incremental['skips']} skips, "
+        f"rows match scratch re-eval"
+    )
     if "scaling" in report:
         scaling = report["scaling"]
         print(
@@ -880,6 +1031,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{report['scaling']['workers']} workers < "
                 f"{args.gate_scaling}x floor "
                 f"({report['scaling']['cpus']} cpus)"
+            )
+    if args.gate_incremental is not None:
+        ratio = incremental["work_ratio"]
+        if ratio < args.gate_incremental:
+            failures.append(
+                f"incremental maintenance work ratio {ratio}x < "
+                f"{args.gate_incremental}x floor"
             )
     for line in failures:
         print(f"::error::bench gate: {line}")

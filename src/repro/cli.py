@@ -262,6 +262,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation executor threads",
     )
 
+    watch = commands.add_parser(
+        "watch",
+        help="run a continuous query over a mutating document",
+        description=(
+            "Subscribe a rule to a document, replay a JSON edit script "
+            "batch by batch, and print the binding deltas each commit "
+            "produces.  The edit script is a JSON list of batches; each "
+            "batch is a list of op objects in the mutation wire form "
+            "(see repro.engine.mutate.ops_from_spec)."
+        ),
+    )
+    watch.add_argument("rule", help="file containing one XML-GL rule")
+    watch.add_argument("document", help="XML document to mutate and watch")
+    watch.add_argument(
+        "--edits", required=True, metavar="FILE",
+        help="JSON edit script: a list of batches of op objects",
+    )
+    watch.add_argument(
+        "--stats", action="store_true",
+        help="print subscription eval/skip counters to stderr",
+    )
+
     return parser
 
 
@@ -761,6 +783,55 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .engine.cache import DocumentIndexCache
+    from .engine.mutate import ops_from_spec
+    from .session import QuerySession
+    from .ssd import serialize
+    from .ssd.model import Element
+
+    def show(binding) -> str:
+        parts = []
+        for variable in sorted(binding):
+            value = binding[variable]
+            rendered = serialize(value) if isinstance(value, Element) else str(value)
+            parts.append(f"{variable}={rendered}")
+        return " ".join(parts)
+
+    document = _load_document(args.document)
+    with open(args.edits, encoding="utf-8") as handle:
+        script = json.load(handle)
+    if not isinstance(script, list):
+        print("--edits file must hold a JSON list of batches", file=sys.stderr)
+        return 2
+    # A private index cache: the watched document mutates, and nothing
+    # else in the process should share its maintained index.
+    session = QuerySession(document, indexes=DocumentIndexCache())
+    subscription = session.subscribe(_read(args.rule))
+    print(f"# initial rows: {len(subscription.rows())}", file=out)
+    for position, batch_spec in enumerate(script):
+        batch = ops_from_spec(document, batch_spec)
+        result = session.mutate(batch)
+        deltas = subscription.poll()
+        for delta in deltas:
+            print(f"# {delta.describe()}", file=out)
+            for binding in delta.added:
+                print(f"+ {show(binding)}", file=out)
+            for binding in delta.removed:
+                print(f"- {show(binding)}", file=out)
+        if not deltas and args.stats:
+            print(
+                f"# batch {position}: rev {result.doc_revision} (no delta)",
+                file=sys.stderr,
+            )
+    print(f"# final rows: {len(subscription.rows())}", file=out)
+    if args.stats:
+        print(f"# {subscription.describe()}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the exit status."""
     out = out if out is not None else sys.stdout
@@ -779,6 +850,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "infer": _cmd_infer,
         "fmt": _cmd_fmt,
         "serve": _cmd_serve,
+        "watch": _cmd_watch,
     }
     try:
         return handlers[args.command](args, out)

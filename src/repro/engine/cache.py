@@ -8,15 +8,19 @@ They now share one process-wide cache:
 
     from repro.engine.cache import get_index, invalidate
     index = get_index(document)     # built once, then reused
-    document.root.append(...)       # mutation invalidates the snapshot...
+    document.root.append(...)       # raw tree mutation invalidates...
     invalidate(document)            # ...which the caller signals explicitly
 
 **Invalidation contract.**  Entries are keyed by a weak reference to the
 document and checked by identity, so a recycled ``id()`` can never alias a
 dead document.  An index holds the element tree (and through parent links
 the document) alive, so entries persist until :func:`invalidate` /
-:meth:`DocumentIndexCache.clear` — callers that mutate a document **must**
-invalidate it.
+:meth:`DocumentIndexCache.clear` — callers that mutate a document *by
+hand* **must** invalidate it.  The typed mutation API
+(:mod:`repro.engine.mutate`) is the exception and the point: it maintains
+the cached index **in place** (gap-label maintenance, statistics deltas,
+epoch bumps), so under churn the cache keeps serving the same entry
+instead of rebuilding — use it over raw tree edits wherever possible.
 
 **Bound.**  The cache is LRU-bounded over *document count*
 (``max_documents``): inserting beyond the bound evicts the least recently

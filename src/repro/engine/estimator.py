@@ -19,11 +19,16 @@ construction — the document facts both cost formulas consume:
   capped distinct-value count, the selectivity source for equality
   predicates.
 
-Statistics are immutable snapshots exactly like the index that carries
-them; rebuilding the index (after a document mutation and cache
-invalidation) collects fresh statistics and bumps the index's *stats
-epoch*, which is what keys compiled plans out of the plan cache
-(:mod:`repro.engine.plan_cache`).
+:class:`DocumentStatistics` objects are immutable snapshots, but the
+accumulator behind them — :class:`StatisticsBuilder` — is mutable and
+lives on the index: document mutations (:mod:`repro.engine.mutate`) apply
+*subtree deltas* (``O(k * depth)`` for a ``k``-node edit) instead of
+recollecting, and the index re-snapshots lazily.  Structural edits bump
+the index's *stats epoch*, which is what keys compiled plans out of the
+plan cache (:mod:`repro.engine.plan_cache`); attribute/value edits update
+the sketches without an epoch bump (cost inputs drift, plan validity does
+not).  After deletions a sketch's ``distinct`` degrades to an upper bound
+and its ``exact`` flag drops — deltas cannot un-count a vanished value.
 
 :class:`CardinalityEstimator` is the read side: pool sizes, raw and
 pool-scaled edge-pair estimates, and attribute selectivities, consumed by
@@ -42,9 +47,19 @@ __all__ = [
     "DISTINCT_CAP",
     "ValueSketch",
     "DocumentStatistics",
+    "StatisticsBuilder",
     "CardinalityEstimator",
     "balanced_partition",
 ]
+
+
+def _inc(table: dict, key, delta: int) -> None:
+    """Adjust ``table[key]`` by ``delta``, dropping keys that reach zero."""
+    value = table.get(key, 0) + delta
+    if value:
+        table[key] = value
+    else:
+        table.pop(key, None)
 
 #: Distinct attribute values tracked exactly before a sketch saturates.
 DISTINCT_CAP = 64
@@ -102,19 +117,80 @@ class DocumentStatistics:
         depth: Sequence[int],
     ) -> "DocumentStatistics":
         """One pass over the index's pre-order arrays (plus ancestor walks)."""
-        tag_counts: dict[str, int] = {}
-        depth_histogram: dict[int, int] = {}
+        return StatisticsBuilder.collect(elements, parent_pre, depth).snapshot()
+
+
+class StatisticsBuilder:
+    """Mutable accumulator behind :class:`DocumentStatistics`.
+
+    The index owns one of these; :func:`collect` fills it in the same
+    single pass the frozen ``DocumentStatistics.collect`` always did, and
+    the mutation path (:mod:`repro.engine.mutate`) keeps it current with
+    :meth:`add_subtree` / :meth:`remove_subtree` / :meth:`set_attribute`
+    deltas.  :meth:`snapshot` freezes the current state.
+
+    Delta costs are ``O(k * depth)`` for a ``k``-node subtree (each node
+    contributes one deep pair per ancestor, exactly mirroring the build
+    pass) and ``O(1)`` for attribute edits.  Deletions and value rewrites
+    poison a sketch's exactness: the value set becomes an upper bound on
+    the live distinct count and ``exact`` drops to ``False``.
+    """
+
+    __slots__ = (
+        "element_count",
+        "tag_counts",
+        "depth_histogram",
+        "fanout_histogram",
+        "child_pairs",
+        "child_parent_totals",
+        "child_child_totals",
+        "child_total",
+        "deep_pairs",
+        "deep_parent_totals",
+        "deep_child_totals",
+        "deep_total",
+        "attr_occurrences",
+        "attr_values",
+        "attr_inexact",
+    )
+
+    def __init__(self) -> None:
+        self.element_count = 0
+        self.tag_counts: dict[str, int] = {}
+        self.depth_histogram: dict[int, int] = {}
+        self.fanout_histogram: dict[int, int] = {}
+        self.child_pairs: dict[tuple[str, str], int] = {}
+        self.child_parent_totals: dict[str, int] = {}
+        self.child_child_totals: dict[str, int] = {}
+        self.child_total = 0
+        self.deep_pairs: dict[tuple[str, str], int] = {}
+        self.deep_parent_totals: dict[str, int] = {}
+        self.deep_child_totals: dict[str, int] = {}
+        self.deep_total = 0
+        self.attr_occurrences: dict[str, int] = {}
+        self.attr_values: dict[str, set[str]] = {}
+        #: Names whose distinct count is an upper bound (cap hit, or a
+        #: deletion/rewrite removed occurrences the set cannot forget).
+        self.attr_inexact: set[str] = set()
+
+    @classmethod
+    def collect(
+        cls,
+        elements: Sequence[Element],
+        parent_pre: Sequence[int],
+        depth: Sequence[int],
+    ) -> "StatisticsBuilder":
+        """Fill a builder from the index's pre-order arrays."""
+        builder = cls()
+        tag_counts = builder.tag_counts
+        depth_histogram = builder.depth_histogram
+        child_pairs = builder.child_pairs
+        child_parent_totals = builder.child_parent_totals
+        child_child_totals = builder.child_child_totals
+        deep_pairs = builder.deep_pairs
+        deep_parent_totals = builder.deep_parent_totals
+        deep_child_totals = builder.deep_child_totals
         child_counts = [0] * len(elements)
-        child_pairs: dict[tuple[str, str], int] = {}
-        child_parent_totals: dict[str, int] = {}
-        child_child_totals: dict[str, int] = {}
-        deep_pairs: dict[tuple[str, str], int] = {}
-        deep_parent_totals: dict[str, int] = {}
-        deep_child_totals: dict[str, int] = {}
-        deep_total = 0
-        attr_occurrences: dict[str, int] = {}
-        attr_values: dict[str, set[str]] = {}
-        attr_saturated: set[str] = set()
 
         for pre, element in enumerate(elements):
             tag = element.tag
@@ -143,40 +219,147 @@ class DocumentStatistics:
                     )
                     walk = parent_pre[walk]
                 deep_child_totals[tag] = deep_child_totals.get(tag, 0) + level
-                deep_total += level
+                builder.deep_total += level
             for name, value in element.attributes.items():
-                attr_occurrences[name] = attr_occurrences.get(name, 0) + 1
-                if name not in attr_saturated:
-                    seen = attr_values.setdefault(name, set())
-                    seen.add(value)
-                    if len(seen) >= DISTINCT_CAP:
-                        attr_saturated.add(name)
+                builder.attr_occurrences[name] = (
+                    builder.attr_occurrences.get(name, 0) + 1
+                )
+                builder._track_value(name, value)
 
-        fanout_histogram: dict[int, int] = {}
         for fanout in child_counts:
-            fanout_histogram[fanout] = fanout_histogram.get(fanout, 0) + 1
-
-        attributes = {
-            name: ValueSketch(
-                occurrences=count,
-                distinct=len(attr_values.get(name, ())),
-                exact=name not in attr_saturated,
+            builder.fanout_histogram[fanout] = (
+                builder.fanout_histogram.get(fanout, 0) + 1
             )
-            for name, count in attr_occurrences.items()
-        }
-        return cls(
-            element_count=len(elements),
-            tag_counts=tag_counts,
-            depth_histogram=depth_histogram,
-            fanout_histogram=fanout_histogram,
-            child_pairs=child_pairs,
-            child_parent_totals=child_parent_totals,
-            child_child_totals=child_child_totals,
-            child_total=max(0, len(elements) - 1),
-            deep_pairs=deep_pairs,
-            deep_parent_totals=deep_parent_totals,
-            deep_child_totals=deep_child_totals,
-            deep_total=deep_total,
+        builder.element_count = len(elements)
+        builder.child_total = max(0, len(elements) - 1)
+        return builder
+
+    # -- deltas ---------------------------------------------------------------
+
+    def add_subtree(
+        self,
+        root: Element,
+        parent_depth: int,
+        ancestor_tags: Sequence[str],
+        parent_fanout_after: int,
+    ) -> int:
+        """Count subtree ``root`` in, newly attached under a parent.
+
+        ``ancestor_tags`` is the parent-upward tag chain (nearest first),
+        ``parent_fanout_after`` the parent's element-child count *after*
+        the attach.  Returns the node/ancestor touches performed (the work
+        metric the incremental benchmark compares against rebuilds).
+        """
+        return self._apply_subtree(
+            root, parent_depth, ancestor_tags, parent_fanout_after, +1
+        )
+
+    def remove_subtree(
+        self,
+        root: Element,
+        parent_depth: int,
+        ancestor_tags: Sequence[str],
+        parent_fanout_after: int,
+    ) -> int:
+        """Count subtree ``root`` out (``parent_fanout_after`` = post-detach)."""
+        return self._apply_subtree(
+            root, parent_depth, ancestor_tags, parent_fanout_after, -1
+        )
+
+    def _apply_subtree(
+        self,
+        root: Element,
+        parent_depth: int,
+        ancestor_tags: Sequence[str],
+        parent_fanout_after: int,
+        sign: int,
+    ) -> int:
+        work = 0
+        # The parent keeps its other children; only its fanout bucket moves.
+        _inc(self.fanout_histogram, parent_fanout_after - sign, -1)
+        _inc(self.fanout_histogram, parent_fanout_after, +1)
+        stack: list[tuple[Element, int, tuple[str, ...]]] = [
+            (root, parent_depth + 1, tuple(ancestor_tags))
+        ]
+        while stack:
+            element, depth, chain = stack.pop()
+            work += 1 + len(chain)
+            tag = element.tag
+            self.element_count += sign
+            _inc(self.tag_counts, tag, sign)
+            _inc(self.depth_histogram, depth, sign)
+            _inc(self.child_pairs, (chain[0], tag), sign)
+            _inc(self.child_parent_totals, chain[0], sign)
+            _inc(self.child_child_totals, tag, sign)
+            self.child_total += sign
+            for ancestor_tag in chain:
+                _inc(self.deep_pairs, (ancestor_tag, tag), sign)
+                _inc(self.deep_parent_totals, ancestor_tag, sign)
+            _inc(self.deep_child_totals, tag, sign * len(chain))
+            self.deep_total += sign * len(chain)
+            children = element.child_elements()
+            _inc(self.fanout_histogram, len(children), sign)
+            for name, value in element.attributes.items():
+                _inc(self.attr_occurrences, name, sign)
+                if sign > 0:
+                    self._track_value(name, value)
+                else:
+                    self.attr_inexact.add(name)
+            child_chain = (tag,) + chain
+            for child in children:
+                stack.append((child, depth + 1, child_chain))
+        return work
+
+    def set_attribute(
+        self, name: str, old: Optional[str], new: Optional[str]
+    ) -> None:
+        """Register one attribute edit (set / overwrite / remove)."""
+        if old is None and new is not None:
+            _inc(self.attr_occurrences, name, 1)
+            self._track_value(name, new)
+        elif old is not None and new is None:
+            _inc(self.attr_occurrences, name, -1)
+            self.attr_inexact.add(name)
+        elif new is not None and new != old:
+            self._track_value(name, new)
+            self.attr_inexact.add(name)
+
+    def _track_value(self, name: str, value: str) -> None:
+        seen = self.attr_values.setdefault(name, set())
+        if len(seen) >= DISTINCT_CAP:
+            self.attr_inexact.add(name)
+            return
+        seen.add(value)
+        if len(seen) >= DISTINCT_CAP:
+            self.attr_inexact.add(name)
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> DocumentStatistics:
+        """Freeze the current state into a :class:`DocumentStatistics`."""
+        attributes = {}
+        for name, count in self.attr_occurrences.items():
+            if count <= 0:
+                continue
+            distinct = len(self.attr_values.get(name, ()))
+            attributes[name] = ValueSketch(
+                occurrences=count,
+                distinct=max(1, min(distinct, count)) if distinct else 0,
+                exact=name not in self.attr_inexact,
+            )
+        return DocumentStatistics(
+            element_count=self.element_count,
+            tag_counts=dict(self.tag_counts),
+            depth_histogram=dict(self.depth_histogram),
+            fanout_histogram=dict(self.fanout_histogram),
+            child_pairs=dict(self.child_pairs),
+            child_parent_totals=dict(self.child_parent_totals),
+            child_child_totals=dict(self.child_child_totals),
+            child_total=self.child_total,
+            deep_pairs=dict(self.deep_pairs),
+            deep_parent_totals=dict(self.deep_parent_totals),
+            deep_child_totals=dict(self.deep_child_totals),
+            deep_total=self.deep_total,
             attributes=attributes,
         )
 

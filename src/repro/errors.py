@@ -142,6 +142,14 @@ class QueryCancelled(EvaluationError):
         super().__init__("query cancelled")
 
 
+class MutationError(ReproError):
+    """Raised when a :class:`~repro.engine.mutate.MutationBatch` is invalid.
+
+    Batches are validated in full before any op applies, so this error
+    means the document was left untouched.
+    """
+
+
 class DiagramError(ReproError):
     """Raised by the visual layer: unknown shapes, dangling connectors, etc."""
 

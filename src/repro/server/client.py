@@ -146,5 +146,51 @@ class ServiceClient:
     def add_document(self, name: str, xml_text: str) -> dict[str, Any]:
         return self.request("POST", "/documents", {"name": name, "xml": xml_text})
 
+    def mutate(
+        self,
+        name: str,
+        ops: list[Mapping[str, Any]],
+        *,
+        tenant: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Apply a typed mutation batch to ``name``'s mutable head.
+
+        ``ops`` is the JSON wire form of
+        :func:`repro.engine.mutate.ops_from_spec` (``insert`` / ``delete``
+        / ``update_value`` / ``update_attribute`` entries with
+        element-child index paths).
+        """
+        body: dict[str, Any] = {"ops": list(ops)}
+        if tenant is not None:
+            body["tenant"] = tenant
+        return self.request("POST", f"/documents/{name}/mutate", body)
+
+    def subscribe(
+        self,
+        query: str,
+        *,
+        document: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Register a continuous query; returns ``{"id", "rows", ...}``."""
+        body: dict[str, Any] = {"query": query}
+        if document is not None:
+            body["document"] = document
+        if tenant is not None:
+            body["tenant"] = tenant
+        return self.request("POST", "/subscriptions", body)
+
+    def deltas(
+        self, subscription_id: str, *, timeout_s: float = 0.0
+    ) -> dict[str, Any]:
+        """Drain a subscription's deltas, long-polling up to ``timeout_s``."""
+        path = f"/subscriptions/{subscription_id}/deltas"
+        if timeout_s:
+            path += f"?timeout_s={timeout_s}"
+        return self.request("GET", path)
+
+    def unsubscribe(self, subscription_id: str) -> dict[str, Any]:
+        return self.request("DELETE", f"/subscriptions/{subscription_id}")
+
     def shutdown(self) -> dict[str, Any]:
         return self.request("POST", "/shutdown")

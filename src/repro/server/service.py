@@ -23,16 +23,28 @@ evaluations record too.
 
 Endpoints (JSON in, JSON out):
 
-======================  =====================================================
-``POST /query``         evaluate query text or a prepared digest + params
-``POST /batch``         evaluate a list of queries (thread or process pool)
-``POST /prepare``       register a (possibly parameterized) prepared query
-``GET  /healthz``       liveness: ok + document/tenant counts + uptime
-``GET  /metrics``       engine registry + per-tenant admission/metrics
-``GET  /documents``     the store's name/version listing
-``POST /documents``     admin: load a new document version from XML text
-``POST /shutdown``      begin a clean shutdown (drains, then exits)
-======================  =====================================================
+===============================  ============================================
+``POST /query``                  evaluate query text or a prepared digest
+``POST /batch``                  evaluate a list of queries (thread/process)
+``POST /prepare``                register a (parameterized) prepared query
+``GET  /healthz``                liveness: ok + document/tenant counts
+``GET  /metrics``                engine registry + per-tenant metrics
+``GET  /documents``              the store's name/version listing
+``POST /documents``              admin: load a new document version
+``POST /documents/NAME/mutate``  apply a typed mutation batch to the head
+``POST /subscriptions``          register a continuous query on a head
+``GET  /subscriptions/ID/deltas``  long-poll the subscription's deltas
+``DELETE /subscriptions/ID``     close and detach a subscription
+``POST /shutdown``               begin a clean shutdown (drains, then exits)
+===============================  ============================================
+
+Mutation and continuous queries ride the mutable-head machinery of the
+store (:mod:`repro.server.store`): loaded versions stay frozen, the first
+mutation of a name forks a live head, typed batches maintain its cached
+index incrementally, and version-less queries read the head under a
+per-name read lock (mutations take the write lock).  Subscriptions attach
+to the head's shared session; their deltas are drained — admission-gated
+per tenant like every evaluation — through the long-poll endpoint.
 
 Prepared queries use ``${name}`` placeholders (bare ``$ID`` is already
 DSL syntax for construct attributes).  Parameter values substitute as DSL
@@ -48,15 +60,19 @@ plans through the plan cache's canonical keying.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import hashlib
 import re
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Optional
 
+from ..engine.bindings import Binding
 from ..engine.metrics import MetricsRegistry
+from ..engine.mutate import MutationResult, ops_from_spec
+from ..engine.subscribe import ResultDelta, Subscription
 from ..errors import (
     BudgetExceeded,
     QuerySyntaxError,
@@ -64,7 +80,7 @@ from ..errors import (
     XmlSyntaxError,
 )
 from ..session import BatchResult, QuerySession
-from ..ssd import Document, serialize
+from ..ssd import Document, Element, Node, serialize
 from .admission import AdmissionRejected, TenantGate
 from .config import _BUDGET_FIELDS, ServerConfig, TenantConfig
 from .http import (
@@ -90,6 +106,20 @@ class UnknownTenant(ReproError):
 
 class UnknownPrepared(ReproError):
     """A request referenced a prepared-query digest never registered."""
+
+
+class UnknownSubscription(ReproError):
+    """A request referenced a subscription id the service has no entry for."""
+
+
+@dataclass
+class _ServerSubscription:
+    """One registered continuous query: subscription + owning context."""
+
+    subscription: "Subscription"
+    session: QuerySession
+    document: str
+    tenant: str
 
 
 def _render_param(name: str, value: Any) -> str:
@@ -181,11 +211,38 @@ def _row_payload(row: BatchResult) -> dict[str, Any]:
     return payload
 
 
+def _binding_payload(binding: Binding) -> dict[str, Any]:
+    """One binding row as a JSON-ready mapping (elements serialize to XML)."""
+    row: dict[str, Any] = {}
+    for variable in binding:
+        value = binding[variable]
+        if isinstance(value, Element):
+            row[variable] = {"kind": "element", "xml": serialize(value)}
+        elif isinstance(value, Node):
+            row[variable] = {"kind": "node", "value": str(value)}
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            row[variable] = {"kind": "value", "value": value}
+        else:
+            row[variable] = {"kind": "value", "value": str(value)}
+    return row
+
+
+def _delta_payload(delta: ResultDelta) -> dict[str, Any]:
+    return {
+        "revision": delta.revision,
+        "added": [_binding_payload(binding) for binding in delta.added],
+        "removed": [_binding_payload(binding) for binding in delta.removed],
+    }
+
+
 def _error_status(error: BaseException) -> int:
     """Map an exception to the HTTP status the service answers with."""
     if isinstance(error, AdmissionRejected):
         return 429
-    if isinstance(error, (UnknownDocument, UnknownTenant, UnknownPrepared)):
+    if isinstance(
+        error,
+        (UnknownDocument, UnknownTenant, UnknownPrepared, UnknownSubscription),
+    ):
         return 404
     if isinstance(error, BudgetExceeded):  # DeadlineExceeded is a subclass
         return 408
@@ -226,9 +283,13 @@ class QueryService:
             max_workers=self.config.max_workers,
             thread_name_prefix="repro-serve",
         )
-        self._sessions: dict[tuple[str, int], QuerySession] = {}
+        # Session keys are (name, version) for frozen snapshots and
+        # (name, "head") for the mutable fork — one shared session per
+        # servable document either way.
+        self._sessions: dict[tuple[str, Any], QuerySession] = {}
         self._sessions_lock = threading.Lock()
         self._prepared: dict[str, PreparedQuery] = {}
+        self._subscriptions: dict[str, _ServerSubscription] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[asyncio.Task] = set()
         self._shutdown = asyncio.Event()
@@ -264,6 +325,12 @@ class QueryService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Wake parked long-polls before cancelling their connections, so
+        # no default-executor thread sleeps out its timeout after close.
+        with self._sessions_lock:
+            entries = list(self._subscriptions.values())
+        for entry in entries:
+            entry.subscription.close()
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -273,11 +340,29 @@ class QueryService:
     # -- documents & sessions ------------------------------------------------
 
     def add_document(self, name: str, document: Document) -> StoredDocument:
-        return self.store.add(name, document)
+        stored = self.store.add(name, document)
+        self._drop_superseded_head()
+        return stored
+
+    def _drop_superseded_head(self) -> None:
+        """Tear down the session/subscriptions of a head a re-load killed."""
+        superseded = self.store.pop_superseded_head()
+        if superseded is None:
+            return
+        with self._sessions_lock:
+            session = self._sessions.pop((superseded.name, "head"), None)
+            dead = [
+                sid
+                for sid, entry in self._subscriptions.items()
+                if entry.session is session
+            ]
+            entries = [self._subscriptions.pop(sid) for sid in dead]
+        for entry in entries:
+            entry.subscription.close()
 
     def _session_for(self, stored: StoredDocument) -> QuerySession:
         """The shared session serving one stored document version."""
-        key = (stored.name, stored.version)
+        key = (stored.name, "head" if stored.head else stored.version)
         with self._sessions_lock:
             session = self._sessions.get(key)
             if session is None:
@@ -292,6 +377,12 @@ class QueryService:
                 f"unknown tenant {name!r}; configured: {sorted(self.gates)}"
             )
         return gate
+
+    def _read_guard(self, stored: StoredDocument):
+        """A read lock over the mutable head; a no-op for frozen versions."""
+        if stored.head:
+            return self.store.head_lock(stored.name).reading()
+        return contextlib.nullcontext()
 
     # -- request handling ----------------------------------------------------
 
@@ -364,13 +455,32 @@ class QueryService:
             ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/documents"): self._handle_documents_get,
             ("POST", "/documents"): self._handle_documents_post,
+            ("POST", "/subscriptions"): self._handle_subscribe,
             ("POST", "/shutdown"): self._handle_shutdown,
         }.get(route)
+        args: tuple = ()
+        if handler is None:
+            # Path-parameter routes: NAME/ID segments are percent-free
+            # single path components.
+            mutate = re.fullmatch(r"/documents/([^/]+)/mutate", request.path)
+            deltas = re.fullmatch(
+                r"/subscriptions/([^/]+)/deltas", request.path
+            )
+            drop = re.fullmatch(r"/subscriptions/([^/]+)", request.path)
+            if mutate is not None and request.method == "POST":
+                handler, args = self._handle_mutate, (mutate.group(1),)
+            elif deltas is not None and request.method == "GET":
+                handler, args = self._handle_deltas, (deltas.group(1),)
+            elif drop is not None and request.method == "DELETE":
+                handler, args = self._handle_unsubscribe, (drop.group(1),)
         if handler is None:
             known_path = request.path in {
                 "/query", "/batch", "/prepare", "/healthz", "/metrics",
-                "/documents", "/shutdown",
-            }
+                "/documents", "/subscriptions", "/shutdown",
+            } or re.fullmatch(
+                r"/documents/[^/]+/mutate|/subscriptions/[^/]+(/deltas)?",
+                request.path,
+            )
             status = 405 if known_path else 404
             return json_response(
                 {"error": {"type": "NoSuchRoute",
@@ -378,7 +488,7 @@ class QueryService:
                 status=status,
             )
         try:
-            return await handler(request)
+            return await handler(request, *args)
         except (ProtocolError, ReproError) as exc:
             return json_response(
                 {"error": {"type": type(exc).__name__, "message": str(exc)}},
@@ -466,9 +576,13 @@ class QueryService:
         registry = self.tenant_metrics[gate.config.name]
 
         def work() -> BatchResult:
-            # Explicit budget= (even None) overrides any session default:
-            # an unlimited tenant genuinely runs unbudgeted.
-            row = session.execute(text, budget=budget)
+            # The per-call bundle replaces the session defaults wholesale,
+            # so budget=None here means an unlimited tenant genuinely runs
+            # unbudgeted.
+            with self._read_guard(stored):
+                row = session.execute(
+                    text, options=replace(session.defaults, budget=budget)
+                )
             registry.record(
                 row.stats, seconds=row.seconds, query=text,
                 error=row.error is not None,
@@ -481,7 +595,8 @@ class QueryService:
         status = 200 if row.ok else _error_status(row.error)
         return json_response(
             {"tenant": gate.config.name,
-             "document": {"name": stored.name, "version": stored.version},
+             "document": {"name": stored.name, "version": stored.version,
+                          "head": stored.head},
              **_row_payload(row)},
             status=status,
         )
@@ -505,7 +620,12 @@ class QueryService:
         registry = self.tenant_metrics[gate.config.name]
 
         def work() -> list[BatchResult]:
-            rows = session.run_batch(queries, budget=budget, executor=executor)
+            with self._read_guard(stored):
+                rows = session.run_batch(
+                    queries,
+                    options=replace(session.defaults, budget=budget),
+                    executor=executor,
+                )
             for row in rows:
                 registry.record(
                     row.stats, seconds=row.seconds,
@@ -519,7 +639,8 @@ class QueryService:
         )
         return json_response(
             {"tenant": gate.config.name,
-             "document": {"name": stored.name, "version": stored.version},
+             "document": {"name": stored.name, "version": stored.version,
+                          "head": stored.head},
              "rows": [_row_payload(row) for row in rows]}
         )
 
@@ -601,10 +722,164 @@ class QueryService:
         if not isinstance(name, str) or not isinstance(xml_text, str):
             raise ProtocolError(400, "'name' and 'xml' must be strings")
         loop = asyncio.get_running_loop()
-        stored = await loop.run_in_executor(
-            self._pool, functools.partial(self.store.add_xml, name, xml_text)
-        )
+
+        def load() -> StoredDocument:
+            loaded = self.store.add_xml(name, xml_text)
+            self._drop_superseded_head()
+            return loaded
+
+        stored = await loop.run_in_executor(self._pool, load)
         return json_response(stored.describe())
+
+    # -- mutation & continuous queries ---------------------------------------
+
+    async def _handle_mutate(self, request: Request, name: str) -> Response:
+        """Apply one typed mutation batch to the document's mutable head.
+
+        The batch spec (``ops`` — see
+        :func:`repro.engine.mutate.ops_from_spec`) is validated in full
+        before anything applies; the commit runs on an executor worker
+        under the name's write lock, maintaining the head's cached index
+        in place and notifying every attached subscription before the
+        lock drops.
+        """
+        payload = request.json()
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(400, "request body must be a JSON object")
+        ops = payload.get("ops")
+        if not isinstance(ops, list):
+            raise ProtocolError(400, "'ops' must be a list of op objects")
+        gate = self._tenant(payload.get("tenant"))
+
+        def work() -> tuple[StoredDocument, MutationResult, int]:
+            stored = self.store.head(name)
+            session = self._session_for(stored)
+            with self.store.head_lock(stored.name).writing():
+                batch = ops_from_spec(stored.document, ops)
+                result = session.mutate(batch)
+            return stored, result, len(session.subscriptions())
+
+        stored, result, notified = await self._admit_and_run(gate, work)
+        return json_response(
+            {
+                "tenant": gate.config.name,
+                "document": {
+                    "name": stored.name,
+                    "version": stored.version,
+                    "head": True,
+                },
+                "revision": result.doc_revision,
+                "applied": result.applied,
+                "structural": result.structural,
+                "nodes_added": result.nodes_added,
+                "nodes_removed": result.nodes_removed,
+                "subscriptions_notified": notified,
+            }
+        )
+
+    async def _handle_subscribe(self, request: Request) -> Response:
+        """Register a continuous query against a document's mutable head.
+
+        Subscribing forks the head if the name has none yet (the query
+        must watch the *live* document, not a frozen version).  The
+        initial evaluation runs eagerly under the read lock; mutation
+        commits then re-evaluate or skip per the query's footprint.
+        """
+        payload = request.json()
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(400, "request body must be a JSON object")
+        text = self._resolve_query_text(payload)
+        gate = self._tenant(payload.get("tenant"))
+        name = payload.get("document")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError(400, "'document' must be a string")
+
+        def work() -> tuple[StoredDocument, _ServerSubscription]:
+            stored = self.store.head(name)
+            session = self._session_for(stored)
+            with self.store.head_lock(stored.name).reading():
+                subscription = session.subscribe(text)
+            return stored, _ServerSubscription(
+                subscription=subscription,
+                session=session,
+                document=stored.name,
+                tenant=gate.config.name,
+            )
+
+        stored, entry = await self._admit_and_run(gate, work)
+        with self._sessions_lock:
+            self._subscriptions[entry.subscription.id] = entry
+        return json_response(
+            {
+                "id": entry.subscription.id,
+                "tenant": entry.tenant,
+                "document": {
+                    "name": stored.name,
+                    "version": stored.version,
+                    "head": True,
+                },
+                "rows": len(entry.subscription.rows()),
+                "revision": entry.subscription.last_revision,
+            }
+        )
+
+    def _subscription(self, subscription_id: str) -> _ServerSubscription:
+        with self._sessions_lock:
+            entry = self._subscriptions.get(subscription_id)
+        if entry is None:
+            raise UnknownSubscription(
+                f"no subscription with id {subscription_id!r}"
+            )
+        return entry
+
+    async def _handle_deltas(
+        self, request: Request, subscription_id: str
+    ) -> Response:
+        """Long-poll a subscription's queued deltas.
+
+        ``?timeout_s=N`` blocks up to ``N`` seconds (capped at 30) for the
+        first delta; the default drains whatever is queued immediately.
+        Only the drain is admission-gated — a parked long-poll must not
+        consume the tenant's concurrency slot while it sleeps, so the
+        wait itself runs before admission and the (cheap) drain after.
+        """
+        entry = self._subscription(subscription_id)
+        gate = self._tenant(entry.tenant)
+        raw_timeout = request.query.get("timeout_s", "0")
+        try:
+            timeout = min(max(float(raw_timeout), 0.0), 30.0)
+        except ValueError:
+            raise ProtocolError(400, "'timeout_s' must be a number") from None
+        if timeout > 0 and not entry.subscription.pending:
+            # Park without holding an admission slot: the bounded wait
+            # only watches the pending queue (no draining), the drain
+            # below runs under admission.
+            await asyncio.get_running_loop().run_in_executor(
+                None,
+                functools.partial(entry.subscription.wait_pending, timeout),
+            )
+
+        def work() -> list[ResultDelta]:
+            return entry.subscription.poll()
+
+        deltas = await self._admit_and_run(gate, work)
+        return json_response(
+            {
+                "id": entry.subscription.id,
+                "revision": entry.subscription.last_revision,
+                "closed": entry.subscription.closed,
+                "deltas": [_delta_payload(delta) for delta in deltas],
+            }
+        )
+
+    async def _handle_unsubscribe(
+        self, request: Request, subscription_id: str
+    ) -> Response:
+        entry = self._subscription(subscription_id)
+        with self._sessions_lock:
+            self._subscriptions.pop(subscription_id, None)
+        entry.session.unsubscribe(entry.subscription)
+        return json_response({"id": subscription_id, "closed": True})
 
     async def _handle_shutdown(self, request: Request) -> Response:
         self._shutdown.set()

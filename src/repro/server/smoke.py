@@ -8,7 +8,9 @@ seconds, that the whole serving stack holds together in one process:
 3. poll ``/healthz`` until live,
 4. register a prepared query and run it through the Python client,
 5. verify the result matches a direct :meth:`QuerySession.run`,
-6. shut down cleanly and assert **zero leaked threads** — the executor
+6. with ``--subscriptions``: subscribe a continuous query, mutate the
+   document through the typed endpoint, and long-poll the delta,
+7. shut down cleanly and assert **zero leaked threads** — the executor
    and the event-loop thread must both be gone.
 
 Exit status 0 on success; any failure raises (non-zero exit).
@@ -33,7 +35,12 @@ SMOKE_QUERY = (
 )
 
 
-def run_smoke(verbose: bool = True) -> None:
+SMOKE_WATCH_QUERY = (
+    "query { book as B { @year as Y } } construct { hits { B } }"
+)
+
+
+def run_smoke(verbose: bool = True, subscriptions: bool = False) -> None:
     from ..session import QuerySession
     from ..ssd import parse_document, serialize
     from .client import ServiceClient
@@ -93,6 +100,39 @@ def run_smoke(verbose: bool = True) -> None:
         assert admission["completed"] >= 1 and admission["errors"] == 0, admission
         say("metrics consistent")
 
+        if subscriptions:
+            sub = client.subscribe(
+                SMOKE_WATCH_QUERY, document="bib", tenant="smoke"
+            )
+            assert sub["rows"] == 2, sub
+            say(f"subscribed {sub['id']} ({sub['rows']} initial rows)")
+            committed = client.mutate(
+                "bib",
+                [{
+                    "op": "insert",
+                    "parent": [],
+                    "xml": "<book year='2002'><title>SSD</title></book>",
+                    "index": 2,
+                }],
+                tenant="smoke",
+            )
+            assert committed["applied"] == 1 and committed["structural"], committed
+            drained = client.deltas(sub["id"], timeout_s=5.0)
+            assert len(drained["deltas"]) == 1, drained
+            delta = drained["deltas"][0]
+            assert len(delta["added"]) == 1 and not delta["removed"], delta
+            say(f"delta delivered at revision {delta['revision']}")
+            # A mutation the query's footprint does not cover must not wake it.
+            client.mutate(
+                "bib",
+                [{"op": "update_value", "target": [0, 0], "value": "DBs"}],
+                tenant="smoke",
+            )
+            drained = client.deltas(sub["id"])
+            assert drained["deltas"] == [], drained
+            client.unsubscribe(sub["id"])
+            say("irrelevant mutation skipped; unsubscribed")
+
         client.shutdown()
     finally:
         client.close()
@@ -113,5 +153,5 @@ def run_smoke(verbose: bool = True) -> None:
 
 
 if __name__ == "__main__":
-    run_smoke()
+    run_smoke(subscriptions="--subscriptions" in sys.argv[1:])
     sys.exit(0)

@@ -3,11 +3,22 @@
 The service serves queries over documents loaded *ahead* of the request
 path (at startup via ``repro serve --document NAME=FILE``, or at runtime
 through the ``POST /documents`` admin endpoint).  Every load of a name
-creates a new immutable **version** — documents are never mutated in
-place, so the shared index cache and plan cache stay valid for as long as
-any client still pins an old version.  Queries name a document (and
-optionally a version); omitting the version means "latest", and omitting
-the name is allowed only while the store holds exactly one name.
+creates a new immutable **version**.  Version objects are *genuinely*
+immutable: the mutation endpoint never touches a loaded version in place.
+Instead, the first mutation of a name forks a distinguished mutable
+**head** — a deep copy of the latest version (:meth:`DocumentStore.head`)
+— and all typed mutations apply to the head incrementally from then on.
+Clients that pinned a version number keep reading their frozen snapshot
+(its indexes and cached plans stay valid forever); clients that omit the
+version read the head once one exists, the latest version otherwise.
+Re-loading a name through ``add`` supersedes the head: mutations made to
+the old head are not servable afterwards (the fresh load wins), which is
+the documented admin escape hatch.
+
+Concurrent head access is guarded by a per-name read/write lock
+(:class:`ReadWriteLock`): query evaluation over the head shares read
+locks, the mutation path takes the write lock, so a reader can never
+observe a half-applied batch.  Pinned-version queries never lock.
 
 Thread-safety: ``add`` happens on the event loop (admin endpoint) or the
 startup thread, ``get`` on executor workers — one lock guards the maps.
@@ -23,7 +34,72 @@ from typing import Any, Optional
 from ..errors import ReproError
 from ..ssd.model import Document
 
-__all__ = ["DocumentStore", "StoredDocument", "UnknownDocument"]
+__all__ = [
+    "DocumentStore",
+    "ReadWriteLock",
+    "StoredDocument",
+    "UnknownDocument",
+]
+
+
+class ReadWriteLock:
+    """A writer-preferring read/write lock for mutable-head access.
+
+    Many readers (query evaluations) may hold it concurrently; one writer
+    (a mutation commit) excludes everything.  Waiting writers block *new*
+    readers, so a stream of long queries cannot starve mutations.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _Guard:
+        def __init__(self, acquire, release) -> None:
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc_info):
+            self._release()
+
+    def reading(self) -> "_Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def writing(self) -> "_Guard":
+        return self._Guard(self.acquire_write, self.release_write)
 
 
 class UnknownDocument(ReproError):
@@ -32,7 +108,13 @@ class UnknownDocument(ReproError):
 
 @dataclass(frozen=True)
 class StoredDocument:
-    """One immutable version of a named document."""
+    """One version of a named document.
+
+    ``head=False`` entries are immutable snapshots; the (at most one per
+    name) ``head=True`` entry is the live mutable fork — its ``version``
+    is the version it was forked from, and its node count changes with
+    every committed batch (``describe`` re-measures).
+    """
 
     name: str
     version: int
@@ -41,13 +123,17 @@ class StoredDocument:
     nodes: int
     #: ``time.time()`` at load, for the admin listing.
     loaded_at: float
+    #: Whether this is the mutable head fork rather than a frozen version.
+    head: bool = False
 
     def describe(self) -> dict[str, Any]:
+        root = self.document.root
         return {
             "name": self.name,
             "version": self.version,
-            "nodes": self.nodes,
+            "nodes": root.size() if self.head and root is not None else self.nodes,
             "loaded_at": self.loaded_at,
+            "head": self.head,
         }
 
 
@@ -57,9 +143,18 @@ class DocumentStore:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._versions: dict[str, list[StoredDocument]] = {}
+        self._heads: dict[str, StoredDocument] = {}
+        self._head_locks: dict[str, ReadWriteLock] = {}
+        self._superseded: Optional[StoredDocument] = None
 
     def add(self, name: str, document: Document) -> StoredDocument:
-        """Register ``document`` as the next version of ``name``."""
+        """Register ``document`` as the next version of ``name``.
+
+        A fresh load supersedes any mutable head of the name: the head
+        (and the mutations accumulated on it) stops being servable.
+        Returns the superseded head via :meth:`pop_superseded_head` so the
+        service can tear down its session and subscriptions.
+        """
         if not name:
             raise ReproError("document name must be non-empty")
         root = document.root
@@ -74,7 +169,72 @@ class DocumentStore:
                 loaded_at=time.time(),
             )
             versions.append(stored)
+            self._superseded = self._heads.pop(name, None)
         return stored
+
+    def pop_superseded_head(self) -> Optional[StoredDocument]:
+        """The head the last :meth:`add` superseded, once (else ``None``)."""
+        with self._lock:
+            superseded = self._superseded
+            self._superseded = None
+        return superseded
+
+    def head(self, name: Optional[str] = None) -> StoredDocument:
+        """The mutable head of ``name``, forked on first use.
+
+        The fork is a deep copy of the latest immutable version — the
+        copy-on-first-mutation point.  Later calls return the same head;
+        every committed batch mutates it incrementally in place (under
+        the name's write lock).
+        """
+        with self._lock:
+            name = self._resolve_name(name)
+            existing = self._heads.get(name)
+            if existing is not None:
+                return existing
+            versions = self._versions.get(name)
+            if not versions:
+                raise UnknownDocument(f"unknown document {name!r}")
+            latest = versions[-1]
+        # Copy outside the lock: deep-copying a large document must not
+        # stall unrelated lookups.  A racing second fork is resolved by
+        # re-checking under the lock (first fork wins).
+        fork = latest.document.copy()
+        with self._lock:
+            existing = self._heads.get(name)
+            if existing is not None:
+                return existing
+            head = StoredDocument(
+                name=name,
+                version=latest.version,
+                document=fork,
+                nodes=latest.nodes,
+                loaded_at=time.time(),
+                head=True,
+            )
+            self._heads[name] = head
+            return head
+
+    def head_lock(self, name: Optional[str] = None) -> ReadWriteLock:
+        """The per-name read/write lock guarding head access."""
+        with self._lock:
+            name = self._resolve_name(name)
+            lock = self._head_locks.get(name)
+            if lock is None:
+                lock = ReadWriteLock()
+                self._head_locks[name] = lock
+            return lock
+
+    def _resolve_name(self, name: Optional[str]) -> str:
+        """``None`` → the single stored name (lock held by caller)."""
+        if name is None:
+            if len(self._versions) != 1:
+                raise UnknownDocument(
+                    "no document named and the store holds "
+                    f"{len(self._versions)} (name one explicitly)"
+                )
+            return next(iter(self._versions))
+        return name
 
     def add_xml(self, name: str, xml_text: str) -> StoredDocument:
         """Parse ``xml_text`` and register it (the admin-endpoint path)."""
@@ -88,21 +248,18 @@ class DocumentStore:
         """Resolve a (name, version) reference; ``None`` means latest.
 
         With ``name=None`` the store must hold exactly one name — the
-        single-document deployment shorthand.
+        single-document deployment shorthand.  Once a name has a mutable
+        head, the version-less reference resolves to the head (the live
+        document); pin a version number to keep a frozen snapshot.
         """
         with self._lock:
-            if name is None:
-                if len(self._versions) != 1:
-                    raise UnknownDocument(
-                        "no document named and the store holds "
-                        f"{len(self._versions)} (name one explicitly)"
-                    )
-                name = next(iter(self._versions))
+            name = self._resolve_name(name)
             versions = self._versions.get(name)
             if not versions:
                 raise UnknownDocument(f"unknown document {name!r}")
             if version is None:
-                return versions[-1]
+                head = self._heads.get(name)
+                return head if head is not None else versions[-1]
             if not 1 <= version <= len(versions):
                 raise UnknownDocument(
                     f"document {name!r} has no version {version} "
@@ -122,6 +279,11 @@ class DocumentStore:
                     "name": name,
                     "latest": len(versions),
                     "versions": [stored.describe() for stored in versions],
+                    **(
+                        {"head": self._heads[name].describe()}
+                        if name in self._heads
+                        else {}
+                    ),
                 }
                 for name, versions in sorted(self._versions.items())
             ]

@@ -18,7 +18,9 @@ experiment log (:meth:`QuerySession.summary`).
 
 from __future__ import annotations
 
+import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional, Sequence, Union
@@ -26,8 +28,11 @@ from typing import Any, Mapping, Optional, Sequence, Union
 from .engine.cache import DocumentIndexCache, shared_cache
 from .engine.limits import CancelToken, QueryBudget, arm_budget
 from .engine.metrics import MetricsRegistry
+from .engine.mutate import MutationBatch, MutationResult, apply_batch
+from .engine.options import ENGINES
 from .engine.plan_cache import PlanCache, shared_plans
 from .engine.stats import EvalStats
+from .engine.subscribe import Subscription
 from .engine.trace import Tracer
 from .errors import ReproError
 from .ssd.model import Document
@@ -36,9 +41,69 @@ from .xmlgl.evaluator import evaluate_rule, lookup_or_compile
 from .xmlgl.matcher import MatchOptions
 from .xmlgl.rule import Rule
 
-__all__ = ["BatchResult", "QueryCycle", "QuerySession"]
+__all__ = ["BatchResult", "ExecOptions", "QueryCycle", "QuerySession"]
 
 Sources = Union[Document, Mapping[str, Document]]
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """The execution contract of a :class:`QuerySession` call.
+
+    One immutable bundle of every run-time switch — engine selection,
+    rewrite/columnar ablations, tracing and budget — passed as the single
+    keyword-only ``options=`` of :meth:`QuerySession.run`,
+    :meth:`~QuerySession.execute` and :meth:`~QuerySession.run_batch` (and
+    as the session default).  A per-call ``ExecOptions`` replaces the
+    session default *wholesale*: derive from :attr:`QuerySession.defaults`
+    with :func:`dataclasses.replace` to override one field ("this tenant
+    runs unbudgeted" is ``replace(session.defaults, budget=None)``).
+
+    This supersedes the historical trio of ``options=MatchOptions(...)``
+    plus ``trace=`` / ``budget=`` overlay keywords; those still work as
+    deprecated shims (``DeprecationWarning``) and resolve to the same
+    bundle.  Frozen so a bundle can be shared across threads and cached
+    plans without defensive copies.
+    """
+
+    engine: str = "adaptive"
+    rewrite: bool = True
+    columnar: bool = True
+    use_planner: bool = True
+    use_index: bool = True
+    trace: bool = False
+    budget: Optional[QueryBudget] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+
+    def match_options(self) -> MatchOptions:
+        """The equivalent engine-level :class:`MatchOptions`."""
+        return MatchOptions(
+            use_planner=self.use_planner,
+            use_index=self.use_index,
+            engine=self.engine,
+            rewrite=self.rewrite,
+            columnar=self.columnar,
+            trace=self.trace,
+            budget=self.budget,
+        )
+
+    @classmethod
+    def from_match_options(cls, options: MatchOptions) -> "ExecOptions":
+        """Lift a legacy :class:`MatchOptions` into the new contract."""
+        return cls(
+            engine=options.engine,
+            rewrite=options.rewrite,
+            columnar=options.columnar,
+            use_planner=options.use_planner,
+            use_index=options.use_index,
+            trace=options.trace,
+            budget=options.budget,
+        )
 
 #: Default for the per-call ``trace=`` / ``budget=`` overrides: distinct
 #: from an explicit ``None`` so callers can *disable* a session-default
@@ -101,13 +166,20 @@ class QuerySession:
     def __init__(
         self,
         sources: Sources,
-        options: Optional[MatchOptions] = None,
+        options: Optional[Union[ExecOptions, MatchOptions]] = None,
         indexes: Optional[DocumentIndexCache] = None,
         metrics: Optional[MetricsRegistry] = None,
         plans: Optional[PlanCache] = None,
     ) -> None:
         self._sources = sources
-        self._options = options
+        # The session default is normalised to ExecOptions; MatchOptions
+        # is accepted here (without a warning — it predates ExecOptions
+        # and is harmless as a default) and lifted.
+        self._options = (
+            ExecOptions.from_match_options(options)
+            if isinstance(options, MatchOptions)
+            else options
+        )
         # Indexes come from the process-wide cache by default, so several
         # sessions over one document share a single snapshot; pass a
         # private DocumentIndexCache to isolate (e.g. mutation-heavy use).
@@ -122,33 +194,71 @@ class QuerySession:
         self._plans = plans if plans is not None else shared_plans
         self._cycles: list[QueryCycle] = []
         self._position = -1  # index of the current cycle
+        self._subscriptions: list[Subscription] = []
+        # Serialises mutation commits and the subscription notifications
+        # they trigger, so deltas are delivered in revision order.
+        self._mutation_lock = threading.Lock()
+
+    @property
+    def defaults(self) -> ExecOptions:
+        """The session's effective default :class:`ExecOptions`.
+
+        Always a concrete bundle (never ``None``), so per-call overrides
+        are one ``dataclasses.replace`` away.
+        """
+        return self._options if self._options is not None else ExecOptions()
 
     # -- running ---------------------------------------------------------------
 
     def _effective(
         self,
-        options: Optional[MatchOptions],
+        options: Optional[Union[ExecOptions, MatchOptions]],
         trace: Any,
         budget: Any,
     ) -> tuple[Optional[MatchOptions], bool, Optional[QueryBudget]]:
-        """Resolve the unified per-call overrides against session defaults.
+        """Resolve the per-call options against the session defaults.
 
-        ``trace`` and ``budget`` use the :data:`_UNSET` sentinel as their
-        "omitted" value: omitted defers to the session options, while an
-        explicit ``None`` (or ``False`` for ``trace``) switches the
-        feature *off* for this call even when the session options enable
-        it.  Tenant overlays on shared server sessions depend on the
-        distinction — "this tenant runs unbudgeted" must not silently
-        inherit another caller's session-wide budget.
+        The current contract is one :class:`ExecOptions` bundle that
+        replaces the session default wholesale.  Two deprecated shims are
+        resolved here, each under a ``DeprecationWarning``:
+
+        * ``options=MatchOptions(...)`` is lifted via
+          :meth:`ExecOptions.from_match_options`;
+        * ``trace=`` / ``budget=`` overlay keywords, whose :data:`_UNSET`
+          sentinel distinguishes "omitted" (defer to the options) from an
+          explicit ``None``/``False`` ("off for this call").
+
+        Returns the engine-level :class:`MatchOptions` the matcher layers
+        consume, normalised to the *resolved* tracing/budget decisions.
         """
+        if isinstance(options, MatchOptions):
+            warnings.warn(
+                "passing MatchOptions to QuerySession.run/execute/run_batch "
+                "is deprecated; pass repro.ExecOptions",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            options = ExecOptions.from_match_options(options)
         opts = options if options is not None else self._options
         if trace is _UNSET:
             tracing = bool(opts.trace) if opts is not None else False
         else:
+            warnings.warn(
+                "the trace= keyword is deprecated; pass "
+                "ExecOptions(trace=...) (derive from session.defaults)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
             tracing = bool(trace)
         if budget is _UNSET:
             effective_budget = opts.budget if opts is not None else None
         else:
+            warnings.warn(
+                "the budget= keyword is deprecated; pass "
+                "ExecOptions(budget=...) (derive from session.defaults)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
             effective_budget = budget
         # Normalise the options to the *resolved* decisions: the matcher
         # layers re-derive tracing/budgets from the options they receive,
@@ -158,7 +268,11 @@ class QuerySession:
             bool(opts.trace) is not tracing or opts.budget is not effective_budget
         ):
             opts = replace(opts, trace=tracing, budget=effective_budget)
-        return opts, tracing, effective_budget
+        return (
+            opts.match_options() if opts is not None else None,
+            tracing,
+            effective_budget,
+        )
 
     def _execute_one(
         self,
@@ -238,7 +352,7 @@ class QuerySession:
         self,
         query: Union[str, Rule],
         *,
-        options: Optional[MatchOptions] = None,
+        options: Optional[Union[ExecOptions, MatchOptions]] = None,
         trace: Optional[bool] = _UNSET,
         budget: Optional[QueryBudget] = _UNSET,
         cancel: Optional[CancelToken] = None,
@@ -248,12 +362,15 @@ class QuerySession:
         Running while positioned back in history truncates the forward
         cycles (browser semantics).  Returns the result document.
 
-        The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is
-        the unified run contract (shared with ``evaluate_rule`` and WG-Log
-        ``query``): each overrides the session options for this cycle
-        only.  Omitting ``trace``/``budget`` defers to the session
-        options; passing ``None`` explicitly switches the feature *off*
-        for this call even when the session options enable it.  ``budget``
+        The keyword-only ``options=`` takes one :class:`ExecOptions`
+        bundle — engine, rewrite/columnar switches, tracing, budget — that
+        replaces the session defaults for this cycle (derive from
+        :attr:`defaults` to override a single field).  The historical
+        ``options=MatchOptions(...)`` and the ``trace=`` / ``budget=``
+        overlay keywords still resolve identically but are deprecated
+        shims (``DeprecationWarning``): omitting ``trace``/``budget``
+        defers to the options, passing ``None`` explicitly switches the
+        feature *off* for this call.  The budget
         governs the run (its deadline starts here); under
         ``on_limit="raise"`` a tripped limit propagates as
         :class:`~repro.errors.BudgetExceeded` / ``DeadlineExceeded``, under
@@ -294,13 +411,15 @@ class QuerySession:
         self,
         query: Union[str, Rule],
         *,
-        options: Optional[MatchOptions] = None,
+        options: Optional[Union[ExecOptions, MatchOptions]] = None,
         trace: Optional[bool] = _UNSET,
         budget: Optional[QueryBudget] = _UNSET,
         cancel: Optional[CancelToken] = None,
     ) -> BatchResult:
         """Evaluate one query outside the cycle history; the serving path.
 
+        Takes the same keyword-only :class:`ExecOptions` contract as
+        :meth:`run` (with the same deprecated shims).
         Same contract as a single :meth:`run_batch` row: every
         :class:`~repro.errors.ReproError` — parse, evaluation, budget —
         is captured on :attr:`BatchResult.error` instead of raising, the
@@ -323,7 +442,7 @@ class QuerySession:
         queries: Sequence[Union[str, Rule]],
         *,
         max_workers: Optional[int] = None,
-        options: Optional[MatchOptions] = None,
+        options: Optional[Union[ExecOptions, MatchOptions]] = None,
         trace: Optional[bool] = _UNSET,
         budget: Optional[QueryBudget] = _UNSET,
         cancel: Optional[CancelToken] = None,
@@ -351,8 +470,9 @@ class QuerySession:
         notes in :mod:`repro.engine.shard`), so per-row cache counters
         reflect worker-side, not session-side, cache state.
 
-        The keyword-only ``options=`` / ``trace=`` / ``budget=`` trio is
-        the unified run contract.  ``budget`` governs **each row
+        The keyword-only ``options=`` takes the same :class:`ExecOptions`
+        bundle as :meth:`run` (with the same deprecated shims).  Its
+        budget governs **each row
         separately**: every row arms its own
         :class:`~repro.engine.limits.BudgetState` when its evaluation
         starts, so one slow row exhausts only its own deadline.  Under
@@ -512,6 +632,108 @@ class QuerySession:
             return [self._sources]
         return list(self._sources.values())
 
+    # -- mutation & continuous queries ------------------------------------------
+
+    def _resolve_document(self, source: Optional[str]) -> Document:
+        if isinstance(self._sources, Document):
+            if source is not None:
+                raise ReproError(
+                    "this session holds a single unnamed document; "
+                    "do not name a mutation source"
+                )
+            return self._sources
+        if source is None:
+            if len(self._sources) == 1:
+                return next(iter(self._sources.values()))
+            raise ReproError(
+                "this session holds several documents; name the mutation "
+                f"source (one of {sorted(self._sources)})"
+            )
+        try:
+            return self._sources[source]
+        except KeyError:
+            raise ReproError(f"unknown source document {source!r}") from None
+
+    def mutate(
+        self, batch: MutationBatch, *, source: Optional[str] = None
+    ) -> MutationResult:
+        """Apply a :class:`~repro.engine.mutate.MutationBatch` atomically.
+
+        The batch is validated in full first (an invalid batch raises
+        :class:`~repro.errors.MutationError` with the document untouched),
+        applied to the tree while the session's cached
+        :class:`~repro.engine.index.DocumentIndex` is maintained *in
+        place* (no invalidation, no rebuild), and committed under a new
+        ``doc_revision``.  Every active subscription is then notified —
+        those whose footprint intersects the batch re-evaluate and queue a
+        :class:`~repro.engine.subscribe.ResultDelta`; the rest skip.
+
+        ``source`` names the document in a multi-document session;
+        omit it for single-document sessions.
+        """
+        document = self._resolve_document(source)
+        with self._mutation_lock:
+            index = self._indexes.peek(document)
+            result = apply_batch(
+                document, batch, indexes=[index] if index is not None else []
+            )
+            for subscription in list(self._subscriptions):
+                if not subscription.closed:
+                    subscription.notify(result)
+        return result
+
+    def subscribe(
+        self,
+        query: Union[str, Rule],
+        *,
+        options: Optional[Union[ExecOptions, MatchOptions]] = None,
+    ) -> Subscription:
+        """Register ``query`` as a continuous query over this session.
+
+        The subscription evaluates eagerly (its
+        :meth:`~repro.engine.subscribe.Subscription.rows` are live
+        immediately) and is re-run by :meth:`mutate` commits whose touched
+        region intersects the query's static footprint; drain changes with
+        :meth:`~repro.engine.subscribe.Subscription.poll` or block on
+        :meth:`~repro.engine.subscribe.Subscription.wait`.  ``options``
+        takes the same :class:`ExecOptions` bundle as :meth:`run` and
+        defaults to the session options.
+        """
+        if isinstance(options, MatchOptions):
+            warnings.warn(
+                "passing MatchOptions to QuerySession.subscribe is "
+                "deprecated; pass repro.ExecOptions",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = ExecOptions.from_match_options(options)
+        opts = options if options is not None else self._options
+        subscription = Subscription(
+            query,
+            self._sources,
+            options=opts.match_options() if opts is not None else None,
+            indexes=self._indexes,
+            plans=self._plans,
+        )
+        with self._mutation_lock:
+            self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> bool:
+        """Close and detach ``subscription``; True if it was attached."""
+        with self._mutation_lock:
+            try:
+                self._subscriptions.remove(subscription)
+            except ValueError:
+                return False
+        subscription.close()
+        return True
+
+    def subscriptions(self) -> list[Subscription]:
+        """The attached subscriptions (a snapshot copy)."""
+        with self._mutation_lock:
+            return list(self._subscriptions)
+
     # -- analysis ---------------------------------------------------------------
 
     def analyze(self, query: Union[str, Rule, None] = None) -> list:
@@ -548,7 +770,8 @@ class QuerySession:
         else:
             rule = query
         return explain_rule(
-            rule, self._sources, options=self._options,
+            rule, self._sources,
+            options=self._options.match_options() if self._options else None,
             indexes=self._indexes, plans=self._plans,
         )
 

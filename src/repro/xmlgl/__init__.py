@@ -58,7 +58,6 @@ from .construct import (
 from .evaluator import evaluate_program, evaluate_rule, rule_bindings
 from .matcher import MatchOptions, match
 from .rule import Program, Rule
-from .schema_check import check_query_against_schema
 from .translate import TranslationError, to_path, translatable
 from .containment import ContainmentError, contains, equivalent
 from .unparse import unparse_program, unparse_rule
@@ -81,7 +80,6 @@ __all__ = [
     "rule_bindings",
     # translation
     "to_path", "translatable", "TranslationError",
-    "check_query_against_schema",
     "unparse_rule", "unparse_program",
     "contains", "equivalent", "ContainmentError",
 ]

@@ -19,17 +19,22 @@ EXPECTED_SURFACE = [
     "Diagnostic",
     "DocumentStore",
     "EvalStats",
+    "ExecOptions",
     "Explanation",
     "MatchOptions",
     "MetricsRegistry",
+    "MutationBatch",
+    "MutationResult",
     "QueryBudget",
     "QueryCycle",
     "QueryService",
     "QuerySession",
+    "ResultDelta",
     "RewriteReport",
     "ServerConfig",
     "ServiceClient",
     "Severity",
+    "Subscription",
     "TenantConfig",
     "__version__",
     "analyze_program",
@@ -67,8 +72,11 @@ def test_acceptance_import_line():
 def test_facade_names_are_the_implementations():
     from repro.analysis import Diagnostic
     from repro.engine.limits import CancelToken, QueryBudget
+    from repro.engine.mutate import MutationBatch
     from repro.engine.options import MatchOptions
+    from repro.engine.subscribe import Subscription
     from repro.explain import explain
+    from repro.session import ExecOptions
     from repro.wglog.semantics import query
     from repro.xmlgl.evaluator import evaluate_rule
 
@@ -79,6 +87,9 @@ def test_facade_names_are_the_implementations():
     assert repro.evaluate_rule is evaluate_rule
     assert repro.wglog_query is query
     assert repro.Diagnostic is Diagnostic
+    assert repro.MutationBatch is MutationBatch
+    assert repro.Subscription is Subscription
+    assert repro.ExecOptions is ExecOptions
 
 
 def test_unknown_attribute_raises():

@@ -51,13 +51,25 @@ class TestDocumentIndex:
 
 class TestIntervalEncoding:
     def test_intervals_nest_like_subtrees(self):
+        # Labels are gap-spaced, not dense: assert the containment
+        # invariants (root covers everything, subtrees nest or are
+        # disjoint), not exact values.
         idx = DocumentIndex(doc())
         root = idx.document.root
         pre, post = idx.interval(root)
-        assert (pre, post) == (0, idx.element_count() - 1)
-        for element in idx.all_elements():
+        elements = list(idx.all_elements())
+        for element in elements:
             lo, hi = idx.interval(element)
             assert pre <= lo <= hi <= post
+        for a in elements:
+            for b in elements:
+                a_lo, a_hi = idx.interval(a)
+                b_lo, b_hi = idx.interval(b)
+                nested = (a_lo <= b_lo and b_hi <= a_hi) or (
+                    b_lo <= a_lo and a_hi <= b_hi
+                )
+                disjoint = a_hi < b_lo or b_hi < a_lo
+                assert nested or disjoint, (a, b)
 
     def test_is_ancestor_matches_ancestors_walk(self):
         idx = DocumentIndex(doc())

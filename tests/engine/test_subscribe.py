@@ -1,0 +1,290 @@
+"""Continuous queries (repro.engine.subscribe): footprints, deltas, skips."""
+
+import threading
+
+import pytest
+
+from repro.engine.mutate import MutationBatch, TouchedRegion
+from repro.engine.subscribe import QueryFootprint
+from repro.errors import ReproError
+from repro.session import QuerySession
+from repro.ssd import parse_document
+from repro.ssd.model import Element, Text
+from repro.xmlgl.dsl import parse_rule
+
+DOC = (
+    '<bib>'
+    '<book year="1999"><title>A</title></book>'
+    '<book year="2000"><title>B</title></book>'
+    '<article><title>C</title></article>'
+    '</bib>'
+)
+
+BOOKS = "query { book as B { title as T } } construct { r { collect T } }"
+
+
+def book(text, year):
+    element = Element("book", attributes={"year": year})
+    title = Element("title")
+    title.append(Text(text))
+    element.append(title)
+    return element
+
+
+class TestQueryFootprint:
+    def test_tags_and_attributes(self):
+        rule = parse_rule(
+            "query { book as B { @year as Y  title as T } } "
+            "construct { r { collect T } }"
+        )
+        footprint = QueryFootprint.of_rule(rule)
+        assert not footprint.wildcard
+        assert {"book", "title"} <= footprint.tags
+        assert "year" in footprint.attributes
+
+    def test_wildcard(self):
+        rule = parse_rule("query { * as X } construct { r { count(X) } }")
+        assert QueryFootprint.of_rule(rule).wildcard
+
+    def test_text_circle_sets_immediate(self):
+        rule = parse_rule(
+            "query { title as T { text as V } } construct { r { collect V } }"
+        )
+        footprint = QueryFootprint.of_rule(rule)
+        assert footprint.uses_immediate_text
+
+    def test_condition_content_read_sets_both_text_flags(self):
+        rule = parse_rule(
+            "query { book as B where B = 'x' } construct { r { count(B) } }"
+        )
+        footprint = QueryFootprint.of_rule(rule)
+        assert footprint.uses_immediate_text and footprint.uses_deep_text
+
+    def test_condition_attribute_read_collected(self):
+        rule = parse_rule(
+            "query { book as B where B.year >= 1999 } "
+            "construct { r { count(B) } }"
+        )
+        assert "year" in QueryFootprint.of_rule(rule).attributes
+
+
+class TestAffectedBy:
+    FOOTPRINT = QueryFootprint(
+        tags=frozenset({"book", "title"}),
+        attributes=frozenset({"year"}),
+        uses_deep_text=True,
+    )
+
+    def test_structural_hit_on_tag(self):
+        touched = TouchedRegion(
+            tags=frozenset({"book"}), structural=True, values_changed=True
+        )
+        assert self.FOOTPRINT.affected_by(touched)
+
+    def test_structural_miss_on_unrelated_tag(self):
+        touched = TouchedRegion(
+            tags=frozenset({"author"}),
+            ancestor_tags=frozenset({"bib"}),
+            structural=True,
+            values_changed=True,
+        )
+        assert not self.FOOTPRINT.affected_by(touched)
+
+    def test_attribute_intersection(self):
+        touched = TouchedRegion(
+            tags=frozenset({"article"}), attributes=frozenset({"year"})
+        )
+        assert self.FOOTPRINT.affected_by(touched)
+
+    def test_deep_text_sees_edit_under_matched_ancestor(self):
+        # A value edit on some <note> below a <book>: no footprint tag was
+        # touched directly, but the book's recursive text changed.
+        touched = TouchedRegion(
+            tags=frozenset({"note"}),
+            ancestor_tags=frozenset({"bib", "book"}),
+            values_changed=True,
+        )
+        assert self.FOOTPRINT.affected_by(touched)
+
+    def test_immediate_text_ignores_ancestor_chain(self):
+        footprint = QueryFootprint(
+            tags=frozenset({"book"}), uses_immediate_text=True
+        )
+        touched = TouchedRegion(
+            tags=frozenset({"note"}),
+            ancestor_tags=frozenset({"book"}),
+            values_changed=True,
+        )
+        assert not footprint.affected_by(touched)
+
+    def test_wildcard_sees_every_structural_edit(self):
+        footprint = QueryFootprint(wildcard=True)
+        assert footprint.affected_by(TouchedRegion(structural=True))
+        assert not footprint.affected_by(TouchedRegion(values_changed=True))
+
+
+class TestSubscription:
+    def make(self, query=BOOKS):
+        session = QuerySession(parse_document(DOC))
+        return session, session.subscribe(query)
+
+    def test_initial_rows_are_live(self):
+        _, subscription = self.make()
+        assert len(subscription.rows()) == 2
+        assert subscription.evals == 1
+
+    def test_relevant_insert_produces_added_delta(self):
+        session, subscription = self.make()
+        result = session.mutate(
+            MutationBatch().insert_subtree(
+                session._sources.root, book("D", "2001")
+            )
+        )
+        deltas = subscription.poll()
+        assert len(deltas) == 1
+        assert deltas[0].revision == result.doc_revision
+        assert len(deltas[0].added) == 1 and not deltas[0].removed
+        assert len(subscription.rows()) == 3
+
+    def test_delete_produces_removed_delta(self):
+        session, subscription = self.make()
+        target = session._sources.root.child_elements()[0]
+        session.mutate(MutationBatch().delete_subtree(target))
+        [delta] = subscription.poll()
+        assert len(delta.removed) == 1 and not delta.added
+
+    def test_irrelevant_mutation_is_skipped_without_eval(self):
+        session, subscription = self.make()
+        evals = subscription.evals
+        session.mutate(
+            MutationBatch().insert_subtree(
+                session._sources.root, Element("journal")
+            )
+        )
+        assert subscription.skips == 1
+        assert subscription.evals == evals
+        assert subscription.poll() == []
+        # But the subscription still observed the commit.
+        assert subscription.last_revision == 1
+
+    def test_deltas_queue_in_revision_order(self):
+        session, subscription = self.make()
+        root = session._sources.root
+        session.mutate(MutationBatch().insert_subtree(root, book("D", "2001")))
+        session.mutate(MutationBatch().insert_subtree(root, book("E", "2002")))
+        revisions = [delta.revision for delta in subscription.poll()]
+        assert revisions == sorted(revisions) and len(revisions) == 2
+
+    def test_wait_blocks_until_commit(self):
+        session, subscription = self.make()
+        root = session._sources.root
+
+        def commit():
+            session.mutate(
+                MutationBatch().insert_subtree(root, book("D", "2001"))
+            )
+
+        thread = threading.Thread(target=commit)
+        thread.start()
+        deltas = subscription.wait(timeout=5.0)
+        thread.join()
+        assert len(deltas) == 1
+
+    def test_wait_pending_does_not_drain(self):
+        session, subscription = self.make()
+        session.mutate(
+            MutationBatch().insert_subtree(
+                session._sources.root, book("D", "2001")
+            )
+        )
+        assert subscription.wait_pending(timeout=0.1)
+        assert subscription.pending == 1  # still queued
+        assert len(subscription.poll()) == 1
+
+    def test_wait_pending_times_out_false(self):
+        _, subscription = self.make()
+        assert not subscription.wait_pending(timeout=0.01)
+
+    def test_close_wakes_waiters_and_stops_observing(self):
+        session, subscription = self.make()
+        waited = []
+
+        def wait():
+            waited.append(subscription.wait(timeout=5.0))
+
+        thread = threading.Thread(target=wait)
+        thread.start()
+        subscription.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert waited == [[]]
+        assert (
+            subscription.notify(
+                session.mutate(
+                    MutationBatch().insert_subtree(
+                        session._sources.root, book("D", "2001")
+                    )
+                )
+            )
+            is None
+        )
+
+    def test_unsubscribe_detaches(self):
+        session, subscription = self.make()
+        assert session.unsubscribe(subscription)
+        assert subscription.closed
+        assert not session.unsubscribe(subscription)
+        assert session.subscriptions() == []
+
+    def test_attribute_flip_moves_rows(self):
+        session = QuerySession(parse_document(DOC))
+        subscription = session.subscribe(
+            "query { book as B { @year as Y } where Y >= 2000 } "
+            "construct { r { count(B) } }"
+        )
+        assert len(subscription.rows()) == 1
+        target = session._sources.root.child_elements()[0]  # year=1999
+        session.mutate(MutationBatch().update_attribute(target, "year", "2005"))
+        [delta] = subscription.poll()
+        assert len(delta.added) == 1
+        assert len(subscription.rows()) == 2
+
+    def test_value_edit_reaches_deep_text_condition(self):
+        session = QuerySession(parse_document(DOC))
+        subscription = session.subscribe(
+            "query { book as B where B = 'A' } construct { r { count(B) } }"
+        )
+        assert len(subscription.rows()) == 1
+        title = session._sources.root.child_elements()[1].child_elements()[0]
+        session.mutate(MutationBatch().update_value(title, "A"))
+        [delta] = subscription.poll()
+        assert len(delta.added) == 1
+
+    def test_describe_mentions_counters(self):
+        _, subscription = self.make()
+        text = subscription.describe()
+        assert "rows" in text and "evals" in text and "skips" in text
+
+
+class TestSessionWiring:
+    def test_multi_document_mutation_needs_source_name(self):
+        session = QuerySession(
+            {"a": parse_document(DOC), "b": parse_document(DOC)}
+        )
+        with pytest.raises(ReproError, match="name the mutation"):
+            session.mutate(MutationBatch())
+        with pytest.raises(ReproError, match="unknown source"):
+            session.mutate(MutationBatch(), source="c")
+
+    def test_named_source_mutation(self):
+        docs = {"a": parse_document(DOC), "b": parse_document(DOC)}
+        session = QuerySession(docs)
+        subscription = session.subscribe(
+            "query a { book as B } construct { r { count(B) } }"
+        )
+        session.mutate(
+            MutationBatch().insert_subtree(docs["a"].root, book("D", "2001")),
+            source="a",
+        )
+        [delta] = subscription.poll()
+        assert len(delta.added) == 1

@@ -1,0 +1,218 @@
+"""The mutation + subscription endpoint surface and head semantics."""
+
+import threading
+
+import pytest
+
+from repro.server import DocumentStore
+from repro.server.client import ServiceError
+from repro.ssd import parse_document
+
+from .conftest import BIB_XML, COUNT_QUERY
+
+NEW_BOOK = (
+    "<book year='2001'><title>Fresh</title>"
+    "<author><last>New</last></author><price>10.00</price></book>"
+)
+
+WATCH_QUERY = (
+    "query { book as B { @year as Y } } construct { hits { B } }"
+)
+
+
+def insert_op(xml=NEW_BOOK, index=None):
+    op = {"op": "insert", "parent": [], "xml": xml}
+    if index is not None:
+        op["index"] = index
+    return op
+
+
+class TestMutateEndpoint:
+    def test_commit_reports_revision_and_work(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        committed = client.mutate("bib", [insert_op()])
+        assert committed["revision"] == 1
+        assert committed["applied"] == 1
+        assert committed["structural"]
+        assert committed["nodes_added"] > 0
+        assert committed["document"]["head"] is True
+
+    def test_versionless_queries_see_the_head(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        before = client.query(COUNT_QUERY, document="bib")
+        client.mutate("bib", [insert_op()])
+        after = client.query(COUNT_QUERY, document="bib")
+        assert "3" in before["result"] and "4" in after["result"]
+        assert after["document"]["head"] is True
+
+    def test_pinned_versions_stay_frozen(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        client.mutate("bib", [insert_op()])
+        pinned = client.query(COUNT_QUERY, document="bib", version=1)
+        assert "3" in pinned["result"]
+        assert pinned["document"]["head"] is False
+
+    def test_head_shows_in_document_listing(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        client.mutate("bib", [insert_op()])
+        [entry] = client.documents()["documents"]
+        assert entry["head"]["head"] is True
+        assert entry["head"]["nodes"] > entry["versions"][0]["nodes"]
+
+    def test_invalid_ops_are_422_and_atomic(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        with pytest.raises(ServiceError) as excinfo:
+            client.mutate(
+                "bib", [insert_op(), {"op": "delete", "target": [99]}]
+            )
+        assert excinfo.value.status == 422
+        assert excinfo.value.payload["error"]["type"] == "MutationError"
+        # The valid eager op must not have leaked into the head.
+        assert "3" in client.query(COUNT_QUERY, document="bib")["result"]
+
+    def test_unknown_document_is_404(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        with pytest.raises(ServiceError) as excinfo:
+            client.mutate("nope", [insert_op()])
+        assert excinfo.value.status == 404
+
+    def test_ops_must_be_a_list(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/documents/bib/mutate", {"ops": "x"})
+        assert excinfo.value.status == 400
+
+
+class TestSubscriptionEndpoints:
+    def test_subscribe_mutate_poll(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        sub = client.subscribe(WATCH_QUERY, document="bib")
+        assert sub["rows"] == 3
+        client.mutate("bib", [insert_op()])
+        drained = client.deltas(sub["id"])
+        assert drained["revision"] == 1
+        [delta] = drained["deltas"]
+        assert len(delta["added"]) == 1 and delta["removed"] == []
+        assert delta["added"][0]["B"]["kind"] == "element"
+        assert "Fresh" in delta["added"][0]["B"]["xml"]
+        # Drained means drained.
+        assert client.deltas(sub["id"])["deltas"] == []
+
+    def test_footprint_skips_irrelevant_mutations(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        sub = client.subscribe(WATCH_QUERY, document="bib")
+        client.mutate(
+            "bib",
+            [{"op": "insert", "parent": [], "xml": "<journal/>"}],
+        )
+        assert client.deltas(sub["id"])["deltas"] == []
+
+    def test_long_poll_delivers_concurrent_commit(
+        self, bib_store, server_factory, client_factory
+    ):
+        server = server_factory(store=bib_store)
+        poller = client_factory(server)
+        mutator = client_factory(server)
+        sub = poller.subscribe(WATCH_QUERY, document="bib")
+        outcome = {}
+
+        def poll():
+            outcome["drained"] = poller.deltas(sub["id"], timeout_s=10.0)
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        mutator.mutate("bib", [insert_op()])
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert len(outcome["drained"]["deltas"]) == 1
+
+    def test_long_poll_timeout_returns_empty(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        sub = client.subscribe(WATCH_QUERY, document="bib")
+        assert client.deltas(sub["id"], timeout_s=0.05)["deltas"] == []
+
+    def test_unsubscribe_then_404(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        sub = client.subscribe(WATCH_QUERY, document="bib")
+        assert client.unsubscribe(sub["id"])["closed"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.deltas(sub["id"])
+        assert excinfo.value.status == 404
+
+    def test_unknown_subscription_is_404(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        with pytest.raises(ServiceError) as excinfo:
+            client.deltas("sub-999999")
+        assert excinfo.value.status == 404
+
+    def test_reload_supersedes_head_and_subscriptions(
+        self, bib_store, server_factory, client_factory
+    ):
+        client = client_factory(server_factory(store=bib_store))
+        sub = client.subscribe(WATCH_QUERY, document="bib")
+        client.mutate("bib", [insert_op()])
+        client.deltas(sub["id"])
+        # A fresh load wins over the mutated head: queries see version 2,
+        # and the head's subscriptions are torn down.
+        client.add_document("bib", BIB_XML)
+        after = client.query(COUNT_QUERY, document="bib")
+        assert "3" in after["result"]
+        assert after["document"] == {
+            "name": "bib", "version": 2, "head": False,
+        }
+        with pytest.raises(ServiceError) as excinfo:
+            client.deltas(sub["id"])
+        assert excinfo.value.status == 404
+
+
+class TestStoreHeadSemantics:
+    def test_head_is_forked_copy(self):
+        store = DocumentStore()
+        store.add("d", parse_document("<r><a/></r>"))
+        frozen = store.get("d", version=1)
+        head = store.head("d")
+        assert head.document is not frozen.document
+        assert head.head and not frozen.head
+        assert store.head("d") is head  # second call: same fork
+
+    def test_versionless_get_prefers_head(self):
+        store = DocumentStore()
+        store.add("d", parse_document("<r/>"))
+        assert not store.get("d").head
+        head = store.head("d")
+        assert store.get("d") is head
+        assert store.get("d", version=1).head is False
+
+    def test_add_supersedes_head(self):
+        store = DocumentStore()
+        store.add("d", parse_document("<r/>"))
+        head = store.head("d")
+        store.add("d", parse_document("<r><b/></r>"))
+        assert store.pop_superseded_head() is head
+        assert store.pop_superseded_head() is None
+        assert store.get("d").version == 2
+        assert not store.get("d").head

@@ -54,7 +54,9 @@ class TestQueryEndpoint:
         assert payload["ok"]
         assert payload["result"] == serialize(direct.root)
         assert payload["tenant"] == "public"
-        assert payload["document"] == {"name": "bib", "version": 1}
+        assert payload["document"] == {
+            "name": "bib", "version": 1, "head": False,
+        }
 
     def test_unnamed_document_shorthand(
         self, bib_store, server_factory, client_factory

@@ -299,3 +299,55 @@ class TestExplainCommand:
     def test_missing_file(self):
         status, _ = run(["explain", "/nonexistent.xgl"])
         assert status == 2
+
+
+class TestWatchCommand:
+    WATCH_RULE = (
+        "query { book as B { title as T } } construct { r { collect T } }"
+    )
+
+    def setup_files(self, tmp_path, edits):
+        import json
+
+        rule = tmp_path / "watch.xgl"
+        rule.write_text(self.WATCH_RULE)
+        doc = tmp_path / "watch.xml"
+        doc.write_text(DATA)
+        script = tmp_path / "edits.json"
+        script.write_text(json.dumps(edits))
+        return str(rule), str(doc), str(script)
+
+    def test_prints_deltas_per_batch(self, tmp_path):
+        rule, doc, script = self.setup_files(
+            tmp_path,
+            [
+                [{"op": "insert", "parent": [],
+                  "xml": "<book><title>Third</title></book>"}],
+                [{"op": "delete", "target": [0]}],
+            ],
+        )
+        status, output = run(["watch", rule, doc, "--edits", script])
+        assert status == 0
+        assert "# initial rows: 2" in output
+        assert "rev 1: +1 -0" in output
+        assert "Third" in output
+        assert "rev 2: +0 -1" in output
+        assert "# final rows: 2" in output
+
+    def test_irrelevant_batches_produce_no_delta_lines(self, tmp_path, capsys):
+        rule, doc, script = self.setup_files(
+            tmp_path,
+            [[{"op": "insert", "parent": [], "xml": "<journal/>"}]],
+        )
+        status, output = run(["watch", rule, doc, "--edits", script, "--stats"])
+        assert status == 0
+        assert "rev" not in output.replace("rows", "")
+        stderr = capsys.readouterr().err
+        assert "no delta" in stderr
+        assert "1 skips" in stderr
+
+    def test_bad_script_shape_is_usage_error(self, tmp_path, capsys):
+        rule, doc, script = self.setup_files(tmp_path, [])
+        (tmp_path / "edits.json").write_text('{"not": "a list"}')
+        status, _ = run(["watch", rule, doc, "--edits", script])
+        assert status == 2

@@ -443,3 +443,112 @@ class TestProcessOutcomeAlignment:
         monkeypatch.setattr(shard_mod.ShardedExecutor, "run_batch", dropping)
         with pytest.raises(ReproError, match="misaligned"):
             QuerySession(DOC).run_batch([ALL, RECENT], executor="process")
+
+
+class TestExecOptions:
+    """The consolidated ExecOptions contract and its deprecated shims."""
+
+    def test_defaults_always_concrete(self):
+        from repro.session import ExecOptions
+
+        session = QuerySession(DOC)
+        assert session.defaults == ExecOptions()
+        custom = ExecOptions(engine="pipeline", columnar=False)
+        assert QuerySession(DOC, options=custom).defaults is custom
+
+    def test_unknown_engine_rejected_at_construction(self):
+        from repro.session import ExecOptions
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExecOptions(engine="quantum")
+
+    def test_per_call_bundle_replaces_defaults_wholesale(self):
+        from repro.session import ExecOptions
+
+        session = QuerySession(DOC, options=ExecOptions(trace=True))
+        session.run(ALL, options=ExecOptions())  # trace not inherited
+        assert session.current().trace is None
+
+    def test_derive_one_field_with_replace(self):
+        from dataclasses import replace
+
+        session = QuerySession(DOC, options=None)
+        session.run(ALL, options=replace(session.defaults, trace=True))
+        assert session.current().trace is not None
+
+    def test_bundle_budget_governs_the_run(self):
+        from repro.engine.limits import QueryBudget
+        from repro.errors import BudgetExceeded
+        from repro.session import ExecOptions
+
+        session = QuerySession(DOC)
+        with pytest.raises(BudgetExceeded):
+            session.run(
+                ALL, options=ExecOptions(budget=QueryBudget(max_work=1))
+            )
+
+    def test_match_options_round_trip(self):
+        from repro.session import ExecOptions
+        from repro.xmlgl.matcher import MatchOptions
+
+        bundle = ExecOptions(engine="backtracking", rewrite=False, trace=True)
+        lifted = ExecOptions.from_match_options(bundle.match_options())
+        assert lifted == bundle
+        assert isinstance(bundle.match_options(), MatchOptions)
+
+    def test_bundle_is_frozen(self):
+        from repro.session import ExecOptions
+
+        with pytest.raises(Exception):
+            ExecOptions().trace = True
+
+    def test_match_options_per_call_warns(self):
+        from repro.xmlgl.matcher import MatchOptions
+
+        session = QuerySession(DOC)
+        with pytest.warns(DeprecationWarning, match="ExecOptions"):
+            session.run(ALL, options=MatchOptions())
+
+    def test_trace_keyword_warns_but_works(self):
+        session = QuerySession(DOC)
+        with pytest.warns(DeprecationWarning, match="trace="):
+            session.run(ALL, trace=True)
+        assert session.current().trace is not None
+
+    def test_budget_keyword_warns_but_works(self):
+        from repro.engine.limits import QueryBudget
+        from repro.errors import BudgetExceeded
+
+        session = QuerySession(DOC)
+        with pytest.warns(DeprecationWarning, match="budget="):
+            with pytest.raises(BudgetExceeded):
+                session.run(ALL, budget=QueryBudget(max_work=1))
+
+    def test_execute_and_run_batch_take_the_bundle(self):
+        from repro.session import ExecOptions
+
+        session = QuerySession(DOC)
+        bundle = ExecOptions(trace=True)
+        assert session.execute(ALL, options=bundle).trace is not None
+        rows = session.run_batch([ALL, COUNT], options=bundle)
+        assert all(row.trace is not None for row in rows)
+
+    def test_session_constructor_lifts_match_options_silently(self):
+        import warnings as warnings_mod
+
+        from repro.session import ExecOptions
+        from repro.xmlgl.matcher import MatchOptions
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error", DeprecationWarning)
+            session = QuerySession(DOC, options=MatchOptions(engine="pipeline"))
+        assert isinstance(session.defaults, ExecOptions)
+        assert session.defaults.engine == "pipeline"
+
+    def test_subscribe_with_match_options_warns(self):
+        from repro.xmlgl.matcher import MatchOptions
+
+        session = QuerySession(parse_document('<bib><book/></bib>'))
+        with pytest.warns(DeprecationWarning, match="ExecOptions"):
+            subscription = session.subscribe(COUNT, options=MatchOptions())
+        assert len(subscription.rows()) == 1

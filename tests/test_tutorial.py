@@ -161,6 +161,26 @@ class TestWglogSteps:
         assert len(uncited) == 1  # b2 is cited by nobody... b1 is cited
 
 
+class TestExecOptionsStep:
+    """§6: one frozen bundle, derived per call — and never a warning."""
+
+    def test_step6_exec_options_bundle(self, doc):
+        import warnings
+        from dataclasses import replace
+
+        from repro import ExecOptions, QuerySession
+
+        query = "query { book as B } construct { result { collect B } }"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = QuerySession(doc, options=ExecOptions(engine="pipeline"))
+            session.run(query)
+            assert session.current().trace is None
+            session.run(query, options=replace(session.defaults, trace=True))
+            assert session.current().trace is not None
+        assert session.defaults.engine == "pipeline"
+
+
 class TestObservabilitySteps:
     def test_step7_plan_cache_snippet(self, doc):
         from repro.engine.cache import DocumentIndexCache
@@ -235,6 +255,8 @@ class TestShardingSteps:
         assert "work:" in report.render_text()
 
     def test_step10_process_batch_contract(self, doc):
+        from dataclasses import replace
+
         from repro.engine.limits import QueryBudget
         from repro.session import QuerySession
 
@@ -247,7 +269,9 @@ class TestShardingSteps:
             ],
             executor="process",
             max_workers=2,
-            budget=QueryBudget(deadline_ms=60_000),
+            options=replace(
+                session.defaults, budget=QueryBudget(deadline_ms=60_000)
+            ),
         )
         assert [r.index for r in rows] == [0, 1]
         assert all(r.error is None for r in rows)
@@ -328,3 +352,72 @@ class TestQueryServiceSteps:
         assert excinfo.value.status == 408
         engine = served.metrics()["engine"]
         assert engine["queries"] == 2 and engine["errors"] == 1
+
+
+class TestMutationSteps:
+    """§12 — mutation batches and continuous queries, as printed."""
+
+    def make(self):
+        from repro import QuerySession
+
+        doc = parse_document(
+            "<bib><book year='2000'><title>Data on the Web</title></book></bib>"
+        )
+        session = QuerySession(doc)
+        subscription = session.subscribe(
+            "query { book as B { @year as Y } } construct { hits { B } }"
+        )
+        return doc, session, subscription
+
+    def test_step12_batch_commit_and_delta(self):
+        from repro import MutationBatch
+        from repro.ssd.model import Element, Text
+
+        doc, session, subscription = self.make()
+        assert len(subscription.rows()) == 1
+
+        book = Element("book", attributes={"year": "1994"})
+        title = Element("title")
+        title.append(Text("TCP/IP Illustrated"))
+        book.append(title)
+
+        result = session.mutate(
+            MutationBatch()
+            .insert_subtree(doc.root, book)
+            .update_attribute(doc.root.child_elements()[0], "year", "2001")
+        )
+        assert (result.doc_revision, result.applied) == (1, 2)
+
+        [delta] = subscription.poll()
+        assert delta.revision == 1
+        assert (len(delta.added), len(delta.removed)) == (2, 1)
+        assert len(subscription.rows()) == 2
+
+    def test_step12_atomic_validation(self):
+        from repro import MutationBatch
+        from repro.engine.mutate import MutationError
+        from repro.ssd.model import Element
+
+        doc, session, subscription = self.make()
+        with pytest.raises(MutationError):
+            session.mutate(
+                MutationBatch()
+                .insert_subtree(doc.root, Element("book"))
+                .delete_subtree(doc.root)
+            )
+        assert len(doc.root.child_elements()) == 1  # nothing leaked
+        assert subscription.poll() == []
+
+    def test_step12_footprint_skips_unobservable_edits(self):
+        from repro import MutationBatch
+        from repro.ssd.model import Element, Text
+
+        doc, session, subscription = self.make()
+        evals = subscription.evals
+        note = Element("note")
+        note.append(Text("margin scribble"))
+        session.mutate(
+            MutationBatch().insert_subtree(doc.root.child_elements()[0], note)
+        )
+        assert subscription.poll() == []
+        assert subscription.evals == evals and subscription.skips == 1

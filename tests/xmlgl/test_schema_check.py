@@ -2,12 +2,12 @@
 
 import pytest
 
+from repro.analysis.xmlgl_schema import schema_diagnostics
 from repro.errors import EvaluationError, QueryStructureError
 from repro.ssd import parse_document, parse_dtd, serialize
 from repro.xmlgl import QueryBuilder, evaluate_program
 from repro.xmlgl.dsl import parse_program, parse_rule
 from repro.xmlgl.schema import dtd_to_schema
-from repro.xmlgl.schema_check import check_query_against_schema
 from repro.workloads import BIB_DTD
 
 
@@ -17,9 +17,8 @@ def schema():
 
 
 def checked(graph, schema):
-    """Call the deprecated wrapper, asserting it warns on every call."""
-    with pytest.warns(DeprecationWarning, match="schema_diagnostics"):
-        return check_query_against_schema(graph, schema)
+    """Schema findings as message strings (what the assertions grep)."""
+    return [d.message for d in schema_diagnostics(graph, schema)]
 
 
 class TestSchemaAwareChecking:
@@ -95,23 +94,18 @@ class TestSchemaAwareChecking:
         q.box(None, id="Y", parent=any_box, deep=True)
         assert checked(q.graph(), schema) == []
 
-    def test_wrapper_is_deprecated(self, schema):
-        q = QueryBuilder()
-        q.box("book", id="B")
-        with pytest.warns(DeprecationWarning) as caught:
-            check_query_against_schema(q.graph(), schema)
-        assert len(caught) == 1
-        message = str(caught[0].message)
-        assert "check_query_against_schema is deprecated" in message
-        assert "schema_diagnostics" in message
-
-    def test_wrapper_agrees_with_structured_diagnostics(self, schema):
-        from repro.analysis.xmlgl_schema import schema_diagnostics
-
+    def test_diagnostics_carry_stable_codes(self, schema):
         q = QueryBuilder()
         q.box("cdrom", id="C")
         diagnostics = schema_diagnostics(q.graph(), schema)
-        assert len(checked(q.graph(), schema)) == len(diagnostics)
+        assert diagnostics
+        assert all(d.code.startswith("XGS") for d in diagnostics)
+
+    def test_legacy_wrapper_removed(self):
+        # The string-returning check_query_against_schema shim is gone;
+        # schema_diagnostics is the one entry point.
+        with pytest.raises(ImportError):
+            from repro.xmlgl import check_query_against_schema  # noqa: F401
 
 
 class TestChainedPrograms:
